@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The W1-vs-W2 batch effect of Fig 13a, on the analytical device
+ * model (src/device).
+ *
+ * Paper: W1 (S3DIS, fixed batch of 32 frames) gains 5.21x on SMP+NS
+ * while W2 (ScanNet, mean batch of 14) gains 3.44x, because the
+ * baseline's launch-serialized quadratic kernels process a batch
+ * frame by frame while EdgePC's data-parallel kernels overlap across
+ * the batch. A frame-at-a-time CPU harness cannot exhibit this, so
+ * this bench evaluates it on the documented analytical model of a
+ * 512-lane device.
+ */
+
+#include "bench_util.hpp"
+#include "device/device_model.hpp"
+
+using namespace edgepc;
+
+namespace {
+
+/** SMP+NS kernel chain of one PointNet++(s) frame, baseline. */
+std::vector<KernelWork>
+baselineChain(std::size_t points)
+{
+    std::vector<KernelWork> chain;
+    std::size_t n = points;
+    // 4 SA modules: FPS + ball query at each level.
+    for (int level = 0; level < 4; ++level) {
+        const std::size_t samples =
+            std::max<std::size_t>(1, n / (level == 0 ? 8 : 4));
+        chain.push_back(fpsKernel(n, samples));
+        chain.push_back(exactSearchKernel(n, samples));
+        n = samples;
+    }
+    // 4 FP modules: exact 3-NN interpolation searches.
+    std::size_t fine = points / 512;
+    for (int level = 0; level < 4; ++level) {
+        const std::size_t coarse = fine;
+        fine = std::min(points, fine * (level == 3 ? 8 : 4));
+        chain.push_back(exactSearchKernel(coarse, fine));
+    }
+    return chain;
+}
+
+/** SMP+NS kernel chain of one frame with the EdgePC approximations
+ *  on the first module (the paper's design point). */
+std::vector<KernelWork>
+edgepcChain(std::size_t points)
+{
+    std::vector<KernelWork> chain;
+    // Module 1: structurize + stride sample + window search.
+    chain.push_back(mortonStructurizeKernel(points));
+    chain.push_back(strideSampleKernel(points / 8));
+    chain.push_back(windowSearchKernel(points / 8, 64));
+    // Modules 2-4 keep the exact kernels on the shrunken levels.
+    std::size_t n = points / 8;
+    for (int level = 1; level < 4; ++level) {
+        const std::size_t samples = std::max<std::size_t>(1, n / 4);
+        chain.push_back(fpsKernel(n, samples));
+        chain.push_back(exactSearchKernel(n, samples));
+        n = samples;
+    }
+    // FP modules: the last (largest) one uses the Morton up-sampler.
+    std::size_t fine = points / 512;
+    for (int level = 0; level < 3; ++level) {
+        const std::size_t coarse = fine;
+        fine = fine * 4;
+        chain.push_back(exactSearchKernel(coarse, fine));
+    }
+    chain.push_back(windowSearchKernel(points, 5));
+    return chain;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 13a batch effect (analytical device model)",
+                  "W1's batch of 32 outgains W2's mean batch of 14 "
+                  "(paper: 5.21x vs 3.44x SMP+NS)");
+    const DeviceModel device; // 512 lanes, Volta-like throughput
+    const std::size_t points = 8192;
+
+    Table table({"batch size", "baseline ms/batch", "EdgePC ms/batch",
+                 "SMP+NS speedup"});
+    for (const std::size_t batch : {1u, 4u, 8u, 14u, 32u, 64u}) {
+        std::vector<std::vector<KernelWork>> baseline_frames(
+            batch, baselineChain(points));
+        std::vector<std::vector<KernelWork>> edgepc_frames(
+            batch, edgepcChain(points));
+        const double base_us =
+            device.batchMakespanUs(baseline_frames);
+        const double edge_us = device.batchMakespanUs(edgepc_frames);
+        table.row()
+            .cell(static_cast<long long>(batch))
+            .cell(base_us / 1000.0)
+            .cell(edge_us / 1000.0)
+            .cell(formatSpeedup(base_us / edge_us));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: the speedup grows with batch size "
+                 "— the baseline's FPS launch chains serialize while "
+                 "the EdgePC kernels fill the device across frames — "
+                 "reproducing why W1 (batch 32) outgains W2 (mean "
+                 "batch 14) in the paper.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig 5 reproduction: sampling-quality comparison on the bunny-like
+ * 40k-point scan — FPS on raw data, uniform sampling on raw data, and
+ * uniform sampling on Morton-structurized data.
+ *
+ * Paper: FPS and Morton-uniform both cover the model well; raw-order
+ * uniform sampling is badly uneven. On the Jetson, FPS takes ~81.7 ms
+ * for 1024 of 40256 points while uniform sampling takes ~1 ms.
+ */
+
+#include "bench_util.hpp"
+#include "datasets/bunny.hpp"
+#include "pointcloud/metrics.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+#include "sampling/uniform_index_sampler.hpp"
+
+using namespace edgepc;
+
+int
+main()
+{
+    bench::banner("Figure 5 (sampling quality on the Bunny scan)",
+                  "FPS ~= Morton-uniform >> raw-uniform coverage; "
+                  "FPS 81.7 ms vs uniform ~1 ms on 40256 points");
+
+    const PointCloud bunny = bunnyLike(40256, 5);
+    const auto &pts = bunny.positions();
+    const std::size_t n = 1024;
+    const int repeats = bench::benchRepeats();
+
+    FarthestPointSampler fps;
+    UniformIndexSampler raw;
+    MortonSampler morton(32);
+
+    Table table({"sampler", "latency ms", "mean coverage",
+                 "max coverage", "voxel coverage"});
+
+    double fps_ms = 0.0;
+    auto run = [&](const char *name, Sampler &sampler) {
+        double best = 0.0;
+        std::vector<std::uint32_t> sel;
+        for (int i = 0; i < repeats; ++i) {
+            Timer t;
+            sel = sampler.sample(pts, n);
+            const double ms = t.elapsedMs();
+            if (i == 0 || ms < best) {
+                best = ms;
+            }
+        }
+        std::vector<Vec3> sampled;
+        for (const auto idx : sel) {
+            sampled.push_back(pts[idx]);
+        }
+        table.row()
+            .cell(name)
+            .cell(best)
+            .cell(meanCoverageDistance(pts, sampled), 4)
+            .cell(coverageRadius(pts, sampled), 4)
+            .cell(voxelCoverage(pts, sampled, 0.15f), 3);
+        return best;
+    };
+
+    fps_ms = run("(a) FPS on raw PC", fps);
+    run("(b) uniform on raw PC", raw);
+    const double mc_ms = run("(c) uniform on Morton PC", morton);
+
+    table.print(std::cout);
+    std::cout << "\nMorton sampler speedup over FPS: "
+              << formatSpeedup(fps_ms / mc_ms)
+              << "\nExpected shape: (b) matches (a)'s latency class "
+                 "but with clearly worse coverage; (c) matches (a)'s "
+                 "coverage class at uniform-sampling latency.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 13b reproduction: end-to-end latency speedup of S+N and S+N+F
+ * over the baseline on all six workloads.
+ *
+ * Paper: S+N averages 1.55x; adding the tensor-core feature path
+ * (S+N+F) reaches up to 2.25x (W6).
+ */
+
+#include <cmath>
+
+#include "bench_util.hpp"
+
+using namespace edgepc;
+
+int
+main()
+{
+    bench::banner("Figure 13b (end-to-end speedup)",
+                  "S+N avg 1.55x; S+N+F up to 2.25x");
+    const std::size_t scale = bench::benchScale(1);
+    const int repeats = bench::benchRepeats(2);
+    std::cout << "(point scale 1/" << scale << ")\n\n";
+
+    Table table({"workload", "baseline ms", "S+N ms", "S+N x",
+                 "S+N+F ms", "S+N+F x"});
+    double sn_geo = 1.0, snf_geo = 1.0;
+    std::size_t count = 0;
+
+    for (const WorkloadSpec &spec : workloadTable()) {
+        const auto model = makeWorkloadModel(spec, scale);
+        const PointCloud frame = makeWorkloadCloud(spec, scale);
+
+        const PipelineResult base = bench::measure(
+            *model, EdgePcConfig::baseline(), frame, repeats);
+        const PipelineResult sn =
+            bench::measure(*model, EdgePcConfig::sn(), frame, repeats);
+        const PipelineResult snf = bench::measure(
+            *model, EdgePcConfig::snf(), frame, repeats);
+
+        const double sn_x = base.endToEndMs / sn.endToEndMs;
+        const double snf_x = base.endToEndMs / snf.endToEndMs;
+        sn_geo *= sn_x;
+        snf_geo *= snf_x;
+        ++count;
+        table.row()
+            .cell(spec.id)
+            .cell(base.endToEndMs)
+            .cell(sn.endToEndMs)
+            .cell(formatSpeedup(sn_x))
+            .cell(snf.endToEndMs)
+            .cell(formatSpeedup(snf_x));
+    }
+    const double inv = 1.0 / static_cast<double>(count);
+    table.row()
+        .cell("geo-mean")
+        .cell(std::string("-"))
+        .cell(std::string("-"))
+        .cell(formatSpeedup(std::pow(sn_geo, inv)))
+        .cell(std::string("-"))
+        .cell(formatSpeedup(std::pow(snf_geo, inv)));
+    table.print(std::cout);
+    std::cout << "\nExpected shape: S+N > 1x everywhere (around 1.5x "
+                 "mean); S+N+F adds a further feature-stage win.\n";
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fig 14a reproduction: inference accuracy of the retrained EdgePC
+ * models versus the baseline models.
+ *
+ * Three numbers per task, as in the paper's discussion:
+ *   (1) baseline-trained, baseline kernels (the reference accuracy);
+ *   (2) baseline-trained, EdgePC kernels  (the naive-approximation
+ *       drop the paper warns about in Sec 5.3);
+ *   (3) EdgePC-retrained, EdgePC kernels  (the recovered accuracy —
+ *       the paper reports a drop within ~2% of the reference).
+ *
+ * Compact trainable variants of both model families are trained on
+ * the synthetic stand-in datasets (see DESIGN.md).
+ */
+
+#include "bench_util.hpp"
+#include "datasets/scenes.hpp"
+#include "datasets/shapes.hpp"
+#include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
+#include "train/trainer.hpp"
+
+using namespace edgepc;
+
+namespace {
+
+struct Row
+{
+    std::string task;
+    double reference;
+    double naive;
+    double retrained;
+};
+
+Row
+runClassification()
+{
+    ShapeOptions options;
+    options.points = 256;
+    const Dataset data = makeShapeDataset(16, options, 5);
+    auto [train_set, test_set] = data.split(0.75, 11);
+
+    TrainOptions topt;
+    topt.epochs = 25;
+    topt.learningRate = 0.005f;
+    topt.batchSize = 8;
+    topt.lrDecay = 0.93f;
+    Trainer trainer(topt);
+
+    Dgcnn baseline_model(
+        DgcnnConfig::liteClassification(data.numClasses), 42);
+    trainer.trainClassifier(baseline_model, train_set,
+                            EdgePcConfig::baseline());
+    const double reference =
+        trainer
+            .evaluateClassifier(baseline_model, test_set,
+                                EdgePcConfig::baseline())
+            .accuracy;
+    const double naive = trainer
+                             .evaluateClassifier(baseline_model,
+                                                 test_set,
+                                                 EdgePcConfig::sn())
+                             .accuracy;
+
+    Dgcnn retrained_model(
+        DgcnnConfig::liteClassification(data.numClasses), 42);
+    trainer.trainClassifier(retrained_model, train_set,
+                            EdgePcConfig::sn());
+    const double retrained =
+        trainer
+            .evaluateClassifier(retrained_model, test_set,
+                                EdgePcConfig::sn())
+            .accuracy;
+    return {"DGCNN(c) / ModelNet40*", reference, naive, retrained};
+}
+
+Row
+runSegmentation()
+{
+    SceneOptions options;
+    options.points = 512;
+    const Dataset data = makeSceneDataset(40, options, 7);
+    auto [train_set, test_set] = data.split(0.75, 13);
+
+    TrainOptions topt;
+    topt.epochs = 25;
+    topt.learningRate = 0.02f;
+    topt.batchSize = 8;
+    topt.lrDecay = 0.93f;
+    Trainer trainer(topt);
+
+    PointNetPP baseline_model(
+        PointNetPPConfig::liteSegmentation(options.points,
+                                           data.numClasses),
+        42);
+    trainer.trainSegmentation(baseline_model, train_set,
+                              EdgePcConfig::baseline());
+    const double reference =
+        trainer
+            .evaluateSegmentation(baseline_model, test_set,
+                                  EdgePcConfig::baseline())
+            .accuracy;
+    const double naive = trainer
+                             .evaluateSegmentation(baseline_model,
+                                                   test_set,
+                                                   EdgePcConfig::sn())
+                             .accuracy;
+
+    PointNetPP retrained_model(
+        PointNetPPConfig::liteSegmentation(options.points,
+                                           data.numClasses),
+        42);
+    trainer.trainSegmentation(retrained_model, train_set,
+                              EdgePcConfig::sn());
+    const double retrained =
+        trainer
+            .evaluateSegmentation(retrained_model, test_set,
+                                  EdgePcConfig::sn())
+            .accuracy;
+    return {"PointNet++(s) / S3DIS*", reference, naive, retrained};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 14a (accuracy after retraining)",
+                  "retrained accuracy within ~2% of the baseline");
+
+    Table table({"task", "baseline acc", "naive approx acc",
+                 "retrained acc", "drop vs baseline"});
+    for (const Row &row : {runClassification(), runSegmentation()}) {
+        table.row()
+            .cell(row.task)
+            .cell(row.reference, 3)
+            .cell(row.naive, 3)
+            .cell(row.retrained, 3)
+            .cell(formatPercent(row.reference - row.retrained));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: the naive column sits below the "
+                 "baseline; retraining recovers most of the gap "
+                 "(small final drop).\n";
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the individual EdgePC kernels:
+ * Morton encoding, radix sorting, samplers, neighbor searchers and
+ * the two GEMM paths. Complements the figure benches with per-kernel
+ * numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "geometry/morton.hpp"
+#include "neighbor/ball_query.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/kd_tree.hpp"
+#include "neighbor/morton_window.hpp"
+#include "nn/gemm.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+namespace {
+
+std::vector<Vec3>
+randomCloud(std::size_t n, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pts(n);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    return pts;
+}
+
+void
+BM_MortonEncode(benchmark::State &state)
+{
+    const auto pts = randomCloud(state.range(0));
+    const MortonEncoder enc(Aabb::of(pts), 32);
+    std::vector<std::uint64_t> codes;
+    for (auto _ : state) {
+        enc.encodeAll(pts, codes);
+        benchmark::DoNotOptimize(codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MortonEncode)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void
+BM_RadixSort(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<std::uint64_t> codes(state.range(0));
+    for (auto &c : codes) {
+        c = rng.nextU64() & 0xffffffffull;
+    }
+    for (auto _ : state) {
+        auto order = radixSortIndices(codes);
+        benchmark::DoNotOptimize(order.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixSort)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void
+BM_FpsSampler(benchmark::State &state)
+{
+    const auto pts = randomCloud(state.range(0));
+    for (auto _ : state) {
+        FarthestPointSampler fps;
+        auto sel = fps.sample(pts, state.range(0) / 8);
+        benchmark::DoNotOptimize(sel.data());
+    }
+}
+BENCHMARK(BM_FpsSampler)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void
+BM_MortonSampler(benchmark::State &state)
+{
+    const auto pts = randomCloud(state.range(0));
+    MortonSampler sampler(32);
+    for (auto _ : state) {
+        auto sel = sampler.sample(pts, state.range(0) / 8);
+        benchmark::DoNotOptimize(sel.data());
+    }
+}
+BENCHMARK(BM_MortonSampler)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void
+BM_BallQuery(benchmark::State &state)
+{
+    const auto pts = randomCloud(state.range(0));
+    BallQuery bq(0.2f);
+    for (auto _ : state) {
+        auto lists = bq.search(pts, pts, 16);
+        benchmark::DoNotOptimize(lists.indices.data());
+    }
+}
+BENCHMARK(BM_BallQuery)->Arg(1024)->Arg(4096);
+
+void
+BM_BruteForceKnn(benchmark::State &state)
+{
+    const auto pts = randomCloud(state.range(0));
+    BruteForceKnn knn;
+    for (auto _ : state) {
+        auto lists = knn.search(pts, pts, 16);
+        benchmark::DoNotOptimize(lists.indices.data());
+    }
+}
+BENCHMARK(BM_BruteForceKnn)->Arg(1024)->Arg(4096);
+
+void
+BM_KdTreeKnn(benchmark::State &state)
+{
+    const auto pts = randomCloud(state.range(0));
+    KdTreeKnn kd;
+    for (auto _ : state) {
+        auto lists = kd.search(pts, pts, 16);
+        benchmark::DoNotOptimize(lists.indices.data());
+    }
+}
+BENCHMARK(BM_KdTreeKnn)->Arg(1024)->Arg(4096);
+
+void
+BM_MortonWindowSearch(benchmark::State &state)
+{
+    const auto pts = randomCloud(state.range(0));
+    MortonSampler sampler(32);
+    const Structurization s = sampler.structurize(pts);
+    const MortonWindowSearch window(64);
+    for (auto _ : state) {
+        auto lists = window.searchAll(pts, s, 16);
+        benchmark::DoNotOptimize(lists.indices.data());
+    }
+}
+BENCHMARK(BM_MortonWindowSearch)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void
+BM_GemmScalar(benchmark::State &state)
+{
+    Rng rng(3);
+    nn::Matrix a(state.range(0), 64), b(64, 64);
+    a.fillNormal(rng, 1.0f);
+    b.fillNormal(rng, 1.0f);
+    nn::GemmEngine engine(nn::GemmMode::Scalar);
+    for (auto _ : state) {
+        auto c = engine.multiply(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_GemmScalar)->Arg(1024)->Arg(8192);
+
+void
+BM_GemmFast(benchmark::State &state)
+{
+    Rng rng(4);
+    nn::Matrix a(state.range(0), 64), b(64, 64);
+    a.fillNormal(rng, 1.0f);
+    b.fillNormal(rng, 1.0f);
+    nn::GemmEngine engine(nn::GemmMode::Fast);
+    for (auto _ : state) {
+        auto c = engine.multiply(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_GemmFast)->Arg(1024)->Arg(8192);
+
+} // namespace
+} // namespace edgepc
+
+BENCHMARK_MAIN();

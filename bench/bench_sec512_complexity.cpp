@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sec 5.1.2 reproduction: asymptotic complexity of the samplers.
+ *
+ * Paper: FPS is O(N^2) with a sequential dependency; the Morton
+ * sampler is O(N log N) (O(N) with the radix sort) and fully
+ * parallel. Doubling N should roughly quadruple FPS time while the
+ * Morton sampler grows near-linearly.
+ */
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+
+using namespace edgepc;
+
+int
+main()
+{
+    bench::banner("Sec 5.1.2 (sampler complexity sweep)",
+                  "FPS grows ~quadratically, Morton ~linearly");
+    const int repeats = bench::benchRepeats();
+
+    Table table({"N", "n", "FPS ms", "FPS growth", "Morton ms",
+                 "Morton growth", "speedup"});
+    double prev_fps = 0.0, prev_mc = 0.0;
+
+    for (const std::size_t n_points :
+         {2048u, 4096u, 8192u, 16384u, 32768u}) {
+        Rng rng(n_points);
+        std::vector<Vec3> pts(n_points);
+        for (auto &p : pts) {
+            p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+        }
+        const std::size_t n = n_points / 8;
+
+        double fps_ms = 0.0, mc_ms = 0.0;
+        for (int i = 0; i < repeats; ++i) {
+            FarthestPointSampler fps;
+            Timer t1;
+            fps.sample(pts, n);
+            const double f = t1.elapsedMs();
+            if (i == 0 || f < fps_ms) {
+                fps_ms = f;
+            }
+            MortonSampler morton(32);
+            Timer t2;
+            morton.sample(pts, n);
+            const double m = t2.elapsedMs();
+            if (i == 0 || m < mc_ms) {
+                mc_ms = m;
+            }
+        }
+
+        table.row()
+            .cell(static_cast<long long>(n_points))
+            .cell(static_cast<long long>(n))
+            .cell(fps_ms)
+            .cell(prev_fps > 0.0
+                      ? formatSpeedup(fps_ms / prev_fps)
+                      : std::string("-"))
+            .cell(mc_ms)
+            .cell(prev_mc > 0.0 ? formatSpeedup(mc_ms / prev_mc)
+                                : std::string("-"))
+            .cell(formatSpeedup(fps_ms / mc_ms));
+        prev_fps = fps_ms;
+        prev_mc = mc_ms;
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: the FPS growth column trends "
+                 "toward ~4x per doubling; the Morton column stays "
+                 "near ~2x; the speedup widens with N.\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Sec 5.4.2 reproduction: sorting each neighbor-index row before the
+ * grouping gather cuts modeled L2 and DRAM traffic.
+ *
+ * Paper: simple row sorting of the index matrix reduces L2 transfers
+ * by 53.9% and system-memory transfers by 25.7% on the PointNet++
+ * grouping shapes.
+ */
+
+#include "bench_util.hpp"
+#include "datasets/scenes.hpp"
+#include "neighbor/brute_force.hpp"
+#include "nn/grouping.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+
+using namespace edgepc;
+
+int
+main()
+{
+    bench::banner("Sec 5.4.2 (sorted-index grouping traffic)",
+                  "row-sorted gathers: -53.9% L2, -25.7% DRAM traffic");
+    const std::size_t scale = bench::benchScale(2);
+    const std::size_t points = 8192 / scale;
+    const std::size_t n = points / 2;
+    const std::size_t k = 16;
+    // SA-module-1 grouping gathers the narrow input features (the
+    // paper's first-module C): 8 floats = 32 B per row, so four rows
+    // share one 128-B transaction segment when their indexes are
+    // adjacent — the locality row-sorting exposes.
+    const std::size_t feature_bytes = 8 * sizeof(float);
+    // Modeled L2 slice available to the gather (32 KB): the real L2
+    // is shared with weights/activations, so the gather sees only a
+    // small effective slice and re-fetches across warps hit DRAM.
+    const std::size_t l2_segments = 256;
+
+    Rng rng(42);
+    SceneOptions options;
+    options.points = points;
+    PointCloud scene = makeScene(options, rng);
+    // In the EdgePC pipeline the cloud is Morton-reordered, so
+    // spatial neighbors have nearby indexes — the locality that
+    // row-sorting exposes to the memory system.
+    {
+        MortonSampler sampler(32);
+        const Structurization s =
+            sampler.structurize(scene.positions());
+        scene.permute(s.order);
+    }
+    const auto &pts = scene.positions();
+
+    // Sample the queries with the Morton sampler so they arrive in
+    // Morton order (as they do in the EdgePC pipeline) — consecutive
+    // queries are then spatial neighbors, which is what lets the
+    // warp-coalescing hardware profit from row-sorted indexes.
+    MortonSampler query_sampler(32);
+    const auto samples = query_sampler.sample(pts, n);
+    std::vector<Vec3> queries;
+    for (const auto idx : samples) {
+        queries.push_back(pts[idx]);
+    }
+    // k-NN rows come back ordered by distance, i.e. scrambled in
+    // index space — the layout the paper's row-sorting fixes. (Ball
+    // query returns scan-order rows, which are already ascending.)
+    BruteForceKnn knn;
+    const NeighborLists raw = knn.search(queries, pts, k);
+    const NeighborLists sorted = nn::sortNeighborRows(raw);
+
+    const auto t_raw =
+        nn::estimateWarpGatherTraffic(raw, feature_bytes, 32,
+                                      l2_segments);
+    const auto t_sorted =
+        nn::estimateWarpGatherTraffic(sorted, feature_bytes, 32,
+                                      l2_segments);
+
+    Table table({"index matrix", "L2 lines", "DRAM lines"});
+    table.row()
+        .cell("as produced")
+        .cell(static_cast<long long>(t_raw.l2Lines))
+        .cell(static_cast<long long>(t_raw.dramLines));
+    table.row()
+        .cell("row-sorted")
+        .cell(static_cast<long long>(t_sorted.l2Lines))
+        .cell(static_cast<long long>(t_sorted.dramLines));
+    table.print(std::cout);
+
+    const double l2_saving =
+        1.0 - static_cast<double>(t_sorted.l2Lines) /
+                  static_cast<double>(t_raw.l2Lines);
+    const double dram_saving =
+        1.0 - static_cast<double>(t_sorted.dramLines) /
+                  static_cast<double>(t_raw.dramLines);
+    std::cout << "\nL2 traffic saving: " << formatPercent(l2_saving)
+              << "  (paper: 53.9%)\n"
+              << "DRAM traffic saving: " << formatPercent(dram_saving)
+              << "  (paper: 25.7%)\n"
+              << "Expected shape: both savings positive, with the L2 "
+                 "saving the larger of the two.\n";
+    return 0;
+}

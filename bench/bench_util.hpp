@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmark binaries.
+ *
+ * Every bench prints (1) the Table-1 row(s) it exercises, (2) the
+ * series the paper's figure reports, and (3) the paper's reference
+ * numbers next to the measured ones, so the "shape" comparison in
+ * EXPERIMENTS.md can be made directly from the output.
+ */
+
+#ifndef EDGEPC_BENCH_BENCH_UTIL_HPP
+#define EDGEPC_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/pipeline.hpp"
+#include "core/workloads.hpp"
+
+namespace edgepc {
+namespace bench {
+
+/**
+ * Point-count divisor for the paper-scale workloads. The full 8192-pt
+ * configurations run on the CPU substrate too, but the default scale
+ * keeps the whole harness under a few minutes; override with
+ * EDGEPC_BENCH_SCALE=1 for full size.
+ */
+inline std::size_t
+benchScale(std::size_t fallback = 4)
+{
+    if (const char *env = std::getenv("EDGEPC_BENCH_SCALE")) {
+        const long v = std::atol(env);
+        if (v >= 1) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    return fallback;
+}
+
+/** Repetitions for latency measurements (median-ish via best-of). */
+inline int
+benchRepeats(int fallback = 3)
+{
+    if (const char *env = std::getenv("EDGEPC_BENCH_REPEATS")) {
+        const int v = std::atoi(env);
+        if (v >= 1) {
+            return v;
+        }
+    }
+    return fallback;
+}
+
+/** Run a pipeline config on one frame, best-of-n repeats. */
+inline PipelineResult
+measure(PointCloudModel &model, const EdgePcConfig &cfg,
+        const PointCloud &frame, int repeats)
+{
+    InferencePipeline pipeline(model, cfg);
+    PipelineResult best;
+    for (int i = 0; i < repeats; ++i) {
+        PipelineResult r = pipeline.run(frame);
+        if (i == 0 || r.endToEndMs < best.endToEndMs) {
+            best = std::move(r);
+        }
+    }
+    return best;
+}
+
+/** Print a standard bench banner. */
+inline void
+banner(const std::string &figure, const std::string &claim)
+{
+    std::cout << "=== EdgePC reproduction: " << figure << " ===\n";
+    std::cout << "Paper claim: " << claim << "\n\n";
+}
+
+} // namespace bench
+} // namespace edgepc
+
+#endif // EDGEPC_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * edgepc_tool: command-line utility to apply the EdgePC kernels to a
+ * user's own point-cloud file.
+ *
+ * Commands:
+ *   stats <in>                     cloud statistics + structuredness
+ *   structurize <in> <out>         write the Morton-reordered cloud
+ *   sample <in> <out> <n> [fps|morton|random|uniform]
+ *                                  down-sample with a chosen sampler
+ *   neighbors <in> <k> [W]         benchmark exact vs window search
+ *
+ * Files may be ASCII PLY (.ply) or XYZ text (anything else).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/metrics.hpp"
+#include "neighbor/morton_window.hpp"
+#include "pointcloud/io.hpp"
+#include "pointcloud/metrics.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+#include "sampling/random_sampler.hpp"
+#include "sampling/uniform_index_sampler.hpp"
+
+using namespace edgepc;
+
+namespace {
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+bool
+loadCloud(const std::string &path, PointCloud &cloud)
+{
+    const bool ok = endsWith(path, ".ply") ? readPly(path, cloud)
+                                           : readXyz(path, cloud);
+    if (!ok || cloud.empty()) {
+        std::cerr << "error: cannot read point cloud from '" << path
+                  << "'\n";
+        return false;
+    }
+    return true;
+}
+
+bool
+saveCloud(const PointCloud &cloud, const std::string &path)
+{
+    const bool ok = endsWith(path, ".ply") ? writePly(cloud, path)
+                                           : writeXyz(cloud, path);
+    if (!ok) {
+        std::cerr << "error: cannot write '" << path << "'\n";
+    }
+    return ok;
+}
+
+int
+cmdStats(const std::string &in)
+{
+    PointCloud cloud;
+    if (!loadCloud(in, cloud)) {
+        return 1;
+    }
+    const Aabb box = cloud.bounds();
+    std::vector<std::uint32_t> identity(cloud.size());
+    for (std::size_t i = 0; i < identity.size(); ++i) {
+        identity[i] = static_cast<std::uint32_t>(i);
+    }
+    const MortonSampler sampler(32);
+    const Structurization s = sampler.structurize(cloud.positions());
+
+    std::cout << "points:            " << cloud.size() << "\n";
+    std::cout << "labels:            "
+              << (cloud.hasLabels() ? "yes" : "no") << "\n";
+    std::cout << "bounds min:        " << box.min() << "\n";
+    std::cout << "bounds max:        " << box.max() << "\n";
+    std::cout << "raw structuredness:    "
+              << structuredness(cloud.positions(), identity) << "\n";
+    std::cout << "morton structuredness: "
+              << structuredness(cloud.positions(), s.order) << "\n";
+    return 0;
+}
+
+int
+cmdStructurize(const std::string &in, const std::string &out)
+{
+    PointCloud cloud;
+    if (!loadCloud(in, cloud)) {
+        return 1;
+    }
+    const MortonSampler sampler(32);
+    Timer timer;
+    const Structurization s = sampler.structurize(cloud.positions());
+    cloud.permute(s.order);
+    std::cout << "structurized " << cloud.size() << " points in "
+              << timer.elapsedMs() << " ms\n";
+    return saveCloud(cloud, out) ? 0 : 1;
+}
+
+int
+cmdSample(const std::string &in, const std::string &out, std::size_t n,
+          const std::string &method)
+{
+    PointCloud cloud;
+    if (!loadCloud(in, cloud)) {
+        return 1;
+    }
+    std::unique_ptr<Sampler> sampler;
+    if (method == "fps") {
+        sampler = std::make_unique<FarthestPointSampler>();
+    } else if (method == "random") {
+        sampler = std::make_unique<RandomSampler>();
+    } else if (method == "uniform") {
+        sampler = std::make_unique<UniformIndexSampler>();
+    } else {
+        sampler = std::make_unique<MortonSampler>();
+    }
+
+    Timer timer;
+    const auto selected = sampler->sample(cloud.positions(), n);
+    const double ms = timer.elapsedMs();
+
+    std::vector<Vec3> sampled;
+    for (const auto idx : selected) {
+        sampled.push_back(cloud.positions()[idx]);
+    }
+    std::cout << sampler->name() << ": " << selected.size() << " of "
+              << cloud.size() << " points in " << ms << " ms\n";
+    std::cout << "mean coverage distance: "
+              << meanCoverageDistance(cloud.positions(), sampled)
+              << "\n";
+    return saveCloud(cloud.select(selected), out) ? 0 : 1;
+}
+
+int
+cmdNeighbors(const std::string &in, std::size_t k, std::size_t window)
+{
+    PointCloud cloud;
+    if (!loadCloud(in, cloud)) {
+        return 1;
+    }
+    const auto &pts = cloud.positions();
+
+    BruteForceKnn exact;
+    Timer t1;
+    const NeighborLists truth = exact.search(pts, pts, k);
+    const double exact_ms = t1.elapsedMs();
+
+    const MortonSampler sampler(32);
+    Timer t2;
+    const Structurization s = sampler.structurize(pts);
+    const MortonWindowSearch searcher(window);
+    const NeighborLists approx = searcher.searchAll(pts, s, k);
+    const double approx_ms = t2.elapsedMs();
+
+    Table table({"searcher", "latency ms", "FNR"});
+    table.row().cell("exact k-NN").cell(exact_ms).cell(
+        formatPercent(0.0));
+    table.row()
+        .cell("morton window (W=" +
+              std::to_string(window == 0 ? k : window) + ")")
+        .cell(approx_ms)
+        .cell(formatPercent(falseNeighborRatio(approx, truth)));
+    table.print(std::cout);
+    std::cout << "speedup: " << formatSpeedup(exact_ms / approx_ms)
+              << "\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  edgepc_tool stats <in>\n"
+           "  edgepc_tool structurize <in> <out>\n"
+           "  edgepc_tool sample <in> <out> <n> "
+           "[fps|morton|random|uniform]\n"
+           "  edgepc_tool neighbors <in> <k> [window]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    if (command == "stats") {
+        return cmdStats(argv[2]);
+    }
+    if (command == "structurize" && argc >= 4) {
+        return cmdStructurize(argv[2], argv[3]);
+    }
+    if (command == "sample" && argc >= 5) {
+        const auto n = static_cast<std::size_t>(std::atoll(argv[4]));
+        const std::string method = argc >= 6 ? argv[5] : "morton";
+        return cmdSample(argv[2], argv[3], n, method);
+    }
+    if (command == "neighbors" && argc >= 4) {
+        const auto k = static_cast<std::size_t>(std::atoll(argv[3]));
+        const auto window =
+            argc >= 5 ? static_cast<std::size_t>(std::atoll(argv[4]))
+                      : 0;
+        return cmdNeighbors(argv[2], k, window);
+    }
+    usage();
+    return 2;
+}

@@ -1,0 +1,104 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace edgepc {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "DEBUG";
+      case LogLevel::Info:
+        return "INFO";
+      case LogLevel::Warn:
+        return "WARN";
+      case LogLevel::Error:
+        return "ERROR";
+    }
+    return "?";
+}
+
+void
+vlog(LogLevel level, const char *fmt, va_list args)
+{
+    if (level < g_level) {
+        return;
+    }
+    std::fprintf(stderr, "[edgepc %s] ", levelName(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+log(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog(level, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::Info, fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlog(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[edgepc FATAL] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[edgepc PANIC] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::abort();
+}
+
+} // namespace edgepc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal leveled logging plus the fatal()/panic() error idiom.
+ *
+ * fatal() is for user errors (bad configuration, impossible request):
+ * prints and exits cleanly. panic() is for internal invariant
+ * violations: prints and aborts. Both accept printf-style formatting.
+ */
+
+#ifndef EDGEPC_COMMON_LOGGING_HPP
+#define EDGEPC_COMMON_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace edgepc {
+
+/** Severity levels for log(). */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Global threshold; messages below it are dropped. Default Info. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Emit a formatted message at @p level to stderr. */
+void log(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something works but deserves the user's attention. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Unrecoverable user error: prints and exits(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal bug: prints and aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace edgepc
+
+#endif // EDGEPC_COMMON_LOGGING_HPP

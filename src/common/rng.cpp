@@ -1,0 +1,118 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace edgepc {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state) {
+        s = splitmix64(sm);
+    }
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = nextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (l < threshold) {
+            x = nextU64();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat()
+{
+    return static_cast<float>(nextU64() >> 40) * 0x1.0p-24f;
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * nextFloat();
+}
+
+float
+Rng::normal()
+{
+    if (haveCachedNormal) {
+        haveCachedNormal = false;
+        return cachedNormal;
+    }
+    float u1 = nextFloat();
+    float u2 = nextFloat();
+    // Avoid log(0).
+    if (u1 < 1e-12f) {
+        u1 = 1e-12f;
+    }
+    const float radius = std::sqrt(-2.0f * std::log(u1));
+    const float angle = 2.0f * static_cast<float>(M_PI) * u2;
+    cachedNormal = radius * std::sin(angle);
+    haveCachedNormal = true;
+    return radius * std::cos(angle);
+}
+
+float
+Rng::normal(float mean, float stddev)
+{
+    return mean + stddev * normal();
+}
+
+Rng
+Rng::split()
+{
+    return Rng(nextU64());
+}
+
+} // namespace edgepc

@@ -1,0 +1,115 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace edgepc {
+
+Table::Table(std::vector<std::string> headers) : columns(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    data.emplace_back();
+    data.back().reserve(columns.size());
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    if (data.empty()) {
+        row();
+    }
+    data.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(columns.size(), 0);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        widths[c] = columns[c].size();
+    }
+    for (const auto &r : data) {
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+
+    auto rule = [&] {
+        os << '+';
+        for (auto w : widths) {
+            os << std::string(w + 2, '-') << '+';
+        }
+        os << '\n';
+    };
+
+    rule();
+    os << '|';
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+           << columns[c] << " |";
+    }
+    os << '\n';
+    rule();
+    for (const auto &r : data) {
+        os << '|';
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            const std::string &v = c < r.size() ? r[c] : std::string();
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+               << v << " |";
+        }
+        os << '\n';
+    }
+    rule();
+}
+
+void
+Table::csv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        os << columns[c] << (c + 1 < columns.size() ? "," : "\n");
+    }
+    for (const auto &r : data) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            os << r[c] << (c + 1 < r.size() ? "," : "\n");
+        }
+    }
+}
+
+std::string
+formatSpeedup(double speedup)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace edgepc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Console table / CSV writer used by the benchmark harness to print the
+ * rows and series of the paper's tables and figures.
+ */
+
+#ifndef EDGEPC_COMMON_TABLE_HPP
+#define EDGEPC_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace edgepc {
+
+/**
+ * A small column-aligned text table.
+ *
+ * Rows are strings; numeric helpers format with a fixed precision.
+ * print() renders an ASCII table; csv() emits comma-separated values.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. Subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a formatted double cell (fixed, @p precision decimals). */
+    Table &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    Table &cell(long long value);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return data.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void csv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> data;
+};
+
+/** Format helper: "3.68x" style multiplier strings. */
+std::string formatSpeedup(double speedup);
+
+/** Format helper: "54.2%" style percentage strings. */
+std::string formatPercent(double fraction);
+
+} // namespace edgepc
+
+#endif // EDGEPC_COMMON_TABLE_HPP

@@ -1,0 +1,166 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+
+namespace edgepc {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        stopping = true;
+    }
+    queueCv.notify_all();
+    for (auto &w : workers) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueCv.wait(lock, [this] { return stopping || !tasks.empty(); });
+            if (stopping && tasks.empty()) {
+                return;
+            }
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task.body();
+    }
+}
+
+void
+ThreadPool::parallelForChunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)> &fn,
+    std::size_t grain)
+{
+    if (begin >= end) {
+        return;
+    }
+    const std::size_t n = end - begin;
+    const std::size_t nthreads = workers.size() + 1;
+    if (grain == 0) {
+        grain = std::max<std::size_t>(1, n / (nthreads * 4));
+    }
+    const std::size_t nchunks = (n + grain - 1) / grain;
+
+    if (nchunks <= 1) {
+        fn(begin, end);
+        return;
+    }
+
+    // The control block is shared with the helper tasks: a helper may
+    // be dequeued only after every chunk has already been claimed and
+    // the caller has returned, so it must not touch the caller's
+    // stack. Everything a late helper can reach lives here.
+    struct Batch
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t nchunks;
+        std::size_t begin;
+        std::size_t end;
+        std::size_t grain;
+        const std::function<void(std::size_t, std::size_t)> *body;
+        std::exception_ptr error;
+        std::mutex errorMutex;
+        std::promise<void> allDone;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->nchunks = nchunks;
+    batch->begin = begin;
+    batch->end = end;
+    batch->grain = grain;
+    // The body itself stays on the caller's stack: any helper that
+    // claims a chunk finishes it (and its done increment) before the
+    // caller is released, so the pointer never dangles while used.
+    batch->body = &fn;
+
+    auto run_chunks = [](const std::shared_ptr<Batch> &b) {
+        for (;;) {
+            const std::size_t c = b->next.fetch_add(1);
+            if (c >= b->nchunks) {
+                break;
+            }
+            const std::size_t lo = b->begin + c * b->grain;
+            const std::size_t hi = std::min(b->end, lo + b->grain);
+            try {
+                (*b->body)(lo, hi);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(b->errorMutex);
+                if (!b->error) {
+                    b->error = std::current_exception();
+                }
+            }
+            if (b->done.fetch_add(1) + 1 == b->nchunks) {
+                b->allDone.set_value();
+            }
+        }
+    };
+
+    const std::size_t helpers = std::min(nchunks - 1, workers.size());
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        for (std::size_t i = 0; i < helpers; ++i) {
+            tasks.push(Task{[batch, run_chunks] { run_chunks(batch); }});
+        }
+    }
+    queueCv.notify_all();
+
+    run_chunks(batch);
+    batch->allDone.get_future().wait();
+
+    if (batch->error) {
+        std::rethrow_exception(batch->error);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t grain)
+{
+    parallelForChunked(
+        begin, end,
+        [&fn](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                fn(i);
+            }
+        },
+        grain);
+}
+
+ThreadPool &
+ThreadPool::globalPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)> &fn, std::size_t grain)
+{
+    ThreadPool::globalPool().parallelFor(begin, end, fn, grain);
+}
+
+} // namespace edgepc

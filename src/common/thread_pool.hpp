@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Work-stealing-free, fixed-size thread pool used to emulate the
+ * data-parallel execution model of the paper's CUDA kernels.
+ *
+ * Every EdgePC kernel is expressed as a parallel map over an index range
+ * (the same decomposition the original CUDA implementation uses: one GPU
+ * thread per point / per sampled point). parallelFor() blocks until the
+ * whole range has been processed, mirroring a kernel launch + sync.
+ */
+
+#ifndef EDGEPC_COMMON_THREAD_POOL_HPP
+#define EDGEPC_COMMON_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace edgepc {
+
+/**
+ * A fixed-size pool of worker threads with a shared task queue.
+ *
+ * The pool is cheap to keep alive for the lifetime of the process; the
+ * global instance returned by globalPool() is what the library kernels
+ * use. A dedicated pool can be constructed for tests.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool.
+     *
+     * @param num_threads Number of workers; 0 picks the hardware
+     *                    concurrency (at least 1).
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers.size(); }
+
+    /**
+     * Run fn(i) for every i in [begin, end), distributing contiguous
+     * chunks across the workers, and block until all are done.
+     *
+     * The calling thread participates in the work, so the pool is usable
+     * even with zero queued capacity. Exceptions thrown by fn propagate
+     * to the caller (first one wins).
+     *
+     * @param begin First index (inclusive).
+     * @param end   Last index (exclusive).
+     * @param fn    Body invoked once per index.
+     * @param grain Minimum indices per chunk; 0 picks a heuristic.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &fn,
+                     std::size_t grain = 0);
+
+    /**
+     * Run fn(chunk_begin, chunk_end) over chunked subranges.
+     * Useful when the body wants to amortize per-chunk setup.
+     */
+    void parallelForChunked(
+        std::size_t begin, std::size_t end,
+        const std::function<void(std::size_t, std::size_t)> &fn,
+        std::size_t grain = 0);
+
+    /** The process-wide pool shared by the library's kernels. */
+    static ThreadPool &globalPool();
+
+  private:
+    struct Task
+    {
+        std::function<void()> body;
+    };
+
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<Task> tasks;
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    bool stopping = false;
+};
+
+/** Convenience wrapper over ThreadPool::globalPool().parallelFor(). */
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &fn,
+                 std::size_t grain = 0);
+
+} // namespace edgepc
+
+#endif // EDGEPC_COMMON_THREAD_POOL_HPP

@@ -1,0 +1,78 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+
+namespace edgepc {
+
+void
+StageTimer::add(const std::string &stage, double ms)
+{
+    for (auto &entry : stages) {
+        if (entry.first == stage) {
+            entry.second += ms;
+            return;
+        }
+    }
+    stages.emplace_back(stage, ms);
+}
+
+double
+StageTimer::total(const std::string &stage) const
+{
+    for (const auto &entry : stages) {
+        if (entry.first == stage) {
+            return entry.second;
+        }
+    }
+    return 0.0;
+}
+
+double
+StageTimer::grandTotal() const
+{
+    double sum = 0.0;
+    for (const auto &entry : stages) {
+        sum += entry.second;
+    }
+    return sum;
+}
+
+double
+StageTimer::fraction(const std::string &stage) const
+{
+    const double all = grandTotal();
+    if (all <= 0.0) {
+        return 0.0;
+    }
+    return total(stage) / all;
+}
+
+const std::vector<std::pair<std::string, double>> &
+StageTimer::entries() const
+{
+    return stages;
+}
+
+void
+StageTimer::merge(const StageTimer &other)
+{
+    for (const auto &entry : other.stages) {
+        add(entry.first, entry.second);
+    }
+}
+
+void
+StageTimer::scale(double factor)
+{
+    for (auto &entry : stages) {
+        entry.second *= factor;
+    }
+}
+
+void
+StageTimer::clear()
+{
+    stages.clear();
+}
+
+} // namespace edgepc

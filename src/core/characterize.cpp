@@ -1,0 +1,89 @@
+#include "core/characterize.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/metrics.hpp"
+#include "neighbor/morton_window.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+
+std::string
+CharacterizationReport::summary() const
+{
+    std::ostringstream os;
+    os << "=== EdgePC workload characterization ===\n";
+    os << "baseline stage breakdown (ms):\n";
+    for (const auto &[stage, ms] : baselineStages.entries()) {
+        os << "  " << stage << ": " << ms << "\n";
+    }
+    os << "sample+neighbor share: "
+       << formatPercent(sampleNeighborShare) << "\n";
+    os << "approximation worthwhile: " << (worthwhile ? "yes" : "no")
+       << "\n\nwindow sweep:\n";
+    Table table({"window", "FNR", "search speedup"});
+    for (const WindowTradeoff &point : windowSweep) {
+        table.row()
+            .cell(static_cast<long long>(point.window))
+            .cell(formatPercent(point.falseNeighborRatio))
+            .cell(formatSpeedup(point.searchSpeedup));
+    }
+    table.print(os);
+    os << "\nrecommended: " << variantName(recommended.variant)
+       << ", searchWindow=" << recommended.searchWindow
+       << ", codeBits=" << recommended.codeBits << "\n";
+    return os.str();
+}
+
+CharacterizationReport
+characterize(PointCloudModel &model, const PointCloud &probe,
+             double target_fnr, std::size_t k, double share_threshold)
+{
+    CharacterizationReport report;
+
+    // 1. Baseline breakdown (the Sec 3 characterization).
+    InferencePipeline pipeline(model, EdgePcConfig::baseline());
+    const PipelineResult baseline = pipeline.run(probe);
+    report.baselineStages = baseline.stages;
+    report.sampleNeighborShare =
+        baseline.endToEndMs > 0.0
+            ? baseline.sampleNeighborMs / baseline.endToEndMs
+            : 0.0;
+    report.worthwhile = report.sampleNeighborShare >= share_threshold;
+
+    // 2. Window sweep against exact truth on the probe cloud.
+    const auto &pts = probe.positions();
+    k = std::min(k, pts.size());
+    BruteForceKnn exact;
+    Timer exact_timer;
+    const NeighborLists truth = exact.search(pts, pts, k);
+    const double exact_ms = std::max(exact_timer.elapsedMs(), 1e-6);
+
+    const MortonSampler sampler(EdgePcConfig{}.codeBits);
+    const Structurization s = sampler.structurize(pts);
+
+    std::size_t chosen = 16 * k;
+    bool met_target = false;
+    for (const std::size_t mult : {1u, 2u, 4u, 8u, 16u}) {
+        const std::size_t window = mult * k;
+        const MortonWindowSearch searcher(window);
+        Timer timer;
+        const NeighborLists approx = searcher.searchAll(pts, s, k);
+        const double ms = std::max(timer.elapsedMs(), 1e-6);
+        const double fnr = falseNeighborRatio(approx, truth);
+        report.windowSweep.push_back({window, fnr, exact_ms / ms});
+        if (!met_target && fnr <= target_fnr) {
+            chosen = window;
+            met_target = true;
+        }
+    }
+
+    report.recommended = EdgePcConfig::sn();
+    report.recommended.searchWindow = chosen;
+    return report;
+}
+
+} // namespace edgepc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Workload characterization and auto-configuration — the adoption
+ * workflow the paper prescribes (end of Sec 6.3): "given new
+ * workloads, the developer can first perform the characterization
+ * (like the one in Sec 3) to identify the bottleneck layer(s) ... and
+ * the parameters (e.g., search window size) can be adaptively chosen
+ * to accommodate the application's requirement."
+ *
+ * characterize() runs the baseline pipeline on a probe frame, sweeps
+ * the search-window knob against exact neighbor truth, and returns a
+ * ready-to-use EdgePcConfig meeting a caller-chosen false-neighbor
+ * budget.
+ */
+
+#ifndef EDGEPC_CORE_CHARACTERIZE_HPP
+#define EDGEPC_CORE_CHARACTERIZE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "models/model.hpp"
+
+namespace edgepc {
+
+/** One point of the window sweep. */
+struct WindowTradeoff
+{
+    /** Window size W. */
+    std::size_t window;
+    /** False-neighbor ratio against exact k-NN on the probe. */
+    double falseNeighborRatio;
+    /** Search latency speedup over exact k-NN on the probe. */
+    double searchSpeedup;
+};
+
+/** Result of characterizing one workload. */
+struct CharacterizationReport
+{
+    /** Baseline per-stage latency on the probe frame (ms). */
+    StageTimer baselineStages;
+
+    /** Fraction of baseline E2E spent in sample + neighbor search. */
+    double sampleNeighborShare = 0.0;
+
+    /**
+     * True if the SMP+NS share is large enough for the approximation
+     * to pay off (the paper's bottleneck criterion).
+     */
+    bool worthwhile = false;
+
+    /** Measured window-size tradeoff curve. */
+    std::vector<WindowTradeoff> windowSweep;
+
+    /** Recommended configuration (S+N with the chosen window). */
+    EdgePcConfig recommended;
+
+    /** Human-readable report. */
+    std::string summary() const;
+};
+
+/**
+ * Characterize @p model on @p probe and recommend a configuration.
+ *
+ * @param model Model to profile (driven with the baseline config).
+ * @param probe A representative input frame.
+ * @param target_fnr Largest acceptable false-neighbor ratio; the
+ *        smallest window meeting it is recommended (accuracy-
+ *        sensitive applications pass a small value, latency-sensitive
+ *        ones a large value — the "flexibility" of Sec 6.2).
+ * @param k Neighbors per query used for the window sweep.
+ * @param share_threshold SMP+NS share of E2E above which the
+ *        approximation is deemed worthwhile.
+ */
+CharacterizationReport characterize(PointCloudModel &model,
+                                    const PointCloud &probe,
+                                    double target_fnr = 0.35,
+                                    std::size_t k = 16,
+                                    double share_threshold = 0.15);
+
+} // namespace edgepc
+
+#endif // EDGEPC_CORE_CHARACTERIZE_HPP

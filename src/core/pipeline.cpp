@@ -1,0 +1,44 @@
+#include "core/pipeline.hpp"
+
+#include "nn/gemm.hpp"
+
+namespace edgepc {
+
+InferencePipeline::InferencePipeline(PointCloudModel &model_,
+                                     EdgePcConfig cfg_, EnergyModel energy)
+    : model(model_), cfg(cfg_), energyModel(energy)
+{
+}
+
+void
+InferencePipeline::applyGemmMode() const
+{
+    nn::GemmEngine::globalEngine().setMode(cfg.useTensorCores()
+                                               ? nn::GemmMode::Auto
+                                               : nn::GemmMode::Scalar);
+}
+
+PipelineResult
+InferencePipeline::run(const PointCloud &cloud)
+{
+    return runBatch({&cloud, 1});
+}
+
+PipelineResult
+InferencePipeline::runBatch(std::span<const PointCloud> clouds)
+{
+    applyGemmMode();
+
+    PipelineResult result;
+    for (const PointCloud &cloud : clouds) {
+        result.logits = model.infer(cloud, cfg, &result.stages);
+    }
+    result.endToEndMs = result.stages.grandTotal();
+    result.sampleNeighborMs = result.stages.total(kStageSample) +
+                              result.stages.total(kStageNeighbor);
+    result.energyMj =
+        energyModel.inferenceEnergyMj(result.stages, cfg);
+    return result;
+}
+
+} // namespace edgepc

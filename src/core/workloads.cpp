@@ -1,0 +1,104 @@
+#include "core/workloads.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "datasets/scenes.hpp"
+#include "datasets/parts.hpp"
+#include "datasets/shapes.hpp"
+#include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
+
+namespace edgepc {
+
+const std::vector<WorkloadSpec> &
+workloadTable()
+{
+    static const std::vector<WorkloadSpec> table = {
+        {"W1", WorkloadModel::PointNetPPSeg, "PointNet++(s)", "S3DIS*",
+         8192, 32, "semantic segmentation", 5},
+        {"W2", WorkloadModel::PointNetPPSeg, "PointNet++(s)", "ScanNet*",
+         8192, 14, "semantic segmentation", 5},
+        {"W3", WorkloadModel::DgcnnCls, "DGCNN(c)", "ModelNet40*", 1024,
+         32, "classification", 8},
+        {"W4", WorkloadModel::DgcnnPart, "DGCNN(p)", "ShapeNet*", 2048,
+         32, "part segmentation", 8},
+        {"W5", WorkloadModel::DgcnnSeg, "DGCNN(s)", "S3DIS*", 4096, 32,
+         "semantic segmentation", 5},
+        {"W6", WorkloadModel::DgcnnSeg, "DGCNN(s)", "ScanNet*", 8192, 32,
+         "semantic segmentation", 5},
+    };
+    return table;
+}
+
+const WorkloadSpec &
+workload(const std::string &id)
+{
+    for (const WorkloadSpec &spec : workloadTable()) {
+        if (spec.id == id) {
+            return spec;
+        }
+    }
+    fatal("workload: unknown id '%s'", id.c_str());
+}
+
+std::size_t
+workloadPoints(const WorkloadSpec &spec, std::size_t point_scale)
+{
+    return std::max<std::size_t>(64, spec.points /
+                                         std::max<std::size_t>(
+                                             1, point_scale));
+}
+
+std::unique_ptr<PointCloudModel>
+makeWorkloadModel(const WorkloadSpec &spec, std::size_t point_scale,
+                  std::uint64_t seed)
+{
+    const std::size_t points = workloadPoints(spec, point_scale);
+    switch (spec.model) {
+      case WorkloadModel::PointNetPPSeg:
+        return std::make_unique<PointNetPP>(
+            PointNetPPConfig::semanticSegmentation(points,
+                                                   spec.numClasses),
+            seed);
+      case WorkloadModel::DgcnnCls:
+        return std::make_unique<Dgcnn>(
+            DgcnnConfig::classification(spec.numClasses), seed);
+      case WorkloadModel::DgcnnPart:
+        return std::make_unique<Dgcnn>(
+            DgcnnConfig::partSegmentation(spec.numClasses), seed);
+      case WorkloadModel::DgcnnSeg:
+        return std::make_unique<Dgcnn>(
+            DgcnnConfig::semanticSegmentation(spec.numClasses), seed);
+    }
+    fatal("makeWorkloadModel: invalid model enum");
+}
+
+PointCloud
+makeWorkloadCloud(const WorkloadSpec &spec, std::size_t point_scale,
+                  std::uint64_t seed)
+{
+    const std::size_t points = workloadPoints(spec, point_scale);
+    Rng rng(seed);
+    switch (spec.model) {
+      case WorkloadModel::PointNetPPSeg:
+      case WorkloadModel::DgcnnSeg: {
+        SceneOptions options;
+        options.points = points;
+        return makeScene(options, rng);
+      }
+      case WorkloadModel::DgcnnCls: {
+        ShapeOptions options;
+        options.points = points;
+        return makeShape(ShapeClass::Torus, options, rng);
+      }
+      case WorkloadModel::DgcnnPart: {
+        PartOptions options;
+        options.points = points;
+        return makePartObject(PartCategory::Rocket, options, rng);
+      }
+    }
+    fatal("makeWorkloadCloud: invalid model enum");
+}
+
+} // namespace edgepc

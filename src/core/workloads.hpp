@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The W1-W6 workload registry (Table 1 of the paper) with factories
+ * for the corresponding models and representative input frames.
+ *
+ * Real datasets are replaced by the synthetic generators (DESIGN.md);
+ * the model architectures, point counts per batch, batch sizes and
+ * tasks match Table 1.
+ */
+
+#ifndef EDGEPC_CORE_WORKLOADS_HPP
+#define EDGEPC_CORE_WORKLOADS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+#include "models/model.hpp"
+
+namespace edgepc {
+
+/** Which model family a workload uses. */
+enum class WorkloadModel
+{
+    PointNetPPSeg,
+    DgcnnCls,
+    DgcnnPart,
+    DgcnnSeg,
+};
+
+/** One Table-1 row. */
+struct WorkloadSpec
+{
+    std::string id;          ///< "W1".."W6".
+    WorkloadModel model;     ///< Model family.
+    std::string modelName;   ///< "PointNet++(s)" etc.
+    std::string datasetName; ///< "S3DIS*" etc. (*synthetic stand-in).
+    std::size_t points;      ///< Points per batch element.
+    std::size_t batchSize;   ///< Frames per batch (W2 uses the mean).
+    std::string task;        ///< Task description.
+    std::size_t numClasses;  ///< Output classes of the stand-in task.
+};
+
+/** All six workloads of Table 1. */
+const std::vector<WorkloadSpec> &workloadTable();
+
+/** Lookup by id ("W1".."W6"); fatal on unknown id. */
+const WorkloadSpec &workload(const std::string &id);
+
+/**
+ * Instantiate the workload's model.
+ *
+ * @param spec Workload row.
+ * @param point_scale Divide the per-frame point count by this factor
+ *        (the benches use > 1 to keep CPU runtimes manageable; the
+ *        relative stage shares are preserved).
+ * @param seed Weight seed.
+ */
+std::unique_ptr<PointCloudModel>
+makeWorkloadModel(const WorkloadSpec &spec, std::size_t point_scale = 1,
+                  std::uint64_t seed = 42);
+
+/**
+ * Generate one representative input frame for the workload (same
+ * scaling rule as makeWorkloadModel).
+ */
+PointCloud makeWorkloadCloud(const WorkloadSpec &spec,
+                             std::size_t point_scale = 1,
+                             std::uint64_t seed = 7);
+
+/** Scaled per-frame point count. */
+std::size_t workloadPoints(const WorkloadSpec &spec,
+                           std::size_t point_scale);
+
+} // namespace edgepc
+
+#endif // EDGEPC_CORE_WORKLOADS_HPP

@@ -1,0 +1,85 @@
+#include "datasets/bunny.hpp"
+
+#include <cmath>
+
+namespace edgepc {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/**
+ * Spiral-scan an ellipsoid: points are emitted in scan order (a
+ * continuous spiral path from pole to pole), reproducing the clustered
+ * acquisition order of a real range scan.
+ */
+void
+scanEllipsoid(std::vector<Vec3> &out, std::size_t count,
+              const Vec3 &center, const Vec3 &radii, float turns,
+              Rng &rng)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const float t =
+            static_cast<float>(i) / static_cast<float>(count);
+        const float polar = t * kPi; // 0 (top) .. pi (bottom).
+        const float azimuth = t * turns * 2.0f * kPi;
+        const float jitter_p = rng.normal(0.0f, 0.01f);
+        const float jitter_a = rng.normal(0.0f, 0.02f);
+        const float sp = std::sin(polar + jitter_p);
+        out.push_back({center.x + radii.x * sp *
+                                      std::cos(azimuth + jitter_a),
+                       center.y + radii.y * sp *
+                                      std::sin(azimuth + jitter_a),
+                       center.z + radii.z * std::cos(polar + jitter_p)});
+    }
+}
+
+} // namespace
+
+PointCloud
+bunnyLike(std::size_t points, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> cloud;
+    cloud.reserve(points);
+
+    // Points are allocated roughly in proportion to each part's
+    // surface area (real range scans are near-uniform per area), with
+    // a mild density surplus on the head/ears — close-range patches.
+    const std::size_t body = points * 66 / 100;
+    const std::size_t head = points * 19 / 100;
+    const std::size_t ear_each = points * 6 / 100;
+    const std::size_t tail = points - body - head - 2 * ear_each;
+
+    // Body: big squashed ellipsoid, sparse for its area.
+    scanEllipsoid(cloud, body, {0.0f, 0.0f, 0.0f},
+                  {1.0f, 0.8f, 0.75f}, 48.0f, rng);
+    // Head: small sphere, dense.
+    scanEllipsoid(cloud, head, {0.9f, 0.0f, 0.65f},
+                  {0.42f, 0.38f, 0.40f}, 40.0f, rng);
+    // Ears: thin elongated ellipsoids, very dense.
+    scanEllipsoid(cloud, ear_each, {1.05f, -0.18f, 1.25f},
+                  {0.10f, 0.06f, 0.45f}, 30.0f, rng);
+    scanEllipsoid(cloud, ear_each, {1.05f, 0.18f, 1.25f},
+                  {0.10f, 0.06f, 0.45f}, 30.0f, rng);
+    // Tail: tiny puff.
+    scanEllipsoid(cloud, tail, {-1.0f, 0.0f, 0.1f},
+                  {0.15f, 0.15f, 0.15f}, 20.0f, rng);
+
+    // Point clouds are "a set of unordered points" (Sec 2.1.1 of the
+    // paper): merged multi-scan files carry no usable global order.
+    // Shuffle so raw indexes are spatially meaningless — which is
+    // what reduces raw-order uniform sampling to unstratified random
+    // sampling (Fig 4b/5b), while the Morton-sorted order turns the
+    // same stride into stratified, FPS-like coverage (Fig 5c).
+    for (std::size_t i = cloud.size(); i > 1; --i) {
+        const std::size_t j = rng.nextBelow(i);
+        std::swap(cloud[i - 1], cloud[j]);
+    }
+
+    PointCloud result(std::move(cloud));
+    result.normalizeToUnitSphere();
+    return result;
+}
+
+} // namespace edgepc

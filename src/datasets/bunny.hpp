@@ -1,0 +1,33 @@
+/**
+ * @file
+ * bunnyLike(): a procedural stand-in for the Stanford Bunny scan used
+ * by the paper's Fig 5 sampling-quality experiment (see DESIGN.md).
+ *
+ * What matters for that experiment is not the rabbit silhouette but
+ * two properties of real merged scans: (1) surface sampling that is
+ * only roughly area-uniform, with denser close-range parts, and
+ * (2) a file order that carries no global spatial structure (the
+ * paper's "set of unordered points"), so uniform index sampling on
+ * the raw order degenerates to unstratified random sampling. Both
+ * are reproduced here.
+ */
+
+#ifndef EDGEPC_DATASETS_BUNNY_HPP
+#define EDGEPC_DATASETS_BUNNY_HPP
+
+#include "common/rng.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace edgepc {
+
+/**
+ * Generate the bunny-like scan.
+ *
+ * @param points Total points (the Stanford Bunny has 40 256).
+ * @param seed RNG seed.
+ */
+PointCloud bunnyLike(std::size_t points = 40256, std::uint64_t seed = 5);
+
+} // namespace edgepc
+
+#endif // EDGEPC_DATASETS_BUNNY_HPP

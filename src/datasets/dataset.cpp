@@ -1,0 +1,44 @@
+#include "datasets/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace edgepc {
+
+void
+Dataset::shuffle(std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::size_t i = items.size(); i > 1; --i) {
+        const std::size_t j = rng.nextBelow(i);
+        std::swap(items[i - 1], items[j]);
+    }
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double train_fraction, std::uint64_t seed) const
+{
+    Dataset shuffled = *this;
+    shuffled.shuffle(seed);
+
+    const auto train_count = static_cast<std::size_t>(
+        static_cast<double>(items.size()) * train_fraction);
+
+    Dataset train, test;
+    train.name = name + "-train";
+    test.name = name + "-test";
+    train.numClasses = numClasses;
+    test.numClasses = numClasses;
+    for (std::size_t i = 0; i < shuffled.items.size(); ++i) {
+        if (i < train_count) {
+            train.items.push_back(std::move(shuffled.items[i]));
+        } else {
+            test.items.push_back(std::move(shuffled.items[i]));
+        }
+    }
+    return {std::move(train), std::move(test)};
+}
+
+} // namespace edgepc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dataset container shared by the synthetic generators.
+ *
+ * The real benchmarks of the paper (ModelNet40, ShapeNet, S3DIS,
+ * ScanNet) are not redistributable here; the generators in this
+ * directory synthesize clouds with the same sizes, tasks and the
+ * surface-scan-like non-uniform densities that make FPS matter. See
+ * DESIGN.md for the substitution rationale.
+ */
+
+#ifndef EDGEPC_DATASETS_DATASET_HPP
+#define EDGEPC_DATASETS_DATASET_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace edgepc {
+
+/** One dataset item: a cloud plus (for classification) a class id. */
+struct LabeledCloud
+{
+    PointCloud cloud;
+    /** Whole-cloud class (classification tasks); -1 otherwise. */
+    std::int32_t classLabel = -1;
+};
+
+/** A set of labeled clouds. */
+struct Dataset
+{
+    std::string name;
+    std::size_t numClasses = 0;
+    std::vector<LabeledCloud> items;
+
+    std::size_t size() const { return items.size(); }
+
+    /**
+     * Deterministically shuffle and split into (train, test).
+     *
+     * @param train_fraction Fraction of items in the train split.
+     * @param seed Shuffle seed.
+     */
+    std::pair<Dataset, Dataset> split(double train_fraction,
+                                      std::uint64_t seed) const;
+
+    /** Deterministically shuffle in place. */
+    void shuffle(std::uint64_t seed);
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_DATASETS_DATASET_HPP

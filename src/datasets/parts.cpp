@@ -1,0 +1,195 @@
+#include "datasets/parts.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Point on a cylinder side of the given radius/extent around axis z. */
+Vec3
+cylinderSide(Rng &rng, float radius, float z_lo, float z_hi)
+{
+    const float phi = rng.uniform(0.0f, 2.0f * kPi);
+    return {radius * std::cos(phi), radius * std::sin(phi),
+            rng.uniform(z_lo, z_hi)};
+}
+
+/** Point on a horizontal disk. */
+Vec3
+disk(Rng &rng, float radius, float z)
+{
+    const float r = radius * std::sqrt(rng.nextFloat());
+    const float phi = rng.uniform(0.0f, 2.0f * kPi);
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+/** Point on an axis-aligned box surface. */
+Vec3
+boxSurface(Rng &rng, const Vec3 &center, const Vec3 &half)
+{
+    const auto face = static_cast<int>(rng.nextBelow(6));
+    float u = rng.uniform(-1.0f, 1.0f);
+    float v = rng.uniform(-1.0f, 1.0f);
+    Vec3 p;
+    switch (face) {
+      case 0:
+        p = {1.0f, u, v};
+        break;
+      case 1:
+        p = {-1.0f, u, v};
+        break;
+      case 2:
+        p = {u, 1.0f, v};
+        break;
+      case 3:
+        p = {u, -1.0f, v};
+        break;
+      case 4:
+        p = {u, v, 1.0f};
+        break;
+      default:
+        p = {u, v, -1.0f};
+        break;
+    }
+    return {center.x + p.x * half.x, center.y + p.y * half.y,
+            center.z + p.z * half.z};
+}
+
+/** Append @p count points of a part, jittered, with the given label. */
+void
+appendPart(std::vector<Vec3> &points, std::vector<std::int32_t> &labels,
+           std::size_t count, std::int32_t label, float noise, Rng &rng,
+           const std::function<Vec3(Rng &)> &sample)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        Vec3 p = sample(rng);
+        if (noise > 0.0f) {
+            p += Vec3{rng.normal(0.0f, noise), rng.normal(0.0f, noise),
+                      rng.normal(0.0f, noise)};
+        }
+        points.push_back(p);
+        labels.push_back(label);
+    }
+}
+
+} // namespace
+
+PointCloud
+makePartObject(PartCategory category, const PartOptions &options, Rng &rng)
+{
+    std::vector<Vec3> points;
+    std::vector<std::int32_t> labels;
+    points.reserve(options.points);
+    labels.reserve(options.points);
+    const std::size_t n = options.points;
+    const float noise = options.noise;
+
+    switch (category) {
+      case PartCategory::Rocket: {
+        // Nose cone (label 0): z in [0.6, 1.0].
+        appendPart(points, labels, n / 5, 0, noise, rng, [](Rng &r) {
+            const float t = r.nextFloat();
+            const float radius = 0.25f * (1.0f - t);
+            const float phi = r.uniform(0.0f, 2.0f * kPi);
+            return Vec3{radius * std::cos(phi), radius * std::sin(phi),
+                        0.6f + 0.4f * t};
+        });
+        // Body (label 1): cylinder z in [-0.6, 0.6].
+        appendPart(points, labels, 3 * n / 5, 1, noise, rng,
+                   [](Rng &r) {
+                       return cylinderSide(r, 0.25f, -0.6f, 0.6f);
+                   });
+        // Fins (label 2): three flat quads near the tail.
+        appendPart(points, labels, n - points.size(), 2, noise, rng,
+                   [](Rng &r) {
+                       const auto fin = static_cast<int>(r.nextBelow(3));
+                       const float angle =
+                           2.0f * kPi * static_cast<float>(fin) / 3.0f;
+                       const float radial = r.uniform(0.25f, 0.6f);
+                       const float z = r.uniform(-0.9f, -0.5f);
+                       return Vec3{radial * std::cos(angle),
+                                   radial * std::sin(angle), z};
+                   });
+        break;
+      }
+      case PartCategory::Table: {
+        // Top (label 3): slab surface.
+        appendPart(points, labels, n / 2, 3, noise, rng, [](Rng &r) {
+            return boxSurface(r, {0.0f, 0.0f, 0.5f},
+                              {0.8f, 0.5f, 0.05f});
+        });
+        // Legs (label 4): four thin boxes.
+        appendPart(points, labels, n - points.size(), 4, noise, rng,
+                   [](Rng &r) {
+                       const auto leg = static_cast<int>(r.nextBelow(4));
+                       const float sx = (leg & 1) ? 0.7f : -0.7f;
+                       const float sy = (leg & 2) ? 0.4f : -0.4f;
+                       return boxSurface(r, {sx, sy, 0.0f},
+                                         {0.05f, 0.05f, 0.45f});
+                   });
+        break;
+      }
+      case PartCategory::Lamp: {
+        // Base (label 5): disk + rim.
+        appendPart(points, labels, n / 4, 5, noise, rng, [](Rng &r) {
+            if (r.nextFloat() < 0.7f) {
+                return disk(r, 0.4f, -1.0f);
+            }
+            return cylinderSide(r, 0.4f, -1.0f, -0.92f);
+        });
+        // Pole (label 6): thin cylinder.
+        appendPart(points, labels, n / 4, 6, noise, rng, [](Rng &r) {
+            return cylinderSide(r, 0.05f, -0.92f, 0.4f);
+        });
+        // Shade (label 7): truncated cone.
+        appendPart(points, labels, n - points.size(), 7, noise, rng,
+                   [](Rng &r) {
+                       const float t = r.nextFloat();
+                       const float radius = 0.2f + 0.3f * (1.0f - t);
+                       const float phi = r.uniform(0.0f, 2.0f * kPi);
+                       return Vec3{radius * std::cos(phi),
+                                   radius * std::sin(phi),
+                                   0.4f + 0.5f * t};
+                   });
+        break;
+      }
+      case PartCategory::Count:
+        fatal("makePartObject: invalid category");
+    }
+
+    PointCloud cloud(std::move(points));
+    cloud.setLabels(std::move(labels));
+    cloud.normalizeToUnitSphere();
+    return cloud;
+}
+
+Dataset
+makePartDataset(std::size_t per_category, const PartOptions &options,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset dataset;
+    dataset.name = "synthetic-parts";
+    dataset.numClasses = kNumPartLabels;
+    const auto categories =
+        static_cast<std::size_t>(PartCategory::Count);
+    for (std::size_t c = 0; c < categories; ++c) {
+        for (std::size_t i = 0; i < per_category; ++i) {
+            LabeledCloud item;
+            item.cloud = makePartObject(static_cast<PartCategory>(c),
+                                        options, rng);
+            item.classLabel = static_cast<std::int32_t>(c);
+            dataset.items.push_back(std::move(item));
+        }
+    }
+    dataset.shuffle(seed ^ 0x5eed);
+    return dataset;
+}
+
+} // namespace edgepc

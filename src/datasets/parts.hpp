@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SyntheticParts: objects with per-point part labels, standing in for
+ * the ShapeNet part-segmentation benchmark (see DESIGN.md). Each
+ * object category is assembled from primitive parts; the task is to
+ * label every point with its part id.
+ */
+
+#ifndef EDGEPC_DATASETS_PARTS_HPP
+#define EDGEPC_DATASETS_PARTS_HPP
+
+#include "common/rng.hpp"
+#include "datasets/dataset.hpp"
+
+namespace edgepc {
+
+/** Object categories of the part dataset. */
+enum class PartCategory : std::int32_t
+{
+    Rocket = 0, ///< nose (0), body (1), fins (2).
+    Table,      ///< top (3), legs (4).
+    Lamp,       ///< base (5), pole (6), shade (7).
+    Count,
+};
+
+/** Total number of distinct part labels across categories. */
+constexpr std::size_t kNumPartLabels = 8;
+
+/** Options for the part-segmentation generator. */
+struct PartOptions
+{
+    /** Points per cloud (paper: 2048 for ShapeNet). */
+    std::size_t points = 2048;
+
+    /** Gaussian surface jitter. */
+    float noise = 0.01f;
+};
+
+/** Sample one part-labeled object of the given category. */
+PointCloud makePartObject(PartCategory category,
+                          const PartOptions &options, Rng &rng);
+
+/** Generate a part-segmentation dataset. */
+Dataset makePartDataset(std::size_t per_category,
+                        const PartOptions &options,
+                        std::uint64_t seed = 13);
+
+} // namespace edgepc
+
+#endif // EDGEPC_DATASETS_PARTS_HPP

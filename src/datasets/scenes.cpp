@@ -1,0 +1,205 @@
+#include "datasets/scenes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+namespace {
+
+/** A labeled rectangular surface patch with an area-based weight. */
+struct Patch
+{
+    Vec3 origin; ///< Corner.
+    Vec3 edge_u; ///< First edge vector.
+    Vec3 edge_v; ///< Second edge vector.
+    std::int32_t label;
+    float weight; ///< Sampling weight (area x density factor).
+};
+
+float
+patchArea(const Patch &p)
+{
+    return p.edge_u.cross(p.edge_v).norm();
+}
+
+/** Add the five faces of an upright box (no bottom). */
+void
+addBox(std::vector<Patch> &patches, const Vec3 &lo, const Vec3 &hi,
+       std::int32_t label, float density)
+{
+    const Vec3 dx{hi.x - lo.x, 0.0f, 0.0f};
+    const Vec3 dy{0.0f, hi.y - lo.y, 0.0f};
+    const Vec3 dz{0.0f, 0.0f, hi.z - lo.z};
+    const Patch faces[] = {
+        {{lo.x, lo.y, hi.z}, dx, dy, label, 0.0f},           // top
+        {{lo.x, lo.y, lo.z}, dx, dz, label, 0.0f},           // front
+        {{lo.x, hi.y, lo.z}, dx, dz, label, 0.0f},           // back
+        {{lo.x, lo.y, lo.z}, dy, dz, label, 0.0f},           // left
+        {{hi.x, lo.y, lo.z}, dy, dz, label, 0.0f},           // right
+    };
+    for (Patch face : faces) {
+        face.weight = patchArea(face) * density;
+        patches.push_back(face);
+    }
+}
+
+} // namespace
+
+const char *
+sceneClassName(SceneClass cls)
+{
+    switch (cls) {
+      case SceneClass::Floor:
+        return "floor";
+      case SceneClass::Wall:
+        return "wall";
+      case SceneClass::Table:
+        return "table";
+      case SceneClass::Chair:
+        return "chair";
+      case SceneClass::Clutter:
+        return "clutter";
+      case SceneClass::Count:
+        break;
+    }
+    return "?";
+}
+
+PointCloud
+makeScene(const SceneOptions &options, Rng &rng)
+{
+    const float width =
+        rng.uniform(options.minRoomSize, options.maxRoomSize);
+    const float depth =
+        rng.uniform(options.minRoomSize, options.maxRoomSize);
+    const float height = rng.uniform(2.4f, 3.2f);
+
+    std::vector<Patch> patches;
+
+    // Floor (scanned densely — the sensor is close to it).
+    patches.push_back({{0, 0, 0},
+                       {width, 0, 0},
+                       {0, depth, 0},
+                       static_cast<std::int32_t>(SceneClass::Floor),
+                       0.0f});
+    patches.back().weight = patchArea(patches.back()) * 1.0f;
+
+    // Walls (sparser: grazing scan angles).
+    const Patch walls[] = {
+        {{0, 0, 0}, {width, 0, 0}, {0, 0, height},
+         static_cast<std::int32_t>(SceneClass::Wall), 0.0f},
+        {{0, depth, 0}, {width, 0, 0}, {0, 0, height},
+         static_cast<std::int32_t>(SceneClass::Wall), 0.0f},
+        {{0, 0, 0}, {0, depth, 0}, {0, 0, height},
+         static_cast<std::int32_t>(SceneClass::Wall), 0.0f},
+        {{width, 0, 0}, {0, depth, 0}, {0, 0, height},
+         static_cast<std::int32_t>(SceneClass::Wall), 0.0f},
+    };
+    for (Patch wall : walls) {
+        wall.weight = patchArea(wall) * 0.4f;
+        patches.push_back(wall);
+    }
+
+    auto rand_between = [&rng](int lo, int hi) {
+        return lo + static_cast<int>(
+                        rng.nextBelow(static_cast<std::uint64_t>(
+                            hi - lo + 1)));
+    };
+
+    // Tables: boxes ~0.7 m high (objects scan dense — close range).
+    const int tables = rand_between(options.minTables, options.maxTables);
+    for (int t = 0; t < tables; ++t) {
+        const float tw = rng.uniform(0.8f, 1.6f);
+        const float td = rng.uniform(0.6f, 1.0f);
+        const float x = rng.uniform(0.2f, std::max(0.3f, width - tw));
+        const float y = rng.uniform(0.2f, std::max(0.3f, depth - td));
+        addBox(patches, {x, y, 0.65f}, {x + tw, y + td, 0.75f},
+               static_cast<std::int32_t>(SceneClass::Table), 2.5f);
+    }
+
+    // Chairs: smaller boxes.
+    const int chairs = rand_between(options.minChairs, options.maxChairs);
+    for (int c = 0; c < chairs; ++c) {
+        const float cw = rng.uniform(0.4f, 0.55f);
+        const float x = rng.uniform(0.2f, std::max(0.3f, width - cw));
+        const float y = rng.uniform(0.2f, std::max(0.3f, depth - cw));
+        addBox(patches, {x, y, 0.0f}, {x + cw, y + cw, 0.45f},
+               static_cast<std::int32_t>(SceneClass::Chair), 3.0f);
+        // Backrest.
+        addBox(patches, {x, y, 0.45f}, {x + cw, y + 0.08f, 0.9f},
+               static_cast<std::int32_t>(SceneClass::Chair), 3.0f);
+    }
+
+    // Clutter: small boxes at random heights (very dense).
+    const int clutter =
+        rand_between(options.minClutter, options.maxClutter);
+    for (int c = 0; c < clutter; ++c) {
+        const float s = rng.uniform(0.1f, 0.35f);
+        const float x = rng.uniform(0.2f, std::max(0.3f, width - s));
+        const float y = rng.uniform(0.2f, std::max(0.3f, depth - s));
+        const float z = rng.nextFloat() < 0.5f ? 0.0f : 0.75f;
+        addBox(patches, {x, y, z}, {x + s, y + s, z + s},
+               static_cast<std::int32_t>(SceneClass::Clutter), 4.0f);
+    }
+
+    // Weighted sampling over patches.
+    float total_weight = 0.0f;
+    for (const Patch &p : patches) {
+        total_weight += p.weight;
+    }
+
+    std::vector<Vec3> points;
+    std::vector<std::int32_t> labels;
+    points.reserve(options.points);
+    labels.reserve(options.points);
+    for (std::size_t i = 0; i < options.points; ++i) {
+        float pick = rng.nextFloat() * total_weight;
+        std::size_t chosen = 0;
+        for (std::size_t j = 0; j < patches.size(); ++j) {
+            pick -= patches[j].weight;
+            if (pick <= 0.0f) {
+                chosen = j;
+                break;
+            }
+        }
+        const Patch &p = patches[chosen];
+        Vec3 point = p.origin + p.edge_u * rng.nextFloat() +
+                     p.edge_v * rng.nextFloat();
+        if (options.noise > 0.0f) {
+            point += Vec3{rng.normal(0.0f, options.noise),
+                          rng.normal(0.0f, options.noise),
+                          rng.normal(0.0f, options.noise)};
+        }
+        points.push_back(point);
+        labels.push_back(p.label);
+    }
+
+    PointCloud cloud(std::move(points));
+    cloud.setLabels(std::move(labels));
+    // Unit-sphere normalization, the convention the PC CNN configs
+    // (ball radii etc.) assume — mirroring the block normalization of
+    // the S3DIS/ScanNet training pipelines.
+    cloud.normalizeToUnitSphere();
+    return cloud;
+}
+
+Dataset
+makeSceneDataset(std::size_t scenes, const SceneOptions &options,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset dataset;
+    dataset.name = "synthetic-scenes";
+    dataset.numClasses = static_cast<std::size_t>(SceneClass::Count);
+    for (std::size_t i = 0; i < scenes; ++i) {
+        LabeledCloud item;
+        item.cloud = makeScene(options, rng);
+        dataset.items.push_back(std::move(item));
+    }
+    return dataset;
+}
+
+} // namespace edgepc

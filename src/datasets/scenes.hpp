@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SyntheticScenes: indoor-room scans with per-point semantic labels,
+ * standing in for S3DIS and ScanNet (see DESIGN.md). Rooms contain a
+ * floor, walls, tables, chairs and clutter; the surface-based sampling
+ * produces the highly non-uniform point densities that make farthest
+ * point sampling matter on real scans.
+ */
+
+#ifndef EDGEPC_DATASETS_SCENES_HPP
+#define EDGEPC_DATASETS_SCENES_HPP
+
+#include "common/rng.hpp"
+#include "datasets/dataset.hpp"
+
+namespace edgepc {
+
+/** Semantic classes of the scene dataset. */
+enum class SceneClass : std::int32_t
+{
+    Floor = 0,
+    Wall,
+    Table,
+    Chair,
+    Clutter,
+    Count,
+};
+
+/** Name of a scene class. */
+const char *sceneClassName(SceneClass cls);
+
+/** Options for the scene generator. */
+struct SceneOptions
+{
+    /** Points per scene (paper: 4096 for S3DIS, 8192 for ScanNet). */
+    std::size_t points = 4096;
+
+    /** Room extent range in meters. */
+    float minRoomSize = 3.0f;
+    float maxRoomSize = 6.0f;
+
+    /** Furniture count ranges. */
+    int minTables = 1;
+    int maxTables = 3;
+    int minChairs = 1;
+    int maxChairs = 4;
+    int minClutter = 2;
+    int maxClutter = 6;
+
+    /** Sensor noise. */
+    float noise = 0.005f;
+};
+
+/** Generate one labeled room scan. */
+PointCloud makeScene(const SceneOptions &options, Rng &rng);
+
+/** Generate a semantic-segmentation dataset of @p scenes rooms. */
+Dataset makeSceneDataset(std::size_t scenes, const SceneOptions &options,
+                         std::uint64_t seed = 17);
+
+} // namespace edgepc
+
+#endif // EDGEPC_DATASETS_SCENES_HPP

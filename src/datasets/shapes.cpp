@@ -1,0 +1,291 @@
+#include "datasets/shapes.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Uniform point on the unit sphere. */
+Vec3
+sampleSphere(Rng &rng)
+{
+    const float z = rng.uniform(-1.0f, 1.0f);
+    const float phi = rng.uniform(0.0f, 2.0f * kPi);
+    const float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+/** Uniform point on the surface of the unit cube [-1,1]^3. */
+Vec3
+sampleCube(Rng &rng)
+{
+    const auto face = static_cast<int>(rng.nextBelow(6));
+    const float u = rng.uniform(-1.0f, 1.0f);
+    const float v = rng.uniform(-1.0f, 1.0f);
+    switch (face) {
+      case 0:
+        return {1.0f, u, v};
+      case 1:
+        return {-1.0f, u, v};
+      case 2:
+        return {u, 1.0f, v};
+      case 3:
+        return {u, -1.0f, v};
+      case 4:
+        return {u, v, 1.0f};
+      default:
+        return {u, v, -1.0f};
+    }
+}
+
+/** Point on a torus with major radius 1, minor radius 0.35. */
+Vec3
+sampleTorus(Rng &rng)
+{
+    const float major = 1.0f;
+    const float minor = 0.35f;
+    const float u = rng.uniform(0.0f, 2.0f * kPi);
+    const float v = rng.uniform(0.0f, 2.0f * kPi);
+    const float ring = major + minor * std::cos(v);
+    return {ring * std::cos(u), ring * std::sin(u),
+            minor * std::sin(v)};
+}
+
+/** Point on a cone: apex at (0,0,1), unit base circle at z=-1. */
+Vec3
+sampleCone(Rng &rng)
+{
+    if (rng.nextFloat() < 0.25f) {
+        // Base disk.
+        const float r = std::sqrt(rng.nextFloat());
+        const float phi = rng.uniform(0.0f, 2.0f * kPi);
+        return {r * std::cos(phi), r * std::sin(phi), -1.0f};
+    }
+    // Lateral surface: radius shrinks linearly toward the apex; area
+    // element is proportional to the radius, hence sqrt sampling.
+    const float t = std::sqrt(rng.nextFloat()); // 0 apex .. 1 base
+    const float radius = t;
+    const float phi = rng.uniform(0.0f, 2.0f * kPi);
+    return {radius * std::cos(phi), radius * std::sin(phi),
+            1.0f - 2.0f * t};
+}
+
+/** Point on a cylinder of radius 0.6 spanning z in [-1, 1]. */
+Vec3
+sampleCylinder(Rng &rng)
+{
+    const float radius = 0.6f;
+    const float side_area = 2.0f * kPi * radius * 2.0f;
+    const float cap_area = kPi * radius * radius;
+    const float total = side_area + 2.0f * cap_area;
+    const float pick = rng.nextFloat() * total;
+    if (pick < side_area) {
+        const float phi = rng.uniform(0.0f, 2.0f * kPi);
+        return {radius * std::cos(phi), radius * std::sin(phi),
+                rng.uniform(-1.0f, 1.0f)};
+    }
+    const float r = radius * std::sqrt(rng.nextFloat());
+    const float phi = rng.uniform(0.0f, 2.0f * kPi);
+    const float z = pick < side_area + cap_area ? 1.0f : -1.0f;
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+/** Two unit squares intersecting at right angles. */
+Vec3
+samplePlaneCross(Rng &rng)
+{
+    const float u = rng.uniform(-1.0f, 1.0f);
+    const float v = rng.uniform(-1.0f, 1.0f);
+    if (rng.nextFloat() < 0.5f) {
+        return {u, 0.0f, v};
+    }
+    return {0.0f, u, v};
+}
+
+/** Tube of radius 0.15 wound around a vertical helix. */
+Vec3
+sampleHelix(Rng &rng)
+{
+    const float turns = 2.5f;
+    const float t = rng.nextFloat();
+    const float angle = t * turns * 2.0f * kPi;
+    const Vec3 center{0.7f * std::cos(angle), 0.7f * std::sin(angle),
+                      2.0f * t - 1.0f};
+    // Random offset on the tube circle (approximate frame).
+    const float phi = rng.uniform(0.0f, 2.0f * kPi);
+    const Vec3 radial{std::cos(angle), std::sin(angle), 0.0f};
+    const Vec3 axis{0.0f, 0.0f, 1.0f};
+    const Vec3 offset =
+        radial * (0.15f * std::cos(phi)) + axis * (0.15f * std::sin(phi));
+    return center + offset;
+}
+
+/** Cylinder of radius 0.5 with hemispherical end caps. */
+Vec3
+sampleCapsule(Rng &rng)
+{
+    const float radius = 0.5f;
+    const float body_half = 0.6f;
+    const float side_area = 2.0f * kPi * radius * 2.0f * body_half;
+    const float cap_area = 2.0f * kPi * radius * radius;
+    const float total = side_area + 2.0f * cap_area;
+    const float pick = rng.nextFloat() * total;
+    if (pick < side_area) {
+        const float phi = rng.uniform(0.0f, 2.0f * kPi);
+        return {radius * std::cos(phi), radius * std::sin(phi),
+                rng.uniform(-body_half, body_half)};
+    }
+    const bool top = pick < side_area + cap_area;
+    Vec3 p = sampleSphere(rng) * radius;
+    if (top) {
+        p.z = std::abs(p.z) + body_half;
+    } else {
+        p.z = -std::abs(p.z) - body_half;
+    }
+    return p;
+}
+
+/** Random rotation about the z axis. */
+void
+applyZRotation(std::vector<Vec3> &points, Rng &rng)
+{
+    const float angle = rng.uniform(0.0f, 2.0f * kPi);
+    const float c = std::cos(angle);
+    const float s = std::sin(angle);
+    for (Vec3 &p : points) {
+        p = Vec3{c * p.x - s * p.y, s * p.x + c * p.y, p.z};
+    }
+}
+
+/** Random rotation matrix application (uniform over SO(3), via two
+ *  random axes Gram-Schmidt). */
+void
+applyRandomRotation(std::vector<Vec3> &points, Rng &rng)
+{
+    Vec3 a = sampleSphere(rng);
+    Vec3 b = sampleSphere(rng);
+    b = (b - a * a.dot(b)).normalized();
+    if (b.squaredNorm() < 1e-6f) {
+        b = Vec3{-a.y, a.x, 0.0f}.normalized();
+    }
+    const Vec3 c = a.cross(b);
+    for (Vec3 &p : points) {
+        p = Vec3{p.dot(a), p.dot(b), p.dot(c)};
+    }
+}
+
+} // namespace
+
+const char *
+shapeClassName(ShapeClass shape)
+{
+    switch (shape) {
+      case ShapeClass::Sphere:
+        return "sphere";
+      case ShapeClass::Cube:
+        return "cube";
+      case ShapeClass::Torus:
+        return "torus";
+      case ShapeClass::Cone:
+        return "cone";
+      case ShapeClass::Cylinder:
+        return "cylinder";
+      case ShapeClass::PlaneCross:
+        return "plane-cross";
+      case ShapeClass::Helix:
+        return "helix";
+      case ShapeClass::Capsule:
+        return "capsule";
+      case ShapeClass::Count:
+        break;
+    }
+    return "?";
+}
+
+PointCloud
+makeShape(ShapeClass shape, const ShapeOptions &options, Rng &rng)
+{
+    std::vector<Vec3> points;
+    points.reserve(options.points);
+    for (std::size_t i = 0; i < options.points; ++i) {
+        Vec3 p;
+        switch (shape) {
+          case ShapeClass::Sphere:
+            p = sampleSphere(rng);
+            break;
+          case ShapeClass::Cube:
+            p = sampleCube(rng);
+            break;
+          case ShapeClass::Torus:
+            p = sampleTorus(rng);
+            break;
+          case ShapeClass::Cone:
+            p = sampleCone(rng);
+            break;
+          case ShapeClass::Cylinder:
+            p = sampleCylinder(rng);
+            break;
+          case ShapeClass::PlaneCross:
+            p = samplePlaneCross(rng);
+            break;
+          case ShapeClass::Helix:
+            p = sampleHelix(rng);
+            break;
+          case ShapeClass::Capsule:
+            p = sampleCapsule(rng);
+            break;
+          case ShapeClass::Count:
+            fatal("makeShape: invalid shape class");
+        }
+        if (options.noise > 0.0f) {
+            p += Vec3{rng.normal(0.0f, options.noise),
+                      rng.normal(0.0f, options.noise),
+                      rng.normal(0.0f, options.noise)};
+        }
+        points.push_back(p);
+    }
+    const ShapeAugmentation augmentation =
+        options.randomRotation ? options.augmentation
+                               : ShapeAugmentation::None;
+    switch (augmentation) {
+      case ShapeAugmentation::None:
+        break;
+      case ShapeAugmentation::RotateZ:
+        applyZRotation(points, rng);
+        break;
+      case ShapeAugmentation::RotateSO3:
+        applyRandomRotation(points, rng);
+        break;
+    }
+    PointCloud cloud(std::move(points));
+    cloud.normalizeToUnitSphere();
+    return cloud;
+}
+
+Dataset
+makeShapeDataset(std::size_t per_class, const ShapeOptions &options,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset dataset;
+    dataset.name = "synthetic-shapes";
+    dataset.numClasses = static_cast<std::size_t>(ShapeClass::Count);
+    for (std::size_t cls = 0; cls < dataset.numClasses; ++cls) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            LabeledCloud item;
+            item.cloud = makeShape(static_cast<ShapeClass>(cls), options,
+                                   rng);
+            item.classLabel = static_cast<std::int32_t>(cls);
+            dataset.items.push_back(std::move(item));
+        }
+    }
+    dataset.shuffle(seed ^ 0xabcdef);
+    return dataset;
+}
+
+} // namespace edgepc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SyntheticShapes: an 8-class parametric shape sampler standing in for
+ * ModelNet40 (3D shape classification; DESIGN.md documents the
+ * substitution). Clouds are unit-sphere normalized, sampled with
+ * configurable surface noise and random rotation augmentation.
+ */
+
+#ifndef EDGEPC_DATASETS_SHAPES_HPP
+#define EDGEPC_DATASETS_SHAPES_HPP
+
+#include "common/rng.hpp"
+#include "datasets/dataset.hpp"
+
+namespace edgepc {
+
+/** The shape classes. */
+enum class ShapeClass : std::int32_t
+{
+    Sphere = 0,
+    Cube,
+    Torus,
+    Cone,
+    Cylinder,
+    PlaneCross,
+    Helix,
+    Capsule,
+    Count,
+};
+
+/** Name of a shape class. */
+const char *shapeClassName(ShapeClass shape);
+
+/** Per-cloud rotation augmentation. */
+enum class ShapeAugmentation
+{
+    None,
+    /** Random rotation about the z axis (the ModelNet protocol). */
+    RotateZ,
+    /** Uniformly random SO(3) rotation. */
+    RotateSO3,
+};
+
+/** Options for the shape generator. */
+struct ShapeOptions
+{
+    /** Points per cloud. */
+    std::size_t points = 1024;
+
+    /** Gaussian surface jitter (fraction of the unit scale). */
+    float noise = 0.01f;
+
+    /** Rotation augmentation (z-axis rotation, as in the standard
+     *  ModelNet40 training protocol, by default). */
+    ShapeAugmentation augmentation = ShapeAugmentation::RotateZ;
+
+    /** Legacy switch: false forces ShapeAugmentation::None. */
+    bool randomRotation = true;
+};
+
+/** Sample one cloud of the given class. */
+PointCloud makeShape(ShapeClass shape, const ShapeOptions &options,
+                     Rng &rng);
+
+/**
+ * Generate a classification dataset with @p per_class clouds of every
+ * shape class.
+ */
+Dataset makeShapeDataset(std::size_t per_class,
+                         const ShapeOptions &options,
+                         std::uint64_t seed = 11);
+
+} // namespace edgepc
+
+#endif // EDGEPC_DATASETS_SHAPES_HPP

@@ -1,0 +1,123 @@
+#include "device/device_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+DeviceModel::DeviceModel(std::size_t lanes, double ops_per_lane_per_us,
+                         double launch_overhead_us)
+    : laneCount(lanes), laneThroughput(ops_per_lane_per_us),
+      launchOverheadUs(launch_overhead_us)
+{
+    if (lanes == 0 || ops_per_lane_per_us <= 0.0) {
+        fatal("DeviceModel: lanes and throughput must be positive");
+    }
+}
+
+double
+DeviceModel::throughputOpsPerUs() const
+{
+    return static_cast<double>(laneCount) * laneThroughput;
+}
+
+double
+DeviceModel::serialTimeUs(const KernelWork &kernel) const
+{
+    // Each dependent launch pays the launch overhead plus its share
+    // of the work at the kernel's own exploitable parallelism.
+    const double usable =
+        std::min(kernel.parallelism, static_cast<double>(laneCount));
+    const double per_launch_ops =
+        kernel.ops / static_cast<double>(std::max<std::size_t>(
+                         1, kernel.serialLaunches));
+    const double per_launch_time =
+        launchOverheadUs +
+        per_launch_ops / std::max(1.0, usable * laneThroughput);
+    return per_launch_time *
+           static_cast<double>(std::max<std::size_t>(
+               1, kernel.serialLaunches));
+}
+
+double
+DeviceModel::kernelTimeUs(const KernelWork &kernel) const
+{
+    return serialTimeUs(kernel);
+}
+
+double
+DeviceModel::batchMakespanUs(
+    const std::vector<std::vector<KernelWork>> &frames) const
+{
+    double total_ops = 0.0;
+    double longest_chain = 0.0;
+    for (const auto &chain : frames) {
+        double chain_time = 0.0;
+        for (const KernelWork &kernel : chain) {
+            total_ops += kernel.ops;
+            chain_time += serialTimeUs(kernel);
+        }
+        longest_chain = std::max(longest_chain, chain_time);
+    }
+    // Frames overlap freely up to the device's total throughput; the
+    // longest per-frame dependency chain cannot be overlapped away.
+    const double throughput_bound = total_ops / throughputOpsPerUs();
+    return std::max(throughput_bound, longest_chain);
+}
+
+KernelWork
+fpsKernel(std::size_t n_points, std::size_t n_samples)
+{
+    KernelWork kernel;
+    kernel.ops = static_cast<double>(n_points) *
+                 static_cast<double>(n_samples);
+    kernel.parallelism = static_cast<double>(n_points);
+    kernel.serialLaunches = std::max<std::size_t>(1, n_samples);
+    return kernel;
+}
+
+KernelWork
+exactSearchKernel(std::size_t n_points, std::size_t queries)
+{
+    KernelWork kernel;
+    kernel.ops =
+        static_cast<double>(n_points) * static_cast<double>(queries);
+    kernel.parallelism = static_cast<double>(queries);
+    kernel.serialLaunches = 1;
+    return kernel;
+}
+
+KernelWork
+mortonStructurizeKernel(std::size_t n_points)
+{
+    KernelWork kernel;
+    // Code generation (O(N)) + 4 radix passes (O(N) each).
+    kernel.ops = 5.0 * static_cast<double>(n_points);
+    kernel.parallelism = static_cast<double>(n_points);
+    kernel.serialLaunches = 5;
+    return kernel;
+}
+
+KernelWork
+strideSampleKernel(std::size_t n_samples)
+{
+    KernelWork kernel;
+    kernel.ops = static_cast<double>(n_samples);
+    kernel.parallelism = static_cast<double>(n_samples);
+    kernel.serialLaunches = 1;
+    return kernel;
+}
+
+KernelWork
+windowSearchKernel(std::size_t queries, std::size_t window)
+{
+    KernelWork kernel;
+    kernel.ops =
+        static_cast<double>(queries) * static_cast<double>(window);
+    kernel.parallelism = static_cast<double>(queries);
+    kernel.serialLaunches = 1;
+    return kernel;
+}
+
+} // namespace edgepc

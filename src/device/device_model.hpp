@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Analytical edge-GPU execution model for batch-level scheduling.
+ *
+ * This closes the one Table-1 effect a frame-at-a-time CPU harness
+ * cannot measure: the paper attributes W1's larger SMP+NS speedup
+ * over W2 (5.21x vs 3.44x) to batch size — the baseline's quadratic,
+ * launch-serialized kernels process a batch sequentially, while the
+ * EdgePC kernels are massively parallel and overlap across the frames
+ * of a batch (Sec 6.2).
+ *
+ * The model is deliberately simple and fully documented: a device has
+ * L lanes at a fixed per-lane throughput and a per-launch overhead.
+ * A kernel is (total ops, exploitable parallelism, serial launches).
+ * One kernel's latency is its serial-launch chain plus its throughput
+ * time at min(parallelism, lanes). A batch's makespan is the larger
+ * of (a) the whole batch's work at full device throughput — frames
+ * overlap freely — and (b) the longest single-frame serial chain,
+ * which nothing can overlap away. FPS's n dependent selections make
+ * (b) dominate the baseline; the Morton kernels have O(1) launches,
+ * so (a) dominates and the batch fills the device.
+ */
+
+#ifndef EDGEPC_DEVICE_DEVICE_MODEL_HPP
+#define EDGEPC_DEVICE_DEVICE_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace edgepc {
+
+/** Work descriptor of one kernel as launched on the device. */
+struct KernelWork
+{
+    /** Total scalar operations across all launches. */
+    double ops = 0.0;
+
+    /** Lanes the kernel can usefully occupy at once. */
+    double parallelism = 1.0;
+
+    /**
+     * Dependent sequential launches (FPS: one per selected point;
+     * data-parallel kernels: 1).
+     */
+    std::size_t serialLaunches = 1;
+};
+
+/** Throughput/launch-latency model of a massively parallel device. */
+class DeviceModel
+{
+  public:
+    /**
+     * @param lanes Parallel lanes (512 for the Xavier's Volta GPU).
+     * @param ops_per_lane_per_us Per-lane throughput.
+     * @param launch_overhead_us Fixed cost of one dependent launch.
+     */
+    DeviceModel(std::size_t lanes = 512,
+                double ops_per_lane_per_us = 20.0,
+                double launch_overhead_us = 5.0);
+
+    /** Latency of one kernel executed alone (microseconds). */
+    double kernelTimeUs(const KernelWork &kernel) const;
+
+    /**
+     * Makespan of a batch of independent per-frame kernel chains
+     * (microseconds): max of the device-throughput bound over all
+     * work and the longest per-frame serial chain.
+     *
+     * @param frames One entry per frame; each frame is a chain of
+     *        kernels executed in order.
+     */
+    double batchMakespanUs(
+        const std::vector<std::vector<KernelWork>> &frames) const;
+
+    std::size_t lanes() const { return laneCount; }
+
+  private:
+    double serialTimeUs(const KernelWork &kernel) const;
+    double throughputOpsPerUs() const;
+
+    std::size_t laneCount;
+    double laneThroughput;
+    double launchOverheadUs;
+};
+
+/** FPS on N points selecting n: n dependent O(N) update launches. */
+KernelWork fpsKernel(std::size_t n_points, std::size_t n_samples);
+
+/** Ball query / k-NN: q independent O(N) scans, one launch. */
+KernelWork exactSearchKernel(std::size_t n_points, std::size_t queries);
+
+/** Morton structurize: code generation + radix sort passes. */
+KernelWork mortonStructurizeKernel(std::size_t n_points);
+
+/** Stride sampling on the sorted order: one trivial launch. */
+KernelWork strideSampleKernel(std::size_t n_samples);
+
+/** Window search: q independent O(W) scans, one launch. */
+KernelWork windowSearchKernel(std::size_t queries, std::size_t window);
+
+} // namespace edgepc
+
+#endif // EDGEPC_DEVICE_DEVICE_MODEL_HPP

@@ -1,0 +1,28 @@
+#include "energy/energy_model.hpp"
+
+namespace edgepc {
+
+EnergyModel::EnergyModel(PowerProfile profile) : power(profile) {}
+
+double
+EnergyModel::inferenceEnergyMj(const StageTimer &stages,
+                               const EdgePcConfig &cfg) const
+{
+    const double feature_ms = stages.total(kStageFeature);
+    const double other_ms = stages.grandTotal() - feature_ms;
+
+    const double compute_w = cfg.approximate() ? power.computeApproxW
+                                               : power.computeBaselineW;
+    const double feature_w =
+        cfg.useTensorCores() ? power.computeTensorW : compute_w;
+
+    const bool reuse_live = cfg.approximate() && cfg.reuseDistance > 0;
+    const double memory_w =
+        reuse_live ? power.memoryReuseW : power.memoryBaselineW;
+
+    // P (W) x t (ms) = energy in mJ.
+    return other_ms * compute_w + feature_ms * feature_w +
+           stages.grandTotal() * memory_w;
+}
+
+} // namespace edgepc

@@ -1,0 +1,85 @@
+#include "geometry/aabb.hpp"
+
+#include <algorithm>
+
+namespace edgepc {
+
+Aabb::Aabb()
+    : lower(std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()),
+      upper(std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest())
+{
+}
+
+Aabb::Aabb(const Vec3 &lo, const Vec3 &hi) : lower(lo), upper(hi) {}
+
+void
+Aabb::expand(const Vec3 &p)
+{
+    lower.x = std::min(lower.x, p.x);
+    lower.y = std::min(lower.y, p.y);
+    lower.z = std::min(lower.z, p.z);
+    upper.x = std::max(upper.x, p.x);
+    upper.y = std::max(upper.y, p.y);
+    upper.z = std::max(upper.z, p.z);
+}
+
+void
+Aabb::expand(const Aabb &other)
+{
+    if (other.empty()) {
+        return;
+    }
+    expand(other.lower);
+    expand(other.upper);
+}
+
+bool
+Aabb::empty() const
+{
+    return lower.x > upper.x;
+}
+
+Vec3
+Aabb::extent() const
+{
+    if (empty()) {
+        return {0.0f, 0.0f, 0.0f};
+    }
+    return upper - lower;
+}
+
+float
+Aabb::maxExtent() const
+{
+    const Vec3 e = extent();
+    return std::max({e.x, e.y, e.z});
+}
+
+Vec3
+Aabb::center() const
+{
+    return (lower + upper) * 0.5f;
+}
+
+bool
+Aabb::contains(const Vec3 &p) const
+{
+    return p.x >= lower.x && p.x <= upper.x && p.y >= lower.y &&
+           p.y <= upper.y && p.z >= lower.z && p.z <= upper.z;
+}
+
+Aabb
+Aabb::of(std::span<const Vec3> points)
+{
+    Aabb box;
+    for (const Vec3 &p : points) {
+        box.expand(p);
+    }
+    return box;
+}
+
+} // namespace edgepc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Axis-aligned bounding box. Supplies the {x_min, y_min, z_min} anchor
+ * and the bounding-cube dimension D used by the Morton quantization of
+ * Sec 4.1 / 5.1.3 of the paper.
+ */
+
+#ifndef EDGEPC_GEOMETRY_AABB_HPP
+#define EDGEPC_GEOMETRY_AABB_HPP
+
+#include <limits>
+#include <span>
+
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+
+/** Axis-aligned bounding box over a set of points. */
+class Aabb
+{
+  public:
+    /** Empty (inverted) box; extend with expand(). */
+    Aabb();
+
+    /** Box spanning [lo, hi] on every axis. */
+    Aabb(const Vec3 &lo, const Vec3 &hi);
+
+    /** Grow to include @p p. */
+    void expand(const Vec3 &p);
+
+    /** Grow to include another box. */
+    void expand(const Aabb &other);
+
+    /** True if no point was ever added. */
+    bool empty() const;
+
+    const Vec3 &min() const { return lower; }
+    const Vec3 &max() const { return upper; }
+
+    /** Per-axis extent (zero for empty boxes). */
+    Vec3 extent() const;
+
+    /** Largest axis extent: the bounding-cube dimension D of Sec 5.1.3. */
+    float maxExtent() const;
+
+    /** Geometric center. */
+    Vec3 center() const;
+
+    /** True if @p p lies inside or on the boundary. */
+    bool contains(const Vec3 &p) const;
+
+    /** Compute the bounding box of a point span. */
+    static Aabb of(std::span<const Vec3> points);
+
+  private:
+    Vec3 lower;
+    Vec3 upper;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_GEOMETRY_AABB_HPP

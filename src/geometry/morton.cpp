@@ -1,0 +1,220 @@
+#include "geometry/morton.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+
+std::uint64_t
+part1By2(std::uint32_t v)
+{
+    std::uint64_t x = v & 0x1fffffull;
+    x = (x | (x << 32)) & 0x001f00000000ffffull;
+    x = (x | (x << 16)) & 0x001f0000ff0000ffull;
+    x = (x | (x << 8)) & 0x100f00f00f00f00full;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3ull;
+    x = (x | (x << 2)) & 0x1249249249249249ull;
+    return x;
+}
+
+std::uint32_t
+compact1By2(std::uint64_t v)
+{
+    std::uint64_t x = v & 0x1249249249249249ull;
+    x = (x ^ (x >> 2)) & 0x10c30c30c30c30c3ull;
+    x = (x ^ (x >> 4)) & 0x100f00f00f00f00full;
+    x = (x ^ (x >> 8)) & 0x001f0000ff0000ffull;
+    x = (x ^ (x >> 16)) & 0x001f00000000ffffull;
+    x = (x ^ (x >> 32)) & 0x00000000001fffffull;
+    return static_cast<std::uint32_t>(x);
+}
+
+std::uint64_t
+part1By1(std::uint32_t v)
+{
+    std::uint64_t x = v;
+    x = (x | (x << 16)) & 0x0000ffff0000ffffull;
+    x = (x | (x << 8)) & 0x00ff00ff00ff00ffull;
+    x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0full;
+    x = (x | (x << 2)) & 0x3333333333333333ull;
+    x = (x | (x << 1)) & 0x5555555555555555ull;
+    return x;
+}
+
+std::uint32_t
+compact1By1(std::uint64_t v)
+{
+    std::uint64_t x = v & 0x5555555555555555ull;
+    x = (x ^ (x >> 1)) & 0x3333333333333333ull;
+    x = (x ^ (x >> 2)) & 0x0f0f0f0f0f0f0f0full;
+    x = (x ^ (x >> 4)) & 0x00ff00ff00ff00ffull;
+    x = (x ^ (x >> 8)) & 0x0000ffff0000ffffull;
+    x = (x ^ (x >> 16)) & 0x00000000ffffffffull;
+    return static_cast<std::uint32_t>(x);
+}
+
+std::uint64_t
+mortonEncode3(std::uint32_t x, std::uint32_t y, std::uint32_t z)
+{
+    return part1By2(x) | (part1By2(y) << 1) | (part1By2(z) << 2);
+}
+
+void
+mortonDecode3(std::uint64_t code, std::uint32_t &x, std::uint32_t &y,
+              std::uint32_t &z)
+{
+    x = compact1By2(code);
+    y = compact1By2(code >> 1);
+    z = compact1By2(code >> 2);
+}
+
+std::uint64_t
+mortonEncode2(std::uint32_t x, std::uint32_t y)
+{
+    return part1By1(x) | (part1By1(y) << 1);
+}
+
+void
+mortonDecode2(std::uint64_t code, std::uint32_t &x, std::uint32_t &y)
+{
+    x = compact1By1(code);
+    y = compact1By1(code >> 1);
+}
+
+MortonEncoder::MortonEncoder(const Vec3 &minimum, float grid_size,
+                             int bits_per_axis)
+    : origin(minimum), cellSize(grid_size), axisBits(bits_per_axis)
+{
+    if (grid_size <= 0.0f) {
+        fatal("MortonEncoder: grid_size must be positive (got %f)",
+              static_cast<double>(grid_size));
+    }
+    if (bits_per_axis < 1 || bits_per_axis > 21) {
+        fatal("MortonEncoder: bits_per_axis must be in [1, 21] (got %d)",
+              bits_per_axis);
+    }
+    invCellSize = 1.0f / cellSize;
+    maxCell = (1u << axisBits) - 1u;
+}
+
+MortonEncoder::MortonEncoder(const Aabb &bounds, int code_bits)
+    : MortonEncoder(bounds.empty() ? Vec3{} : bounds.min(),
+                    [&bounds, code_bits] {
+                        const int per_axis = std::max(1, code_bits / 3);
+                        const float extent =
+                            bounds.empty() ? 1.0f : bounds.maxExtent();
+                        const float d = extent > 0.0f ? extent : 1.0f;
+                        return d / static_cast<float>(1u << per_axis);
+                    }(),
+                    std::max(1, code_bits / 3))
+{
+}
+
+void
+MortonEncoder::voxelOf(const Vec3 &p, std::uint32_t &x, std::uint32_t &y,
+                       std::uint32_t &z) const
+{
+    const auto quantize = [this](float v, float lo) -> std::uint32_t {
+        const float scaled = (v - lo) * invCellSize;
+        if (scaled <= 0.0f) {
+            return 0u;
+        }
+        const auto cell = static_cast<std::uint32_t>(scaled);
+        return std::min(cell, maxCell);
+    };
+    x = quantize(p.x, origin.x);
+    y = quantize(p.y, origin.y);
+    z = quantize(p.z, origin.z);
+}
+
+std::uint64_t
+MortonEncoder::code(const Vec3 &p) const
+{
+    std::uint32_t x, y, z;
+    voxelOf(p, x, y, z);
+    return mortonEncode3(x, y, z);
+}
+
+Vec3
+MortonEncoder::voxelCenter(std::uint64_t morton) const
+{
+    std::uint32_t x, y, z;
+    mortonDecode3(morton, x, y, z);
+    return {origin.x + (static_cast<float>(x) + 0.5f) * cellSize,
+            origin.y + (static_cast<float>(y) + 0.5f) * cellSize,
+            origin.z + (static_cast<float>(z) + 0.5f) * cellSize};
+}
+
+void
+MortonEncoder::encodeAll(std::span<const Vec3> points,
+                         std::vector<std::uint64_t> &out) const
+{
+    out.resize(points.size());
+    // Fully parallel, one logical thread per point (Algo 1 line 3).
+    parallelFor(0, points.size(), [&](std::size_t i) {
+        out[i] = code(points[i]);
+    });
+}
+
+std::vector<std::uint32_t>
+mortonOrder(std::span<const Vec3> points, const MortonEncoder &encoder)
+{
+    std::vector<std::uint64_t> codes;
+    encoder.encodeAll(points, codes);
+    return radixSortIndices(codes);
+}
+
+std::vector<std::uint32_t>
+radixSortIndices(std::span<const std::uint64_t> codes)
+{
+    const std::size_t n = codes.size();
+    std::vector<std::uint32_t> index(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        index[i] = static_cast<std::uint32_t>(i);
+    }
+    if (n <= 1) {
+        return index;
+    }
+
+    // Find how many 8-bit digits are actually populated so tiny keys
+    // don't pay for 8 passes.
+    std::uint64_t all = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        all |= codes[i];
+    }
+    int passes = 0;
+    while (all != 0) {
+        ++passes;
+        all >>= 8;
+    }
+    passes = std::max(passes, 1);
+
+    std::vector<std::uint32_t> scratch(n);
+    std::array<std::size_t, 256> histogram;
+
+    for (int pass = 0; pass < passes; ++pass) {
+        const int shift = pass * 8;
+        histogram.fill(0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++histogram[(codes[index[i]] >> shift) & 0xff];
+        }
+        std::size_t offset = 0;
+        for (std::size_t bucket = 0; bucket < 256; ++bucket) {
+            const std::size_t count = histogram[bucket];
+            histogram[bucket] = offset;
+            offset += count;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t bucket = (codes[index[i]] >> shift) & 0xff;
+            scratch[histogram[bucket]++] = index[i];
+        }
+        index.swap(scratch);
+    }
+    return index;
+}
+
+} // namespace edgepc

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Morton (Z-order) code generation, decoding and ordering.
+ *
+ * This is the primitive at the heart of EdgePC (Sec 4.1 of the paper):
+ * a point's floating-point coordinates are quantized onto a voxel grid
+ * of cell size r anchored at the cloud's minimum corner, and the three
+ * integer voxel indexes are bit-interleaved into a single code. Sorting
+ * points by this code "structurizes" the cloud: points adjacent in the
+ * sorted order are (mostly) adjacent in space, which is what lets the
+ * sampler and neighbor searcher operate on raw indexes.
+ *
+ * Bit convention (matching the paper's worked example, Sec 4.1):
+ * (x, y, z) = (2, 3, 4) = (010, 011, 100)b encodes to 100'011'010b = 282,
+ * i.e. x occupies bit 3i, y bit 3i+1 and z bit 3i+2.
+ */
+
+#ifndef EDGEPC_GEOMETRY_MORTON_HPP
+#define EDGEPC_GEOMETRY_MORTON_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+
+/** Spread the low 21 bits of @p v so they occupy every third bit. */
+std::uint64_t part1By2(std::uint32_t v);
+
+/** Inverse of part1By2: gather every third bit starting at bit 0. */
+std::uint32_t compact1By2(std::uint64_t v);
+
+/** Spread the low 32 bits of @p v so they occupy every other bit. */
+std::uint64_t part1By1(std::uint32_t v);
+
+/** Inverse of part1By1. */
+std::uint32_t compact1By1(std::uint64_t v);
+
+/**
+ * Interleave three integer voxel coordinates (up to 21 bits each) into
+ * a 63-bit Morton code.
+ */
+std::uint64_t mortonEncode3(std::uint32_t x, std::uint32_t y,
+                            std::uint32_t z);
+
+/** Recover the voxel coordinates from a 3D Morton code. */
+void mortonDecode3(std::uint64_t code, std::uint32_t &x, std::uint32_t &y,
+                   std::uint32_t &z);
+
+/** Interleave two integer coordinates (up to 32 bits each). */
+std::uint64_t mortonEncode2(std::uint32_t x, std::uint32_t y);
+
+/** Recover the coordinates from a 2D Morton code. */
+void mortonDecode2(std::uint64_t code, std::uint32_t &x, std::uint32_t &y);
+
+/**
+ * Quantizes floating-point points onto a voxel grid and produces Morton
+ * codes for them.
+ *
+ * Two construction modes mirror the paper:
+ *  - explicit grid size r and minimum corner (Algo 1's inputs), or
+ *  - a bit budget a for the whole code (Sec 5.1.3): each axis gets
+ *    floor(a/3) bits and r = D / 2^(a/3) where D is the bounding-cube
+ *    dimension. The paper's default is a = 32, i.e. 10 bits per axis.
+ */
+class MortonEncoder
+{
+  public:
+    /** Paper default: a = 32 total code bits (10 usable bits/axis). */
+    static constexpr int kDefaultCodeBits = 32;
+
+    /**
+     * Build from an explicit grid.
+     *
+     * @param minimum Lower corner of the data space ({x,y,z}_min).
+     * @param grid_size Voxel edge length r; must be > 0.
+     * @param bits_per_axis Clamp voxel indexes to [0, 2^bits).
+     */
+    MortonEncoder(const Vec3 &minimum, float grid_size,
+                  int bits_per_axis = 21);
+
+    /**
+     * Build from a bounding box and a total code bit budget.
+     *
+     * @param bounds Bounding box of the cloud.
+     * @param code_bits Total bits a for the code; each axis uses
+     *                  floor(a/3) bits and r = D / 2^(a/3).
+     */
+    MortonEncoder(const Aabb &bounds, int code_bits = kDefaultCodeBits);
+
+    /** Voxel edge length r in use. */
+    float gridSize() const { return cellSize; }
+
+    /** Bits per axis in use. */
+    int bitsPerAxis() const { return axisBits; }
+
+    /** Lower corner of the grid. */
+    const Vec3 &minimum() const { return origin; }
+
+    /** Quantize @p p to its voxel coordinates (clamped to range). */
+    void voxelOf(const Vec3 &p, std::uint32_t &x, std::uint32_t &y,
+                 std::uint32_t &z) const;
+
+    /** Morton code of @p p. */
+    std::uint64_t code(const Vec3 &p) const;
+
+    /** Center of the voxel that @p code addresses. */
+    Vec3 voxelCenter(std::uint64_t code) const;
+
+    /**
+     * Generate codes for a whole cloud in parallel (Algo 1, MC_Gen).
+     *
+     * @param points Input points.
+     * @param out Output array, resized to points.size().
+     */
+    void encodeAll(std::span<const Vec3> points,
+                   std::vector<std::uint64_t> &out) const;
+
+  private:
+    Vec3 origin;
+    float cellSize;
+    float invCellSize;
+    int axisBits;
+    std::uint32_t maxCell;
+};
+
+/**
+ * Structurize a cloud: return the permutation I' = {i_0, ..., i_{N-1}}
+ * that lists point indexes in ascending Morton-code order (Sec 4.1).
+ * Ties are broken by original index so the result is deterministic.
+ */
+std::vector<std::uint32_t> mortonOrder(std::span<const Vec3> points,
+                                       const MortonEncoder &encoder);
+
+/**
+ * Sort (code, index) pairs by code with an LSD radix sort.
+ *
+ * This is the high-throughput path used by the Morton sampler; it is
+ * O(N) in the number of pairs and parallel over histogram construction.
+ * Exposed for direct testing against std::sort.
+ *
+ * @param codes Morton codes (not modified).
+ * @return Indexes into @p codes in ascending code order (stable).
+ */
+std::vector<std::uint32_t>
+radixSortIndices(std::span<const std::uint64_t> codes);
+
+} // namespace edgepc
+
+#endif // EDGEPC_GEOMETRY_MORTON_HPP

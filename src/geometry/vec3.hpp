@@ -1,0 +1,122 @@
+/**
+ * @file
+ * 3-component float vector used for point coordinates throughout the
+ * library. Header-only; all operations are constexpr-friendly.
+ */
+
+#ifndef EDGEPC_GEOMETRY_VEC3_HPP
+#define EDGEPC_GEOMETRY_VEC3_HPP
+
+#include <cmath>
+#include <ostream>
+
+namespace edgepc {
+
+/** A 3D point or direction in single precision. */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    Vec3 &operator-=(const Vec3 &o)
+    {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    Vec3 &operator*=(float s)
+    {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+    constexpr bool operator!=(const Vec3 &o) const { return !(*this == o); }
+
+    /** Dot product. */
+    constexpr float dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    /** Cross product. */
+    constexpr Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    /** Squared Euclidean norm. */
+    constexpr float squaredNorm() const { return dot(*this); }
+
+    /** Euclidean norm. */
+    float norm() const { return std::sqrt(squaredNorm()); }
+
+    /** Unit-length copy (returns zero vector unchanged). */
+    Vec3 normalized() const
+    {
+        const float n = norm();
+        return n > 0.0f ? (*this) / n : *this;
+    }
+
+    /** Component access by index (0=x, 1=y, 2=z). */
+    float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+    float &operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+/** Squared Euclidean distance between two points. */
+constexpr float
+squaredDistance(const Vec3 &a, const Vec3 &b)
+{
+    return (a - b).squaredNorm();
+}
+
+/** Euclidean distance between two points. */
+inline float
+distance(const Vec3 &a, const Vec3 &b)
+{
+    return (a - b).norm();
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+inline constexpr Vec3
+operator*(float s, const Vec3 &v)
+{
+    return v * s;
+}
+
+} // namespace edgepc
+
+#endif // EDGEPC_GEOMETRY_VEC3_HPP

@@ -1,0 +1,99 @@
+#include "geometry/voxel_grid.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+VoxelGrid::VoxelGrid(std::span<const Vec3> points, float cell_size)
+    : cell(cell_size)
+{
+    if (cell_size <= 0.0f) {
+        fatal("VoxelGrid: cell_size must be positive (got %f)",
+              static_cast<double>(cell_size));
+    }
+    invCell = 1.0f / cell;
+    const Aabb box = Aabb::of(points);
+    origin = box.empty() ? Vec3{} : box.min();
+
+    count = points.size();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::int64_t ix, iy, iz;
+        coordsOf(points[i], ix, iy, iz);
+        cells[keyOf(ix, iy, iz)].push_back(
+            static_cast<std::uint32_t>(i));
+    }
+}
+
+double
+VoxelGrid::meanOccupancy() const
+{
+    if (cells.empty()) {
+        return 0.0;
+    }
+    return static_cast<double>(count) / static_cast<double>(cells.size());
+}
+
+VoxelGrid::Key
+VoxelGrid::keyOf(std::int64_t ix, std::int64_t iy, std::int64_t iz) const
+{
+    // 21 bits per axis with a bias keeps coordinates non-negative.
+    constexpr std::int64_t bias = 1 << 20;
+    const std::uint64_t ux = static_cast<std::uint64_t>(ix + bias) &
+                             0x1fffffull;
+    const std::uint64_t uy = static_cast<std::uint64_t>(iy + bias) &
+                             0x1fffffull;
+    const std::uint64_t uz = static_cast<std::uint64_t>(iz + bias) &
+                             0x1fffffull;
+    return ux | (uy << 21) | (uz << 42);
+}
+
+void
+VoxelGrid::coordsOf(const Vec3 &p, std::int64_t &ix, std::int64_t &iy,
+                    std::int64_t &iz) const
+{
+    ix = static_cast<std::int64_t>(std::floor((p.x - origin.x) * invCell));
+    iy = static_cast<std::int64_t>(std::floor((p.y - origin.y) * invCell));
+    iz = static_cast<std::int64_t>(std::floor((p.z - origin.z) * invCell));
+}
+
+void
+VoxelGrid::forEachCandidate(
+    const Vec3 &center, float radius,
+    const std::function<void(std::uint32_t)> &fn) const
+{
+    std::int64_t cx, cy, cz;
+    coordsOf(center, cx, cy, cz);
+    const auto reach =
+        static_cast<std::int64_t>(std::ceil(radius * invCell));
+
+    for (std::int64_t dz = -reach; dz <= reach; ++dz) {
+        for (std::int64_t dy = -reach; dy <= reach; ++dy) {
+            for (std::int64_t dx = -reach; dx <= reach; ++dx) {
+                const auto it =
+                    cells.find(keyOf(cx + dx, cy + dy, cz + dz));
+                if (it == cells.end()) {
+                    continue;
+                }
+                for (const std::uint32_t idx : it->second) {
+                    fn(idx);
+                }
+            }
+        }
+    }
+}
+
+std::span<const std::uint32_t>
+VoxelGrid::voxelPoints(const Vec3 &p) const
+{
+    std::int64_t ix, iy, iz;
+    coordsOf(p, ix, iy, iz);
+    const auto it = cells.find(keyOf(ix, iy, iz));
+    if (it == cells.end()) {
+        return {};
+    }
+    return {it->second.data(), it->second.size()};
+}
+
+} // namespace edgepc

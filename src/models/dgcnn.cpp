@@ -1,0 +1,330 @@
+#include "models/dgcnn.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/morton_window.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+
+DgcnnConfig
+DgcnnConfig::classification(std::size_t num_classes)
+{
+    DgcnnConfig cfg;
+    cfg.task = DgcnnTask::Classification;
+    cfg.numClasses = num_classes;
+    cfg.k = 20;
+    cfg.ecWidths = {64, 64, 128, 256};
+    cfg.embeddingDim = 1024;
+    cfg.headMlp = {512, 256};
+    return cfg;
+}
+
+DgcnnConfig
+DgcnnConfig::partSegmentation(std::size_t num_classes)
+{
+    DgcnnConfig cfg;
+    cfg.task = DgcnnTask::PartSegmentation;
+    cfg.numClasses = num_classes;
+    cfg.k = 20;
+    cfg.ecWidths = {64, 64, 64};
+    cfg.embeddingDim = 1024;
+    cfg.headMlp = {256, 128};
+    return cfg;
+}
+
+DgcnnConfig
+DgcnnConfig::semanticSegmentation(std::size_t num_classes)
+{
+    DgcnnConfig cfg = partSegmentation(num_classes);
+    cfg.task = DgcnnTask::SemanticSegmentation;
+    return cfg;
+}
+
+DgcnnConfig
+DgcnnConfig::liteClassification(std::size_t num_classes)
+{
+    DgcnnConfig cfg;
+    cfg.task = DgcnnTask::Classification;
+    cfg.numClasses = num_classes;
+    cfg.k = 10;
+    cfg.ecWidths = {32, 64};
+    cfg.embeddingDim = 128;
+    cfg.headMlp = {64};
+    return cfg;
+}
+
+DgcnnConfig
+DgcnnConfig::liteSegmentation(std::size_t num_classes)
+{
+    DgcnnConfig cfg;
+    cfg.task = DgcnnTask::SemanticSegmentation;
+    cfg.numClasses = num_classes;
+    cfg.k = 8;
+    cfg.ecWidths = {16, 32};
+    cfg.embeddingDim = 64;
+    cfg.headMlp = {32};
+    return cfg;
+}
+
+Dgcnn::Dgcnn(DgcnnConfig config, std::uint64_t seed) : cfg(std::move(config))
+{
+    if (cfg.ecWidths.empty()) {
+        fatal("Dgcnn: at least one EdgeConv module is required");
+    }
+    Rng rng(seed);
+
+    std::size_t feat_dim = 3; // EC1 consumes coordinates.
+    std::size_t concat_dim = 0;
+    for (const std::size_t width : cfg.ecWidths) {
+        // Linear + BN + LeakyReLU(0.2), as in the reference DGCNN.
+        EcBlock block;
+        block.mlp.add(
+            std::make_unique<nn::Linear>(2 * feat_dim, width, rng));
+        block.mlp.add(std::make_unique<nn::BatchNorm>(width));
+        block.mlp.add(std::make_unique<nn::LeakyReLU>());
+        block.pool = std::make_unique<nn::MaxPoolNeighbors>(cfg.k);
+        ecBlocks.push_back(std::move(block));
+        feat_dim = width;
+        concat_dim += width;
+    }
+
+    // No batch norm here: this runs per cloud, and normalizing right
+    // before the global max-pool would standardize every cloud's
+    // feature distribution, collapsing the pooled statistic to a
+    // near-constant (the reference implementation normalizes across a
+    // large multi-cloud batch, where this effect does not arise).
+    embedding.add(
+        std::make_unique<nn::Linear>(concat_dim, cfg.embeddingDim, rng));
+    embedding.add(std::make_unique<nn::LeakyReLU>());
+
+    std::size_t head_in = isClassifier()
+                              ? cfg.embeddingDim
+                              : concat_dim + cfg.embeddingDim;
+    for (const std::size_t width : cfg.headMlp) {
+        head.addLinearBnRelu(head_in, width, rng);
+        head_in = width;
+    }
+    head.add(std::make_unique<nn::Linear>(head_in, cfg.numClasses, rng));
+}
+
+std::string
+Dgcnn::name() const
+{
+    switch (cfg.task) {
+      case DgcnnTask::Classification:
+        return "dgcnn(c)";
+      case DgcnnTask::PartSegmentation:
+        return "dgcnn(p)";
+      case DgcnnTask::SemanticSegmentation:
+        return "dgcnn(s)";
+    }
+    return "dgcnn";
+}
+
+NeighborLists
+Dgcnn::searchNeighbors(std::size_t module, const EdgePcConfig &config,
+                       std::span<const Vec3> positions,
+                       const nn::Matrix &features, NeighborCache &cache)
+{
+    const std::size_t k = cfg.k;
+    const int layer = static_cast<int>(module);
+
+    if (module == 0) {
+        // Geometric search: EdgePC replaces it with the Morton window.
+        if (config.approximate() && config.optimizedNeighborLayers > 0) {
+            const MortonSampler sampler(config.codeBits);
+            const Structurization s = sampler.structurize(positions);
+            const MortonWindowSearch searcher(config.searchWindow);
+            NeighborLists lists = searcher.searchAll(positions, s, k);
+            if (config.reuseDistance > 0) {
+                cache.store(layer, lists);
+            }
+            return lists;
+        }
+        BruteForceKnn searcher;
+        NeighborLists lists = searcher.search(positions, positions, k);
+        if (config.approximate() && config.reuseDistance > 0) {
+            cache.store(layer, lists);
+        }
+        return lists;
+    }
+
+    // Feature-space search (modules >= 2): Morton codes cannot index
+    // high-dimensional features, so EdgePC interleaves reuse/compute.
+    if (config.approximate() && config.reuseDistance > 0 &&
+        !cache.shouldCompute(layer)) {
+        return cache.lookup(layer);
+    }
+    NeighborLists lists = BruteForceKnn::searchFeatureSpace(
+        {features.data(), features.numel()},
+        {features.data(), features.numel()}, features.cols(), k);
+    if (config.approximate() && config.reuseDistance > 0) {
+        cache.store(layer, lists);
+    }
+    return lists;
+}
+
+nn::Matrix
+Dgcnn::forward(const PointCloud &cloud, const EdgePcConfig &config,
+               StageTimer *timer, bool train)
+{
+    if (cloud.empty()) {
+        fatal("Dgcnn::forward: empty cloud");
+    }
+    trainMode = train;
+    const std::size_t n = cloud.size();
+    savedPoints = n;
+    NeighborCache cache(config.reuseDistance);
+
+    // Initial features: the coordinates.
+    nn::Matrix features(n, 3);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec3 &p = cloud.position(i);
+        features.at(i, 0) = p.x;
+        features.at(i, 1) = p.y;
+        features.at(i, 2) = p.z;
+    }
+
+    ecOutputs.assign(ecBlocks.size(), nn::Matrix{});
+    StageTimer dummy;
+    StageTimer &t = timer ? *timer : dummy;
+
+    for (std::size_t m = 0; m < ecBlocks.size(); ++m) {
+        EcBlock &block = ecBlocks[m];
+        NeighborLists neighbors;
+        {
+            StageTimer::ScopedStage scope(t, kStageNeighbor);
+            neighbors = searchNeighbors(m, config, cloud.positions(),
+                                        features, cache);
+        }
+        // The searchers clamp k for tiny clouds; pool with the
+        // effective group size.
+        const std::size_t k_eff = neighbors.k;
+        nn::Matrix edges;
+        {
+            StageTimer::ScopedStage scope(t, kStageGroup);
+            block.edge.setNeighbors(std::move(neighbors));
+            edges = block.edge.forward(features, train);
+        }
+        {
+            StageTimer::ScopedStage scope(t, kStageFeature);
+            const nn::Matrix activated = block.mlp.forward(edges, train);
+            block.pool =
+                std::make_unique<nn::MaxPoolNeighbors>(k_eff);
+            ecOutputs[m] = block.pool->forward(activated, train);
+        }
+        features = ecOutputs[m];
+    }
+
+    StageTimer::ScopedStage scope(t, kStageFeature);
+    nn::Matrix concat = ecOutputs[0];
+    for (std::size_t m = 1; m < ecOutputs.size(); ++m) {
+        concat = nn::concatCols(concat, ecOutputs[m]);
+    }
+
+    const nn::Matrix embedded = embedding.forward(concat, train);
+    const nn::Matrix pooled = globalPool.forward(embedded, train);
+
+    if (isClassifier()) {
+        return head.forward(pooled, train);
+    }
+    const nn::Matrix broadcast = nn::broadcastRow(pooled, n);
+    const nn::Matrix head_in = nn::concatCols(concat, broadcast);
+    return head.forward(head_in, train);
+}
+
+nn::Matrix
+Dgcnn::infer(const PointCloud &cloud, const EdgePcConfig &config,
+             StageTimer *timer)
+{
+    return forward(cloud, config, timer, false);
+}
+
+void
+Dgcnn::backward(const nn::Matrix &grad_logits)
+{
+    if (!trainMode) {
+        panic("Dgcnn::backward without forward(train=true)");
+    }
+    const std::size_t num_ec = ecBlocks.size();
+    std::size_t concat_dim = 0;
+    for (const auto &out : ecOutputs) {
+        concat_dim += out.cols();
+    }
+
+    nn::Matrix grad_concat(savedPoints, concat_dim);
+    nn::Matrix grad_pooled;
+
+    nn::Matrix g = head.backward(grad_logits);
+    if (isClassifier()) {
+        grad_pooled = std::move(g);
+    } else {
+        auto [concat_part, broadcast_part] = nn::splitCols(g, concat_dim);
+        grad_concat.add(concat_part);
+        // Sum the broadcast gradient back into the single global row.
+        grad_pooled = nn::Matrix(1, broadcast_part.cols());
+        for (std::size_t r = 0; r < broadcast_part.rows(); ++r) {
+            const float *row =
+                broadcast_part.data() + r * broadcast_part.cols();
+            for (std::size_t c = 0; c < broadcast_part.cols(); ++c) {
+                grad_pooled.at(0, c) += row[c];
+            }
+        }
+    }
+
+    const nn::Matrix grad_embedded = globalPool.backward(grad_pooled);
+    grad_concat.add(embedding.backward(grad_embedded));
+
+    // Split the concat gradient into per-EC contributions.
+    std::vector<nn::Matrix> grad_ec(num_ec);
+    std::size_t offset = 0;
+    for (std::size_t m = 0; m < num_ec; ++m) {
+        const std::size_t width = ecOutputs[m].cols();
+        grad_ec[m] = nn::Matrix(savedPoints, width);
+        for (std::size_t r = 0; r < savedPoints; ++r) {
+            const float *src =
+                grad_concat.data() + r * concat_dim + offset;
+            std::copy(src, src + width,
+                      grad_ec[m].data() + r * width);
+        }
+        offset += width;
+    }
+
+    // EC backward, deepest first; each module adds its input gradient
+    // to the previous module's output gradient.
+    for (std::size_t m = num_ec; m-- > 0;) {
+        EcBlock &block = ecBlocks[m];
+        nn::Matrix gg = block.pool->backward(grad_ec[m]);
+        gg = block.mlp.backward(gg);
+        gg = block.edge.backward(gg);
+        if (m > 0) {
+            grad_ec[m - 1].add(gg);
+        }
+        // m == 0: gradient w.r.t. the coordinates is discarded.
+    }
+}
+
+void
+Dgcnn::collectParameters(std::vector<nn::Parameter *> &out)
+{
+    for (auto &block : ecBlocks) {
+        block.mlp.collectParameters(out);
+    }
+    embedding.collectParameters(out);
+    head.collectParameters(out);
+}
+
+void
+Dgcnn::collectBuffers(std::vector<std::vector<float> *> &out)
+{
+    for (auto &block : ecBlocks) {
+        block.mlp.collectBuffers(out);
+    }
+    embedding.collectBuffers(out);
+    head.collectBuffers(out);
+}
+
+} // namespace edgepc

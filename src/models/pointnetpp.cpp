@@ -1,0 +1,486 @@
+#include "models/pointnetpp.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "neighbor/ball_query.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/morton_window.hpp"
+#include "sampling/fps.hpp"
+
+namespace edgepc {
+
+namespace {
+
+/** Accumulate @p g into @p acc, allocating @p acc on first use. */
+void
+accumulate(nn::Matrix &acc, const nn::Matrix &g)
+{
+    if (acc.numel() == 0 && acc.rows() == 0) {
+        acc = g;
+    } else {
+        acc.add(g);
+    }
+}
+
+} // namespace
+
+PointNetPPConfig
+PointNetPPConfig::semanticSegmentation(std::size_t num_points,
+                                       std::size_t num_classes)
+{
+    auto at_least_one = [](std::size_t v) {
+        return std::max<std::size_t>(1, v);
+    };
+    PointNetPPConfig cfg;
+    cfg.numClasses = num_classes;
+    cfg.sa = {
+        {at_least_one(num_points / 8), 32, 0.1f, NeighborMode::BallQuery,
+         {32, 32, 64}},
+        {at_least_one(num_points / 32), 32, 0.2f, NeighborMode::BallQuery,
+         {64, 64, 128}},
+        {at_least_one(num_points / 128), 32, 0.4f,
+         NeighborMode::BallQuery, {128, 128, 256}},
+        {at_least_one(num_points / 512), 32, 0.8f,
+         NeighborMode::BallQuery, {256, 256, 512}},
+    };
+    cfg.fp = {
+        {{256, 256}},
+        {{256, 256}},
+        {{256, 128}},
+        {{128, 128, 128}},
+    };
+    cfg.headMlp = {128};
+    return cfg;
+}
+
+PointNetPPConfig
+PointNetPPConfig::liteSegmentation(std::size_t num_points,
+                                   std::size_t num_classes)
+{
+    auto at_least_one = [](std::size_t v) {
+        return std::max<std::size_t>(1, v);
+    };
+    PointNetPPConfig cfg;
+    cfg.numClasses = num_classes;
+    cfg.sa = {
+        {at_least_one(num_points / 4), 16, 0.2f, NeighborMode::BallQuery,
+         {16, 32}},
+        {at_least_one(num_points / 16), 8, 0.4f, NeighborMode::BallQuery,
+         {32, 64}},
+    };
+    cfg.fp = {
+        {{64}},
+        {{64, 32}},
+    };
+    cfg.headMlp = {32};
+    return cfg;
+}
+
+PointNetPPConfig
+PointNetPPConfig::liteClassification(std::size_t num_points,
+                                     std::size_t num_classes)
+{
+    auto at_least_one = [](std::size_t v) {
+        return std::max<std::size_t>(1, v);
+    };
+    PointNetPPConfig cfg;
+    cfg.numClasses = num_classes;
+    cfg.sa = {
+        {at_least_one(num_points / 4), 16, 0.25f,
+         NeighborMode::BallQuery, {16, 32}},
+        {at_least_one(num_points / 16), 8, 0.5f, NeighborMode::BallQuery,
+         {32, 64}},
+    };
+    cfg.headMlp = {64};
+    return cfg;
+}
+
+PointNetPP::PointNetPP(PointNetPPConfig config, std::uint64_t seed)
+    : cfg(std::move(config))
+{
+    if (cfg.sa.empty()) {
+        fatal("PointNetPP: at least one SA module is required");
+    }
+    if (!cfg.fp.empty() && cfg.fp.size() != cfg.sa.size()) {
+        fatal("PointNetPP: fp modules (%zu) must match sa modules (%zu) "
+              "or be empty",
+              cfg.fp.size(), cfg.sa.size());
+    }
+    Rng rng(seed);
+
+    // SA blocks: channel chain C_0 -> ... -> C_L.
+    std::vector<std::size_t> level_dims;
+    level_dims.push_back(cfg.inputFeatureDim);
+    for (std::size_t si = 0; si < cfg.sa.size(); ++si) {
+        const SaConfig &sa = cfg.sa[si];
+        SaBlock block;
+        block.conf = sa;
+        std::size_t in_dim = 3 + level_dims.back();
+        for (std::size_t wi = 0; wi < sa.mlp.size(); ++wi) {
+            const std::size_t width = sa.mlp[wi];
+            // Classifier: the deepest SA output feeds a global
+            // max-pool; per-cloud batch norm right before it would
+            // standardize away the cloud's identity, so the final
+            // stage is Linear + ReLU only (see the matching note in
+            // dgcnn.cpp).
+            const bool last_stage_before_global_pool =
+                cfg.fp.empty() && si + 1 == cfg.sa.size() &&
+                wi + 1 == sa.mlp.size();
+            if (last_stage_before_global_pool) {
+                block.mlp.add(
+                    std::make_unique<nn::Linear>(in_dim, width, rng));
+                block.mlp.add(std::make_unique<nn::ReLU>());
+            } else {
+                block.mlp.addLinearBnRelu(in_dim, width, rng);
+            }
+            in_dim = width;
+        }
+        block.pool = std::make_unique<nn::MaxPoolNeighbors>(sa.k);
+        level_dims.push_back(in_dim);
+        saBlocks.push_back(std::move(block));
+    }
+
+    // FP blocks (deepest first).
+    std::size_t carried = level_dims.back();
+    const std::size_t num_levels = level_dims.size();
+    for (std::size_t m = 0; m < cfg.fp.size(); ++m) {
+        FpBlock block;
+        block.conf = cfg.fp[m];
+        const std::size_t fine_level = num_levels - 2 - m;
+        std::size_t in_dim = carried + level_dims[fine_level];
+        for (const std::size_t width : cfg.fp[m].mlp) {
+            block.mlp.addLinearBnRelu(in_dim, width, rng);
+            in_dim = width;
+        }
+        carried = in_dim;
+        fpBlocks.push_back(std::move(block));
+    }
+
+    // Head: hidden blocks plus a bare final Linear to the classes.
+    std::size_t head_in = cfg.fp.empty() ? level_dims.back() : carried;
+    for (const std::size_t width : cfg.headMlp) {
+        head.addLinearBnRelu(head_in, width, rng);
+        head_in = width;
+    }
+    head.add(std::make_unique<nn::Linear>(head_in, cfg.numClasses, rng));
+}
+
+void
+PointNetPP::runSaModule(std::size_t module, const EdgePcConfig &config,
+                        StageTimer *timer, bool train)
+{
+    SaBlock &block = saBlocks[module];
+    LevelState &cur = levels[module];
+    LevelState &next = levels[module + 1];
+    const std::size_t num_points = cur.positions.size();
+    const std::size_t n = std::min(block.conf.points, num_points);
+    const std::size_t k = block.conf.k;
+
+    // --- Sample stage ---------------------------------------------
+    const bool morton_sample =
+        config.approximate() &&
+        static_cast<int>(module) < config.optimizedSampleLayers;
+    {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageSample);
+        if (morton_sample) {
+            const MortonSampler sampler(config.codeBits);
+            cur.structur = sampler.structurize(cur.positions);
+            cur.mortonSampled = true;
+            cur.sampleIndices =
+                sampler.sampleStructurized(cur.structur, n);
+        } else {
+            FarthestPointSampler sampler;
+            cur.sampleIndices = sampler.sample(cur.positions, n);
+        }
+    }
+
+    // --- Neighbor search stage ------------------------------------
+    NeighborLists neighbors;
+    const bool morton_ns =
+        config.approximate() &&
+        static_cast<int>(module) < config.optimizedNeighborLayers;
+    {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageNeighbor);
+        if (morton_ns) {
+            if (!cur.mortonSampled) {
+                // No structurization to reuse from the sampler: build
+                // one here (its cost counts against this stage).
+                const MortonSampler sampler(config.codeBits);
+                cur.structur = sampler.structurize(cur.positions);
+                cur.mortonSampled = true;
+            }
+            const MortonWindowSearch searcher(config.searchWindow);
+            neighbors = searcher.search(cur.positions, cur.structur,
+                                        cur.sampleIndices, k);
+        } else {
+            std::vector<Vec3> queries(cur.sampleIndices.size());
+            for (std::size_t i = 0; i < queries.size(); ++i) {
+                queries[i] = cur.positions[cur.sampleIndices[i]];
+            }
+            if (block.conf.mode == NeighborMode::BallQuery) {
+                BallQuery searcher(block.conf.radius);
+                neighbors = searcher.search(queries, cur.positions, k);
+            } else {
+                BruteForceKnn searcher;
+                neighbors = searcher.search(queries, cur.positions, k);
+            }
+        }
+    }
+
+    // The searchers clamp k when the candidate set is smaller than
+    // the configured neighbor count; everything downstream must use
+    // the effective k.
+    const std::size_t k_eff = neighbors.k;
+
+    // --- Grouping stage -------------------------------------------
+    nn::Matrix grouped;
+    {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageGroup);
+        const std::size_t feat_dim = cur.saFeatures.cols();
+        cur.groupedFeatureDim = feat_dim;
+
+        // Relative coordinates (constant w.r.t. learnable activations).
+        const std::size_t rows = cur.sampleIndices.size() * k_eff;
+        nn::Matrix rel(rows, 3);
+        parallelFor(0, cur.sampleIndices.size(), [&](std::size_t i) {
+            const Vec3 center = cur.positions[cur.sampleIndices[i]];
+            const auto row = neighbors.row(i);
+            for (std::size_t j = 0; j < k_eff; ++j) {
+                float *dst = rel.data() + (i * k_eff + j) * 3;
+                const Vec3 d = cur.positions[row[j]] - center;
+                dst[0] = d.x;
+                dst[1] = d.y;
+                dst[2] = d.z;
+            }
+        });
+
+        if (feat_dim > 0) {
+            block.gather.setIndices(neighbors.indices);
+            const nn::Matrix gathered =
+                block.gather.forward(cur.saFeatures, train);
+            grouped = nn::concatCols(rel, gathered);
+        } else {
+            grouped = std::move(rel);
+        }
+    }
+
+    // --- Feature compute stage ------------------------------------
+    {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageFeature);
+        const nn::Matrix activated = block.mlp.forward(grouped, train);
+        block.pool = std::make_unique<nn::MaxPoolNeighbors>(k_eff);
+        next.saFeatures = block.pool->forward(activated, train);
+    }
+
+    next.positions.resize(cur.sampleIndices.size());
+    for (std::size_t i = 0; i < cur.sampleIndices.size(); ++i) {
+        next.positions[i] = cur.positions[cur.sampleIndices[i]];
+    }
+}
+
+void
+PointNetPP::runFpModule(std::size_t module, const EdgePcConfig &config,
+                        StageTimer *timer, bool train)
+{
+    FpBlock &block = fpBlocks[module];
+    const std::size_t num_levels = levels.size();
+    const std::size_t coarse = num_levels - 1 - module;
+    const std::size_t fine = coarse - 1;
+    LevelState &fine_level = levels[fine];
+    LevelState &coarse_level = levels[coarse];
+
+    // --- Up-sampling search (counted as sample stage) --------------
+    InterpolationPlan plan;
+    const bool morton_up =
+        config.approximate() &&
+        static_cast<int>(fine) < config.optimizedSampleLayers &&
+        fine_level.mortonSampled;
+    {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageSample);
+        if (morton_up) {
+            const MortonUpsampler upsampler;
+            plan = upsampler.plan(fine_level.positions,
+                                  fine_level.structur,
+                                  fine_level.sampleIndices);
+        } else {
+            plan = exactInterpolation(fine_level.positions,
+                                      coarse_level.positions, 3);
+        }
+    }
+
+    // --- Interpolation apply + skip concat (grouping stage) --------
+    nn::Matrix concat;
+    {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageGroup);
+        block.interp.setPlan(std::move(plan));
+        const nn::Matrix up =
+            block.interp.forward(fpFeatures[coarse], train);
+        if (fine_level.saFeatures.cols() > 0) {
+            concat = nn::concatCols(up, fine_level.saFeatures);
+        } else {
+            concat = up;
+        }
+    }
+
+    // --- Feature compute -------------------------------------------
+    {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageFeature);
+        fpFeatures[fine] = block.mlp.forward(concat, train);
+    }
+}
+
+nn::Matrix
+PointNetPP::forward(const PointCloud &cloud, const EdgePcConfig &config,
+                    StageTimer *timer, bool train)
+{
+    if (cloud.empty()) {
+        fatal("PointNetPP::forward: empty cloud");
+    }
+    if (cloud.featureDim() != cfg.inputFeatureDim) {
+        fatal("PointNetPP::forward: cloud feature dim %zu != model %zu",
+              cloud.featureDim(), cfg.inputFeatureDim);
+    }
+    trainMode = train;
+
+    levels.assign(cfg.sa.size() + 1, LevelState{});
+    levels[0].positions = cloud.positions();
+    levels[0].saFeatures =
+        nn::Matrix(cloud.size(), cfg.inputFeatureDim,
+                   std::vector<float>(cloud.features()));
+
+    for (std::size_t i = 0; i < saBlocks.size(); ++i) {
+        runSaModule(i, config, timer, train);
+    }
+
+    if (isClassifier()) {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageFeature);
+        const nn::Matrix pooled =
+            globalPool.forward(levels.back().saFeatures, train);
+        return head.forward(pooled, train);
+    }
+
+    fpFeatures.assign(levels.size(), nn::Matrix{});
+    fpFeatures.back() = levels.back().saFeatures;
+    for (std::size_t m = 0; m < fpBlocks.size(); ++m) {
+        runFpModule(m, config, timer, train);
+    }
+
+    StageTimer dummy;
+    StageTimer::ScopedStage scope(timer ? *timer : dummy, kStageFeature);
+    return head.forward(fpFeatures[0], train);
+}
+
+nn::Matrix
+PointNetPP::infer(const PointCloud &cloud, const EdgePcConfig &config,
+                  StageTimer *timer)
+{
+    return forward(cloud, config, timer, false);
+}
+
+void
+PointNetPP::backward(const nn::Matrix &grad_logits)
+{
+    if (!trainMode) {
+        panic("PointNetPP::backward without forward(train=true)");
+    }
+    const std::size_t num_levels = levels.size();
+
+    // Gradients w.r.t. each level's SA-output features.
+    std::vector<nn::Matrix> grad_sa(num_levels);
+
+    nn::Matrix g = head.backward(grad_logits);
+
+    if (isClassifier()) {
+        accumulate(grad_sa[num_levels - 1], globalPool.backward(g));
+    } else {
+        // FP backward: module m maps fine = L-1-m; iterate so dG[fine]
+        // is available (shallowest module first).
+        std::vector<nn::Matrix> grad_fp(num_levels);
+        grad_fp[0] = std::move(g);
+        for (std::size_t idx = 0; idx < fpBlocks.size(); ++idx) {
+            const std::size_t m = fpBlocks.size() - 1 - idx;
+            const std::size_t coarse = num_levels - 1 - m;
+            const std::size_t fine = coarse - 1;
+            FpBlock &block = fpBlocks[m];
+
+            nn::Matrix grad_concat =
+                block.mlp.backward(grad_fp[fine]);
+            const std::size_t up_cols =
+                grad_concat.cols() - levels[fine].saFeatures.cols();
+            auto [up_grad, skip_grad] =
+                nn::splitCols(grad_concat, up_cols);
+
+            const nn::Matrix coarse_grad =
+                block.interp.backward(up_grad);
+            if (coarse == num_levels - 1) {
+                accumulate(grad_sa[coarse], coarse_grad);
+            } else {
+                accumulate(grad_fp[coarse], coarse_grad);
+            }
+            if (skip_grad.cols() > 0) {
+                accumulate(grad_sa[fine], skip_grad);
+            }
+        }
+    }
+
+    // SA backward, deepest first.
+    for (std::size_t i = saBlocks.size(); i-- > 0;) {
+        SaBlock &block = saBlocks[i];
+        nn::Matrix pooled_grad = std::move(grad_sa[i + 1]);
+        if (pooled_grad.numel() == 0 && pooled_grad.rows() == 0) {
+            // No gradient reached this level (possible in ablations).
+            continue;
+        }
+        nn::Matrix act_grad = block.pool->backward(pooled_grad);
+        nn::Matrix grouped_grad = block.mlp.backward(act_grad);
+        if (levels[i].groupedFeatureDim > 0) {
+            auto [rel_grad, feat_grad] = nn::splitCols(grouped_grad, 3);
+            (void)rel_grad; // Coordinates carry no learnable gradient.
+            accumulate(grad_sa[i], block.gather.backward(feat_grad));
+        }
+    }
+}
+
+void
+PointNetPP::collectParameters(std::vector<nn::Parameter *> &out)
+{
+    for (auto &block : saBlocks) {
+        block.mlp.collectParameters(out);
+    }
+    for (auto &block : fpBlocks) {
+        block.mlp.collectParameters(out);
+    }
+    head.collectParameters(out);
+}
+
+void
+PointNetPP::collectBuffers(std::vector<std::vector<float> *> &out)
+{
+    for (auto &block : saBlocks) {
+        block.mlp.collectBuffers(out);
+    }
+    for (auto &block : fpBlocks) {
+        block.mlp.collectBuffers(out);
+    }
+    head.collectBuffers(out);
+}
+
+} // namespace edgepc

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * PointNet++ (Qi et al., NeurIPS 2017) with the EdgePC approximations
+ * integrated (Fig 2a of the EdgePC paper).
+ *
+ * The semantic-segmentation variant stacks SetAbstraction (SA) modules
+ * — sample, neighbor search, group, shared MLP, max-pool — followed by
+ * FeaturePropagation (FP) modules — interpolate/up-sample, concat skip
+ * features, shared MLP — and a per-point head. A classification
+ * variant (empty FP list) global-pools the deepest features instead.
+ *
+ * Every stage honors the EdgePcConfig: baseline runs FPS + ball query
+ * + exact 3-NN interpolation; S+N swaps the configured leading layers
+ * for the Morton sampler / window searcher / stride up-sampler,
+ * reusing one structurization across the sample and neighbor-search
+ * stages of the same module (Sec 5.2.3).
+ *
+ * Full manual backprop is implemented so the network can be retrained
+ * with the approximations in the training loop (Sec 5.3).
+ */
+
+#ifndef EDGEPC_MODELS_POINTNETPP_HPP
+#define EDGEPC_MODELS_POINTNETPP_HPP
+
+#include <memory>
+
+#include "models/model.hpp"
+#include "neighbor/neighbor_search.hpp"
+#include "nn/grouping.hpp"
+#include "nn/layers.hpp"
+#include "sampling/interpolation.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+
+/** How an SA module searches neighbors in the baseline. */
+enum class NeighborMode
+{
+    BallQuery,
+    Knn,
+};
+
+/** One SetAbstraction module's hyper-parameters. */
+struct SaConfig
+{
+    /** Points sampled by this module (n). */
+    std::size_t points;
+    /** Neighbors per sampled point (k). */
+    std::size_t k;
+    /** Ball-query radius (ignored in Knn mode). */
+    float radius;
+    /** Baseline neighbor searcher. */
+    NeighborMode mode = NeighborMode::BallQuery;
+    /** Shared-MLP channel widths. */
+    std::vector<std::size_t> mlp;
+};
+
+/** One FeaturePropagation module's hyper-parameters. */
+struct FpConfig
+{
+    /** Shared-MLP channel widths. */
+    std::vector<std::size_t> mlp;
+};
+
+/** Whole-network hyper-parameters. */
+struct PointNetPPConfig
+{
+    /** Extra per-point input features beyond xyz (0 = coords only). */
+    std::size_t inputFeatureDim = 0;
+
+    /** Output classes. */
+    std::size_t numClasses = 0;
+
+    /** SA modules, shallowest first. */
+    std::vector<SaConfig> sa;
+
+    /**
+     * FP modules, deepest first (fp[0] propagates from the deepest
+     * level). Must match sa.size() for segmentation; empty makes the
+     * network a classifier (global pool + head).
+     */
+    std::vector<FpConfig> fp;
+
+    /** Hidden widths of the final head (classes appended internally). */
+    std::vector<std::size_t> headMlp;
+
+    /**
+     * The paper's PointNet++(s) for semantic segmentation: 4 SA + 4 FP
+     * with the reference SSG widths, module point counts scaled from
+     * @p num_points (N/8, N/32, N/128, N/512).
+     */
+    static PointNetPPConfig semanticSegmentation(std::size_t num_points,
+                                                 std::size_t num_classes);
+
+    /** Small trainable segmentation variant (2 SA + 2 FP). */
+    static PointNetPPConfig liteSegmentation(std::size_t num_points,
+                                             std::size_t num_classes);
+
+    /** Small trainable classification variant (2 SA, global pool). */
+    static PointNetPPConfig liteClassification(std::size_t num_points,
+                                               std::size_t num_classes);
+};
+
+/** PointNet++ with selectable baseline / EdgePC kernels. */
+class PointNetPP : public TrainableModel
+{
+  public:
+    /**
+     * @param config Network hyper-parameters.
+     * @param seed Weight-initialization seed.
+     */
+    PointNetPP(PointNetPPConfig config, std::uint64_t seed = 42);
+
+    nn::Matrix infer(const PointCloud &cloud, const EdgePcConfig &cfg,
+                     StageTimer *timer = nullptr) override;
+
+    /**
+     * Forward pass keeping intermediates when @p train is true.
+     * Returns per-point logits (N x classes) for segmentation or a
+     * single-row logit matrix for classification.
+     */
+    nn::Matrix forward(const PointCloud &cloud, const EdgePcConfig &cfg,
+                       StageTimer *timer, bool train);
+
+    /**
+     * Backward pass from dLoss/dLogits; accumulates parameter
+     * gradients. Must follow a forward(..., train=true).
+     */
+    void backward(const nn::Matrix &grad_logits);
+
+    std::string name() const override { return "pointnet++"; }
+    std::size_t numClasses() const override { return cfg.numClasses; }
+    void collectParameters(std::vector<nn::Parameter *> &out) override;
+    void collectBuffers(std::vector<std::vector<float> *> &out) override;
+
+    const PointNetPPConfig &config() const { return cfg; }
+
+    /** True when the network is a classifier (no FP modules). */
+    bool isClassifier() const { return cfg.fp.empty(); }
+
+  private:
+    struct SaBlock
+    {
+        SaConfig conf;
+        nn::Sequential mlp;
+        nn::GroupingLayer gather;
+        std::unique_ptr<nn::MaxPoolNeighbors> pool;
+    };
+
+    struct FpBlock
+    {
+        FpConfig conf;
+        nn::Sequential mlp;
+        nn::InterpolateLayer interp;
+    };
+
+    /** Per-level activations saved across a forward pass. */
+    struct LevelState
+    {
+        std::vector<Vec3> positions;
+        nn::Matrix saFeatures; ///< Features after SA (level 0: input).
+        std::vector<std::uint32_t> sampleIndices;
+        Structurization structur;
+        bool mortonSampled = false;
+        std::size_t groupedFeatureDim = 0; ///< C_i fed to SA grouping.
+    };
+
+    void runSaModule(std::size_t module, const EdgePcConfig &cfg,
+                     StageTimer *timer, bool train);
+    void runFpModule(std::size_t module, const EdgePcConfig &cfg,
+                     StageTimer *timer, bool train);
+
+    PointNetPPConfig cfg;
+    std::vector<SaBlock> saBlocks;
+    std::vector<FpBlock> fpBlocks;
+    nn::Sequential head;
+    nn::GlobalMaxPool globalPool;
+
+    // Forward state.
+    std::vector<LevelState> levels;
+    std::vector<nn::Matrix> fpFeatures; ///< G_l per level.
+    bool trainMode = false;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_MODELS_POINTNETPP_HPP

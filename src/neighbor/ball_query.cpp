@@ -1,0 +1,65 @@
+#include "neighbor/ball_query.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+
+BallQuery::BallQuery(float radius) : r(radius)
+{
+    if (radius <= 0.0f) {
+        fatal("BallQuery: radius must be positive (got %f)",
+              static_cast<double>(radius));
+    }
+}
+
+NeighborLists
+BallQuery::search(std::span<const Vec3> queries,
+                  std::span<const Vec3> candidates, std::size_t k)
+{
+    if (candidates.empty() || k == 0) {
+        fatal("BallQuery: empty candidate set or k == 0");
+    }
+    k = std::min(k, candidates.size());
+    const float r2 = r * r;
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(queries.size() * k);
+
+    parallelFor(0, queries.size(), [&](std::size_t q) {
+        std::uint32_t *row = out.indices.data() + q * k;
+        std::size_t found = 0;
+        float nearest_dist = std::numeric_limits<float>::max();
+        std::uint32_t nearest_idx = 0;
+
+        for (std::size_t c = 0; c < candidates.size() && found < k; ++c) {
+            const float d = squaredDistance(queries[q], candidates[c]);
+            if (d < nearest_dist) {
+                nearest_dist = d;
+                nearest_idx = static_cast<std::uint32_t>(c);
+            }
+            if (d <= r2) {
+                row[found++] = static_cast<std::uint32_t>(c);
+            }
+        }
+
+        if (found == 0) {
+            // Empty ball: fall back to the nearest candidate seen so
+            // far (we may have exited early only when found == k, so
+            // at this point the whole set was scanned).
+            row[0] = nearest_idx;
+            found = 1;
+        }
+        // Pad with the first in-ball index (reference convention).
+        for (std::size_t j = found; j < k; ++j) {
+            row[j] = row[0];
+        }
+    });
+    return out;
+}
+
+} // namespace edgepc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ball query: the PointNet++ neighbor searcher (Sec 5.2.1, Fig 10a).
+ * Returns the first k candidates within radius R of each query; when
+ * fewer than k are inside the ball, the first found index is repeated
+ * (the reference implementation's padding convention). When none are
+ * inside, the nearest candidate is used.
+ */
+
+#ifndef EDGEPC_NEIGHBOR_BALL_QUERY_HPP
+#define EDGEPC_NEIGHBOR_BALL_QUERY_HPP
+
+#include "neighbor/neighbor_search.hpp"
+
+namespace edgepc {
+
+/** Fixed-radius neighbor searcher with k-padding. */
+class BallQuery : public NeighborSearch
+{
+  public:
+    /** @param radius Ball radius R. */
+    explicit BallQuery(float radius);
+
+    NeighborLists search(std::span<const Vec3> queries,
+                         std::span<const Vec3> candidates,
+                         std::size_t k) override;
+
+    std::string name() const override { return "ball-query"; }
+
+    float radius() const { return r; }
+
+  private:
+    float r;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_BALL_QUERY_HPP

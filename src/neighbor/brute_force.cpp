@@ -1,0 +1,96 @@
+#include "neighbor/brute_force.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+
+namespace {
+
+/** Max-heap insert keeping the k smallest (distance, index) pairs. */
+inline void
+keepSmallest(std::vector<std::pair<float, std::uint32_t>> &heap,
+             std::size_t k, float dist, std::uint32_t idx)
+{
+    if (heap.size() < k) {
+        heap.emplace_back(dist, idx);
+        std::push_heap(heap.begin(), heap.end());
+    } else if (dist < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {dist, idx};
+        std::push_heap(heap.begin(), heap.end());
+    }
+}
+
+} // namespace
+
+NeighborLists
+BruteForceKnn::search(std::span<const Vec3> queries,
+                      std::span<const Vec3> candidates, std::size_t k)
+{
+    if (candidates.empty() || k == 0) {
+        fatal("BruteForceKnn: empty candidate set or k == 0");
+    }
+    k = std::min(k, candidates.size());
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(queries.size() * k);
+
+    parallelFor(0, queries.size(), [&](std::size_t q) {
+        std::vector<std::pair<float, std::uint32_t>> heap;
+        heap.reserve(k + 1);
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+            keepSmallest(heap, k,
+                         squaredDistance(queries[q], candidates[c]),
+                         static_cast<std::uint32_t>(c));
+        }
+        std::sort_heap(heap.begin(), heap.end());
+        for (std::size_t j = 0; j < k; ++j) {
+            out.indices[q * k + j] = heap[j].second;
+        }
+    });
+    return out;
+}
+
+NeighborLists
+BruteForceKnn::searchFeatureSpace(std::span<const float> queries,
+                                  std::span<const float> candidates,
+                                  std::size_t dim, std::size_t k)
+{
+    if (dim == 0 || candidates.empty()) {
+        fatal("searchFeatureSpace: empty candidates or dim == 0");
+    }
+    const std::size_t nq = queries.size() / dim;
+    const std::size_t nc = candidates.size() / dim;
+    k = std::min(k, nc);
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(nq * k);
+
+    parallelFor(0, nq, [&](std::size_t q) {
+        const float *qrow = queries.data() + q * dim;
+        std::vector<std::pair<float, std::uint32_t>> heap;
+        heap.reserve(k + 1);
+        for (std::size_t c = 0; c < nc; ++c) {
+            const float *crow = candidates.data() + c * dim;
+            float dist = 0.0f;
+            for (std::size_t d = 0; d < dim; ++d) {
+                const float diff = qrow[d] - crow[d];
+                dist += diff * diff;
+            }
+            keepSmallest(heap, k, dist, static_cast<std::uint32_t>(c));
+        }
+        std::sort_heap(heap.begin(), heap.end());
+        for (std::size_t j = 0; j < k; ++j) {
+            out.indices[q * k + j] = heap[j].second;
+        }
+    });
+    return out;
+}
+
+} // namespace edgepc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Exact brute-force k-nearest-neighbor search: the k-NN baseline of
+ * Sec 5.2.1. O(N) distance evaluations per query, O(QN) total.
+ */
+
+#ifndef EDGEPC_NEIGHBOR_BRUTE_FORCE_HPP
+#define EDGEPC_NEIGHBOR_BRUTE_FORCE_HPP
+
+#include "neighbor/neighbor_search.hpp"
+
+namespace edgepc {
+
+/** Exact k-NN by exhaustive distance computation. */
+class BruteForceKnn : public NeighborSearch
+{
+  public:
+    BruteForceKnn() = default;
+
+    NeighborLists search(std::span<const Vec3> queries,
+                         std::span<const Vec3> candidates,
+                         std::size_t k) override;
+
+    std::string name() const override { return "knn"; }
+
+    /**
+     * k-NN in an arbitrary-dimension feature space (row-major points
+     * of dimension dim). Used by DGCNN's later EdgeConv modules, which
+     * search neighbors by feature distance (Sec 5.2.3).
+     */
+    static NeighborLists searchFeatureSpace(std::span<const float> queries,
+                                            std::span<const float> candidates,
+                                            std::size_t dim, std::size_t k);
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_BRUTE_FORCE_HPP

@@ -1,0 +1,74 @@
+#include "neighbor/grid_query.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "geometry/voxel_grid.hpp"
+
+namespace edgepc {
+
+GridBallQuery::GridBallQuery(float radius, float cell_size)
+    : r(radius), cell(cell_size > 0.0f ? cell_size : radius)
+{
+    if (radius <= 0.0f) {
+        fatal("GridBallQuery: radius must be positive (got %f)",
+              static_cast<double>(radius));
+    }
+}
+
+NeighborLists
+GridBallQuery::search(std::span<const Vec3> queries,
+                      std::span<const Vec3> candidates, std::size_t k)
+{
+    if (candidates.empty() || k == 0) {
+        fatal("GridBallQuery: empty candidate set or k == 0");
+    }
+    k = std::min(k, candidates.size());
+    const float r2 = r * r;
+    const VoxelGrid grid(candidates, cell);
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(queries.size() * k);
+
+    parallelFor(0, queries.size(), [&](std::size_t q) {
+        std::uint32_t *row = out.indices.data() + q * k;
+        std::size_t found = 0;
+        float nearest_dist = std::numeric_limits<float>::max();
+        std::uint32_t nearest_idx = 0;
+
+        grid.forEachCandidate(queries[q], r, [&](std::uint32_t c) {
+            const float d = squaredDistance(queries[q], candidates[c]);
+            if (d < nearest_dist) {
+                nearest_dist = d;
+                nearest_idx = c;
+            }
+            if (d <= r2 && found < k) {
+                row[found++] = c;
+            }
+        });
+
+        if (found == 0) {
+            // Nothing in the overlapping voxels: fall back to a full
+            // scan for the nearest candidate (rare, sparse regions).
+            for (std::size_t c = 0; c < candidates.size(); ++c) {
+                const float d =
+                    squaredDistance(queries[q], candidates[c]);
+                if (d < nearest_dist) {
+                    nearest_dist = d;
+                    nearest_idx = static_cast<std::uint32_t>(c);
+                }
+            }
+            row[0] = nearest_idx;
+            found = 1;
+        }
+        for (std::size_t j = found; j < k; ++j) {
+            row[j] = row[0];
+        }
+    });
+    return out;
+}
+
+} // namespace edgepc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Uniform-grid neighbor search — the grid-based related-work baseline
+ * the paper cites (cuNSearch / FRNN style, Sec 3.2): bin candidates
+ * into voxels once, then examine only the voxels overlapping each
+ * query ball. Exact results like BallQuery, typically far fewer
+ * distance evaluations, but with a per-frame grid-construction cost
+ * and still O(candidates-in-ball) per query — unlike the EdgePC
+ * window searcher it cannot trade accuracy for time.
+ */
+
+#ifndef EDGEPC_NEIGHBOR_GRID_QUERY_HPP
+#define EDGEPC_NEIGHBOR_GRID_QUERY_HPP
+
+#include "neighbor/neighbor_search.hpp"
+
+namespace edgepc {
+
+/** Grid-accelerated exact fixed-radius search with k-padding. */
+class GridBallQuery : public NeighborSearch
+{
+  public:
+    /**
+     * @param radius Ball radius R.
+     * @param cell_size Grid cell edge; 0 picks R (the classic
+     *        radius-sized binning).
+     */
+    explicit GridBallQuery(float radius, float cell_size = 0.0f);
+
+    NeighborLists search(std::span<const Vec3> queries,
+                         std::span<const Vec3> candidates,
+                         std::size_t k) override;
+
+    std::string name() const override { return "grid-ball-query"; }
+
+    float radius() const { return r; }
+
+  private:
+    float r;
+    float cell;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_GRID_QUERY_HPP

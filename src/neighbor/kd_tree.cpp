@@ -1,0 +1,180 @@
+#include "neighbor/kd_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+
+KdTree::KdTree(std::span<const Vec3> points)
+    : pts(points.begin(), points.end())
+{
+    if (pts.empty()) {
+        return;
+    }
+    nodes.reserve(pts.size());
+    std::vector<std::uint32_t> index(pts.size());
+    std::iota(index.begin(), index.end(), 0u);
+    root = build(index.data(), index.data() + index.size(), 0);
+}
+
+std::int32_t
+KdTree::build(std::uint32_t *begin, std::uint32_t *end, int depth)
+{
+    if (begin == end) {
+        return -1;
+    }
+    const auto axis = static_cast<std::uint8_t>(depth % 3);
+    std::uint32_t *mid = begin + (end - begin) / 2;
+    std::nth_element(begin, mid, end,
+                     [this, axis](std::uint32_t a, std::uint32_t b) {
+                         return pts[a][axis] < pts[b][axis];
+                     });
+
+    const auto node_id = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back(Node{pts[*mid][axis], *mid, -1, -1, axis});
+    // nodes may reallocate during recursion; assign children afterwards.
+    const std::int32_t left = build(begin, mid, depth + 1);
+    const std::int32_t right = build(mid + 1, end, depth + 1);
+    nodes[node_id].left = left;
+    nodes[node_id].right = right;
+    return node_id;
+}
+
+void
+KdTree::knnRecurse(std::int32_t node_id, const Vec3 &query, std::size_t k,
+                   std::vector<std::pair<float, std::uint32_t>> &heap) const
+{
+    if (node_id < 0) {
+        return;
+    }
+    const Node &node = nodes[node_id];
+
+    const float d = squaredDistance(query, pts[node.point]);
+    if (heap.size() < k) {
+        heap.emplace_back(d, node.point);
+        std::push_heap(heap.begin(), heap.end());
+    } else if (d < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {d, node.point};
+        std::push_heap(heap.begin(), heap.end());
+    }
+
+    const float delta = query[node.axis] - node.split;
+    const std::int32_t near = delta <= 0.0f ? node.left : node.right;
+    const std::int32_t far = delta <= 0.0f ? node.right : node.left;
+
+    knnRecurse(near, query, k, heap);
+    // Visit the far side only if the splitting plane is closer than
+    // the current k-th best distance.
+    if (heap.size() < k || delta * delta < heap.front().first) {
+        knnRecurse(far, query, k, heap);
+    }
+}
+
+std::vector<std::uint32_t>
+KdTree::knn(const Vec3 &query, std::size_t k) const
+{
+    std::vector<std::pair<float, std::uint32_t>> heap;
+    heap.reserve(k + 1);
+    knnRecurse(root, query, k, heap);
+    std::sort_heap(heap.begin(), heap.end());
+    std::vector<std::uint32_t> out(heap.size());
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+        out[i] = heap[i].second;
+    }
+    return out;
+}
+
+void
+KdTree::radiusRecurse(std::int32_t node_id, const Vec3 &query, float r2,
+                      std::vector<std::uint32_t> &out) const
+{
+    if (node_id < 0) {
+        return;
+    }
+    const Node &node = nodes[node_id];
+    if (squaredDistance(query, pts[node.point]) <= r2) {
+        out.push_back(node.point);
+    }
+    const float delta = query[node.axis] - node.split;
+    const std::int32_t near = delta <= 0.0f ? node.left : node.right;
+    const std::int32_t far = delta <= 0.0f ? node.right : node.left;
+    radiusRecurse(near, query, r2, out);
+    if (delta * delta <= r2) {
+        radiusRecurse(far, query, r2, out);
+    }
+}
+
+std::vector<std::uint32_t>
+KdTree::radius(const Vec3 &query, float r) const
+{
+    std::vector<std::uint32_t> out;
+    radiusRecurse(root, query, r * r, out);
+    return out;
+}
+
+KdTreeBallQuery::KdTreeBallQuery(float radius) : r(radius)
+{
+    if (radius <= 0.0f) {
+        fatal("KdTreeBallQuery: radius must be positive (got %f)",
+              static_cast<double>(radius));
+    }
+}
+
+NeighborLists
+KdTreeBallQuery::search(std::span<const Vec3> queries,
+                        std::span<const Vec3> candidates, std::size_t k)
+{
+    if (candidates.empty() || k == 0) {
+        fatal("KdTreeBallQuery: empty candidate set or k == 0");
+    }
+    k = std::min(k, candidates.size());
+    const KdTree tree(candidates);
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(queries.size() * k);
+    parallelFor(0, queries.size(), [&](std::size_t q) {
+        std::uint32_t *row = out.indices.data() + q * k;
+        auto found = tree.radius(queries[q], r);
+        if (found.empty()) {
+            // Empty ball: fall back to the nearest candidate.
+            found = tree.knn(queries[q], 1);
+        }
+        const std::size_t used = std::min(found.size(), k);
+        for (std::size_t j = 0; j < used; ++j) {
+            row[j] = found[j];
+        }
+        for (std::size_t j = used; j < k; ++j) {
+            row[j] = row[0];
+        }
+    });
+    return out;
+}
+
+NeighborLists
+KdTreeKnn::search(std::span<const Vec3> queries,
+                  std::span<const Vec3> candidates, std::size_t k)
+{
+    if (candidates.empty() || k == 0) {
+        fatal("KdTreeKnn: empty candidate set or k == 0");
+    }
+    k = std::min(k, candidates.size());
+    const KdTree tree(candidates);
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(queries.size() * k);
+    parallelFor(0, queries.size(), [&](std::size_t q) {
+        const auto found = tree.knn(queries[q], k);
+        for (std::size_t j = 0; j < k; ++j) {
+            out.indices[q * k + j] = found[std::min(j, found.size() - 1)];
+        }
+    });
+    return out;
+}
+
+} // namespace edgepc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * k-d tree neighbor search.
+ *
+ * The tree-based baseline the paper's footnote discusses: O(N log N)
+ * construction plus O(log N) expected per-query traversal, but with
+ * irregular memory access and limited parallelism (the Crescent paper
+ * attacks exactly this structure). Included both as a correctness
+ * oracle and as a latency baseline for the benches.
+ */
+
+#ifndef EDGEPC_NEIGHBOR_KD_TREE_HPP
+#define EDGEPC_NEIGHBOR_KD_TREE_HPP
+
+#include <memory>
+
+#include "neighbor/neighbor_search.hpp"
+
+namespace edgepc {
+
+/** Static k-d tree over a fixed point set. */
+class KdTree
+{
+  public:
+    /** Build over @p points (copied into the tree). */
+    explicit KdTree(std::span<const Vec3> points);
+
+    /** Number of indexed points. */
+    std::size_t size() const { return pts.size(); }
+
+    /**
+     * Exact k nearest neighbors of @p query, ascending by distance.
+     * Returns fewer than k only when the tree holds fewer points.
+     */
+    std::vector<std::uint32_t> knn(const Vec3 &query, std::size_t k) const;
+
+    /** All point indexes within @p radius of @p query (unsorted). */
+    std::vector<std::uint32_t> radius(const Vec3 &query, float radius)
+        const;
+
+  private:
+    struct Node
+    {
+        /** Split coordinate value along axis. */
+        float split;
+        /** Point index stored at this node. */
+        std::uint32_t point;
+        /** Children; -1 when absent. */
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+        /** Split axis (0..2). */
+        std::uint8_t axis;
+    };
+
+    std::int32_t build(std::uint32_t *begin, std::uint32_t *end, int depth);
+
+    void knnRecurse(std::int32_t node, const Vec3 &query, std::size_t k,
+                    std::vector<std::pair<float, std::uint32_t>> &heap)
+        const;
+
+    void radiusRecurse(std::int32_t node, const Vec3 &query, float r2,
+                       std::vector<std::uint32_t> &out) const;
+
+    std::vector<Vec3> pts;
+    std::vector<Node> nodes;
+    std::int32_t root = -1;
+};
+
+/**
+ * NeighborSearch adapter that builds a KdTree over the candidates on
+ * every call (tree construction is part of the measured cost, as it is
+ * in the real pipelines the paper profiles).
+ */
+class KdTreeKnn : public NeighborSearch
+{
+  public:
+    KdTreeKnn() = default;
+
+    NeighborLists search(std::span<const Vec3> queries,
+                         std::span<const Vec3> candidates,
+                         std::size_t k) override;
+
+    std::string name() const override { return "kdtree-knn"; }
+};
+
+/**
+ * Tree-accelerated ball query with the same padding convention as
+ * BallQuery: up to k in-ball points, padded with the first found,
+ * falling back to the nearest candidate when the ball is empty.
+ */
+class KdTreeBallQuery : public NeighborSearch
+{
+  public:
+    /** @param radius Ball radius R. */
+    explicit KdTreeBallQuery(float radius);
+
+    NeighborLists search(std::span<const Vec3> queries,
+                         std::span<const Vec3> candidates,
+                         std::size_t k) override;
+
+    std::string name() const override { return "kdtree-ball-query"; }
+
+    float radius() const { return r; }
+
+  private:
+    float r;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_KD_TREE_HPP

@@ -1,0 +1,76 @@
+#include "neighbor/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+namespace {
+
+/** Sorted unique copy of one neighbor row. */
+std::vector<std::uint32_t>
+rowSet(const NeighborLists &lists, std::size_t q)
+{
+    const auto row = lists.row(q);
+    std::vector<std::uint32_t> set(row.begin(), row.end());
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    return set;
+}
+
+} // namespace
+
+double
+falseNeighborRatio(const NeighborLists &approx, const NeighborLists &exact)
+{
+    if (approx.queries() != exact.queries()) {
+        fatal("falseNeighborRatio: query counts differ (%zu vs %zu)",
+              approx.queries(), exact.queries());
+    }
+    if (approx.queries() == 0) {
+        return 0.0;
+    }
+
+    std::size_t total = 0;
+    std::size_t false_neighbors = 0;
+    for (std::size_t q = 0; q < approx.queries(); ++q) {
+        const auto truth = rowSet(exact, q);
+        for (const std::uint32_t idx : approx.row(q)) {
+            ++total;
+            if (!std::binary_search(truth.begin(), truth.end(), idx)) {
+                ++false_neighbors;
+            }
+        }
+    }
+    return static_cast<double>(false_neighbors) /
+           static_cast<double>(total);
+}
+
+double
+neighborRecall(const NeighborLists &approx, const NeighborLists &exact)
+{
+    if (approx.queries() != exact.queries()) {
+        fatal("neighborRecall: query counts differ (%zu vs %zu)",
+              approx.queries(), exact.queries());
+    }
+    if (exact.queries() == 0) {
+        return 1.0;
+    }
+
+    std::size_t total = 0;
+    std::size_t hit = 0;
+    for (std::size_t q = 0; q < exact.queries(); ++q) {
+        const auto found = rowSet(approx, q);
+        const auto truth = rowSet(exact, q);
+        total += truth.size();
+        for (const std::uint32_t idx : truth) {
+            if (std::binary_search(found.begin(), found.end(), idx)) {
+                ++hit;
+            }
+        }
+    }
+    return static_cast<double>(hit) / static_cast<double>(total);
+}
+
+} // namespace edgepc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Neighbor-search quality metrics: the false-neighbor ratio of Figs 6,
+ * 11 and 15a of the paper, plus recall.
+ */
+
+#ifndef EDGEPC_NEIGHBOR_METRICS_HPP
+#define EDGEPC_NEIGHBOR_METRICS_HPP
+
+#include "neighbor/neighbor_search.hpp"
+
+namespace edgepc {
+
+/**
+ * Fraction of approximate neighbor entries that do not appear in the
+ * corresponding exact neighbor row (the paper's false-neighbor ratio).
+ * Duplicate padding entries in the exact row are treated as a set.
+ *
+ * @param approx Approximate lists (queries x k).
+ * @param exact Exact lists for the same queries (row sets may have a
+ *        different k).
+ */
+double falseNeighborRatio(const NeighborLists &approx,
+                          const NeighborLists &exact);
+
+/**
+ * Fraction of exact neighbors recovered by the approximate lists
+ * (micro-averaged recall over query rows).
+ */
+double neighborRecall(const NeighborLists &approx,
+                      const NeighborLists &exact);
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_METRICS_HPP

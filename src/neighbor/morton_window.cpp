@@ -1,0 +1,147 @@
+#include "neighbor/morton_window.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+
+MortonWindowSearch::MortonWindowSearch(std::size_t window) : win(window) {}
+
+void
+MortonWindowSearch::searchOne(std::span<const Vec3> points,
+                              const Structurization &s,
+                              std::uint32_t query_index, std::size_t k,
+                              std::uint32_t *row) const
+{
+    const std::size_t n = s.size();
+    const std::size_t w = std::max(win == 0 ? k : win, k);
+    const std::size_t j = s.rank[query_index];
+
+    // Window of sorted positions [j - w/2, j + w/2], shifted to stay
+    // in range so every query sees a full window.
+    std::size_t lo = j >= w / 2 ? j - w / 2 : 0;
+    std::size_t hi = std::min(n - 1, lo + w);
+    lo = hi >= w ? hi - w : 0;
+
+    if (w <= k + 1) {
+        // Pure index selection (Sec 4.3): the k consecutive points
+        // {i_{j-k/2}, ..., i_j, ..., i_{j+k/2}} including the query
+        // itself, with no distance computation at all (Fig 10b).
+        std::size_t written = 0;
+        for (std::size_t pos = lo; pos <= hi && written < k; ++pos) {
+            row[written++] = s.order[pos];
+        }
+        while (written < k) {
+            row[written++] = s.order[j];
+        }
+        return;
+    }
+
+    // W > k: keep the k nearest of the window points by true distance
+    // (the query itself qualifies at distance zero, matching the
+    // exact searchers, which also return the query).
+    const Vec3 q = points[query_index];
+    std::vector<std::pair<float, std::uint32_t>> heap;
+    heap.reserve(k + 1);
+    for (std::size_t pos = lo; pos <= hi; ++pos) {
+        const std::uint32_t cand = s.order[pos];
+        const float d = squaredDistance(q, points[cand]);
+        if (heap.size() < k) {
+            heap.emplace_back(d, cand);
+            std::push_heap(heap.begin(), heap.end());
+        } else if (d < heap.front().first) {
+            std::pop_heap(heap.begin(), heap.end());
+            heap.back() = {d, cand};
+            std::push_heap(heap.begin(), heap.end());
+        }
+    }
+    std::sort_heap(heap.begin(), heap.end());
+    for (std::size_t i = 0; i < k; ++i) {
+        row[i] = heap[std::min(i, heap.size() - 1)].second;
+    }
+}
+
+NeighborLists
+MortonWindowSearch::search(std::span<const Vec3> points,
+                           const Structurization &s,
+                           std::span<const std::uint32_t> query_indices,
+                           std::size_t k) const
+{
+    if (points.empty() || k == 0) {
+        fatal("MortonWindowSearch: empty cloud or k == 0");
+    }
+    k = std::min(k, points.size());
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(query_indices.size() * k);
+    parallelFor(0, query_indices.size(), [&](std::size_t q) {
+        searchOne(points, s, query_indices[q], k,
+                  out.indices.data() + q * k);
+    });
+    return out;
+}
+
+NeighborLists
+MortonWindowSearch::searchAll(std::span<const Vec3> points,
+                              const Structurization &s, std::size_t k) const
+{
+    if (points.empty() || k == 0) {
+        fatal("MortonWindowSearch: empty cloud or k == 0");
+    }
+    k = std::min(k, points.size());
+
+    NeighborLists out;
+    out.k = k;
+    out.indices.resize(points.size() * k);
+    parallelFor(0, points.size(), [&](std::size_t q) {
+        searchOne(points, s, static_cast<std::uint32_t>(q), k,
+                  out.indices.data() + q * k);
+    });
+    return out;
+}
+
+MortonWindowKnn::MortonWindowKnn(std::size_t window, int code_bits)
+    : win(window), bits(code_bits)
+{
+}
+
+NeighborLists
+MortonWindowKnn::search(std::span<const Vec3> queries,
+                        std::span<const Vec3> candidates, std::size_t k)
+{
+    if (candidates.empty() || k == 0) {
+        fatal("MortonWindowKnn: empty candidate set or k == 0");
+    }
+    const MortonSampler sampler(bits);
+    const Structurization s = sampler.structurize(candidates);
+    const MortonWindowSearch searcher(win);
+
+    // Map each query to a rank by binary-searching its Morton code in
+    // the sorted candidate codes; when the query is itself a candidate
+    // this lands inside its code's run.
+    const MortonEncoder encoder(Aabb::of(candidates), bits);
+    std::vector<std::uint32_t> query_candidates(queries.size());
+    parallelFor(0, queries.size(), [&](std::size_t q) {
+        const std::uint64_t code = encoder.code(queries[q]);
+        std::size_t lo = 0, hi = s.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (s.codes[s.order[mid]] < code) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if (lo >= s.size()) {
+            lo = s.size() - 1;
+        }
+        query_candidates[q] = s.order[lo];
+    });
+    return searcher.search(candidates, s, query_candidates, k);
+}
+
+} // namespace edgepc

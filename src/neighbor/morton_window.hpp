@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The EdgePC index-based approximate neighbor searcher (Sec 5.2.2,
+ * Fig 10b of the paper).
+ *
+ * Operating on a Morton-structurized cloud, the k neighbors of the
+ * point at sorted position j are taken from the window of sorted
+ * positions [j - W/2, j + W/2]. With W == k the window points are
+ * returned directly with no distance computation at all; with W > k
+ * the k nearest of the W window points are kept (trading a little
+ * compute for a lower false-neighbor ratio — the Fig 15a sweep).
+ * Per-query cost is O(W) instead of the O(N) of ball query / k-NN.
+ */
+
+#ifndef EDGEPC_NEIGHBOR_MORTON_WINDOW_HPP
+#define EDGEPC_NEIGHBOR_MORTON_WINDOW_HPP
+
+#include "neighbor/neighbor_search.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+
+/** Index-window approximate neighbor searcher. */
+class MortonWindowSearch
+{
+  public:
+    /**
+     * @param window Search window size W (>= k). W == 0 means
+     *        "use exactly k" (the pure index-selection mode).
+     */
+    explicit MortonWindowSearch(std::size_t window = 0);
+
+    /**
+     * Search neighbors for queries identified by their original point
+     * indexes within the structurized cloud (the SA-module case where
+     * the queries are the sampled subset of the candidates).
+     *
+     * @param points Candidate positions (the structurized cloud).
+     * @param s Structurization of @p points.
+     * @param query_indices Original indexes of the query points.
+     * @param k Neighbors per query.
+     * @return Neighbor lists whose entries are original point indexes.
+     */
+    NeighborLists search(std::span<const Vec3> points,
+                         const Structurization &s,
+                         std::span<const std::uint32_t> query_indices,
+                         std::size_t k) const;
+
+    /**
+     * Search neighbors for every point of the cloud (the DGCNN case
+     * where every point queries the full set).
+     */
+    NeighborLists searchAll(std::span<const Vec3> points,
+                            const Structurization &s, std::size_t k) const;
+
+    std::size_t window() const { return win; }
+
+    std::string name() const { return "morton-window"; }
+
+  private:
+    void searchOne(std::span<const Vec3> points, const Structurization &s,
+                   std::uint32_t query_index, std::size_t k,
+                   std::uint32_t *row) const;
+
+    std::size_t win;
+};
+
+/**
+ * NeighborSearch adapter running structurization + window search; used
+ * where a drop-in replacement for the exact searchers is convenient
+ * (e.g. the false-neighbor-ratio benches). The candidates are
+ * structurized on every call, which mirrors the DGCNN layer-1 cost.
+ */
+class MortonWindowKnn : public NeighborSearch
+{
+  public:
+    explicit MortonWindowKnn(
+        std::size_t window = 0,
+        int code_bits = MortonEncoder::kDefaultCodeBits);
+
+    /**
+     * Approximates neighbors for queries that must be a subset of (or
+     * equal to) the candidates; each query is matched to a candidate
+     * by exact position equality, falling back to the Morton rank of
+     * its own code.
+     */
+    NeighborLists search(std::span<const Vec3> queries,
+                         std::span<const Vec3> candidates,
+                         std::size_t k) override;
+
+    std::string name() const override { return "morton-window"; }
+
+  private:
+    std::size_t win;
+    int bits;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_MORTON_WINDOW_HPP

@@ -1,0 +1,57 @@
+#include "neighbor/neighbor_cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+NeighborCache::NeighborCache(int reuse_distance) : dist(reuse_distance)
+{
+    if (reuse_distance < 0) {
+        fatal("NeighborCache: reuse_distance must be >= 0 (got %d)",
+              reuse_distance);
+    }
+}
+
+bool
+NeighborCache::shouldCompute(int layer) const
+{
+    if (dist == 0 || layer <= 0) {
+        return true;
+    }
+    // Pattern with distance d: compute, reuse x d, compute, reuse x d...
+    return layer % (dist + 1) == 0;
+}
+
+void
+NeighborCache::store(int layer, NeighborLists lists)
+{
+    storedLayer = layer;
+    cached = std::move(lists);
+}
+
+const NeighborLists &
+NeighborCache::lookup(int layer) const
+{
+    if (storedLayer < 0) {
+        panic("NeighborCache::lookup(%d) before any store", layer);
+    }
+    if (shouldCompute(layer)) {
+        panic("NeighborCache::lookup(%d) on a compute layer", layer);
+    }
+    return cached;
+}
+
+std::size_t
+NeighborCache::memoryBytes() const
+{
+    return cached.indices.size() * sizeof(std::uint32_t);
+}
+
+void
+NeighborCache::clear()
+{
+    storedLayer = -1;
+    cached = NeighborLists{};
+}
+
+} // namespace edgepc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cross-layer neighbor-index reuse (Sec 5.2.3 of the paper).
+ *
+ * DGCNN's later EdgeConv modules search neighbors in feature space,
+ * which Morton codes cannot index. EdgePC instead interleaves "reuse"
+ * and "compute": with reuse distance d, a layer that computed its
+ * neighbor lists serves them to the next d layers unchanged, on the
+ * observation that point neighborhoods drift slowly across layers.
+ * The cached index matrix occupies GPU (here: host) memory — the cache
+ * reports its footprint so the energy model can charge for it.
+ */
+
+#ifndef EDGEPC_NEIGHBOR_NEIGHBOR_CACHE_HPP
+#define EDGEPC_NEIGHBOR_NEIGHBOR_CACHE_HPP
+
+#include "neighbor/neighbor_search.hpp"
+
+namespace edgepc {
+
+/** Reuse schedule + storage for neighbor lists across layers. */
+class NeighborCache
+{
+  public:
+    /**
+     * @param reuse_distance How many subsequent layers reuse a
+     *        computed result. 0 disables reuse (every layer computes).
+     */
+    explicit NeighborCache(int reuse_distance = 1);
+
+    /**
+     * True if layer @p layer (0-based) must run its own search; false
+     * if it should reuse the cached lists. Layer 0 always computes.
+     */
+    bool shouldCompute(int layer) const;
+
+    /** Store the lists computed by @p layer. */
+    void store(int layer, NeighborLists lists);
+
+    /**
+     * The lists to reuse at layer @p layer. Fatal error if called on a
+     * layer that shouldCompute() or before anything was stored.
+     */
+    const NeighborLists &lookup(int layer) const;
+
+    /** Bytes held by the cached index matrix. */
+    std::size_t memoryBytes() const;
+
+    /** Reuse distance configured. */
+    int reuseDistance() const { return dist; }
+
+    /** Drop cached data (between frames). */
+    void clear();
+
+  private:
+    int dist;
+    int storedLayer = -1;
+    NeighborLists cached;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_NEIGHBOR_CACHE_HPP

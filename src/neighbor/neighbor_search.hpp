@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Neighbor-search interface shared by the exact baselines (brute-force
+ * k-NN, ball query, k-d tree) and the EdgePC approximate searcher.
+ *
+ * A search maps each query point to exactly k candidate indexes (the
+ * fixed-k convention of PointNet++/DGCNN grouping: when fewer than k
+ * true neighbors exist, the closest found index is repeated, matching
+ * the ball-query padding behaviour of the reference implementations).
+ */
+
+#ifndef EDGEPC_NEIGHBOR_NEIGHBOR_SEARCH_HPP
+#define EDGEPC_NEIGHBOR_NEIGHBOR_SEARCH_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+
+/** Fixed-k neighbor lists for a batch of queries. */
+struct NeighborLists
+{
+    /** Neighbors per query. */
+    std::size_t k = 0;
+
+    /** Row-major queries x k candidate indexes. */
+    std::vector<std::uint32_t> indices;
+
+    /** Number of query rows. */
+    std::size_t queries() const { return k == 0 ? 0 : indices.size() / k; }
+
+    /** Neighbor row for query @p q. */
+    std::span<const std::uint32_t> row(std::size_t q) const
+    {
+        return {indices.data() + q * k, k};
+    }
+};
+
+/** Abstract neighbor searcher. */
+class NeighborSearch
+{
+  public:
+    virtual ~NeighborSearch() = default;
+
+    /**
+     * Find k neighbors among @p candidates for every query.
+     *
+     * @param queries Query positions.
+     * @param candidates Candidate positions (the search space).
+     * @param k Neighbors per query.
+     */
+    virtual NeighborLists search(std::span<const Vec3> queries,
+                                 std::span<const Vec3> candidates,
+                                 std::size_t k) = 0;
+
+    /** Human-readable searcher name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_NEIGHBOR_NEIGHBOR_SEARCH_HPP

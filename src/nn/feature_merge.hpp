@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Merged feature compute — the Sec 5.4.1 extension of the paper.
+ *
+ * Thin channel dimensions keep the tensor cores idle. The paper's
+ * proposed fix: merge the features of t consecutive points (which,
+ * after the Morton reordering, are spatial neighbors) so the
+ * reduction dimension grows from C to C*t, run the convolution once
+ * per group, and split the result back to the t points. With the
+ * merged weight built as t stacked copies of W scaled by 1/t, the
+ * group result equals W applied to the group's mean feature — an
+ * approximation that is accurate exactly when Morton-adjacent points
+ * have similar features, which is the locality the reordering
+ * provides.
+ */
+
+#ifndef EDGEPC_NN_FEATURE_MERGE_HPP
+#define EDGEPC_NN_FEATURE_MERGE_HPP
+
+#include "nn/gemm.hpp"
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/**
+ * Exact row-wise linear transform: out = input * weight + bias.
+ * Reference for the merged approximation below.
+ *
+ * @param input N x C activations.
+ * @param weight C x C' matrix.
+ * @param bias 1 x C' row (may be empty for no bias).
+ * @param engine GEMM engine (dispatch policy decides the path).
+ */
+Matrix exactLinear(const Matrix &input, const Matrix &weight,
+                   const Matrix &bias, GemmEngine &engine);
+
+/**
+ * Merged approximate linear transform (Sec 5.4.1).
+ *
+ * Rows are processed in groups of @p merge consecutive rows; each
+ * group computes one output row (its mean feature through the
+ * weight) that is replicated to the group's members. The GEMM runs
+ * with reduction dimension C * merge on N / merge rows — identical
+ * MAC count, but a channel dimension that clears the tensor-core
+ * dispatch threshold.
+ *
+ * @param input N x C activations, Morton-ordered rows.
+ * @param weight C x C' matrix.
+ * @param bias 1 x C' row (may be empty).
+ * @param merge Group size t (1 = exact; clamped to N).
+ * @param engine GEMM engine.
+ */
+Matrix mergedLinear(const Matrix &input, const Matrix &weight,
+                    const Matrix &bias, std::size_t merge,
+                    GemmEngine &engine);
+
+/**
+ * Mean absolute relative error between two equally-shaped matrices
+ * (quality metric for the merge approximation).
+ */
+double meanRelativeError(const Matrix &approx, const Matrix &exact);
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_FEATURE_MERGE_HPP

@@ -1,0 +1,219 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+namespace nn {
+
+GemmEngine::GemmEngine(GemmMode mode, std::size_t channel_threshold)
+    : policy(mode), channelThreshold(channel_threshold)
+{
+}
+
+namespace {
+
+/**
+ * Cache-tiled kernel body for one row block, compiled with the
+ * baseline ISA. Shared by the two dispatch paths below: the CUDA-core
+ * model runs this generic build, the Tensor-core model runs the
+ * AVX2+FMA specialization (a genuinely wider-MAC build of the same
+ * loop nest — mirroring the board's wide-MAC tensor units).
+ */
+template <int kUnused>
+inline void
+tiledRowBlock(const float *a, const float *b, float *c, std::size_t k,
+              std::size_t n, std::size_t row_lo, std::size_t row_hi)
+{
+    constexpr std::size_t tile_k = 64;
+    constexpr std::size_t tile_n = 64;
+    for (std::size_t i = row_lo; i < row_hi; ++i) {
+        std::memset(c + i * n, 0, n * sizeof(float));
+    }
+    for (std::size_t kk = 0; kk < k; kk += tile_k) {
+        const std::size_t kend = std::min(k, kk + tile_k);
+        for (std::size_t jj = 0; jj < n; jj += tile_n) {
+            const std::size_t jend = std::min(n, jj + tile_n);
+            for (std::size_t i = row_lo; i < row_hi; ++i) {
+                const float *arow = a + i * k;
+                float *crow = c + i * n;
+                for (std::size_t p = kk; p < kend; ++p) {
+                    const float av = arow[p];
+                    const float *brow = b + p * n;
+                    std::size_t j = jj;
+                    for (; j + 4 <= jend; j += 4) {
+                        crow[j] += av * brow[j];
+                        crow[j + 1] += av * brow[j + 1];
+                        crow[j + 2] += av * brow[j + 2];
+                        crow[j + 3] += av * brow[j + 3];
+                    }
+                    for (; j < jend; ++j) {
+                        crow[j] += av * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Generic-ISA build (the CUDA-core stand-in). */
+void
+rowBlockGeneric(const float *a, const float *b, float *c, std::size_t k,
+                std::size_t n, std::size_t row_lo, std::size_t row_hi)
+{
+    tiledRowBlock<0>(a, b, c, k, n, row_lo, row_hi);
+}
+
+/**
+ * AVX2+FMA build of the same loop nest (the Tensor-core stand-in):
+ * identical arithmetic, executed on the wide-MAC units.
+ */
+__attribute__((target("avx2,fma"))) void
+rowBlockWide(const float *a, const float *b, float *c, std::size_t k,
+             std::size_t n, std::size_t row_lo, std::size_t row_hi)
+{
+    tiledRowBlock<1>(a, b, c, k, n, row_lo, row_hi);
+}
+
+bool
+wideMacAvailable()
+{
+    static const bool available = __builtin_cpu_supports("avx2") &&
+                                  __builtin_cpu_supports("fma");
+    return available;
+}
+
+} // namespace
+
+void
+GemmEngine::gemmScalar(const float *a, const float *b, float *c,
+                       std::size_t m, std::size_t k, std::size_t n)
+{
+    ThreadPool::globalPool().parallelForChunked(
+        0, m,
+        [&](std::size_t lo, std::size_t hi) {
+            rowBlockGeneric(a, b, c, k, n, lo, hi);
+        },
+        0);
+}
+
+void
+GemmEngine::gemmFast(const float *a, const float *b, float *c,
+                     std::size_t m, std::size_t k, std::size_t n)
+{
+    if (!wideMacAvailable()) {
+        gemmScalar(a, b, c, m, k, n);
+        return;
+    }
+    ThreadPool::globalPool().parallelForChunked(
+        0, m,
+        [&](std::size_t lo, std::size_t hi) {
+            rowBlockWide(a, b, c, k, n, lo, hi);
+        },
+        0);
+}
+
+void
+GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
+                 std::size_t k, std::size_t n)
+{
+    if (m == 0 || n == 0 || k == 0) {
+        return;
+    }
+    bool fast = false;
+    switch (policy) {
+      case GemmMode::Scalar:
+        fast = false;
+        break;
+      case GemmMode::Fast:
+        fast = true;
+        break;
+      case GemmMode::Auto:
+        // Thin channel dimensions never reach the tensor cores.
+        fast = k >= channelThreshold;
+        break;
+    }
+    if (fast) {
+        ++fastCalls;
+        gemmFast(a, b, c, m, k, n);
+    } else {
+        ++scalarCalls;
+        gemmScalar(a, b, c, m, k, n);
+    }
+}
+
+Matrix
+GemmEngine::multiply(const Matrix &a, const Matrix &b)
+{
+    if (a.cols() != b.rows()) {
+        fatal("GemmEngine::multiply: %zux%zu times %zux%zu", a.rows(),
+              a.cols(), b.rows(), b.cols());
+    }
+    Matrix c(a.rows(), b.cols());
+    gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+    return c;
+}
+
+Matrix
+GemmEngine::multiplyTransposed(const Matrix &a, const Matrix &b)
+{
+    if (a.cols() != b.cols()) {
+        fatal("GemmEngine::multiplyTransposed: %zux%zu times (%zux%zu)^T",
+              a.rows(), a.cols(), b.rows(), b.cols());
+    }
+    // C = A * B^T; materialize B^T once and reuse the main kernel.
+    Matrix bt(b.cols(), b.rows());
+    for (std::size_t i = 0; i < b.rows(); ++i) {
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            bt.at(j, i) = b.at(i, j);
+        }
+    }
+    return multiply(a, bt);
+}
+
+Matrix
+GemmEngine::multiplyLeftTransposed(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows()) {
+        fatal("GemmEngine::multiplyLeftTransposed: (%zux%zu)^T times "
+              "%zux%zu",
+              a.rows(), a.cols(), b.rows(), b.cols());
+    }
+    Matrix at(a.cols(), a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            at.at(j, i) = a.at(i, j);
+        }
+    }
+    return multiply(at, b);
+}
+
+double
+GemmEngine::fastPathUtilization() const
+{
+    const std::uint64_t total = fastCalls + scalarCalls;
+    if (total == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(fastCalls) / static_cast<double>(total);
+}
+
+void
+GemmEngine::resetStats()
+{
+    fastCalls = 0;
+    scalarCalls = 0;
+}
+
+GemmEngine &
+GemmEngine::globalEngine()
+{
+    static GemmEngine engine(GemmMode::Scalar);
+    return engine;
+}
+
+} // namespace nn
+} // namespace edgepc

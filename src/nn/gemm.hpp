@@ -1,0 +1,101 @@
+/**
+ * @file
+ * GEMM engine with two execution paths, modelling the CUDA-core vs
+ * Tensor-core split of the Jetson board (Sec 5.4.1 / the S+N+F
+ * configuration of the paper).
+ *
+ * Both paths run the same cache-tiled loop nest; the "scalar" path is
+ * built for the generic ISA (the CUDA-core stand-in) while the "fast"
+ * path is an AVX2+FMA build executing on genuinely wider MAC units
+ * (the Tensor-core stand-in, falling back to the generic build when
+ * the CPU lacks AVX2). Auto dispatch engages the fast path only when
+ * the reduction (channel) dimension K reaches a threshold,
+ * reproducing the paper's observation that thin channel dimensions
+ * leave the tensor cores idle; utilization counters expose which path
+ * ran.
+ */
+
+#ifndef EDGEPC_NN_GEMM_HPP
+#define EDGEPC_NN_GEMM_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/** GEMM dispatch policy. */
+enum class GemmMode
+{
+    Scalar, ///< Always the generic-ISA path (CUDA-core model).
+    Fast,   ///< Always the wide-MAC path (forced Tensor-core model).
+    Auto,   ///< Fast path only when K >= the channel threshold.
+};
+
+/** Two-path GEMM with dispatch statistics. */
+class GemmEngine
+{
+  public:
+    /**
+     * Minimum reduction dimension for the fast path in Auto mode. On
+     * the Jetson the tensor cores stay idle for thin channel dims; 16
+     * (one tensor-core tile) models the observed cutoff.
+     */
+    static constexpr std::size_t kDefaultChannelThreshold = 16;
+
+    explicit GemmEngine(GemmMode mode = GemmMode::Scalar,
+                        std::size_t channel_threshold =
+                            kDefaultChannelThreshold);
+
+    /**
+     * C = A * B with A: M x K, B: K x N, C: M x N (C overwritten).
+     * Parallel over row blocks of A.
+     */
+    void gemm(const float *a, const float *b, float *c, std::size_t m,
+              std::size_t k, std::size_t n);
+
+    /** C = A * B over Matrix operands; shapes validated. */
+    Matrix multiply(const Matrix &a, const Matrix &b);
+
+    /** C = A * B^T with A: M x K, B: N x K (used by backward passes). */
+    Matrix multiplyTransposed(const Matrix &a, const Matrix &b);
+
+    /** C = A^T * B with A: K x M, B: K x N (weight gradients). */
+    Matrix multiplyLeftTransposed(const Matrix &a, const Matrix &b);
+
+    GemmMode mode() const { return policy; }
+    void setMode(GemmMode mode) { policy = mode; }
+
+    /** Calls dispatched to the fast (tensor-core) path. */
+    std::uint64_t fastPathCalls() const { return fastCalls; }
+
+    /** Calls dispatched to the scalar (CUDA-core) path. */
+    std::uint64_t scalarPathCalls() const { return scalarCalls; }
+
+    /** Fraction of calls that used the fast path (utilization proxy). */
+    double fastPathUtilization() const;
+
+    /** Reset the dispatch counters. */
+    void resetStats();
+
+    /** Process-wide engine used by the layers by default. */
+    static GemmEngine &globalEngine();
+
+  private:
+    void gemmScalar(const float *a, const float *b, float *c,
+                    std::size_t m, std::size_t k, std::size_t n);
+    void gemmFast(const float *a, const float *b, float *c, std::size_t m,
+                  std::size_t k, std::size_t n);
+
+    GemmMode policy;
+    std::size_t channelThreshold;
+    std::uint64_t fastCalls = 0;
+    std::uint64_t scalarCalls = 0;
+};
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_GEMM_HPP

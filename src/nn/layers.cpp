@@ -1,0 +1,482 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+namespace nn {
+
+// ---------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng,
+               GemmEngine *engine)
+    : engineOverride(engine)
+{
+    weight.init(in, out);
+    bias.init(1, out);
+    // He initialization suits the ReLU blocks these layers live in.
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in));
+    weight.value.fillNormal(rng, stddev);
+}
+
+GemmEngine &
+Linear::gemm()
+{
+    return engineOverride ? *engineOverride : GemmEngine::globalEngine();
+}
+
+Matrix
+Linear::forward(const Matrix &input, bool train)
+{
+    if (input.cols() != weight.value.rows()) {
+        fatal("Linear::forward: input dim %zu != weight dim %zu",
+              input.cols(), weight.value.rows());
+    }
+    Matrix out = gemm().multiply(input, weight.value);
+    const float *b = bias.value.data();
+    parallelFor(0, out.rows(), [&](std::size_t r) {
+        float *row = out.data() + r * out.cols();
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+            row[c] += b[c];
+        }
+    });
+    if (train) {
+        savedInput = input;
+    }
+    return out;
+}
+
+Matrix
+Linear::backward(const Matrix &grad_output)
+{
+    // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T.
+    Matrix wgrad = gemm().multiplyLeftTransposed(savedInput, grad_output);
+    weight.grad.add(wgrad);
+
+    for (std::size_t r = 0; r < grad_output.rows(); ++r) {
+        const float *row = grad_output.data() + r * grad_output.cols();
+        float *bg = bias.grad.data();
+        for (std::size_t c = 0; c < grad_output.cols(); ++c) {
+            bg[c] += row[c];
+        }
+    }
+    return gemm().multiplyTransposed(grad_output, weight.value);
+}
+
+void
+Linear::collectParameters(std::vector<Parameter *> &out)
+{
+    out.push_back(&weight);
+    out.push_back(&bias);
+}
+
+// ---------------------------------------------------------------------
+// BatchNorm
+// ---------------------------------------------------------------------
+
+BatchNorm::BatchNorm(std::size_t features, float momentum, float epsilon)
+    : runningMean(features, 0.0f), runningVar(features, 1.0f),
+      mom(momentum), eps(epsilon)
+{
+    gamma.init(1, features);
+    beta.init(1, features);
+    for (std::size_t c = 0; c < features; ++c) {
+        gamma.value.at(0, c) = 1.0f;
+    }
+}
+
+Matrix
+BatchNorm::forward(const Matrix &input, bool train)
+{
+    const std::size_t rows = input.rows();
+    const std::size_t cols = input.cols();
+    if (cols != runningMean.size()) {
+        fatal("BatchNorm::forward: feature dim %zu != configured %zu",
+              cols, runningMean.size());
+    }
+    Matrix out(rows, cols);
+
+    // This engine processes one cloud per forward pass, so the batch
+    // statistics are per-cloud (instance) statistics. They are used
+    // at inference as well: the reference implementations train with
+    // large multi-cloud batches whose statistics match their running
+    // averages, but here per-cloud statistics differ strongly across
+    // inputs and normalizing with the blended running average at eval
+    // would put activations outside the trained regime. Running
+    // statistics still back the single-row case (classifier heads
+    // after global pooling), where a per-batch variance is degenerate.
+    std::vector<float> mean(cols), var(cols);
+    usedBatchStats = rows > 1;
+    if (usedBatchStats) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            mean[c] = 0.0f;
+            var[c] = 0.0f;
+        }
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *row = input.data() + r * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+                mean[c] += row[c];
+            }
+        }
+        const float inv_rows = 1.0f / static_cast<float>(rows);
+        for (std::size_t c = 0; c < cols; ++c) {
+            mean[c] *= inv_rows;
+        }
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float *row = input.data() + r * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+                const float d = row[c] - mean[c];
+                var[c] += d * d;
+            }
+        }
+        for (std::size_t c = 0; c < cols; ++c) {
+            var[c] *= inv_rows;
+        }
+        if (train) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                runningMean[c] =
+                    (1.0f - mom) * runningMean[c] + mom * mean[c];
+                runningVar[c] =
+                    (1.0f - mom) * runningVar[c] + mom * var[c];
+            }
+        }
+    } else {
+        mean = runningMean;
+        var = runningVar;
+    }
+
+    savedInvStd.resize(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        savedInvStd[c] = 1.0f / std::sqrt(var[c] + eps);
+    }
+
+    if (train) {
+        savedNormalized = Matrix(rows, cols);
+    }
+    const float *g = gamma.value.data();
+    const float *b = beta.value.data();
+    parallelFor(0, rows, [&](std::size_t r) {
+        const float *in_row = input.data() + r * cols;
+        float *out_row = out.data() + r * cols;
+        float *norm_row =
+            train ? savedNormalized.data() + r * cols : nullptr;
+        for (std::size_t c = 0; c < cols; ++c) {
+            const float normalized =
+                (in_row[c] - mean[c]) * savedInvStd[c];
+            if (norm_row) {
+                norm_row[c] = normalized;
+            }
+            out_row[c] = g[c] * normalized + b[c];
+        }
+    });
+    return out;
+}
+
+Matrix
+BatchNorm::backward(const Matrix &grad_output)
+{
+    const std::size_t rows = grad_output.rows();
+    const std::size_t cols = grad_output.cols();
+    const auto frows = static_cast<float>(rows);
+
+    // Per-feature reductions: sum(dY), sum(dY * xhat).
+    std::vector<float> sum_dy(cols, 0.0f), sum_dy_xhat(cols, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *dy = grad_output.data() + r * cols;
+        const float *xh = savedNormalized.data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+            sum_dy[c] += dy[c];
+            sum_dy_xhat[c] += dy[c] * xh[c];
+        }
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+        gamma.grad.at(0, c) += sum_dy_xhat[c];
+        beta.grad.at(0, c) += sum_dy[c];
+    }
+
+    Matrix grad_in(rows, cols);
+    const float *g = gamma.value.data();
+    parallelFor(0, rows, [&](std::size_t r) {
+        const float *dy = grad_output.data() + r * cols;
+        const float *xh = savedNormalized.data() + r * cols;
+        float *dx = grad_in.data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (usedBatchStats) {
+                // Standard batch-norm input gradient.
+                dx[c] = g[c] * savedInvStd[c] *
+                        (dy[c] - sum_dy[c] / frows -
+                         xh[c] * sum_dy_xhat[c] / frows);
+            } else {
+                // Running-stats normalization is an affine map of the
+                // input, so the statistics terms vanish.
+                dx[c] = g[c] * savedInvStd[c] * dy[c];
+            }
+        }
+    });
+    return grad_in;
+}
+
+void
+BatchNorm::collectParameters(std::vector<Parameter *> &out)
+{
+    out.push_back(&gamma);
+    out.push_back(&beta);
+}
+
+void
+BatchNorm::collectBuffers(std::vector<std::vector<float> *> &out)
+{
+    out.push_back(&runningMean);
+    out.push_back(&runningVar);
+}
+
+// ---------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------
+
+Matrix
+ReLU::forward(const Matrix &input, bool train)
+{
+    Matrix out = input;
+    if (train) {
+        mask.assign(input.numel(), 0);
+    }
+    float *data = out.data();
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+        if (data[i] > 0.0f) {
+            if (train) {
+                mask[i] = 1;
+            }
+        } else {
+            data[i] = 0.0f;
+        }
+    }
+    return out;
+}
+
+Matrix
+ReLU::backward(const Matrix &grad_output)
+{
+    Matrix grad_in = grad_output;
+    float *data = grad_in.data();
+    for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+        if (!mask[i]) {
+            data[i] = 0.0f;
+        }
+    }
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// LeakyReLU
+// ---------------------------------------------------------------------
+
+LeakyReLU::LeakyReLU(float negative_slope) : slope(negative_slope) {}
+
+Matrix
+LeakyReLU::forward(const Matrix &input, bool train)
+{
+    Matrix out = input;
+    if (train) {
+        mask.assign(input.numel(), 0);
+    }
+    float *data = out.data();
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+        if (data[i] > 0.0f) {
+            if (train) {
+                mask[i] = 1;
+            }
+        } else {
+            data[i] *= slope;
+        }
+    }
+    return out;
+}
+
+Matrix
+LeakyReLU::backward(const Matrix &grad_output)
+{
+    Matrix grad_in = grad_output;
+    float *data = grad_in.data();
+    for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+        if (!mask[i]) {
+            data[i] *= slope;
+        }
+    }
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------
+
+void
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    layers.push_back(std::move(layer));
+}
+
+void
+Sequential::addLinearBnRelu(std::size_t in, std::size_t out, Rng &rng,
+                            GemmEngine *engine)
+{
+    add(std::make_unique<Linear>(in, out, rng, engine));
+    add(std::make_unique<BatchNorm>(out));
+    add(std::make_unique<ReLU>());
+}
+
+Matrix
+Sequential::forward(const Matrix &input, bool train)
+{
+    Matrix x = input;
+    for (auto &layer : layers) {
+        x = layer->forward(x, train);
+    }
+    return x;
+}
+
+Matrix
+Sequential::backward(const Matrix &grad_output)
+{
+    Matrix g = grad_output;
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+        g = (*it)->backward(g);
+    }
+    return g;
+}
+
+void
+Sequential::collectParameters(std::vector<Parameter *> &out)
+{
+    for (auto &layer : layers) {
+        layer->collectParameters(out);
+    }
+}
+
+void
+Sequential::collectBuffers(std::vector<std::vector<float> *> &out)
+{
+    for (auto &layer : layers) {
+        layer->collectBuffers(out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MaxPoolNeighbors
+// ---------------------------------------------------------------------
+
+MaxPoolNeighbors::MaxPoolNeighbors(std::size_t group_size) : k(group_size)
+{
+    if (group_size == 0) {
+        fatal("MaxPoolNeighbors: group size must be > 0");
+    }
+}
+
+Matrix
+MaxPoolNeighbors::forward(const Matrix &input, bool train)
+{
+    if (input.rows() % k != 0) {
+        fatal("MaxPoolNeighbors: rows %zu not a multiple of k=%zu",
+              input.rows(), k);
+    }
+    const std::size_t points = input.rows() / k;
+    const std::size_t cols = input.cols();
+    Matrix out(points, cols);
+    if (train) {
+        argmax.assign(points * cols, 0);
+        savedRows = input.rows();
+    }
+
+    parallelFor(0, points, [&](std::size_t p) {
+        float *out_row = out.data() + p * cols;
+        const float *first = input.data() + p * k * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+            out_row[c] = first[c];
+        }
+        std::uint32_t *amax =
+            train ? argmax.data() + p * cols : nullptr;
+        if (amax) {
+            for (std::size_t c = 0; c < cols; ++c) {
+                amax[c] = static_cast<std::uint32_t>(p * k);
+            }
+        }
+        for (std::size_t j = 1; j < k; ++j) {
+            const float *row = input.data() + (p * k + j) * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+                if (row[c] > out_row[c]) {
+                    out_row[c] = row[c];
+                    if (amax) {
+                        amax[c] = static_cast<std::uint32_t>(p * k + j);
+                    }
+                }
+            }
+        }
+    });
+    return out;
+}
+
+Matrix
+MaxPoolNeighbors::backward(const Matrix &grad_output)
+{
+    const std::size_t cols = grad_output.cols();
+    Matrix grad_in(savedRows, cols);
+    for (std::size_t p = 0; p < grad_output.rows(); ++p) {
+        const float *dy = grad_output.data() + p * cols;
+        const std::uint32_t *amax = argmax.data() + p * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+            grad_in.at(amax[c], c) += dy[c];
+        }
+    }
+    return grad_in;
+}
+
+// ---------------------------------------------------------------------
+// GlobalMaxPool
+// ---------------------------------------------------------------------
+
+Matrix
+GlobalMaxPool::forward(const Matrix &input, bool train)
+{
+    if (input.rows() == 0) {
+        fatal("GlobalMaxPool: empty input");
+    }
+    const std::size_t cols = input.cols();
+    Matrix out(1, cols);
+    if (train) {
+        argmax.assign(cols, 0);
+        savedRows = input.rows();
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+        out.at(0, c) = input.at(0, c);
+    }
+    for (std::size_t r = 1; r < input.rows(); ++r) {
+        const float *row = input.data() + r * cols;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (row[c] > out.at(0, c)) {
+                out.at(0, c) = row[c];
+                if (train) {
+                    argmax[c] = static_cast<std::uint32_t>(r);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+GlobalMaxPool::backward(const Matrix &grad_output)
+{
+    Matrix grad_in(savedRows, grad_output.cols());
+    for (std::size_t c = 0; c < grad_output.cols(); ++c) {
+        grad_in.at(argmax[c], c) += grad_output.at(0, c);
+    }
+    return grad_in;
+}
+
+} // namespace nn
+} // namespace edgepc

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Neural-network layers with forward and backward passes.
+ *
+ * The engine is deliberately small: point-cloud CNNs are built from
+ * shared MLPs (1x1 convolutions == row-wise Linear layers), batch
+ * normalization, ReLU and max-pooling over neighbors. All layers
+ * support full manual backprop so models can be (re)trained with the
+ * EdgePC approximations in the loop (Sec 5.3 of the paper).
+ */
+
+#ifndef EDGEPC_NN_LAYERS_HPP
+#define EDGEPC_NN_LAYERS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/** Abstract differentiable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Forward pass.
+     *
+     * @param input Input activations (rows x in features).
+     * @param train Keep intermediates for backward() when true.
+     */
+    virtual Matrix forward(const Matrix &input, bool train) = 0;
+
+    /**
+     * Backward pass: given dLoss/dOutput return dLoss/dInput and
+     * accumulate parameter gradients. Only valid after a
+     * forward(..., true).
+     */
+    virtual Matrix backward(const Matrix &grad_output) = 0;
+
+    /** Append this layer's parameters to @p out. */
+    virtual void collectParameters(std::vector<Parameter *> &out)
+    {
+        (void)out;
+    }
+
+    /**
+     * Append this layer's non-learnable state buffers (e.g. batch-norm
+     * running statistics) to @p out, for serialization.
+     */
+    virtual void collectBuffers(std::vector<std::vector<float> *> &out)
+    {
+        (void)out;
+    }
+};
+
+/**
+ * Fully connected layer applied row-wise: the shared-MLP / 1x1-conv
+ * building block of PointNet-family networks.
+ */
+class Linear : public Layer
+{
+  public:
+    /**
+     * @param in Input feature dimension.
+     * @param out Output feature dimension.
+     * @param rng Weight initialization stream (He init).
+     * @param engine GEMM engine (defaults to the global engine, whose
+     *        mode selects the CUDA-core vs Tensor-core path).
+     */
+    Linear(std::size_t in, std::size_t out, Rng &rng,
+           GemmEngine *engine = nullptr);
+
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+    void collectParameters(std::vector<Parameter *> &out) override;
+
+    std::size_t inDim() const { return weight.value.rows(); }
+    std::size_t outDim() const { return weight.value.cols(); }
+
+    Parameter &weights() { return weight; }
+    Parameter &biases() { return bias; }
+
+  private:
+    GemmEngine &gemm();
+
+    Parameter weight; ///< in x out.
+    Parameter bias;   ///< 1 x out.
+    Matrix savedInput;
+    GemmEngine *engineOverride;
+};
+
+/**
+ * Batch normalization over rows (per-feature statistics).
+ *
+ * The engine processes one cloud per forward pass, so multi-row
+ * batch statistics are per-cloud (instance) statistics and are used
+ * at inference as well as in training; running averages back only
+ * the single-row case (after global pooling). See the rationale in
+ * layers.cpp.
+ */
+class BatchNorm : public Layer
+{
+  public:
+    explicit BatchNorm(std::size_t features, float momentum = 0.1f,
+                       float epsilon = 1e-5f);
+
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+    void collectParameters(std::vector<Parameter *> &out) override;
+    void collectBuffers(std::vector<std::vector<float> *> &out) override;
+
+  private:
+    Parameter gamma; ///< 1 x features (scale).
+    Parameter beta;  ///< 1 x features (shift).
+    std::vector<float> runningMean;
+    std::vector<float> runningVar;
+    float mom;
+    float eps;
+
+    // Saved for backward.
+    Matrix savedNormalized;
+    std::vector<float> savedInvStd;
+    /**
+     * Whether the last train-mode forward normalized with batch
+     * statistics. Single-row batches fall back to the running stats
+     * (their batch variance is degenerate), which decouples the
+     * normalization from the inputs and changes the backward formula.
+     */
+    bool usedBatchStats = false;
+};
+
+/** Rectified linear unit. */
+class ReLU : public Layer
+{
+  public:
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+  private:
+    std::vector<std::uint8_t> mask;
+};
+
+/**
+ * Leaky rectified linear unit (DGCNN uses slope 0.2 throughout; the
+ * nonzero negative slope prevents units from dying, which matters for
+ * the features feeding the global max-pool).
+ */
+class LeakyReLU : public Layer
+{
+  public:
+    explicit LeakyReLU(float negative_slope = 0.2f);
+
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+  private:
+    float slope;
+    std::vector<std::uint8_t> mask;
+};
+
+/** A stack of layers executed in order. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer (takes ownership). */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Convenience: Linear -> BatchNorm -> ReLU block. */
+    void addLinearBnRelu(std::size_t in, std::size_t out, Rng &rng,
+                         GemmEngine *engine = nullptr);
+
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+    void collectParameters(std::vector<Parameter *> &out) override;
+    void collectBuffers(std::vector<std::vector<float> *> &out) override;
+
+    std::size_t size() const { return layers.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers;
+};
+
+/**
+ * Max-pool over fixed-size groups of consecutive rows: reduces a
+ * (points * k) x C matrix to points x C, taking the max across each
+ * point's k neighbor rows (the aggregation step of SA / EdgeConv).
+ */
+class MaxPoolNeighbors : public Layer
+{
+  public:
+    /** @param group_size Rows pooled per output row (k). */
+    explicit MaxPoolNeighbors(std::size_t group_size);
+
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+  private:
+    std::size_t k;
+    std::vector<std::uint32_t> argmax;
+    std::size_t savedRows = 0;
+};
+
+/** Max-pool all rows into a single row (global feature). */
+class GlobalMaxPool : public Layer
+{
+  public:
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+
+  private:
+    std::vector<std::uint32_t> argmax;
+    std::size_t savedRows = 0;
+};
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_LAYERS_HPP

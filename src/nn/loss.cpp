@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+namespace nn {
+
+LossResult
+softmaxCrossEntropy(const Matrix &logits,
+                    std::span<const std::int32_t> labels)
+{
+    if (labels.size() != logits.rows()) {
+        fatal("softmaxCrossEntropy: %zu labels for %zu rows",
+              labels.size(), logits.rows());
+    }
+    const std::size_t rows = logits.rows();
+    const std::size_t classes = logits.cols();
+
+    LossResult result;
+    result.gradLogits = Matrix(rows, classes);
+    double total = 0.0;
+    std::size_t counted = 0;
+
+    std::vector<double> probs(classes);
+    for (std::size_t r = 0; r < rows; ++r) {
+        if (labels[r] < 0) {
+            continue;
+        }
+        const float *row = logits.data() + r * classes;
+        const float max_logit =
+            *std::max_element(row, row + classes);
+        double denom = 0.0;
+        for (std::size_t c = 0; c < classes; ++c) {
+            probs[c] = std::exp(static_cast<double>(row[c] - max_logit));
+            denom += probs[c];
+        }
+        const auto label = static_cast<std::size_t>(labels[r]);
+        if (label >= classes) {
+            fatal("softmaxCrossEntropy: label %zu >= classes %zu", label,
+                  classes);
+        }
+        total += -std::log(std::max(probs[label] / denom, 1e-12));
+        ++counted;
+
+        float *grad = result.gradLogits.data() + r * classes;
+        for (std::size_t c = 0; c < classes; ++c) {
+            grad[c] = static_cast<float>(probs[c] / denom);
+        }
+        grad[label] -= 1.0f;
+    }
+
+    if (counted > 0) {
+        result.loss = total / static_cast<double>(counted);
+        result.gradLogits.scale(1.0f / static_cast<float>(counted));
+    }
+    return result;
+}
+
+std::vector<std::int32_t>
+argmaxRows(const Matrix &logits)
+{
+    std::vector<std::int32_t> out(logits.rows());
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        const float *row = logits.data() + r * logits.cols();
+        out[r] = static_cast<std::int32_t>(
+            std::max_element(row, row + logits.cols()) - row);
+    }
+    return out;
+}
+
+double
+accuracy(const Matrix &logits, std::span<const std::int32_t> labels)
+{
+    const auto predictions = argmaxRows(logits);
+    std::size_t hit = 0, counted = 0;
+    for (std::size_t r = 0; r < predictions.size(); ++r) {
+        if (labels[r] < 0) {
+            continue;
+        }
+        ++counted;
+        if (predictions[r] == labels[r]) {
+            ++hit;
+        }
+    }
+    return counted == 0
+               ? 0.0
+               : static_cast<double>(hit) / static_cast<double>(counted);
+}
+
+} // namespace nn
+} // namespace edgepc

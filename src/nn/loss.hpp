@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Classification losses: softmax cross-entropy over logits, with the
+ * gradient needed for training, plus accuracy helpers.
+ */
+
+#ifndef EDGEPC_NN_LOSS_HPP
+#define EDGEPC_NN_LOSS_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/** Loss value plus the gradient w.r.t. the logits. */
+struct LossResult
+{
+    double loss = 0.0;
+    Matrix gradLogits;
+};
+
+/**
+ * Mean softmax cross-entropy over rows.
+ *
+ * @param logits rows x classes raw scores.
+ * @param labels One class id per row (entries < 0 are ignored —
+ *        convenient for unlabeled padding points).
+ */
+LossResult softmaxCrossEntropy(const Matrix &logits,
+                               std::span<const std::int32_t> labels);
+
+/** Row-wise argmax (predicted class per row). */
+std::vector<std::int32_t> argmaxRows(const Matrix &logits);
+
+/**
+ * Fraction of rows whose argmax equals the label (ignored labels < 0
+ * are excluded from the denominator).
+ */
+double accuracy(const Matrix &logits, std::span<const std::int32_t> labels);
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_LOSS_HPP

@@ -1,0 +1,43 @@
+#include "nn/optimizer.hpp"
+
+namespace edgepc {
+namespace nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<Parameter *> params,
+                           float learning_rate, float momentum,
+                           float weight_decay)
+    : parameters(std::move(params)), lr(learning_rate), mom(momentum),
+      decay(weight_decay)
+{
+    velocity.reserve(parameters.size());
+    for (const Parameter *p : parameters) {
+        velocity.emplace_back(p->value.numel(), 0.0f);
+    }
+}
+
+void
+SgdOptimizer::step()
+{
+    for (std::size_t i = 0; i < parameters.size(); ++i) {
+        Parameter &p = *parameters[i];
+        std::vector<float> &vel = velocity[i];
+        float *value = p.value.data();
+        const float *grad = p.grad.data();
+        for (std::size_t j = 0; j < p.value.numel(); ++j) {
+            const float g = grad[j] + decay * value[j];
+            vel[j] = mom * vel[j] + g;
+            value[j] -= lr * vel[j];
+        }
+    }
+}
+
+void
+SgdOptimizer::zeroGrad()
+{
+    for (Parameter *p : parameters) {
+        p->zeroGrad();
+    }
+}
+
+} // namespace nn
+} // namespace edgepc

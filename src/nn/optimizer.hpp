@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SGD-with-momentum optimizer over the parameters collected from a
+ * layer stack. Used by the retraining driver (Sec 5.3 / Fig 14).
+ */
+
+#ifndef EDGEPC_NN_OPTIMIZER_HPP
+#define EDGEPC_NN_OPTIMIZER_HPP
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/** Stochastic gradient descent with classical momentum. */
+class SgdOptimizer
+{
+  public:
+    /**
+     * @param params Parameters to update (not owned; must outlive the
+     *        optimizer).
+     * @param learning_rate Step size.
+     * @param momentum Momentum coefficient (0 disables).
+     * @param weight_decay L2 penalty coefficient.
+     */
+    SgdOptimizer(std::vector<Parameter *> params,
+                 float learning_rate = 0.01f, float momentum = 0.9f,
+                 float weight_decay = 0.0f);
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Zero every parameter's gradient. */
+    void zeroGrad();
+
+    /** Change the learning rate (schedules). */
+    void setLearningRate(float learning_rate) { lr = learning_rate; }
+    float learningRate() const { return lr; }
+
+  private:
+    std::vector<Parameter *> parameters;
+    std::vector<std::vector<float>> velocity;
+    float lr;
+    float mom;
+    float decay;
+};
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_OPTIMIZER_HPP

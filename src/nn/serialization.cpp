@@ -1,0 +1,193 @@
+#include "nn/serialization.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+namespace nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'P', 'C', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+bool
+saveParameters(const std::vector<Parameter *> &params, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writePod(os, kVersion);
+    writePod(os, static_cast<std::uint64_t>(params.size()));
+    for (const Parameter *p : params) {
+        writePod(os, static_cast<std::uint64_t>(p->value.rows()));
+        writePod(os, static_cast<std::uint64_t>(p->value.cols()));
+        os.write(reinterpret_cast<const char *>(p->value.data()),
+                 static_cast<std::streamsize>(p->value.numel() *
+                                              sizeof(float)));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+saveParameters(const std::vector<Parameter *> &params,
+               const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        warn("saveParameters: cannot open '%s' for writing",
+             path.c_str());
+        return false;
+    }
+    return saveParameters(params, os);
+}
+
+bool
+loadParameters(const std::vector<Parameter *> &params, std::istream &is)
+{
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        warn("loadParameters: bad magic");
+        return false;
+    }
+    std::uint32_t version = 0;
+    if (!readPod(is, version) || version != kVersion) {
+        warn("loadParameters: unsupported version %u", version);
+        return false;
+    }
+    std::uint64_t count = 0;
+    if (!readPod(is, count) || count != params.size()) {
+        warn("loadParameters: parameter count %llu != model's %zu",
+             static_cast<unsigned long long>(count), params.size());
+        return false;
+    }
+    for (Parameter *p : params) {
+        std::uint64_t rows = 0, cols = 0;
+        if (!readPod(is, rows) || !readPod(is, cols)) {
+            return false;
+        }
+        if (rows != p->value.rows() || cols != p->value.cols()) {
+            warn("loadParameters: shape %llux%llu != model's %zux%zu",
+                 static_cast<unsigned long long>(rows),
+                 static_cast<unsigned long long>(cols),
+                 p->value.rows(), p->value.cols());
+            return false;
+        }
+        is.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(p->value.numel() *
+                                             sizeof(float)));
+        if (!is) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadParameters(const std::vector<Parameter *> &params,
+               const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        warn("loadParameters: cannot open '%s'", path.c_str());
+        return false;
+    }
+    return loadParameters(params, is);
+}
+
+bool
+saveModelState(const std::vector<Parameter *> &params,
+               const std::vector<std::vector<float> *> &buffers,
+               std::ostream &os)
+{
+    if (!saveParameters(params, os)) {
+        return false;
+    }
+    writePod(os, static_cast<std::uint64_t>(buffers.size()));
+    for (const std::vector<float> *buffer : buffers) {
+        writePod(os, static_cast<std::uint64_t>(buffer->size()));
+        os.write(reinterpret_cast<const char *>(buffer->data()),
+                 static_cast<std::streamsize>(buffer->size() *
+                                              sizeof(float)));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+saveModelState(const std::vector<Parameter *> &params,
+               const std::vector<std::vector<float> *> &buffers,
+               const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        warn("saveModelState: cannot open '%s' for writing",
+             path.c_str());
+        return false;
+    }
+    return saveModelState(params, buffers, os);
+}
+
+bool
+loadModelState(const std::vector<Parameter *> &params,
+               const std::vector<std::vector<float> *> &buffers,
+               std::istream &is)
+{
+    if (!loadParameters(params, is)) {
+        return false;
+    }
+    std::uint64_t count = 0;
+    if (!readPod(is, count) || count != buffers.size()) {
+        warn("loadModelState: buffer count %llu != model's %zu",
+             static_cast<unsigned long long>(count), buffers.size());
+        return false;
+    }
+    for (std::vector<float> *buffer : buffers) {
+        std::uint64_t size = 0;
+        if (!readPod(is, size) || size != buffer->size()) {
+            warn("loadModelState: buffer size mismatch");
+            return false;
+        }
+        is.read(reinterpret_cast<char *>(buffer->data()),
+                static_cast<std::streamsize>(buffer->size() *
+                                             sizeof(float)));
+        if (!is) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadModelState(const std::vector<Parameter *> &params,
+               const std::vector<std::vector<float> *> &buffers,
+               const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        warn("loadModelState: cannot open '%s'", path.c_str());
+        return false;
+    }
+    return loadModelState(params, buffers, is);
+}
+
+} // namespace nn
+} // namespace edgepc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Weight serialization: save and restore the parameters of a model
+ * (as collected by collectParameters) in a small binary format, so
+ * retrained EdgePC models can be shipped and reloaded.
+ *
+ * Format: magic "EPCW", a format version, the parameter count, then
+ * for each parameter its rows, cols and row-major float32 data.
+ * Loading validates every shape against the target model.
+ */
+
+#ifndef EDGEPC_NN_SERIALIZATION_HPP
+#define EDGEPC_NN_SERIALIZATION_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/** Write all parameter values to @p path. @return true on success. */
+bool saveParameters(const std::vector<Parameter *> &params,
+                    const std::string &path);
+
+/** Stream variant (exposed for testing). */
+bool saveParameters(const std::vector<Parameter *> &params,
+                    std::ostream &os);
+
+/**
+ * Read parameter values from @p path into @p params. Fails (returning
+ * false, leaving parameters untouched where possible) on magic,
+ * version, count or shape mismatch.
+ */
+bool loadParameters(const std::vector<Parameter *> &params,
+                    const std::string &path);
+
+/** Stream variant (exposed for testing). */
+bool loadParameters(const std::vector<Parameter *> &params,
+                    std::istream &is);
+
+/**
+ * Write parameters plus non-learnable state buffers (batch-norm
+ * running statistics, collected via Layer::collectBuffers) — the
+ * complete state needed to reproduce a trained model's inference.
+ */
+bool saveModelState(const std::vector<Parameter *> &params,
+                    const std::vector<std::vector<float> *> &buffers,
+                    const std::string &path);
+
+/** Stream variant (exposed for testing). */
+bool saveModelState(const std::vector<Parameter *> &params,
+                    const std::vector<std::vector<float> *> &buffers,
+                    std::ostream &os);
+
+/** Inverse of saveModelState; validates all shapes. */
+bool loadModelState(const std::vector<Parameter *> &params,
+                    const std::vector<std::vector<float> *> &buffers,
+                    const std::string &path);
+
+/** Stream variant (exposed for testing). */
+bool loadModelState(const std::vector<Parameter *> &params,
+                    const std::vector<std::vector<float> *> &buffers,
+                    std::istream &is);
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_SERIALIZATION_HPP

@@ -1,0 +1,124 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+namespace nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : nRows(rows), nCols(cols), buf(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : nRows(rows), nCols(cols), buf(std::move(data))
+{
+    if (buf.size() != rows * cols) {
+        fatal("Matrix: data size %zu != %zu x %zu", buf.size(), rows, cols);
+    }
+}
+
+void
+Matrix::setZero()
+{
+    std::fill(buf.begin(), buf.end(), 0.0f);
+}
+
+void
+Matrix::fillNormal(Rng &rng, float stddev)
+{
+    for (float &v : buf) {
+        v = rng.normal(0.0f, stddev);
+    }
+}
+
+void
+Matrix::reshape(std::size_t rows, std::size_t cols)
+{
+    if (rows * cols != buf.size()) {
+        fatal("Matrix::reshape: %zu x %zu != numel %zu", rows, cols,
+              buf.size());
+    }
+    nRows = rows;
+    nCols = cols;
+}
+
+void
+Matrix::add(const Matrix &other)
+{
+    if (other.numel() != numel()) {
+        fatal("Matrix::add: shape mismatch (%zu vs %zu elements)",
+              other.numel(), numel());
+    }
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] += other.buf[i];
+    }
+}
+
+void
+Matrix::scale(float factor)
+{
+    for (float &v : buf) {
+        v *= factor;
+    }
+}
+
+Matrix
+concatCols(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows()) {
+        fatal("concatCols: row mismatch (%zu vs %zu)", a.rows(), b.rows());
+    }
+    Matrix out(a.rows(), a.cols() + b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        float *dst = out.data() + r * out.cols();
+        const float *ra = a.data() + r * a.cols();
+        const float *rb = b.data() + r * b.cols();
+        std::copy(ra, ra + a.cols(), dst);
+        std::copy(rb, rb + b.cols(), dst + a.cols());
+    }
+    return out;
+}
+
+std::pair<Matrix, Matrix>
+splitCols(const Matrix &m, std::size_t left_cols)
+{
+    if (left_cols > m.cols()) {
+        fatal("splitCols: left_cols %zu > cols %zu", left_cols, m.cols());
+    }
+    Matrix left(m.rows(), left_cols);
+    Matrix right(m.rows(), m.cols() - left_cols);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const float *src = m.data() + r * m.cols();
+        std::copy(src, src + left_cols, left.data() + r * left_cols);
+        std::copy(src + left_cols, src + m.cols(),
+                  right.data() + r * right.cols());
+    }
+    return {std::move(left), std::move(right)};
+}
+
+Matrix
+broadcastRow(const Matrix &row, std::size_t copies)
+{
+    if (row.rows() != 1) {
+        fatal("broadcastRow: expected a single row, got %zu", row.rows());
+    }
+    Matrix out(copies, row.cols());
+    for (std::size_t r = 0; r < copies; ++r) {
+        std::copy(row.data(), row.data() + row.cols(),
+                  out.data() + r * row.cols());
+    }
+    return out;
+}
+
+void
+Parameter::init(std::size_t rows, std::size_t cols)
+{
+    value = Matrix(rows, cols);
+    grad = Matrix(rows, cols);
+}
+
+} // namespace nn
+} // namespace edgepc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dense row-major float matrix — the tensor type of the NN engine.
+ *
+ * Point-cloud CNN feature maps are all 2-D after flattening batch and
+ * neighbor axes (rows = points or point-neighbor pairs, cols = feature
+ * channels), so a matrix suffices for the whole engine.
+ */
+
+#ifndef EDGEPC_NN_TENSOR_HPP
+#define EDGEPC_NN_TENSOR_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/** Row-major dense float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Matrix adopting existing data (size must be rows * cols). */
+    Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+    std::size_t numel() const { return buf.size(); }
+    bool empty() const { return buf.empty(); }
+
+    float *data() { return buf.data(); }
+    const float *data() const { return buf.data(); }
+
+    /** Element accessors. */
+    float &at(std::size_t r, std::size_t c) { return buf[r * nCols + c]; }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return buf[r * nCols + c];
+    }
+
+    /** Row view. */
+    std::span<float> row(std::size_t r)
+    {
+        return {buf.data() + r * nCols, nCols};
+    }
+    std::span<const float> row(std::size_t r) const
+    {
+        return {buf.data() + r * nCols, nCols};
+    }
+
+    /** Reset every element to zero, keeping the shape. */
+    void setZero();
+
+    /** Fill with N(0, stddev) values. */
+    void fillNormal(Rng &rng, float stddev);
+
+    /**
+     * Reinterpret as a different shape with the same element count
+     * (cheap: no data movement).
+     */
+    void reshape(std::size_t rows, std::size_t cols);
+
+    /** Elementwise in-place addition; shapes must match. */
+    void add(const Matrix &other);
+
+    /** Elementwise in-place scaling. */
+    void scale(float factor);
+
+    /** Underlying storage (for serialization). */
+    std::vector<float> &storage() { return buf; }
+    const std::vector<float> &storage() const { return buf; }
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    std::vector<float> buf;
+};
+
+/** Column-wise concatenation: [a | b]; row counts must match. */
+Matrix concatCols(const Matrix &a, const Matrix &b);
+
+/**
+ * Split @p m into its first @p left_cols columns and the rest
+ * (inverse of concatCols).
+ */
+std::pair<Matrix, Matrix> splitCols(const Matrix &m, std::size_t left_cols);
+
+/** Repeat the single row of @p row @p copies times. */
+Matrix broadcastRow(const Matrix &row, std::size_t copies);
+
+/**
+ * A learnable parameter: value plus the gradient accumulated by the
+ * backward pass. Optimizers consume (value, grad) pairs.
+ */
+struct Parameter
+{
+    Matrix value;
+    Matrix grad;
+
+    /** Allocate both value and grad at the given shape. */
+    void init(std::size_t rows, std::size_t cols);
+
+    /** Zero the gradient. */
+    void zeroGrad() { grad.setZero(); }
+};
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_TENSOR_HPP

@@ -1,0 +1,193 @@
+#include "pointcloud/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+void
+writePly(const PointCloud &cloud, std::ostream &os)
+{
+    const bool labeled = cloud.hasLabels();
+    os << "ply\nformat ascii 1.0\n";
+    os << "element vertex " << cloud.size() << "\n";
+    os << "property float x\nproperty float y\nproperty float z\n";
+    if (labeled) {
+        os << "property int label\n";
+    }
+    os << "end_header\n";
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const Vec3 &p = cloud.position(i);
+        os << p.x << ' ' << p.y << ' ' << p.z;
+        if (labeled) {
+            os << ' ' << cloud.labels()[i];
+        }
+        os << '\n';
+    }
+}
+
+bool
+writePly(const PointCloud &cloud, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("writePly: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    writePly(cloud, os);
+    return static_cast<bool>(os);
+}
+
+bool
+readPly(std::istream &is, PointCloud &cloud)
+{
+    std::string line;
+    if (!std::getline(is, line) || line.rfind("ply", 0) != 0) {
+        return false;
+    }
+
+    std::size_t vertex_count = 0;
+    std::vector<std::string> properties;
+    bool in_vertex_element = false;
+
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string token;
+        ls >> token;
+        if (token == "end_header") {
+            break;
+        } else if (token == "element") {
+            std::string name;
+            ls >> name >> vertex_count;
+            in_vertex_element = (name == "vertex");
+        } else if (token == "property" && in_vertex_element) {
+            std::string type, name;
+            ls >> type >> name;
+            properties.push_back(name);
+        } else if (token == "format") {
+            std::string fmt;
+            ls >> fmt;
+            if (fmt != "ascii") {
+                warn("readPly: only ascii PLY is supported");
+                return false;
+            }
+        }
+    }
+
+    int ix = -1, iy = -1, iz = -1, ilabel = -1;
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+        if (properties[i] == "x") {
+            ix = static_cast<int>(i);
+        } else if (properties[i] == "y") {
+            iy = static_cast<int>(i);
+        } else if (properties[i] == "z") {
+            iz = static_cast<int>(i);
+        } else if (properties[i] == "label") {
+            ilabel = static_cast<int>(i);
+        }
+    }
+    if (ix < 0 || iy < 0 || iz < 0) {
+        warn("readPly: vertex element lacks x/y/z properties");
+        return false;
+    }
+
+    std::vector<Vec3> positions;
+    std::vector<std::int32_t> labels;
+    positions.reserve(vertex_count);
+    std::vector<double> values(properties.size());
+    for (std::size_t v = 0; v < vertex_count; ++v) {
+        if (!std::getline(is, line)) {
+            return false;
+        }
+        std::istringstream ls(line);
+        for (auto &value : values) {
+            if (!(ls >> value)) {
+                return false;
+            }
+        }
+        positions.push_back({static_cast<float>(values[ix]),
+                             static_cast<float>(values[iy]),
+                             static_cast<float>(values[iz])});
+        if (ilabel >= 0) {
+            labels.push_back(static_cast<std::int32_t>(values[ilabel]));
+        }
+    }
+
+    cloud = PointCloud(std::move(positions));
+    if (ilabel >= 0) {
+        cloud.setLabels(std::move(labels));
+    }
+    return true;
+}
+
+bool
+readPly(const std::string &path, PointCloud &cloud)
+{
+    std::ifstream is(path);
+    if (!is) {
+        warn("readPly: cannot open '%s'", path.c_str());
+        return false;
+    }
+    return readPly(is, cloud);
+}
+
+bool
+writeXyz(const PointCloud &cloud, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("writeXyz: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const bool labeled = cloud.hasLabels();
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        const Vec3 &p = cloud.position(i);
+        os << p.x << ' ' << p.y << ' ' << p.z;
+        if (labeled) {
+            os << ' ' << cloud.labels()[i];
+        }
+        os << '\n';
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+readXyz(const std::string &path, PointCloud &cloud)
+{
+    std::ifstream is(path);
+    if (!is) {
+        warn("readXyz: cannot open '%s'", path.c_str());
+        return false;
+    }
+    std::vector<Vec3> positions;
+    std::vector<std::int32_t> labels;
+    bool any_label = false;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::istringstream ls(line);
+        Vec3 p;
+        if (!(ls >> p.x >> p.y >> p.z)) {
+            continue;
+        }
+        std::int32_t label = -1;
+        if (ls >> label) {
+            any_label = true;
+        }
+        positions.push_back(p);
+        labels.push_back(label);
+    }
+    cloud = PointCloud(std::move(positions));
+    if (any_label) {
+        cloud.setLabels(std::move(labels));
+    }
+    return true;
+}
+
+} // namespace edgepc

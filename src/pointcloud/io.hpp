@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Point-cloud file I/O: ASCII PLY and simple XYZ text formats.
+ *
+ * Lets the examples save their outputs for external visualization and
+ * lets users feed their own scans into the pipeline.
+ */
+
+#ifndef EDGEPC_POINTCLOUD_IO_HPP
+#define EDGEPC_POINTCLOUD_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace edgepc {
+
+/**
+ * Write an ASCII PLY file with x/y/z properties (plus a "label" int
+ * property when labels are attached).
+ *
+ * @return true on success.
+ */
+bool writePly(const PointCloud &cloud, const std::string &path);
+
+/** Write PLY to a stream (exposed for testing). */
+void writePly(const PointCloud &cloud, std::ostream &os);
+
+/**
+ * Read an ASCII PLY written by writePly (or any ASCII PLY whose first
+ * three vertex properties are x, y, z; a "label" property is picked up
+ * when present; other properties are ignored).
+ *
+ * @param path File to read.
+ * @param cloud Output cloud (replaced).
+ * @return true on success.
+ */
+bool readPly(const std::string &path, PointCloud &cloud);
+
+/** Read PLY from a stream (exposed for testing). */
+bool readPly(std::istream &is, PointCloud &cloud);
+
+/** Write one "x y z [label]" line per point. */
+bool writeXyz(const PointCloud &cloud, const std::string &path);
+
+/** Read an XYZ text file ("x y z" or "x y z label" per line). */
+bool readXyz(const std::string &path, PointCloud &cloud);
+
+} // namespace edgepc
+
+#endif // EDGEPC_POINTCLOUD_IO_HPP

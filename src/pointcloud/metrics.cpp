@@ -1,0 +1,134 @@
+#include "pointcloud/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "geometry/voxel_grid.hpp"
+
+namespace edgepc {
+
+double
+orderingLocality(std::span<const Vec3> points,
+                 std::span<const std::uint32_t> order)
+{
+    if (order.size() < 2) {
+        return 0.0;
+    }
+    double sum = 0.0;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        sum += distance(points[order[i - 1]], points[order[i]]);
+    }
+    return sum / static_cast<double>(order.size() - 1);
+}
+
+double
+structuredness(std::span<const Vec3> points,
+               std::span<const std::uint32_t> order, std::uint64_t seed)
+{
+    if (points.size() < 2) {
+        return 1.0;
+    }
+    // Estimate the expected distance between two random points by
+    // sampling pairs; this is the locality of a random ordering.
+    Rng rng(seed);
+    const std::size_t trials =
+        std::min<std::size_t>(4096, points.size() * 4);
+    double random_expectation = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const auto a = rng.nextBelow(points.size());
+        const auto b = rng.nextBelow(points.size());
+        random_expectation += distance(points[a], points[b]);
+    }
+    random_expectation /= static_cast<double>(trials);
+    if (random_expectation <= 0.0) {
+        return 1.0;
+    }
+    const double score =
+        1.0 - orderingLocality(points, order) / random_expectation;
+    return std::max(0.0, score);
+}
+
+namespace {
+
+/** Per-point nearest-sample distances (parallel over points). */
+std::vector<double>
+nearestSampleDistances(std::span<const Vec3> points,
+                       std::span<const Vec3> samples)
+{
+    std::vector<double> dist(points.size(),
+                             std::numeric_limits<double>::infinity());
+    if (samples.empty()) {
+        return dist;
+    }
+    parallelFor(0, points.size(), [&](std::size_t i) {
+        float best = std::numeric_limits<float>::max();
+        for (const Vec3 &s : samples) {
+            best = std::min(best, squaredDistance(points[i], s));
+        }
+        dist[i] = std::sqrt(static_cast<double>(best));
+    });
+    return dist;
+}
+
+} // namespace
+
+double
+coverageRadius(std::span<const Vec3> points, std::span<const Vec3> samples)
+{
+    const auto dist = nearestSampleDistances(points, samples);
+    double worst = 0.0;
+    for (const double d : dist) {
+        worst = std::max(worst, d);
+    }
+    return worst;
+}
+
+double
+meanCoverageDistance(std::span<const Vec3> points,
+                     std::span<const Vec3> samples)
+{
+    if (points.empty()) {
+        return 0.0;
+    }
+    const auto dist = nearestSampleDistances(points, samples);
+    double sum = 0.0;
+    for (const double d : dist) {
+        sum += d;
+    }
+    return sum / static_cast<double>(points.size());
+}
+
+double
+voxelCoverage(std::span<const Vec3> points, std::span<const Vec3> samples,
+              float cell)
+{
+    if (points.empty()) {
+        return 0.0;
+    }
+    const VoxelGrid cloud_grid(points, cell);
+    if (cloud_grid.occupiedVoxels() == 0) {
+        return 0.0;
+    }
+    // Count occupied voxels of the cloud that contain >= 1 sample by
+    // probing the cloud grid with each sample and marking hits.
+    std::vector<bool> covered(points.size(), false);
+    std::size_t covered_voxels = 0;
+    for (const Vec3 &s : samples) {
+        const auto members = cloud_grid.voxelPoints(s);
+        if (members.empty()) {
+            continue;
+        }
+        // Use the first member point as the voxel's marker.
+        if (!covered[members[0]]) {
+            covered[members[0]] = true;
+            ++covered_voxels;
+        }
+    }
+    return static_cast<double>(covered_voxels) /
+           static_cast<double>(cloud_grid.occupiedVoxels());
+}
+
+} // namespace edgepc

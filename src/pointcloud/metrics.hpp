@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quality metrics over point clouds and orderings.
+ *
+ * These quantify the two qualitative claims of Sec 4 of the paper:
+ *  - Morton ordering "structurizes" the cloud (consecutive indexes are
+ *    spatially adjacent), and
+ *  - uniform sampling on the structurized cloud covers the object as
+ *    well as farthest point sampling does (Fig 5).
+ */
+
+#ifndef EDGEPC_POINTCLOUD_METRICS_HPP
+#define EDGEPC_POINTCLOUD_METRICS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+
+/**
+ * Mean Euclidean distance between consecutive points of an ordering.
+ * Small values mean the ordering walks the cloud locally — the
+ * quantitative "structuredness" measure.
+ */
+double orderingLocality(std::span<const Vec3> points,
+                        std::span<const std::uint32_t> order);
+
+/**
+ * Structuredness score in (0, 1]: 1 - locality(order) / locality(random
+ * expectation), clamped at 0. A perfectly local walk scores near 1; a
+ * random order scores near 0.
+ *
+ * @param points Cloud positions.
+ * @param order  Ordering to evaluate (must be a permutation of 0..N-1).
+ * @param seed   Seed for the random-expectation estimate.
+ */
+double structuredness(std::span<const Vec3> points,
+                      std::span<const std::uint32_t> order,
+                      std::uint64_t seed = 7);
+
+/**
+ * Coverage radius of a sample set: for every input point, the distance
+ * to its nearest sampled point; returns the maximum (a one-sided
+ * Hausdorff distance). Lower is better coverage. O(N * n).
+ */
+double coverageRadius(std::span<const Vec3> points,
+                      std::span<const Vec3> samples);
+
+/** Mean (instead of max) distance to the nearest sample. */
+double meanCoverageDistance(std::span<const Vec3> points,
+                            std::span<const Vec3> samples);
+
+/**
+ * Voxel-coverage fraction: bin the cloud into voxels of size @p cell
+ * and report the fraction of occupied voxels that contain at least one
+ * sampled point. FPS and Morton-uniform sampling score high; raw-order
+ * uniform sampling scores low on surface scans (Fig 5).
+ */
+double voxelCoverage(std::span<const Vec3> points,
+                     std::span<const Vec3> samples, float cell);
+
+} // namespace edgepc
+
+#endif // EDGEPC_POINTCLOUD_METRICS_HPP

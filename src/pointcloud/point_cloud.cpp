@@ -1,0 +1,157 @@
+#include "pointcloud/point_cloud.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+PointCloud::PointCloud(std::vector<Vec3> positions) : pts(std::move(positions))
+{
+}
+
+PointCloud::PointCloud(std::vector<Vec3> positions,
+                       std::vector<float> features, std::size_t feature_dim)
+    : pts(std::move(positions)), feats(std::move(features)),
+      featDim(feature_dim)
+{
+    if (feats.size() != pts.size() * featDim) {
+        fatal("PointCloud: feature array size %zu != N(%zu) * C(%zu)",
+              feats.size(), pts.size(), featDim);
+    }
+}
+
+std::span<const float>
+PointCloud::feature(std::size_t i) const
+{
+    if (featDim == 0) {
+        return {};
+    }
+    return {feats.data() + i * featDim, featDim};
+}
+
+void
+PointCloud::addPoint(const Vec3 &p, std::span<const float> feature,
+                     std::int32_t label)
+{
+    if (!pts.empty() && feature.size() != featDim) {
+        fatal("PointCloud::addPoint: feature dim %zu != cloud dim %zu",
+              feature.size(), featDim);
+    }
+    if (pts.empty()) {
+        featDim = feature.size();
+    }
+    pts.push_back(p);
+    feats.insert(feats.end(), feature.begin(), feature.end());
+    if (!lbls.empty() || label != -1) {
+        // Backfill missing labels with -1 to keep arrays aligned.
+        while (lbls.size() + 1 < pts.size()) {
+            lbls.push_back(-1);
+        }
+        lbls.push_back(label);
+    }
+}
+
+void
+PointCloud::setFeatures(std::vector<float> features, std::size_t feature_dim)
+{
+    if (features.size() != pts.size() * feature_dim) {
+        fatal("PointCloud::setFeatures: size %zu != N(%zu) * C(%zu)",
+              features.size(), pts.size(), feature_dim);
+    }
+    feats = std::move(features);
+    featDim = feature_dim;
+}
+
+void
+PointCloud::setLabels(std::vector<std::int32_t> labels)
+{
+    if (labels.size() != pts.size()) {
+        fatal("PointCloud::setLabels: size %zu != N(%zu)", labels.size(),
+              pts.size());
+    }
+    lbls = std::move(labels);
+}
+
+Aabb
+PointCloud::bounds() const
+{
+    return Aabb::of(pts);
+}
+
+PointCloud
+PointCloud::select(std::span<const std::uint32_t> indices) const
+{
+    PointCloud out;
+    out.featDim = featDim;
+    out.pts.reserve(indices.size());
+    out.feats.reserve(indices.size() * featDim);
+    const bool labeled = hasLabels();
+    if (labeled) {
+        out.lbls.reserve(indices.size());
+    }
+    for (const std::uint32_t idx : indices) {
+        out.pts.push_back(pts[idx]);
+        if (featDim > 0) {
+            const float *row = feats.data() + std::size_t(idx) * featDim;
+            out.feats.insert(out.feats.end(), row, row + featDim);
+        }
+        if (labeled) {
+            out.lbls.push_back(lbls[idx]);
+        }
+    }
+    return out;
+}
+
+void
+PointCloud::permute(std::span<const std::uint32_t> permutation)
+{
+    if (permutation.size() != pts.size()) {
+        fatal("PointCloud::permute: permutation size %zu != N(%zu)",
+              permutation.size(), pts.size());
+    }
+    *this = select(permutation);
+}
+
+void
+PointCloud::normalizeToUnitSphere()
+{
+    if (pts.empty()) {
+        return;
+    }
+    Vec3 centroid{};
+    for (const Vec3 &p : pts) {
+        centroid += p;
+    }
+    centroid *= 1.0f / static_cast<float>(pts.size());
+
+    float max_norm = 0.0f;
+    for (Vec3 &p : pts) {
+        p -= centroid;
+        max_norm = std::max(max_norm, p.norm());
+    }
+    if (max_norm > 0.0f) {
+        const float inv = 1.0f / max_norm;
+        for (Vec3 &p : pts) {
+            p *= inv;
+        }
+    }
+}
+
+void
+PointCloud::normalizeToUnitCube()
+{
+    if (pts.empty()) {
+        return;
+    }
+    const Aabb box = bounds();
+    const float extent = box.maxExtent();
+    const float inv = extent > 0.0f ? 1.0f / extent : 1.0f;
+    const Vec3 lo = box.min();
+    for (Vec3 &p : pts) {
+        p = (p - lo) * inv;
+    }
+}
+
+} // namespace edgepc

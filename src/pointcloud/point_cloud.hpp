@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The PointCloud container: structure-of-arrays storage for point
+ * positions, optional per-point feature channels and optional integer
+ * labels (class / part / semantic ids).
+ */
+
+#ifndef EDGEPC_POINTCLOUD_POINT_CLOUD_HPP
+#define EDGEPC_POINTCLOUD_POINT_CLOUD_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+
+/**
+ * A point cloud frame.
+ *
+ * Positions are always present; features are a row-major N x C float
+ * array (C may be 0); labels are optional per-point int32 ids. All
+ * mutating operations keep the three arrays consistent.
+ */
+class PointCloud
+{
+  public:
+    PointCloud() = default;
+
+    /** Cloud with positions only. */
+    explicit PointCloud(std::vector<Vec3> positions);
+
+    /** Cloud with positions and a per-point feature matrix. */
+    PointCloud(std::vector<Vec3> positions, std::vector<float> features,
+               std::size_t feature_dim);
+
+    /** Number of points N. */
+    std::size_t size() const { return pts.size(); }
+
+    /** True if the cloud holds no points. */
+    bool empty() const { return pts.empty(); }
+
+    /** Feature dimensionality C (0 when no features are attached). */
+    std::size_t featureDim() const { return featDim; }
+
+    /** True if per-point labels are attached. */
+    bool hasLabels() const { return lbls.size() == pts.size(); }
+
+    const std::vector<Vec3> &positions() const { return pts; }
+    std::vector<Vec3> &positions() { return pts; }
+
+    const std::vector<float> &features() const { return feats; }
+    std::vector<float> &features() { return feats; }
+
+    const std::vector<std::int32_t> &labels() const { return lbls; }
+    std::vector<std::int32_t> &labels() { return lbls; }
+
+    /** Position of point @p i. */
+    const Vec3 &position(std::size_t i) const { return pts[i]; }
+
+    /** Feature row of point @p i (span of featureDim() floats). */
+    std::span<const float> feature(std::size_t i) const;
+
+    /** Append a point (feature row must match featureDim()). */
+    void addPoint(const Vec3 &p, std::span<const float> feature = {},
+                  std::int32_t label = -1);
+
+    /** Attach a feature matrix; size must be N * feature_dim. */
+    void setFeatures(std::vector<float> features, std::size_t feature_dim);
+
+    /** Attach labels; size must equal N. */
+    void setLabels(std::vector<std::int32_t> labels);
+
+    /** Bounding box of the positions. */
+    Aabb bounds() const;
+
+    /**
+     * Return a new cloud containing the points selected by @p indices,
+     * in that order (features and labels follow). This is both the
+     * "gather sampled points" and the "reorder by Morton" primitive.
+     */
+    PointCloud select(std::span<const std::uint32_t> indices) const;
+
+    /** Reorder in place by @p permutation (must be a permutation). */
+    void permute(std::span<const std::uint32_t> permutation);
+
+    /**
+     * Translate/scale positions so the cloud is centered at the origin
+     * with maximum norm 1 (the conventional PC CNN normalization).
+     */
+    void normalizeToUnitSphere();
+
+    /** Scale/translate positions into the unit cube [0,1]^3. */
+    void normalizeToUnitCube();
+
+  private:
+    std::vector<Vec3> pts;
+    std::vector<float> feats;
+    std::vector<std::int32_t> lbls;
+    std::size_t featDim = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_POINTCLOUD_POINT_CLOUD_HPP

@@ -1,0 +1,71 @@
+#include "sampling/fps.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+
+FarthestPointSampler::FarthestPointSampler(std::uint32_t start_index,
+                                           bool parallel_update)
+    : startIndex(start_index), parallelUpdate(parallel_update)
+{
+}
+
+std::vector<std::uint32_t>
+FarthestPointSampler::sample(std::span<const Vec3> points, std::size_t n)
+{
+    const std::size_t total = points.size();
+    n = std::min(n, total);
+    std::vector<std::uint32_t> selected;
+    if (n == 0) {
+        return selected;
+    }
+    selected.reserve(n);
+
+    // dist[i] = squared distance from point i to the selected set.
+    std::vector<float> dist(total, std::numeric_limits<float>::max());
+
+    std::uint32_t current = std::min<std::uint32_t>(
+        startIndex, static_cast<std::uint32_t>(total - 1));
+    selected.push_back(current);
+
+    for (std::size_t step = 1; step < n; ++step) {
+        const Vec3 last = points[current];
+
+        // Relax distances against the newly selected point; this O(N)
+        // update per selection is the quadratic-time core of FPS.
+        if (parallelUpdate && total >= 4096) {
+            parallelFor(0, total, [&](std::size_t i) {
+                const float d = squaredDistance(points[i], last);
+                if (d < dist[i]) {
+                    dist[i] = d;
+                }
+            });
+        } else {
+            for (std::size_t i = 0; i < total; ++i) {
+                const float d = squaredDistance(points[i], last);
+                if (d < dist[i]) {
+                    dist[i] = d;
+                }
+            }
+        }
+        dist[current] = 0.0f;
+
+        // Pick the point with the maximum distance to the selected set.
+        float best = -1.0f;
+        std::uint32_t best_idx = 0;
+        for (std::size_t i = 0; i < total; ++i) {
+            if (dist[i] > best) {
+                best = dist[i];
+                best_idx = static_cast<std::uint32_t>(i);
+            }
+        }
+        current = best_idx;
+        selected.push_back(current);
+    }
+    return selected;
+}
+
+} // namespace edgepc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Feature up-sampling / interpolation (the FP-module "reverse
+ * sampling" stage of PointNet++, Sec 5.1.2 of the paper).
+ *
+ * Both the exact baseline and the Morton approximation produce an
+ * InterpolationPlan: for every target point, k source indexes into the
+ * sampled set plus normalized inverse-distance weights. The NN engine
+ * applies the plan to a feature matrix (nn/grouping.hpp).
+ *
+ * Baseline: exact 3-nearest-neighbor search over the whole sampled set
+ * — O(N * n). EdgePC: because the sampled set was stride-picked from
+ * the Morton order, the (approximate) nearest samples of a point at
+ * sorted position j are the samples at nearby stride positions; only a
+ * constant-size candidate window is examined — O(N).
+ */
+
+#ifndef EDGEPC_SAMPLING_INTERPOLATION_HPP
+#define EDGEPC_SAMPLING_INTERPOLATION_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+
+/** Per-target interpolation sources and weights. */
+struct InterpolationPlan
+{
+    /** Sources per target (3 for the standard FP module). */
+    std::size_t k = 0;
+
+    /** Row-major targets x k indexes into the sampled set. */
+    std::vector<std::uint32_t> indices;
+
+    /** Row-major targets x k weights; each row sums to 1. */
+    std::vector<float> weights;
+
+    /** Number of target points. */
+    std::size_t targets() const { return k == 0 ? 0 : indices.size() / k; }
+};
+
+/**
+ * Exact k-nearest interpolation plan (baseline).
+ *
+ * @param targets Points whose features are being reconstructed (N).
+ * @param sources Sampled points carrying features (n).
+ * @param k Number of sources per target (default 3).
+ */
+InterpolationPlan exactInterpolation(std::span<const Vec3> targets,
+                                     std::span<const Vec3> sources,
+                                     std::size_t k = 3);
+
+/**
+ * Morton-code-based approximate up-sampler (Sec 5.1.2, "Optimizing
+ * Up-sampling").
+ *
+ * Requires the structurization of the *original* cloud and the sample
+ * count n used by the Morton down-sampler; the sampled set is assumed
+ * to be the stride picks of the sorted order (sample q sits at sorted
+ * position floor(q*N/n)). For a target at sorted position j the
+ * candidate sources are the samples at stride slots q-2..q+2 where
+ * q = floor(j*n/N); the paper's 4-candidate window around
+ * j' = j - j%step, extended with the slot containing j itself. The
+ * best @p k candidates by true distance are kept.
+ */
+class MortonUpsampler
+{
+  public:
+    /**
+     * @param window_halfwidth Candidate stride slots examined on each
+     *        side of the target's own slot (paper uses 2).
+     * @param k Sources kept per target (default 3).
+     */
+    explicit MortonUpsampler(int window_halfwidth = 2, std::size_t k = 3);
+
+    /**
+     * Build the plan.
+     *
+     * @param points Original cloud positions (N).
+     * @param s Structurization of @p points.
+     * @param samples Indexes selected by the Morton sampler (n); must
+     *        be the stride picks of s.order.
+     */
+    InterpolationPlan plan(std::span<const Vec3> points,
+                           const Structurization &s,
+                           std::span<const std::uint32_t> samples) const;
+
+  private:
+    int halfWidth;
+    std::size_t numSources;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_SAMPLING_INTERPOLATION_HPP

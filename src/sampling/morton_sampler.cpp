@@ -1,0 +1,62 @@
+#include "sampling/morton_sampler.hpp"
+
+#include "common/thread_pool.hpp"
+#include "sampling/uniform_index_sampler.hpp"
+
+namespace edgepc {
+
+MortonSampler::MortonSampler(int code_bits) : bits(code_bits) {}
+
+MortonSampler::MortonSampler(const Vec3 &minimum, float grid_size,
+                             int bits_per_axis)
+    : bits(bits_per_axis * 3), fixedMinimum(minimum),
+      fixedGridSize(grid_size), fixedBitsPerAxis(bits_per_axis)
+{
+}
+
+MortonEncoder
+MortonSampler::makeEncoder(std::span<const Vec3> points) const
+{
+    if (fixedMinimum) {
+        return MortonEncoder(*fixedMinimum, fixedGridSize,
+                             fixedBitsPerAxis);
+    }
+    return MortonEncoder(Aabb::of(points), bits);
+}
+
+Structurization
+MortonSampler::structurize(std::span<const Vec3> points) const
+{
+    Structurization s;
+    const MortonEncoder encoder = makeEncoder(points);
+    encoder.encodeAll(points, s.codes);
+    s.order = radixSortIndices(s.codes);
+    s.rank.resize(s.order.size());
+    parallelFor(0, s.order.size(), [&](std::size_t pos) {
+        s.rank[s.order[pos]] = static_cast<std::uint32_t>(pos);
+    });
+    return s;
+}
+
+std::vector<std::uint32_t>
+MortonSampler::sampleStructurized(const Structurization &s,
+                                  std::size_t n) const
+{
+    const auto positions =
+        UniformIndexSampler::stridePositions(s.size(), n);
+    std::vector<std::uint32_t> selected(positions.size());
+    // Fully parallel pick (Algo 1 lines 11-13).
+    parallelFor(0, positions.size(), [&](std::size_t k) {
+        selected[k] = s.order[positions[k]];
+    });
+    return selected;
+}
+
+std::vector<std::uint32_t>
+MortonSampler::sample(std::span<const Vec3> points, std::size_t n)
+{
+    const Structurization s = structurize(points);
+    return sampleStructurized(s, n);
+}
+
+} // namespace edgepc

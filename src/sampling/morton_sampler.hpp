@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The EdgePC Morton-code-based sampler (Algo 1 / Fig 8b of the paper).
+ *
+ * Three steps: (1) generate a Morton code per point — fully parallel;
+ * (2) sort the codes, yielding the structurized index array I'; and
+ * (3) uniform-stride pick n of the sorted positions — fully parallel.
+ * Total complexity O(N log N) (O(N) with the radix sort used here)
+ * versus the O(N^2) of farthest point sampling, with no sequential
+ * selection dependency.
+ *
+ * The intermediate structurization (codes + order) is exposed so the
+ * neighbor searcher and the up-sampler can reuse it at zero extra cost,
+ * which is the cross-stage reuse the paper relies on (Sec 5.2.3).
+ */
+
+#ifndef EDGEPC_SAMPLING_MORTON_SAMPLER_HPP
+#define EDGEPC_SAMPLING_MORTON_SAMPLER_HPP
+
+#include <optional>
+
+#include "geometry/morton.hpp"
+#include "sampling/sampler.hpp"
+
+namespace edgepc {
+
+/**
+ * Result of structurizing a cloud: the Morton codes and the sorted
+ * index permutation I' (Sec 4.1), plus the stride positions chosen by
+ * the most recent sampling call.
+ */
+struct Structurization
+{
+    /** Morton code per original point index. */
+    std::vector<std::uint64_t> codes;
+
+    /** I' : sorted position -> original point index. */
+    std::vector<std::uint32_t> order;
+
+    /** Inverse of order: original point index -> sorted position. */
+    std::vector<std::uint32_t> rank;
+
+    /** Number of points N. */
+    std::size_t size() const { return order.size(); }
+};
+
+/** Morton-code-based approximate down-sampler. */
+class MortonSampler : public Sampler
+{
+  public:
+    /**
+     * @param code_bits Total Morton code bit budget a (Sec 5.1.3);
+     *        floor(a/3) bits per axis. Paper default 32.
+     */
+    explicit MortonSampler(int code_bits = MortonEncoder::kDefaultCodeBits);
+
+    /**
+     * Construct with an explicit grid (Algo 1's r and minimum inputs),
+     * e.g. to replay the paper's worked example.
+     */
+    MortonSampler(const Vec3 &minimum, float grid_size,
+                  int bits_per_axis = 21);
+
+    /**
+     * Structurize @p points: generate codes and the sorted order I'.
+     * Pure function of the inputs; does not modify sampler state.
+     */
+    Structurization structurize(std::span<const Vec3> points) const;
+
+    /**
+     * Sample using a precomputed structurization (skips code
+     * generation and sorting — the reuse path).
+     */
+    std::vector<std::uint32_t>
+    sampleStructurized(const Structurization &s, std::size_t n) const;
+
+    std::vector<std::uint32_t> sample(std::span<const Vec3> points,
+                                      std::size_t n) override;
+
+    std::string name() const override { return "morton"; }
+
+    /** Total Morton code bits configured. */
+    int codeBits() const { return bits; }
+
+  private:
+    MortonEncoder makeEncoder(std::span<const Vec3> points) const;
+
+    int bits;
+    std::optional<Vec3> fixedMinimum;
+    float fixedGridSize = 0.0f;
+    int fixedBitsPerAxis = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_SAMPLING_MORTON_SAMPLER_HPP

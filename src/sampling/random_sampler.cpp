@@ -1,0 +1,27 @@
+#include "sampling/random_sampler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace edgepc {
+
+RandomSampler::RandomSampler(std::uint64_t seed) : rng(seed) {}
+
+std::vector<std::uint32_t>
+RandomSampler::sample(std::span<const Vec3> points, std::size_t n)
+{
+    const std::size_t total = points.size();
+    n = std::min(n, total);
+
+    std::vector<std::uint32_t> index(total);
+    std::iota(index.begin(), index.end(), 0u);
+    // Partial Fisher-Yates: only the first n positions are shuffled.
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = i + rng.nextBelow(total - i);
+        std::swap(index[i], index[j]);
+    }
+    index.resize(n);
+    return index;
+}
+
+} // namespace edgepc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Random down-sampler: selects n distinct indexes uniformly at random.
+ * A cheap baseline with no coverage guarantee.
+ */
+
+#ifndef EDGEPC_SAMPLING_RANDOM_SAMPLER_HPP
+#define EDGEPC_SAMPLING_RANDOM_SAMPLER_HPP
+
+#include "common/rng.hpp"
+#include "sampling/sampler.hpp"
+
+namespace edgepc {
+
+/** Uniform random sampler without replacement (partial Fisher-Yates). */
+class RandomSampler : public Sampler
+{
+  public:
+    explicit RandomSampler(std::uint64_t seed = 1);
+
+    std::vector<std::uint32_t> sample(std::span<const Vec3> points,
+                                      std::size_t n) override;
+
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_SAMPLING_RANDOM_SAMPLER_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Sampler interface: every down-sampling strategy maps a point set to
+ * the indexes of n selected points.
+ */
+
+#ifndef EDGEPC_SAMPLING_SAMPLER_HPP
+#define EDGEPC_SAMPLING_SAMPLER_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+
+/** Abstract down-sampler. */
+class Sampler
+{
+  public:
+    virtual ~Sampler() = default;
+
+    /**
+     * Select @p n point indexes out of @p points.
+     *
+     * @param points Input cloud positions (size N).
+     * @param n Number of points to select (clamped to N).
+     * @return Indexes of the selected points, in selection order.
+     */
+    virtual std::vector<std::uint32_t>
+    sample(std::span<const Vec3> points, std::size_t n) = 0;
+
+    /** Human-readable sampler name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_SAMPLING_SAMPLER_HPP

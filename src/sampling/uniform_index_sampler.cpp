@@ -1,0 +1,24 @@
+#include "sampling/uniform_index_sampler.hpp"
+
+#include <algorithm>
+
+namespace edgepc {
+
+std::vector<std::uint32_t>
+UniformIndexSampler::stridePositions(std::size_t total, std::size_t n)
+{
+    n = std::min(n, total);
+    std::vector<std::uint32_t> picks(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        picks[k] = static_cast<std::uint32_t>(k * total / n);
+    }
+    return picks;
+}
+
+std::vector<std::uint32_t>
+UniformIndexSampler::sample(std::span<const Vec3> points, std::size_t n)
+{
+    return stridePositions(points.size(), n);
+}
+
+} // namespace edgepc

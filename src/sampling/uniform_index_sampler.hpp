@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Uniform index-stride sampler: picks every (N/n)-th point of whatever
+ * ordering the cloud currently has.
+ *
+ * On raw (acquisition-ordered) clouds this is the poor sampler of
+ * Fig 4b / Fig 5b; on Morton-structurized clouds it is the final step
+ * of the EdgePC sampler (Algo 1 lines 11-13).
+ */
+
+#ifndef EDGEPC_SAMPLING_UNIFORM_INDEX_SAMPLER_HPP
+#define EDGEPC_SAMPLING_UNIFORM_INDEX_SAMPLER_HPP
+
+#include "sampling/sampler.hpp"
+
+namespace edgepc {
+
+/** Stride sampler over the current point order. */
+class UniformIndexSampler : public Sampler
+{
+  public:
+    UniformIndexSampler() = default;
+
+    std::vector<std::uint32_t> sample(std::span<const Vec3> points,
+                                      std::size_t n) override;
+
+    std::string name() const override { return "uniform-index"; }
+
+    /**
+     * Stride-pick @p n positions out of @p total: position k maps to
+     * floor(k * total / n). Exposed so the Morton sampler and the
+     * up-sampler share the exact same stride arithmetic.
+     */
+    static std::vector<std::uint32_t> stridePositions(std::size_t total,
+                                                      std::size_t n);
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_SAMPLING_UNIFORM_INDEX_SAMPLER_HPP

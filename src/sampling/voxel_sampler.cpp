@@ -1,0 +1,91 @@
+#include "sampling/voxel_sampler.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "geometry/morton.hpp"
+#include "sampling/uniform_index_sampler.hpp"
+
+namespace edgepc {
+
+VoxelGridSampler::VoxelGridSampler(std::uint64_t seed) : fillSeed(seed) {}
+
+std::vector<std::uint32_t>
+VoxelGridSampler::sample(std::span<const Vec3> points, std::size_t n)
+{
+    const std::size_t total = points.size();
+    n = std::min(n, total);
+    if (n == 0) {
+        return {};
+    }
+
+    const Aabb bounds = Aabb::of(points);
+
+    // Representative of each occupied voxel: the point nearest the
+    // voxel center. Key = voxel Morton code.
+    struct Representative
+    {
+        std::uint32_t point;
+        float distance;
+    };
+
+    // Bisect bits-per-axis upward until enough voxels are occupied
+    // (coarse grids merge too many points into one voxel).
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> reps_sorted;
+    for (int bits = 2; bits <= 10; ++bits) {
+        const MortonEncoder encoder(bounds, bits * 3);
+        std::unordered_map<std::uint64_t, Representative> reps;
+        reps.reserve(total / 4);
+        for (std::size_t i = 0; i < total; ++i) {
+            const std::uint64_t code = encoder.code(points[i]);
+            const float d = squaredDistance(
+                points[i], encoder.voxelCenter(code));
+            const auto it = reps.find(code);
+            if (it == reps.end() || d < it->second.distance) {
+                reps[code] = {static_cast<std::uint32_t>(i), d};
+            }
+        }
+        if (reps.size() >= n || bits == 10) {
+            reps_sorted.clear();
+            reps_sorted.reserve(reps.size());
+            for (const auto &[code, rep] : reps) {
+                reps_sorted.emplace_back(code, rep.point);
+            }
+            std::sort(reps_sorted.begin(), reps_sorted.end());
+            if (reps.size() >= n) {
+                break;
+            }
+        }
+    }
+
+    // Stride down the Morton-ordered voxel representatives to n.
+    std::vector<std::uint32_t> selected;
+    selected.reserve(n);
+    const auto positions = UniformIndexSampler::stridePositions(
+        reps_sorted.size(), std::min(n, reps_sorted.size()));
+    for (const auto pos : positions) {
+        selected.push_back(reps_sorted[pos].second);
+    }
+
+    // Top up (fewer occupied voxels than requested points): add
+    // not-yet-chosen points at random.
+    if (selected.size() < n) {
+        std::vector<bool> used(total, false);
+        for (const auto idx : selected) {
+            used[idx] = true;
+        }
+        Rng rng(fillSeed);
+        while (selected.size() < n) {
+            const auto idx =
+                static_cast<std::uint32_t>(rng.nextBelow(total));
+            if (!used[idx]) {
+                used[idx] = true;
+                selected.push_back(idx);
+            }
+        }
+    }
+    return selected;
+}
+
+} // namespace edgepc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Voxel-grid down-sampler: the classic PCL-style baseline that keeps
+ * one representative point per occupied voxel.
+ *
+ * Included as an additional exact-ish baseline between FPS (best
+ * coverage, O(nN)) and raw uniform sampling (no coverage guarantee):
+ * voxel sampling is area-stratified like FPS but single-pass like the
+ * Morton sampler — in fact it is the "bucketed" cousin of the Morton
+ * sampler, which replaces the voxel buckets with a sorted curve.
+ */
+
+#ifndef EDGEPC_SAMPLING_VOXEL_SAMPLER_HPP
+#define EDGEPC_SAMPLING_VOXEL_SAMPLER_HPP
+
+#include "sampling/sampler.hpp"
+
+namespace edgepc {
+
+/** One-point-per-voxel down-sampler with exact output count. */
+class VoxelGridSampler : public Sampler
+{
+  public:
+    /**
+     * @param seed Seed for the fill-in picks when fewer voxels are
+     *        occupied than points requested.
+     */
+    explicit VoxelGridSampler(std::uint64_t seed = 3);
+
+    /**
+     * Select n points: bisect the voxel size until the occupied-voxel
+     * count is >= n, keep the point nearest each voxel center
+     * (ordered by voxel Morton code), stride down to exactly n, and
+     * top up with unused points if the cloud has fewer distinct
+     * voxels than requested.
+     */
+    std::vector<std::uint32_t> sample(std::span<const Vec3> points,
+                                      std::size_t n) override;
+
+    std::string name() const override { return "voxel-grid"; }
+
+  private:
+    std::uint64_t fillSeed;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_SAMPLING_VOXEL_SAMPLER_HPP

@@ -1,0 +1,93 @@
+#include "train/metrics.hpp"
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes(num_classes), cells(num_classes * num_classes, 0)
+{
+    if (num_classes == 0) {
+        fatal("ConfusionMatrix: num_classes must be > 0");
+    }
+}
+
+void
+ConfusionMatrix::record(std::int32_t truth, std::int32_t prediction)
+{
+    if (truth < 0 || prediction < 0) {
+        return;
+    }
+    const auto t = static_cast<std::size_t>(truth);
+    const auto p = static_cast<std::size_t>(prediction);
+    if (t >= classes || p >= classes) {
+        fatal("ConfusionMatrix::record: class out of range (%d, %d)",
+              truth, prediction);
+    }
+    ++cells[t * classes + p];
+    ++count;
+}
+
+void
+ConfusionMatrix::record(std::span<const std::int32_t> truth,
+                        std::span<const std::int32_t> predictions)
+{
+    if (truth.size() != predictions.size()) {
+        fatal("ConfusionMatrix::record: size mismatch (%zu vs %zu)",
+              truth.size(), predictions.size());
+    }
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        record(truth[i], predictions[i]);
+    }
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (count == 0) {
+        return 0.0;
+    }
+    std::uint64_t hits = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+        hits += cells[c * classes + c];
+    }
+    return static_cast<double>(hits) / static_cast<double>(count);
+}
+
+double
+ConfusionMatrix::iou(std::size_t cls) const
+{
+    std::uint64_t tp = cells[cls * classes + cls];
+    std::uint64_t fp = 0, fn = 0;
+    for (std::size_t other = 0; other < classes; ++other) {
+        if (other != cls) {
+            fp += cells[other * classes + cls];
+            fn += cells[cls * classes + other];
+        }
+    }
+    const std::uint64_t denom = tp + fp + fn;
+    return denom == 0
+               ? 0.0
+               : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double
+ConfusionMatrix::meanIou() const
+{
+    double sum = 0.0;
+    std::size_t present = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+        std::uint64_t appearances = 0;
+        for (std::size_t other = 0; other < classes; ++other) {
+            appearances += cells[c * classes + other];
+            appearances += cells[other * classes + c];
+        }
+        if (appearances > 0) {
+            sum += iou(c);
+            ++present;
+        }
+    }
+    return present == 0 ? 0.0 : sum / static_cast<double>(present);
+}
+
+} // namespace edgepc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Evaluation metrics for classification and segmentation tasks:
+ * overall accuracy and mean intersection-over-union.
+ */
+
+#ifndef EDGEPC_TRAIN_METRICS_HPP
+#define EDGEPC_TRAIN_METRICS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace edgepc {
+
+/** Incrementally accumulated confusion matrix. */
+class ConfusionMatrix
+{
+  public:
+    explicit ConfusionMatrix(std::size_t num_classes);
+
+    /** Record a (truth, prediction) pair; negatives are ignored. */
+    void record(std::int32_t truth, std::int32_t prediction);
+
+    /** Record aligned label/prediction arrays. */
+    void record(std::span<const std::int32_t> truth,
+                std::span<const std::int32_t> predictions);
+
+    /** Overall accuracy (trace over total). */
+    double accuracy() const;
+
+    /** IoU of one class (0 when the class never appears). */
+    double iou(std::size_t cls) const;
+
+    /** Mean IoU over the classes that appear in truth or prediction. */
+    double meanIou() const;
+
+    /** Total recorded pairs. */
+    std::size_t total() const { return count; }
+
+    std::size_t numClasses() const { return classes; }
+
+  private:
+    std::size_t classes;
+    std::size_t count = 0;
+    std::vector<std::uint64_t> cells; ///< classes x classes, row=truth.
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_TRAIN_METRICS_HPP

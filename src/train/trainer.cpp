@@ -1,0 +1,144 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace edgepc {
+
+Trainer::Trainer(TrainOptions options) : opts(options) {}
+
+namespace {
+
+/** Mean-normalize accumulated gradients over the batch. */
+void
+averageGradients(const std::vector<nn::Parameter *> &params,
+                 std::size_t batch)
+{
+    if (batch <= 1) {
+        return;
+    }
+    const float inv = 1.0f / static_cast<float>(batch);
+    for (nn::Parameter *p : params) {
+        p->grad.scale(inv);
+    }
+}
+
+} // namespace
+
+TrainResult
+Trainer::trainImpl(TrainableModel &model, const Dataset &data,
+                   const EdgePcConfig &cfg, bool segmentation)
+{
+    if (data.items.empty()) {
+        fatal("Trainer: empty training dataset");
+    }
+
+    std::vector<nn::Parameter *> params;
+    model.collectParameters(params);
+    nn::SgdOptimizer optimizer(params, opts.learningRate, opts.momentum,
+                               opts.weightDecay);
+
+    TrainResult result;
+    Dataset shuffled = data;
+
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        shuffled.shuffle(static_cast<std::uint64_t>(epoch) * 7919 + 3);
+        double epoch_loss = 0.0;
+        std::size_t loss_terms = 0;
+        ConfusionMatrix confusion(model.numClasses());
+
+        optimizer.zeroGrad();
+        std::size_t in_batch = 0;
+        for (const LabeledCloud &item : shuffled.items) {
+            const nn::Matrix logits =
+                model.forward(item.cloud, cfg, nullptr, true);
+
+            std::vector<std::int32_t> labels;
+            if (segmentation) {
+                labels.assign(item.cloud.labels().begin(),
+                              item.cloud.labels().end());
+            } else {
+                labels.assign(1, item.classLabel);
+            }
+
+            const nn::LossResult loss =
+                nn::softmaxCrossEntropy(logits, labels);
+            epoch_loss += loss.loss;
+            ++loss_terms;
+
+            const auto predictions = nn::argmaxRows(logits);
+            confusion.record(labels, predictions);
+
+            model.backward(loss.gradLogits);
+            if (++in_batch >= opts.batchSize) {
+                averageGradients(params, in_batch);
+                optimizer.step();
+                optimizer.zeroGrad();
+                in_batch = 0;
+            }
+        }
+        if (in_batch > 0) {
+            averageGradients(params, in_batch);
+            optimizer.step();
+            optimizer.zeroGrad();
+        }
+
+        const double mean_loss =
+            loss_terms ? epoch_loss / static_cast<double>(loss_terms)
+                       : 0.0;
+        result.epochLoss.push_back(mean_loss);
+        result.finalTrainAccuracy = confusion.accuracy();
+        if (opts.verbose) {
+            inform("epoch %d/%d: loss %.4f train-acc %.3f", epoch + 1,
+                   opts.epochs, mean_loss, confusion.accuracy());
+        }
+        optimizer.setLearningRate(optimizer.learningRate() *
+                                  opts.lrDecay);
+    }
+    return result;
+}
+
+TrainResult
+Trainer::trainClassifier(TrainableModel &model, const Dataset &data,
+                         const EdgePcConfig &cfg)
+{
+    return trainImpl(model, data, cfg, false);
+}
+
+TrainResult
+Trainer::trainSegmentation(TrainableModel &model, const Dataset &data,
+                           const EdgePcConfig &cfg)
+{
+    return trainImpl(model, data, cfg, true);
+}
+
+EvalResult
+Trainer::evaluateClassifier(PointCloudModel &model, const Dataset &data,
+                            const EdgePcConfig &cfg)
+{
+    ConfusionMatrix confusion(model.numClasses());
+    for (const LabeledCloud &item : data.items) {
+        const nn::Matrix logits = model.infer(item.cloud, cfg);
+        const auto predictions = nn::argmaxRows(logits);
+        confusion.record(item.classLabel, predictions.at(0));
+    }
+    return {confusion.accuracy(), confusion.meanIou()};
+}
+
+EvalResult
+Trainer::evaluateSegmentation(PointCloudModel &model, const Dataset &data,
+                              const EdgePcConfig &cfg)
+{
+    ConfusionMatrix confusion(model.numClasses());
+    for (const LabeledCloud &item : data.items) {
+        const nn::Matrix logits = model.infer(item.cloud, cfg);
+        const auto predictions = nn::argmaxRows(logits);
+        confusion.record(item.cloud.labels(), predictions);
+    }
+    return {confusion.accuracy(), confusion.meanIou()};
+}
+
+} // namespace edgepc

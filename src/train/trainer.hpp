@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Training driver: (re)trains a point-cloud CNN with a chosen
+ * EdgePcConfig active inside the training loop.
+ *
+ * This is the mechanism of Sec 5.3 of the paper: the Morton-code
+ * approximations produce sub-optimal samples and false neighbors, so
+ * pretrained weights lose accuracy; retraining with the approximations
+ * in the loop recovers it (Fig 14a). Training with the baseline config
+ * yields the reference models.
+ */
+
+#ifndef EDGEPC_TRAIN_TRAINER_HPP
+#define EDGEPC_TRAIN_TRAINER_HPP
+
+#include "datasets/dataset.hpp"
+#include "models/model.hpp"
+#include "train/metrics.hpp"
+
+namespace edgepc {
+
+/** Training hyper-parameters. */
+struct TrainOptions
+{
+    int epochs = 10;
+    float learningRate = 0.02f;
+    float momentum = 0.9f;
+    float weightDecay = 1e-4f;
+    /** Multiplied into the learning rate after every epoch. */
+    float lrDecay = 0.9f;
+    /** Clouds per optimizer step. */
+    std::size_t batchSize = 8;
+    /** Log per-epoch progress. */
+    bool verbose = false;
+};
+
+/** Outcome of a training run. */
+struct TrainResult
+{
+    std::vector<double> epochLoss;
+    double finalTrainAccuracy = 0.0;
+};
+
+/** Outcome of an evaluation pass. */
+struct EvalResult
+{
+    double accuracy = 0.0;
+    double meanIou = 0.0;
+};
+
+/** Trains and evaluates TrainableModels. */
+class Trainer
+{
+  public:
+    explicit Trainer(TrainOptions options = {});
+
+    /**
+     * Train a whole-cloud classifier: the model must emit a single
+     * logit row per cloud; labels come from LabeledCloud::classLabel.
+     *
+     * @param model Model to optimize.
+     * @param data Training split.
+     * @param cfg Pipeline config active during training (baseline or
+     *        the approximations being retrained for).
+     */
+    TrainResult trainClassifier(TrainableModel &model, const Dataset &data,
+                                const EdgePcConfig &cfg);
+
+    /**
+     * Train a per-point segmentation model: the model must emit one
+     * logit row per point; labels come from the clouds' point labels.
+     */
+    TrainResult trainSegmentation(TrainableModel &model,
+                                  const Dataset &data,
+                                  const EdgePcConfig &cfg);
+
+    /** Evaluate a classifier on @p data. */
+    EvalResult evaluateClassifier(PointCloudModel &model,
+                                  const Dataset &data,
+                                  const EdgePcConfig &cfg);
+
+    /** Evaluate a segmentation model on @p data. */
+    EvalResult evaluateSegmentation(PointCloudModel &model,
+                                    const Dataset &data,
+                                    const EdgePcConfig &cfg);
+
+    const TrainOptions &options() const { return opts; }
+
+  private:
+    TrainResult trainImpl(TrainableModel &model, const Dataset &data,
+                          const EdgePcConfig &cfg, bool segmentation);
+
+    TrainOptions opts;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_TRAIN_TRAINER_HPP

@@ -1,0 +1,73 @@
+/** @file Tests for the characterization / auto-configuration API. */
+
+#include <gtest/gtest.h>
+
+#include "core/characterize.hpp"
+#include "datasets/scenes.hpp"
+#include "models/pointnet.hpp"
+#include "models/pointnetpp.hpp"
+
+namespace edgepc {
+namespace {
+
+PointCloud
+sceneCloud(std::size_t points, std::uint64_t seed)
+{
+    Rng rng(seed);
+    SceneOptions options;
+    options.points = points;
+    return makeScene(options, rng);
+}
+
+TEST(Characterize, ProducesFullReport)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(512, 5), 7);
+    const PointCloud probe = sceneCloud(512, 1);
+    const CharacterizationReport report =
+        characterize(model, probe, 0.5, 8);
+
+    EXPECT_GT(report.baselineStages.grandTotal(), 0.0);
+    EXPECT_GT(report.sampleNeighborShare, 0.0);
+    EXPECT_LT(report.sampleNeighborShare, 1.0);
+    ASSERT_EQ(report.windowSweep.size(), 5u);
+    EXPECT_TRUE(report.recommended.approximate());
+    EXPECT_GE(report.recommended.searchWindow, 8u);
+    EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(Characterize, FnrMonotoneAlongSweep)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(512, 5), 7);
+    const PointCloud probe = sceneCloud(512, 2);
+    const CharacterizationReport report =
+        characterize(model, probe, 0.35, 8);
+    for (std::size_t i = 1; i < report.windowSweep.size(); ++i) {
+        EXPECT_LE(report.windowSweep[i].falseNeighborRatio,
+                  report.windowSweep[i - 1].falseNeighborRatio + 0.03);
+    }
+}
+
+TEST(Characterize, TighterBudgetRecommendsLargerWindow)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(512, 5), 7);
+    const PointCloud probe = sceneCloud(512, 3);
+    const auto loose = characterize(model, probe, 0.6, 8);
+    const auto tight = characterize(model, probe, 0.05, 8);
+    EXPECT_GE(tight.recommended.searchWindow,
+              loose.recommended.searchWindow);
+}
+
+TEST(Characterize, PointNetIsNotWorthwhile)
+{
+    // PointNet has no SMP/NS stage, so its share is 0 and the
+    // approximation cannot pay off — the report must say so.
+    PointNet model(PointNetConfig::classification(8), 7);
+    const PointCloud probe = sceneCloud(256, 4);
+    const CharacterizationReport report =
+        characterize(model, probe, 0.35, 8);
+    EXPECT_DOUBLE_EQ(report.sampleNeighborShare, 0.0);
+    EXPECT_FALSE(report.worthwhile);
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,101 @@
+/** @file Unit tests for cloud/ordering quality metrics. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "geometry/morton.hpp"
+#include "pointcloud/metrics.hpp"
+
+namespace edgepc {
+namespace {
+
+std::vector<Vec3>
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pts(n);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    return pts;
+}
+
+TEST(Metrics, OrderingLocalityOnLine)
+{
+    const std::vector<Vec3> pts = {
+        {0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+    const std::vector<std::uint32_t> in_order = {0, 1, 2, 3};
+    const std::vector<std::uint32_t> shuffled = {0, 3, 1, 2};
+    EXPECT_DOUBLE_EQ(orderingLocality(pts, in_order), 1.0);
+    EXPECT_GT(orderingLocality(pts, shuffled),
+              orderingLocality(pts, in_order));
+}
+
+TEST(Metrics, MortonOrderIsMoreStructuredThanRandom)
+{
+    const auto pts = randomCloud(2000, 21);
+    std::vector<std::uint32_t> identity(pts.size());
+    std::iota(identity.begin(), identity.end(), 0u);
+
+    const MortonEncoder enc(Aabb::of(pts), 32);
+    const auto morton = mortonOrder(pts, enc);
+
+    const double s_random = structuredness(pts, identity);
+    const double s_morton = structuredness(pts, morton);
+    // Random insertion order has near-zero structure; Morton order
+    // should be strongly structured.
+    EXPECT_LT(s_random, 0.3);
+    EXPECT_GT(s_morton, 0.7);
+}
+
+TEST(Metrics, CoverageRadiusZeroWhenAllSampled)
+{
+    const auto pts = randomCloud(100, 22);
+    EXPECT_DOUBLE_EQ(coverageRadius(pts, pts), 0.0);
+    EXPECT_DOUBLE_EQ(meanCoverageDistance(pts, pts), 0.0);
+}
+
+TEST(Metrics, CoverageDegradesWithWorseSamples)
+{
+    const auto pts = randomCloud(500, 23);
+    // A single sample covers worse than ten spread samples.
+    const std::vector<Vec3> one = {pts[0]};
+    std::vector<Vec3> ten(pts.begin(), pts.begin() + 10);
+    EXPECT_GT(coverageRadius(pts, one), coverageRadius(pts, ten) - 1e-12);
+    EXPECT_GT(meanCoverageDistance(pts, one),
+              meanCoverageDistance(pts, ten));
+}
+
+TEST(Metrics, VoxelCoverageFullWhenAllSampled)
+{
+    const auto pts = randomCloud(300, 24);
+    EXPECT_DOUBLE_EQ(voxelCoverage(pts, pts, 0.25f), 1.0);
+}
+
+TEST(Metrics, VoxelCoveragePartial)
+{
+    // Two distant clusters; sampling only one covers ~half the voxels.
+    std::vector<Vec3> pts;
+    for (int i = 0; i < 50; ++i) {
+        pts.push_back({0.01f * i, 0, 0});
+        pts.push_back({0.01f * i + 10.0f, 0, 0});
+    }
+    std::vector<Vec3> samples(pts.begin(), pts.begin() + 2);
+    samples[0] = {0.0f, 0, 0};
+    samples[1] = {0.25f, 0, 0};
+    const double cov = voxelCoverage(pts, samples, 5.0f);
+    EXPECT_GT(cov, 0.0);
+    EXPECT_LT(cov, 1.0);
+}
+
+TEST(Metrics, EmptyInputs)
+{
+    EXPECT_DOUBLE_EQ(orderingLocality({}, {}), 0.0);
+    const auto pts = randomCloud(10, 25);
+    EXPECT_DOUBLE_EQ(voxelCoverage({}, pts, 1.0f), 0.0);
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,223 @@
+/** @file Unit tests for the synthetic dataset generators. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "datasets/bunny.hpp"
+#include "pointcloud/metrics.hpp"
+#include "datasets/parts.hpp"
+#include "datasets/scenes.hpp"
+#include "datasets/shapes.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(Shapes, EveryClassGenerates)
+{
+    Rng rng(1);
+    ShapeOptions options;
+    options.points = 200;
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(ShapeClass::Count); ++c) {
+        const PointCloud cloud =
+            makeShape(static_cast<ShapeClass>(c), options, rng);
+        EXPECT_EQ(cloud.size(), 200u) << shapeClassName(
+            static_cast<ShapeClass>(c));
+        // Unit-sphere normalized.
+        for (const Vec3 &p : cloud.positions()) {
+            EXPECT_LE(p.norm(), 1.0f + 1e-4f);
+        }
+    }
+}
+
+TEST(Shapes, DatasetHasBalancedClasses)
+{
+    ShapeOptions options;
+    options.points = 64;
+    const Dataset data = makeShapeDataset(5, options, 3);
+    EXPECT_EQ(data.size(),
+              5u * static_cast<std::size_t>(ShapeClass::Count));
+    EXPECT_EQ(data.numClasses,
+              static_cast<std::size_t>(ShapeClass::Count));
+    std::vector<int> counts(data.numClasses, 0);
+    for (const auto &item : data.items) {
+        ASSERT_GE(item.classLabel, 0);
+        ++counts[static_cast<std::size_t>(item.classLabel)];
+    }
+    for (const int c : counts) {
+        EXPECT_EQ(c, 5);
+    }
+}
+
+TEST(Shapes, ZRotationPreservesHeights)
+{
+    // The default ModelNet-style augmentation rotates about z: the
+    // multiset of z coordinates is preserved up to normalization.
+    Rng rng_a(9), rng_b(9);
+    ShapeOptions plain;
+    plain.points = 128;
+    plain.noise = 0.0f;
+    plain.randomRotation = false;
+    ShapeOptions rotated = plain;
+    rotated.randomRotation = true;
+    rotated.augmentation = ShapeAugmentation::RotateZ;
+
+    const PointCloud a = makeShape(ShapeClass::Cone, plain, rng_a);
+    const PointCloud b = makeShape(ShapeClass::Cone, rotated, rng_b);
+    // Radii from the z axis match per point (rotation preserves them).
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Vec3 &pa = a.position(i);
+        const Vec3 &pb = b.position(i);
+        const float ra = std::sqrt(pa.x * pa.x + pa.y * pa.y);
+        const float rb = std::sqrt(pb.x * pb.x + pb.y * pb.y);
+        ASSERT_NEAR(ra, rb, 1e-4f);
+        ASSERT_NEAR(pa.z, pb.z, 1e-4f);
+    }
+}
+
+TEST(Shapes, So3RotationChangesHeights)
+{
+    Rng rng(10);
+    ShapeOptions o;
+    o.points = 256;
+    o.noise = 0.0f;
+    o.augmentation = ShapeAugmentation::RotateSO3;
+    const PointCloud a = makeShape(ShapeClass::Cone, o, rng);
+    // A cone aligned to z has max z at the apex; after a random SO(3)
+    // rotation the z extents almost surely change relative to the
+    // unrotated parametrization bounds.
+    float top = -10.0f;
+    for (const Vec3 &p : a.positions()) {
+        top = std::max(top, p.z);
+    }
+    EXPECT_GT(top, 0.0f);
+}
+
+TEST(Shapes, DeterministicForSeed)
+{
+    ShapeOptions options;
+    options.points = 32;
+    const Dataset a = makeShapeDataset(2, options, 9);
+    const Dataset b = makeShapeDataset(2, options, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.items[i].classLabel, b.items[i].classLabel);
+        EXPECT_EQ(a.items[i].cloud.position(0),
+                  b.items[i].cloud.position(0));
+    }
+}
+
+TEST(Parts, LabelsAreConsistentWithCategory)
+{
+    Rng rng(2);
+    PartOptions options;
+    options.points = 300;
+    const PointCloud rocket =
+        makePartObject(PartCategory::Rocket, options, rng);
+    ASSERT_TRUE(rocket.hasLabels());
+    std::set<std::int32_t> labels(rocket.labels().begin(),
+                                  rocket.labels().end());
+    // Rocket parts are 0, 1, 2.
+    EXPECT_EQ(labels, (std::set<std::int32_t>{0, 1, 2}));
+
+    const PointCloud lamp =
+        makePartObject(PartCategory::Lamp, options, rng);
+    std::set<std::int32_t> lamp_labels(lamp.labels().begin(),
+                                       lamp.labels().end());
+    EXPECT_EQ(lamp_labels, (std::set<std::int32_t>{5, 6, 7}));
+}
+
+TEST(Parts, DatasetCoversAllCategories)
+{
+    PartOptions options;
+    options.points = 128;
+    const Dataset data = makePartDataset(3, options, 4);
+    EXPECT_EQ(data.size(),
+              3u * static_cast<std::size_t>(PartCategory::Count));
+    EXPECT_EQ(data.numClasses, kNumPartLabels);
+}
+
+TEST(Scenes, GeneratesLabeledRooms)
+{
+    Rng rng(3);
+    SceneOptions options;
+    options.points = 1024;
+    const PointCloud scene = makeScene(options, rng);
+    EXPECT_EQ(scene.size(), 1024u);
+    ASSERT_TRUE(scene.hasLabels());
+    std::set<std::int32_t> labels(scene.labels().begin(),
+                                  scene.labels().end());
+    // Floor and wall always present.
+    EXPECT_TRUE(labels.count(
+        static_cast<std::int32_t>(SceneClass::Floor)));
+    EXPECT_TRUE(
+        labels.count(static_cast<std::int32_t>(SceneClass::Wall)));
+    for (const auto l : labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, static_cast<std::int32_t>(SceneClass::Count));
+    }
+}
+
+TEST(Scenes, DatasetSizeAndSplit)
+{
+    SceneOptions options;
+    options.points = 256;
+    const Dataset data = makeSceneDataset(10, options, 5);
+    EXPECT_EQ(data.size(), 10u);
+    auto [train, test] = data.split(0.7, 1);
+    EXPECT_EQ(train.size(), 7u);
+    EXPECT_EQ(test.size(), 3u);
+    EXPECT_EQ(train.numClasses, data.numClasses);
+}
+
+TEST(Bunny, HasRequestedSizeAndNonUniformDensity)
+{
+    const PointCloud bunny = bunnyLike(10000, 1);
+    EXPECT_EQ(bunny.size(), 10000u);
+    // Density non-uniformity: split the bounding box in half along z
+    // and compare point counts — ears/head (top) are much denser than
+    // their volume share.
+    const Aabb box = bunny.bounds();
+    const float mid_z = box.center().z;
+    std::size_t top = 0;
+    for (const Vec3 &p : bunny.positions()) {
+        if (p.z > mid_z) {
+            ++top;
+        }
+    }
+    const double top_fraction =
+        static_cast<double>(top) / static_cast<double>(bunny.size());
+    EXPECT_GT(top_fraction, 0.05);
+    EXPECT_LT(top_fraction, 0.95);
+}
+
+TEST(Bunny, RawOrderIsSpatiallyUnstructured)
+{
+    // The file order must carry no global spatial structure (the
+    // paper's "unordered set of points" premise): consecutive points
+    // are, on average, as far apart as random pairs.
+    const PointCloud bunny = bunnyLike(5000, 2);
+    const auto &pts = bunny.positions();
+    std::vector<std::uint32_t> identity(pts.size());
+    std::iota(identity.begin(), identity.end(), 0u);
+    EXPECT_LT(structuredness(pts, identity), 0.2);
+}
+
+TEST(DatasetSplit, ShuffleIsDeterministic)
+{
+    SceneOptions options;
+    options.points = 64;
+    Dataset a = makeSceneDataset(6, options, 6);
+    Dataset b = makeSceneDataset(6, options, 6);
+    a.shuffle(42);
+    b.shuffle(42);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.items[i].cloud.position(0),
+                  b.items[i].cloud.position(0));
+    }
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,104 @@
+/** @file Tests for the analytical device model. */
+
+#include <gtest/gtest.h>
+
+#include "device/device_model.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(DeviceModel, SingleKernelThroughputBound)
+{
+    // 1024 ops on a 512-lane device at 1 op/lane/us with parallelism
+    // 512 and one launch: 5 us overhead + 1024/512 = 7 us.
+    const DeviceModel device(512, 1.0, 5.0);
+    KernelWork kernel;
+    kernel.ops = 1024;
+    kernel.parallelism = 512;
+    kernel.serialLaunches = 1;
+    EXPECT_DOUBLE_EQ(device.kernelTimeUs(kernel), 7.0);
+}
+
+TEST(DeviceModel, LowParallelismSlowsKernel)
+{
+    const DeviceModel device(512, 1.0, 0.0);
+    KernelWork wide, narrow;
+    wide.ops = narrow.ops = 512.0;
+    wide.parallelism = 512;
+    narrow.parallelism = 1;
+    EXPECT_LT(device.kernelTimeUs(wide), device.kernelTimeUs(narrow));
+    EXPECT_DOUBLE_EQ(device.kernelTimeUs(narrow), 512.0);
+}
+
+TEST(DeviceModel, SerialLaunchesPayOverheadEach)
+{
+    const DeviceModel device(512, 1.0, 5.0);
+    KernelWork chained;
+    chained.ops = 0.0;
+    chained.parallelism = 512;
+    chained.serialLaunches = 10;
+    EXPECT_DOUBLE_EQ(device.kernelTimeUs(chained), 50.0);
+}
+
+TEST(DeviceModel, FpsKernelIsLaunchDominated)
+{
+    // FPS's n dependent launches make it far slower than an equal-ops
+    // single-launch kernel — the core inefficiency of Sec 5.1.1.
+    const DeviceModel device; // default Volta-like parameters
+    const KernelWork fps = fpsKernel(8192, 1024);
+    const KernelWork flat = exactSearchKernel(8192, 1024);
+    EXPECT_GT(device.kernelTimeUs(fps),
+              5.0 * device.kernelTimeUs(flat));
+}
+
+TEST(DeviceModel, BatchOverlapHelpsParallelKernelsOnly)
+{
+    const DeviceModel device(512, 1.0, 5.0);
+    // A parallel kernel chain: batch makespan grows sublinearly until
+    // the throughput bound binds.
+    std::vector<std::vector<KernelWork>> one = {
+        {mortonStructurizeKernel(8192)}};
+    std::vector<std::vector<KernelWork>> eight(
+        8, {mortonStructurizeKernel(8192)});
+    const double t1 = device.batchMakespanUs(one);
+    const double t8 = device.batchMakespanUs(eight);
+    EXPECT_LT(t8, 8.0 * t1);
+
+    // A serial-launch chain: the longest chain floor keeps the batch
+    // from overlapping below the single-frame time.
+    std::vector<std::vector<KernelWork>> fps_batch(
+        8, {fpsKernel(8192, 1024)});
+    const double fps1 =
+        device.batchMakespanUs({{fpsKernel(8192, 1024)}});
+    const double fps8 = device.batchMakespanUs(fps_batch);
+    EXPECT_GE(fps8, fps1);
+}
+
+TEST(DeviceModel, SpeedupGrowsWithBatchSize)
+{
+    // The W1-vs-W2 effect: EdgePC-over-baseline speedup at batch 32
+    // exceeds the speedup at batch 14.
+    const DeviceModel device; // default Volta-like parameters
+    auto speedup_at = [&](std::size_t batch) {
+        std::vector<std::vector<KernelWork>> base(
+            batch, {fpsKernel(8192, 1024),
+                    exactSearchKernel(8192, 1024)});
+        std::vector<std::vector<KernelWork>> edge(
+            batch, {mortonStructurizeKernel(8192),
+                    strideSampleKernel(1024),
+                    windowSearchKernel(1024, 64)});
+        return device.batchMakespanUs(base) /
+               device.batchMakespanUs(edge);
+    };
+    EXPECT_GT(speedup_at(32), speedup_at(14));
+    EXPECT_GT(speedup_at(14), 1.0);
+}
+
+TEST(DeviceModelDeathTest, RejectsInvalidDevice)
+{
+    EXPECT_DEATH(DeviceModel(0, 1.0, 1.0), "positive");
+    EXPECT_DEATH(DeviceModel(8, 0.0, 1.0), "positive");
+}
+
+} // namespace
+} // namespace edgepc

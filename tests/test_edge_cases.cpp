@@ -1,0 +1,173 @@
+/**
+ * @file Edge-case coverage: tiny clouds, duplicate points, degenerate
+ * geometry and boundary parameter values across the whole stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
+#include "neighbor/ball_query.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/morton_window.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(EdgeCases, SinglePointCloudThroughKernels)
+{
+    const std::vector<Vec3> one = {{1, 2, 3}};
+    FarthestPointSampler fps;
+    EXPECT_EQ(fps.sample(one, 1), (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(fps.sample(one, 5).size(), 1u);
+
+    MortonSampler morton(32);
+    const Structurization s = morton.structurize(one);
+    EXPECT_EQ(s.order, (std::vector<std::uint32_t>{0}));
+
+    const MortonWindowSearch window(8);
+    const auto lists = window.searchAll(one, s, 1);
+    EXPECT_EQ(lists.row(0)[0], 0u);
+
+    BruteForceKnn knn;
+    const auto exact = knn.search(one, one, 1);
+    EXPECT_EQ(exact.row(0)[0], 0u);
+}
+
+TEST(EdgeCases, AllIdenticalPoints)
+{
+    const std::vector<Vec3> same(32, Vec3{0.5f, 0.5f, 0.5f});
+    MortonSampler morton(32);
+    const Structurization s = morton.structurize(same);
+    // All codes equal; the order must still be a permutation.
+    std::set<std::uint32_t> unique(s.order.begin(), s.order.end());
+    EXPECT_EQ(unique.size(), same.size());
+
+    const MortonWindowSearch window(8);
+    const auto lists = window.searchAll(same, s, 4);
+    EXPECT_EQ(lists.queries(), same.size());
+
+    BallQuery bq(0.1f);
+    const auto in_ball = bq.search(same, same, 4);
+    for (std::size_t q = 0; q < 4; ++q) {
+        EXPECT_LT(in_ball.row(q)[0], same.size());
+    }
+}
+
+TEST(EdgeCases, DegenerateFlatCloud)
+{
+    // All points on one plane: one Morton axis is constant.
+    Rng rng(1);
+    std::vector<Vec3> flat(256);
+    for (auto &p : flat) {
+        p = {rng.nextFloat(), rng.nextFloat(), 0.0f};
+    }
+    MortonSampler morton(32);
+    const auto sel = morton.sample(flat, 64);
+    const std::set<std::uint32_t> unique(sel.begin(), sel.end());
+    EXPECT_EQ(unique.size(), 64u);
+}
+
+TEST(EdgeCases, CollinearCloud)
+{
+    std::vector<Vec3> line(100);
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        line[i] = {static_cast<float>(i) * 0.01f, 0.0f, 0.0f};
+    }
+    MortonSampler morton(32);
+    const Structurization s = morton.structurize(line);
+    // On a line, Morton order equals coordinate order.
+    for (std::size_t i = 1; i < s.order.size(); ++i) {
+        EXPECT_LT(line[s.order[i - 1]].x, line[s.order[i]].x);
+    }
+}
+
+TEST(EdgeCases, SamplingMoreThanAvailable)
+{
+    Rng rng(2);
+    std::vector<Vec3> pts(10);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    MortonSampler morton(32);
+    EXPECT_EQ(morton.sample(pts, 100).size(), 10u);
+    FarthestPointSampler fps;
+    EXPECT_EQ(fps.sample(pts, 100).size(), 10u);
+}
+
+TEST(EdgeCases, ModelOnTinyCloud)
+{
+    // A cloud smaller than every configured sample count / k still
+    // produces well-formed logits under both configs.
+    Rng rng(3);
+    std::vector<Vec3> pts(12);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    PointCloud cloud(std::move(pts));
+
+    PointNetPP pnpp(PointNetPPConfig::liteSegmentation(512, 5), 7);
+    Dgcnn dgcnn(DgcnnConfig::liteClassification(8), 7);
+    for (const auto &cfg :
+         {EdgePcConfig::baseline(), EdgePcConfig::sn()}) {
+        const nn::Matrix a = pnpp.infer(cloud, cfg);
+        EXPECT_EQ(a.rows(), cloud.size());
+        const nn::Matrix b = dgcnn.infer(cloud, cfg);
+        EXPECT_EQ(b.rows(), 1u);
+    }
+}
+
+TEST(EdgeCases, WindowLargerThanCloud)
+{
+    Rng rng(4);
+    std::vector<Vec3> pts(16);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    MortonSampler morton(32);
+    const Structurization s = morton.structurize(pts);
+    const MortonWindowSearch window(1024); // W >> N
+    const auto lists = window.searchAll(pts, s, 4);
+    // Window clamps to the cloud; results equal exact 4-NN.
+    BruteForceKnn knn;
+    const auto exact = knn.search(pts, pts, 4);
+    for (std::size_t q = 0; q < pts.size(); ++q) {
+        const std::set<std::uint32_t> a(lists.row(q).begin(),
+                                        lists.row(q).end());
+        const std::set<std::uint32_t> b(exact.row(q).begin(),
+                                        exact.row(q).end());
+        EXPECT_EQ(a, b) << "query " << q;
+    }
+}
+
+TEST(EdgeCases, ExtremeCoordinates)
+{
+    // Very large and very small magnitudes must quantize without
+    // overflow (clamped voxel indexes).
+    const std::vector<Vec3> pts = {{1e6f, -1e6f, 0.0f},
+                                   {1e-6f, 1e-6f, 1e-6f},
+                                   {-1e6f, 1e6f, -1e6f}};
+    MortonSampler morton(32);
+    const Structurization s = morton.structurize(pts);
+    std::set<std::uint32_t> unique(s.order.begin(), s.order.end());
+    EXPECT_EQ(unique.size(), pts.size());
+}
+
+TEST(EdgeCases, PipelineWithMinimumPoints)
+{
+    PointCloud cloud({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}});
+    PointNetPP model(PointNetPPConfig::liteSegmentation(4, 3), 7);
+    InferencePipeline pipeline(model, EdgePcConfig::sn());
+    const PipelineResult r = pipeline.run(cloud);
+    EXPECT_EQ(r.logits.rows(), 4u);
+    EXPECT_GE(r.endToEndMs, 0.0);
+}
+
+} // namespace
+} // namespace edgepc

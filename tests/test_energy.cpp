@@ -1,0 +1,97 @@
+/** @file Unit tests for the energy model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace edgepc {
+namespace {
+
+StageTimer
+makeStages(double sample, double neighbor, double group, double feature)
+{
+    StageTimer t;
+    t.add(kStageSample, sample);
+    t.add(kStageNeighbor, neighbor);
+    t.add(kStageGroup, group);
+    t.add(kStageFeature, feature);
+    return t;
+}
+
+TEST(Energy, BaselineUsesBaselinePowers)
+{
+    const EnergyModel model;
+    const StageTimer stages = makeStages(10, 10, 5, 25);
+    EdgePcConfig cfg = EdgePcConfig::baseline();
+    cfg.reuseDistance = 0;
+    const double mj = model.inferenceEnergyMj(stages, cfg);
+    // 50 ms total at (4.5 + 1.35) W.
+    EXPECT_NEAR(mj, 50.0 * (4.5 + 1.35), 1e-9);
+}
+
+TEST(Energy, ApproximateLowersComputePower)
+{
+    const EnergyModel model;
+    const StageTimer stages = makeStages(10, 10, 5, 25);
+    EdgePcConfig base = EdgePcConfig::baseline();
+    base.reuseDistance = 0;
+    EdgePcConfig sn = EdgePcConfig::sn();
+    sn.reuseDistance = 0;
+    EXPECT_LT(model.inferenceEnergyMj(stages, sn),
+              model.inferenceEnergyMj(stages, base));
+}
+
+TEST(Energy, ReuseRaisesMemoryPower)
+{
+    const EnergyModel model;
+    const StageTimer stages = makeStages(10, 10, 5, 25);
+    EdgePcConfig no_reuse = EdgePcConfig::sn();
+    no_reuse.reuseDistance = 0;
+    EdgePcConfig reuse = EdgePcConfig::sn();
+    reuse.reuseDistance = 1;
+    EXPECT_GT(model.inferenceEnergyMj(stages, reuse),
+              model.inferenceEnergyMj(stages, no_reuse));
+}
+
+TEST(Energy, ShorterLatencyMeansLessEnergy)
+{
+    const EnergyModel model;
+    const EdgePcConfig cfg = EdgePcConfig::sn();
+    EXPECT_LT(
+        model.inferenceEnergyMj(makeStages(5, 5, 5, 20), cfg),
+        model.inferenceEnergyMj(makeStages(20, 20, 5, 25), cfg));
+}
+
+TEST(Energy, TensorCorePathChargesFeatureStageDifferently)
+{
+    const EnergyModel model;
+    const StageTimer stages = makeStages(5, 5, 5, 20);
+    EdgePcConfig sn = EdgePcConfig::sn();
+    EdgePcConfig snf = EdgePcConfig::snf();
+    // Same latencies: S+N+F pays higher feature power...
+    EXPECT_GT(model.inferenceEnergyMj(stages, snf),
+              model.inferenceEnergyMj(stages, sn));
+    // ...but wins when it shortens the feature stage enough.
+    const StageTimer faster = makeStages(5, 5, 5, 10);
+    EXPECT_LT(model.inferenceEnergyMj(faster, snf),
+              model.inferenceEnergyMj(stages, sn));
+}
+
+TEST(Energy, PaperLevelSavingsShapeReproduced)
+{
+    // With the paper's reported W1 numbers — baseline SMP+NS dominates
+    // — the S+N energy saving lands in the tens of percent.
+    const EnergyModel model;
+    const StageTimer baseline = makeStages(38, 38, 10, 60);
+    StageTimer optimized = makeStages(10, 10, 10, 60);
+    EdgePcConfig base = EdgePcConfig::baseline();
+    const EdgePcConfig sn = EdgePcConfig::sn();
+    const double e_base = model.inferenceEnergyMj(baseline, base);
+    const double e_sn = model.inferenceEnergyMj(optimized, sn);
+    const double saving = 1.0 - e_sn / e_base;
+    EXPECT_GT(saving, 0.25);
+    EXPECT_LT(saving, 0.55);
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,109 @@
+/**
+ * @file Failure-injection tests: invalid arguments must fail fast
+ * with a clear fatal diagnostic rather than corrupting state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geometry/morton.hpp"
+#include "geometry/voxel_grid.hpp"
+#include "neighbor/ball_query.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/grid_query.hpp"
+#include "neighbor/morton_window.hpp"
+#include "models/pointnetpp.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+#include "pointcloud/point_cloud.hpp"
+#include "sampling/interpolation.hpp"
+#include "train/trainer.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(FatalPathsDeathTest, MortonEncoderRejectsBadGrid)
+{
+    EXPECT_DEATH(MortonEncoder({0, 0, 0}, 0.0f, 8), "grid_size");
+    EXPECT_DEATH(MortonEncoder({0, 0, 0}, -1.0f, 8), "grid_size");
+    EXPECT_DEATH(MortonEncoder({0, 0, 0}, 1.0f, 0), "bits_per_axis");
+    EXPECT_DEATH(MortonEncoder({0, 0, 0}, 1.0f, 22), "bits_per_axis");
+}
+
+TEST(FatalPathsDeathTest, VoxelGridRejectsBadCell)
+{
+    const std::vector<Vec3> pts = {{0, 0, 0}};
+    EXPECT_DEATH(VoxelGrid(pts, 0.0f), "cell_size");
+}
+
+TEST(FatalPathsDeathTest, BallQueryRejectsBadInputs)
+{
+    EXPECT_DEATH(BallQuery(-0.5f), "radius");
+    BallQuery bq(1.0f);
+    const std::vector<Vec3> pts = {{0, 0, 0}};
+    EXPECT_DEATH(bq.search(pts, {}, 4), "empty candidate");
+    EXPECT_DEATH(bq.search(pts, pts, 0), "k == 0");
+}
+
+TEST(FatalPathsDeathTest, GridBallQueryRejectsBadInputs)
+{
+    EXPECT_DEATH(GridBallQuery(0.0f), "radius");
+    GridBallQuery bq(1.0f);
+    const std::vector<Vec3> pts = {{0, 0, 0}};
+    EXPECT_DEATH(bq.search(pts, {}, 2), "empty candidate");
+}
+
+TEST(FatalPathsDeathTest, BruteForceRejectsEmptyCandidates)
+{
+    BruteForceKnn knn;
+    const std::vector<Vec3> pts = {{0, 0, 0}};
+    EXPECT_DEATH(knn.search(pts, {}, 2), "empty candidate");
+}
+
+TEST(FatalPathsDeathTest, InterpolationRejectsEmptySources)
+{
+    const std::vector<Vec3> targets = {{0, 0, 0}};
+    EXPECT_DEATH(exactInterpolation(targets, {}, 3), "empty source");
+}
+
+TEST(FatalPathsDeathTest, MatrixShapeChecks)
+{
+    EXPECT_DEATH(nn::Matrix(2, 2, {1.0f, 2.0f, 3.0f}), "data size");
+    nn::Matrix m(2, 3);
+    EXPECT_DEATH(m.reshape(4, 4), "reshape");
+    nn::Matrix a(1, 2), b(1, 3);
+    EXPECT_DEATH(a.add(b), "shape mismatch");
+    EXPECT_DEATH(nn::concatCols(nn::Matrix(1, 1), nn::Matrix(2, 1)),
+                 "row mismatch");
+    EXPECT_DEATH(nn::splitCols(nn::Matrix(1, 2), 5), "left_cols");
+    EXPECT_DEATH(nn::broadcastRow(nn::Matrix(2, 2), 3), "single row");
+}
+
+TEST(FatalPathsDeathTest, PointCloudConsistencyChecks)
+{
+    PointCloud cloud({{0, 0, 0}, {1, 1, 1}});
+    EXPECT_DEATH(cloud.setFeatures({1.0f}, 2), "setFeatures");
+    EXPECT_DEATH(cloud.setLabels({1}), "setLabels");
+    const std::vector<std::uint32_t> bad_perm = {0};
+    EXPECT_DEATH(cloud.permute(bad_perm), "permutation size");
+}
+
+TEST(FatalPathsDeathTest, MaxPoolRejectsBadGroups)
+{
+    EXPECT_DEATH(nn::MaxPoolNeighbors(0), "group size");
+    nn::MaxPoolNeighbors pool(3);
+    nn::Matrix x(4, 1);
+    EXPECT_DEATH(pool.forward(x, false), "multiple");
+}
+
+TEST(FatalPathsDeathTest, TrainerRejectsEmptyDataset)
+{
+    Trainer trainer;
+    PointNetPP model(PointNetPPConfig::liteClassification(32, 4), 1);
+    Dataset empty;
+    EXPECT_DEATH(trainer.trainClassifier(model, empty,
+                                         EdgePcConfig::baseline()),
+                 "empty training");
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,153 @@
+/** @file Tests for the Sec 5.4.1 merged feature compute. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datasets/scenes.hpp"
+#include "nn/feature_merge.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+namespace nn {
+namespace {
+
+Matrix
+randomMatrix(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(r, c);
+    m.fillNormal(rng, 1.0f);
+    return m;
+}
+
+TEST(FeatureMerge, MergeOfOneIsExact)
+{
+    GemmEngine engine(GemmMode::Scalar);
+    const Matrix input = randomMatrix(17, 6, 1);
+    const Matrix weight = randomMatrix(6, 4, 2);
+    const Matrix bias = randomMatrix(1, 4, 3);
+    const Matrix exact = exactLinear(input, weight, bias, engine);
+    const Matrix merged = mergedLinear(input, weight, bias, 1, engine);
+    for (std::size_t i = 0; i < exact.numel(); ++i) {
+        EXPECT_FLOAT_EQ(merged.data()[i], exact.data()[i]);
+    }
+}
+
+TEST(FeatureMerge, GroupRowsShareTheGroupMeanResult)
+{
+    GemmEngine engine(GemmMode::Scalar);
+    const std::size_t t = 4;
+    const Matrix input = randomMatrix(8, 3, 4);
+    const Matrix weight = randomMatrix(3, 2, 5);
+    const Matrix bias;
+    const Matrix merged = mergedLinear(input, weight, bias, t, engine);
+
+    // Within each group of t rows, the outputs are identical and
+    // equal the exact transform of the group's mean feature.
+    for (std::size_t g = 0; g < 2; ++g) {
+        Matrix mean(1, 3);
+        for (std::size_t r = 0; r < t; ++r) {
+            for (std::size_t c = 0; c < 3; ++c) {
+                mean.at(0, c) += input.at(g * t + r, c) / t;
+            }
+        }
+        const Matrix expected =
+            exactLinear(mean, weight, bias, engine);
+        for (std::size_t r = 0; r < t; ++r) {
+            for (std::size_t c = 0; c < 2; ++c) {
+                EXPECT_NEAR(merged.at(g * t + r, c),
+                            expected.at(0, c), 1e-4f)
+                    << "group " << g << " row " << r;
+            }
+        }
+    }
+}
+
+TEST(FeatureMerge, HandlesRemainderRowsExactly)
+{
+    GemmEngine engine(GemmMode::Scalar);
+    const Matrix input = randomMatrix(10, 4, 6); // 10 = 2*4 + 2 tail
+    const Matrix weight = randomMatrix(4, 3, 7);
+    const Matrix bias = randomMatrix(1, 3, 8);
+    const Matrix exact = exactLinear(input, weight, bias, engine);
+    const Matrix merged = mergedLinear(input, weight, bias, 4, engine);
+    // Tail rows (the last 2) must be exact.
+    for (std::size_t r = 8; r < 10; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_NEAR(merged.at(r, c), exact.at(r, c), 1e-4f);
+        }
+    }
+}
+
+TEST(FeatureMerge, MergedPathEngagesWideGemm)
+{
+    // C = 4 < threshold 16, but C * merge = 16 clears it.
+    GemmEngine engine(GemmMode::Auto, 16);
+    const Matrix input = randomMatrix(64, 4, 9);
+    const Matrix weight = randomMatrix(4, 8, 10);
+    const Matrix bias;
+
+    exactLinear(input, weight, bias, engine);
+    EXPECT_EQ(engine.fastPathCalls(), 0u); // thin: scalar path
+
+    mergedLinear(input, weight, bias, 4, engine);
+    EXPECT_GE(engine.fastPathCalls(), 1u); // merged: fast path
+}
+
+TEST(FeatureMerge, MortonLocalityKeepsErrorSmall)
+{
+    // On a Morton-ordered cloud, merged groups are spatial neighbors,
+    // so the approximation error on a smooth feature field is small;
+    // on a shuffled cloud it is large.
+    Rng rng(11);
+    SceneOptions options;
+    options.points = 1024;
+    PointCloud scene = makeScene(options, rng);
+    MortonSampler sampler(32);
+    const Structurization s = sampler.structurize(scene.positions());
+
+    auto features_of = [](const PointCloud &cloud) {
+        Matrix f(cloud.size(), 4);
+        for (std::size_t i = 0; i < cloud.size(); ++i) {
+            const Vec3 &p = cloud.position(i);
+            f.at(i, 0) = p.x;
+            f.at(i, 1) = p.y;
+            f.at(i, 2) = p.z;
+            f.at(i, 3) = p.x * p.y;
+        }
+        return f;
+    };
+
+    PointCloud sorted = scene;
+    sorted.permute(s.order);
+
+    GemmEngine engine(GemmMode::Scalar);
+    const Matrix weight = randomMatrix(4, 6, 12);
+    const Matrix bias;
+
+    const Matrix shuffled_feats = features_of(scene);
+    const Matrix sorted_feats = features_of(sorted);
+
+    const double sorted_err = meanRelativeError(
+        mergedLinear(sorted_feats, weight, bias, 4, engine),
+        exactLinear(sorted_feats, weight, bias, engine));
+    const double shuffled_err = meanRelativeError(
+        mergedLinear(shuffled_feats, weight, bias, 4, engine),
+        exactLinear(shuffled_feats, weight, bias, engine));
+
+    EXPECT_LT(sorted_err, shuffled_err);
+    EXPECT_LT(sorted_err, 0.25);
+}
+
+TEST(FeatureMerge, MeanRelativeErrorBasics)
+{
+    Matrix a(1, 2, {1.0f, 2.0f});
+    Matrix b(1, 2, {1.0f, 2.0f});
+    EXPECT_DOUBLE_EQ(meanRelativeError(a, b), 0.0);
+    Matrix c(1, 2, {2.0f, 4.0f});
+    EXPECT_NEAR(meanRelativeError(c, b), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace nn
+} // namespace edgepc

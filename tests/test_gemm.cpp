@@ -1,0 +1,132 @@
+/** @file Unit tests for the two-path GEMM engine. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/gemm.hpp"
+
+namespace edgepc {
+namespace nn {
+namespace {
+
+Matrix
+randomMatrix(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(r, c);
+    m.fillNormal(rng, 1.0f);
+    return m;
+}
+
+void
+expectClose(const Matrix &a, const Matrix &b, float tol = 1e-3f)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        EXPECT_NEAR(a.data()[i], b.data()[i], tol) << "element " << i;
+    }
+}
+
+TEST(Gemm, KnownSmallProduct)
+{
+    GemmEngine engine(GemmMode::Scalar);
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {5, 6, 7, 8});
+    const Matrix c = engine.multiply(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Gemm, FastPathMatchesScalarPath)
+{
+    GemmEngine scalar(GemmMode::Scalar);
+    GemmEngine fast(GemmMode::Fast);
+    const Matrix a = randomMatrix(33, 47, 71);
+    const Matrix b = randomMatrix(47, 29, 72);
+    expectClose(scalar.multiply(a, b), fast.multiply(a, b));
+}
+
+TEST(Gemm, AutoDispatchByChannelDim)
+{
+    GemmEngine engine(GemmMode::Auto, 16);
+    const Matrix thin_a = randomMatrix(8, 8, 73);
+    const Matrix thin_b = randomMatrix(8, 8, 74);
+    engine.multiply(thin_a, thin_b); // K = 8 < 16 -> scalar.
+    EXPECT_EQ(engine.fastPathCalls(), 0u);
+    EXPECT_EQ(engine.scalarPathCalls(), 1u);
+
+    const Matrix wide_a = randomMatrix(8, 64, 75);
+    const Matrix wide_b = randomMatrix(64, 8, 76);
+    engine.multiply(wide_a, wide_b); // K = 64 >= 16 -> fast.
+    EXPECT_EQ(engine.fastPathCalls(), 1u);
+    EXPECT_DOUBLE_EQ(engine.fastPathUtilization(), 0.5);
+
+    engine.resetStats();
+    EXPECT_EQ(engine.fastPathCalls(), 0u);
+}
+
+TEST(Gemm, MultiplyTransposed)
+{
+    GemmEngine engine(GemmMode::Scalar);
+    const Matrix a = randomMatrix(5, 7, 77);
+    const Matrix b = randomMatrix(9, 7, 78);
+    const Matrix c = engine.multiplyTransposed(a, b); // 5 x 9
+    ASSERT_EQ(c.rows(), 5u);
+    ASSERT_EQ(c.cols(), 9u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = 0; j < 9; ++j) {
+            float expected = 0.0f;
+            for (std::size_t k = 0; k < 7; ++k) {
+                expected += a.at(i, k) * b.at(j, k);
+            }
+            EXPECT_NEAR(c.at(i, j), expected, 1e-3f);
+        }
+    }
+}
+
+TEST(Gemm, MultiplyLeftTransposed)
+{
+    GemmEngine engine(GemmMode::Scalar);
+    const Matrix a = randomMatrix(7, 4, 79);
+    const Matrix b = randomMatrix(7, 3, 80);
+    const Matrix c = engine.multiplyLeftTransposed(a, b); // 4 x 3
+    ASSERT_EQ(c.rows(), 4u);
+    ASSERT_EQ(c.cols(), 3u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            float expected = 0.0f;
+            for (std::size_t k = 0; k < 7; ++k) {
+                expected += a.at(k, i) * b.at(k, j);
+            }
+            EXPECT_NEAR(c.at(i, j), expected, 1e-3f);
+        }
+    }
+}
+
+TEST(Gemm, IdentityMultiplication)
+{
+    GemmEngine engine(GemmMode::Fast);
+    Matrix eye(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        eye.at(i, i) = 1.0f;
+    }
+    const Matrix a = randomMatrix(4, 4, 81);
+    expectClose(engine.multiply(eye, a), a);
+    expectClose(engine.multiply(a, eye), a);
+}
+
+TEST(Gemm, LargeShapesAgree)
+{
+    GemmEngine scalar(GemmMode::Scalar);
+    GemmEngine fast(GemmMode::Fast);
+    const Matrix a = randomMatrix(130, 200, 82);
+    const Matrix b = randomMatrix(200, 90, 83);
+    expectClose(scalar.multiply(a, b), fast.multiply(a, b), 5e-3f);
+}
+
+} // namespace
+} // namespace nn
+} // namespace edgepc

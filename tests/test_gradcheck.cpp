@@ -1,0 +1,197 @@
+/**
+ * @file Numeric gradient checks for the model backward passes.
+ *
+ * These validate the hand-written backprop of PointNet++ and DGCNN by
+ * comparing analytic parameter gradients against central differences
+ * of the loss on tiny networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "datasets/shapes.hpp"
+#include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
+#include "nn/loss.hpp"
+
+namespace edgepc {
+namespace {
+
+PointCloud
+tinyCloud(std::size_t points, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ShapeOptions options;
+    options.points = points;
+    options.randomRotation = false;
+    return makeShape(ShapeClass::Cone, options, rng);
+}
+
+/**
+ * Compare analytic and numeric gradients on a random subset of the
+ * model's parameters.
+ *
+ * BatchNorm keeps the comparison honest only if forward passes are
+ * repeatable; the models are deterministic, and we always run in
+ * train mode so batch statistics are recomputed identically.
+ */
+void
+checkGradients(TrainableModel &model, const PointCloud &cloud,
+               const EdgePcConfig &cfg,
+               const std::vector<std::int32_t> &labels)
+{
+    std::vector<nn::Parameter *> params;
+    model.collectParameters(params);
+    ASSERT_FALSE(params.empty());
+
+    auto loss_at = [&]() {
+        const nn::Matrix logits = model.forward(cloud, cfg, nullptr, true);
+        return nn::softmaxCrossEntropy(logits, labels).loss;
+    };
+
+    // Analytic gradients.
+    for (nn::Parameter *p : params) {
+        p->zeroGrad();
+    }
+    const nn::Matrix logits = model.forward(cloud, cfg, nullptr, true);
+    const nn::LossResult loss = nn::softmaxCrossEntropy(logits, labels);
+    model.backward(loss.gradLogits);
+
+    // Numeric spot-checks on a few entries of a few parameters. The
+    // loss surface has kinks (ReLU masks and max-pool argmax flips);
+    // an entry whose two-scale finite differences disagree straddles
+    // a kink, where the one-sided derivative the backward pass
+    // returns need not match the symmetric difference — skip those.
+    Rng pick(99);
+    int checked = 0;
+    int attempted = 0;
+    for (std::size_t pi = 0; pi < params.size() && attempted < 24;
+         pi += 1 + pick.nextBelow(3)) {
+        nn::Parameter &p = *params[pi];
+        if (p.value.numel() == 0) {
+            continue;
+        }
+        const std::size_t j = pick.nextBelow(p.value.numel());
+        const float saved = p.value.data()[j];
+        ++attempted;
+
+        auto numeric_at = [&](float eps) {
+            p.value.data()[j] = saved + eps;
+            const double lp = loss_at();
+            p.value.data()[j] = saved - eps;
+            const double lm = loss_at();
+            p.value.data()[j] = saved;
+            return (lp - lm) / (2.0 * static_cast<double>(eps));
+        };
+        const double coarse = numeric_at(1e-2f);
+        const double fine = numeric_at(5e-3f);
+        const double agreement_scale =
+            std::max({1.0, std::abs(coarse), std::abs(fine)});
+        if (std::abs(coarse - fine) > 0.02 * agreement_scale) {
+            continue; // kink detected: finite differences unreliable
+        }
+
+        const double analytic = p.grad.data()[j];
+        const double scale =
+            std::max({1.0, std::abs(fine), std::abs(analytic)});
+        // Tolerance sized to catch structural backprop errors (wrong
+        // formula, missing term, sign) while riding out residual
+        // nonsmoothness of the max-pool/ReLU loss surface.
+        EXPECT_NEAR(analytic, fine, 0.15 * scale)
+            << "param " << pi << " entry " << j;
+        ++checked;
+    }
+    EXPECT_GE(checked, 4);
+}
+
+TEST(GradCheck, PointNetPPClassifierBaseline)
+{
+    PointNetPPConfig cfg;
+    cfg.numClasses = 3;
+    cfg.sa = {
+        {8, 4, 0.5f, NeighborMode::BallQuery, {6}},
+        {4, 2, 0.9f, NeighborMode::BallQuery, {8}},
+    };
+    cfg.headMlp = {6};
+    PointNetPP model(cfg, 3);
+    const PointCloud cloud = tinyCloud(24, 1);
+    checkGradients(model, cloud, EdgePcConfig::baseline(), {1});
+}
+
+TEST(GradCheck, PointNetPPSegmentationBaseline)
+{
+    PointNetPPConfig cfg;
+    cfg.numClasses = 3;
+    cfg.sa = {
+        {8, 4, 0.5f, NeighborMode::BallQuery, {6}},
+        {4, 2, 0.9f, NeighborMode::BallQuery, {8}},
+    };
+    cfg.fp = {{{6}}, {{6}}};
+    cfg.headMlp = {6};
+    PointNetPP model(cfg, 4);
+    const PointCloud cloud = tinyCloud(24, 2);
+    std::vector<std::int32_t> labels(cloud.size());
+    Rng rng(5);
+    for (auto &l : labels) {
+        l = static_cast<std::int32_t>(rng.nextBelow(3));
+    }
+    checkGradients(model, cloud, EdgePcConfig::baseline(), labels);
+}
+
+TEST(GradCheck, PointNetPPSegmentationWithApproximations)
+{
+    // The gradients must also be consistent when the Morton kernels
+    // are in the loop (the retraining path of Sec 5.3).
+    PointNetPPConfig cfg;
+    cfg.numClasses = 3;
+    cfg.sa = {
+        {8, 4, 0.5f, NeighborMode::BallQuery, {6}},
+        {4, 2, 0.9f, NeighborMode::BallQuery, {8}},
+    };
+    cfg.fp = {{{6}}, {{6}}};
+    cfg.headMlp = {6};
+    PointNetPP model(cfg, 6);
+    const PointCloud cloud = tinyCloud(24, 3);
+    std::vector<std::int32_t> labels(cloud.size());
+    Rng rng(7);
+    for (auto &l : labels) {
+        l = static_cast<std::int32_t>(rng.nextBelow(3));
+    }
+    checkGradients(model, cloud, EdgePcConfig::sn(), labels);
+}
+
+TEST(GradCheck, DgcnnClassifierBaseline)
+{
+    DgcnnConfig cfg;
+    cfg.task = DgcnnTask::Classification;
+    cfg.numClasses = 3;
+    cfg.k = 4;
+    cfg.ecWidths = {6, 8};
+    cfg.embeddingDim = 8;
+    cfg.headMlp = {6};
+    Dgcnn model(cfg, 8);
+    const PointCloud cloud = tinyCloud(20, 4);
+    checkGradients(model, cloud, EdgePcConfig::baseline(), {2});
+}
+
+TEST(GradCheck, DgcnnSegmentationWithApproximations)
+{
+    DgcnnConfig cfg;
+    cfg.task = DgcnnTask::SemanticSegmentation;
+    cfg.numClasses = 3;
+    cfg.k = 4;
+    cfg.ecWidths = {6, 8};
+    cfg.embeddingDim = 8;
+    cfg.headMlp = {6};
+    Dgcnn model(cfg, 9);
+    const PointCloud cloud = tinyCloud(20, 5);
+    std::vector<std::int32_t> labels(cloud.size());
+    Rng rng(11);
+    for (auto &l : labels) {
+        l = static_cast<std::int32_t>(rng.nextBelow(3));
+    }
+    checkGradients(model, cloud, EdgePcConfig::sn(), labels);
+}
+
+} // namespace
+} // namespace edgepc

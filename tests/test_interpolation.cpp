@@ -1,0 +1,164 @@
+/** @file Unit tests for exact and Morton up-sampling plans. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "nn/grouping.hpp"
+#include "sampling/interpolation.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+namespace {
+
+std::vector<Vec3>
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pts(n);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    return pts;
+}
+
+TEST(ExactInterpolation, WeightsAreNormalized)
+{
+    const auto targets = randomCloud(50, 41);
+    const auto sources = randomCloud(10, 42);
+    const auto plan = exactInterpolation(targets, sources, 3);
+    ASSERT_EQ(plan.k, 3u);
+    ASSERT_EQ(plan.targets(), 50u);
+    for (std::size_t t = 0; t < plan.targets(); ++t) {
+        float sum = 0.0f;
+        for (std::size_t j = 0; j < plan.k; ++j) {
+            sum += plan.weights[t * plan.k + j];
+            EXPECT_LT(plan.indices[t * plan.k + j], sources.size());
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(ExactInterpolation, PicksTrueNearestSources)
+{
+    const std::vector<Vec3> sources = {
+        {0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {10, 0, 0}};
+    const std::vector<Vec3> targets = {{0.4f, 0, 0}};
+    const auto plan = exactInterpolation(targets, sources, 3);
+    std::set<std::uint32_t> chosen(plan.indices.begin(),
+                                   plan.indices.end());
+    EXPECT_TRUE(chosen.count(0));
+    EXPECT_TRUE(chosen.count(1));
+    EXPECT_TRUE(chosen.count(2));
+    EXPECT_FALSE(chosen.count(3));
+}
+
+TEST(ExactInterpolation, SelfSourceDominatesWeights)
+{
+    // A target sitting exactly on a source gets ~all the weight there.
+    const std::vector<Vec3> sources = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+    const std::vector<Vec3> targets = {{0, 0, 0}};
+    const auto plan = exactInterpolation(targets, sources, 3);
+    EXPECT_EQ(plan.indices[0], 0u);
+    EXPECT_GT(plan.weights[0], 0.99f);
+}
+
+TEST(ExactInterpolation, ClampsKToSourceCount)
+{
+    const auto targets = randomCloud(5, 43);
+    const auto sources = randomCloud(2, 44);
+    const auto plan = exactInterpolation(targets, sources, 3);
+    EXPECT_EQ(plan.k, 2u);
+}
+
+TEST(MortonUpsampler, ReconstructsConstantField)
+{
+    // Interpolating a constant feature must reproduce it exactly
+    // regardless of which sources are chosen.
+    const auto pts = randomCloud(256, 45);
+    MortonSampler sampler(32);
+    const auto s = sampler.structurize(pts);
+    const auto samples = sampler.sampleStructurized(s, 64);
+
+    const MortonUpsampler upsampler;
+    const auto plan = upsampler.plan(pts, s, samples);
+    ASSERT_EQ(plan.targets(), pts.size());
+
+    nn::Matrix source_features(samples.size(), 2);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        source_features.at(i, 0) = 3.5f;
+        source_features.at(i, 1) = -1.0f;
+    }
+    const nn::Matrix out = nn::applyInterpolation(plan, source_features);
+    for (std::size_t t = 0; t < out.rows(); ++t) {
+        EXPECT_NEAR(out.at(t, 0), 3.5f, 1e-4f);
+        EXPECT_NEAR(out.at(t, 1), -1.0f, 1e-4f);
+    }
+}
+
+TEST(MortonUpsampler, ApproximatesExactPlan)
+{
+    // The Morton plan's chosen sources should usually be near the true
+    // nearest sources: compare reconstruction error of a smooth field.
+    const auto pts = randomCloud(512, 46);
+    MortonSampler sampler(32);
+    const auto s = sampler.structurize(pts);
+    const auto samples = sampler.sampleStructurized(s, 128);
+
+    std::vector<Vec3> sample_pos;
+    for (const auto idx : samples) {
+        sample_pos.push_back(pts[idx]);
+    }
+    auto field = [](const Vec3 &p) {
+        return p.x + 2.0f * p.y - 0.5f * p.z;
+    };
+    nn::Matrix src(samples.size(), 1);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        src.at(i, 0) = field(sample_pos[i]);
+    }
+
+    const auto exact_plan = exactInterpolation(pts, sample_pos, 3);
+    const MortonUpsampler upsampler;
+    const auto approx_plan = upsampler.plan(pts, s, samples);
+
+    const nn::Matrix exact_out = nn::applyInterpolation(exact_plan, src);
+    const nn::Matrix approx_out =
+        nn::applyInterpolation(approx_plan, src);
+
+    double exact_err = 0.0, approx_err = 0.0;
+    for (std::size_t t = 0; t < pts.size(); ++t) {
+        exact_err += std::abs(exact_out.at(t, 0) - field(pts[t]));
+        approx_err += std::abs(approx_out.at(t, 0) - field(pts[t]));
+    }
+    // Approximate error within a small factor of exact error.
+    EXPECT_LT(approx_err, exact_err * 4.0 + 1.0);
+}
+
+TEST(MortonUpsampler, SampledPointsKeepOwnFeatureApproximately)
+{
+    const auto pts = randomCloud(128, 47);
+    MortonSampler sampler(32);
+    const auto s = sampler.structurize(pts);
+    const auto samples = sampler.sampleStructurized(s, 32);
+
+    const MortonUpsampler upsampler(2, 3);
+    const auto plan = upsampler.plan(pts, s, samples);
+
+    // For each sampled point, its own slot must appear in its plan.
+    for (std::size_t q = 0; q < samples.size(); ++q) {
+        const std::size_t t = samples[q];
+        bool found_self = false;
+        for (std::size_t j = 0; j < plan.k; ++j) {
+            if (samples[plan.indices[t * plan.k + j]] ==
+                static_cast<std::uint32_t>(t)) {
+                found_self = true;
+            }
+        }
+        EXPECT_TRUE(found_self) << "sample " << q;
+    }
+}
+
+} // namespace
+} // namespace edgepc

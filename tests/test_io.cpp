@@ -1,0 +1,81 @@
+/** @file Unit tests for PLY/XYZ I/O. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "pointcloud/io.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(Io, PlyRoundTripStream)
+{
+    PointCloud cloud({{1, 2, 3}, {4.5f, -1, 0}});
+    cloud.setLabels({7, 8});
+
+    std::stringstream ss;
+    writePly(cloud, ss);
+
+    PointCloud loaded;
+    ASSERT_TRUE(readPly(ss, loaded));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.position(0), Vec3(1, 2, 3));
+    EXPECT_NEAR(loaded.position(1).x, 4.5f, 1e-6f);
+    ASSERT_TRUE(loaded.hasLabels());
+    EXPECT_EQ(loaded.labels()[1], 8);
+}
+
+TEST(Io, PlyWithoutLabels)
+{
+    PointCloud cloud({{0, 0, 0}});
+    std::stringstream ss;
+    writePly(cloud, ss);
+    PointCloud loaded;
+    ASSERT_TRUE(readPly(ss, loaded));
+    EXPECT_FALSE(loaded.hasLabels());
+}
+
+TEST(Io, PlyRejectsGarbage)
+{
+    std::stringstream ss("not a ply file");
+    PointCloud loaded;
+    EXPECT_FALSE(readPly(ss, loaded));
+}
+
+TEST(Io, PlyFileRoundTrip)
+{
+    const std::string path = "/tmp/edgepc_io_test.ply";
+    PointCloud cloud({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}});
+    ASSERT_TRUE(writePly(cloud, path));
+    PointCloud loaded;
+    ASSERT_TRUE(readPly(path, loaded));
+    EXPECT_EQ(loaded.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(Io, XyzRoundTrip)
+{
+    const std::string path = "/tmp/edgepc_io_test.xyz";
+    PointCloud cloud({{1, 2, 3}, {-1, 0, 2.5f}});
+    cloud.setLabels({0, 4});
+    ASSERT_TRUE(writeXyz(cloud, path));
+    PointCloud loaded;
+    ASSERT_TRUE(readXyz(path, loaded));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.position(0), Vec3(1, 2, 3));
+    ASSERT_TRUE(loaded.hasLabels());
+    EXPECT_EQ(loaded.labels()[1], 4);
+    std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileFails)
+{
+    PointCloud loaded;
+    EXPECT_FALSE(readPly("/nonexistent/file.ply", loaded));
+    EXPECT_FALSE(readXyz("/nonexistent/file.xyz", loaded));
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,210 @@
+/** @file Unit tests for NN layers (forward behaviour). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+
+namespace edgepc {
+namespace nn {
+namespace {
+
+TEST(Linear, ForwardAppliesWeightsAndBias)
+{
+    Rng rng(1);
+    Linear layer(2, 1, rng);
+    layer.weights().value.at(0, 0) = 2.0f;
+    layer.weights().value.at(1, 0) = -1.0f;
+    layer.biases().value.at(0, 0) = 0.5f;
+
+    Matrix x(1, 2, {3, 4});
+    const Matrix y = layer.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 3 * 2 - 4 + 0.5f);
+}
+
+TEST(Linear, ShapePropagation)
+{
+    Rng rng(2);
+    Linear layer(8, 16, rng);
+    Matrix x(10, 8);
+    const Matrix y = layer.forward(x, false);
+    EXPECT_EQ(y.rows(), 10u);
+    EXPECT_EQ(y.cols(), 16u);
+    EXPECT_EQ(layer.inDim(), 8u);
+    EXPECT_EQ(layer.outDim(), 16u);
+}
+
+TEST(ReLU, ClampsNegatives)
+{
+    ReLU relu;
+    Matrix x(1, 4, {-1, 0, 2, -3});
+    const Matrix y = relu.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 3), 0.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient)
+{
+    ReLU relu;
+    Matrix x(1, 3, {-1, 1, 2});
+    relu.forward(x, true);
+    Matrix dy(1, 3, {10, 20, 30});
+    const Matrix dx = relu.backward(dy);
+    EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(dx.at(0, 1), 20.0f);
+    EXPECT_FLOAT_EQ(dx.at(0, 2), 30.0f);
+}
+
+TEST(LeakyReLU, ScalesNegativesBySlope)
+{
+    LeakyReLU lrelu(0.2f);
+    Matrix x(1, 3, {-10, 0, 5});
+    const Matrix y = lrelu.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0), -2.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2), 5.0f);
+}
+
+TEST(LeakyReLU, BackwardScalesMaskedGradients)
+{
+    LeakyReLU lrelu(0.25f);
+    Matrix x(1, 2, {-1, 2});
+    lrelu.forward(x, true);
+    Matrix dy(1, 2, {8, 8});
+    const Matrix dx = lrelu.backward(dy);
+    EXPECT_FLOAT_EQ(dx.at(0, 0), 2.0f); // 8 * 0.25
+    EXPECT_FLOAT_EQ(dx.at(0, 1), 8.0f);
+}
+
+TEST(LeakyReLU, NeverFullyBlocksGradient)
+{
+    // Unlike ReLU, every unit passes some gradient — the property
+    // that keeps the pre-pool features of DGCNN alive.
+    LeakyReLU lrelu;
+    Matrix x(1, 4, {-5, -1, -0.1f, -100});
+    lrelu.forward(x, true);
+    Matrix dy(1, 4, {1, 1, 1, 1});
+    const Matrix dx = lrelu.backward(dy);
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_GT(dx.at(0, c), 0.0f);
+    }
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics)
+{
+    BatchNorm bn(2);
+    Matrix x(4, 2, {1, 10, 2, 20, 3, 30, 4, 40});
+    const Matrix y = bn.forward(x, true);
+    // Each column should have ~zero mean and ~unit variance.
+    for (std::size_t c = 0; c < 2; ++c) {
+        float mean = 0.0f, var = 0.0f;
+        for (std::size_t r = 0; r < 4; ++r) {
+            mean += y.at(r, c);
+        }
+        mean /= 4.0f;
+        for (std::size_t r = 0; r < 4; ++r) {
+            var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+        }
+        var /= 4.0f;
+        EXPECT_NEAR(mean, 0.0f, 1e-4f);
+        EXPECT_NEAR(var, 1.0f, 1e-2f);
+    }
+}
+
+TEST(BatchNorm, SingleRowInferenceUsesRunningStats)
+{
+    BatchNorm bn(1);
+    // Train on data with mean 10 to move the running stats.
+    Matrix x(8, 1, {9, 10, 11, 10, 9, 11, 10, 10});
+    for (int i = 0; i < 50; ++i) {
+        bn.forward(x, true);
+    }
+    // A single-row input (the post-global-pool case) cannot form
+    // batch statistics and is normalized by the running stats: an
+    // input at the running mean maps near beta = 0.
+    Matrix probe(1, 1, {10});
+    const Matrix y = bn.forward(probe, false);
+    EXPECT_NEAR(y.at(0, 0), 0.0f, 0.2f);
+}
+
+TEST(BatchNorm, MultiRowInferenceUsesInstanceStats)
+{
+    // Per-cloud (instance) statistics are used at inference for
+    // multi-row batches, so a shifted copy of the training data
+    // normalizes identically — the consistency that lets per-cloud-
+    // trained models generalize (see the note in layers.cpp).
+    BatchNorm bn(1);
+    Matrix x(4, 1, {1, 2, 3, 4});
+    const Matrix y_train = bn.forward(x, true);
+    Matrix shifted(4, 1, {101, 102, 103, 104});
+    const Matrix y_eval = bn.forward(shifted, false);
+    for (std::size_t r = 0; r < 4; ++r) {
+        EXPECT_NEAR(y_eval.at(r, 0), y_train.at(r, 0), 1e-4f);
+    }
+}
+
+TEST(Sequential, ChainsLayers)
+{
+    Rng rng(3);
+    Sequential seq;
+    seq.addLinearBnRelu(4, 8, rng);
+    seq.addLinearBnRelu(8, 2, rng);
+    EXPECT_EQ(seq.size(), 6u);
+    Matrix x(5, 4);
+    x.fillNormal(rng, 1.0f);
+    const Matrix y = seq.forward(x, false);
+    EXPECT_EQ(y.rows(), 5u);
+    EXPECT_EQ(y.cols(), 2u);
+
+    std::vector<Parameter *> params;
+    seq.collectParameters(params);
+    // 2 x (linear W+b, bn gamma+beta) = 8 parameters.
+    EXPECT_EQ(params.size(), 8u);
+}
+
+TEST(MaxPoolNeighbors, PoolsGroupsOfRows)
+{
+    MaxPoolNeighbors pool(2);
+    Matrix x(4, 2, {1, 8, 3, 2, -5, 0, -1, -7});
+    const Matrix y = pool.forward(x, false);
+    ASSERT_EQ(y.rows(), 2u);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 8.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 0), -1.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 1), 0.0f);
+}
+
+TEST(MaxPoolNeighbors, BackwardRoutesToArgmax)
+{
+    MaxPoolNeighbors pool(2);
+    Matrix x(4, 1, {1, 3, 5, 2});
+    pool.forward(x, true);
+    Matrix dy(2, 1, {10, 20});
+    const Matrix dx = pool.backward(dy);
+    EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(dx.at(1, 0), 10.0f);
+    EXPECT_FLOAT_EQ(dx.at(2, 0), 20.0f);
+    EXPECT_FLOAT_EQ(dx.at(3, 0), 0.0f);
+}
+
+TEST(GlobalMaxPool, ReducesToOneRow)
+{
+    GlobalMaxPool pool;
+    Matrix x(3, 2, {1, 9, 7, 2, 4, 5});
+    const Matrix y = pool.forward(x, true);
+    ASSERT_EQ(y.rows(), 1u);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 7.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 9.0f);
+
+    Matrix dy(1, 2, {100, 200});
+    const Matrix dx = pool.backward(dy);
+    EXPECT_FLOAT_EQ(dx.at(1, 0), 100.0f);
+    EXPECT_FLOAT_EQ(dx.at(0, 1), 200.0f);
+    EXPECT_FLOAT_EQ(dx.at(2, 0), 0.0f);
+}
+
+} // namespace
+} // namespace nn
+} // namespace edgepc

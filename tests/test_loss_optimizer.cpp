@@ -1,0 +1,138 @@
+/** @file Unit tests for loss functions and the SGD optimizer. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace edgepc {
+namespace nn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC)
+{
+    Matrix logits(2, 4); // all zeros -> uniform distribution.
+    const std::vector<std::int32_t> labels = {0, 3};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+    EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectPredictionHasLowLoss)
+{
+    Matrix logits(1, 3, {10, 0, 0});
+    const std::vector<std::int32_t> labels = {0};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+    EXPECT_LT(r.loss, 1e-3);
+}
+
+TEST(Loss, GradientIsProbMinusOneHot)
+{
+    Matrix logits(1, 2, {0, 0});
+    const std::vector<std::int32_t> labels = {1};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+    EXPECT_NEAR(r.gradLogits.at(0, 0), 0.5f, 1e-5f);
+    EXPECT_NEAR(r.gradLogits.at(0, 1), -0.5f, 1e-5f);
+}
+
+TEST(Loss, NumericGradientCheck)
+{
+    Matrix logits(1, 3, {0.3f, -0.7f, 1.2f});
+    const std::vector<std::int32_t> labels = {2};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+
+    const float eps = 1e-3f;
+    for (std::size_t c = 0; c < 3; ++c) {
+        Matrix plus = logits, minus = logits;
+        plus.at(0, c) += eps;
+        minus.at(0, c) -= eps;
+        const double lp = softmaxCrossEntropy(plus, labels).loss;
+        const double lm = softmaxCrossEntropy(minus, labels).loss;
+        const double numeric = (lp - lm) / (2.0 * eps);
+        EXPECT_NEAR(r.gradLogits.at(0, c), numeric, 1e-3)
+            << "class " << c;
+    }
+}
+
+TEST(Loss, IgnoredLabelsExcluded)
+{
+    Matrix logits(2, 2, {5, 0, 0, 5});
+    const std::vector<std::int32_t> labels = {0, -1};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+    EXPECT_LT(r.loss, 0.1);
+    // Ignored row contributes zero gradient.
+    EXPECT_FLOAT_EQ(r.gradLogits.at(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(r.gradLogits.at(1, 1), 0.0f);
+}
+
+TEST(Loss, ArgmaxAndAccuracy)
+{
+    Matrix logits(3, 2, {1, 0, 0, 1, 1, 0});
+    const auto preds = argmaxRows(logits);
+    EXPECT_EQ(preds, (std::vector<std::int32_t>{0, 1, 0}));
+    const std::vector<std::int32_t> labels = {0, 1, 1};
+    EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Sgd, PlainGradientDescentStep)
+{
+    Parameter p;
+    p.init(1, 1);
+    p.value.at(0, 0) = 1.0f;
+    p.grad.at(0, 0) = 0.5f;
+    SgdOptimizer opt({&p}, 0.1f, 0.0f, 0.0f);
+    opt.step();
+    EXPECT_NEAR(p.value.at(0, 0), 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    Parameter p;
+    p.init(1, 1);
+    p.grad.at(0, 0) = 1.0f;
+    SgdOptimizer opt({&p}, 1.0f, 0.5f, 0.0f);
+    opt.step(); // v = 1, x = -1
+    EXPECT_NEAR(p.value.at(0, 0), -1.0f, 1e-6f);
+    opt.step(); // v = 0.5 + 1 = 1.5, x = -2.5
+    EXPECT_NEAR(p.value.at(0, 0), -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero)
+{
+    Parameter p;
+    p.init(1, 1);
+    p.value.at(0, 0) = 10.0f;
+    // No gradient, only decay.
+    SgdOptimizer opt({&p}, 0.1f, 0.0f, 0.5f);
+    opt.step();
+    EXPECT_LT(p.value.at(0, 0), 10.0f);
+}
+
+TEST(Sgd, ZeroGradClearsAll)
+{
+    Parameter p;
+    p.init(2, 2);
+    p.grad.at(1, 1) = 3.0f;
+    SgdOptimizer opt({&p}, 0.1f);
+    opt.zeroGrad();
+    EXPECT_FLOAT_EQ(p.grad.at(1, 1), 0.0f);
+}
+
+TEST(Sgd, MinimizesQuadratic)
+{
+    // f(x) = (x - 3)^2; df/dx = 2(x - 3).
+    Parameter p;
+    p.init(1, 1);
+    SgdOptimizer opt({&p}, 0.1f, 0.9f, 0.0f);
+    for (int i = 0; i < 200; ++i) {
+        opt.zeroGrad();
+        p.grad.at(0, 0) = 2.0f * (p.value.at(0, 0) - 3.0f);
+        opt.step();
+    }
+    EXPECT_NEAR(p.value.at(0, 0), 3.0f, 1e-2f);
+}
+
+} // namespace
+} // namespace nn
+} // namespace edgepc

@@ -1,0 +1,177 @@
+/** @file Integration tests for the PointNet++ and DGCNN models. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datasets/scenes.hpp"
+#include "datasets/shapes.hpp"
+#include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
+
+namespace edgepc {
+namespace {
+
+PointCloud
+makeCloud(std::size_t points, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ShapeOptions options;
+    options.points = points;
+    return makeShape(ShapeClass::Torus, options, rng);
+}
+
+void
+expectFinite(const nn::Matrix &m)
+{
+    for (std::size_t i = 0; i < m.numel(); ++i) {
+        ASSERT_TRUE(std::isfinite(m.data()[i])) << "element " << i;
+    }
+}
+
+TEST(PointNetPP, SegmentationForwardShapes)
+{
+    const PointCloud cloud = makeCloud(256, 1);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    EXPECT_FALSE(model.isClassifier());
+
+    const nn::Matrix logits =
+        model.infer(cloud, EdgePcConfig::baseline());
+    EXPECT_EQ(logits.rows(), cloud.size());
+    EXPECT_EQ(logits.cols(), 5u);
+    expectFinite(logits);
+}
+
+TEST(PointNetPP, ClassificationForwardShapes)
+{
+    const PointCloud cloud = makeCloud(128, 2);
+    PointNetPP model(PointNetPPConfig::liteClassification(128, 8), 7);
+    EXPECT_TRUE(model.isClassifier());
+
+    const nn::Matrix logits =
+        model.infer(cloud, EdgePcConfig::baseline());
+    EXPECT_EQ(logits.rows(), 1u);
+    EXPECT_EQ(logits.cols(), 8u);
+    expectFinite(logits);
+}
+
+TEST(PointNetPP, ApproximateConfigAlsoRuns)
+{
+    const PointCloud cloud = makeCloud(256, 3);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    const nn::Matrix logits = model.infer(cloud, EdgePcConfig::sn());
+    EXPECT_EQ(logits.rows(), cloud.size());
+    expectFinite(logits);
+}
+
+TEST(PointNetPP, StageTimerCoversAllStages)
+{
+    const PointCloud cloud = makeCloud(512, 4);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(512, 5), 7);
+    StageTimer timer;
+    model.infer(cloud, EdgePcConfig::baseline(), &timer);
+    EXPECT_GT(timer.total(kStageSample), 0.0);
+    EXPECT_GT(timer.total(kStageNeighbor), 0.0);
+    EXPECT_GT(timer.total(kStageGroup), 0.0);
+    EXPECT_GT(timer.total(kStageFeature), 0.0);
+}
+
+TEST(PointNetPP, MortonSamplingFasterOnLargeClouds)
+{
+    const PointCloud cloud = makeCloud(4096, 5);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(4096, 5), 7);
+
+    StageTimer base_t, sn_t;
+    model.infer(cloud, EdgePcConfig::baseline(), &base_t);
+    model.infer(cloud, EdgePcConfig::sn(), &sn_t);
+    const double base_sn =
+        base_t.total(kStageSample) + base_t.total(kStageNeighbor);
+    const double approx_sn =
+        sn_t.total(kStageSample) + sn_t.total(kStageNeighbor);
+    EXPECT_LT(approx_sn, base_sn);
+}
+
+TEST(PointNetPP, DeterministicAcrossRuns)
+{
+    const PointCloud cloud = makeCloud(128, 6);
+    PointNetPP model(PointNetPPConfig::liteClassification(128, 8), 7);
+    const nn::Matrix a = model.infer(cloud, EdgePcConfig::baseline());
+    const nn::Matrix b = model.infer(cloud, EdgePcConfig::baseline());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+    }
+}
+
+TEST(PointNetPP, PaperScaleConfigConstructs)
+{
+    const auto cfg = PointNetPPConfig::semanticSegmentation(8192, 13);
+    ASSERT_EQ(cfg.sa.size(), 4u);
+    ASSERT_EQ(cfg.fp.size(), 4u);
+    EXPECT_EQ(cfg.sa[0].points, 1024u);
+    EXPECT_EQ(cfg.sa[3].points, 16u);
+    PointNetPP model(cfg, 7); // constructs all weights
+    std::vector<nn::Parameter *> params;
+    model.collectParameters(params);
+    EXPECT_GT(params.size(), 40u);
+}
+
+TEST(Dgcnn, ClassificationForwardShapes)
+{
+    const PointCloud cloud = makeCloud(128, 8);
+    Dgcnn model(DgcnnConfig::liteClassification(8), 7);
+    EXPECT_TRUE(model.isClassifier());
+    EXPECT_EQ(model.name(), "dgcnn(c)");
+
+    const nn::Matrix logits =
+        model.infer(cloud, EdgePcConfig::baseline());
+    EXPECT_EQ(logits.rows(), 1u);
+    EXPECT_EQ(logits.cols(), 8u);
+    expectFinite(logits);
+}
+
+TEST(Dgcnn, SegmentationForwardShapes)
+{
+    const PointCloud cloud = makeCloud(128, 9);
+    Dgcnn model(DgcnnConfig::liteSegmentation(5), 7);
+    const nn::Matrix logits =
+        model.infer(cloud, EdgePcConfig::baseline());
+    EXPECT_EQ(logits.rows(), cloud.size());
+    EXPECT_EQ(logits.cols(), 5u);
+    expectFinite(logits);
+}
+
+TEST(Dgcnn, ApproximateAndReuseRun)
+{
+    const PointCloud cloud = makeCloud(256, 10);
+    Dgcnn model(DgcnnConfig::liteClassification(8), 7);
+    EdgePcConfig cfg = EdgePcConfig::sn();
+    cfg.reuseDistance = 1;
+    const nn::Matrix logits = model.infer(cloud, cfg);
+    expectFinite(logits);
+}
+
+TEST(Dgcnn, NeighborStageCheaperWithApproximation)
+{
+    const PointCloud cloud = makeCloud(2048, 11);
+    Dgcnn model(DgcnnConfig::liteClassification(8), 7);
+
+    StageTimer base_t, sn_t;
+    model.infer(cloud, EdgePcConfig::baseline(), &base_t);
+    model.infer(cloud, EdgePcConfig::sn(), &sn_t);
+    EXPECT_LT(sn_t.total(kStageNeighbor),
+              base_t.total(kStageNeighbor));
+}
+
+TEST(Dgcnn, PaperScaleConfigsConstruct)
+{
+    Dgcnn cls(DgcnnConfig::classification(40), 7);
+    Dgcnn part(DgcnnConfig::partSegmentation(50), 7);
+    Dgcnn seg(DgcnnConfig::semanticSegmentation(13), 7);
+    EXPECT_EQ(cls.name(), "dgcnn(c)");
+    EXPECT_EQ(part.name(), "dgcnn(p)");
+    EXPECT_EQ(seg.name(), "dgcnn(s)");
+}
+
+} // namespace
+} // namespace edgepc

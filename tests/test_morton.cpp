@@ -1,0 +1,167 @@
+/** @file Unit tests for Morton encoding, the encoder and ordering. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "geometry/morton.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(Morton, PaperWorkedExample)
+{
+    // Sec 4.1: (2, 3, 4) = (010, 011, 100)b -> 100'011'010b = 282.
+    EXPECT_EQ(mortonEncode3(2, 3, 4), 282u);
+}
+
+TEST(Morton, EncodeDecodeRoundTrip)
+{
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const auto x = static_cast<std::uint32_t>(rng.nextBelow(1 << 21));
+        const auto y = static_cast<std::uint32_t>(rng.nextBelow(1 << 21));
+        const auto z = static_cast<std::uint32_t>(rng.nextBelow(1 << 21));
+        const std::uint64_t code = mortonEncode3(x, y, z);
+        std::uint32_t dx, dy, dz;
+        mortonDecode3(code, dx, dy, dz);
+        EXPECT_EQ(dx, x);
+        EXPECT_EQ(dy, y);
+        EXPECT_EQ(dz, z);
+    }
+}
+
+TEST(Morton, Morton2dRoundTrip)
+{
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i) {
+        const auto x = static_cast<std::uint32_t>(rng.nextU64());
+        const auto y = static_cast<std::uint32_t>(rng.nextU64());
+        const std::uint64_t code = mortonEncode2(x, y);
+        std::uint32_t dx, dy;
+        mortonDecode2(code, dx, dy);
+        EXPECT_EQ(dx, x);
+        EXPECT_EQ(dy, y);
+    }
+}
+
+TEST(Morton, PartCompactInverse)
+{
+    for (std::uint32_t v : {0u, 1u, 7u, 0x155555u, 0x1fffffu}) {
+        EXPECT_EQ(compact1By2(part1By2(v)), v);
+    }
+    EXPECT_EQ(compact1By1(part1By1(0xdeadbeefu)), 0xdeadbeefu);
+}
+
+TEST(Morton, MonotoneInEachAxis)
+{
+    // Within one axis (others 0), the code is monotone in the coord.
+    std::uint64_t prev = 0;
+    for (std::uint32_t x = 1; x < 128; ++x) {
+        const std::uint64_t code = mortonEncode3(x, 0, 0);
+        EXPECT_GT(code, prev);
+        prev = code;
+    }
+}
+
+TEST(MortonEncoder, QuantizesToGrid)
+{
+    const MortonEncoder enc({0, 0, 0}, 1.0f, 4);
+    std::uint32_t x, y, z;
+    enc.voxelOf({2.3f, 3.9f, 0.0f}, x, y, z);
+    EXPECT_EQ(x, 2u);
+    EXPECT_EQ(y, 3u);
+    EXPECT_EQ(z, 0u);
+}
+
+TEST(MortonEncoder, ClampsOutOfRange)
+{
+    const MortonEncoder enc({0, 0, 0}, 1.0f, 3); // cells 0..7
+    std::uint32_t x, y, z;
+    enc.voxelOf({100.0f, -5.0f, 7.9f}, x, y, z);
+    EXPECT_EQ(x, 7u);
+    EXPECT_EQ(y, 0u);
+    EXPECT_EQ(z, 7u);
+}
+
+TEST(MortonEncoder, BitBudgetDerivesGridSize)
+{
+    Aabb box({0, 0, 0}, {8, 4, 2});
+    const MortonEncoder enc(box, 32);
+    EXPECT_EQ(enc.bitsPerAxis(), 10);
+    // r = D / 2^10 with D = 8.
+    EXPECT_NEAR(enc.gridSize(), 8.0f / 1024.0f, 1e-6f);
+}
+
+TEST(MortonEncoder, VoxelCenterInverse)
+{
+    const MortonEncoder enc({0, 0, 0}, 0.5f, 8);
+    const Vec3 p{1.3f, 2.6f, 0.2f};
+    const Vec3 center = enc.voxelCenter(enc.code(p));
+    EXPECT_NEAR(center.x, 1.25f, 1e-5f);
+    EXPECT_NEAR(center.y, 2.75f, 1e-5f);
+    EXPECT_NEAR(center.z, 0.25f, 1e-5f);
+}
+
+TEST(MortonEncoder, NearbyPointsShareCodePrefix)
+{
+    const MortonEncoder enc({0, 0, 0}, 0.125f, 8);
+    const std::uint64_t a = enc.code({1.0f, 1.0f, 1.0f});
+    const std::uint64_t b = enc.code({1.05f, 1.0f, 1.0f});
+    const std::uint64_t c = enc.code({15.0f, 14.0f, 13.0f});
+    // Close points differ less than far points (XOR magnitude).
+    EXPECT_LT(a ^ b, a ^ c);
+}
+
+TEST(RadixSort, MatchesStdSort)
+{
+    Rng rng(7);
+    std::vector<std::uint64_t> codes(5000);
+    for (auto &c : codes) {
+        c = rng.nextU64() >> (rng.nextBelow(40));
+    }
+    const auto order = radixSortIndices(codes);
+    ASSERT_EQ(order.size(), codes.size());
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LE(codes[order[i - 1]], codes[order[i]]);
+    }
+    // Must be a permutation.
+    std::vector<std::uint32_t> sorted(order.begin(), order.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        EXPECT_EQ(sorted[i], i);
+    }
+}
+
+TEST(RadixSort, StableOnTies)
+{
+    const std::vector<std::uint64_t> codes = {5, 5, 5, 1, 1};
+    const auto order = radixSortIndices(codes);
+    EXPECT_EQ(order, (std::vector<std::uint32_t>{3, 4, 0, 1, 2}));
+}
+
+TEST(RadixSort, EmptyAndSingle)
+{
+    EXPECT_TRUE(radixSortIndices({}).empty());
+    const std::vector<std::uint64_t> one = {42};
+    EXPECT_EQ(radixSortIndices(one),
+              (std::vector<std::uint32_t>{0}));
+}
+
+TEST(MortonOrder, SortsPointsSpatially)
+{
+    // Points along a line must be ordered monotonically.
+    std::vector<Vec3> pts;
+    for (int i = 9; i >= 0; --i) {
+        pts.push_back({static_cast<float>(i), 0.0f, 0.0f});
+    }
+    const MortonEncoder enc(Aabb::of(pts), 32);
+    const auto order = mortonOrder(pts, enc);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LT(pts[order[i - 1]].x, pts[order[i]].x);
+    }
+}
+
+} // namespace
+} // namespace edgepc

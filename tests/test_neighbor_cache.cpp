@@ -1,0 +1,80 @@
+/** @file Unit tests for the cross-layer neighbor cache. */
+
+#include <gtest/gtest.h>
+
+#include "neighbor/neighbor_cache.hpp"
+
+namespace edgepc {
+namespace {
+
+NeighborLists
+makeLists(std::size_t queries, std::size_t k)
+{
+    NeighborLists lists;
+    lists.k = k;
+    lists.indices.assign(queries * k, 7u);
+    return lists;
+}
+
+TEST(NeighborCache, ReuseDistanceOnePattern)
+{
+    NeighborCache cache(1);
+    // compute, reuse, compute, reuse...
+    EXPECT_TRUE(cache.shouldCompute(0));
+    EXPECT_FALSE(cache.shouldCompute(1));
+    EXPECT_TRUE(cache.shouldCompute(2));
+    EXPECT_FALSE(cache.shouldCompute(3));
+}
+
+TEST(NeighborCache, ReuseDistanceTwoPattern)
+{
+    NeighborCache cache(2);
+    EXPECT_TRUE(cache.shouldCompute(0));
+    EXPECT_FALSE(cache.shouldCompute(1));
+    EXPECT_FALSE(cache.shouldCompute(2));
+    EXPECT_TRUE(cache.shouldCompute(3));
+}
+
+TEST(NeighborCache, ZeroDistanceAlwaysComputes)
+{
+    NeighborCache cache(0);
+    for (int layer = 0; layer < 5; ++layer) {
+        EXPECT_TRUE(cache.shouldCompute(layer));
+    }
+}
+
+TEST(NeighborCache, StoreAndLookup)
+{
+    NeighborCache cache(1);
+    cache.store(0, makeLists(10, 4));
+    const NeighborLists &reused = cache.lookup(1);
+    EXPECT_EQ(reused.queries(), 10u);
+    EXPECT_EQ(reused.k, 4u);
+    EXPECT_EQ(reused.indices[0], 7u);
+}
+
+TEST(NeighborCache, MemoryAccounting)
+{
+    NeighborCache cache(1);
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+    cache.store(0, makeLists(100, 8));
+    EXPECT_EQ(cache.memoryBytes(), 100u * 8u * sizeof(std::uint32_t));
+    cache.clear();
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+}
+
+TEST(NeighborCacheDeathTest, LookupBeforeStorePanics)
+{
+    NeighborCache cache(1);
+    EXPECT_DEATH(cache.lookup(1), "before any store");
+}
+
+TEST(NeighborCacheDeathTest, LookupOnComputeLayerPanics)
+{
+    NeighborCache cache(1);
+    cache.store(0, makeLists(1, 1));
+    EXPECT_DEATH(cache.lookup(2), "compute layer");
+}
+
+} // namespace
+} // namespace edgepc

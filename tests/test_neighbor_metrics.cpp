@@ -1,0 +1,76 @@
+/** @file Unit tests for the false-neighbor ratio and recall metrics. */
+
+#include <gtest/gtest.h>
+
+#include "neighbor/metrics.hpp"
+
+namespace edgepc {
+namespace {
+
+NeighborLists
+lists(std::size_t k, std::vector<std::uint32_t> indices)
+{
+    NeighborLists out;
+    out.k = k;
+    out.indices = std::move(indices);
+    return out;
+}
+
+TEST(NeighborMetrics, IdenticalListsHaveNoFalseNeighbors)
+{
+    const auto a = lists(2, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(falseNeighborRatio(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(neighborRecall(a, a), 1.0);
+}
+
+TEST(NeighborMetrics, DisjointListsAreAllFalse)
+{
+    const auto approx = lists(2, {1, 2});
+    const auto exact = lists(2, {3, 4});
+    EXPECT_DOUBLE_EQ(falseNeighborRatio(approx, exact), 1.0);
+    EXPECT_DOUBLE_EQ(neighborRecall(approx, exact), 0.0);
+}
+
+TEST(NeighborMetrics, PartialOverlap)
+{
+    const auto approx = lists(4, {1, 2, 3, 9});
+    const auto exact = lists(4, {1, 2, 7, 8});
+    // 2 of 4 approx entries are false.
+    EXPECT_DOUBLE_EQ(falseNeighborRatio(approx, exact), 0.5);
+    EXPECT_DOUBLE_EQ(neighborRecall(approx, exact), 0.5);
+}
+
+TEST(NeighborMetrics, DuplicatePaddingTreatedAsSet)
+{
+    // Exact row padded with duplicates: {5,5,5} is the set {5}.
+    const auto approx = lists(3, {5, 6, 7});
+    const auto exact = lists(3, {5, 5, 5});
+    EXPECT_NEAR(falseNeighborRatio(approx, exact), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(neighborRecall(approx, exact), 1.0);
+}
+
+TEST(NeighborMetrics, DifferentKBetweenApproxAndExact)
+{
+    const auto approx = lists(2, {1, 2});
+    const auto exact = lists(4, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(falseNeighborRatio(approx, exact), 0.0);
+    EXPECT_DOUBLE_EQ(neighborRecall(approx, exact), 0.5);
+}
+
+TEST(NeighborMetrics, MultiQueryAveraging)
+{
+    const auto approx = lists(2, {1, 2, 9, 9});
+    const auto exact = lists(2, {1, 2, 3, 4});
+    // Query 0: 0 false; query 1: 2 false -> 2/4 overall.
+    EXPECT_DOUBLE_EQ(falseNeighborRatio(approx, exact), 0.5);
+}
+
+TEST(NeighborMetrics, EmptyListsAreClean)
+{
+    const auto empty = lists(0, {});
+    EXPECT_DOUBLE_EQ(falseNeighborRatio(empty, empty), 0.0);
+    EXPECT_DOUBLE_EQ(neighborRecall(empty, empty), 1.0);
+}
+
+} // namespace
+} // namespace edgepc

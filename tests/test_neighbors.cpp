@@ -1,0 +1,364 @@
+/** @file Unit tests for all neighbor searchers. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "neighbor/ball_query.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/grid_query.hpp"
+#include "neighbor/kd_tree.hpp"
+#include "neighbor/morton_window.hpp"
+#include "neighbor/metrics.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+namespace {
+
+std::vector<Vec3>
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pts(n);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    return pts;
+}
+
+/** Exact k-NN by full sort, used as an oracle. */
+std::vector<std::uint32_t>
+oracleKnn(const Vec3 &query, std::span<const Vec3> pts, std::size_t k)
+{
+    std::vector<std::pair<float, std::uint32_t>> all;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        all.emplace_back(squaredDistance(query, pts[i]),
+                         static_cast<std::uint32_t>(i));
+    }
+    std::sort(all.begin(), all.end());
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 0; i < k; ++i) {
+        out.push_back(all[i].second);
+    }
+    return out;
+}
+
+TEST(BruteForceKnn, MatchesOracle)
+{
+    const auto pts = randomCloud(300, 51);
+    const auto queries = randomCloud(20, 52);
+    BruteForceKnn knn;
+    const auto lists = knn.search(queries, pts, 8);
+    ASSERT_EQ(lists.queries(), 20u);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto expected = oracleKnn(queries[q], pts, 8);
+        const auto row = lists.row(q);
+        EXPECT_TRUE(std::equal(row.begin(), row.end(),
+                               expected.begin()))
+            << "query " << q;
+    }
+}
+
+TEST(BruteForceKnn, ResultsSortedByDistance)
+{
+    const auto pts = randomCloud(100, 53);
+    BruteForceKnn knn;
+    const auto lists = knn.search({pts.data(), 5}, pts, 10);
+    for (std::size_t q = 0; q < 5; ++q) {
+        const auto row = lists.row(q);
+        float prev = -1.0f;
+        for (const auto idx : row) {
+            const float d = squaredDistance(pts[q], pts[idx]);
+            EXPECT_GE(d, prev);
+            prev = d;
+        }
+    }
+}
+
+TEST(BruteForceKnn, FeatureSpaceSearch)
+{
+    // 4 points in a 2-D feature space.
+    const std::vector<float> feats = {0, 0, 1, 0, 0, 1, 10, 10};
+    const auto lists = BruteForceKnn::searchFeatureSpace(
+        feats, feats, 2, 2);
+    ASSERT_EQ(lists.queries(), 4u);
+    // Point 0's 2 nearest are itself and point 1 or 2.
+    EXPECT_EQ(lists.row(0)[0], 0u);
+    EXPECT_NE(lists.row(0)[1], 3u);
+}
+
+TEST(BallQuery, FindsPointsInsideRadius)
+{
+    const std::vector<Vec3> pts = {
+        {0, 0, 0}, {0.5f, 0, 0}, {0.9f, 0, 0}, {3, 0, 0}};
+    BallQuery bq(1.0f);
+    const std::vector<Vec3> queries = {{0, 0, 0}};
+    const auto lists = bq.search(queries, pts, 3);
+    const auto row = lists.row(0);
+    const std::set<std::uint32_t> found(row.begin(), row.end());
+    EXPECT_TRUE(found.count(0));
+    EXPECT_TRUE(found.count(1));
+    EXPECT_TRUE(found.count(2));
+    EXPECT_FALSE(found.count(3));
+}
+
+TEST(BallQuery, PadsWithFirstInBall)
+{
+    const std::vector<Vec3> pts = {{0, 0, 0}, {10, 0, 0}};
+    BallQuery bq(1.0f);
+    const std::vector<Vec3> queries = {{0.1f, 0, 0}};
+    const auto lists = bq.search(queries, pts, 2);
+    EXPECT_EQ(lists.row(0)[0], 0u);
+    EXPECT_EQ(lists.row(0)[1], 0u); // padded
+}
+
+TEST(BallQuery, EmptyBallFallsBackToNearest)
+{
+    const std::vector<Vec3> pts = {{5, 0, 0}, {9, 0, 0}};
+    BallQuery bq(1.0f);
+    const std::vector<Vec3> queries = {{0, 0, 0}};
+    const auto lists = bq.search(queries, pts, 2);
+    EXPECT_EQ(lists.row(0)[0], 0u); // nearest despite outside ball
+}
+
+TEST(BallQuery, PaperFigure10aExample)
+{
+    // Fig 10a: same 5-point cloud, R^2 = 11, search 3 neighbors of P2.
+    const std::vector<Vec3> pts = {
+        {0, 0, 0}, {1, 2, 3}, {3, 1, 0}, {0, 7, 0}, {4, 4, 1}};
+    BallQuery bq(std::sqrt(11.0f));
+    const std::vector<Vec3> queries = {pts[2]};
+    const auto lists = bq.search(queries, pts, 3);
+    const auto row = lists.row(0);
+    const std::set<std::uint32_t> found(row.begin(), row.end());
+    // d2(P2,P0)=10, d2(P2,P1)=14 > 11... compute: (3-1)^2+(1-2)^2+(0-3)^2
+    // = 4+1+9 = 14; d2(P2,P4)=1+9+1=11 <= 11; d2(P2,P3)=9+36=45.
+    EXPECT_TRUE(found.count(0));
+    EXPECT_TRUE(found.count(2)); // itself
+    EXPECT_TRUE(found.count(4));
+}
+
+TEST(GridBallQuery, MatchesPlainBallQueryContents)
+{
+    const auto pts = randomCloud(600, 64);
+    const auto queries = randomCloud(40, 65);
+    const float radius = 0.25f;
+    GridBallQuery grid_bq(radius);
+    const auto lists = grid_bq.search(queries, pts, 8);
+    // Every returned (non-padding) neighbor must be inside the ball
+    // or be the nearest-fallback.
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto row = lists.row(q);
+        // First entry: inside ball, or the globally nearest point.
+        const float d0 = distance(queries[q], pts[row[0]]);
+        if (d0 > radius) {
+            for (std::size_t c = 0; c < pts.size(); ++c) {
+                EXPECT_GE(distance(queries[q], pts[c]) + 1e-6f, d0);
+            }
+        }
+        for (const auto idx : row) {
+            const float d = distance(queries[q], pts[idx]);
+            EXPECT_TRUE(d <= radius || idx == row[0]);
+        }
+    }
+}
+
+TEST(GridBallQuery, FindsAllWhenBallIsLarge)
+{
+    const std::vector<Vec3> pts = {
+        {0, 0, 0}, {0.1f, 0, 0}, {0, 0.1f, 0}};
+    GridBallQuery bq(10.0f);
+    const std::vector<Vec3> queries = {{0, 0, 0}};
+    const auto lists = bq.search(queries, pts, 3);
+    const std::set<std::uint32_t> found(lists.row(0).begin(),
+                                        lists.row(0).end());
+    EXPECT_EQ(found.size(), 3u);
+}
+
+TEST(GridBallQuery, FallsBackToNearestOutsideGridReach)
+{
+    const std::vector<Vec3> pts = {{100, 100, 100}, {200, 0, 0}};
+    GridBallQuery bq(0.5f);
+    const std::vector<Vec3> queries = {{0, 0, 0}};
+    const auto lists = bq.search(queries, pts, 2);
+    EXPECT_EQ(lists.row(0)[0], 0u); // nearest despite empty ball
+}
+
+TEST(KdTree, KnnMatchesBruteForce)
+{
+    const auto pts = randomCloud(500, 54);
+    const KdTree tree(pts);
+    EXPECT_EQ(tree.size(), pts.size());
+    const auto queries = randomCloud(25, 55);
+    for (const Vec3 &q : queries) {
+        const auto expected = oracleKnn(q, pts, 6);
+        const auto found = tree.knn(q, 6);
+        ASSERT_EQ(found.size(), 6u);
+        // Same distance multiset (ties may reorder equal distances).
+        for (std::size_t i = 0; i < 6; ++i) {
+            EXPECT_FLOAT_EQ(squaredDistance(q, pts[found[i]]),
+                            squaredDistance(q, pts[expected[i]]));
+        }
+    }
+}
+
+TEST(KdTree, RadiusMatchesLinearScan)
+{
+    const auto pts = randomCloud(400, 56);
+    const KdTree tree(pts);
+    const Vec3 q{0.5f, 0.5f, 0.5f};
+    const float r = 0.3f;
+    auto found = tree.radius(q, r);
+    std::sort(found.begin(), found.end());
+    std::vector<std::uint32_t> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (squaredDistance(q, pts[i]) <= r * r) {
+            expected.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    EXPECT_EQ(found, expected);
+}
+
+TEST(KdTreeKnn, AdapterMatchesBruteForce)
+{
+    const auto pts = randomCloud(200, 57);
+    const auto queries = randomCloud(10, 58);
+    KdTreeKnn kd;
+    BruteForceKnn bf;
+    const auto a = kd.search(queries, pts, 4);
+    const auto b = bf.search(queries, pts, 4);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            EXPECT_FLOAT_EQ(
+                squaredDistance(queries[q], pts[a.row(q)[j]]),
+                squaredDistance(queries[q], pts[b.row(q)[j]]));
+        }
+    }
+}
+
+TEST(KdTreeBallQuery, AgreesWithPlainBallQueryMembership)
+{
+    const auto pts = randomCloud(400, 66);
+    const auto queries = randomCloud(25, 67);
+    const float radius = 0.3f;
+    KdTreeBallQuery tree_bq(radius);
+    const auto lists = tree_bq.search(queries, pts, 6);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto row = lists.row(q);
+        const float d0 = distance(queries[q], pts[row[0]]);
+        for (const auto idx : row) {
+            const float d = distance(queries[q], pts[idx]);
+            // In-ball, or the padded copy of the first entry, or the
+            // nearest-fallback when the ball is empty.
+            EXPECT_TRUE(d <= radius + 1e-5f || idx == row[0]);
+        }
+        if (d0 > radius) {
+            // Fallback must be the true nearest.
+            for (std::size_t c = 0; c < pts.size(); ++c) {
+                EXPECT_GE(distance(queries[q], pts[c]) + 1e-5f, d0);
+            }
+        }
+    }
+}
+
+TEST(KdTreeBallQuery, LargeBallReturnsDistinctNeighbors)
+{
+    const auto pts = randomCloud(50, 68);
+    KdTreeBallQuery bq(10.0f);
+    const std::vector<Vec3> queries = {pts[0]};
+    const auto lists = bq.search(queries, pts, 8);
+    const std::set<std::uint32_t> unique(lists.row(0).begin(),
+                                         lists.row(0).end());
+    EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(MortonWindow, PureIndexSelectionReturnsWindowPoints)
+{
+    const auto pts = randomCloud(100, 59);
+    MortonSampler sampler(32);
+    const auto s = sampler.structurize(pts);
+    const MortonWindowSearch searcher(0); // W = k mode
+    const std::vector<std::uint32_t> queries = {s.order[50]};
+    const auto lists = searcher.search(pts, s, queries, 4);
+    ASSERT_EQ(lists.k, 4u);
+    // All neighbors must come from sorted positions near 50 (the
+    // query itself is a legal neighbor, as in Sec 4.3's formula).
+    for (const auto idx : lists.row(0)) {
+        const std::size_t pos = s.rank[idx];
+        EXPECT_GE(pos, 47u);
+        EXPECT_LE(pos, 53u);
+    }
+}
+
+TEST(MortonWindow, LargerWindowImprovesRecall)
+{
+    const auto pts = randomCloud(2000, 60);
+    MortonSampler sampler(32);
+    const auto s = sampler.structurize(pts);
+    BruteForceKnn exact;
+
+    const std::size_t k = 8;
+    std::vector<std::uint32_t> queries;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        queries.push_back(i * 10);
+    }
+    std::vector<Vec3> query_pos;
+    for (const auto idx : queries) {
+        query_pos.push_back(pts[idx]);
+    }
+    const auto truth = exact.search(query_pos, pts, k);
+
+    double prev_fnr = 1.1;
+    for (const std::size_t w : {k, 4 * k, 16 * k}) {
+        const MortonWindowSearch searcher(w);
+        const auto approx = searcher.search(pts, s, queries, k);
+        const double fnr = falseNeighborRatio(approx, truth);
+        EXPECT_LE(fnr, prev_fnr + 0.02)
+            << "window " << w << " should not be worse";
+        prev_fnr = fnr;
+    }
+    // With a 16k window the FNR should be small (paper reaches ~5%).
+    EXPECT_LT(prev_fnr, 0.35);
+}
+
+TEST(MortonWindow, SearchAllCoversEveryPoint)
+{
+    const auto pts = randomCloud(128, 61);
+    MortonSampler sampler(32);
+    const auto s = sampler.structurize(pts);
+    const MortonWindowSearch searcher(16);
+    const auto lists = searcher.searchAll(pts, s, 4);
+    EXPECT_EQ(lists.queries(), pts.size());
+}
+
+TEST(MortonWindowKnn, AdapterApproximatesExactSearch)
+{
+    const auto pts = randomCloud(1000, 62);
+    MortonWindowKnn approx(64);
+    BruteForceKnn exact;
+    const auto a = approx.search(pts, pts, 8);
+    const auto b = exact.search(pts, pts, 8);
+    const double fnr = falseNeighborRatio(a, b);
+    // Should recover a solid majority of true neighbors.
+    EXPECT_LT(fnr, 0.6);
+    EXPECT_GT(neighborRecall(a, b), 0.4);
+}
+
+TEST(MortonWindow, WindowAtCloudEdges)
+{
+    const auto pts = randomCloud(32, 63);
+    MortonSampler sampler(32);
+    const auto s = sampler.structurize(pts);
+    const MortonWindowSearch searcher(8);
+    // First and last sorted points must still get k neighbors.
+    const std::vector<std::uint32_t> queries = {s.order[0],
+                                                s.order[31]};
+    const auto lists = searcher.search(pts, s, queries, 5);
+    EXPECT_EQ(lists.row(0).size(), 5u);
+    EXPECT_EQ(lists.row(1).size(), 5u);
+}
+
+} // namespace
+} // namespace edgepc

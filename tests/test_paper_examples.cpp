@@ -1,0 +1,131 @@
+/**
+ * @file The paper's worked examples, end to end.
+ *
+ * Replays the small numeric examples the paper walks through (Sec 4.1,
+ * Fig 7/8 and Fig 10) against this implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geometry/morton.hpp"
+#include "neighbor/ball_query.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/morton_window.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace edgepc {
+namespace {
+
+/** The 5-point cloud used by Figs 8 and 10 (coordinates chosen to
+ *  reproduce the squared-distance array {0, 14, 10, 49, 33} of the
+ *  paper's Fig 8a walk-through). */
+std::vector<Vec3>
+paperCloud()
+{
+    return {{0, 0, 0}, {1, 2, 3}, {3, 1, 0}, {0, 7, 0}, {4, 4, 1}};
+}
+
+TEST(PaperExamples, Sec41MortonCodeOf234Is282)
+{
+    EXPECT_EQ(mortonEncode3(2, 3, 4), 282u);
+}
+
+TEST(PaperExamples, Fig8aFpsDistanceWalkthrough)
+{
+    // After sampling P0 the squared distances are {0, 14, 10, 49, 33}.
+    const auto pts = paperCloud();
+    EXPECT_FLOAT_EQ(squaredDistance(pts[0], pts[1]), 14.0f);
+    EXPECT_FLOAT_EQ(squaredDistance(pts[0], pts[2]), 10.0f);
+    EXPECT_FLOAT_EQ(squaredDistance(pts[0], pts[3]), 49.0f);
+    EXPECT_FLOAT_EQ(squaredDistance(pts[0], pts[4]), 33.0f);
+
+    // FPS then selects P3 (max 49), updates to {., 11?, 10, 0, 26} and
+    // selects P4 (max 26). Verify the selection sequence.
+    FarthestPointSampler fps(0);
+    const auto sel = fps.sample(pts, 3);
+    EXPECT_EQ(sel, (std::vector<std::uint32_t>{0, 3, 4}));
+}
+
+TEST(PaperExamples, Fig8bMortonSamplerPipeline)
+{
+    // Grid r=1 anchored at the origin; generate, sort, stride-pick.
+    const auto pts = paperCloud();
+    MortonSampler sampler({0, 0, 0}, 1.0f, 3);
+    const auto s = sampler.structurize(pts);
+    ASSERT_EQ(s.order.size(), 5u);
+    // Sorting must order codes ascending.
+    for (std::size_t i = 1; i < 5; ++i) {
+        EXPECT_LE(s.codes[s.order[i - 1]], s.codes[s.order[i]]);
+    }
+    const auto sel = sampler.sampleStructurized(s, 3);
+    EXPECT_EQ(sel.size(), 3u);
+
+    // Coarser grid (r=4) collapses codes and changes the picks.
+    MortonSampler coarse({0, 0, 0}, 4.0f, 3);
+    const auto s4 = coarse.structurize(pts);
+    std::set<std::uint64_t> distinct(s4.codes.begin(), s4.codes.end());
+    EXPECT_LT(distinct.size(), 5u);
+}
+
+TEST(PaperExamples, Fig10aBallQueryForP2)
+{
+    // Ball query around P2 with R^2 = 11 returns P0, P2, P4 among the
+    // first 3 in-ball candidates (P2 itself is inside its own ball).
+    const auto pts = paperCloud();
+    BallQuery bq(std::sqrt(11.0f) + 1e-4f);
+    const std::vector<Vec3> queries = {pts[2]};
+    const auto lists = bq.search(queries, pts, 3);
+    const auto row = lists.row(0);
+    const std::set<std::uint32_t> found(row.begin(), row.end());
+    EXPECT_EQ(found, (std::set<std::uint32_t>{0, 2, 4}));
+}
+
+TEST(PaperExamples, Fig10aKnnForP2)
+{
+    // 3-NN of P2 by distance: itself (0), P0 (10), P4 (11).
+    const auto pts = paperCloud();
+    BruteForceKnn knn;
+    const std::vector<Vec3> queries = {pts[2]};
+    const auto lists = knn.search(queries, pts, 3);
+    const auto row = lists.row(0);
+    EXPECT_EQ(row[0], 2u);
+    EXPECT_EQ(row[1], 0u);
+    EXPECT_EQ(row[2], 4u);
+}
+
+TEST(PaperExamples, Fig10bIndexWindowSearch)
+{
+    // W = k+1 = 4 around P2 in Morton order: the window points are
+    // selected without any distance computation.
+    const auto pts = paperCloud();
+    MortonSampler sampler({0, 0, 0}, 1.0f, 3);
+    const auto s = sampler.structurize(pts);
+    const MortonWindowSearch searcher(4);
+    const std::vector<std::uint32_t> queries = {2};
+    const auto lists = searcher.search(pts, s, queries, 3);
+    ASSERT_EQ(lists.k, 3u);
+    // Neighbors are drawn from the window of adjacent sorted
+    // positions around P2's rank.
+    const std::size_t rank = s.rank[2];
+    for (const auto idx : lists.row(0)) {
+        EXPECT_LT(idx, 5u);
+        const std::size_t pos = s.rank[idx];
+        EXPECT_LE(pos > rank ? pos - rank : rank - pos, 2u);
+    }
+}
+
+TEST(PaperExamples, Sec513MemoryFootprintOfMortonCodes)
+{
+    // Sec 5.2.3: per batch of 8192 points, 32-bit Morton codes occupy
+    // 8192 * 4 B = 32 KiB.
+    const std::size_t points = 8192;
+    const std::size_t bits = 32;
+    EXPECT_EQ(points * bits / 8, 32u * 1024u);
+}
+
+} // namespace
+} // namespace edgepc

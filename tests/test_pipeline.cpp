@@ -1,0 +1,93 @@
+/** @file Integration tests for the InferencePipeline. */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/workloads.hpp"
+#include "datasets/scenes.hpp"
+#include "models/pointnetpp.hpp"
+#include "nn/gemm.hpp"
+
+namespace edgepc {
+namespace {
+
+PointCloud
+sceneCloud(std::size_t points, std::uint64_t seed)
+{
+    Rng rng(seed);
+    SceneOptions options;
+    options.points = points;
+    return makeScene(options, rng);
+}
+
+TEST(Pipeline, ProducesConsistentResult)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(512, 5), 7);
+    InferencePipeline pipeline(model, EdgePcConfig::baseline());
+    const PointCloud cloud = sceneCloud(512, 1);
+    const PipelineResult result = pipeline.run(cloud);
+
+    EXPECT_EQ(result.logits.rows(), cloud.size());
+    EXPECT_GT(result.endToEndMs, 0.0);
+    EXPECT_GT(result.sampleNeighborMs, 0.0);
+    EXPECT_LT(result.sampleNeighborMs, result.endToEndMs);
+    EXPECT_GT(result.energyMj, 0.0);
+}
+
+TEST(Pipeline, SnVariantSpeedsUpSampleNeighbor)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(4096, 5), 7);
+    InferencePipeline base(model, EdgePcConfig::baseline());
+    InferencePipeline sn(model, EdgePcConfig::sn());
+    const PointCloud cloud = sceneCloud(4096, 2);
+
+    const PipelineResult rb = base.run(cloud);
+    const PipelineResult rs = sn.run(cloud);
+    EXPECT_LT(rs.sampleNeighborMs, rb.sampleNeighborMs);
+    EXPECT_LT(rs.energyMj, rb.energyMj);
+}
+
+TEST(Pipeline, BatchAccumulatesTotals)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    InferencePipeline pipeline(model, EdgePcConfig::baseline());
+    const std::vector<PointCloud> clouds = {sceneCloud(256, 3),
+                                            sceneCloud(256, 4)};
+    const PipelineResult one = pipeline.run(clouds[0]);
+    const PipelineResult both = pipeline.runBatch(clouds);
+    EXPECT_GT(both.endToEndMs, one.endToEndMs);
+}
+
+TEST(Pipeline, TensorCoreVariantSetsGemmMode)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    InferencePipeline snf(model, EdgePcConfig::snf());
+    snf.run(sceneCloud(256, 5));
+    EXPECT_EQ(nn::GemmEngine::globalEngine().mode(),
+              nn::GemmMode::Auto);
+
+    InferencePipeline base(model, EdgePcConfig::baseline());
+    base.run(sceneCloud(256, 6));
+    EXPECT_EQ(nn::GemmEngine::globalEngine().mode(),
+              nn::GemmMode::Scalar);
+}
+
+TEST(Pipeline, ConfigSwappable)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    InferencePipeline pipeline(model, EdgePcConfig::baseline());
+    EXPECT_EQ(pipeline.config().variant, PipelineVariant::Baseline);
+    pipeline.setConfig(EdgePcConfig::sn());
+    EXPECT_EQ(pipeline.config().variant, PipelineVariant::SN);
+    EXPECT_TRUE(pipeline.config().approximate());
+}
+
+TEST(Pipeline, VariantNames)
+{
+    EXPECT_EQ(variantName(PipelineVariant::Baseline), "baseline");
+    EXPECT_EQ(variantName(PipelineVariant::SN), "S+N");
+    EXPECT_EQ(variantName(PipelineVariant::SNF), "S+N+F");
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,98 @@
+/** @file Unit tests for the PointCloud container. */
+
+#include <gtest/gtest.h>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace edgepc {
+namespace {
+
+PointCloud
+makeTestCloud()
+{
+    PointCloud cloud({{0, 0, 0}, {1, 0, 0}, {0, 2, 0}, {0, 0, 3}});
+    cloud.setFeatures({1, 2, 3, 4, 5, 6, 7, 8}, 2);
+    cloud.setLabels({10, 11, 12, 13});
+    return cloud;
+}
+
+TEST(PointCloud, BasicAccessors)
+{
+    const PointCloud cloud = makeTestCloud();
+    EXPECT_EQ(cloud.size(), 4u);
+    EXPECT_FALSE(cloud.empty());
+    EXPECT_EQ(cloud.featureDim(), 2u);
+    EXPECT_TRUE(cloud.hasLabels());
+    EXPECT_EQ(cloud.position(2), Vec3(0, 2, 0));
+    ASSERT_EQ(cloud.feature(1).size(), 2u);
+    EXPECT_FLOAT_EQ(cloud.feature(1)[0], 3.0f);
+    EXPECT_FLOAT_EQ(cloud.feature(1)[1], 4.0f);
+}
+
+TEST(PointCloud, SelectGathersEverything)
+{
+    const PointCloud cloud = makeTestCloud();
+    const std::vector<std::uint32_t> indices = {2, 0};
+    const PointCloud out = cloud.select(indices);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(out.position(0), Vec3(0, 2, 0));
+    EXPECT_EQ(out.position(1), Vec3(0, 0, 0));
+    EXPECT_FLOAT_EQ(out.feature(0)[0], 5.0f);
+    EXPECT_EQ(out.labels()[0], 12);
+    EXPECT_EQ(out.labels()[1], 10);
+}
+
+TEST(PointCloud, PermuteIsSelectOfFullPermutation)
+{
+    PointCloud cloud = makeTestCloud();
+    const std::vector<std::uint32_t> perm = {3, 2, 1, 0};
+    cloud.permute(perm);
+    EXPECT_EQ(cloud.position(0), Vec3(0, 0, 3));
+    EXPECT_EQ(cloud.labels()[0], 13);
+}
+
+TEST(PointCloud, AddPointGrowsArrays)
+{
+    PointCloud cloud;
+    const float feat[] = {1.0f};
+    cloud.addPoint({1, 1, 1}, {feat, 1}, 5);
+    cloud.addPoint({2, 2, 2}, {feat, 1}, 6);
+    EXPECT_EQ(cloud.size(), 2u);
+    EXPECT_EQ(cloud.featureDim(), 1u);
+    EXPECT_TRUE(cloud.hasLabels());
+}
+
+TEST(PointCloud, NormalizeToUnitSphere)
+{
+    PointCloud cloud({{10, 0, 0}, {14, 0, 0}, {10, 4, 0}});
+    cloud.normalizeToUnitSphere();
+    float max_norm = 0.0f;
+    Vec3 centroid{};
+    for (const Vec3 &p : cloud.positions()) {
+        max_norm = std::max(max_norm, p.norm());
+        centroid += p;
+    }
+    EXPECT_NEAR(max_norm, 1.0f, 1e-5f);
+    EXPECT_NEAR(centroid.norm() / 3.0f, 0.0f, 1e-5f);
+}
+
+TEST(PointCloud, NormalizeToUnitCube)
+{
+    PointCloud cloud({{-2, 0, 0}, {2, 1, 1}});
+    cloud.normalizeToUnitCube();
+    const Aabb box = cloud.bounds();
+    EXPECT_NEAR(box.min().x, 0.0f, 1e-6f);
+    EXPECT_NEAR(box.max().x, 1.0f, 1e-6f);
+    EXPECT_LE(box.max().y, 1.0f);
+}
+
+TEST(PointCloud, BoundsMatchPoints)
+{
+    const PointCloud cloud = makeTestCloud();
+    const Aabb box = cloud.bounds();
+    EXPECT_EQ(box.min(), Vec3(0, 0, 0));
+    EXPECT_EQ(box.max(), Vec3(1, 2, 3));
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,148 @@
+/** @file Tests for the vanilla PointNet baseline model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datasets/shapes.hpp"
+#include "models/pointnet.hpp"
+#include "nn/loss.hpp"
+#include "train/trainer.hpp"
+
+namespace edgepc {
+namespace {
+
+PointCloud
+makeCloud(std::size_t points, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ShapeOptions options;
+    options.points = points;
+    return makeShape(ShapeClass::Cylinder, options, rng);
+}
+
+TEST(PointNet, ClassificationShapes)
+{
+    const PointCloud cloud = makeCloud(128, 1);
+    PointNet model(PointNetConfig::classification(8), 7);
+    const nn::Matrix logits =
+        model.infer(cloud, EdgePcConfig::baseline());
+    EXPECT_EQ(logits.rows(), 1u);
+    EXPECT_EQ(logits.cols(), 8u);
+    for (std::size_t i = 0; i < logits.numel(); ++i) {
+        EXPECT_TRUE(std::isfinite(logits.data()[i]));
+    }
+}
+
+TEST(PointNet, SegmentationShapes)
+{
+    const PointCloud cloud = makeCloud(96, 2);
+    PointNet model(PointNetConfig::segmentationConfig(5), 7);
+    const nn::Matrix logits =
+        model.infer(cloud, EdgePcConfig::baseline());
+    EXPECT_EQ(logits.rows(), cloud.size());
+    EXPECT_EQ(logits.cols(), 5u);
+}
+
+TEST(PointNet, HasNoSampleOrNeighborStage)
+{
+    // The control property: PointNet's pipeline is pure feature
+    // compute, so EdgePC's target stages are absent.
+    const PointCloud cloud = makeCloud(256, 3);
+    PointNet model(PointNetConfig::classification(8), 7);
+    StageTimer timer;
+    model.infer(cloud, EdgePcConfig::baseline(), &timer);
+    EXPECT_DOUBLE_EQ(timer.total(kStageSample), 0.0);
+    EXPECT_DOUBLE_EQ(timer.total(kStageNeighbor), 0.0);
+    EXPECT_GT(timer.total(kStageFeature), 0.0);
+}
+
+TEST(PointNet, ConfigHasNoEffect)
+{
+    // Baseline and S+N configs produce identical outputs (nothing to
+    // approximate).
+    const PointCloud cloud = makeCloud(64, 4);
+    PointNet model(PointNetConfig::classification(8), 7);
+    const nn::Matrix a = model.infer(cloud, EdgePcConfig::baseline());
+    const nn::Matrix b = model.infer(cloud, EdgePcConfig::sn());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+    }
+}
+
+TEST(PointNet, GradientCheck)
+{
+    PointNetConfig cfg;
+    cfg.mlp = {6, 8};
+    cfg.headMlp = {6};
+    cfg.numClasses = 3;
+    PointNet model(cfg, 5);
+    const PointCloud cloud = makeCloud(16, 5);
+
+    std::vector<nn::Parameter *> params;
+    model.collectParameters(params);
+    for (auto *p : params) {
+        p->zeroGrad();
+    }
+    const nn::Matrix logits =
+        model.forward(cloud, EdgePcConfig::baseline(), nullptr, true);
+    const std::vector<std::int32_t> labels = {1};
+    const nn::LossResult loss = nn::softmaxCrossEntropy(logits, labels);
+    model.backward(loss.gradLogits);
+
+    // Spot-check a few entries numerically (kink-filtered).
+    Rng pick(7);
+    int checked = 0;
+    for (std::size_t pi = 0; pi < params.size() && checked < 6; ++pi) {
+        nn::Parameter &p = *params[pi];
+        const std::size_t j = pick.nextBelow(p.value.numel());
+        const float saved = p.value.data()[j];
+        auto loss_at = [&](float v) {
+            p.value.data()[j] = v;
+            const nn::Matrix out = model.forward(
+                cloud, EdgePcConfig::baseline(), nullptr, true);
+            p.value.data()[j] = saved;
+            return nn::softmaxCrossEntropy(out, labels).loss;
+        };
+        const double n1 = (loss_at(saved + 1e-2f) -
+                           loss_at(saved - 1e-2f)) /
+                          2e-2;
+        const double n2 = (loss_at(saved + 5e-3f) -
+                           loss_at(saved - 5e-3f)) /
+                          1e-2;
+        if (std::abs(n1 - n2) >
+            0.02 * std::max({1.0, std::abs(n1), std::abs(n2)})) {
+            continue;
+        }
+        const double analytic = p.grad.data()[j];
+        EXPECT_NEAR(analytic, n2,
+                    0.15 * std::max({1.0, std::abs(n2),
+                                     std::abs(analytic)}))
+            << "param " << pi;
+        ++checked;
+    }
+    EXPECT_GE(checked, 3);
+}
+
+TEST(PointNet, TrainsOnShapes)
+{
+    ShapeOptions options;
+    options.points = 128;
+    options.randomRotation = false;
+    const Dataset data = makeShapeDataset(4, options, 9);
+
+    TrainOptions topt;
+    topt.epochs = 8;
+    topt.learningRate = 0.005f;
+    topt.batchSize = 4;
+    Trainer trainer(topt);
+
+    PointNet model(PointNetConfig::classification(data.numClasses), 7);
+    const TrainResult result =
+        trainer.trainClassifier(model, data, EdgePcConfig::baseline());
+    EXPECT_LT(result.epochLoss.back(), result.epochLoss.front());
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,100 @@
+/** @file Unit tests for the thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(5, 5, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElementRange)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallelFor(7, 8, [&](std::size_t i) {
+        EXPECT_EQ(i, 7u);
+        count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedCoversWholeRange)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> sum{0};
+    pool.parallelForChunked(
+        0, 1001,
+        [&](std::size_t lo, std::size_t hi) {
+            std::size_t local = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+                local += i;
+            }
+            sum.fetch_add(local);
+        },
+        17);
+    EXPECT_EQ(sum.load(), 1000u * 1001u / 2u);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100,
+                         [](std::size_t i) {
+                             if (i == 42) {
+                                 throw std::runtime_error("boom");
+                             }
+                         },
+                         1),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls)
+{
+    ThreadPool pool(2);
+    for (int round = 0; round < 10; ++round) {
+        std::atomic<int> count{0};
+        pool.parallelFor(0, 64, [&](std::size_t) { count.fetch_add(1); },
+                         4);
+        EXPECT_EQ(count.load(), 64);
+    }
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton)
+{
+    EXPECT_EQ(&ThreadPool::globalPool(), &ThreadPool::globalPool());
+    EXPECT_GE(ThreadPool::globalPool().size(), 1u);
+}
+
+TEST(ThreadPool, FreeFunctionWrapper)
+{
+    std::vector<int> data(128, 0);
+    parallelFor(0, data.size(), [&](std::size_t i) { data[i] = 1; });
+    EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 128);
+}
+
+} // namespace
+} // namespace edgepc

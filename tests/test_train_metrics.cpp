@@ -1,0 +1,68 @@
+/** @file Unit tests for the confusion matrix / IoU metrics. */
+
+#include <gtest/gtest.h>
+
+#include "train/metrics.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(ConfusionMatrix, PerfectPredictions)
+{
+    ConfusionMatrix cm(3);
+    const std::vector<std::int32_t> truth = {0, 1, 2, 1};
+    cm.record(truth, truth);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.meanIou(), 1.0);
+    EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionMatrix, AllWrong)
+{
+    ConfusionMatrix cm(2);
+    const std::vector<std::int32_t> truth = {0, 0, 1};
+    const std::vector<std::int32_t> preds = {1, 1, 0};
+    cm.record(truth, preds);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.meanIou(), 0.0);
+}
+
+TEST(ConfusionMatrix, PartialIou)
+{
+    ConfusionMatrix cm(2);
+    // Class 0: tp=1, fn=1 (predicted 1), fp=0 -> IoU = 1/2.
+    // Class 1: tp=1, fp=1, fn=0 -> IoU = 1/2.
+    cm.record(0, 0);
+    cm.record(0, 1);
+    cm.record(1, 1);
+    EXPECT_NEAR(cm.iou(0), 0.5, 1e-12);
+    EXPECT_NEAR(cm.iou(1), 0.5, 1e-12);
+    EXPECT_NEAR(cm.meanIou(), 0.5, 1e-12);
+    EXPECT_NEAR(cm.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, IgnoresNegativeLabels)
+{
+    ConfusionMatrix cm(2);
+    cm.record(-1, 0);
+    cm.record(0, -1);
+    EXPECT_EQ(cm.total(), 0u);
+}
+
+TEST(ConfusionMatrix, AbsentClassExcludedFromMeanIou)
+{
+    ConfusionMatrix cm(5);
+    cm.record(0, 0);
+    cm.record(1, 1);
+    // Classes 2-4 never appear; mean over classes 0 and 1 only.
+    EXPECT_DOUBLE_EQ(cm.meanIou(), 1.0);
+}
+
+TEST(ConfusionMatrixDeathTest, OutOfRangeClassIsFatal)
+{
+    ConfusionMatrix cm(2);
+    EXPECT_DEATH(cm.record(5, 0), "out of range");
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,112 @@
+/** @file Integration tests for the training driver. */
+
+#include <gtest/gtest.h>
+
+#include "datasets/scenes.hpp"
+#include "datasets/shapes.hpp"
+#include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
+#include "train/trainer.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(Trainer, ClassifierLossDecreases)
+{
+    ShapeOptions options;
+    options.points = 96;
+    options.randomRotation = false;
+    const Dataset data = makeShapeDataset(3, options, 5);
+
+    TrainOptions topt;
+    topt.epochs = 6;
+    topt.learningRate = 0.005f;
+    topt.batchSize = 4;
+    Trainer trainer(topt);
+
+    Dgcnn model(DgcnnConfig::liteClassification(data.numClasses), 42);
+    const TrainResult result =
+        trainer.trainClassifier(model, data, EdgePcConfig::baseline());
+    ASSERT_EQ(result.epochLoss.size(), 6u);
+    EXPECT_LT(result.epochLoss.back(), result.epochLoss.front());
+}
+
+TEST(Trainer, SegmentationLossDecreases)
+{
+    SceneOptions options;
+    options.points = 128;
+    const Dataset data = makeSceneDataset(8, options, 3);
+
+    TrainOptions topt;
+    topt.epochs = 6;
+    topt.learningRate = 0.02f;
+    topt.batchSize = 4;
+    Trainer trainer(topt);
+
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 42);
+    const TrainResult result = trainer.trainSegmentation(
+        model, data, EdgePcConfig::baseline());
+    EXPECT_LT(result.epochLoss.back(), result.epochLoss.front());
+}
+
+TEST(Trainer, RetrainingWithApproximationsRuns)
+{
+    SceneOptions options;
+    options.points = 128;
+    const Dataset data = makeSceneDataset(6, options, 4);
+
+    TrainOptions topt;
+    topt.epochs = 3;
+    Trainer trainer(topt);
+
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 42);
+    const TrainResult result =
+        trainer.trainSegmentation(model, data, EdgePcConfig::sn());
+    EXPECT_EQ(result.epochLoss.size(), 3u);
+    for (const double loss : result.epochLoss) {
+        EXPECT_TRUE(std::isfinite(loss));
+    }
+}
+
+TEST(Trainer, TrainingImprovesOverUntrainedModel)
+{
+    SceneOptions options;
+    options.points = 192;
+    const Dataset data = makeSceneDataset(14, options, 5);
+    auto [train_set, test_set] = data.split(0.7, 2);
+
+    TrainOptions topt;
+    topt.epochs = 8;
+    topt.learningRate = 0.02f;
+    Trainer trainer(topt);
+
+    PointNetPP untrained(PointNetPPConfig::liteSegmentation(192, 5),
+                         42);
+    const EvalResult before = trainer.evaluateSegmentation(
+        untrained, test_set, EdgePcConfig::baseline());
+
+    PointNetPP model(PointNetPPConfig::liteSegmentation(192, 5), 42);
+    trainer.trainSegmentation(model, train_set,
+                              EdgePcConfig::baseline());
+    const EvalResult after = trainer.evaluateSegmentation(
+        model, test_set, EdgePcConfig::baseline());
+    EXPECT_GT(after.accuracy, before.accuracy);
+}
+
+TEST(Trainer, EvaluationIsSideEffectFree)
+{
+    ShapeOptions options;
+    options.points = 64;
+    const Dataset data = makeShapeDataset(2, options, 6);
+    Dgcnn model(DgcnnConfig::liteClassification(data.numClasses), 42);
+    Trainer trainer;
+    const EvalResult a = trainer.evaluateClassifier(
+        model, data, EdgePcConfig::baseline());
+    const EvalResult b = trainer.evaluateClassifier(
+        model, data, EdgePcConfig::baseline());
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+    EXPECT_DOUBLE_EQ(a.meanIou, b.meanIou);
+}
+
+} // namespace
+} // namespace edgepc

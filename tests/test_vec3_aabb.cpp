@@ -1,0 +1,100 @@
+/** @file Unit tests for Vec3 and Aabb. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(Vec3, Arithmetic)
+{
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, Vec3(5, 7, 9));
+    EXPECT_EQ(b - a, Vec3(3, 3, 3));
+    EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+    EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+    EXPECT_EQ(b / 2.0f, Vec3(2, 2.5f, 3));
+}
+
+TEST(Vec3, DotCrossNorm)
+{
+    const Vec3 a{1, 0, 0}, b{0, 1, 0};
+    EXPECT_FLOAT_EQ(a.dot(b), 0.0f);
+    EXPECT_EQ(a.cross(b), Vec3(0, 0, 1));
+    EXPECT_FLOAT_EQ(Vec3(3, 4, 0).norm(), 5.0f);
+    EXPECT_FLOAT_EQ(Vec3(3, 4, 0).squaredNorm(), 25.0f);
+}
+
+TEST(Vec3, Normalized)
+{
+    const Vec3 v = Vec3(0, 3, 4).normalized();
+    EXPECT_NEAR(v.norm(), 1.0f, 1e-6f);
+    // Zero vector stays zero.
+    EXPECT_EQ(Vec3().normalized(), Vec3());
+}
+
+TEST(Vec3, IndexAccess)
+{
+    Vec3 v{7, 8, 9};
+    EXPECT_FLOAT_EQ(v[0], 7.0f);
+    EXPECT_FLOAT_EQ(v[1], 8.0f);
+    EXPECT_FLOAT_EQ(v[2], 9.0f);
+    v[1] = -1.0f;
+    EXPECT_FLOAT_EQ(v.y, -1.0f);
+}
+
+TEST(Vec3, Distances)
+{
+    EXPECT_FLOAT_EQ(squaredDistance({0, 0, 0}, {1, 2, 2}), 9.0f);
+    EXPECT_FLOAT_EQ(distance({0, 0, 0}, {1, 2, 2}), 3.0f);
+}
+
+TEST(Aabb, EmptyByDefault)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+    EXPECT_EQ(box.extent(), Vec3());
+}
+
+TEST(Aabb, ExpandAndContains)
+{
+    Aabb box;
+    box.expand({1, 2, 3});
+    box.expand({-1, 0, 5});
+    EXPECT_FALSE(box.empty());
+    EXPECT_EQ(box.min(), Vec3(-1, 0, 3));
+    EXPECT_EQ(box.max(), Vec3(1, 2, 5));
+    EXPECT_EQ(box.extent(), Vec3(2, 2, 2));
+    EXPECT_FLOAT_EQ(box.maxExtent(), 2.0f);
+    EXPECT_EQ(box.center(), Vec3(0, 1, 4));
+    EXPECT_TRUE(box.contains({0, 1, 4}));
+    EXPECT_FALSE(box.contains({3, 1, 4}));
+}
+
+TEST(Aabb, ExpandWithBox)
+{
+    Aabb a({0, 0, 0}, {1, 1, 1});
+    Aabb b({-1, 0, 0}, {0.5f, 2, 1});
+    a.expand(b);
+    EXPECT_EQ(a.min(), Vec3(-1, 0, 0));
+    EXPECT_EQ(a.max(), Vec3(1, 2, 1));
+    // Expanding with an empty box is a no-op.
+    Aabb empty;
+    a.expand(empty);
+    EXPECT_EQ(a.max(), Vec3(1, 2, 1));
+}
+
+TEST(Aabb, OfSpan)
+{
+    const std::vector<Vec3> pts = {{0, 0, 0}, {2, -1, 3}, {1, 5, -2}};
+    const Aabb box = Aabb::of(pts);
+    EXPECT_EQ(box.min(), Vec3(0, -1, -2));
+    EXPECT_EQ(box.max(), Vec3(2, 5, 3));
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,74 @@
+/** @file Unit tests for the voxel grid. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "geometry/voxel_grid.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(VoxelGrid, BinsPointsByCell)
+{
+    const std::vector<Vec3> pts = {
+        {0.1f, 0.1f, 0.1f}, {0.2f, 0.3f, 0.4f}, {1.5f, 0.0f, 0.0f}};
+    const VoxelGrid grid(pts, 1.0f);
+    EXPECT_EQ(grid.numPoints(), 3u);
+    EXPECT_EQ(grid.occupiedVoxels(), 2u);
+    EXPECT_NEAR(grid.meanOccupancy(), 1.5, 1e-9);
+
+    const auto cell = grid.voxelPoints({0.15f, 0.2f, 0.2f});
+    EXPECT_EQ(cell.size(), 2u);
+}
+
+TEST(VoxelGrid, EmptyVoxelLookup)
+{
+    const std::vector<Vec3> pts = {{0, 0, 0}};
+    const VoxelGrid grid(pts, 0.5f);
+    EXPECT_TRUE(grid.voxelPoints({10, 10, 10}).empty());
+}
+
+TEST(VoxelGrid, CandidatesSupersetOfRadius)
+{
+    Rng rng(5);
+    std::vector<Vec3> pts(500);
+    for (auto &p : pts) {
+        p = {rng.uniform(0, 4), rng.uniform(0, 4), rng.uniform(0, 4)};
+    }
+    const VoxelGrid grid(pts, 0.5f);
+
+    const Vec3 query{2.0f, 2.0f, 2.0f};
+    const float radius = 0.75f;
+    std::set<std::uint32_t> candidates;
+    grid.forEachCandidate(query, radius, [&](std::uint32_t i) {
+        candidates.insert(i);
+    });
+    // Every point truly within the radius must be a candidate.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (distance(pts[i], query) <= radius) {
+            EXPECT_TRUE(candidates.count(static_cast<std::uint32_t>(i)))
+                << "missing point " << i;
+        }
+    }
+}
+
+TEST(VoxelGrid, CandidateCountBoundedByCellVolume)
+{
+    // On a dense uniform cloud, candidates should be far fewer than N
+    // for a small radius.
+    Rng rng(6);
+    std::vector<Vec3> pts(4000);
+    for (auto &p : pts) {
+        p = {rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)};
+    }
+    const VoxelGrid grid(pts, 0.5f);
+    std::size_t candidates = 0;
+    grid.forEachCandidate({5, 5, 5}, 0.5f,
+                          [&](std::uint32_t) { ++candidates; });
+    EXPECT_LT(candidates, pts.size() / 4);
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,89 @@
+/** @file Tests for the voxel-grid down-sampler. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "pointcloud/metrics.hpp"
+#include "sampling/random_sampler.hpp"
+#include "sampling/voxel_sampler.hpp"
+
+namespace edgepc {
+namespace {
+
+std::vector<Vec3>
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pts(n);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    return pts;
+}
+
+TEST(VoxelSampler, ExactCountAndDistinct)
+{
+    const auto pts = randomCloud(1000, 1);
+    VoxelGridSampler sampler;
+    for (const std::size_t n : {1u, 7u, 100u, 500u, 1000u}) {
+        const auto sel = sampler.sample(pts, n);
+        ASSERT_EQ(sel.size(), n);
+        const std::set<std::uint32_t> unique(sel.begin(), sel.end());
+        EXPECT_EQ(unique.size(), n);
+        for (const auto idx : sel) {
+            EXPECT_LT(idx, pts.size());
+        }
+    }
+}
+
+TEST(VoxelSampler, ClampsOversizedRequest)
+{
+    const auto pts = randomCloud(10, 2);
+    VoxelGridSampler sampler;
+    EXPECT_EQ(sampler.sample(pts, 100).size(), 10u);
+}
+
+TEST(VoxelSampler, CoverageBeatsRandomSampling)
+{
+    // Voxel sampling is area-stratified; random sampling is not.
+    const auto pts = randomCloud(4000, 3);
+    const std::size_t n = 200;
+    VoxelGridSampler voxel;
+    RandomSampler random(9);
+
+    auto gather = [&](const std::vector<std::uint32_t> &idx) {
+        std::vector<Vec3> out;
+        for (const auto i : idx) {
+            out.push_back(pts[i]);
+        }
+        return out;
+    };
+    const double vox_cov =
+        meanCoverageDistance(pts, gather(voxel.sample(pts, n)));
+    const double rnd_cov =
+        meanCoverageDistance(pts, gather(random.sample(pts, n)));
+    EXPECT_LT(vox_cov, rnd_cov);
+}
+
+TEST(VoxelSampler, HandlesDegenerateClouds)
+{
+    // All points identical: only one voxel; top-up must still reach n.
+    std::vector<Vec3> same(20, Vec3{1, 1, 1});
+    VoxelGridSampler sampler;
+    const auto sel = sampler.sample(same, 5);
+    ASSERT_EQ(sel.size(), 5u);
+    const std::set<std::uint32_t> unique(sel.begin(), sel.end());
+    EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(VoxelSampler, DeterministicForSeed)
+{
+    const auto pts = randomCloud(500, 4);
+    VoxelGridSampler a(7), b(7);
+    EXPECT_EQ(a.sample(pts, 123), b.sample(pts, 123));
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,73 @@
+/** @file Tests for the Table-1 workload registry. */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/workloads.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(Workloads, TableMatchesPaper)
+{
+    const auto &table = workloadTable();
+    ASSERT_EQ(table.size(), 6u);
+    EXPECT_EQ(table[0].id, "W1");
+    EXPECT_EQ(table[0].modelName, "PointNet++(s)");
+    EXPECT_EQ(table[0].points, 8192u);
+    EXPECT_EQ(table[0].batchSize, 32u);
+    EXPECT_EQ(table[1].batchSize, 14u); // ScanNet mean batch.
+    EXPECT_EQ(table[2].points, 1024u);  // ModelNet40.
+    EXPECT_EQ(table[3].points, 2048u);  // ShapeNet.
+    EXPECT_EQ(table[4].points, 4096u);  // S3DIS / DGCNN(s).
+    EXPECT_EQ(table[5].points, 8192u);  // ScanNet / DGCNN(s).
+}
+
+TEST(Workloads, LookupById)
+{
+    EXPECT_EQ(workload("W3").modelName, "DGCNN(c)");
+    EXPECT_EQ(workload("W6").datasetName, "ScanNet*");
+}
+
+TEST(Workloads, PointScaling)
+{
+    const WorkloadSpec &w1 = workload("W1");
+    EXPECT_EQ(workloadPoints(w1, 1), 8192u);
+    EXPECT_EQ(workloadPoints(w1, 8), 1024u);
+    // Never scales below the floor.
+    EXPECT_EQ(workloadPoints(w1, 1000), 64u);
+}
+
+TEST(Workloads, CloudGenerationMatchesSpec)
+{
+    for (const WorkloadSpec &spec : workloadTable()) {
+        const PointCloud cloud = makeWorkloadCloud(spec, 16);
+        EXPECT_EQ(cloud.size(), workloadPoints(spec, 16)) << spec.id;
+    }
+}
+
+TEST(Workloads, EveryWorkloadRunsEndToEnd)
+{
+    // Scaled-down smoke test across the full Table-1 registry under
+    // both baseline and S+N configs.
+    for (const WorkloadSpec &spec : workloadTable()) {
+        const auto model = makeWorkloadModel(spec, 32);
+        const PointCloud cloud = makeWorkloadCloud(spec, 32);
+        for (const auto &cfg :
+             {EdgePcConfig::baseline(), EdgePcConfig::sn()}) {
+            InferencePipeline pipeline(*model, cfg);
+            const PipelineResult r = pipeline.run(cloud);
+            EXPECT_GT(r.endToEndMs, 0.0)
+                << spec.id << " " << variantName(cfg.variant);
+            EXPECT_GT(r.logits.numel(), 0u);
+        }
+    }
+}
+
+TEST(WorkloadsDeathTest, UnknownIdIsFatal)
+{
+    EXPECT_DEATH(workload("W9"), "unknown id");
+}
+
+} // namespace
+} // namespace edgepc
