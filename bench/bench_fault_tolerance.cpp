@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Fault-tolerance harness: recovery rate and degraded-mode
+ * accuracy/latency of the RobustPipeline under deterministic fault
+ * injection.
+ *
+ * A 64-frame LiDAR stream is corrupted by the FaultInjector (NaN
+ * spray, truncation, duplication, latency spikes — at the default
+ * rates well over 25% of frames are hit) and served through the
+ * RobustPipeline with a soft per-frame deadline. The harness reports
+ * the stream-health telemetry, the recovery rate, and per-status
+ * latency plus segmentation accuracy, quantifying what degraded-mode
+ * serving costs relative to clean frames.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/fault_injector.hpp"
+#include "core/robust_pipeline.hpp"
+#include "datasets/scenes.hpp"
+#include "models/pointnetpp.hpp"
+
+using namespace edgepc;
+
+namespace {
+
+/** Per-point argmax accuracy of segmentation logits. */
+double
+segmentationAccuracy(const nn::Matrix &logits, const PointCloud &cloud)
+{
+    if (!cloud.hasLabels() || logits.rows() != cloud.size()) {
+        return 0.0;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < logits.cols(); ++c) {
+            if (logits.at(i, c) > logits.at(i, best)) {
+                best = c;
+            }
+        }
+        if (static_cast<std::int32_t>(best) == cloud.labels()[i]) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(logits.rows());
+}
+
+bool
+logitsFinite(const nn::Matrix &logits)
+{
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+        for (std::size_t c = 0; c < logits.cols(); ++c) {
+            if (!std::isfinite(logits.at(i, c))) {
+                return false;
+            }
+        }
+    }
+    return logits.rows() > 0;
+}
+
+struct StatusAgg
+{
+    std::size_t frames = 0;
+    double totalMs = 0.0;
+    double totalAcc = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("fault tolerance",
+                  "one malformed frame costs one frame, never the "
+                  "stream (robust serving extension; no paper figure)");
+
+    const std::size_t kFrames = 64;
+    const std::size_t kPoints =
+        std::max<std::size_t>(4096 / bench::benchScale(), 128);
+
+    Rng rng(2024);
+    SceneOptions scene_options;
+    scene_options.points = kPoints;
+    std::vector<PointCloud> stream;
+    stream.reserve(kFrames);
+    for (std::size_t f = 0; f < kFrames; ++f) {
+        stream.push_back(makeScene(scene_options, rng));
+    }
+
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 42);
+
+    // Calibrate the soft deadline on a clean warmup frame.
+    InferencePipeline warmup(model, EdgePcConfig::sn());
+    const double clean_ms = warmup.run(stream.front()).endToEndMs;
+
+    RobustPipelineOptions ropts;
+    ropts.deadlineMs = 6.0 * clean_ms + 10.0;
+    ropts.sanitizer.policy = SanitizePolicy::Pad;
+    ropts.sanitizer.minPoints = 64;
+    ropts.degradedPointBudget = kPoints / 4;
+
+    FaultInjectorConfig fcfg;
+    fcfg.nanRate = 0.25;
+    fcfg.truncateRate = 0.15;
+    fcfg.duplicateRate = 0.15;
+    fcfg.latencySpikeRate = 0.15;
+    fcfg.latencySpikeMs = ropts.deadlineMs * 1.5;
+    fcfg.seed = 7;
+    FaultInjector injector(fcfg);
+    ropts.inferenceProlog = injector.latencyHook();
+
+    RobustPipeline robust(model, EdgePcConfig::sn(), ropts);
+
+    std::size_t faulted = 0;
+    std::size_t invalid_logits = 0;
+    StatusAgg agg[4];
+    for (const PointCloud &frame : stream) {
+        PointCloud working = frame;
+        if (injector.corrupt(working).any()) {
+            ++faulted;
+        }
+        const RobustFrameResult r = robust.process(working);
+        StatusAgg &a = agg[static_cast<std::size_t>(r.status)];
+        ++a.frames;
+        a.totalMs += r.frameMs;
+        if (r.hasLogits()) {
+            a.totalAcc += segmentationAccuracy(r.result.logits,
+                                               r.processed);
+            if (!logitsFinite(r.result.logits)) {
+                ++invalid_logits;
+            }
+        }
+    }
+
+    std::cout << faulted << "/" << kFrames
+              << " frames corrupted by the injector (seed "
+              << fcfg.seed << ")\n\n";
+
+    Table table({"frame status", "frames", "mean ms/frame",
+                 "mean accuracy"});
+    for (int s = 0; s < 4; ++s) {
+        const StatusAgg &a = agg[s];
+        const auto status = static_cast<FrameStatus>(s);
+        const double n = static_cast<double>(a.frames);
+        table.row()
+            .cell(frameStatusName(status))
+            .cell(static_cast<long long>(a.frames))
+            .cell(a.frames ? a.totalMs / n : 0.0)
+            .cell(status == FrameStatus::Dropped || a.frames == 0
+                      ? "-"
+                      : formatPercent(a.totalAcc / n));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nStream health:\n";
+    robust.health().printTable(std::cout);
+
+    const bool survived =
+        robust.health().frames == kFrames && invalid_logits == 0;
+    std::cout << "\nrecovery rate: "
+              << formatPercent(robust.health().recoveryRate())
+              << (survived ? " — all frames accounted for, all logits "
+                             "finite\n"
+                           : " — INVALID LOGITS OR LOST FRAMES\n");
+    return survived ? 0 : 1;
+}

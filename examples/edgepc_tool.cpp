@@ -21,6 +21,7 @@
 
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "example_util.hpp"
 #include "neighbor/brute_force.hpp"
 #include "neighbor/metrics.hpp"
 #include "neighbor/morton_window.hpp"
@@ -46,13 +47,16 @@ endsWith(const std::string &text, const std::string &suffix)
 bool
 loadCloud(const std::string &path, PointCloud &cloud)
 {
-    const bool ok = endsWith(path, ".ply") ? readPly(path, cloud)
-                                           : readXyz(path, cloud);
-    if (!ok || cloud.empty()) {
+    // The strict loaders report *why* a file is unusable (truncated vs
+    // malformed vs unopenable) instead of a bare boolean.
+    Result<PointCloud> loaded = endsWith(path, ".ply") ? loadPly(path)
+                                                       : loadXyz(path);
+    if (!loaded.ok()) {
         std::cerr << "error: cannot read point cloud from '" << path
-                  << "'\n";
+                  << "': " << loaded.error().toString() << "\n";
         return false;
     }
+    cloud = loaded.take();
     return true;
 }
 
@@ -209,15 +213,29 @@ main(int argc, char **argv)
         return cmdStructurize(argv[2], argv[3]);
     }
     if (command == "sample" && argc >= 5) {
-        const auto n = static_cast<std::size_t>(std::atoll(argv[4]));
+        std::size_t n = 0;
+        if (!examples::parseCount(argv[4], "n",
+                                  "edgepc_tool sample <in> <out> <n> "
+                                  "[fps|morton|random|uniform]",
+                                  n)) {
+            return 2;
+        }
         const std::string method = argc >= 6 ? argv[5] : "morton";
         return cmdSample(argv[2], argv[3], n, method);
     }
     if (command == "neighbors" && argc >= 4) {
-        const auto k = static_cast<std::size_t>(std::atoll(argv[3]));
-        const auto window =
-            argc >= 5 ? static_cast<std::size_t>(std::atoll(argv[4]))
-                      : 0;
+        const std::string nb_usage =
+            "edgepc_tool neighbors <in> <k> [window]";
+        std::size_t k = 0;
+        std::size_t window = 0;
+        if (!examples::parseCount(argv[3], "k", nb_usage, k)) {
+            return 2;
+        }
+        // window 0 means W = k, so it is allowed explicitly.
+        if (argc >= 5 && std::string(argv[4]) != "0" &&
+            !examples::parseCount(argv[4], "window", nb_usage, window)) {
+            return 2;
+        }
         return cmdNeighbors(argv[2], k, window);
     }
     usage();

@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/scenes.hpp"
+#include "example_util.hpp"
 #include "models/pointnetpp.hpp"
 #include "nn/loss.hpp"
 #include "pointcloud/io.hpp"
@@ -27,11 +28,19 @@ using namespace edgepc;
 int
 main(int argc, char **argv)
 {
-    const std::size_t scenes =
-        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 32;
-    const std::size_t points =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 512;
-    const int epochs = argc > 3 ? std::atoi(argv[3]) : 12;
+    const std::string usage =
+        "indoor_segmentation [scenes] [points] [epochs]";
+    std::size_t scenes = 32;
+    std::size_t points = 512;
+    int epochs = 12;
+    if ((argc > 1 &&
+         !examples::parseCount(argv[1], "scenes", usage, scenes)) ||
+        (argc > 2 &&
+         !examples::parseCount(argv[2], "points", usage, points)) ||
+        (argc > 3 &&
+         !examples::parseCount(argv[3], "epochs", usage, epochs))) {
+        return 2;
+    }
 
     SceneOptions options;
     options.points = points;

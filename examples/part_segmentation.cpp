@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/parts.hpp"
+#include "example_util.hpp"
 #include "models/dgcnn.hpp"
 #include "nn/loss.hpp"
 #include "pointcloud/io.hpp"
@@ -28,11 +29,19 @@ using namespace edgepc;
 int
 main(int argc, char **argv)
 {
-    const std::size_t per_category =
-        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 16;
-    const std::size_t points =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
-    const int epochs = argc > 3 ? std::atoi(argv[3]) : 20;
+    const std::string usage =
+        "part_segmentation [per_category] [points] [epochs]";
+    std::size_t per_category = 16;
+    std::size_t points = 256;
+    int epochs = 20;
+    if ((argc > 1 && !examples::parseCount(argv[1], "per_category",
+                                           usage, per_category)) ||
+        (argc > 2 &&
+         !examples::parseCount(argv[2], "points", usage, points)) ||
+        (argc > 3 &&
+         !examples::parseCount(argv[3], "epochs", usage, epochs))) {
+        return 2;
+    }
 
     PartOptions options;
     options.points = points;

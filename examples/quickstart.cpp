@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "example_util.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/scenes.hpp"
 #include "models/pointnetpp.hpp"
@@ -23,8 +24,12 @@ using namespace edgepc;
 int
 main(int argc, char **argv)
 {
-    const std::size_t points =
-        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2048;
+    const std::string usage = "quickstart [num_points]";
+    std::size_t points = 2048;
+    if (argc > 1 &&
+        !examples::parseCount(argv[1], "num_points", usage, points)) {
+        return 2;
+    }
 
     // 1. A point-cloud frame (here: a synthetic indoor scan).
     Rng rng(1);

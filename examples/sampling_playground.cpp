@@ -17,6 +17,7 @@
 #include "common/timer.hpp"
 #include "datasets/bunny.hpp"
 #include "pointcloud/io.hpp"
+#include "example_util.hpp"
 #include "pointcloud/metrics.hpp"
 #include "sampling/fps.hpp"
 #include "sampling/morton_sampler.hpp"
@@ -27,10 +28,15 @@ using namespace edgepc;
 int
 main(int argc, char **argv)
 {
-    const std::size_t points =
-        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 40256;
-    const std::size_t samples =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 1024;
+    const std::string usage = "sampling_playground [points] [samples]";
+    std::size_t points = 40256;
+    std::size_t samples = 1024;
+    if ((argc > 1 &&
+         !examples::parseCount(argv[1], "points", usage, points)) ||
+        (argc > 2 &&
+         !examples::parseCount(argv[2], "samples", usage, samples))) {
+        return 2;
+    }
 
     const PointCloud bunny = bunnyLike(points, 5);
     const auto &pts = bunny.positions();

@@ -16,6 +16,7 @@
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "datasets/shapes.hpp"
+#include "example_util.hpp"
 #include "models/dgcnn.hpp"
 #include "train/trainer.hpp"
 
@@ -24,11 +25,19 @@ using namespace edgepc;
 int
 main(int argc, char **argv)
 {
-    const std::size_t per_class =
-        argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 12;
-    const std::size_t points =
-        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 256;
-    const int epochs = argc > 3 ? std::atoi(argv[3]) : 20;
+    const std::string usage =
+        "shape_classification [per_class] [points] [epochs]";
+    std::size_t per_class = 12;
+    std::size_t points = 256;
+    int epochs = 20;
+    if ((argc > 1 && !examples::parseCount(argv[1], "per_class", usage,
+                                           per_class)) ||
+        (argc > 2 &&
+         !examples::parseCount(argv[2], "points", usage, points)) ||
+        (argc > 3 &&
+         !examples::parseCount(argv[3], "epochs", usage, epochs))) {
+        return 2;
+    }
 
     ShapeOptions options;
     options.points = points;

@@ -1,0 +1,96 @@
+#include "common/error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace edgepc {
+
+namespace {
+
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n <= 0) {
+        return std::string(fmt);
+    }
+    std::string out(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case ErrorCode::EmptyCloud:
+        return "empty-cloud";
+      case ErrorCode::DegenerateGeometry:
+        return "degenerate-geometry";
+      case ErrorCode::ShapeMismatch:
+        return "shape-mismatch";
+      case ErrorCode::NonFiniteData:
+        return "non-finite-data";
+      case ErrorCode::MalformedFile:
+        return "malformed-file";
+      case ErrorCode::TruncatedFile:
+        return "truncated-file";
+      case ErrorCode::IoError:
+        return "io-error";
+      case ErrorCode::DeadlineExceeded:
+        return "deadline-exceeded";
+      case ErrorCode::FrameRejected:
+        return "frame-rejected";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+std::string
+EdgePcError::toString() const
+{
+    return std::string("[") + errorCodeName(code) + "] " + message;
+}
+
+EdgePcError
+makeError(ErrorCode code, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    EdgePcError err{code, vformat(fmt, args)};
+    va_end(args);
+    return err;
+}
+
+void
+raise(ErrorCode code, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    EdgePcError err{code, vformat(fmt, args)};
+    va_end(args);
+    log(LogLevel::Debug, "raise: %s", err.toString().c_str());
+    throw EdgePcException(std::move(err));
+}
+
+namespace detail {
+
+void
+resultAccessPanic(const char *what)
+{
+    panic("Result: bad access: %s", what);
+}
+
+} // namespace detail
+
+} // namespace edgepc

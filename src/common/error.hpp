@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Recoverable-error taxonomy: EdgePcError (code + context string),
+ * Result<T> for fallible public APIs, and raise() for data-dependent
+ * failures deep inside kernels.
+ *
+ * The repo's error policy has three tiers:
+ *  - panic()  — internal invariant violation; prints and aborts.
+ *  - fatal()  — unrecoverable user error (impossible configuration);
+ *               prints and exits.
+ *  - raise()  — data-dependent, recoverable failure (empty frame,
+ *               degenerate geometry, malformed file): throws an
+ *               EdgePcException carrying an EdgePcError so a serving
+ *               layer (see core/robust_pipeline.hpp) can catch it and
+ *               degrade gracefully instead of killing the stream.
+ *
+ * Boundary APIs that are expected to fail on ordinary input (file
+ * loaders, the pipeline entry points) return Result<T> instead of
+ * throwing, so callers handle errors as values.
+ */
+
+#ifndef EDGEPC_COMMON_ERROR_HPP
+#define EDGEPC_COMMON_ERROR_HPP
+
+#include <exception>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace edgepc {
+
+/** Classification of every recoverable failure the library reports. */
+enum class ErrorCode
+{
+    /** An argument value is outside its documented domain. */
+    InvalidArgument = 0,
+    /** A cloud / candidate set / source set is empty where points are
+        required. */
+    EmptyCloud,
+    /** Geometry degenerated (zero extent bounds, non-positive derived
+        cell or grid size). */
+    DegenerateGeometry,
+    /** Array / matrix dimensions disagree (feature-dim mismatch …). */
+    ShapeMismatch,
+    /** Input data contains NaN or Inf where finite values are needed. */
+    NonFiniteData,
+    /** A file exists but its contents do not parse. */
+    MalformedFile,
+    /** A file ended before the declared data was read. */
+    TruncatedFile,
+    /** The OS could not open / read / write a file. */
+    IoError,
+    /** A frame exceeded its processing deadline. */
+    DeadlineExceeded,
+    /** A frame was rejected by the sanitizer policy. */
+    FrameRejected,
+    /** Recoverable internal condition with no better classification. */
+    Internal,
+};
+
+/** Number of ErrorCode values (for per-code counters). */
+inline constexpr std::size_t kErrorCodeCount =
+    static_cast<std::size_t>(ErrorCode::Internal) + 1;
+
+/** Stable lower-case name of a code ("empty-cloud", "io-error", …). */
+const char *errorCodeName(ErrorCode code);
+
+/** A recoverable error: taxonomy code plus human-readable context. */
+struct EdgePcError
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+
+    /** "[empty-cloud] PointNetPP::forward: empty cloud" style string. */
+    std::string toString() const;
+};
+
+/** Build an EdgePcError with printf-style context formatting. */
+EdgePcError makeError(ErrorCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Exception wrapper used by raise(). Deep kernels cannot return
+ * Result<T> without threading it through every signature, so they
+ * throw; boundary APIs catch and convert to Result<T>.
+ */
+class EdgePcException : public std::exception
+{
+  public:
+    explicit EdgePcException(EdgePcError error)
+        : err(std::move(error)), text(err.toString())
+    {
+    }
+
+    const EdgePcError &error() const { return err; }
+    ErrorCode code() const { return err.code; }
+    const char *what() const noexcept override { return text.c_str(); }
+
+  private:
+    EdgePcError err;
+    std::string text;
+};
+
+/**
+ * Report a recoverable, data-dependent failure: throws EdgePcException
+ * with printf-style context. Replaces fatal() at call sites a serving
+ * layer must survive.
+ */
+[[noreturn]] void raise(ErrorCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Value-or-error return type for fallible boundary APIs.
+ *
+ * Holds either a T or an EdgePcError. Accessing the wrong alternative
+ * is an internal bug (panics).
+ */
+template <typename T> class Result
+{
+  public:
+    /** Success. */
+    Result(T value) : state(std::move(value)) {}
+
+    /** Failure. */
+    Result(EdgePcError error) : state(std::move(error)) {}
+
+    /** True when a value is present. */
+    bool ok() const { return std::holds_alternative<T>(state); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; panics when the result holds an error. */
+    T &value();
+    const T &value() const;
+
+    /** The error; panics when the result holds a value. */
+    const EdgePcError &error() const;
+
+    /** The error code, or ErrorCode::Internal when ok(). */
+    ErrorCode code() const
+    {
+        return ok() ? ErrorCode::Internal : error().code;
+    }
+
+    /** The value, or @p fallback when the result holds an error. */
+    T valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(state) : std::move(fallback);
+    }
+
+    /** Move the value out; panics when the result holds an error. */
+    T take() { return std::move(value()); }
+
+  private:
+    std::variant<T, EdgePcError> state;
+};
+
+/** Result<void>: success carries no value. */
+template <> class Result<void>
+{
+  public:
+    Result() = default;
+    Result(EdgePcError error) : err(std::move(error)), failed(true) {}
+
+    bool ok() const { return !failed; }
+    explicit operator bool() const { return ok(); }
+
+    const EdgePcError &error() const;
+
+    ErrorCode code() const
+    {
+        return ok() ? ErrorCode::Internal : err.code;
+    }
+
+  private:
+    EdgePcError err;
+    bool failed = false;
+};
+
+namespace detail {
+[[noreturn]] void resultAccessPanic(const char *what);
+} // namespace detail
+
+template <typename T>
+T &
+Result<T>::value()
+{
+    if (!ok()) {
+        detail::resultAccessPanic(
+            std::get<EdgePcError>(state).toString().c_str());
+    }
+    return std::get<T>(state);
+}
+
+template <typename T>
+const T &
+Result<T>::value() const
+{
+    if (!ok()) {
+        detail::resultAccessPanic(
+            std::get<EdgePcError>(state).toString().c_str());
+    }
+    return std::get<T>(state);
+}
+
+template <typename T>
+const EdgePcError &
+Result<T>::error() const
+{
+    if (ok()) {
+        detail::resultAccessPanic("error() on a successful Result");
+    }
+    return std::get<EdgePcError>(state);
+}
+
+inline const EdgePcError &
+Result<void>::error() const
+{
+    if (ok()) {
+        detail::resultAccessPanic("error() on a successful Result");
+    }
+    return err;
+}
+
+} // namespace edgepc
+
+#endif // EDGEPC_COMMON_ERROR_HPP

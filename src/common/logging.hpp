@@ -5,6 +5,10 @@
  * fatal() is for user errors (bad configuration, impossible request):
  * prints and exits cleanly. panic() is for internal invariant
  * violations: prints and aborts. Both accept printf-style formatting.
+ *
+ * For recoverable, data-dependent failures (a corrupt frame, a
+ * malformed file) use raise() from common/error.hpp instead — it
+ * throws a typed EdgePcException a serving layer can catch.
  */
 
 #ifndef EDGEPC_COMMON_LOGGING_HPP

@@ -149,6 +149,19 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
         grain);
 }
 
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+    std::future<void> future = task->get_future();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        tasks.push(Task{[task] { (*task)(); }});
+    }
+    queueCv.notify_one();
+    return future;
+}
+
 ThreadPool &
 ThreadPool::globalPool()
 {

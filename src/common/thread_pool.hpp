@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -73,6 +74,17 @@ class ThreadPool
         std::size_t begin, std::size_t end,
         const std::function<void(std::size_t, std::size_t)> &fn,
         std::size_t grain = 0);
+
+    /**
+     * Enqueue a single task and return a future for its completion.
+     *
+     * Unlike parallelFor(), the caller does not participate: the task
+     * runs on a worker thread while the caller is free to wait with a
+     * timeout (this is what the RobustPipeline deadline watchdog
+     * does). An exception thrown by @p fn is rethrown from
+     * future::get().
+     */
+    std::future<void> submit(std::function<void()> fn);
 
     /** The process-wide pool shared by the library's kernels. */
     static ThreadPool &globalPool();

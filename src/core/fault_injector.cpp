@@ -1,0 +1,119 @@
+#include "core/fault_injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/timer.hpp"
+
+namespace edgepc {
+
+FaultInjector::FaultInjector(FaultInjectorConfig cfg_)
+    : cfg(cfg_), rng(cfg_.seed)
+{
+}
+
+void
+FaultInjector::sprayNan(PointCloud &frame)
+{
+    const std::size_t hits = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.nanFraction *
+                                    static_cast<double>(frame.size())));
+    for (std::size_t h = 0; h < hits; ++h) {
+        const std::size_t i = rng.nextBelow(frame.size());
+        Vec3 &p = frame.positions()[i];
+        // Alternate between quiet NaN and +/-Inf returns.
+        switch (rng.nextBelow(3)) {
+          case 0:
+            p.x = std::numeric_limits<float>::quiet_NaN();
+            break;
+          case 1:
+            p.y = std::numeric_limits<float>::infinity();
+            break;
+          default:
+            p.z = -std::numeric_limits<float>::infinity();
+            break;
+        }
+    }
+}
+
+void
+FaultInjector::truncate(PointCloud &frame)
+{
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.truncateKeep *
+                                    static_cast<double>(frame.size())));
+    if (keep >= frame.size()) {
+        return;
+    }
+    std::vector<std::uint32_t> prefix(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+        prefix[i] = static_cast<std::uint32_t>(i);
+    }
+    frame = frame.select(prefix);
+}
+
+void
+FaultInjector::duplicate(PointCloud &frame)
+{
+    const std::size_t n = frame.size();
+    const std::size_t extra = static_cast<std::size_t>(
+        cfg.duplicateFraction * static_cast<double>(n));
+    std::vector<std::uint32_t> indices(n + extra);
+    for (std::size_t i = 0; i < n; ++i) {
+        indices[i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t i = 0; i < extra; ++i) {
+        indices[n + i] = static_cast<std::uint32_t>(rng.nextBelow(n));
+    }
+    frame = frame.select(indices);
+}
+
+InjectionReport
+FaultInjector::corrupt(PointCloud &frame)
+{
+    InjectionReport report;
+    // Draw every coin even for empty frames so the fault schedule for
+    // frame f depends only on the seed and f, not on frame contents.
+    const bool want_nan = rng.nextDouble() < cfg.nanRate;
+    const bool want_trunc = rng.nextDouble() < cfg.truncateRate;
+    const bool want_dup = rng.nextDouble() < cfg.duplicateRate;
+    spikeArmed = rng.nextDouble() < cfg.latencySpikeRate;
+    report.latencySpike = spikeArmed;
+
+    if (!frame.empty()) {
+        if (want_trunc) {
+            truncate(frame);
+            report.truncated = true;
+        }
+        if (want_dup) {
+            duplicate(frame);
+            report.duplicated = true;
+        }
+        if (want_nan) {
+            sprayNan(frame);
+            report.nanSpray = true;
+        }
+    }
+    if (report.any()) {
+        ++corrupted;
+    }
+    return report;
+}
+
+std::function<void()>
+FaultInjector::latencyHook()
+{
+    return [this] {
+        if (!spikeArmed) {
+            return;
+        }
+        // Busy-wait: a sleeping thread would also work, but spinning
+        // models a compute spike (e.g. a pathological kd-tree build)
+        // more faithfully for the energy model.
+        Timer t;
+        while (t.elapsedMs() < cfg.latencySpikeMs) {
+        }
+    };
+}
+
+} // namespace edgepc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic fault injector for robustness testing.
+ *
+ * Reproduces the failure modes of a real LiDAR front end — NaN/Inf
+ * sprays (failed range returns), truncated frames (interrupted
+ * transfers), duplicated points (multi-echo artifacts) — plus
+ * synthetic per-stage latency spikes, all driven by a seeded Rng so a
+ * chaos run is exactly repeatable. Wired into
+ * bench/bench_fault_tolerance.cpp and the lidar_stream --chaos demo.
+ */
+
+#ifndef EDGEPC_CORE_FAULT_INJECTOR_HPP
+#define EDGEPC_CORE_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace edgepc {
+
+/** Probabilities and magnitudes of the injected faults. */
+struct FaultInjectorConfig
+{
+    /** Probability a frame gets NaN/Inf coordinates sprayed into it. */
+    double nanRate = 0.15;
+
+    /** Fraction of points hit in a sprayed frame. */
+    double nanFraction = 0.05;
+
+    /** Probability a frame arrives truncated. */
+    double truncateRate = 0.1;
+
+    /** Fraction of points that survive a truncation. */
+    double truncateKeep = 0.05;
+
+    /** Probability a frame contains duplicated echo points. */
+    double duplicateRate = 0.1;
+
+    /** Fraction of points duplicated in an affected frame. */
+    double duplicateFraction = 0.5;
+
+    /** Probability of an injected latency spike on a frame. */
+    double latencySpikeRate = 0.1;
+
+    /** Spike duration (busy-wait inside the inference window), ms. */
+    double latencySpikeMs = 25.0;
+
+    /** Seed of the deterministic fault stream. */
+    std::uint64_t seed = 0xfa017;
+};
+
+/** Which faults hit one frame. */
+struct InjectionReport
+{
+    bool nanSpray = false;
+    bool truncated = false;
+    bool duplicated = false;
+    bool latencySpike = false;
+
+    bool any() const
+    {
+        return nanSpray || truncated || duplicated || latencySpike;
+    }
+};
+
+/** Seeded frame-corruption and latency-spike source. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultInjectorConfig cfg = {});
+
+    /**
+     * Corrupt @p frame in place according to the configured rates.
+     * Consumes the deterministic random stream one frame at a time, so
+     * calling this once per streamed frame reproduces the same fault
+     * schedule for a given seed.
+     */
+    InjectionReport corrupt(PointCloud &frame);
+
+    /**
+     * Latency-spike hook for RobustPipelineOptions::inferenceProlog:
+     * busy-waits latencySpikeMs inside the watchdog's deadline window
+     * whenever the last corrupt() call drew a spike.
+     */
+    std::function<void()> latencyHook();
+
+    /** Faults injected since construction. */
+    std::size_t framesCorrupted() const { return corrupted; }
+
+    const FaultInjectorConfig &config() const { return cfg; }
+
+  private:
+    void sprayNan(PointCloud &frame);
+    void truncate(PointCloud &frame);
+    void duplicate(PointCloud &frame);
+
+    FaultInjectorConfig cfg;
+    Rng rng;
+    bool spikeArmed = false;
+    std::size_t corrupted = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_CORE_FAULT_INJECTOR_HPP

@@ -24,6 +24,16 @@ InferencePipeline::run(const PointCloud &cloud)
     return runBatch({&cloud, 1});
 }
 
+Result<PipelineResult>
+InferencePipeline::tryRun(const PointCloud &cloud)
+{
+    try {
+        return runBatch({&cloud, 1});
+    } catch (const EdgePcException &e) {
+        return e.error();
+    }
+}
+
 PipelineResult
 InferencePipeline::runBatch(std::span<const PointCloud> clouds)
 {

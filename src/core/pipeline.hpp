@@ -10,6 +10,7 @@
 
 #include <span>
 
+#include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/config.hpp"
 #include "energy/energy_model.hpp"
@@ -49,8 +50,17 @@ class InferencePipeline
     InferencePipeline(PointCloudModel &model, EdgePcConfig cfg,
                       EnergyModel energy = EnergyModel());
 
-    /** Process one frame. */
+    /** Process one frame. Recoverable data errors propagate as
+        EdgePcException (see common/error.hpp). */
     PipelineResult run(const PointCloud &cloud);
+
+    /**
+     * Process one frame, returning recoverable failures (empty frame,
+     * degenerate geometry, shape mismatch, …) as an error value
+     * instead of an exception. The fault-tolerant serving layer
+     * (RobustPipeline) is built on this entry point.
+     */
+    Result<PipelineResult> tryRun(const PointCloud &cloud);
 
     /** Process a batch of frames (totals accumulate). */
     PipelineResult runBatch(std::span<const PointCloud> clouds);

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Fault-tolerant streaming wrapper around InferencePipeline.
+ *
+ * An edge deployment must survive what a benchmark never sees: frames
+ * with NaN returns, truncated transfers, degenerate geometry, and
+ * occasional latency spikes that blow the per-frame deadline. The
+ * RobustPipeline wraps the InferencePipeline with
+ *
+ *  - input sanitization (pointcloud/sanitizer.hpp),
+ *  - a soft per-frame deadline watchdog (the frame runs on a dedicated
+ *    ThreadPool worker while the caller waits with a timeout),
+ *  - a degradation ladder: full configuration -> EdgePC approximate
+ *    kernels -> reduced point budget -> frame skip, with automatic
+ *    recovery after a streak of healthy frames, and
+ *  - per-stream health telemetry (frames ok / repaired / degraded /
+ *    dropped, deadline misses, error counters by taxonomy code).
+ *
+ * One malformed frame costs one frame, never the stream.
+ */
+
+#ifndef EDGEPC_CORE_ROBUST_PIPELINE_HPP
+#define EDGEPC_CORE_ROBUST_PIPELINE_HPP
+
+#include <array>
+#include <functional>
+#include <iosfwd>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
+#include "pointcloud/sanitizer.hpp"
+
+namespace edgepc {
+
+/** How one frame fared in the robust pipeline. */
+enum class FrameStatus
+{
+    /** Clean frame, full configuration, on deadline. */
+    Ok,
+    /** Sanitizer repaired the frame; inference then succeeded. */
+    Repaired,
+    /** Frame ran under a degraded configuration (ladder level > 0). */
+    Degraded,
+    /** Frame was skipped; no logits were produced. */
+    Dropped,
+};
+
+/** Name of a status for reports ("ok", "repaired", …). */
+const char *frameStatusName(FrameStatus status);
+
+/** Options of the fault-tolerance layer. */
+struct RobustPipelineOptions
+{
+    /** Soft per-frame deadline in ms; 0 disables the watchdog. */
+    double deadlineMs = 0.0;
+
+    /** Input sanitization policy. */
+    SanitizerConfig sanitizer;
+
+    /** Point budget of the deepest degraded level (stride subsample). */
+    std::size_t degradedPointBudget = 512;
+
+    /** Consecutive healthy frames before climbing one ladder level
+        back toward the full configuration. */
+    int recoveryStreak = 3;
+
+    /**
+     * Test/chaos hook executed inside the deadline window immediately
+     * before inference (on the watchdog worker when the watchdog is
+     * active). FaultInjector::latencyHook() plugs in here.
+     */
+    std::function<void()> inferenceProlog;
+};
+
+/** Outcome of one frame through the robust pipeline. */
+struct RobustFrameResult
+{
+    FrameStatus status = FrameStatus::Dropped;
+
+    /** Ladder level the frame completed at (0 = full config). */
+    int ladderLevel = 0;
+
+    /** True when the frame finished after its soft deadline. */
+    bool deadlineMissed = false;
+
+    /** Wall-clock time spent on the frame (sanitize + all attempts). */
+    double frameMs = 0.0;
+
+    /** Inference result (valid unless status == Dropped). */
+    PipelineResult result;
+
+    /** What the sanitizer found/did. */
+    SanitizeReport sanitize;
+
+    /** The cloud that was actually inferred (post repair/degrade);
+        labels survive, so degraded-mode accuracy can be scored. */
+    PointCloud processed;
+
+    /** Why the frame was dropped (valid when status == Dropped). */
+    EdgePcError error;
+
+    bool hasLogits() const { return status != FrameStatus::Dropped; }
+};
+
+/** Aggregated per-stream health telemetry. */
+struct StreamHealth
+{
+    std::size_t frames = 0;
+    std::size_t ok = 0;
+    std::size_t repaired = 0;
+    std::size_t degraded = 0;
+    std::size_t dropped = 0;
+    std::size_t deadlineMisses = 0;
+    /** Failed inference attempts that were retried down the ladder. */
+    std::size_t retries = 0;
+
+    /** Error occurrences by taxonomy code. */
+    std::array<std::size_t, kErrorCodeCount> errorCounts{};
+
+    /** Fraction of frames that produced logits. */
+    double recoveryRate() const;
+
+    /** Record an error occurrence. */
+    void countError(const EdgePcError &error);
+
+    /** Render the telemetry as an aligned table. */
+    void printTable(std::ostream &os) const;
+};
+
+/** Fault-tolerant streaming front end over InferencePipeline. */
+class RobustPipeline
+{
+  public:
+    /** Ladder levels: 0 = full config, 1 = EdgePC approximate
+        kernels, 2 = approximate + reduced point budget. A frame that
+        fails at the last level is dropped. */
+    static constexpr int kLadderLevels = 3;
+
+    /**
+     * @param model Model to serve (not owned; must outlive this).
+     * @param cfg The full (level-0) configuration.
+     * @param opts Fault-tolerance options.
+     */
+    RobustPipeline(PointCloudModel &model, EdgePcConfig cfg,
+                   RobustPipelineOptions opts = {});
+
+    /**
+     * Process one frame end to end: sanitize, run at the current
+     * ladder level, retry down the ladder on recoverable errors,
+     * account the outcome. Never throws on malformed input and never
+     * terminates the process; the worst outcome is a Dropped frame.
+     */
+    RobustFrameResult process(const PointCloud &frame);
+
+    /** Health telemetry accumulated since construction. */
+    const StreamHealth &health() const { return stats; }
+
+    /** Current degradation ladder level (sticky across frames: the
+        last configuration that met the deadline is retried first). */
+    int ladderLevel() const { return level; }
+
+    /** Configuration the pipeline would use at @p level. */
+    EdgePcConfig configForLevel(int level) const;
+
+    const RobustPipelineOptions &options() const { return opts; }
+
+  private:
+    Result<PipelineResult> runAttempt(const PointCloud &cloud,
+                                      const EdgePcConfig &cfg,
+                                      bool &deadline_missed);
+
+    PointCloudModel &model;
+    EdgePcConfig baseCfg;
+    RobustPipelineOptions opts;
+    InferencePipeline pipeline;
+    /** Dedicated single worker so a watchdogged frame cannot starve
+        the global kernel pool. */
+    ThreadPool watchdog{1};
+    StreamHealth stats;
+    int level = 0;
+    int cleanStreak = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_CORE_ROBUST_PIPELINE_HPP

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
@@ -90,7 +91,7 @@ MortonEncoder::MortonEncoder(const Vec3 &minimum, float grid_size,
     : origin(minimum), cellSize(grid_size), axisBits(bits_per_axis)
 {
     if (grid_size <= 0.0f) {
-        fatal("MortonEncoder: grid_size must be positive (got %f)",
+        raise(ErrorCode::DegenerateGeometry, "MortonEncoder: grid_size must be positive (got %f)",
               static_cast<double>(grid_size));
     }
     if (bits_per_axis < 1 || bits_per_axis > 21) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace edgepc {
@@ -10,7 +11,7 @@ VoxelGrid::VoxelGrid(std::span<const Vec3> points, float cell_size)
     : cell(cell_size)
 {
     if (cell_size <= 0.0f) {
-        fatal("VoxelGrid: cell_size must be positive (got %f)",
+        raise(ErrorCode::DegenerateGeometry, "VoxelGrid: cell_size must be positive (got %f)",
               static_cast<double>(cell_size));
     }
     invCell = 1.0f / cell;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "neighbor/brute_force.hpp"
 #include "neighbor/morton_window.hpp"
@@ -172,7 +173,7 @@ Dgcnn::forward(const PointCloud &cloud, const EdgePcConfig &config,
                StageTimer *timer, bool train)
 {
     if (cloud.empty()) {
-        fatal("Dgcnn::forward: empty cloud");
+        raise(ErrorCode::EmptyCloud, "Dgcnn::forward: empty cloud");
     }
     trainMode = train;
     const std::size_t n = cloud.size();

@@ -1,5 +1,6 @@
 #include "models/pointnet.hpp"
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace edgepc {
@@ -65,7 +66,7 @@ PointNet::forward(const PointCloud &cloud, const EdgePcConfig &config,
 {
     (void)config; // PointNet has no sample/NS stage to approximate.
     if (cloud.empty()) {
-        fatal("PointNet::forward: empty cloud");
+        raise(ErrorCode::EmptyCloud, "PointNet::forward: empty cloud");
     }
     trainMode = train;
     const std::size_t n = cloud.size();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "neighbor/ball_query.hpp"
@@ -350,10 +351,10 @@ PointNetPP::forward(const PointCloud &cloud, const EdgePcConfig &config,
                     StageTimer *timer, bool train)
 {
     if (cloud.empty()) {
-        fatal("PointNetPP::forward: empty cloud");
+        raise(ErrorCode::EmptyCloud, "PointNetPP::forward: empty cloud");
     }
     if (cloud.featureDim() != cfg.inputFeatureDim) {
-        fatal("PointNetPP::forward: cloud feature dim %zu != model %zu",
+        raise(ErrorCode::ShapeMismatch, "PointNetPP::forward: cloud feature dim %zu != model %zu",
               cloud.featureDim(), cfg.inputFeatureDim);
     }
     trainMode = train;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
@@ -11,7 +12,7 @@ namespace edgepc {
 BallQuery::BallQuery(float radius) : r(radius)
 {
     if (radius <= 0.0f) {
-        fatal("BallQuery: radius must be positive (got %f)",
+        raise(ErrorCode::InvalidArgument, "BallQuery: radius must be positive (got %f)",
               static_cast<double>(radius));
     }
 }
@@ -21,7 +22,7 @@ BallQuery::search(std::span<const Vec3> queries,
                   std::span<const Vec3> candidates, std::size_t k)
 {
     if (candidates.empty() || k == 0) {
-        fatal("BallQuery: empty candidate set or k == 0");
+        raise(ErrorCode::EmptyCloud, "BallQuery: empty candidate set or k == 0");
     }
     k = std::min(k, candidates.size());
     const float r2 = r * r;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
@@ -32,7 +33,7 @@ BruteForceKnn::search(std::span<const Vec3> queries,
                       std::span<const Vec3> candidates, std::size_t k)
 {
     if (candidates.empty() || k == 0) {
-        fatal("BruteForceKnn: empty candidate set or k == 0");
+        raise(ErrorCode::EmptyCloud, "BruteForceKnn: empty candidate set or k == 0");
     }
     k = std::min(k, candidates.size());
 
@@ -62,7 +63,7 @@ BruteForceKnn::searchFeatureSpace(std::span<const float> queries,
                                   std::size_t dim, std::size_t k)
 {
     if (dim == 0 || candidates.empty()) {
-        fatal("searchFeatureSpace: empty candidates or dim == 0");
+        raise(ErrorCode::EmptyCloud, "searchFeatureSpace: empty candidates or dim == 0");
     }
     const std::size_t nq = queries.size() / dim;
     const std::size_t nc = candidates.size() / dim;

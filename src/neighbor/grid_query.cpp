@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "geometry/voxel_grid.hpp"
@@ -13,7 +14,7 @@ GridBallQuery::GridBallQuery(float radius, float cell_size)
     : r(radius), cell(cell_size > 0.0f ? cell_size : radius)
 {
     if (radius <= 0.0f) {
-        fatal("GridBallQuery: radius must be positive (got %f)",
+        raise(ErrorCode::InvalidArgument, "GridBallQuery: radius must be positive (got %f)",
               static_cast<double>(radius));
     }
 }
@@ -23,7 +24,7 @@ GridBallQuery::search(std::span<const Vec3> queries,
                       std::span<const Vec3> candidates, std::size_t k)
 {
     if (candidates.empty() || k == 0) {
-        fatal("GridBallQuery: empty candidate set or k == 0");
+        raise(ErrorCode::EmptyCloud, "GridBallQuery: empty candidate set or k == 0");
     }
     k = std::min(k, candidates.size());
     const float r2 = r * r;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
@@ -119,7 +120,7 @@ KdTree::radius(const Vec3 &query, float r) const
 KdTreeBallQuery::KdTreeBallQuery(float radius) : r(radius)
 {
     if (radius <= 0.0f) {
-        fatal("KdTreeBallQuery: radius must be positive (got %f)",
+        raise(ErrorCode::InvalidArgument, "KdTreeBallQuery: radius must be positive (got %f)",
               static_cast<double>(radius));
     }
 }
@@ -129,7 +130,7 @@ KdTreeBallQuery::search(std::span<const Vec3> queries,
                         std::span<const Vec3> candidates, std::size_t k)
 {
     if (candidates.empty() || k == 0) {
-        fatal("KdTreeBallQuery: empty candidate set or k == 0");
+        raise(ErrorCode::EmptyCloud, "KdTreeBallQuery: empty candidate set or k == 0");
     }
     k = std::min(k, candidates.size());
     const KdTree tree(candidates);
@@ -160,7 +161,7 @@ KdTreeKnn::search(std::span<const Vec3> queries,
                   std::span<const Vec3> candidates, std::size_t k)
 {
     if (candidates.empty() || k == 0) {
-        fatal("KdTreeKnn: empty candidate set or k == 0");
+        raise(ErrorCode::EmptyCloud, "KdTreeKnn: empty candidate set or k == 0");
     }
     k = std::min(k, candidates.size());
     const KdTree tree(candidates);

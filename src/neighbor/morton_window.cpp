@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
@@ -71,7 +72,7 @@ MortonWindowSearch::search(std::span<const Vec3> points,
                            std::size_t k) const
 {
     if (points.empty() || k == 0) {
-        fatal("MortonWindowSearch: empty cloud or k == 0");
+        raise(ErrorCode::EmptyCloud, "MortonWindowSearch: empty cloud or k == 0");
     }
     k = std::min(k, points.size());
 
@@ -90,7 +91,7 @@ MortonWindowSearch::searchAll(std::span<const Vec3> points,
                               const Structurization &s, std::size_t k) const
 {
     if (points.empty() || k == 0) {
-        fatal("MortonWindowSearch: empty cloud or k == 0");
+        raise(ErrorCode::EmptyCloud, "MortonWindowSearch: empty cloud or k == 0");
     }
     k = std::min(k, points.size());
 
@@ -114,7 +115,7 @@ MortonWindowKnn::search(std::span<const Vec3> queries,
                         std::span<const Vec3> candidates, std::size_t k)
 {
     if (candidates.empty() || k == 0) {
-        fatal("MortonWindowKnn: empty candidate set or k == 0");
+        raise(ErrorCode::EmptyCloud, "MortonWindowKnn: empty candidate set or k == 0");
     }
     const MortonSampler sampler(bits);
     const Structurization s = sampler.structurize(candidates);

@@ -42,27 +42,42 @@ writePly(const PointCloud &cloud, const std::string &path)
     return static_cast<bool>(os);
 }
 
-bool
-readPly(std::istream &is, PointCloud &cloud)
+namespace {
+
+/** Vertex counts above this are treated as header corruption (a
+    negative count read into a size_t wraps to something enormous). */
+constexpr std::size_t kMaxPlyVertices = 200u * 1000 * 1000;
+
+} // namespace
+
+Result<PointCloud>
+loadPly(std::istream &is)
 {
     std::string line;
     if (!std::getline(is, line) || line.rfind("ply", 0) != 0) {
-        return false;
+        return makeError(ErrorCode::MalformedFile,
+                         "loadPly: missing 'ply' magic");
     }
 
     std::size_t vertex_count = 0;
     std::vector<std::string> properties;
     bool in_vertex_element = false;
+    bool saw_end_header = false;
 
     while (std::getline(is, line)) {
         std::istringstream ls(line);
         std::string token;
         ls >> token;
         if (token == "end_header") {
+            saw_end_header = true;
             break;
         } else if (token == "element") {
             std::string name;
             ls >> name >> vertex_count;
+            if (!ls && name == "vertex") {
+                return makeError(ErrorCode::MalformedFile,
+                                 "loadPly: unparsable vertex count");
+            }
             in_vertex_element = (name == "vertex");
         } else if (token == "property" && in_vertex_element) {
             std::string type, name;
@@ -72,10 +87,21 @@ readPly(std::istream &is, PointCloud &cloud)
             std::string fmt;
             ls >> fmt;
             if (fmt != "ascii") {
-                warn("readPly: only ascii PLY is supported");
-                return false;
+                return makeError(ErrorCode::MalformedFile,
+                                 "loadPly: only ascii PLY is supported "
+                                 "(got '%s')",
+                                 fmt.c_str());
             }
         }
+    }
+    if (!saw_end_header) {
+        return makeError(ErrorCode::TruncatedFile,
+                         "loadPly: header ends before end_header");
+    }
+    if (vertex_count > kMaxPlyVertices) {
+        return makeError(ErrorCode::MalformedFile,
+                         "loadPly: implausible vertex count %zu",
+                         vertex_count);
     }
 
     int ix = -1, iy = -1, iz = -1, ilabel = -1;
@@ -91,8 +117,9 @@ readPly(std::istream &is, PointCloud &cloud)
         }
     }
     if (ix < 0 || iy < 0 || iz < 0) {
-        warn("readPly: vertex element lacks x/y/z properties");
-        return false;
+        return makeError(ErrorCode::MalformedFile,
+                         "loadPly: vertex element lacks x/y/z "
+                         "properties");
     }
 
     std::vector<Vec3> positions;
@@ -101,12 +128,17 @@ readPly(std::istream &is, PointCloud &cloud)
     std::vector<double> values(properties.size());
     for (std::size_t v = 0; v < vertex_count; ++v) {
         if (!std::getline(is, line)) {
-            return false;
+            return makeError(ErrorCode::TruncatedFile,
+                             "loadPly: file ends at vertex %zu of %zu",
+                             v, vertex_count);
         }
         std::istringstream ls(line);
         for (auto &value : values) {
             if (!(ls >> value)) {
-                return false;
+                return makeError(ErrorCode::MalformedFile,
+                                 "loadPly: garbage vertex row %zu "
+                                 "('%s')",
+                                 v, line.c_str());
             }
         }
         positions.push_back({static_cast<float>(values[ix]),
@@ -117,10 +149,33 @@ readPly(std::istream &is, PointCloud &cloud)
         }
     }
 
-    cloud = PointCloud(std::move(positions));
+    PointCloud cloud(std::move(positions));
     if (ilabel >= 0) {
         cloud.setLabels(std::move(labels));
     }
+    return cloud;
+}
+
+Result<PointCloud>
+loadPly(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return makeError(ErrorCode::IoError,
+                         "loadPly: cannot open '%s'", path.c_str());
+    }
+    return loadPly(is);
+}
+
+bool
+readPly(std::istream &is, PointCloud &cloud)
+{
+    Result<PointCloud> loaded = loadPly(is);
+    if (!loaded.ok()) {
+        warn("readPly: %s", loaded.error().toString().c_str());
+        return false;
+    }
+    cloud = loaded.take();
     return true;
 }
 
@@ -153,6 +208,55 @@ writeXyz(const PointCloud &cloud, const std::string &path)
         os << '\n';
     }
     return static_cast<bool>(os);
+}
+
+Result<PointCloud>
+loadXyz(std::istream &is)
+{
+    std::vector<Vec3> positions;
+    std::vector<std::int32_t> labels;
+    bool any_label = false;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::istringstream ls(line);
+        Vec3 p;
+        if (!(ls >> p.x >> p.y >> p.z)) {
+            return makeError(ErrorCode::MalformedFile,
+                             "loadXyz: garbage at line %zu ('%s')",
+                             lineno, line.c_str());
+        }
+        std::int32_t label = -1;
+        if (ls >> label) {
+            any_label = true;
+        }
+        positions.push_back(p);
+        labels.push_back(label);
+    }
+    if (positions.empty()) {
+        return makeError(ErrorCode::EmptyCloud,
+                         "loadXyz: no points in file");
+    }
+    PointCloud cloud(std::move(positions));
+    if (any_label) {
+        cloud.setLabels(std::move(labels));
+    }
+    return cloud;
+}
+
+Result<PointCloud>
+loadXyz(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return makeError(ErrorCode::IoError,
+                         "loadXyz: cannot open '%s'", path.c_str());
+    }
+    return loadXyz(is);
 }
 
 bool

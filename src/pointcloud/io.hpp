@@ -12,6 +12,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/error.hpp"
 #include "pointcloud/point_cloud.hpp"
 
 namespace edgepc {
@@ -44,8 +45,31 @@ bool readPly(std::istream &is, PointCloud &cloud);
 /** Write one "x y z [label]" line per point. */
 bool writeXyz(const PointCloud &cloud, const std::string &path);
 
-/** Read an XYZ text file ("x y z" or "x y z label" per line). */
+/** Read an XYZ text file ("x y z" or "x y z label" per line).
+    Lenient: malformed lines are skipped. */
 bool readXyz(const std::string &path, PointCloud &cloud);
+
+/**
+ * Strict PLY loader with the full error taxonomy: IoError (cannot
+ * open), MalformedFile (bad header, implausible vertex count, garbage
+ * vertex row), TruncatedFile (file ends before the declared vertices).
+ * Prefer this over readPly() in serving paths, where the distinction
+ * decides whether a retry can help.
+ */
+Result<PointCloud> loadPly(const std::string &path);
+
+/** Strict stream-based PLY loader (exposed for testing). */
+Result<PointCloud> loadPly(std::istream &is);
+
+/**
+ * Strict XYZ loader: a malformed non-comment line is MalformedFile
+ * (readXyz silently skips it), an empty file is EmptyCloud, an
+ * unopenable one IoError.
+ */
+Result<PointCloud> loadXyz(const std::string &path);
+
+/** Strict stream-based XYZ loader (exposed for testing). */
+Result<PointCloud> loadXyz(std::istream &is);
 
 } // namespace edgepc
 

@@ -1,0 +1,152 @@
+#include "pointcloud/sanitizer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace edgepc {
+
+namespace {
+
+bool
+finitePoint(const Vec3 &p)
+{
+    return std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z);
+}
+
+bool
+inRange(const Vec3 &p, float max_abs)
+{
+    return std::fabs(p.x) <= max_abs && std::fabs(p.y) <= max_abs &&
+           std::fabs(p.z) <= max_abs;
+}
+
+/** Exact-bit-pattern position key for duplicate collapse. */
+std::uint64_t
+positionKey(const Vec3 &p)
+{
+    const auto x = static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(p.x));
+    const auto y = static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(p.y));
+    const auto z = static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(p.z));
+    // splitmix-style mix of the three 32-bit patterns.
+    std::uint64_t h = x * 0x9e3779b97f4a7c15ull;
+    h ^= (y + 0xbf58476d1ce4e5b9ull) + (h << 6) + (h >> 2);
+    h ^= (z + 0x94d049bb133111ebull) + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace
+
+const char *
+sanitizePolicyName(SanitizePolicy policy)
+{
+    switch (policy) {
+      case SanitizePolicy::DropPoint:
+        return "drop-point";
+      case SanitizePolicy::Pad:
+        return "pad";
+      case SanitizePolicy::Reject:
+        return "reject";
+    }
+    return "?";
+}
+
+Result<SanitizeReport>
+sanitizeCloud(PointCloud &cloud, const SanitizerConfig &cfg)
+{
+    SanitizeReport report;
+    report.inputPoints = cloud.size();
+
+    const std::size_t n = cloud.size();
+    const std::size_t dim = cloud.featureDim();
+    const std::vector<float> &feats = cloud.features();
+
+    std::vector<std::uint32_t> keep;
+    keep.reserve(n);
+    std::unordered_set<std::uint64_t> seen;
+    if (cfg.removeDuplicates) {
+        seen.reserve(n);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec3 &p = cloud.position(i);
+        bool finite = finitePoint(p);
+        if (finite && dim > 0) {
+            for (std::size_t c = 0; c < dim && finite; ++c) {
+                finite = std::isfinite(feats[i * dim + c]);
+            }
+        }
+        if (!finite) {
+            ++report.nonFiniteDropped;
+            continue;
+        }
+        if (!inRange(p, cfg.maxAbsCoordinate)) {
+            ++report.outOfRangeDropped;
+            continue;
+        }
+        if (cfg.removeDuplicates && !seen.insert(positionKey(p)).second) {
+            ++report.duplicatesDropped;
+            continue;
+        }
+        keep.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    if (cfg.policy == SanitizePolicy::Reject) {
+        if (report.repaired() || keep.size() < cfg.minPoints) {
+            return makeError(
+                ErrorCode::FrameRejected,
+                "sanitizeCloud: frame rejected (%zu/%zu invalid, "
+                "%zu clean < %zu min)",
+                n - keep.size(), n, keep.size(), cfg.minPoints);
+        }
+        report.outputPoints = n;
+        return report;
+    }
+
+    if (keep.empty()) {
+        return makeError(ErrorCode::EmptyCloud,
+                         "sanitizeCloud: no valid points survive "
+                         "(%zu input points)",
+                         n);
+    }
+
+    if (keep.size() < n) {
+        cloud = cloud.select(keep);
+    }
+
+    if (cloud.size() < cfg.minPoints) {
+        if (cfg.policy == SanitizePolicy::Pad) {
+            // Duplicate surviving points with a deterministic jitter
+            // until the frame meets the minimum budget. Labels and
+            // features of the source point are copied verbatim.
+            Rng rng(cfg.padSeed ^ cloud.size());
+            const bool labeled = cloud.hasLabels();
+            std::vector<float> feature_row(dim);
+            while (cloud.size() < cfg.minPoints) {
+                const std::size_t src = rng.nextBelow(cloud.size());
+                Vec3 p = cloud.position(src);
+                p.x += rng.uniform(-cfg.padJitter, cfg.padJitter);
+                p.y += rng.uniform(-cfg.padJitter, cfg.padJitter);
+                p.z += rng.uniform(-cfg.padJitter, cfg.padJitter);
+                // Copy the row out: addPoint grows the feature vector
+                // and would invalidate a span into it.
+                const std::span<const float> row = cloud.feature(src);
+                std::copy(row.begin(), row.end(), feature_row.begin());
+                cloud.addPoint(p, {feature_row.data(), dim},
+                               labeled ? cloud.labels()[src] : -1);
+                ++report.padded;
+            }
+        } else {
+            report.undersized = true;
+        }
+    }
+
+    report.outputPoints = cloud.size();
+    return report;
+}
+
+} // namespace edgepc

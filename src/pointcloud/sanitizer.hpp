@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Frame sanitizer: validates and repairs incoming point-cloud frames
+ * before they reach the inference pipeline.
+ *
+ * Real sensor streams contain NaN/Inf returns (failed range
+ * measurements), duplicated echoes, absurd out-of-range coordinates
+ * and occasional near-empty frames. The sanitizer detects all of these
+ * and repairs the frame under a configurable policy so a serving layer
+ * (core/robust_pipeline.hpp) can keep streaming instead of crashing.
+ */
+
+#ifndef EDGEPC_POINTCLOUD_SANITIZER_HPP
+#define EDGEPC_POINTCLOUD_SANITIZER_HPP
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace edgepc {
+
+/** What to do with frames that contain invalid points. */
+enum class SanitizePolicy
+{
+    /** Remove invalid points; accept whatever remains. */
+    DropPoint,
+    /** Remove invalid points, then pad undersized frames back up to
+        minPoints by jittered duplication of surviving points. */
+    Pad,
+    /** Reject any frame that contains an invalid point or is
+        undersized (strict mode for offline evaluation). */
+    Reject,
+};
+
+/** Name of a policy for reports ("drop-point", "pad", "reject"). */
+const char *sanitizePolicyName(SanitizePolicy policy);
+
+/** Sanitizer configuration. */
+struct SanitizerConfig
+{
+    SanitizePolicy policy = SanitizePolicy::DropPoint;
+
+    /** Frames smaller than this are undersized (Pad pads up to it). */
+    std::size_t minPoints = 32;
+
+    /** Coordinates with |v| above this are treated as corrupt. */
+    float maxAbsCoordinate = 1.0e6f;
+
+    /** Collapse exact-duplicate positions (duplicated sensor echoes). */
+    bool removeDuplicates = true;
+
+    /** Jitter radius for Pad-policy duplicated points (meters). */
+    float padJitter = 1.0e-3f;
+
+    /** Seed of the deterministic jitter stream. */
+    std::uint64_t padSeed = 0x5eed5a71;
+};
+
+/** What the sanitizer found and did to one frame. */
+struct SanitizeReport
+{
+    std::size_t inputPoints = 0;
+    std::size_t outputPoints = 0;
+
+    /** Points removed because a coordinate or feature was NaN/Inf. */
+    std::size_t nonFiniteDropped = 0;
+
+    /** Points removed because a coordinate exceeded maxAbsCoordinate. */
+    std::size_t outOfRangeDropped = 0;
+
+    /** Exact-duplicate positions collapsed. */
+    std::size_t duplicatesDropped = 0;
+
+    /** Points synthesized to reach minPoints (Pad policy). */
+    std::size_t padded = 0;
+
+    /** True when the frame left the sanitizer below minPoints. */
+    bool undersized = false;
+
+    /** True when the sanitizer changed the frame in any way. */
+    bool repaired() const
+    {
+        return nonFiniteDropped + outOfRangeDropped + duplicatesDropped +
+                   padded >
+               0;
+    }
+};
+
+/**
+ * Validate and repair @p cloud in place under @p cfg.
+ *
+ * @return The repair report, or an error: EmptyCloud when nothing
+ *         survives cleaning, FrameRejected when the Reject policy
+ *         refuses the frame.
+ */
+Result<SanitizeReport> sanitizeCloud(PointCloud &cloud,
+                                     const SanitizerConfig &cfg = {});
+
+} // namespace edgepc
+
+#endif // EDGEPC_POINTCLOUD_SANITIZER_HPP

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 
@@ -59,7 +60,7 @@ exactInterpolation(std::span<const Vec3> targets,
                    std::span<const Vec3> sources, std::size_t k)
 {
     if (sources.empty()) {
-        fatal("exactInterpolation: empty source set");
+        raise(ErrorCode::EmptyCloud, "exactInterpolation: empty source set");
     }
     k = std::min(k, sources.size());
 
@@ -95,7 +96,7 @@ MortonUpsampler::plan(std::span<const Vec3> points,
     const std::size_t total = points.size();
     const std::size_t n = samples.size();
     if (n == 0) {
-        fatal("MortonUpsampler: empty sample set");
+        raise(ErrorCode::EmptyCloud, "MortonUpsampler: empty sample set");
     }
     const std::size_t k = std::min(numSources, n);
 

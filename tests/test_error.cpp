@@ -1,0 +1,101 @@
+/** @file Unit tests for the EdgePcError / Result<T> taxonomy. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(Error, CodeNamesAreStableAndUnique)
+{
+    std::set<std::string> names;
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+        const std::string name =
+            errorCodeName(static_cast<ErrorCode>(c));
+        EXPECT_NE(name, "?") << "code " << c << " has no name";
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name '" << name << "'";
+    }
+    EXPECT_EQ(names.size(), kErrorCodeCount);
+}
+
+TEST(Error, MakeErrorFormatsContext)
+{
+    const EdgePcError err =
+        makeError(ErrorCode::ShapeMismatch, "dim %d != %d", 3, 7);
+    EXPECT_EQ(err.code, ErrorCode::ShapeMismatch);
+    EXPECT_EQ(err.message, "dim 3 != 7");
+    EXPECT_EQ(err.toString(), "[shape-mismatch] dim 3 != 7");
+}
+
+TEST(Error, RaiseThrowsWithCodeAndMessage)
+{
+    try {
+        raise(ErrorCode::EmptyCloud, "frame %d is empty", 42);
+        FAIL() << "raise returned";
+    } catch (const EdgePcException &e) {
+        EXPECT_EQ(e.code(), ErrorCode::EmptyCloud);
+        EXPECT_EQ(e.error().message, "frame 42 is empty");
+        EXPECT_NE(std::string(e.what()).find("empty-cloud"),
+                  std::string::npos);
+    }
+}
+
+TEST(Result, ValueRoundTrip)
+{
+    Result<int> r(7);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 7);
+    EXPECT_EQ(r.valueOr(9), 7);
+    r.value() = 8;
+    EXPECT_EQ(r.take(), 8);
+}
+
+TEST(Result, ErrorRoundTrip)
+{
+    // Every code survives the trip through Result.
+    for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+        const auto code = static_cast<ErrorCode>(c);
+        Result<int> r(makeError(code, "ctx %zu", c));
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.code(), code);
+        EXPECT_EQ(r.error().message, "ctx " + std::to_string(c));
+        EXPECT_EQ(r.valueOr(-1), -1);
+    }
+}
+
+TEST(Result, VoidSpecialization)
+{
+    Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+
+    Result<void> bad(makeError(ErrorCode::IoError, "disk gone"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), ErrorCode::IoError);
+    EXPECT_EQ(bad.error().message, "disk gone");
+}
+
+TEST(Result, MoveOnlyFriendly)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> p = r.take();
+    EXPECT_EQ(*p, 5);
+}
+
+TEST(ResultDeathTest, WrongAlternativePanics)
+{
+    Result<int> err(makeError(ErrorCode::Internal, "boom"));
+    EXPECT_DEATH((void)err.value(), "bad access");
+    Result<int> val(1);
+    EXPECT_DEATH((void)val.error(), "bad access");
+}
+
+} // namespace
+} // namespace edgepc

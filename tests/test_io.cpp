@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "pointcloud/io.hpp"
@@ -75,6 +76,134 @@ TEST(Io, MissingFileFails)
     PointCloud loaded;
     EXPECT_FALSE(readPly("/nonexistent/file.ply", loaded));
     EXPECT_FALSE(readXyz("/nonexistent/file.xyz", loaded));
+}
+
+// --- Strict loaders: malformed-file taxonomy -----------------------
+
+namespace {
+std::string
+plyHeader(const std::string &count_line)
+{
+    return "ply\nformat ascii 1.0\n" + count_line +
+           "\nproperty float x\nproperty float y\nproperty float z\n"
+           "end_header\n";
+}
+} // namespace
+
+TEST(IoStrict, LoadPlyRoundTrip)
+{
+    PointCloud cloud({{1, 2, 3}, {4, 5, 6}});
+    cloud.setLabels({1, 2});
+    std::stringstream ss;
+    writePly(cloud, ss);
+
+    const auto r = loadPly(ss);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    EXPECT_EQ(r.value().size(), 2u);
+    EXPECT_EQ(r.value().labels()[1], 2);
+}
+
+TEST(IoStrict, MissingMagicIsMalformed)
+{
+    std::stringstream ss("not a ply file\n");
+    const auto r = loadPly(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::MalformedFile);
+}
+
+TEST(IoStrict, TruncatedVerticesIsTruncatedFile)
+{
+    // Declares 5 vertices, provides 2.
+    std::stringstream ss(plyHeader("element vertex 5") +
+                         "0 0 0\n1 1 1\n");
+    const auto r = loadPly(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::TruncatedFile);
+}
+
+TEST(IoStrict, MissingEndHeaderIsTruncatedFile)
+{
+    std::stringstream ss(
+        "ply\nformat ascii 1.0\nelement vertex 1\n"
+        "property float x\nproperty float y\nproperty float z\n");
+    const auto r = loadPly(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::TruncatedFile);
+}
+
+TEST(IoStrict, GarbageVertexRowIsMalformed)
+{
+    std::stringstream ss(plyHeader("element vertex 2") +
+                         "0 0 0\npotato banana cabbage\n");
+    const auto r = loadPly(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::MalformedFile);
+}
+
+TEST(IoStrict, ImplausibleVertexCountIsMalformed)
+{
+    std::stringstream ss(plyHeader("element vertex 99999999999"));
+    const auto r = loadPly(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::MalformedFile);
+}
+
+TEST(IoStrict, MissingXyzPropertiesIsMalformed)
+{
+    std::stringstream ss(
+        "ply\nformat ascii 1.0\nelement vertex 1\n"
+        "property float nx\nproperty float ny\nproperty float nz\n"
+        "end_header\n0 0 0\n");
+    const auto r = loadPly(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::MalformedFile);
+}
+
+TEST(IoStrict, MissingFilesAreIoError)
+{
+    EXPECT_EQ(loadPly("/nonexistent/file.ply").code(),
+              ErrorCode::IoError);
+    EXPECT_EQ(loadXyz("/nonexistent/file.xyz").code(),
+              ErrorCode::IoError);
+}
+
+TEST(IoStrict, XyzGarbageLineIsMalformed)
+{
+    std::stringstream ss("1 2 3\nnot numbers here\n4 5 6\n");
+    const auto r = loadXyz(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::MalformedFile);
+
+    // The lenient reader still accepts the same stream.
+    std::stringstream again("1 2 3\nnot numbers here\n4 5 6\n");
+    const std::string path = "/tmp/edgepc_io_lenient.xyz";
+    {
+        std::ofstream out(path);
+        out << again.str();
+    }
+    PointCloud loaded;
+    ASSERT_TRUE(readXyz(path, loaded));
+    EXPECT_EQ(loaded.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(IoStrict, XyzEmptyIsEmptyCloud)
+{
+    std::stringstream ss("# only a comment\n");
+    const auto r = loadXyz(ss);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::EmptyCloud);
+}
+
+TEST(IoStrict, XyzRoundTripWithLabels)
+{
+    std::stringstream ss("1 2 3 7\n4 5 6 9\n");
+    const auto r = loadXyz(ss);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    ASSERT_EQ(r.value().size(), 2u);
+    ASSERT_TRUE(r.value().hasLabels());
+    EXPECT_EQ(r.value().labels()[0], 7);
+    EXPECT_EQ(r.value().labels()[1], 9);
 }
 
 } // namespace

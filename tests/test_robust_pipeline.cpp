@@ -1,0 +1,253 @@
+/**
+ * @file Integration tests of the fault-tolerance layer: a
+ * fault-injected stream must complete with correct accounting and no
+ * process exit, and the degradation ladder must escalate and recover.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "core/fault_injector.hpp"
+#include "core/robust_pipeline.hpp"
+#include "datasets/scenes.hpp"
+#include "models/pointnetpp.hpp"
+
+namespace edgepc {
+namespace {
+
+constexpr std::size_t kPoints = 192;
+
+std::vector<PointCloud>
+makeStream(std::size_t frames, std::uint64_t seed)
+{
+    Rng rng(seed);
+    SceneOptions options;
+    options.points = kPoints;
+    std::vector<PointCloud> stream;
+    stream.reserve(frames);
+    for (std::size_t f = 0; f < frames; ++f) {
+        stream.push_back(makeScene(options, rng));
+    }
+    return stream;
+}
+
+bool
+logitsFinite(const nn::Matrix &logits)
+{
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+        for (std::size_t c = 0; c < logits.cols(); ++c) {
+            if (!std::isfinite(logits.at(i, c))) {
+                return false;
+            }
+        }
+    }
+    return logits.rows() > 0;
+}
+
+TEST(RobustPipeline, CleanStreamIsAllOk)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipeline robust(model, EdgePcConfig::sn());
+
+    for (const PointCloud &frame : makeStream(4, 11)) {
+        const RobustFrameResult r = robust.process(frame);
+        EXPECT_EQ(r.status, FrameStatus::Ok);
+        EXPECT_EQ(r.ladderLevel, 0);
+        EXPECT_TRUE(logitsFinite(r.result.logits));
+    }
+    EXPECT_EQ(robust.health().ok, 4u);
+    EXPECT_EQ(robust.health().dropped, 0u);
+    EXPECT_DOUBLE_EQ(robust.health().recoveryRate(), 1.0);
+}
+
+TEST(RobustPipeline, EmptyFrameIsDroppedNotFatal)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipeline robust(model, EdgePcConfig::sn());
+
+    const RobustFrameResult r = robust.process(PointCloud{});
+    EXPECT_EQ(r.status, FrameStatus::Dropped);
+    EXPECT_EQ(r.error.code, ErrorCode::EmptyCloud);
+    EXPECT_FALSE(r.hasLogits());
+    EXPECT_EQ(robust.health().dropped, 1u);
+    EXPECT_EQ(robust.health()
+                  .errorCounts[static_cast<std::size_t>(
+                      ErrorCode::EmptyCloud)],
+              1u);
+
+    // The stream continues afterwards.
+    const RobustFrameResult next = robust.process(makeStream(1, 12)[0]);
+    EXPECT_EQ(next.status, FrameStatus::Ok);
+}
+
+TEST(RobustPipeline, NanFrameIsRepaired)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipelineOptions opts;
+    opts.sanitizer.minPoints = 16;
+    RobustPipeline robust(model, EdgePcConfig::sn(), opts);
+
+    PointCloud frame = makeStream(1, 13)[0];
+    frame.positions()[0].x = std::numeric_limits<float>::quiet_NaN();
+    frame.positions()[1].y = std::numeric_limits<float>::infinity();
+
+    const RobustFrameResult r = robust.process(frame);
+    EXPECT_EQ(r.status, FrameStatus::Repaired);
+    EXPECT_EQ(r.sanitize.nonFiniteDropped, 2u);
+    EXPECT_TRUE(logitsFinite(r.result.logits));
+    EXPECT_EQ(r.processed.size(), frame.size() - 2);
+}
+
+TEST(RobustPipeline, RejectPolicyDropsCorruptFrames)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipelineOptions opts;
+    opts.sanitizer.policy = SanitizePolicy::Reject;
+    opts.sanitizer.minPoints = 16;
+    RobustPipeline robust(model, EdgePcConfig::sn(), opts);
+
+    PointCloud frame = makeStream(1, 14)[0];
+    frame.positions()[0].x = std::numeric_limits<float>::quiet_NaN();
+
+    const RobustFrameResult r = robust.process(frame);
+    EXPECT_EQ(r.status, FrameStatus::Dropped);
+    EXPECT_EQ(r.error.code, ErrorCode::FrameRejected);
+}
+
+TEST(RobustPipeline, DeadlineMissEscalatesAndRecovers)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+
+    // A hook that sleeps far past the deadline for the first frame
+    // only — a controlled latency spike.
+    int calls = 0;
+    RobustPipelineOptions opts;
+    opts.deadlineMs = 40.0;
+    opts.recoveryStreak = 2;
+    opts.inferenceProlog = [&calls] {
+        if (calls++ == 0) {
+            Timer t;
+            while (t.elapsedMs() < 120.0) {
+            }
+        }
+    };
+    RobustPipeline robust(model, EdgePcConfig::sn(), opts);
+
+    const std::vector<PointCloud> stream = makeStream(6, 15);
+
+    // Frame 0: completes (soft timeout) but misses the deadline.
+    const RobustFrameResult first = robust.process(stream[0]);
+    EXPECT_TRUE(first.deadlineMissed);
+    EXPECT_TRUE(first.hasLogits());
+    EXPECT_EQ(robust.health().deadlineMisses, 1u);
+    EXPECT_GT(robust.ladderLevel(), 0);
+
+    // Subsequent frames run degraded, then the ladder climbs back.
+    for (std::size_t f = 1; f < stream.size(); ++f) {
+        const RobustFrameResult r = robust.process(stream[f]);
+        EXPECT_TRUE(r.hasLogits());
+    }
+    EXPECT_EQ(robust.ladderLevel(), 0);
+    EXPECT_GT(robust.health().degraded, 0u);
+}
+
+TEST(RobustPipeline, DegradedLevelCutsPointBudget)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipelineOptions opts;
+    opts.degradedPointBudget = 64;
+    opts.recoveryStreak = 100; // stay degraded for the whole test
+    RobustPipeline robust(model, EdgePcConfig::sn(), opts);
+
+    // Level 1 switches baseline configs to the approximate kernels;
+    // an already-approximate config stays put at every level.
+    EXPECT_EQ(robust.configForLevel(0).variant, PipelineVariant::SN);
+    EXPECT_EQ(robust.configForLevel(2).variant, PipelineVariant::SN);
+
+    RobustPipeline from_baseline(model, EdgePcConfig::baseline(), opts);
+    EXPECT_EQ(from_baseline.configForLevel(0).variant,
+              PipelineVariant::Baseline);
+    EXPECT_EQ(from_baseline.configForLevel(1).variant,
+              PipelineVariant::SN);
+}
+
+TEST(RobustPipeline, FaultInjectedStreamCompletesWithAccounting)
+{
+    const std::size_t kFrames = 64;
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+
+    RobustPipelineOptions opts;
+    opts.deadlineMs = 250.0;
+    opts.sanitizer.policy = SanitizePolicy::Pad;
+    opts.sanitizer.minPoints = 32;
+    opts.degradedPointBudget = 64;
+
+    FaultInjectorConfig fcfg;
+    fcfg.nanRate = 0.3;
+    fcfg.truncateRate = 0.2;
+    fcfg.duplicateRate = 0.2;
+    fcfg.latencySpikeRate = 0.15;
+    fcfg.latencySpikeMs = 400.0;
+    fcfg.seed = 99;
+    FaultInjector injector(fcfg);
+    opts.inferenceProlog = injector.latencyHook();
+
+    RobustPipeline robust(model, EdgePcConfig::sn(), opts);
+
+    std::size_t faulted = 0;
+    std::size_t with_logits = 0;
+    for (PointCloud &frame : makeStream(kFrames, 2024)) {
+        if (injector.corrupt(frame).any()) {
+            ++faulted;
+        }
+        const RobustFrameResult r = robust.process(frame);
+        if (r.hasLogits()) {
+            ++with_logits;
+            EXPECT_TRUE(logitsFinite(r.result.logits));
+        }
+    }
+
+    const StreamHealth &h = robust.health();
+    // The injector must have hit well over 25% of the stream.
+    EXPECT_GE(faulted, kFrames / 4);
+    EXPECT_EQ(h.frames, kFrames);
+    EXPECT_EQ(h.ok + h.repaired + h.degraded + h.dropped, kFrames);
+    // Faults leave visible fingerprints in the telemetry...
+    EXPECT_GT(h.repaired + h.degraded, 0u);
+    EXPECT_GT(h.deadlineMisses, 0u);
+    // ...but the stream survives: every non-dropped frame has logits.
+    EXPECT_EQ(with_logits, kFrames - h.dropped);
+    EXPECT_GT(h.recoveryRate(), 0.9);
+}
+
+TEST(FaultInjector, DeterministicSchedule)
+{
+    FaultInjectorConfig fcfg;
+    fcfg.seed = 5;
+    FaultInjector a(fcfg), b(fcfg);
+    for (PointCloud &frame : makeStream(8, 21)) {
+        PointCloud fa = frame, fb = frame;
+        const InjectionReport ra = a.corrupt(fa);
+        const InjectionReport rb = b.corrupt(fb);
+        EXPECT_EQ(ra.nanSpray, rb.nanSpray);
+        EXPECT_EQ(ra.truncated, rb.truncated);
+        EXPECT_EQ(ra.duplicated, rb.duplicated);
+        EXPECT_EQ(ra.latencySpike, rb.latencySpike);
+        ASSERT_EQ(fa.size(), fb.size());
+        for (std::size_t i = 0; i < fa.size(); ++i) {
+            // NaN != NaN, so compare bit patterns via memcmp-free
+            // check: either both finite and equal, or both non-finite.
+            const bool fin_a = std::isfinite(fa.position(i).x);
+            const bool fin_b = std::isfinite(fb.position(i).x);
+            EXPECT_EQ(fin_a, fin_b);
+            if (fin_a && fin_b) {
+                EXPECT_EQ(fa.position(i), fb.position(i));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace edgepc

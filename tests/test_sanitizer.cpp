@@ -1,0 +1,239 @@
+/** @file Unit + property tests for the frame sanitizer. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "pointcloud/sanitizer.hpp"
+
+namespace edgepc {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+PointCloud
+cleanCloud(std::size_t n, Rng &rng)
+{
+    std::vector<Vec3> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({rng.uniform(-1.0f, 1.0f),
+                       rng.uniform(-1.0f, 1.0f),
+                       rng.uniform(-1.0f, 1.0f)});
+    }
+    return PointCloud(std::move(pts));
+}
+
+bool
+allFinite(const PointCloud &cloud)
+{
+    for (const Vec3 &p : cloud.positions()) {
+        if (!std::isfinite(p.x) || !std::isfinite(p.y) ||
+            !std::isfinite(p.z)) {
+            return false;
+        }
+    }
+    for (const float f : cloud.features()) {
+        if (!std::isfinite(f)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(Sanitizer, CleanFramePassesUntouched)
+{
+    Rng rng(1);
+    PointCloud cloud = cleanCloud(64, rng);
+    const PointCloud before = cloud;
+
+    const auto r = sanitizeCloud(cloud);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    EXPECT_FALSE(r.value().repaired());
+    EXPECT_EQ(r.value().outputPoints, 64u);
+    EXPECT_EQ(cloud.size(), before.size());
+}
+
+TEST(Sanitizer, DropsNanAndInfPoints)
+{
+    Rng rng(2);
+    PointCloud cloud = cleanCloud(16, rng);
+    cloud.positions()[3].x = kNan;
+    cloud.positions()[7].y = kInf;
+    cloud.positions()[11].z = -kInf;
+
+    const auto r = sanitizeCloud(cloud);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().nonFiniteDropped, 3u);
+    EXPECT_EQ(cloud.size(), 13u);
+    EXPECT_TRUE(allFinite(cloud));
+}
+
+TEST(Sanitizer, DropsNonFiniteFeatureRows)
+{
+    Rng rng(3);
+    PointCloud cloud = cleanCloud(8, rng);
+    std::vector<float> feats(8 * 2, 0.5f);
+    feats[2 * 2 + 1] = kNan;
+    cloud.setFeatures(std::move(feats), 2);
+
+    const auto r = sanitizeCloud(cloud);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().nonFiniteDropped, 1u);
+    EXPECT_EQ(cloud.size(), 7u);
+    EXPECT_EQ(cloud.features().size(), 7u * 2);
+}
+
+TEST(Sanitizer, DropsOutOfRangeCoordinates)
+{
+    Rng rng(4);
+    PointCloud cloud = cleanCloud(8, rng);
+    cloud.positions()[0] = {1.0e9f, 0.0f, 0.0f};
+
+    const auto r = sanitizeCloud(cloud);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().outOfRangeDropped, 1u);
+    EXPECT_EQ(cloud.size(), 7u);
+}
+
+TEST(Sanitizer, CollapsesExactDuplicates)
+{
+    PointCloud cloud({{1, 2, 3}, {1, 2, 3}, {4, 5, 6}, {1, 2, 3}});
+    cloud.setLabels({0, 1, 2, 3});
+
+    SanitizerConfig cfg;
+    cfg.minPoints = 1;
+    const auto r = sanitizeCloud(cloud, cfg);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().duplicatesDropped, 2u);
+    ASSERT_EQ(cloud.size(), 2u);
+    // The first occurrence (and its label) survives.
+    EXPECT_EQ(cloud.labels()[0], 0);
+    EXPECT_EQ(cloud.labels()[1], 2);
+}
+
+TEST(Sanitizer, PadPolicyRestoresMinimumBudget)
+{
+    Rng rng(5);
+    PointCloud cloud = cleanCloud(8, rng);
+    cloud.positions()[0].x = kNan;
+
+    SanitizerConfig cfg;
+    cfg.policy = SanitizePolicy::Pad;
+    cfg.minPoints = 32;
+    const auto r = sanitizeCloud(cloud, cfg);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(cloud.size(), 32u);
+    EXPECT_EQ(r.value().padded, 32u - 7u);
+    EXPECT_FALSE(r.value().undersized);
+    EXPECT_TRUE(allFinite(cloud));
+}
+
+TEST(Sanitizer, PadIsDeterministic)
+{
+    Rng rng(6);
+    const PointCloud base = cleanCloud(4, rng);
+
+    SanitizerConfig cfg;
+    cfg.policy = SanitizePolicy::Pad;
+    cfg.minPoints = 16;
+    cfg.removeDuplicates = false;
+
+    PointCloud a = base, b = base;
+    ASSERT_TRUE(sanitizeCloud(a, cfg).ok());
+    ASSERT_TRUE(sanitizeCloud(b, cfg).ok());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.position(i), b.position(i));
+    }
+}
+
+TEST(Sanitizer, DropPolicyReportsUndersized)
+{
+    Rng rng(7);
+    PointCloud cloud = cleanCloud(8, rng);
+    SanitizerConfig cfg;
+    cfg.minPoints = 32;
+    const auto r = sanitizeCloud(cloud, cfg);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().undersized);
+    EXPECT_EQ(cloud.size(), 8u);
+}
+
+TEST(Sanitizer, RejectPolicyRefusesCorruptFrames)
+{
+    Rng rng(8);
+    PointCloud corrupt = cleanCloud(64, rng);
+    corrupt.positions()[5].y = kNan;
+
+    SanitizerConfig cfg;
+    cfg.policy = SanitizePolicy::Reject;
+    const auto r = sanitizeCloud(corrupt, cfg);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::FrameRejected);
+
+    PointCloud clean = cleanCloud(64, rng);
+    EXPECT_TRUE(sanitizeCloud(clean, cfg).ok());
+}
+
+TEST(Sanitizer, FullyCorruptFrameIsEmptyCloudError)
+{
+    PointCloud cloud({{kNan, 0, 0}, {0, kInf, 0}});
+    const auto r = sanitizeCloud(cloud);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::EmptyCloud);
+}
+
+/** Property: whatever the corruption, DropPoint/Pad output is always
+    finite, in range, and array-consistent. */
+TEST(Sanitizer, PropertyRandomCorruptionAlwaysRepaired)
+{
+    Rng rng(0xC0FFEE);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 8 + rng.nextBelow(120);
+        PointCloud cloud = cleanCloud(n, rng);
+        std::vector<std::int32_t> labels(n, 1);
+        cloud.setLabels(std::move(labels));
+
+        // Random corruption: up to half the points.
+        const std::size_t hits = rng.nextBelow(n / 2 + 1);
+        for (std::size_t h = 0; h < hits; ++h) {
+            Vec3 &p = cloud.positions()[rng.nextBelow(n)];
+            switch (rng.nextBelow(4)) {
+              case 0:
+                p.x = kNan;
+                break;
+              case 1:
+                p.y = kInf;
+                break;
+              case 2:
+                p.z = -kInf;
+                break;
+              default:
+                p.x = 1.0e8f;
+                break;
+            }
+        }
+
+        SanitizerConfig cfg;
+        cfg.policy = (trial % 2 == 0) ? SanitizePolicy::DropPoint
+                                      : SanitizePolicy::Pad;
+        cfg.minPoints = 16;
+        const auto r = sanitizeCloud(cloud, cfg);
+        ASSERT_TRUE(r.ok()) << r.error().toString();
+        EXPECT_TRUE(allFinite(cloud)) << "trial " << trial;
+        EXPECT_EQ(cloud.labels().size(), cloud.size());
+        if (cfg.policy == SanitizePolicy::Pad) {
+            EXPECT_GE(cloud.size(), cfg.minPoints);
+        }
+        for (const Vec3 &p : cloud.positions()) {
+            EXPECT_LE(std::fabs(p.x), cfg.maxAbsCoordinate + 1.0f);
+        }
+    }
+}
+
+} // namespace
+} // namespace edgepc
