@@ -143,7 +143,9 @@ main(int argc, char **argv)
         if (chaos && injector.corrupt(working).any()) {
             ++faulted;
         }
-        robust.process(working);
+        // Per-frame outcome deliberately unused: the demo reports the
+        // aggregated StreamHealth table after the loop.
+        (void)robust.process(working);
     }
 
     if (chaos) {

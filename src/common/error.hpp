@@ -114,8 +114,12 @@ class EdgePcException : public std::exception
  *
  * Holds either a T or an EdgePcError. Accessing the wrong alternative
  * is an internal bug (panics).
+ *
+ * The class is [[nodiscard]]: silently dropping a Result loses the
+ * error, so a deliberate discard must be spelled `(void)call();` with
+ * a comment (enforced by edgepc-lint rule R2).
  */
-template <typename T> class Result
+template <typename T> class [[nodiscard]] Result
 {
   public:
     /** Success. */
@@ -155,7 +159,7 @@ template <typename T> class Result
 };
 
 /** Result<void>: success carries no value. */
-template <> class Result<void>
+template <> class [[nodiscard]] Result<void>
 {
   public:
     Result() = default;

@@ -60,7 +60,7 @@ class InferencePipeline
      * instead of an exception. The fault-tolerant serving layer
      * (RobustPipeline) is built on this entry point.
      */
-    Result<PipelineResult> tryRun(const PointCloud &cloud);
+    [[nodiscard]] Result<PipelineResult> tryRun(const PointCloud &cloud);
 
     /** Process a batch of frames (totals accumulate). */
     PipelineResult runBatch(std::span<const PointCloud> clouds);

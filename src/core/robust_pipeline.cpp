@@ -42,6 +42,24 @@ StreamHealth::countError(const EdgePcError &error)
     errorCounts[static_cast<std::size_t>(error.code)]++;
 }
 
+StreamHealth
+RobustPipeline::AtomicHealth::snapshot() const
+{
+    StreamHealth out;
+    out.frames = frames.load(std::memory_order_relaxed);
+    out.ok = ok.load(std::memory_order_relaxed);
+    out.repaired = repaired.load(std::memory_order_relaxed);
+    out.degraded = degraded.load(std::memory_order_relaxed);
+    out.dropped = dropped.load(std::memory_order_relaxed);
+    out.deadlineMisses = deadlineMisses.load(std::memory_order_relaxed);
+    out.retries = retries.load(std::memory_order_relaxed);
+    for (std::size_t c = 0; c < out.errorCounts.size(); ++c) {
+        out.errorCounts[c] = errorCounts[c].load(
+            std::memory_order_relaxed);
+    }
+    return out;
+}
+
 void
 StreamHealth::printTable(std::ostream &os) const
 {
@@ -130,7 +148,7 @@ RobustPipeline::process(const PointCloud &frame)
 {
     Timer wall;
     RobustFrameResult out;
-    ++stats.frames;
+    stats.bump(stats.frames);
 
     // --- Sanitize ---------------------------------------------------
     out.processed = frame;
@@ -141,7 +159,7 @@ RobustPipeline::process(const PointCloud &frame)
         out.error = sanitized.error();
         out.frameMs = wall.elapsedMs();
         stats.countError(out.error);
-        ++stats.dropped;
+        stats.bump(stats.dropped);
         cleanStreak = 0;
         return out;
     }
@@ -152,7 +170,8 @@ RobustPipeline::process(const PointCloud &frame)
     // miss the stream keeps serving at the degraded level (the last
     // good configuration) and only climbs back after recoveryStreak
     // healthy frames.
-    for (int lvl = level; lvl < kLadderLevels; ++lvl) {
+    for (int lvl = level.load(std::memory_order_relaxed);
+         lvl < kLadderLevels; ++lvl) {
         PointCloud attempt_cloud = out.processed;
         if (lvl >= 2 && attempt_cloud.size() > opts.degradedPointBudget) {
             attempt_cloud = attempt_cloud.select(
@@ -165,10 +184,11 @@ RobustPipeline::process(const PointCloud &frame)
             runAttempt(attempt_cloud, configForLevel(lvl), missed);
         if (!run.ok()) {
             stats.countError(run.error());
-            ++stats.retries;
+            stats.bump(stats.retries);
             out.error = run.error();
             cleanStreak = 0;
-            level = std::min(lvl + 1, kLadderLevels - 1);
+            level.store(std::min(lvl + 1, kLadderLevels - 1),
+                        std::memory_order_relaxed);
             continue;
         }
 
@@ -178,26 +198,28 @@ RobustPipeline::process(const PointCloud &frame)
         out.processed = std::move(attempt_cloud);
 
         if (missed) {
-            ++stats.deadlineMisses;
+            stats.bump(stats.deadlineMisses);
             cleanStreak = 0;
-            level = std::min(lvl + 1, kLadderLevels - 1);
+            level.store(std::min(lvl + 1, kLadderLevels - 1),
+                        std::memory_order_relaxed);
         } else {
             ++cleanStreak;
-            if (cleanStreak >= opts.recoveryStreak && level > 0) {
-                --level;
+            if (cleanStreak >= opts.recoveryStreak &&
+                level.load(std::memory_order_relaxed) > 0) {
+                level.fetch_sub(1, std::memory_order_relaxed);
                 cleanStreak = 0;
             }
         }
 
         if (lvl > 0) {
             out.status = FrameStatus::Degraded;
-            ++stats.degraded;
+            stats.bump(stats.degraded);
         } else if (out.sanitize.repaired()) {
             out.status = FrameStatus::Repaired;
-            ++stats.repaired;
+            stats.bump(stats.repaired);
         } else {
             out.status = FrameStatus::Ok;
-            ++stats.ok;
+            stats.bump(stats.ok);
         }
         out.frameMs = wall.elapsedMs();
         return out;
@@ -210,7 +232,7 @@ RobustPipeline::process(const PointCloud &frame)
                               "process: all ladder levels failed");
     }
     out.frameMs = wall.elapsedMs();
-    ++stats.dropped;
+    stats.bump(stats.dropped);
     cleanStreak = 0;
     return out;
 }

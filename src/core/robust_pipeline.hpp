@@ -23,6 +23,7 @@
 #define EDGEPC_CORE_ROBUST_PIPELINE_HPP
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 
@@ -103,7 +104,13 @@ struct RobustFrameResult
     bool hasLogits() const { return status != FrameStatus::Dropped; }
 };
 
-/** Aggregated per-stream health telemetry. */
+/**
+ * Aggregated per-stream health telemetry.
+ *
+ * This is a plain value snapshot: RobustPipeline keeps the live
+ * counters in atomics and health() materializes one of these, so a
+ * monitor thread can poll while the stream thread keeps processing.
+ */
 struct StreamHealth
 {
     std::size_t frames = 0;
@@ -150,15 +157,29 @@ class RobustPipeline
      * ladder level, retry down the ladder on recoverable errors,
      * account the outcome. Never throws on malformed input and never
      * terminates the process; the worst outcome is a Dropped frame.
+     *
+     * One stream, one caller: process() must not be invoked
+     * concurrently. health() and ladderLevel() ARE safe to call from
+     * other threads while a frame is in flight.
      */
-    RobustFrameResult process(const PointCloud &frame);
+    [[nodiscard]] RobustFrameResult process(const PointCloud &frame);
 
-    /** Health telemetry accumulated since construction. */
-    const StreamHealth &health() const { return stats; }
+    /**
+     * Snapshot of the health telemetry accumulated since
+     * construction. Thread-safe against a running process(): each
+     * counter is read atomically (the snapshot is not a cross-counter
+     * transaction — a monitor polling mid-frame may observe `frames`
+     * already bumped while the frame's outcome counter is not).
+     */
+    [[nodiscard]] StreamHealth health() const { return stats.snapshot(); }
 
     /** Current degradation ladder level (sticky across frames: the
-        last configuration that met the deadline is retried first). */
-    int ladderLevel() const { return level; }
+        last configuration that met the deadline is retried first).
+        Thread-safe against a running process(). */
+    [[nodiscard]] int ladderLevel() const
+    {
+        return level.load(std::memory_order_relaxed);
+    }
 
     /** Configuration the pipeline would use at @p level. */
     EdgePcConfig configForLevel(int level) const;
@@ -166,9 +187,35 @@ class RobustPipeline
     const RobustPipelineOptions &options() const { return opts; }
 
   private:
-    Result<PipelineResult> runAttempt(const PointCloud &cloud,
-                                      const EdgePcConfig &cfg,
-                                      bool &deadline_missed);
+    [[nodiscard]] Result<PipelineResult>
+    runAttempt(const PointCloud &cloud, const EdgePcConfig &cfg,
+               bool &deadline_missed);
+
+    /** Live counters behind health(): atomics so a monitor thread can
+        poll without racing the stream thread (relaxed order — these
+        are statistics, not synchronization). */
+    struct AtomicHealth
+    {
+        std::atomic<std::size_t> frames{0};
+        std::atomic<std::size_t> ok{0};
+        std::atomic<std::size_t> repaired{0};
+        std::atomic<std::size_t> degraded{0};
+        std::atomic<std::size_t> dropped{0};
+        std::atomic<std::size_t> deadlineMisses{0};
+        std::atomic<std::size_t> retries{0};
+        std::array<std::atomic<std::size_t>, kErrorCodeCount>
+            errorCounts{};
+
+        void bump(std::atomic<std::size_t> &counter)
+        {
+            counter.fetch_add(1, std::memory_order_relaxed);
+        }
+        void countError(const EdgePcError &error)
+        {
+            bump(errorCounts[static_cast<std::size_t>(error.code)]);
+        }
+        StreamHealth snapshot() const;
+    };
 
     PointCloudModel &model;
     EdgePcConfig baseCfg;
@@ -177,8 +224,8 @@ class RobustPipeline
     /** Dedicated single worker so a watchdogged frame cannot starve
         the global kernel pool. */
     ThreadPool watchdog{1};
-    StreamHealth stats;
-    int level = 0;
+    AtomicHealth stats;
+    std::atomic<int> level{0};
     int cleanStreak = 0;
 };
 

@@ -160,6 +160,7 @@ makePartObject(PartCategory category, const PartOptions &options, Rng &rng)
         break;
       }
       case PartCategory::Count:
+        // NOLINTNEXTLINE(edgepc-R1): unreachable enum guard
         fatal("makePartObject: invalid category");
     }
 

@@ -240,6 +240,7 @@ makeShape(ShapeClass shape, const ShapeOptions &options, Rng &rng)
             p = sampleCapsule(rng);
             break;
           case ShapeClass::Count:
+            // NOLINTNEXTLINE(edgepc-R1): unreachable enum guard
             fatal("makeShape: invalid shape class");
         }
         if (options.noise > 0.0f) {

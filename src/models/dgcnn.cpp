@@ -73,6 +73,7 @@ DgcnnConfig::liteSegmentation(std::size_t num_classes)
 Dgcnn::Dgcnn(DgcnnConfig config, std::uint64_t seed) : cfg(std::move(config))
 {
     if (cfg.ecWidths.empty()) {
+        // NOLINTNEXTLINE(edgepc-R1): impossible configuration, not data
         fatal("Dgcnn: at least one EdgeConv module is required");
     }
     Rng rng(seed);
@@ -248,6 +249,7 @@ void
 Dgcnn::backward(const nn::Matrix &grad_logits)
 {
     if (!trainMode) {
+        // NOLINTNEXTLINE(edgepc-R1): caller protocol violation, not data
         panic("Dgcnn::backward without forward(train=true)");
     }
     const std::size_t num_ec = ecBlocks.size();

@@ -31,6 +31,7 @@ PointNet::PointNet(PointNetConfig config, std::uint64_t seed)
     : cfg(std::move(config))
 {
     if (cfg.mlp.empty() || cfg.numClasses == 0) {
+        // NOLINTNEXTLINE(edgepc-R1): impossible configuration, not data
         fatal("PointNet: mlp widths and numClasses are required");
     }
     Rng rng(seed);
@@ -108,6 +109,7 @@ void
 PointNet::backward(const nn::Matrix &grad_logits)
 {
     if (!trainMode) {
+        // NOLINTNEXTLINE(edgepc-R1): caller protocol violation, not data
         panic("PointNet::backward without forward(train=true)");
     }
     nn::Matrix g = head.backward(grad_logits);

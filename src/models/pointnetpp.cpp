@@ -102,9 +102,11 @@ PointNetPP::PointNetPP(PointNetPPConfig config, std::uint64_t seed)
     : cfg(std::move(config))
 {
     if (cfg.sa.empty()) {
+        // NOLINTNEXTLINE(edgepc-R1): impossible configuration, not data
         fatal("PointNetPP: at least one SA module is required");
     }
     if (!cfg.fp.empty() && cfg.fp.size() != cfg.sa.size()) {
+        // NOLINTNEXTLINE(edgepc-R1): impossible configuration, not data
         fatal("PointNetPP: fp modules (%zu) must match sa modules (%zu) "
               "or be empty",
               cfg.fp.size(), cfg.sa.size());
@@ -400,6 +402,7 @@ void
 PointNetPP::backward(const nn::Matrix &grad_logits)
 {
     if (!trainMode) {
+        // NOLINTNEXTLINE(edgepc-R1): caller protocol violation, not data
         panic("PointNetPP::backward without forward(train=true)");
     }
     const std::size_t num_levels = levels.size();

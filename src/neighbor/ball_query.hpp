@@ -21,6 +21,7 @@ class BallQuery : public NeighborSearch
     /** @param radius Ball radius R. */
     explicit BallQuery(float radius);
 
+    [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
                          std::span<const Vec3> candidates,
                          std::size_t k) override;

@@ -17,6 +17,7 @@ class BruteForceKnn : public NeighborSearch
   public:
     BruteForceKnn() = default;
 
+    [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
                          std::span<const Vec3> candidates,
                          std::size_t k) override;
@@ -28,6 +29,7 @@ class BruteForceKnn : public NeighborSearch
      * of dimension dim). Used by DGCNN's later EdgeConv modules, which
      * search neighbors by feature distance (Sec 5.2.3).
      */
+    [[nodiscard]]
     static NeighborLists searchFeatureSpace(std::span<const float> queries,
                                             std::span<const float> candidates,
                                             std::size_t dim, std::size_t k);

@@ -27,6 +27,7 @@ class GridBallQuery : public NeighborSearch
      */
     explicit GridBallQuery(float radius, float cell_size = 0.0f);
 
+    [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
                          std::span<const Vec3> candidates,
                          std::size_t k) override;

@@ -76,6 +76,7 @@ class KdTreeKnn : public NeighborSearch
   public:
     KdTreeKnn() = default;
 
+    [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
                          std::span<const Vec3> candidates,
                          std::size_t k) override;
@@ -94,6 +95,7 @@ class KdTreeBallQuery : public NeighborSearch
     /** @param radius Ball radius R. */
     explicit KdTreeBallQuery(float radius);
 
+    [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
                          std::span<const Vec3> candidates,
                          std::size_t k) override;

@@ -25,6 +25,7 @@ double
 falseNeighborRatio(const NeighborLists &approx, const NeighborLists &exact)
 {
     if (approx.queries() != exact.queries()) {
+        // NOLINTNEXTLINE(edgepc-R1): harness misuse, not sensor data
         fatal("falseNeighborRatio: query counts differ (%zu vs %zu)",
               approx.queries(), exact.queries());
     }
@@ -51,6 +52,7 @@ double
 neighborRecall(const NeighborLists &approx, const NeighborLists &exact)
 {
     if (approx.queries() != exact.queries()) {
+        // NOLINTNEXTLINE(edgepc-R1): harness misuse, not sensor data
         fatal("neighborRecall: query counts differ (%zu vs %zu)",
               approx.queries(), exact.queries());
     }

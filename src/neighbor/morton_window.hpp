@@ -41,6 +41,7 @@ class MortonWindowSearch
      * @param k Neighbors per query.
      * @return Neighbor lists whose entries are original point indexes.
      */
+    [[nodiscard]]
     NeighborLists search(std::span<const Vec3> points,
                          const Structurization &s,
                          std::span<const std::uint32_t> query_indices,
@@ -50,6 +51,7 @@ class MortonWindowSearch
      * Search neighbors for every point of the cloud (the DGCNN case
      * where every point queries the full set).
      */
+    [[nodiscard]]
     NeighborLists searchAll(std::span<const Vec3> points,
                             const Structurization &s, std::size_t k) const;
 
@@ -84,6 +86,7 @@ class MortonWindowKnn : public NeighborSearch
      * by exact position equality, falling back to the Morton rank of
      * its own code.
      */
+    [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
                          std::span<const Vec3> candidates,
                          std::size_t k) override;

@@ -7,6 +7,7 @@ namespace edgepc {
 NeighborCache::NeighborCache(int reuse_distance) : dist(reuse_distance)
 {
     if (reuse_distance < 0) {
+        // NOLINTNEXTLINE(edgepc-R1): impossible configuration, not data
         fatal("NeighborCache: reuse_distance must be >= 0 (got %d)",
               reuse_distance);
     }
@@ -33,9 +34,11 @@ const NeighborLists &
 NeighborCache::lookup(int layer) const
 {
     if (storedLayer < 0) {
+        // NOLINTNEXTLINE(edgepc-R1): caller protocol violation, not data
         panic("NeighborCache::lookup(%d) before any store", layer);
     }
     if (shouldCompute(layer)) {
+        // NOLINTNEXTLINE(edgepc-R1): caller protocol violation, not data
         panic("NeighborCache::lookup(%d) on a compute layer", layer);
     }
     return cached;

@@ -31,10 +31,13 @@ struct NeighborLists
     std::vector<std::uint32_t> indices;
 
     /** Number of query rows. */
-    std::size_t queries() const { return k == 0 ? 0 : indices.size() / k; }
+    [[nodiscard]] std::size_t queries() const
+    {
+        return k == 0 ? 0 : indices.size() / k;
+    }
 
     /** Neighbor row for query @p q. */
-    std::span<const std::uint32_t> row(std::size_t q) const
+    [[nodiscard]] std::span<const std::uint32_t> row(std::size_t q) const
     {
         return {indices.data() + q * k, k};
     }
@@ -53,9 +56,9 @@ class NeighborSearch
      * @param candidates Candidate positions (the search space).
      * @param k Neighbors per query.
      */
-    virtual NeighborLists search(std::span<const Vec3> queries,
-                                 std::span<const Vec3> candidates,
-                                 std::size_t k) = 0;
+    [[nodiscard]] virtual NeighborLists
+    search(std::span<const Vec3> queries, std::span<const Vec3> candidates,
+           std::size_t k) = 0;
 
     /** Human-readable searcher name for reports. */
     virtual std::string name() const = 0;

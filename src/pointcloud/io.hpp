@@ -37,17 +37,17 @@ void writePly(const PointCloud &cloud, std::ostream &os);
  * @param cloud Output cloud (replaced).
  * @return true on success.
  */
-bool readPly(const std::string &path, PointCloud &cloud);
+[[nodiscard]] bool readPly(const std::string &path, PointCloud &cloud);
 
 /** Read PLY from a stream (exposed for testing). */
-bool readPly(std::istream &is, PointCloud &cloud);
+[[nodiscard]] bool readPly(std::istream &is, PointCloud &cloud);
 
 /** Write one "x y z [label]" line per point. */
 bool writeXyz(const PointCloud &cloud, const std::string &path);
 
 /** Read an XYZ text file ("x y z" or "x y z label" per line).
     Lenient: malformed lines are skipped. */
-bool readXyz(const std::string &path, PointCloud &cloud);
+[[nodiscard]] bool readXyz(const std::string &path, PointCloud &cloud);
 
 /**
  * Strict PLY loader with the full error taxonomy: IoError (cannot
@@ -56,20 +56,20 @@ bool readXyz(const std::string &path, PointCloud &cloud);
  * Prefer this over readPly() in serving paths, where the distinction
  * decides whether a retry can help.
  */
-Result<PointCloud> loadPly(const std::string &path);
+[[nodiscard]] Result<PointCloud> loadPly(const std::string &path);
 
 /** Strict stream-based PLY loader (exposed for testing). */
-Result<PointCloud> loadPly(std::istream &is);
+[[nodiscard]] Result<PointCloud> loadPly(std::istream &is);
 
 /**
  * Strict XYZ loader: a malformed non-comment line is MalformedFile
  * (readXyz silently skips it), an empty file is EmptyCloud, an
  * unopenable one IoError.
  */
-Result<PointCloud> loadXyz(const std::string &path);
+[[nodiscard]] Result<PointCloud> loadXyz(const std::string &path);
 
 /** Strict stream-based XYZ loader (exposed for testing). */
-Result<PointCloud> loadXyz(std::istream &is);
+[[nodiscard]] Result<PointCloud> loadXyz(std::istream &is);
 
 } // namespace edgepc
 

@@ -94,8 +94,8 @@ struct SanitizeReport
  *         survives cleaning, FrameRejected when the Reject policy
  *         refuses the frame.
  */
-Result<SanitizeReport> sanitizeCloud(PointCloud &cloud,
-                                     const SanitizerConfig &cfg = {});
+[[nodiscard]] Result<SanitizeReport>
+sanitizeCloud(PointCloud &cloud, const SanitizerConfig &cfg = {});
 
 } // namespace edgepc
 

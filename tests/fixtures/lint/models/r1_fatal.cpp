@@ -1,0 +1,11 @@
+// Fixture: R1 — fatal() in a data-dependent directory (models/).
+// Expected finding: edgepc-R1 at the fatal() call line.
+#include "common/logging.hpp"
+
+void
+checkFrame(int points)
+{
+    if (points == 0) {
+        fatal("empty frame"); // line 9: must be raise(), not fatal()
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: R4 — exact floating-point equality in kernel code (nn/).
+// Expected finding: edgepc-R4 at the comparison line.
+
+bool
+isUnit(float norm)
+{
+    return norm == 1.0f; // line 7: exact float equality
+}

@@ -1,0 +1,17 @@
+// Fixture: R2 (declaration side) — a Result-returning function
+// declared without [[nodiscard]].
+// Expected finding: edgepc-R2 at the declaration line.
+#ifndef EDGEPC_FIXTURE_R2_DECL_HPP
+#define EDGEPC_FIXTURE_R2_DECL_HPP
+
+#include "common/error.hpp"
+
+namespace fixture {
+
+edgepc::Result<int> fetchCount(); // line 11: missing [[nodiscard]]
+
+[[nodiscard]] edgepc::Result<int> fetchChecked(); // compliant
+
+} // namespace fixture
+
+#endif // EDGEPC_FIXTURE_R2_DECL_HPP

@@ -1,0 +1,20 @@
+// Fixture: R2 (call side) — a Result return value silently discarded.
+// Expected finding: edgepc-R2 at the discarded call line.
+#include "common/error.hpp"
+
+namespace fixture {
+
+[[nodiscard]] edgepc::Result<int> fetchCount();
+
+void
+poll()
+{
+    fetchCount(); // line 12: discarded Result
+
+    (void)fetchCount(); // compliant: explicit discard
+
+    edgepc::Result<int> kept = fetchCount(); // compliant: consumed
+    (void)kept;
+}
+
+} // namespace fixture

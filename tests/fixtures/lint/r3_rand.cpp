@@ -1,0 +1,9 @@
+// Fixture: R3 — raw C RNG outside common/rng.
+// Expected finding: edgepc-R3 at the rand() call line.
+#include <cstdlib>
+
+int
+noisy()
+{
+    return std::rand(); // line 8: must route through common/rng
+}

@@ -1,0 +1,9 @@
+// Fixture: R5 — header without an include guard and with a
+// header-scope using-directive.
+// Expected findings: edgepc-R5 (missing guard) and edgepc-R5
+// (using namespace).
+#include <vector>
+
+using namespace std; // line 7: using-directive in a header
+
+inline vector<int> gIds;

@@ -1,0 +1,11 @@
+// Fixture: NOLINT suppression — an R3 violation annotated with the
+// rule-scoped suppression comment. Expected: zero findings, one
+// suppressed count.
+#include <cstdlib>
+
+int
+legacyNoise()
+{
+    // NOLINTNEXTLINE(edgepc-R3): fixture exercising suppression
+    return std::rand();
+}

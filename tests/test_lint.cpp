@@ -1,0 +1,152 @@
+/**
+ * @file End-to-end tests of the edgepc-lint tool: each rule R1–R5 has
+ * a fixture under tests/fixtures/lint/ that the tool must catch at
+ * the expected line, NOLINT suppression must silence a finding, and
+ * the baseline must round-trip through --write-baseline.
+ *
+ * The tool binary and fixture directory are injected by CMake as
+ * EDGEPC_LINT_BIN and EDGEPC_LINT_FIXTURES.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run edgepc-lint with @p args, capturing stdout+stderr. The
+    capture file is keyed on the running test so parallel ctest
+    invocations cannot collide. */
+RunResult
+runLint(const std::string &args)
+{
+    const std::string capture =
+        std::string(EDGEPC_LINT_BIN) + "-" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".capture.txt";
+    const std::string cmd = std::string(EDGEPC_LINT_BIN) + " " + args +
+                            " > " + capture + " 2>&1";
+    const int status = std::system(cmd.c_str());
+
+    RunResult r;
+#ifdef _WIN32
+    r.exitCode = status;
+#else
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+    std::ifstream in(capture);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    r.output = buf.str();
+    std::remove(capture.c_str());
+    return r;
+}
+
+std::string
+fixtures()
+{
+    return EDGEPC_LINT_FIXTURES;
+}
+
+TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
+{
+    const RunResult r = runLint("--no-baseline " + fixtures());
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+
+    // One violation per rule, each pinned to file and line.
+    EXPECT_NE(r.output.find("models/r1_fatal.cpp:9:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R1"), std::string::npos);
+
+    EXPECT_NE(r.output.find("r2_decl.hpp:11:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("r2_discard.cpp:12:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R2"), std::string::npos);
+
+    EXPECT_NE(r.output.find("r3_rand.cpp:8:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R3"), std::string::npos);
+
+    EXPECT_NE(r.output.find("nn/r4_floatcmp.cpp:7:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R4"), std::string::npos);
+
+    EXPECT_NE(r.output.find("r5_bad_header.hpp:1:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("r5_bad_header.hpp:7:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R5"), std::string::npos);
+
+    // The compliant declarations/calls in the fixtures must NOT fire.
+    EXPECT_EQ(r.output.find("r2_decl.hpp:13:"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("r2_discard.cpp:14:"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("r2_discard.cpp:16:"), std::string::npos)
+        << r.output;
+}
+
+TEST(EdgePcLint, NolintSuppressesAndIsCounted)
+{
+    const RunResult r =
+        runLint("--no-baseline " + fixtures() + "/suppressed.cpp");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("1 nolint-suppressed"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("edgepc-R3"), std::string::npos) << r.output;
+}
+
+TEST(EdgePcLint, OnlyFilterRestrictsRules)
+{
+    const RunResult r =
+        runLint("--no-baseline --only edgepc-R3 " + fixtures());
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    EXPECT_NE(r.output.find("edgepc-R3"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("edgepc-R1"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("edgepc-R5"), std::string::npos) << r.output;
+}
+
+TEST(EdgePcLint, BaselineRoundTripTolerates)
+{
+    const std::string baseline =
+        std::string(EDGEPC_LINT_BIN) + "-baseline.txt";
+
+    const RunResult wrote =
+        runLint("--write-baseline " + baseline + " " + fixtures());
+    EXPECT_EQ(wrote.exitCode, 0) << wrote.output;
+
+    // With every current finding baselined, the tree is "clean".
+    const RunResult tolerated =
+        runLint("--baseline " + baseline + " " + fixtures());
+    EXPECT_EQ(tolerated.exitCode, 0) << tolerated.output;
+    EXPECT_NE(tolerated.output.find("0 finding(s)"), std::string::npos)
+        << tolerated.output;
+
+    std::remove(baseline.c_str());
+}
+
+TEST(EdgePcLint, ListRulesDocumentsAllFive)
+{
+    const RunResult r = runLint("--list-rules");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    for (const char *rule :
+         {"edgepc-R1", "edgepc-R2", "edgepc-R3", "edgepc-R4",
+          "edgepc-R5"}) {
+        EXPECT_NE(r.output.find(rule), std::string::npos)
+            << "missing " << rule << " in:\n"
+            << r.output;
+    }
+}
+
+} // namespace

@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "common/timer.hpp"
 #include "core/fault_injector.hpp"
@@ -119,23 +122,36 @@ TEST(RobustPipeline, RejectPolicyDropsCorruptFrames)
 TEST(RobustPipeline, DeadlineMissEscalatesAndRecovers)
 {
     PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    const std::vector<PointCloud> stream = makeStream(6, 15);
+
+    // Calibrate the deadline against this machine/build: under
+    // sanitizer instrumentation (TSan is ~10x) a fixed deadline turns
+    // every frame into a miss and the ladder can never recover.
+    double clean_ms = 0.0;
+    {
+        RobustPipeline warm(model, EdgePcConfig::sn());
+        for (int i = 0; i < 2; ++i) {
+            Timer t;
+            (void)warm.process(stream[0]);
+            clean_ms = t.elapsedMs();
+        }
+    }
+    const double deadline_ms = std::max(40.0, 6.0 * clean_ms);
 
     // A hook that sleeps far past the deadline for the first frame
     // only — a controlled latency spike.
     int calls = 0;
     RobustPipelineOptions opts;
-    opts.deadlineMs = 40.0;
+    opts.deadlineMs = deadline_ms;
     opts.recoveryStreak = 2;
-    opts.inferenceProlog = [&calls] {
+    opts.inferenceProlog = [&calls, deadline_ms] {
         if (calls++ == 0) {
             Timer t;
-            while (t.elapsedMs() < 120.0) {
+            while (t.elapsedMs() < 3.0 * deadline_ms) {
             }
         }
     };
     RobustPipeline robust(model, EdgePcConfig::sn(), opts);
-
-    const std::vector<PointCloud> stream = makeStream(6, 15);
 
     // Frame 0: completes (soft timeout) but misses the deadline.
     const RobustFrameResult first = robust.process(stream[0]);
@@ -220,6 +236,47 @@ TEST(RobustPipeline, FaultInjectedStreamCompletesWithAccounting)
     // ...but the stream survives: every non-dropped frame has logits.
     EXPECT_EQ(with_logits, kFrames - h.dropped);
     EXPECT_GT(h.recoveryRate(), 0.9);
+}
+
+// A monitor thread polls health() and ladderLevel() while the stream
+// thread is processing frames. The counters are relaxed atomics and
+// health() snapshots by value, so every observation must be internally
+// sane (outcomes never exceed frames) and monotonic. Under TSan this
+// is the race gate for the telemetry path.
+TEST(RobustPipeline, HealthPollWhileProcessingIsSafe)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipeline robust(model, EdgePcConfig::sn());
+
+    std::atomic<bool> stop{false};
+    std::size_t polls = 0;
+    std::thread monitor([&] {
+        std::size_t last_frames = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            const StreamHealth h = robust.health();
+            EXPECT_GE(h.frames, last_frames);
+            EXPECT_LE(h.ok + h.repaired + h.degraded + h.dropped,
+                      h.frames);
+            const int lvl = robust.ladderLevel();
+            EXPECT_GE(lvl, 0);
+            EXPECT_LT(lvl, RobustPipeline::kLadderLevels);
+            last_frames = h.frames;
+            ++polls;
+            std::this_thread::yield();
+        }
+    });
+
+    for (const PointCloud &frame : makeStream(16, 33)) {
+        const RobustFrameResult r = robust.process(frame);
+        EXPECT_TRUE(r.hasLogits());
+    }
+    stop.store(true, std::memory_order_release);
+    monitor.join();
+
+    EXPECT_GT(polls, 0u);
+    const StreamHealth snap = robust.health();
+    EXPECT_EQ(snap.frames, 16u);
+    EXPECT_EQ(snap.ok, 16u);
 }
 
 TEST(FaultInjector, DeterministicSchedule)

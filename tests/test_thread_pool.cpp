@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -87,6 +89,51 @@ TEST(ThreadPool, GlobalPoolIsSingleton)
 {
     EXPECT_EQ(&ThreadPool::globalPool(), &ThreadPool::globalPool());
     EXPECT_GE(ThreadPool::globalPool().size(), 1u);
+}
+
+// Several caller threads hammer one pool at once — parallelFor from
+// some, submit() from others. Exercises the shared task queue and the
+// per-call Batch control blocks under contention; run under TSan this
+// is the race gate for the pool internals.
+TEST(ThreadPool, ConcurrentSubmittersStress)
+{
+    ThreadPool pool(4);
+    constexpr int kCallers = 6;
+    constexpr int kRounds = 25;
+    constexpr std::size_t kRange = 256;
+
+    std::atomic<std::size_t> forHits{0};
+    std::atomic<int> submitHits{0};
+
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+            for (int round = 0; round < kRounds; ++round) {
+                if (c % 2 == 0) {
+                    pool.parallelFor(
+                        0, kRange,
+                        [&](std::size_t) {
+                            forHits.fetch_add(1,
+                                              std::memory_order_relaxed);
+                        },
+                        32);
+                } else {
+                    std::future<void> done = pool.submit([&] {
+                        submitHits.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    });
+                    done.get();
+                }
+            }
+        });
+    }
+    for (std::thread &t : callers) {
+        t.join();
+    }
+
+    EXPECT_EQ(forHits.load(), (kCallers / 2) * kRounds * kRange);
+    EXPECT_EQ(submitHits.load(), (kCallers - kCallers / 2) * kRounds);
 }
 
 TEST(ThreadPool, FreeFunctionWrapper)

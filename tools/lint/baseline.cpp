@@ -1,0 +1,108 @@
+#include "baseline.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace edgepc::lint {
+
+bool
+loadBaseline(const std::string &path, Baseline &out, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open baseline file '" + path + "'";
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        const std::size_t bar1 = line.find('|');
+        const std::size_t bar2 =
+            bar1 == std::string::npos ? bar1 : line.find('|', bar1 + 1);
+        if (bar2 == std::string::npos) {
+            error = path + ":" + std::to_string(lineno) +
+                    ": expected 'rule|path|count'";
+            return false;
+        }
+        const std::string rule = line.substr(0, bar1);
+        const std::string file =
+            line.substr(bar1 + 1, bar2 - bar1 - 1);
+        char *end = nullptr;
+        const unsigned long count =
+            std::strtoul(line.c_str() + bar2 + 1, &end, 10);
+        if (end == line.c_str() + bar2 + 1 || count == 0) {
+            error = path + ":" + std::to_string(lineno) +
+                    ": count must be a positive integer";
+            return false;
+        }
+        out[{rule, file}] += count;
+    }
+    return true;
+}
+
+bool
+writeBaseline(const std::string &path,
+              const std::vector<Finding> &findings)
+{
+    Baseline counts;
+    for (const Finding &f : findings) {
+        counts[{f.rule, f.path}]++;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << "# edgepc-lint baseline: tolerated pre-existing findings.\n"
+        << "# Format: rule|path|count. The ratchet only goes down —\n"
+        << "# regenerate with `edgepc-lint --write-baseline " << path
+        << " <paths>`\n"
+        << "# after paying debt; never hand-raise a count.\n";
+    for (const auto &[key, count] : counts) {
+        out << key.first << '|' << key.second << '|' << count << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+std::vector<Finding>
+applyBaseline(const std::vector<Finding> &findings,
+              const Baseline &baseline, std::size_t &baselined,
+              std::vector<std::string> &stale)
+{
+    Baseline counts;
+    for (const Finding &f : findings) {
+        counts[{f.rule, f.path}]++;
+    }
+
+    std::vector<Finding> kept;
+    for (const Finding &f : findings) {
+        const auto entry = baseline.find({f.rule, f.path});
+        const std::size_t tolerated =
+            entry == baseline.end() ? 0 : entry->second;
+        if (counts[{f.rule, f.path}] <= tolerated) {
+            ++baselined;
+        } else {
+            kept.push_back(f);
+        }
+    }
+
+    for (const auto &[key, tolerated] : baseline) {
+        const auto current = counts.find(key);
+        const std::size_t now =
+            current == counts.end() ? 0 : current->second;
+        if (now < tolerated) {
+            std::ostringstream note;
+            note << key.first << '|' << key.second << ": baseline "
+                 << "tolerates " << tolerated << " but only " << now
+                 << " remain; ratchet it down with --write-baseline";
+            stale.push_back(note.str());
+        }
+    }
+    return kept;
+}
+
+} // namespace edgepc::lint

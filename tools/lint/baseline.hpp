@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Baseline (ratchet) support for edgepc-lint.
+ *
+ * A baseline records, per (rule, file), how many findings are
+ * tolerated — the debt that existed when the rule landed. Matching is
+ * count-based rather than line-based so ordinary edits do not
+ * invalidate it. The ratchet: a file may never exceed its baselined
+ * count; when the real count drops, `--write-baseline` records the
+ * lower figure and the tool reports stale entries until it does.
+ */
+
+#ifndef EDGEPC_TOOLS_LINT_BASELINE_HPP
+#define EDGEPC_TOOLS_LINT_BASELINE_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace edgepc::lint {
+
+/** (rule, file) -> tolerated finding count. */
+using Baseline = std::map<std::pair<std::string, std::string>,
+                          std::size_t>;
+
+/**
+ * Parse a baseline file (`rule|path|count` lines, '#' comments).
+ *
+ * @return false (with @p error set) on unreadable file or bad syntax.
+ */
+bool loadBaseline(const std::string &path, Baseline &out,
+                  std::string &error);
+
+/** Write @p findings as a fresh baseline to @p path. */
+bool writeBaseline(const std::string &path,
+                   const std::vector<Finding> &findings);
+
+/**
+ * Drop findings covered by @p baseline.
+ *
+ * For each (rule, file): when the current count is within the
+ * baselined count every finding is suppressed; when it exceeds it,
+ * all of them are reported (the offender must fix or re-baseline
+ * consciously). @p stale collects entries whose file now has fewer
+ * findings than tolerated — candidates for ratcheting down.
+ */
+std::vector<Finding> applyBaseline(const std::vector<Finding> &findings,
+                                   const Baseline &baseline,
+                                   std::size_t &baselined,
+                                   std::vector<std::string> &stale);
+
+} // namespace edgepc::lint
+
+#endif // EDGEPC_TOOLS_LINT_BASELINE_HPP

@@ -1,0 +1,324 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstring>
+
+namespace edgepc::lint {
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first (maximal munch). */
+const std::array<const char *, 26> kPuncts = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "==", "!=",
+    "<=",  ">=",  "&&",  "||",  "<<",  ">>", "++", "--", "+=",
+    "-=",  "*=",  "/=",  "%=",  "&=",  "|=", "^=", "##",
+};
+
+/** Cursor over the raw source with line/column bookkeeping. */
+struct Cursor
+{
+    const std::string &src;
+    std::size_t pos = 0;
+    int line = 1;
+    int col = 1;
+
+    bool done() const { return pos >= src.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    }
+    bool startsWith(const char *s) const
+    {
+        return src.compare(pos, std::strlen(s), s) == 0;
+    }
+    void advance()
+    {
+        if (src[pos] == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        ++pos;
+    }
+    void advance(std::size_t n)
+    {
+        while (n-- > 0 && !done()) {
+            advance();
+        }
+    }
+};
+
+/** Register the NOLINT directives found in @p comment. */
+void
+recordNolint(LexedFile &out, const Comment &comment)
+{
+    const std::string &text = comment.text;
+    std::size_t at = 0;
+    while ((at = text.find("NOLINT", at)) != std::string::npos) {
+        std::size_t cursor = at + 6;
+        int target = comment.startLine;
+        if (text.compare(cursor, 8, "NEXTLINE") == 0) {
+            cursor += 8;
+            target = comment.endLine + 1;
+        }
+        std::set<std::string> &rules = out.nolint[target];
+        if (cursor < text.size() && text[cursor] == '(') {
+            const std::size_t close = text.find(')', cursor);
+            std::string list =
+                text.substr(cursor + 1, close == std::string::npos
+                                            ? std::string::npos
+                                            : close - cursor - 1);
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                std::size_t comma = list.find(',', start);
+                if (comma == std::string::npos) {
+                    comma = list.size();
+                }
+                std::string rule = list.substr(start, comma - start);
+                while (!rule.empty() && std::isspace(static_cast<
+                                            unsigned char>(rule.front()))) {
+                    rule.erase(rule.begin());
+                }
+                while (!rule.empty() && std::isspace(static_cast<
+                                            unsigned char>(rule.back()))) {
+                    rule.pop_back();
+                }
+                if (!rule.empty()) {
+                    rules.insert(rule);
+                }
+                start = comma + 1;
+            }
+        } else {
+            rules.insert("*"); // Bare NOLINT: suppress everything.
+        }
+        at = cursor;
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &path, const std::string &source)
+{
+    LexedFile out;
+    out.path = path;
+    Cursor c{source};
+    bool lineHasCode = false; // Toggles '#' directive recognition.
+
+    auto push = [&](TokenKind kind, std::string text, int line, int col) {
+        out.tokens.push_back(Token{kind, std::move(text), line, col});
+        lineHasCode = true;
+    };
+
+    while (!c.done()) {
+        const char ch = c.peek();
+
+        if (ch == '\n') {
+            lineHasCode = false;
+            c.advance();
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            c.advance();
+            continue;
+        }
+        // Line splice: the logical line continues.
+        if (ch == '\\' && c.peek(1) == '\n') {
+            c.advance(2);
+            continue;
+        }
+
+        // --- Comments -----------------------------------------------
+        if (ch == '/' && c.peek(1) == '/') {
+            Comment comment;
+            comment.startLine = c.line;
+            c.advance(2);
+            while (!c.done() && c.peek() != '\n') {
+                comment.text += c.peek();
+                c.advance();
+            }
+            comment.endLine = c.line;
+            recordNolint(out, comment);
+            out.comments.push_back(std::move(comment));
+            continue;
+        }
+        if (ch == '/' && c.peek(1) == '*') {
+            Comment comment;
+            comment.startLine = c.line;
+            c.advance(2);
+            while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) {
+                comment.text += c.peek();
+                c.advance();
+            }
+            c.advance(2);
+            comment.endLine = c.line;
+            recordNolint(out, comment);
+            out.comments.push_back(std::move(comment));
+            continue;
+        }
+
+        // --- Preprocessor directives --------------------------------
+        if (ch == '#' && !lineHasCode) {
+            const int line = c.line;
+            const int col = c.col;
+            c.advance();
+            while (c.peek() == ' ' || c.peek() == '\t') {
+                c.advance();
+            }
+            std::string name;
+            while (isIdentChar(c.peek())) {
+                name += c.peek();
+                c.advance();
+            }
+            push(TokenKind::Directive, name, line, col);
+            // `#include <...>` — consume the header-name so its
+            // contents never look like code tokens.
+            if (name == "include") {
+                while (c.peek() == ' ' || c.peek() == '\t') {
+                    c.advance();
+                }
+                if (c.peek() == '<') {
+                    const int hline = c.line;
+                    const int hcol = c.col;
+                    std::string header;
+                    c.advance();
+                    while (!c.done() && c.peek() != '>' &&
+                           c.peek() != '\n') {
+                        header += c.peek();
+                        c.advance();
+                    }
+                    if (c.peek() == '>') {
+                        c.advance();
+                    }
+                    push(TokenKind::String, header, hline, hcol);
+                }
+            }
+            continue;
+        }
+
+        // --- Raw string literals ------------------------------------
+        if (ch == 'R' && c.peek(1) == '"') {
+            const int line = c.line;
+            const int col = c.col;
+            c.advance(2);
+            std::string delim;
+            while (!c.done() && c.peek() != '(') {
+                delim += c.peek();
+                c.advance();
+            }
+            c.advance(); // '('
+            const std::string close = ")" + delim + "\"";
+            std::string text;
+            while (!c.done() && !c.startsWith(close.c_str())) {
+                text += c.peek();
+                c.advance();
+            }
+            c.advance(close.size());
+            push(TokenKind::String, std::move(text), line, col);
+            continue;
+        }
+
+        // --- String / char literals ---------------------------------
+        if (ch == '"' || ch == '\'') {
+            const char quote = ch;
+            const int line = c.line;
+            const int col = c.col;
+            c.advance();
+            std::string text;
+            while (!c.done() && c.peek() != quote) {
+                if (c.peek() == '\\') {
+                    text += c.peek();
+                    c.advance();
+                    if (c.done()) {
+                        break;
+                    }
+                }
+                text += c.peek();
+                c.advance();
+            }
+            c.advance(); // closing quote
+            push(quote == '"' ? TokenKind::String : TokenKind::CharLit,
+                 std::move(text), line, col);
+            continue;
+        }
+
+        // --- Numbers ------------------------------------------------
+        if (std::isdigit(static_cast<unsigned char>(ch)) ||
+            (ch == '.' &&
+             std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+            const int line = c.line;
+            const int col = c.col;
+            std::string text;
+            while (!c.done()) {
+                const char d = c.peek();
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    text += d;
+                    c.advance();
+                    continue;
+                }
+                // Exponent signs: 1e-3, 0x1p+4.
+                if ((d == '+' || d == '-') && !text.empty()) {
+                    const char prev = text.back();
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P') {
+                        text += d;
+                        c.advance();
+                        continue;
+                    }
+                }
+                break;
+            }
+            push(TokenKind::Number, std::move(text), line, col);
+            continue;
+        }
+
+        // --- Identifiers --------------------------------------------
+        if (isIdentStart(ch)) {
+            const int line = c.line;
+            const int col = c.col;
+            std::string text;
+            while (isIdentChar(c.peek())) {
+                text += c.peek();
+                c.advance();
+            }
+            push(TokenKind::Ident, std::move(text), line, col);
+            continue;
+        }
+
+        // --- Punctuators (maximal munch) ----------------------------
+        {
+            const int line = c.line;
+            const int col = c.col;
+            const char *matched = nullptr;
+            for (const char *p : kPuncts) {
+                if (c.startsWith(p)) {
+                    matched = p;
+                    break;
+                }
+            }
+            if (matched != nullptr) {
+                c.advance(std::strlen(matched));
+                push(TokenKind::Punct, matched, line, col);
+            } else {
+                push(TokenKind::Punct, std::string(1, ch), line, col);
+                c.advance();
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace edgepc::lint

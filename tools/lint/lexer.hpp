@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for edgepc-lint.
+ *
+ * This is deliberately not a compiler front end: the repo-specific
+ * rules (see rules.hpp) only need a faithful token stream — comments,
+ * string/char literals and preprocessor directives separated from
+ * code — so the tool stays dependency-free (no libclang) and fast
+ * enough to run on every build.
+ */
+
+#ifndef EDGEPC_TOOLS_LINT_LEXER_HPP
+#define EDGEPC_TOOLS_LINT_LEXER_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace edgepc::lint {
+
+enum class TokenKind
+{
+    /** Identifier or keyword ("fatal", "using", "Result", …). */
+    Ident,
+    /** Numeric literal, suffixes and digit separators included. */
+    Number,
+    /** String literal (ordinary or raw); text excludes the quotes. */
+    String,
+    /** Character literal; text excludes the quotes. */
+    CharLit,
+    /** Operator / punctuator, maximal munch ("::", "==", "->", …). */
+    Punct,
+    /** Preprocessor directive; text is the directive name
+        ("include", "ifndef", "pragma", …). */
+    Directive,
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;
+    int line = 0; ///< 1-based.
+    int col = 0;  ///< 1-based.
+
+    bool is(TokenKind k, const char *t) const
+    {
+        return kind == k && text == t;
+    }
+    bool isIdent(const char *t) const { return is(TokenKind::Ident, t); }
+    bool isPunct(const char *t) const { return is(TokenKind::Punct, t); }
+};
+
+/** A comment with its source extent (text excludes the delimiters). */
+struct Comment
+{
+    std::string text;
+    int startLine = 0;
+    int endLine = 0;
+};
+
+/** One tokenized source file. */
+struct LexedFile
+{
+    /** Path as reported in findings (normalized, '/'-separated). */
+    std::string path;
+
+    /** Code tokens in source order (comments stripped). */
+    std::vector<Token> tokens;
+
+    /** All comments in source order. */
+    std::vector<Comment> comments;
+
+    /**
+     * NOLINT suppressions by target line: line -> set of rule names
+     * ("edgepc-R1", …). The wildcard entry "*" (from a bare NOLINT)
+     * suppresses every rule on that line. Built from
+     * `// NOLINT(edgepc-RN): reason` and `// NOLINTNEXTLINE(...)`.
+     */
+    std::map<int, std::set<std::string>> nolint;
+};
+
+/** Tokenize @p source. Never fails: unrecognized bytes are skipped. */
+LexedFile lex(const std::string &path, const std::string &source);
+
+} // namespace edgepc::lint
+
+#endif // EDGEPC_TOOLS_LINT_LEXER_HPP

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * edgepc-lint — repo-specific static analysis for the EdgePC codebase.
+ *
+ * Usage:
+ *   edgepc-lint [options] <file-or-directory>...
+ *
+ * Options:
+ *   --baseline <file>        tolerate findings recorded in <file>
+ *                            (default: tools/lint/edgepc-lint.baseline
+ *                            when it exists in the working directory)
+ *   --no-baseline            ignore any baseline
+ *   --write-baseline <file>  record current findings and exit 0
+ *   --only <rules>           comma-separated rule filter (edgepc-R3,…)
+ *   --list-rules             print the rule table and exit
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+using namespace edgepc::lint;
+
+namespace {
+
+const char *kDefaultBaseline = "tools/lint/edgepc-lint.baseline";
+
+/** Directory names never descended into during a walk. Explicitly
+    passed paths are always scanned (that is how the fixture tests
+    drive the tool over tests/fixtures/lint). */
+bool
+skipDirectory(const std::string &name)
+{
+    return name == ".git" || name == ".claude" || name == "fixtures" ||
+           name == "third_party" || name.rfind("build", 0) == 0;
+}
+
+bool
+isSourceFile(const fs::path &path)
+{
+    static const std::set<std::string> exts = {
+        ".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".hxx"};
+    return exts.count(path.extension().string()) != 0;
+}
+
+std::string
+normalize(const fs::path &path)
+{
+    std::string s = path.lexically_normal().generic_string();
+    if (s.rfind("./", 0) == 0) {
+        s.erase(0, 2);
+    }
+    return s;
+}
+
+bool
+collectFiles(const std::string &operand, std::vector<std::string> &out)
+{
+    const fs::path p(operand);
+    std::error_code ec;
+    if (fs::is_regular_file(p, ec)) {
+        out.push_back(normalize(p));
+        return true;
+    }
+    if (!fs::is_directory(p, ec)) {
+        std::cerr << "edgepc-lint: error: no such file or directory: "
+                  << operand << "\n";
+        return false;
+    }
+    fs::recursive_directory_iterator it(
+        p, fs::directory_options::skip_permission_denied, ec);
+    const fs::recursive_directory_iterator end;
+    while (it != end) {
+        const fs::directory_entry &entry = *it;
+        if (entry.is_directory(ec) &&
+            skipDirectory(entry.path().filename().string())) {
+            it.disable_recursion_pending();
+        } else if (entry.is_regular_file(ec) &&
+                   isSourceFile(entry.path())) {
+            out.push_back(normalize(entry.path()));
+        }
+        it.increment(ec);
+        if (ec) {
+            break;
+        }
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> operands;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    bool noBaseline = false;
+    std::set<std::string> onlyRules;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        auto nextValue = [&](const char *flag) -> const char * {
+            if (a + 1 >= argc) {
+                std::cerr << "edgepc-lint: error: " << flag
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++a];
+        };
+        if (arg == "--baseline") {
+            const char *v = nextValue("--baseline");
+            if (v == nullptr) {
+                return 2;
+            }
+            baselinePath = v;
+        } else if (arg == "--write-baseline") {
+            const char *v = nextValue("--write-baseline");
+            if (v == nullptr) {
+                return 2;
+            }
+            writeBaselinePath = v;
+        } else if (arg == "--no-baseline") {
+            noBaseline = true;
+        } else if (arg == "--only") {
+            const char *v = nextValue("--only");
+            if (v == nullptr) {
+                return 2;
+            }
+            std::stringstream list(v);
+            std::string rule;
+            while (std::getline(list, rule, ',')) {
+                if (!rule.empty()) {
+                    onlyRules.insert(rule);
+                }
+            }
+        } else if (arg == "--list-rules") {
+            for (const auto &[id, text] : ruleDescriptions()) {
+                std::cout << id << "  " << text << "\n";
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: edgepc-lint [--baseline FILE | "
+                         "--no-baseline] [--write-baseline FILE]\n"
+                         "                   [--only RULES] "
+                         "[--list-rules] <path>...\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "edgepc-lint: error: unknown option " << arg
+                      << "\n";
+            return 2;
+        } else {
+            operands.push_back(arg);
+        }
+    }
+    if (operands.empty()) {
+        std::cerr << "edgepc-lint: error: no input paths (try "
+                     "`edgepc-lint src tests bench examples`)\n";
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    for (const std::string &operand : operands) {
+        if (!collectFiles(operand, files)) {
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Pass 1: tokenize everything, collect Result-returning functions.
+    std::vector<LexedFile> lexed;
+    lexed.reserve(files.size());
+    std::set<std::string> resultFns;
+    for (const std::string &file : files) {
+        std::string source;
+        if (!readFile(file, source)) {
+            std::cerr << "edgepc-lint: error: cannot read " << file
+                      << "\n";
+            return 2;
+        }
+        lexed.push_back(lex(file, source));
+        const std::set<std::string> fns =
+            collectResultFunctions(lexed.back());
+        resultFns.insert(fns.begin(), fns.end());
+    }
+
+    // Pass 2: rules.
+    std::size_t suppressed = 0;
+    std::vector<Finding> findings;
+    for (const LexedFile &file : lexed) {
+        std::vector<Finding> perFile =
+            runRules(file, resultFns, suppressed);
+        findings.insert(findings.end(), perFile.begin(), perFile.end());
+    }
+    if (!onlyRules.empty()) {
+        findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                      [&](const Finding &f) {
+                                          return onlyRules.count(
+                                                     f.rule) == 0;
+                                      }),
+                       findings.end());
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.col, a.rule) <
+                         std::tie(b.path, b.line, b.col, b.rule);
+              });
+
+    if (!writeBaselinePath.empty()) {
+        if (!writeBaseline(writeBaselinePath, findings)) {
+            std::cerr << "edgepc-lint: error: cannot write "
+                      << writeBaselinePath << "\n";
+            return 2;
+        }
+        std::cout << "edgepc-lint: baselined " << findings.size()
+                  << " finding(s) to " << writeBaselinePath << "\n";
+        return 0;
+    }
+
+    // Baseline: explicit flag wins; otherwise pick up the checked-in
+    // default when running from the repo root.
+    std::size_t baselined = 0;
+    std::vector<std::string> stale;
+    if (!noBaseline) {
+        if (baselinePath.empty() && fs::exists(kDefaultBaseline)) {
+            baselinePath = kDefaultBaseline;
+        }
+        if (!baselinePath.empty()) {
+            Baseline baseline;
+            std::string error;
+            if (!loadBaseline(baselinePath, baseline, error)) {
+                std::cerr << "edgepc-lint: error: " << error << "\n";
+                return 2;
+            }
+            findings =
+                applyBaseline(findings, baseline, baselined, stale);
+        }
+    }
+
+    for (const Finding &f : findings) {
+        std::cout << f.path << ":" << f.line << ":" << f.col << ": "
+                  << f.rule << ": " << f.message << "\n";
+    }
+    for (const std::string &note : stale) {
+        std::cerr << "edgepc-lint: stale baseline entry: " << note
+                  << "\n";
+    }
+    std::cout << "edgepc-lint: checked " << files.size() << " file(s): "
+              << findings.size() << " finding(s), " << suppressed
+              << " nolint-suppressed, " << baselined << " baselined\n";
+    return findings.empty() ? 0 : 1;
+}

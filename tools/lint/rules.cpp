@@ -1,0 +1,499 @@
+#include "rules.hpp"
+
+#include <array>
+#include <cstddef>
+
+namespace edgepc::lint {
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/** Directories where data-dependent failures must raise() (R1). */
+const std::array<const char *, 5> kDataDirs = {
+    "neighbor/", "sampling/", "pointcloud/", "models/", "datasets/",
+};
+
+/** Directories treated as kernel code for the float-compare rule. */
+const std::array<const char *, 4> kKernelDirs = {
+    "neighbor/", "sampling/", "nn/", "geometry/",
+};
+
+bool
+pathContains(const std::string &path, const char *segment)
+{
+    return path.find(segment) != std::string::npos;
+}
+
+bool
+isHeader(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos) {
+        return false;
+    }
+    const std::string ext = path.substr(dot);
+    return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".hxx";
+}
+
+/** True for a floating-point literal (1.0, 0.5f, 1e-3, …). */
+bool
+isFloatLiteral(const Token &tok)
+{
+    if (tok.kind != TokenKind::Number) {
+        return false;
+    }
+    const std::string &t = tok.text;
+    if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+        return false; // Hex (incl. hex floats): out of scope.
+    }
+    return t.find('.') != std::string::npos ||
+           t.find('e') != std::string::npos ||
+           t.find('E') != std::string::npos;
+}
+
+/**
+ * @p open indexes a '<'; return the index of the matching '>'
+ * (treating ">>" as two closers), or npos when unbalanced / too far.
+ */
+std::size_t
+matchAngle(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    const std::size_t limit = std::min(toks.size(), open + 64);
+    for (std::size_t i = open; i < limit; ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Punct) {
+            continue;
+        }
+        if (t.text == "<") {
+            ++depth;
+        } else if (t.text == ">") {
+            if (--depth == 0) {
+                return i;
+            }
+        } else if (t.text == ">>") {
+            depth -= 2;
+            if (depth <= 0) {
+                return i;
+            }
+        } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+            return npos; // A type never spans a statement boundary.
+        }
+    }
+    return npos;
+}
+
+/** @p open indexes a '('; index of the matching ')' or npos. */
+std::size_t
+matchParen(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Punct) {
+            continue;
+        }
+        if (t.text == "(") {
+            ++depth;
+        } else if (t.text == ")") {
+            if (--depth == 0) {
+                return i;
+            }
+        }
+    }
+    return npos;
+}
+
+/** @p close indexes a ')' or ']'; index of its opener or npos. */
+std::size_t
+matchBackwards(const std::vector<Token> &toks, std::size_t close)
+{
+    const std::string closer = toks[close].text;
+    const std::string opener = closer == ")" ? "(" : "[";
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Punct) {
+            continue;
+        }
+        if (t.text == closer) {
+            ++depth;
+        } else if (t.text == opener) {
+            if (--depth == 0) {
+                return i;
+            }
+        }
+    }
+    return npos;
+}
+
+/**
+ * @p at indexes `Result` followed by '<'. When the token run describes
+ * a function declaration/definition — `Result<...> [quals::]name(` —
+ * return the index of the function-name token; npos otherwise.
+ */
+std::size_t
+resultFunctionName(const std::vector<Token> &toks, std::size_t at)
+{
+    const std::size_t close = matchAngle(toks, at + 1);
+    if (close == npos) {
+        return npos;
+    }
+    // `Result<T>::value()` — qualification on the Result type itself,
+    // not a return type. Skip.
+    if (close + 1 < toks.size() && toks[close + 1].isPunct("::")) {
+        return npos;
+    }
+    std::size_t i = close + 1;
+    std::size_t name = npos;
+    while (i < toks.size()) {
+        if (toks[i].kind == TokenKind::Ident) {
+            name = i;
+            ++i;
+            if (i < toks.size() && toks[i].isPunct("::")) {
+                ++i;
+                continue;
+            }
+            break;
+        }
+        return npos;
+    }
+    if (name == npos || i >= toks.size() || !toks[i].isPunct("(")) {
+        return npos;
+    }
+    return name;
+}
+
+/** True when the declaration introduced at @p at (`Result` token) has
+    a [[nodiscard]] within the same declarator prefix. */
+bool
+hasNodiscardBefore(const std::vector<Token> &toks, std::size_t at)
+{
+    const std::size_t lookback = 12;
+    for (std::size_t steps = 0; steps < lookback && at-- > 0; ++steps) {
+        const Token &t = toks[at];
+        if (t.kind == TokenKind::Punct &&
+            (t.text == ";" || t.text == "{" || t.text == "}")) {
+            return false;
+        }
+        if (t.isIdent("nodiscard")) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * @p at indexes the final identifier of a call whose ')' is directly
+ * followed by ';'. True when the whole postfix chain forms an
+ * expression statement, i.e. the value is discarded. Walking stops —
+ * and the call is treated as used — at `return`, `=`, a cast like
+ * `(void)`, or any other non-chain token.
+ */
+bool
+isDiscardedStatement(const std::vector<Token> &toks, std::size_t at)
+{
+    std::size_t p = at;
+    for (;;) {
+        if (p == 0) {
+            return true; // Chain reaches the start of the file.
+        }
+        const Token &t = toks[p - 1];
+        if (t.kind == TokenKind::Punct &&
+            (t.text == ";" || t.text == "{" || t.text == "}")) {
+            return true;
+        }
+        if (t.isIdent("else") || t.isIdent("do")) {
+            return true; // `else call();` is still a statement.
+        }
+        if (t.kind == TokenKind::Punct &&
+            (t.text == "." || t.text == "->" || t.text == "::")) {
+            // Step over the member-access operator to the object…
+            std::size_t q = p - 2;
+            if (q + 1 == 0) {
+                return true;
+            }
+            const Token &obj = toks[q];
+            if (obj.kind == TokenKind::Ident) {
+                p = q;
+                continue;
+            }
+            if (obj.kind == TokenKind::Punct &&
+                (obj.text == ")" || obj.text == "]")) {
+                const std::size_t open = matchBackwards(toks, q);
+                if (open == npos) {
+                    return false;
+                }
+                p = open;
+                continue;
+            }
+            return false;
+        }
+        // Anything else (`=`, `return`, `(`, `,`, a cast's ')' …)
+        // consumes or deliberately discards the value.
+        return false;
+    }
+}
+
+void
+addFinding(std::vector<Finding> &findings, const LexedFile &file,
+           const Token &tok, const char *rule, std::string message)
+{
+    findings.push_back(
+        Finding{rule, file.path, tok.line, tok.col, std::move(message)});
+}
+
+// ---------------------------------------------------------------- R1
+void
+ruleFatalInDataCode(const LexedFile &file, std::vector<Finding> &out)
+{
+    bool applies = false;
+    for (const char *dir : kDataDirs) {
+        applies = applies || pathContains(file.path, dir);
+    }
+    if (!applies) {
+        return;
+    }
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!(toks[i].isIdent("fatal") || toks[i].isIdent("panic")) ||
+            !toks[i + 1].isPunct("(")) {
+            continue;
+        }
+        if (i > 0 &&
+            (toks[i - 1].isPunct(".") || toks[i - 1].isPunct("->"))) {
+            continue; // Member function of some other class.
+        }
+        addFinding(out, file, toks[i], "edgepc-R1",
+                   toks[i].text +
+                       "() in data-dependent code; use raise() so the "
+                       "serving layer can recover (CONTRIBUTING.md: "
+                       "error tiers)");
+    }
+}
+
+// ---------------------------------------------------------------- R2
+void
+ruleNodiscardDecl(const LexedFile &file, std::vector<Finding> &out)
+{
+    if (!isHeader(file.path)) {
+        return;
+    }
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].isIdent("Result") || !toks[i + 1].isPunct("<")) {
+            continue;
+        }
+        const std::size_t name = resultFunctionName(toks, i);
+        if (name == npos || hasNodiscardBefore(toks, i)) {
+            continue;
+        }
+        addFinding(out, file, toks[name], "edgepc-R2",
+                   "Result-returning function '" + toks[name].text +
+                       "' must be declared [[nodiscard]]");
+    }
+}
+
+void
+ruleDiscardedResult(const LexedFile &file,
+                    const std::set<std::string> &resultFns,
+                    std::vector<Finding> &out)
+{
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Ident ||
+            !toks[i + 1].isPunct("(") ||
+            resultFns.count(toks[i].text) == 0) {
+            continue;
+        }
+        const std::size_t close = matchParen(toks, i + 1);
+        if (close == npos || close + 1 >= toks.size() ||
+            !toks[close + 1].isPunct(";")) {
+            continue; // Value is consumed by the surrounding context.
+        }
+        // Declarations (`Result<T> name(…);`) stop the statement walk
+        // at the `>` of the return type, so only true calls survive.
+        if (!isDiscardedStatement(toks, i)) {
+            continue;
+        }
+        addFinding(out, file, toks[i], "edgepc-R2",
+                   "discarded Result from '" + toks[i].text +
+                       "'; handle the error or cast to (void) with a "
+                       "comment");
+    }
+}
+
+// ---------------------------------------------------------------- R3
+void
+ruleRawRng(const LexedFile &file, std::vector<Finding> &out)
+{
+    if (pathContains(file.path, "common/rng")) {
+        return;
+    }
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        const bool isRandCall =
+            (t.isIdent("rand") || t.isIdent("srand")) &&
+            i + 1 < toks.size() && toks[i + 1].isPunct("(");
+        const bool isRandomDevice = t.isIdent("random_device");
+        if (!isRandCall && !isRandomDevice) {
+            continue;
+        }
+        addFinding(out, file, t, "edgepc-R3",
+                   "'" + t.text +
+                       "' is thread-unsafe and breaks seeded "
+                       "determinism; use edgepc::Rng (common/rng.hpp)");
+    }
+}
+
+// ---------------------------------------------------------------- R4
+void
+ruleFloatCompare(const LexedFile &file, std::vector<Finding> &out)
+{
+    bool applies = false;
+    for (const char *dir : kKernelDirs) {
+        applies = applies || pathContains(file.path, dir);
+    }
+    if (!applies) {
+        return;
+    }
+    const auto &toks = file.tokens;
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+        if (!toks[i].isPunct("==") && !toks[i].isPunct("!=")) {
+            continue;
+        }
+        std::size_t rhs = i + 1;
+        if ((toks[rhs].isPunct("-") || toks[rhs].isPunct("+")) &&
+            rhs + 1 < toks.size()) {
+            ++rhs;
+        }
+        if (!isFloatLiteral(toks[i - 1]) && !isFloatLiteral(toks[rhs])) {
+            continue;
+        }
+        addFinding(out, file, toks[i], "edgepc-R4",
+                   "raw " + toks[i].text +
+                       " against a floating-point literal in kernel "
+                       "code; compare with an epsilon");
+    }
+}
+
+// ---------------------------------------------------------------- R5
+void
+ruleHeaderHygiene(const LexedFile &file, std::vector<Finding> &out)
+{
+    if (!isHeader(file.path) || file.tokens.empty()) {
+        return;
+    }
+    const auto &toks = file.tokens;
+
+    // (a) Include guard: the first directive must be `#pragma once` or
+    // an `#ifndef G` immediately confirmed by `#define G`.
+    bool guarded = false;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Directive) {
+            continue;
+        }
+        if (toks[i].text == "pragma" && i + 1 < toks.size() &&
+            toks[i + 1].isIdent("once")) {
+            guarded = true;
+        } else if (toks[i].text == "ifndef" && i + 1 < toks.size() &&
+                   toks[i + 1].kind == TokenKind::Ident) {
+            const std::string &guard = toks[i + 1].text;
+            for (std::size_t j = i + 2; j < toks.size(); ++j) {
+                if (toks[j].kind != TokenKind::Directive) {
+                    continue;
+                }
+                guarded = toks[j].text == "define" &&
+                          j + 1 < toks.size() &&
+                          toks[j + 1].text == guard;
+                break;
+            }
+        }
+        break; // Only the first directive can open the guard.
+    }
+    if (!guarded) {
+        Finding f{"edgepc-R5", file.path, 1, 1,
+                  "header is missing an include guard (#pragma once or "
+                  "#ifndef/#define)"};
+        out.push_back(std::move(f));
+    }
+
+    // (b) `using namespace` leaks into every includer.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].isIdent("using") && toks[i + 1].isIdent("namespace")) {
+            addFinding(out, file, toks[i], "edgepc-R5",
+                       "'using namespace' in a header leaks into every "
+                       "includer");
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, std::string>>
+ruleDescriptions()
+{
+    return {
+        {"edgepc-R1",
+         "no fatal()/panic() in neighbor/, sampling/, pointcloud/, "
+         "models/, datasets/ — use raise()"},
+        {"edgepc-R2",
+         "Result-returning functions are [[nodiscard]] and no call "
+         "discards a Result"},
+        {"edgepc-R3",
+         "no rand()/srand()/std::random_device outside common/rng — "
+         "use edgepc::Rng"},
+        {"edgepc-R4",
+         "no raw ==/!= against float literals in kernel code "
+         "(neighbor/, sampling/, nn/, geometry/)"},
+        {"edgepc-R5",
+         "headers carry an include guard and never 'using namespace'"},
+    };
+}
+
+std::set<std::string>
+collectResultFunctions(const LexedFile &file)
+{
+    std::set<std::string> names;
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].isIdent("Result") || !toks[i + 1].isPunct("<")) {
+            continue;
+        }
+        const std::size_t name = resultFunctionName(toks, i);
+        if (name != npos) {
+            names.insert(toks[name].text);
+        }
+    }
+    return names;
+}
+
+std::vector<Finding>
+runRules(const LexedFile &file, const std::set<std::string> &resultFns,
+         std::size_t &suppressed)
+{
+    std::vector<Finding> all;
+    ruleFatalInDataCode(file, all);
+    ruleNodiscardDecl(file, all);
+    ruleDiscardedResult(file, resultFns, all);
+    ruleRawRng(file, all);
+    ruleFloatCompare(file, all);
+    ruleHeaderHygiene(file, all);
+
+    std::vector<Finding> kept;
+    for (Finding &f : all) {
+        const auto at = file.nolint.find(f.line);
+        const bool silenced =
+            at != file.nolint.end() &&
+            (at->second.count(f.rule) != 0 || at->second.count("*") != 0);
+        if (silenced) {
+            ++suppressed;
+        } else {
+            kept.push_back(std::move(f));
+        }
+    }
+    return kept;
+}
+
+} // namespace edgepc::lint

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The repo-specific lint rules enforced by edgepc-lint.
+ *
+ *  R1  no fatal()/panic() in data-dependent directories (neighbor/,
+ *      sampling/, pointcloud/, models/, datasets/) — data-dependent
+ *      failures must use raise() so a serving layer can recover.
+ *  R2  Result<T> discipline: every Result-returning function declared
+ *      in a header carries [[nodiscard]], and no call to a known
+ *      Result-returning function discards the value (cast to (void)
+ *      to discard deliberately).
+ *  R3  no std::rand/srand/std::random_device outside common/rng —
+ *      thread-unsafe and breaks seeded determinism; use edgepc::Rng.
+ *  R4  no raw ==/!= against floating-point literals in kernel code
+ *      (neighbor/, sampling/, nn/, geometry/) — compare against an
+ *      epsilon instead.
+ *  R5  header hygiene: every header starts with an include guard
+ *      (#pragma once or a classic #ifndef/#define pair) and contains
+ *      no `using namespace`.
+ *
+ * Every rule honours `// NOLINT(edgepc-RN): reason` on the offending
+ * line and `// NOLINTNEXTLINE(edgepc-RN): reason` on the line above.
+ */
+
+#ifndef EDGEPC_TOOLS_LINT_RULES_HPP
+#define EDGEPC_TOOLS_LINT_RULES_HPP
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace edgepc::lint {
+
+/** One rule violation. */
+struct Finding
+{
+    std::string rule; ///< "edgepc-R1" … "edgepc-R5".
+    std::string path;
+    int line = 0;
+    int col = 0;
+    std::string message;
+};
+
+/** Rule id -> one-line description, for --list-rules. */
+std::vector<std::pair<std::string, std::string>> ruleDescriptions();
+
+/**
+ * Pass 1: names of functions declared or defined with a Result<...>
+ * return type in @p file (feeds the R2 discarded-result check).
+ */
+std::set<std::string> collectResultFunctions(const LexedFile &file);
+
+/**
+ * Pass 2: run every rule over @p file.
+ *
+ * @param file Tokenized source.
+ * @param resultFns Union of collectResultFunctions() over all files.
+ * @param suppressed Incremented once per finding silenced by NOLINT.
+ */
+std::vector<Finding> runRules(const LexedFile &file,
+                              const std::set<std::string> &resultFns,
+                              std::size_t &suppressed);
+
+} // namespace edgepc::lint
+
+#endif // EDGEPC_TOOLS_LINT_RULES_HPP
