@@ -6,6 +6,11 @@
  * Paper: sample + neighbor search takes 38-80% of E2E latency, rising
  * with the point count (ModelNet 1024 pts at the low end, ScanNet
  * 8192 pts at the high end).
+ *
+ * The per-stage numbers reported here come from the obs tracer's
+ * "stage" spans (not the StageTimer), so this bench doubles as an
+ * end-to-end check that the span instrumentation reproduces the
+ * paper's breakdown; it emits BENCH_fig03.json for CI.
  */
 
 #include "bench_util.hpp"
@@ -13,8 +18,9 @@
 using namespace edgepc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("Figure 3 (latency breakdown)",
                   "sample+neighbor = 38%..80% of E2E, growing with N");
     const std::size_t scale = bench::benchScale(1);
@@ -23,30 +29,58 @@ main()
               << "; paper-size inputs by default, raise "
                  "EDGEPC_BENCH_SCALE to shrink)\n\n";
 
+    // The breakdown is rebuilt from span data alone: enable the
+    // tracer even without --trace so the "stage" spans are retained.
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.setEnabled(true);
+
+    bench::BenchReport report("fig03", opts, scale, repeats);
+    report.config("pipeline", "baseline");
+    report.config("source", "obs-spans");
+
     Table table({"workload", "model", "points", "smp+ns ms", "group ms",
                  "feature ms", "E2E ms", "smp+ns share"});
 
     for (const WorkloadSpec &spec : workloadTable()) {
-        const auto model = makeWorkloadModel(spec, scale);
-        const PointCloud frame = makeWorkloadCloud(spec, scale);
+        const auto model = makeWorkloadModel(spec, scale, opts.seed);
+        const PointCloud frame =
+            makeWorkloadCloud(spec, scale, opts.seed + 1);
+        // measure() clears the span ring after warmup, so the "stage"
+        // spans cover exactly the measured repeats of this workload.
         const PipelineResult r = bench::measure(
             *model, EdgePcConfig::baseline(), frame, repeats);
 
-        const double sn = r.sampleNeighborMs;
+        std::map<std::string, double> stage_ms =
+            tracer.totalsMs("stage");
+        for (auto &[stage, ms] : stage_ms) {
+            ms /= repeats; // average per measured run
+        }
+        const double sn =
+            stage_ms[kStageSample] + stage_ms[kStageNeighbor];
+        const double group = stage_ms[kStageGroup];
+        const double feature = stage_ms[kStageFeature];
+
         table.row()
             .cell(spec.id)
             .cell(spec.modelName)
             .cell(static_cast<long long>(frame.size()))
             .cell(sn)
-            .cell(r.stages.total(kStageGroup))
-            .cell(r.stages.total(kStageFeature))
+            .cell(group)
+            .cell(feature)
             .cell(r.endToEndMs)
             .cell(formatPercent(sn / r.endToEndMs));
+
+        bench::BenchRow &row = report.row(spec.id);
+        row.wallMs = r.endToEndMs;
+        row.stages = stage_ms;
+        row.metrics["smp_ns_ms"] = sn;
+        row.metrics["smp_ns_share"] = sn / r.endToEndMs;
+        row.metrics["points"] = static_cast<double>(frame.size());
     }
     table.print(std::cout);
     std::cout << "\nExpected shape: the smp+ns share grows with the "
                  "point count and peaks on the 8192-pt workloads, "
                  "placing sample+neighbor search among the dominant "
                  "pipeline costs (paper band: 38-80%).\n";
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -30,10 +30,10 @@ struct Config
 };
 
 std::vector<Config>
-makeConfigs()
+makeConfigs(std::uint64_t seed)
 {
     std::vector<Config> configs;
-    Rng rng(61);
+    Rng rng(seed);
     {
         ShapeOptions o;
         o.points = 1024;
@@ -63,11 +63,16 @@ makeConfigs()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("Figure 6 (false-neighbor ratio, W = k)",
                   "pure index selection yields FNR as low as ~23%");
     const std::size_t k = 16;
+
+    bench::BenchReport report("fig06", opts, 1, 1);
+    report.config("k", static_cast<double>(k));
+    report.config("window", "k");
 
     // For ball query, "identified as a neighbor by the SOTA
     // technique" means lying inside the ball — the returned row is an
@@ -90,24 +95,38 @@ main()
     };
 
     Table table({"dataset", "vs ball query", "vs k-NN"});
-    for (const Config &config : makeConfigs()) {
+    Timer wall;
+    for (const Config &config : makeConfigs(opts.seed)) {
         const auto &pts = config.cloud.positions();
         MortonSampler sampler(32);
         const Structurization s = sampler.structurize(pts);
         const MortonWindowSearch window(0); // W = k
+        wall.reset();
         const auto approx = window.searchAll(pts, s, k);
+        const double approx_ms = wall.elapsedMs();
 
         BruteForceKnn knn;
         const auto knn_truth = knn.search(pts, pts, k);
 
+        const double fnr_ball =
+            fnr_vs_ball(pts, approx, config.ball_radius);
+        const double fnr_knn = falseNeighborRatio(approx, knn_truth);
+
         table.row()
             .cell(config.name)
-            .cell(formatPercent(
-                fnr_vs_ball(pts, approx, config.ball_radius)))
-            .cell(formatPercent(falseNeighborRatio(approx, knn_truth)));
+            .cell(formatPercent(fnr_ball))
+            .cell(formatPercent(fnr_knn));
+
+        bench::BenchRow &row = report.row(config.name);
+        row.wallMs = approx_ms;
+        row.metrics["fnr_vs_ball"] = fnr_ball;
+        row.metrics["fnr_vs_knn"] = fnr_knn;
+        row.metrics["recall_vs_knn"] = neighborRecall(approx, knn_truth);
+        row.metrics["points"] =
+            static_cast<double>(config.cloud.size());
     }
     table.print(std::cout);
     std::cout << "\nExpected shape: FNR well below 100% everywhere; "
                  "best configurations in the 20-40% range.\n";
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "geometry/morton.hpp"
 #include "neighbor/ball_query.hpp"
@@ -21,10 +22,21 @@
 namespace edgepc {
 namespace {
 
-std::vector<Vec3>
-randomCloud(std::size_t n, std::uint64_t seed = 1)
+/** Base seed for every kernel input; set from --seed in main(). */
+std::uint64_t benchSeed = 42;
+
+/** Deterministic per-call-site stream derived from the CLI seed. */
+Rng
+benchRng(std::uint64_t salt)
 {
-    Rng rng(seed);
+    std::uint64_t state = benchSeed + salt;
+    return Rng(splitmix64(state));
+}
+
+std::vector<Vec3>
+randomCloud(std::size_t n, std::uint64_t salt = 1)
+{
+    Rng rng = benchRng(salt);
     std::vector<Vec3> pts(n);
     for (auto &p : pts) {
         p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
@@ -49,7 +61,7 @@ BENCHMARK(BM_MortonEncode)->Arg(1024)->Arg(8192)->Arg(65536);
 void
 BM_RadixSort(benchmark::State &state)
 {
-    Rng rng(2);
+    Rng rng = benchRng(2);
     std::vector<std::uint64_t> codes(state.range(0));
     for (auto &c : codes) {
         c = rng.nextU64() & 0xffffffffull;
@@ -139,7 +151,7 @@ BENCHMARK(BM_MortonWindowSearch)->Arg(1024)->Arg(4096)->Arg(16384);
 void
 BM_GemmScalar(benchmark::State &state)
 {
-    Rng rng(3);
+    Rng rng = benchRng(3);
     nn::Matrix a(state.range(0), 64), b(64, 64);
     a.fillNormal(rng, 1.0f);
     b.fillNormal(rng, 1.0f);
@@ -154,7 +166,7 @@ BENCHMARK(BM_GemmScalar)->Arg(1024)->Arg(8192);
 void
 BM_GemmFast(benchmark::State &state)
 {
-    Rng rng(4);
+    Rng rng = benchRng(4);
     nn::Matrix a(state.range(0), 64), b(64, 64);
     a.fillNormal(rng, 1.0f);
     b.fillNormal(rng, 1.0f);
@@ -169,4 +181,34 @@ BENCHMARK(BM_GemmFast)->Arg(1024)->Arg(8192);
 } // namespace
 } // namespace edgepc
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: BenchOptions::parse() consumes the shared edgepc flags
+ * (--seed and friends) and compacts argv before google-benchmark sees
+ * it. After the run the accumulated kernel counters (GEMM FLOPs/path
+ * mix, per-searcher query counts) are emitted as BENCH_kernels.json.
+ */
+int
+main(int argc, char **argv)
+{
+    edgepc::bench::BenchOptions opts =
+        edgepc::bench::BenchOptions::parse(argc, argv);
+    edgepc::benchSeed = opts.seed;
+    edgepc::nn::GemmEngine::globalEngine().resetStats();
+    edgepc::obs::MetricsRegistry::global().reset();
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    edgepc::bench::BenchReport report("kernels", opts, 1, 1);
+    report.config("suite", "google-benchmark");
+    edgepc::bench::BenchRow &row = report.row("counters");
+    for (const auto &[name, value] :
+         edgepc::obs::MetricsRegistry::global().counters()) {
+        row.metrics[name] = static_cast<double>(value);
+    }
+    return report.write() ? 0 : 1;
+}

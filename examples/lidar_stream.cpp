@@ -12,7 +12,12 @@
  * spikes, and the demo prints the stream-health telemetry showing the
  * pipeline repairing, degrading and skipping instead of dying.
  *
- * Usage: lidar_stream [frames] [points] [--chaos]
+ * With --trace OUT.json every pipeline/stage/kernel span of the run
+ * is captured and written in Chrome trace_event format — load the
+ * file into chrome://tracing or https://ui.perfetto.dev to see the
+ * per-thread timeline (DESIGN.md §8).
+ *
+ * Usage: lidar_stream [frames] [points] [--chaos] [--trace OUT.json]
  */
 
 #include <algorithm>
@@ -27,21 +32,34 @@
 #include "datasets/scenes.hpp"
 #include "example_util.hpp"
 #include "models/pointnetpp.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 using namespace edgepc;
 
 int
 main(int argc, char **argv)
 {
-    const std::string usage = "lidar_stream [frames] [points] [--chaos]";
+    const std::string usage =
+        "lidar_stream [frames] [points] [--chaos] [--trace OUT.json]";
     std::size_t frames = 16;
     std::size_t points = 2048;
     bool chaos = false;
+    std::string trace_path;
 
     int positional = 0;
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--chaos") == 0) {
             chaos = true;
+            continue;
+        }
+        if (std::strcmp(argv[a], "--trace") == 0) {
+            if (a + 1 >= argc) {
+                std::cerr << "--trace requires a path\nusage: " << usage
+                          << "\n";
+                return 2;
+            }
+            trace_path = argv[++a];
             continue;
         }
         std::size_t *slot = positional == 0 ? &frames : &points;
@@ -51,6 +69,10 @@ main(int argc, char **argv)
             return 2;
         }
         ++positional;
+    }
+
+    if (!trace_path.empty()) {
+        obs::Tracer::global().setEnabled(true);
     }
 
     std::cout << "Streaming " << frames << " LiDAR frames of " << points
@@ -156,5 +178,16 @@ main(int argc, char **argv)
     robust.health().printTable(std::cout);
     std::cout << "\nEvery frame was answered or accounted for — no "
                  "frame can kill the stream.\n";
+
+    if (!trace_path.empty()) {
+        const Result<void> written = obs::writeChromeTraceFile(
+            trace_path, obs::Tracer::global());
+        if (!written.ok()) {
+            std::cerr << written.error().message << "\n";
+            return 1;
+        }
+        std::cout << "\nSpan timeline written to " << trace_path
+                  << " — open chrome://tracing and load it.\n";
+    }
     return 0;
 }

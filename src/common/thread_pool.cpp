@@ -4,7 +4,41 @@
 #include <exception>
 #include <future>
 
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+
 namespace edgepc {
+
+namespace {
+
+/** Tasks currently queued (enqueued, not yet picked up). */
+obs::Gauge &
+queueDepthGauge()
+{
+    static obs::Gauge &gauge =
+        obs::MetricsRegistry::global().gauge("threadpool.queue_depth");
+    return gauge;
+}
+
+/** Tasks ever enqueued. */
+obs::Counter &
+taskCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter("threadpool.tasks");
+    return counter;
+}
+
+/** Enqueue-to-completion latency (queue wait + execution). */
+obs::Histogram &
+taskLatencyHistogram()
+{
+    static obs::Histogram &hist =
+        obs::MetricsRegistry::global().histogram("threadpool.task_ms");
+    return hist;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
@@ -43,7 +77,9 @@ ThreadPool::workerLoop()
             task = std::move(tasks.front());
             tasks.pop();
         }
+        queueDepthGauge().add(-1);
         task.body();
+        taskLatencyHistogram().observe(task.queued.elapsedMs());
     }
 }
 
@@ -118,6 +154,10 @@ ThreadPool::parallelForChunked(
     };
 
     const std::size_t helpers = std::min(nchunks - 1, workers.size());
+    // Bumped before the push so the gauge can never dip negative when
+    // a worker pops (and decrements) immediately.
+    taskCounter().add(helpers);
+    queueDepthGauge().add(static_cast<std::int64_t>(helpers));
     {
         std::lock_guard<std::mutex> lock(queueMutex);
         for (std::size_t i = 0; i < helpers; ++i) {
@@ -154,6 +194,8 @@ ThreadPool::submit(std::function<void()> fn)
 {
     auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
     std::future<void> future = task->get_future();
+    taskCounter().add(1);
+    queueDepthGauge().add(1);
     {
         std::lock_guard<std::mutex> lock(queueMutex);
         tasks.push(Task{[task] { (*task)(); }});

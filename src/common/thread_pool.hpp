@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/timer.hpp"
+
 namespace edgepc {
 
 /**
@@ -93,6 +95,8 @@ class ThreadPool
     struct Task
     {
         std::function<void()> body;
+        /** Started at enqueue; feeds the task-latency histogram. */
+        Timer queued;
     };
 
     void workerLoop();

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace edgepc {
 
 /** Simple monotonic stopwatch returning elapsed time in milliseconds. */
@@ -85,12 +87,16 @@ class StageTimer
     /**
      * RAII scope that adds its lifetime to a stage on destruction.
      * Usage: { ScopedStage s(timer, "sample"); ...work... }
+     *
+     * Every scoped stage also emits a "stage"-category span on the
+     * global tracer, so the figure benches can rebuild the paper's
+     * per-stage breakdown from span data alone (DESIGN.md §8).
      */
     class ScopedStage
     {
       public:
         ScopedStage(StageTimer &timer, std::string stage)
-            : owner(timer), name(std::move(stage))
+            : owner(timer), name(std::move(stage)), span(name, "stage")
         {
         }
         ~ScopedStage() { owner.add(name, watch.elapsedMs()); }
@@ -101,6 +107,7 @@ class StageTimer
       private:
         StageTimer &owner;
         std::string name;
+        obs::TraceScope span;
         Timer watch;
     };
 

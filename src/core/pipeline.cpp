@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include "nn/gemm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace edgepc {
 
@@ -37,10 +39,16 @@ InferencePipeline::tryRun(const PointCloud &cloud)
 PipelineResult
 InferencePipeline::runBatch(std::span<const PointCloud> clouds)
 {
+    EDGEPC_TRACE_SCOPE("pipeline", "pipeline");
+    static obs::Counter &frames =
+        obs::MetricsRegistry::global().counter("pipeline.frames");
+    frames.add(clouds.size());
+
     applyGemmMode();
 
     PipelineResult result;
     for (const PointCloud &cloud : clouds) {
+        EDGEPC_TRACE_SCOPE("frame", "pipeline");
         result.logits = model.infer(cloud, cfg, &result.stages);
     }
     result.endToEndMs = result.stages.grandTotal();

@@ -6,6 +6,7 @@
 
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "sampling/uniform_index_sampler.hpp"
 
 namespace edgepc {
@@ -146,14 +147,17 @@ RobustPipeline::runAttempt(const PointCloud &cloud,
 RobustFrameResult
 RobustPipeline::process(const PointCloud &frame)
 {
+    EDGEPC_TRACE_SCOPE("robust.process", "pipeline");
     Timer wall;
     RobustFrameResult out;
     stats.bump(stats.frames);
 
     // --- Sanitize ---------------------------------------------------
     out.processed = frame;
-    Result<SanitizeReport> sanitized =
-        sanitizeCloud(out.processed, opts.sanitizer);
+    Result<SanitizeReport> sanitized = [&] {
+        EDGEPC_TRACE_SCOPE("robust.sanitize", "pipeline");
+        return sanitizeCloud(out.processed, opts.sanitizer);
+    }();
     if (!sanitized.ok()) {
         out.status = FrameStatus::Dropped;
         out.error = sanitized.error();
@@ -180,8 +184,11 @@ RobustPipeline::process(const PointCloud &frame)
         }
 
         bool missed = false;
-        Result<PipelineResult> run =
-            runAttempt(attempt_cloud, configForLevel(lvl), missed);
+        Result<PipelineResult> run = [&] {
+            EDGEPC_TRACE_SCOPE("robust.attempt", "pipeline");
+            return runAttempt(attempt_cloud, configForLevel(lvl),
+                              missed);
+        }();
         if (!run.ok()) {
             stats.countError(run.error());
             stats.bump(stats.retries);

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace edgepc {
 
@@ -21,6 +23,10 @@ NeighborLists
 BallQuery::search(std::span<const Vec3> queries,
                   std::span<const Vec3> candidates, std::size_t k)
 {
+    EDGEPC_TRACE_SCOPE("ball-query", "neighbor");
+    static obs::Counter &qcount = obs::MetricsRegistry::global().counter(
+        "neighbor.ball-query.queries");
+    qcount.add(queries.size());
     if (candidates.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "BallQuery: empty candidate set or k == 0");
     }

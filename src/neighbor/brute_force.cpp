@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace edgepc {
 
@@ -32,6 +34,10 @@ NeighborLists
 BruteForceKnn::search(std::span<const Vec3> queries,
                       std::span<const Vec3> candidates, std::size_t k)
 {
+    EDGEPC_TRACE_SCOPE("brute-force", "neighbor");
+    static obs::Counter &qcount = obs::MetricsRegistry::global().counter(
+        "neighbor.brute-force.queries");
+    qcount.add(queries.size());
     if (candidates.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "BruteForceKnn: empty candidate set or k == 0");
     }

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "geometry/voxel_grid.hpp"
 
 namespace edgepc {
@@ -23,6 +25,10 @@ NeighborLists
 GridBallQuery::search(std::span<const Vec3> queries,
                       std::span<const Vec3> candidates, std::size_t k)
 {
+    EDGEPC_TRACE_SCOPE("grid-ball-query", "neighbor");
+    static obs::Counter &qcount = obs::MetricsRegistry::global().counter(
+        "neighbor.grid-ball-query.queries");
+    qcount.add(queries.size());
     if (candidates.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "GridBallQuery: empty candidate set or k == 0");
     }

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace edgepc {
 
@@ -129,6 +131,10 @@ NeighborLists
 KdTreeBallQuery::search(std::span<const Vec3> queries,
                         std::span<const Vec3> candidates, std::size_t k)
 {
+    EDGEPC_TRACE_SCOPE("kd-tree-ball", "neighbor");
+    static obs::Counter &qcount = obs::MetricsRegistry::global().counter(
+        "neighbor.kd-tree-ball.queries");
+    qcount.add(queries.size());
     if (candidates.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "KdTreeBallQuery: empty candidate set or k == 0");
     }
@@ -160,6 +166,10 @@ NeighborLists
 KdTreeKnn::search(std::span<const Vec3> queries,
                   std::span<const Vec3> candidates, std::size_t k)
 {
+    EDGEPC_TRACE_SCOPE("kd-tree", "neighbor");
+    static obs::Counter &knn_qcount =
+        obs::MetricsRegistry::global().counter("neighbor.kd-tree.queries");
+    knn_qcount.add(queries.size());
     if (candidates.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "KdTreeKnn: empty candidate set or k == 0");
     }

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace edgepc {
 
@@ -71,6 +73,10 @@ MortonWindowSearch::search(std::span<const Vec3> points,
                            std::span<const std::uint32_t> query_indices,
                            std::size_t k) const
 {
+    EDGEPC_TRACE_SCOPE("morton-window", "neighbor");
+    static obs::Counter &qcount = obs::MetricsRegistry::global().counter(
+        "neighbor.morton-window.queries");
+    qcount.add(query_indices.size());
     if (points.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "MortonWindowSearch: empty cloud or k == 0");
     }
@@ -90,6 +96,10 @@ NeighborLists
 MortonWindowSearch::searchAll(std::span<const Vec3> points,
                               const Structurization &s, std::size_t k) const
 {
+    EDGEPC_TRACE_SCOPE("morton-window", "neighbor");
+    static obs::Counter &all_qcount = obs::MetricsRegistry::global().counter(
+        "neighbor.morton-window.queries");
+    all_qcount.add(points.size());
     if (points.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "MortonWindowSearch: empty cloud or k == 0");
     }
@@ -114,6 +124,10 @@ NeighborLists
 MortonWindowKnn::search(std::span<const Vec3> queries,
                         std::span<const Vec3> candidates, std::size_t k)
 {
+    EDGEPC_TRACE_SCOPE("morton-window-knn", "neighbor");
+    static obs::Counter &qcount = obs::MetricsRegistry::global().counter(
+        "neighbor.morton-window-knn.queries");
+    qcount.add(queries.size());
     if (candidates.empty() || k == 0) {
         raise(ErrorCode::EmptyCloud, "MortonWindowKnn: empty candidate set or k == 0");
     }

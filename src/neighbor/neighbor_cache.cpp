@@ -1,8 +1,40 @@
 #include "neighbor/neighbor_cache.hpp"
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace edgepc {
+
+namespace {
+
+/** Layers served from the cache (reused neighbor lists). */
+obs::Counter &
+hitCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter("neighbor_cache.hits");
+    return counter;
+}
+
+/** Layers that had to compute their own lists. */
+obs::Counter &
+missCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter("neighbor_cache.misses");
+    return counter;
+}
+
+/** Bytes held by the cached index matrix. */
+obs::Gauge &
+bytesGauge()
+{
+    static obs::Gauge &gauge =
+        obs::MetricsRegistry::global().gauge("neighbor_cache.bytes");
+    return gauge;
+}
+
+} // namespace
 
 NeighborCache::NeighborCache(int reuse_distance) : dist(reuse_distance)
 {
@@ -26,8 +58,10 @@ NeighborCache::shouldCompute(int layer) const
 void
 NeighborCache::store(int layer, NeighborLists lists)
 {
+    missCounter().add(1);
     storedLayer = layer;
     cached = std::move(lists);
+    bytesGauge().set(static_cast<std::int64_t>(memoryBytes()));
 }
 
 const NeighborLists &
@@ -41,6 +75,7 @@ NeighborCache::lookup(int layer) const
         // NOLINTNEXTLINE(edgepc-R1): caller protocol violation, not data
         panic("NeighborCache::lookup(%d) on a compute layer", layer);
     }
+    hitCounter().add(1);
     return cached;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace edgepc {
 namespace nn {
@@ -123,6 +125,15 @@ GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
     if (m == 0 || n == 0 || k == 0) {
         return;
     }
+    EDGEPC_TRACE_SCOPE("gemm", "nn");
+    // References cached once: metric objects live for the process.
+    static obs::Counter &flops =
+        obs::MetricsRegistry::global().counter("gemm.flops");
+    static obs::Counter &fastPath =
+        obs::MetricsRegistry::global().counter("gemm.fast_path_calls");
+    static obs::Counter &scalarPath =
+        obs::MetricsRegistry::global().counter("gemm.scalar_path_calls");
+    flops.add(2ull * m * k * n);
     bool fast = false;
     switch (policy) {
       case GemmMode::Scalar:
@@ -138,9 +149,11 @@ GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
     }
     if (fast) {
         ++fastCalls;
+        fastPath.add(1);
         gemmFast(a, b, c, m, k, n);
     } else {
         ++scalarCalls;
+        scalarPath.add(1);
         gemmScalar(a, b, c, m, k, n);
     }
 }

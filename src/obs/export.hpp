@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Observability exporters:
+ *
+ *  - writeChromeTrace(): the Chrome trace_event JSON format — load the
+ *    file into chrome://tracing (or https://ui.perfetto.dev) to see
+ *    the per-thread span timeline of a run.
+ *  - writeStatsJson(): a flat, schema-stable snapshot of every
+ *    registered counter, gauge and histogram
+ *    (schema "edgepc-stats-v1").
+ *
+ * Both emitters are deterministic given identical inputs (sorted keys,
+ * fixed number formatting), which the golden-file tests rely on.
+ */
+
+#ifndef EDGEPC_OBS_EXPORT_HPP
+#define EDGEPC_OBS_EXPORT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace edgepc {
+namespace obs {
+
+/** Chrome trace_event schema marker ("X" complete events, us times). */
+inline constexpr const char *kChromeTraceSchema = "edgepc-trace-v1";
+
+/** Stats JSON schema marker. */
+inline constexpr const char *kStatsSchema = "edgepc-stats-v1";
+
+/**
+ * Write the tracer's retained spans as Chrome trace_event JSON.
+ * Events are "ph":"X" complete events with microsecond timestamps,
+ * one Chrome "thread" per recording thread, sorted by
+ * (tid, start, depth).
+ */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+/** Write a flat stats snapshot of @p registry as JSON. */
+void writeStatsJson(std::ostream &os, const MetricsRegistry &registry);
+
+/** writeChromeTrace() to @p path; IoError result when unwritable. */
+[[nodiscard]] Result<void> writeChromeTraceFile(const std::string &path,
+                                                const Tracer &tracer);
+
+/** writeStatsJson() to @p path; IoError result when unwritable. */
+[[nodiscard]] Result<void>
+writeStatsJsonFile(const std::string &path,
+                   const MetricsRegistry &registry);
+
+} // namespace obs
+} // namespace edgepc
+
+#endif // EDGEPC_OBS_EXPORT_HPP

@@ -1,0 +1,187 @@
+#include "obs/json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace edgepc {
+namespace obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream &os) : out(os) {}
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return;
+    }
+    if (!hasSibling.empty()) {
+        if (hasSibling.back()) {
+            out << ',';
+        }
+        hasSibling.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    out << '{';
+    hasSibling.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (hasSibling.empty()) {
+        broken = true;
+        return *this;
+    }
+    hasSibling.pop_back();
+    out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    out << '[';
+    hasSibling.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (hasSibling.empty()) {
+        broken = true;
+        return *this;
+    }
+    hasSibling.pop_back();
+    out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    separator();
+    out << '"' << jsonEscape(k) << "\":";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    separator();
+    out << '"' << jsonEscape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string_view(s));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    out << jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separator();
+    out << "null";
+    return *this;
+}
+
+} // namespace obs
+} // namespace edgepc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer used by the observability
+ * exporters and the benchmark report emitter.
+ *
+ * The writer produces minified JSON with stable number formatting
+ * (%.12g for doubles, decimal for integers) so that two runs with the
+ * same inputs emit byte-identical documents — the golden-file tests
+ * and the BENCH_*.json trajectory depend on that stability.
+ */
+
+#ifndef EDGEPC_OBS_JSON_HPP
+#define EDGEPC_OBS_JSON_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgepc {
+namespace obs {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/** Format a double the way every edgepc JSON document does (%.12g). */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON writer with explicit begin/end nesting.
+ *
+ * Usage:
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("name").value("fig03");
+ *   w.key("rows").beginArray();
+ *   ... w.endArray();
+ *   w.endObject();
+ *
+ * The writer inserts commas automatically; mismatched begin/end pairs
+ * are an internal bug and are reported via the error flag rather than
+ * corrupting output.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** True when begin/end calls were balanced so far. */
+    bool wellFormed() const { return !broken; }
+
+  private:
+    void separator();
+
+    std::ostream &out;
+    /** Per-depth flag: true once a sibling was written at this level. */
+    std::vector<bool> hasSibling;
+    bool pendingKey = false;
+    bool broken = false;
+};
+
+} // namespace obs
+} // namespace edgepc
+
+#endif // EDGEPC_OBS_JSON_HPP

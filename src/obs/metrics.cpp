@@ -1,0 +1,198 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace edgepc {
+namespace obs {
+
+namespace {
+
+/** CAS-loop add for a double stored as its bit pattern. */
+void
+atomicAddDouble(std::atomic<std::uint64_t> &bits, double delta)
+{
+    std::uint64_t expected = bits.load(std::memory_order_relaxed);
+    for (;;) {
+        const double current = std::bit_cast<double>(expected);
+        const std::uint64_t desired =
+            std::bit_cast<std::uint64_t>(current + delta);
+        if (bits.compare_exchange_weak(expected, desired,
+                                       std::memory_order_relaxed)) {
+            return;
+        }
+    }
+}
+
+} // namespace
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+{
+    if (upper_bounds.empty()) {
+        upper_bounds = defaultLatencyBoundsMs();
+    }
+    ub.assign(upper_bounds.begin(), upper_bounds.end());
+    for (std::size_t i = 1; i < ub.size(); ++i) {
+        if (!(ub[i - 1] < ub[i])) {
+            raise(ErrorCode::InvalidArgument,
+                  "Histogram: bucket bounds must be strictly "
+                  "increasing (bound %zu)",
+                  i);
+        }
+    }
+    buckets = std::vector<std::atomic<std::uint64_t>>(ub.size() + 1);
+}
+
+void
+Histogram::observe(double value)
+{
+    const auto it = std::lower_bound(ub.begin(), ub.end(), value);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - ub.begin()); // ub.size() = +inf
+    buckets[idx].fetch_add(1, std::memory_order_relaxed);
+    n.fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(sumBits, value);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out(buckets.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        out[i] = buckets[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+double
+Histogram::sum() const
+{
+    return std::bit_cast<double>(sumBits.load(std::memory_order_relaxed));
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets) {
+        b.store(0, std::memory_order_relaxed);
+    }
+    n.store(0, std::memory_order_relaxed);
+    sumBits.store(std::bit_cast<std::uint64_t>(0.0),
+                  std::memory_order_relaxed);
+}
+
+std::span<const double>
+Histogram::defaultLatencyBoundsMs()
+{
+    static constexpr std::array<double, 9> bounds = {
+        0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0};
+    return bounds;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Intentionally leaked: kernels on the thread pool may bump
+    // metrics during static destruction, so the registry must outlive
+    // every other static.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = counterMap.find(name);
+    if (it == counterMap.end()) {
+        it = counterMap
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = gaugeMap.find(name);
+    if (it == gaugeMap.end()) {
+        it = gaugeMap
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           std::span<const double> upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = histogramMap.find(name);
+    if (it == histogramMap.end()) {
+        it = histogramMap
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>(upper_bounds))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[name, c] : counterMap) {
+        c->reset();
+    }
+    for (const auto &[name, g] : gaugeMap) {
+        g->reset();
+    }
+    for (const auto &[name, h] : histogramMap) {
+        h->reset();
+    }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counterMap.size());
+    for (const auto &[name, c] : counterMap) {
+        out.emplace_back(name, c->value());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    out.reserve(gaugeMap.size());
+    for (const auto &[name, g] : gaugeMap) {
+        out.emplace_back(name, g->value());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, const Histogram *>>
+MetricsRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, const Histogram *>> out;
+    out.reserve(histogramMap.size());
+    for (const auto &[name, h] : histogramMap) {
+        out.emplace_back(name, h.get());
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace edgepc

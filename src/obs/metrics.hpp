@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Process-wide metrics: counters, gauges and fixed-bucket latency
+ * histograms behind a named registry.
+ *
+ * All metric updates are lock-free atomics, so kernels on the thread
+ * pool can bump counters concurrently; only the first lookup of a
+ * metric name takes the registry mutex. Hot paths cache the returned
+ * reference (metric objects are never deallocated while the registry
+ * lives).
+ */
+
+#ifndef EDGEPC_OBS_METRICS_HPP
+#define EDGEPC_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgepc {
+namespace obs {
+
+/** Monotonically increasing counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return v.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v{0};
+};
+
+/** Signed instantaneous value (queue depth, cache bytes, ...). */
+class Gauge
+{
+  public:
+    void set(std::int64_t value)
+    {
+        v.store(value, std::memory_order_relaxed);
+    }
+
+    void add(std::int64_t delta)
+    {
+        v.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t value() const
+    {
+        return v.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> v{0};
+};
+
+/**
+ * Fixed-bucket histogram: bucket i counts observations <= bounds[i],
+ * with one implicit overflow bucket at the end (the "+inf" bucket of
+ * the stats JSON). Bounds are fixed at construction; observations are
+ * lock-free.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param upper_bounds Strictly increasing bucket upper bounds.
+     *        Raises InvalidArgument when empty or unsorted.
+     */
+    explicit Histogram(std::span<const double> upper_bounds);
+
+    /** Record one observation. */
+    void observe(double value);
+
+    /** Bucket upper bounds (without the implicit +inf bucket). */
+    const std::vector<double> &bounds() const { return ub; }
+
+    /** Per-bucket counts; size bounds().size() + 1 (last = +inf). */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+    /** Total observations. */
+    std::uint64_t count() const
+    {
+        return n.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all observed values. */
+    double sum() const;
+
+    void reset();
+
+    /**
+     * The default latency bucket ladder in milliseconds:
+     * 0.01, 0.1, 0.5, 1, 5, 10, 50, 100, 1000 (+inf implicit).
+     */
+    static std::span<const double> defaultLatencyBoundsMs();
+
+  private:
+    std::vector<double> ub;
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> n{0};
+    /** Bit pattern of the double sum (CAS-add; pre-C++20-atomic-double
+        portable). */
+    std::atomic<std::uint64_t> sumBits{0};
+};
+
+/**
+ * Name -> metric registry. Lookup creates on first use; the returned
+ * references stay valid for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry the library kernels report into. */
+    static MetricsRegistry &global();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+
+    /**
+     * Histogram lookup. @p upper_bounds applies only on first
+     * creation (empty picks defaultLatencyBoundsMs()); later lookups
+     * return the existing histogram regardless of bounds.
+     */
+    Histogram &histogram(std::string_view name,
+                         std::span<const double> upper_bounds = {});
+
+    /** Zero every registered metric (registration survives). */
+    void reset();
+
+    /** Sorted (name, value) snapshot of all counters. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+    /** Sorted (name, value) snapshot of all gauges. */
+    std::vector<std::pair<std::string, std::int64_t>> gauges() const;
+
+    /** Sorted (name, histogram*) snapshot of all histograms. */
+    std::vector<std::pair<std::string, const Histogram *>>
+    histograms() const;
+
+  private:
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counterMap;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gaugeMap;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histogramMap;
+};
+
+} // namespace obs
+} // namespace edgepc
+
+#endif // EDGEPC_OBS_METRICS_HPP

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace edgepc {
 
@@ -16,6 +18,10 @@ FarthestPointSampler::FarthestPointSampler(std::uint32_t start_index,
 std::vector<std::uint32_t>
 FarthestPointSampler::sample(std::span<const Vec3> points, std::size_t n)
 {
+    EDGEPC_TRACE_SCOPE("fps", "sampling");
+    static obs::Counter &calls =
+        obs::MetricsRegistry::global().counter("sampler.fps.calls");
+    calls.add(1);
     const std::size_t total = points.size();
     n = std::min(n, total);
     std::vector<std::uint32_t> selected;

@@ -1,6 +1,8 @@
 #include "sampling/morton_sampler.hpp"
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/uniform_index_sampler.hpp"
 
 namespace edgepc {
@@ -27,6 +29,10 @@ MortonSampler::makeEncoder(std::span<const Vec3> points) const
 Structurization
 MortonSampler::structurize(std::span<const Vec3> points) const
 {
+    EDGEPC_TRACE_SCOPE("structurize", "sampling");
+    static obs::Counter &calls = obs::MetricsRegistry::global().counter(
+        "sampler.morton.structurize_calls");
+    calls.add(1);
     Structurization s;
     const MortonEncoder encoder = makeEncoder(points);
     encoder.encodeAll(points, s.codes);
@@ -55,6 +61,10 @@ MortonSampler::sampleStructurized(const Structurization &s,
 std::vector<std::uint32_t>
 MortonSampler::sample(std::span<const Vec3> points, std::size_t n)
 {
+    EDGEPC_TRACE_SCOPE("morton", "sampling");
+    static obs::Counter &calls =
+        obs::MetricsRegistry::global().counter("sampler.morton.calls");
+    calls.add(1);
     const Structurization s = structurize(points);
     return sampleStructurized(s, n);
 }

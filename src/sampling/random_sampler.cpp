@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace edgepc {
 
 RandomSampler::RandomSampler(std::uint64_t seed) : rng(seed) {}
@@ -10,6 +13,10 @@ RandomSampler::RandomSampler(std::uint64_t seed) : rng(seed) {}
 std::vector<std::uint32_t>
 RandomSampler::sample(std::span<const Vec3> points, std::size_t n)
 {
+    EDGEPC_TRACE_SCOPE("random", "sampling");
+    static obs::Counter &calls =
+        obs::MetricsRegistry::global().counter("sampler.random.calls");
+    calls.add(1);
     const std::size_t total = points.size();
     n = std::min(n, total);
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace edgepc {
 
 std::vector<std::uint32_t>
@@ -18,6 +21,10 @@ UniformIndexSampler::stridePositions(std::size_t total, std::size_t n)
 std::vector<std::uint32_t>
 UniformIndexSampler::sample(std::span<const Vec3> points, std::size_t n)
 {
+    EDGEPC_TRACE_SCOPE("uniform-index", "sampling");
+    static obs::Counter &calls = obs::MetricsRegistry::global().counter(
+        "sampler.uniform-index.calls");
+    calls.add(1);
     return stridePositions(points.size(), n);
 }
 

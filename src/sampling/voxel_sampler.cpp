@@ -5,6 +5,8 @@
 
 #include "common/rng.hpp"
 #include "geometry/morton.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/uniform_index_sampler.hpp"
 
 namespace edgepc {
@@ -14,6 +16,10 @@ VoxelGridSampler::VoxelGridSampler(std::uint64_t seed) : fillSeed(seed) {}
 std::vector<std::uint32_t>
 VoxelGridSampler::sample(std::span<const Vec3> points, std::size_t n)
 {
+    EDGEPC_TRACE_SCOPE("voxel-grid", "sampling");
+    static obs::Counter &calls = obs::MetricsRegistry::global().counter(
+        "sampler.voxel-grid.calls");
+    calls.add(1);
     const std::size_t total = points.size();
     n = std::min(n, total);
     if (n == 0) {

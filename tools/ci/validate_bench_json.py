@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Schema validator for the BENCH_*.json perf reports.
+
+Checks every file passed on the command line (or globbed from a
+directory) against the "edgepc-bench-v1" schema emitted by
+bench/bench_util.hpp's BenchReport. Stdlib only, so the CI perf-smoke
+job can run it on a bare runner.
+
+Usage:
+    tools/ci/validate_bench_json.py BENCH_fig03.json [more.json ...]
+    tools/ci/validate_bench_json.py --dir bench_out/
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "edgepc-bench-v1"
+
+
+def fail(path: str, message: str) -> None:
+    raise SystemExit(f"{path}: {message}")
+
+
+def require(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        fail(path, message)
+
+
+def is_number(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_row(path: str, i: int, row: object) -> None:
+    ctx = f"rows[{i}]"
+    require(isinstance(row, dict), path, f"{ctx} is not an object")
+    for key in ("label", "wall_ms", "stages", "metrics"):
+        require(key in row, path, f"{ctx} missing key '{key}'")
+    require(isinstance(row["label"], str) and row["label"],
+            path, f"{ctx}.label must be a non-empty string")
+    require(is_number(row["wall_ms"]), path,
+            f"{ctx}.wall_ms must be a number")
+    require(row["wall_ms"] >= 0, path, f"{ctx}.wall_ms must be >= 0")
+    for section in ("stages", "metrics"):
+        mapping = row[section]
+        require(isinstance(mapping, dict), path,
+                f"{ctx}.{section} is not an object")
+        for k, v in mapping.items():
+            require(isinstance(k, str) and k, path,
+                    f"{ctx}.{section} has a non-string key")
+            require(is_number(v), path,
+                    f"{ctx}.{section}['{k}'] is not a number")
+
+
+def validate(path: str) -> None:
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(path, f"unreadable or invalid JSON: {exc}")
+
+    require(isinstance(doc, dict), path, "top level is not an object")
+    for key in ("schema", "name", "git_sha", "seed", "scale",
+                "repeats", "config", "rows"):
+        require(key in doc, path, f"missing top-level key '{key}'")
+    require(doc["schema"] == SCHEMA, path,
+            f"schema is '{doc['schema']}', expected '{SCHEMA}'")
+    require(isinstance(doc["name"], str) and doc["name"], path,
+            "name must be a non-empty string")
+    require(isinstance(doc["git_sha"], str) and doc["git_sha"], path,
+            "git_sha must be a non-empty string")
+    for key in ("seed", "scale", "repeats"):
+        require(isinstance(doc[key], int) and not
+                isinstance(doc[key], bool), path,
+                f"{key} must be an integer")
+    require(isinstance(doc["config"], dict), path,
+            "config is not an object")
+    for k, v in doc["config"].items():
+        require(isinstance(v, str) or is_number(v), path,
+                f"config['{k}'] must be a string or number")
+    rows = doc["rows"]
+    require(isinstance(rows, list), path, "rows is not an array")
+    require(len(rows) > 0, path, "rows is empty")
+    for i, row in enumerate(rows):
+        validate_row(path, i, row)
+
+
+def main(argv: list[str]) -> int:
+    paths: list[str] = []
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--dir":
+            if not args:
+                raise SystemExit("--dir requires an argument")
+            paths.extend(sorted(
+                glob.glob(os.path.join(args.pop(0), "BENCH_*.json"))))
+        else:
+            paths.append(arg)
+    if not paths:
+        raise SystemExit(__doc__)
+    for path in paths:
+        validate(path)
+        print(f"{path}: OK ({SCHEMA})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

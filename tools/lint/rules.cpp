@@ -9,8 +9,9 @@ namespace {
 constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
 /** Directories where data-dependent failures must raise() (R1). */
-const std::array<const char *, 5> kDataDirs = {
-    "neighbor/", "sampling/", "pointcloud/", "models/", "datasets/",
+const std::array<const char *, 6> kDataDirs = {
+    "neighbor/",   "sampling/", "pointcloud/",
+    "models/",     "datasets/", "obs/",
 };
 
 /** Directories treated as kernel code for the float-compare rule. */
@@ -437,7 +438,7 @@ ruleDescriptions()
     return {
         {"edgepc-R1",
          "no fatal()/panic() in neighbor/, sampling/, pointcloud/, "
-         "models/, datasets/ — use raise()"},
+         "models/, datasets/, obs/ — use raise()"},
         {"edgepc-R2",
          "Result-returning functions are [[nodiscard]] and no call "
          "discards a Result"},
