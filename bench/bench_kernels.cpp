@@ -178,13 +178,41 @@ BM_GemmFast(benchmark::State &state)
 }
 BENCHMARK(BM_GemmFast)->Arg(1024)->Arg(8192);
 
+/**
+ * Console reporter that additionally records one (label, wall_ms) pair
+ * per benchmark run, so the BENCH_kernels.json report carries the
+ * per-kernel latencies (and compare_bench_json.py can diff them
+ * against bench/baselines/).
+ */
+class RowCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void ReportRuns(const std::vector<Run> &reports) override
+    {
+        benchmark::ConsoleReporter::ReportRuns(reports);
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+                run.iterations == 0) {
+                continue;
+            }
+            const double ms = run.real_accumulated_time /
+                              static_cast<double>(run.iterations) * 1e3;
+            rows.emplace_back(run.benchmark_name(), ms);
+        }
+    }
+
+    /** (benchmark name, per-iteration wall ms) in run order. */
+    std::vector<std::pair<std::string, double>> rows;
+};
+
 } // namespace
 } // namespace edgepc
 
 /**
  * Custom main: BenchOptions::parse() consumes the shared edgepc flags
  * (--seed and friends) and compacts argv before google-benchmark sees
- * it. After the run the accumulated kernel counters (GEMM FLOPs/path
+ * it. After the run every benchmark's per-iteration latency becomes a
+ * report row, and the accumulated kernel counters (GEMM FLOPs/path
  * mix, per-searcher query counts) are emitted as BENCH_kernels.json.
  */
 int
@@ -200,11 +228,15 @@ main(int argc, char **argv)
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
         return 1;
     }
-    benchmark::RunSpecifiedBenchmarks();
+    edgepc::RowCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
     edgepc::bench::BenchReport report("kernels", opts, 1, 1);
     report.config("suite", "google-benchmark");
+    for (const auto &[label, ms] : reporter.rows) {
+        report.row(label).wallMs = ms;
+    }
     edgepc::bench::BenchRow &row = report.row("counters");
     for (const auto &[name, value] :
          edgepc::obs::MetricsRegistry::global().counters()) {

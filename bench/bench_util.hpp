@@ -35,6 +35,7 @@
 #include "common/timer.hpp"
 #include "core/pipeline.hpp"
 #include "core/workloads.hpp"
+#include "geometry/simd_distance.hpp"
 #include "nn/gemm.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
@@ -166,6 +167,10 @@ class BenchReport
         : name(std::move(bench_name)), opts(options), scale(point_scale),
           repeats(repeat_count)
     {
+        // Every report records which distance-kernel build it measured
+        // ("avx2-fma" or "scalar") so perf diffs across machines or
+        // EDGEPC_SIMD settings compare like with like.
+        configStr["simd_path"] = simd::activePathName();
     }
 
     /** Echo a config knob into the report. */

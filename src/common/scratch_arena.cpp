@@ -1,0 +1,111 @@
+#include "common/scratch_arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace edgepc {
+
+namespace {
+
+/** Heap growths across every thread's arena (for the zero-alloc tests). */
+std::atomic<std::uint64_t> &
+globalGrowCount()
+{
+    static std::atomic<std::uint64_t> count{0};
+    return count;
+}
+
+/** First block size when the arena grows from empty. */
+constexpr std::size_t kMinBlockBytes = 64 * 1024;
+
+} // namespace
+
+ScratchArena::ScratchArena(std::size_t initial_bytes)
+{
+    if (initial_bytes > 0) {
+        grow(initial_bytes);
+    }
+}
+
+ScratchArena::~ScratchArena()
+{
+    for (Block &b : blocks) {
+        ::operator delete[](b.data, std::align_val_t{kAlignment});
+    }
+}
+
+ScratchArena &
+ScratchArena::local()
+{
+    static thread_local ScratchArena arena;
+    return arena;
+}
+
+std::uint64_t
+ScratchArena::totalGrowCount()
+{
+    return globalGrowCount().load(std::memory_order_relaxed);
+}
+
+void
+ScratchArena::grow(std::size_t at_least)
+{
+    // Geometric growth keeps the number of blocks (and therefore heap
+    // allocations) logarithmic in the peak working set.
+    std::size_t size = std::max(kMinBlockBytes, capacity);
+    size = std::max(size, at_least);
+    Block block;
+    block.data = static_cast<std::byte *>(
+        ::operator new[](size, std::align_val_t{kAlignment}));
+    block.size = size;
+    blocks.push_back(block);
+    capacity += size;
+    ++grows;
+    globalGrowCount().fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter &growCounter =
+        obs::MetricsRegistry::global().counter("scratch.grow_count");
+    growCounter.add(1);
+}
+
+void *
+ScratchArena::allocBytes(std::size_t bytes)
+{
+    // Every span starts 32-byte aligned, so round each request up.
+    const std::size_t need =
+        (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    if (need < bytes) {
+        raise(ErrorCode::InvalidArgument,
+              "ScratchArena: allocation size overflow (%zu bytes)", bytes);
+    }
+
+    // Walk to the first existing block with room before growing.
+    while (currentBlock < blocks.size() &&
+           blocks[currentBlock].size - blockUsed < need) {
+        used += blocks[currentBlock].size - blockUsed; // Skipped slack.
+        ++currentBlock;
+        blockUsed = 0;
+    }
+    if (currentBlock == blocks.size()) {
+        grow(need);
+    }
+
+    std::byte *p = blocks[currentBlock].data + blockUsed;
+    blockUsed += need;
+    used += need;
+    return p;
+}
+
+void
+ScratchArena::rewind(std::size_t block, std::size_t block_used,
+                     std::size_t total_used)
+{
+    currentBlock = block;
+    blockUsed = block_used;
+    used = total_used;
+}
+
+} // namespace edgepc

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Thread-local bump allocator backing the per-query scratch of the
+ * sampling and neighbor-search hot paths.
+ *
+ * Kernels that run once per query (heaps, candidate lists, distance
+ * buffers, radius masks) must not touch the heap in steady state: the
+ * arena hands out 32-byte-aligned spans by bumping an offset inside
+ * pre-reserved blocks, and a Frame rewinds the offset on scope exit.
+ * Blocks grow geometrically and are never freed while the arena lives,
+ * so after a warm-up pass every query allocates nothing.
+ *
+ * One arena per thread (local()): pool workers never contend, and a
+ * span handed out on one thread may be read from another (the usual
+ * publish-via-parallelFor pattern) because the pool's queue mutex
+ * provides the happens-before edge.
+ */
+
+#ifndef EDGEPC_COMMON_SCRATCH_ARENA_HPP
+#define EDGEPC_COMMON_SCRATCH_ARENA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace edgepc {
+
+/** Thread-local bump allocator for kernel scratch memory. */
+class ScratchArena
+{
+  public:
+    /** Alignment of every span handed out (AVX2 vector width). */
+    static constexpr std::size_t kAlignment = 32;
+
+    explicit ScratchArena(std::size_t initial_bytes = 0);
+    ~ScratchArena();
+
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /** The calling thread's arena (created on first use). */
+    static ScratchArena &local();
+
+    /**
+     * Hand out an uninitialized span of @p n elements, 32-byte
+     * aligned. T must be trivial (the arena never runs constructors or
+     * destructors). Valid until the enclosing Frame is destroyed.
+     */
+    template <typename T>
+    std::span<T> alloc(std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                          std::is_trivially_destructible_v<T>,
+                      "ScratchArena only holds trivial types");
+        if (n == 0) {
+            return {};
+        }
+        void *p = allocBytes(n * sizeof(T));
+        return {static_cast<T *>(p), n};
+    }
+
+    /** Bytes currently reserved across all blocks. */
+    std::size_t capacityBytes() const { return capacity; }
+
+    /** Bytes handed out since the last full rewind. */
+    std::size_t usedBytes() const { return used; }
+
+    /** Heap growths of this arena (one per new block). */
+    std::uint64_t growCount() const { return grows; }
+
+    /**
+     * Heap growths summed over every thread's arena since process
+     * start; the zero-allocation tests assert this stays flat across
+     * steady-state queries.
+     */
+    static std::uint64_t totalGrowCount();
+
+    /**
+     * RAII scope: captures the arena offset on entry and rewinds on
+     * exit. Frames nest; spans allocated inside a frame are invalid
+     * after it closes (the memory is recycled, not freed).
+     */
+    class Frame
+    {
+      public:
+        explicit Frame(ScratchArena &arena)
+            : owner(arena), savedBlock(arena.currentBlock),
+              savedUsed(arena.blockUsed), savedTotal(arena.used)
+        {
+        }
+        ~Frame() { owner.rewind(savedBlock, savedUsed, savedTotal); }
+
+        Frame(const Frame &) = delete;
+        Frame &operator=(const Frame &) = delete;
+
+      private:
+        ScratchArena &owner;
+        std::size_t savedBlock;
+        std::size_t savedUsed;
+        std::size_t savedTotal;
+    };
+
+  private:
+    struct Block
+    {
+        std::byte *data = nullptr;
+        std::size_t size = 0;
+    };
+
+    void *allocBytes(std::size_t bytes);
+    void grow(std::size_t at_least);
+    void rewind(std::size_t block, std::size_t block_used,
+                std::size_t total_used);
+
+    std::vector<Block> blocks;
+    std::size_t currentBlock = 0; ///< Index of the block being bumped.
+    std::size_t blockUsed = 0;    ///< Offset inside the current block.
+    std::size_t used = 0;         ///< Total live bytes (all blocks).
+    std::size_t capacity = 0;
+    std::uint64_t grows = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_COMMON_SCRATCH_ARENA_HPP

@@ -1,9 +1,11 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <future>
 
+#include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
 
@@ -43,7 +45,22 @@ taskLatencyHistogram()
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
     if (num_threads == 0) {
-        num_threads = std::max(1u, std::thread::hardware_concurrency());
+        // The caller participates in parallelFor, so target one thread
+        // per core by spawning hardware_concurrency - 1 workers; on a
+        // single-core device the pool runs fully inline. EDGEPC_THREADS
+        // overrides the total concurrency (workers + caller).
+        std::size_t concurrency =
+            std::max(1u, std::thread::hardware_concurrency());
+        if (const char *env = std::getenv("EDGEPC_THREADS")) {
+            char *end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            if (end != env && *end == '\0' && v >= 1) {
+                concurrency = static_cast<std::size_t>(v);
+            } else {
+                warn("EDGEPC_THREADS: ignoring invalid value '%s'", env);
+            }
+        }
+        num_threads = concurrency - 1;
     }
     workers.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
@@ -195,6 +212,12 @@ ThreadPool::submit(std::function<void()> fn)
     auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
     std::future<void> future = task->get_future();
     taskCounter().add(1);
+    if (workers.empty()) {
+        // Serial pool (single-core target): nobody would ever drain
+        // the queue, so the task runs inline on the caller.
+        (*task)();
+        return future;
+    }
     queueDepthGauge().add(1);
     {
         std::lock_guard<std::mutex> lock(queueMutex);

@@ -39,8 +39,12 @@ class ThreadPool
     /**
      * Create a pool.
      *
-     * @param num_threads Number of workers; 0 picks the hardware
-     *                    concurrency (at least 1).
+     * @param num_threads Number of workers; 0 sizes the pool so workers
+     *                    plus the participating caller match the
+     *                    hardware concurrency (so a single-core device
+     *                    gets zero workers and runs fully inline). The
+     *                    EDGEPC_THREADS environment variable overrides
+     *                    that total.
      */
     explicit ThreadPool(std::size_t num_threads = 0);
     ~ThreadPool();
@@ -48,8 +52,11 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Number of worker threads. */
+    /** Number of worker threads (0 on a single-core default pool). */
     std::size_t size() const { return workers.size(); }
+
+    /** Total concurrency of parallelFor: workers + the caller. */
+    std::size_t concurrency() const { return workers.size() + 1; }
 
     /**
      * Run fn(i) for every i in [begin, end), distributing contiguous

@@ -1,0 +1,481 @@
+#include "geometry/simd_distance.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <immintrin.h>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace edgepc {
+namespace simd {
+
+// ------------------------------------------------------------ dispatch
+
+bool
+simdAvailable()
+{
+    static const bool available = __builtin_cpu_supports("avx2") &&
+                                  __builtin_cpu_supports("fma");
+    return available;
+}
+
+namespace {
+
+DispatchPath
+initialPathFromEnv()
+{
+    const char *env = std::getenv("EDGEPC_SIMD");
+    if (env == nullptr) {
+        return DispatchPath::Auto;
+    }
+    const std::string_view v(env);
+    if (v == "scalar") {
+        return DispatchPath::ForceScalar;
+    }
+    if (v == "simd" || v == "force" || v == "avx2") {
+        if (!simdAvailable()) {
+            warn("EDGEPC_SIMD=%s requested but the CPU lacks "
+                    "AVX2+FMA; falling back to auto dispatch",
+                    env);
+            return DispatchPath::Auto;
+        }
+        return DispatchPath::ForceSimd;
+    }
+    if (v != "auto") {
+        warn("EDGEPC_SIMD=%s not understood (want scalar|simd|auto); "
+                "using auto",
+                env);
+    }
+    return DispatchPath::Auto;
+}
+
+std::atomic<DispatchPath> &
+pathState()
+{
+    static std::atomic<DispatchPath> state{initialPathFromEnv()};
+    return state;
+}
+
+} // namespace
+
+void
+setDispatchPath(DispatchPath path)
+{
+    if (path == DispatchPath::ForceSimd && !simdAvailable()) {
+        raise(ErrorCode::InvalidArgument,
+              "setDispatchPath: ForceSimd requested but the CPU lacks "
+              "AVX2+FMA");
+    }
+    pathState().store(path, std::memory_order_relaxed);
+}
+
+DispatchPath
+dispatchPath()
+{
+    return pathState().load(std::memory_order_relaxed);
+}
+
+bool
+usingSimd()
+{
+    switch (dispatchPath()) {
+      case DispatchPath::ForceScalar:
+        return false;
+      case DispatchPath::ForceSimd:
+        return true;
+      case DispatchPath::Auto:
+        break;
+    }
+    return simdAvailable();
+}
+
+const char *
+activePathName()
+{
+    return usingSimd() ? "avx2-fma" : "scalar";
+}
+
+void
+recordDispatch(std::uint64_t calls)
+{
+    static obs::Counter &fast =
+        obs::MetricsRegistry::global().counter("simd.fast_calls");
+    static obs::Counter &scalar =
+        obs::MetricsRegistry::global().counter("simd.scalar_calls");
+    (usingSimd() ? fast : scalar).add(calls);
+}
+
+// ------------------------------------------------------- scalar builds
+
+namespace {
+
+void
+scalarSqDist(const float *xs, const float *ys, const float *zs,
+             std::size_t n, const Vec3 &q, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = squaredDistance({xs[i], ys[i], zs[i]}, q);
+    }
+}
+
+void
+scalarSqDistGather(const float *xs, const float *ys, const float *zs,
+                   const std::uint32_t *idx, std::size_t n, const Vec3 &q,
+                   float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t j = idx[i];
+        out[i] = squaredDistance({xs[j], ys[j], zs[j]}, q);
+    }
+}
+
+void
+scalarMinUpdate(const float *xs, const float *ys, const float *zs,
+                std::size_t n, const Vec3 &q, float *dist)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float d = squaredDistance({xs[i], ys[i], zs[i]}, q);
+        if (d < dist[i]) {
+            dist[i] = d;
+        }
+    }
+}
+
+void
+scalarArgminUpdate(const float *dist, std::size_t n, std::uint32_t base,
+                   float &best, std::uint32_t &best_idx)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (dist[i] < best) {
+            best = dist[i];
+            best_idx = base + static_cast<std::uint32_t>(i);
+        }
+    }
+}
+
+std::size_t
+scalarArgmax(const float *dist, std::size_t n)
+{
+    std::size_t best_idx = 0;
+    float best = dist[0];
+    for (std::size_t i = 1; i < n; ++i) {
+        if (dist[i] > best) {
+            best = dist[i];
+            best_idx = i;
+        }
+    }
+    return best_idx;
+}
+
+std::size_t
+scalarRadiusMask(const float *dist, std::size_t n, float r2,
+                 std::uint64_t *mask)
+{
+    std::size_t count = 0;
+    for (std::size_t w = 0; w * 64 < n; ++w) {
+        const std::size_t hi = std::min(n, w * 64 + 64);
+        std::uint64_t bits = 0;
+        for (std::size_t i = w * 64; i < hi; ++i) {
+            bits |= static_cast<std::uint64_t>(dist[i] <= r2) << (i % 64);
+        }
+        mask[w] = bits;
+        count += static_cast<std::size_t>(std::popcount(bits));
+    }
+    return count;
+}
+
+std::size_t
+scalarBelowMask(const float *dist, std::size_t n, float limit,
+                std::uint64_t *mask)
+{
+    std::size_t count = 0;
+    for (std::size_t w = 0; w * 64 < n; ++w) {
+        const std::size_t hi = std::min(n, w * 64 + 64);
+        std::uint64_t bits = 0;
+        for (std::size_t i = w * 64; i < hi; ++i) {
+            bits |= static_cast<std::uint64_t>(dist[i] < limit) << (i % 64);
+        }
+        mask[w] = bits;
+        count += static_cast<std::size_t>(std::popcount(bits));
+    }
+    return count;
+}
+
+// --------------------------------------------------------- AVX2 builds
+//
+// Same arithmetic in the same order as the scalar builds (mul + add,
+// never FMA; this file is compiled with -ffp-contract=off), so both
+// dispatch paths produce bit-identical results.
+
+__attribute__((target("avx2,fma"))) inline __m256
+sqDist8(__m256 px, __m256 py, __m256 pz, __m256 qx, __m256 qy, __m256 qz)
+{
+    const __m256 dx = _mm256_sub_ps(px, qx);
+    const __m256 dy = _mm256_sub_ps(py, qy);
+    const __m256 dz = _mm256_sub_ps(pz, qz);
+    return _mm256_add_ps(
+        _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+        _mm256_mul_ps(dz, dz));
+}
+
+__attribute__((target("avx2,fma"))) void
+avx2SqDist(const float *xs, const float *ys, const float *zs,
+           std::size_t n, const Vec3 &q, float *out)
+{
+    const __m256 qx = _mm256_set1_ps(q.x);
+    const __m256 qy = _mm256_set1_ps(q.y);
+    const __m256 qz = _mm256_set1_ps(q.z);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256 d =
+            sqDist8(_mm256_loadu_ps(xs + i), _mm256_loadu_ps(ys + i),
+                    _mm256_loadu_ps(zs + i), qx, qy, qz);
+        _mm256_storeu_ps(out + i, d);
+    }
+    scalarSqDist(xs + i, ys + i, zs + i, n - i, q, out + i);
+}
+
+__attribute__((target("avx2,fma"))) void
+avx2SqDistGather(const float *xs, const float *ys, const float *zs,
+                 const std::uint32_t *idx, std::size_t n, const Vec3 &q,
+                 float *out)
+{
+    const __m256 qx = _mm256_set1_ps(q.x);
+    const __m256 qy = _mm256_set1_ps(q.y);
+    const __m256 qz = _mm256_set1_ps(q.z);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256i ind = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(idx + i));
+        const __m256 d = sqDist8(_mm256_i32gather_ps(xs, ind, 4),
+                                 _mm256_i32gather_ps(ys, ind, 4),
+                                 _mm256_i32gather_ps(zs, ind, 4), qx, qy,
+                                 qz);
+        _mm256_storeu_ps(out + i, d);
+    }
+    scalarSqDistGather(xs, ys, zs, idx + i, n - i, q, out + i);
+}
+
+__attribute__((target("avx2,fma"))) void
+avx2MinUpdate(const float *xs, const float *ys, const float *zs,
+              std::size_t n, const Vec3 &q, float *dist)
+{
+    const __m256 qx = _mm256_set1_ps(q.x);
+    const __m256 qy = _mm256_set1_ps(q.y);
+    const __m256 qz = _mm256_set1_ps(q.z);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256 d =
+            sqDist8(_mm256_loadu_ps(xs + i), _mm256_loadu_ps(ys + i),
+                    _mm256_loadu_ps(zs + i), qx, qy, qz);
+        const __m256 cur = _mm256_loadu_ps(dist + i);
+        _mm256_storeu_ps(dist + i, _mm256_min_ps(d, cur));
+    }
+    scalarMinUpdate(xs + i, ys + i, zs + i, n - i, q, dist + i);
+}
+
+/** Horizontal max of 8 lanes. */
+__attribute__((target("avx2,fma"))) inline float
+hmax8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_max_ps(lo, hi);
+    lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    return _mm_cvtss_f32(lo);
+}
+
+/** Horizontal min of 8 lanes. */
+__attribute__((target("avx2,fma"))) inline float
+hmin8(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_min_ps(lo, hi);
+    lo = _mm_min_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_min_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    return _mm_cvtss_f32(lo);
+}
+
+__attribute__((target("avx2,fma"))) void
+avx2ArgminUpdate(const float *dist, std::size_t n, std::uint32_t base,
+                 float &best, std::uint32_t &best_idx)
+{
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256 v = _mm256_loadu_ps(dist + i);
+        const float block_min = hmin8(v);
+        if (block_min < best) {
+            // First lane holding the block minimum — matches the
+            // scalar scan's first-occurrence tie behavior.
+            const int eq = _mm256_movemask_ps(
+                _mm256_cmp_ps(v, _mm256_set1_ps(block_min), _CMP_EQ_OQ));
+            best = block_min;
+            best_idx = base + static_cast<std::uint32_t>(i) +
+                       static_cast<std::uint32_t>(
+                           std::countr_zero(static_cast<unsigned>(eq)));
+        }
+    }
+    scalarArgminUpdate(dist + i, n - i,
+                       base + static_cast<std::uint32_t>(i), best,
+                       best_idx);
+}
+
+__attribute__((target("avx2,fma"))) std::size_t
+avx2Argmax(const float *dist, std::size_t n)
+{
+    std::size_t best_idx = 0;
+    float best = dist[0];
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256 v = _mm256_loadu_ps(dist + i);
+        const float block_max = hmax8(v);
+        if (block_max > best) {
+            const int eq = _mm256_movemask_ps(
+                _mm256_cmp_ps(v, _mm256_set1_ps(block_max), _CMP_EQ_OQ));
+            best = block_max;
+            best_idx = i + static_cast<std::size_t>(std::countr_zero(
+                               static_cast<unsigned>(eq)));
+        }
+    }
+    for (; i < n; ++i) {
+        if (dist[i] > best) {
+            best = dist[i];
+            best_idx = i;
+        }
+    }
+    return best_idx;
+}
+
+/**
+ * Pack one 64-lane word of comparison bits; @p cmp is the AVX2
+ * predicate (_CMP_LE_OQ / _CMP_LT_OQ).
+ */
+template <int cmp>
+__attribute__((target("avx2,fma"))) inline std::uint64_t
+maskWord64(const float *dist, __m256 limit)
+{
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < 64 / kLanes; ++j) {
+        const unsigned m =
+            static_cast<unsigned>(_mm256_movemask_ps(_mm256_cmp_ps(
+                _mm256_loadu_ps(dist + j * kLanes), limit, cmp)));
+        bits |= static_cast<std::uint64_t>(m) << (j * kLanes);
+    }
+    return bits;
+}
+
+__attribute__((target("avx2,fma"))) std::size_t
+avx2RadiusMask(const float *dist, std::size_t n, float r2,
+               std::uint64_t *mask)
+{
+    const __m256 limit = _mm256_set1_ps(r2);
+    std::size_t count = 0;
+    std::size_t i = 0;
+    std::size_t w = 0;
+    for (; i + 64 <= n; i += 64, ++w) {
+        const std::uint64_t bits = maskWord64<_CMP_LE_OQ>(dist + i, limit);
+        mask[w] = bits;
+        count += static_cast<std::size_t>(std::popcount(bits));
+    }
+    return count + scalarRadiusMask(dist + i, n - i, r2, mask + w);
+}
+
+__attribute__((target("avx2,fma"))) std::size_t
+avx2BelowMask(const float *dist, std::size_t n, float limit,
+              std::uint64_t *mask)
+{
+    const __m256 lim = _mm256_set1_ps(limit);
+    std::size_t count = 0;
+    std::size_t i = 0;
+    std::size_t w = 0;
+    for (; i + 64 <= n; i += 64, ++w) {
+        const std::uint64_t bits = maskWord64<_CMP_LT_OQ>(dist + i, lim);
+        mask[w] = bits;
+        count += static_cast<std::size_t>(std::popcount(bits));
+    }
+    return count + scalarBelowMask(dist + i, n - i, limit, mask + w);
+}
+
+} // namespace
+
+// ------------------------------------------------------ public entry
+
+void
+batchSqDist(const float *xs, const float *ys, const float *zs,
+            std::size_t n, const Vec3 &q, float *out)
+{
+    if (usingSimd()) {
+        avx2SqDist(xs, ys, zs, n, q, out);
+    } else {
+        scalarSqDist(xs, ys, zs, n, q, out);
+    }
+}
+
+void
+batchSqDistGather(const float *xs, const float *ys, const float *zs,
+                  const std::uint32_t *idx, std::size_t n, const Vec3 &q,
+                  float *out)
+{
+    if (usingSimd()) {
+        avx2SqDistGather(xs, ys, zs, idx, n, q, out);
+    } else {
+        scalarSqDistGather(xs, ys, zs, idx, n, q, out);
+    }
+}
+
+void
+batchMinUpdate(const float *xs, const float *ys, const float *zs,
+               std::size_t n, const Vec3 &q, float *dist)
+{
+    if (usingSimd()) {
+        avx2MinUpdate(xs, ys, zs, n, q, dist);
+    } else {
+        scalarMinUpdate(xs, ys, zs, n, q, dist);
+    }
+}
+
+void
+batchArgminUpdate(const float *dist, std::size_t n, std::uint32_t base,
+                  float &best, std::uint32_t &best_idx)
+{
+    if (usingSimd()) {
+        avx2ArgminUpdate(dist, n, base, best, best_idx);
+    } else {
+        scalarArgminUpdate(dist, n, base, best, best_idx);
+    }
+}
+
+std::size_t
+batchArgmax(const float *dist, std::size_t n)
+{
+    if (n == 0) {
+        raise(ErrorCode::InvalidArgument, "batchArgmax: empty input");
+    }
+    return usingSimd() ? avx2Argmax(dist, n) : scalarArgmax(dist, n);
+}
+
+std::size_t
+batchRadiusMask(const float *dist, std::size_t n, float r2,
+                std::uint64_t *mask)
+{
+    return usingSimd() ? avx2RadiusMask(dist, n, r2, mask)
+                       : scalarRadiusMask(dist, n, r2, mask);
+}
+
+std::size_t
+batchBelowMask(const float *dist, std::size_t n, float limit,
+               std::uint64_t *mask)
+{
+    return usingSimd() ? avx2BelowMask(dist, n, limit, mask)
+                       : scalarBelowMask(dist, n, limit, mask);
+}
+
+} // namespace simd
+} // namespace edgepc

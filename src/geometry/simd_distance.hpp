@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Runtime-dispatched batch distance kernels over SoA point data.
+ *
+ * These are the 8-lane AVX2 workhorses behind FPS, brute-force k-NN,
+ * ball query, grid query and the Morton window search. Dispatch
+ * follows the GemmEngine pattern: a single __builtin_cpu_supports
+ * check picks the AVX2+FMA build at runtime, with a scalar fallback
+ * compiled for the baseline ISA. The path can be forced (setter or
+ * EDGEPC_SIMD=scalar|simd|auto environment variable) so CI can A/B
+ * both builds and the equivalence tests can diff them.
+ *
+ * Bit-exactness contract: the vector kernels evaluate squared
+ * distances as fl(fl(fl(dx*dx) + fl(dy*dy)) + fl(dz*dz)) — the exact
+ * operation order of the scalar squaredDistance() — and never use
+ * fused multiply-add (simd_distance.cpp is built with
+ * -ffp-contract=off). Both dispatch paths therefore return identical
+ * bits, which is what lets test_kernel_equivalence assert identical
+ * neighbor indices under forced-scalar and forced-SIMD runs.
+ */
+
+#ifndef EDGEPC_GEOMETRY_SIMD_DISTANCE_HPP
+#define EDGEPC_GEOMETRY_SIMD_DISTANCE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+namespace simd {
+
+/** Vector lanes per batch step (AVX2: 8 floats). */
+inline constexpr std::size_t kLanes = 8;
+
+/** @p n rounded up to a whole number of vector lanes. */
+constexpr std::size_t
+paddedSize(std::size_t n)
+{
+    return (n + kLanes - 1) / kLanes * kLanes;
+}
+
+/** Dispatch override for the batch kernels. */
+enum class DispatchPath
+{
+    Auto,        ///< Use AVX2+FMA when the CPU supports it (default).
+    ForceScalar, ///< Always take the scalar fallback.
+    ForceSimd,   ///< Always take the AVX2 build (raises if unsupported).
+};
+
+/** True when the host CPU supports the AVX2+FMA build. */
+bool simdAvailable();
+
+/**
+ * Override the dispatch decision (tests / A-B runs). ForceSimd on a
+ * host without AVX2 raises InvalidArgument. The initial value comes
+ * from EDGEPC_SIMD (scalar | simd | auto), read once at startup.
+ */
+void setDispatchPath(DispatchPath path);
+
+/** Current override (Auto unless forced). */
+DispatchPath dispatchPath();
+
+/** Resolved decision: true when batch kernels run the AVX2 build. */
+bool usingSimd();
+
+/** "avx2-fma" or "scalar" — echoed into BENCH_*.json metadata. */
+const char *activePathName();
+
+/**
+ * Bump the simd.fast_calls / simd.scalar_calls dispatch counters by
+ * @p calls for the currently resolved path. Kernels call this once
+ * per public entry point (not per batch) to keep the hot path clean.
+ */
+void recordDispatch(std::uint64_t calls = 1);
+
+/**
+ * out[i] = |p_i - q|^2 for i in [0, n), where p_i is read from the
+ * parallel coordinate arrays. Exactly n results are written; inputs
+ * need no particular alignment (32-byte-aligned SoA is fastest).
+ */
+void batchSqDist(const float *xs, const float *ys, const float *zs,
+                 std::size_t n, const Vec3 &q, float *out);
+
+/**
+ * Gather flavor: out[i] = |p_{idx[i]} - q|^2 for i in [0, n). Used by
+ * the voxel-grid searcher whose candidate lists are index vectors.
+ */
+void batchSqDistGather(const float *xs, const float *ys, const float *zs,
+                       const std::uint32_t *idx, std::size_t n,
+                       const Vec3 &q, float *out);
+
+/**
+ * dist[i] = min(dist[i], |p_i - q|^2) for i in [0, n) — the FPS
+ * min-distance relaxation pass.
+ */
+void batchMinUpdate(const float *xs, const float *ys, const float *zs,
+                    std::size_t n, const Vec3 &q, float *dist);
+
+/**
+ * Fold the strict minimum of dist[0, n) into (best, best_idx), with
+ * the scalar scan's first-occurrence tie behavior. Indexes reported
+ * are base + i.
+ */
+void batchArgminUpdate(const float *dist, std::size_t n,
+                       std::uint32_t base, float &best,
+                       std::uint32_t &best_idx);
+
+/**
+ * Index of the first maximum of dist[0, n) (the FPS selection scan).
+ * @p n must be non-zero.
+ */
+std::size_t batchArgmax(const float *dist, std::size_t n);
+
+/** Number of 64-bit words covering an @p n-lane packed mask. */
+constexpr std::size_t
+maskWords(std::size_t n)
+{
+    return (n + 63) / 64;
+}
+
+/**
+ * Packed mask: bit (i % 64) of mask[i / 64] = (dist[i] <= r2) for i in
+ * [0, n); returns the number of set bits. Unused tail bits of the last
+ * word are zero, so callers can iterate set lanes with countr_zero in
+ * O(hits) instead of scanning a byte per lane — the in-ball test of
+ * ball/grid query.
+ */
+std::size_t batchRadiusMask(const float *dist, std::size_t n, float r2,
+                            std::uint64_t *mask);
+
+/**
+ * Packed mask of (dist[i] < limit) with the same layout as
+ * batchRadiusMask; returns the number of set bits. The strict k-NN
+ * heap-admission prefilter.
+ */
+std::size_t batchBelowMask(const float *dist, std::size_t n, float limit,
+                           std::uint64_t *mask);
+
+} // namespace simd
+} // namespace edgepc
+
+#endif // EDGEPC_GEOMETRY_SIMD_DISTANCE_HPP

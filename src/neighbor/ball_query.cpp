@@ -1,15 +1,28 @@
 #include "neighbor/ball_query.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
+#include "geometry/simd_distance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pointcloud/points_soa.hpp"
 
 namespace edgepc {
+
+namespace {
+
+/// Distances are computed (and the in-ball mask evaluated) in blocks of
+/// this many candidates; the early exit at k in-ball hits still fires
+/// at block granularity, so a small block keeps the overshoot cheap.
+constexpr std::size_t kChunk = 256;
+
+} // namespace
 
 BallQuery::BallQuery(float radius) : r(radius)
 {
@@ -32,32 +45,66 @@ BallQuery::search(std::span<const Vec3> queries,
     }
     k = std::min(k, candidates.size());
     const float r2 = r * r;
+    simd::recordDispatch();
 
     NeighborLists out;
     out.k = k;
     out.indices.resize(queries.size() * k);
 
+    ScratchArena &caller_arena = ScratchArena::local();
+    const ScratchArena::Frame frame(caller_arena);
+    const PointsSoA soa(candidates, caller_arena);
+    const std::size_t nc = candidates.size();
+
+    // EDGEPC_HOT: per-query in-ball scan — arena scratch only.
     parallelFor(0, queries.size(), [&](std::size_t q) {
+        ScratchArena &arena = ScratchArena::local();
+        const ScratchArena::Frame qframe(arena);
+        const std::span<float> dist = arena.alloc<float>(kChunk);
+        const std::span<std::uint64_t> mask =
+            arena.alloc<std::uint64_t>(simd::maskWords(kChunk));
+
         std::uint32_t *row = out.indices.data() + q * k;
         std::size_t found = 0;
         float nearest_dist = std::numeric_limits<float>::max();
         std::uint32_t nearest_idx = 0;
 
-        for (std::size_t c = 0; c < candidates.size() && found < k; ++c) {
-            const float d = squaredDistance(queries[q], candidates[c]);
-            if (d < nearest_dist) {
-                nearest_dist = d;
-                nearest_idx = static_cast<std::uint32_t>(c);
+        // The in-ball indices collected here are identical to the
+        // original in-order scalar scan with its early exit at k hits:
+        // the chunk merely computes a few distances past the exit
+        // point, and the nearest-candidate fallback is only consulted
+        // when found == 0, i.e. when no early exit happened and the
+        // whole candidate set was scanned either way.
+        for (std::size_t c = 0; c < nc && found < k; c += kChunk) {
+            const std::size_t len = std::min(kChunk, nc - c);
+            simd::batchSqDist(soa.xs() + c, soa.ys() + c, soa.zs() + c,
+                              len, queries[q], dist.data());
+            const std::size_t hits =
+                simd::batchRadiusMask(dist.data(), len, r2, mask.data());
+            if (hits != 0) {
+                const std::size_t words = simd::maskWords(len);
+                for (std::size_t w = 0; w < words && found < k; ++w) {
+                    std::uint64_t bits = mask[w];
+                    while (bits != 0 && found < k) {
+                        const std::size_t i =
+                            w * 64 + static_cast<std::size_t>(
+                                         std::countr_zero(bits));
+                        bits &= bits - 1;
+                        row[found++] =
+                            static_cast<std::uint32_t>(c + i);
+                    }
+                }
             }
-            if (d <= r2) {
-                row[found++] = static_cast<std::uint32_t>(c);
+            if (found == 0) {
+                simd::batchArgminUpdate(dist.data(), len,
+                                        static_cast<std::uint32_t>(c),
+                                        nearest_dist, nearest_idx);
             }
         }
 
         if (found == 0) {
-            // Empty ball: fall back to the nearest candidate seen so
-            // far (we may have exited early only when found == k, so
-            // at this point the whole set was scanned).
+            // Empty ball: fall back to the nearest candidate (the whole
+            // set was scanned, so this is the global nearest).
             row[0] = nearest_idx;
             found = 1;
         }

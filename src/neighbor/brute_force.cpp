@@ -5,28 +5,21 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
+#include "geometry/simd_distance.hpp"
+#include "neighbor/kheap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pointcloud/points_soa.hpp"
 
 namespace edgepc {
 
 namespace {
 
-/** Max-heap insert keeping the k smallest (distance, index) pairs. */
-inline void
-keepSmallest(std::vector<std::pair<float, std::uint32_t>> &heap,
-             std::size_t k, float dist, std::uint32_t idx)
-{
-    if (heap.size() < k) {
-        heap.emplace_back(dist, idx);
-        std::push_heap(heap.begin(), heap.end());
-    } else if (dist < heap.front().first) {
-        std::pop_heap(heap.begin(), heap.end());
-        heap.back() = {dist, idx};
-        std::push_heap(heap.begin(), heap.end());
-    }
-}
+/// Candidates are masked against the current k-th distance in blocks of
+/// this many precomputed distances before touching the heap.
+constexpr std::size_t kMaskChunk = 256;
 
 } // namespace
 
@@ -42,22 +35,36 @@ BruteForceKnn::search(std::span<const Vec3> queries,
         raise(ErrorCode::EmptyCloud, "BruteForceKnn: empty candidate set or k == 0");
     }
     k = std::min(k, candidates.size());
+    simd::recordDispatch();
 
     NeighborLists out;
     out.k = k;
     out.indices.resize(queries.size() * k);
 
+    // The SoA is built once on the calling thread; worker threads only
+    // read it (the task queue publication orders those reads).
+    ScratchArena &caller_arena = ScratchArena::local();
+    const ScratchArena::Frame frame(caller_arena);
+    const PointsSoA soa(candidates, caller_arena);
+    const std::size_t nc = candidates.size();
+
+    // EDGEPC_HOT: per-query scan — arena scratch only, no allocation.
     parallelFor(0, queries.size(), [&](std::size_t q) {
-        std::vector<std::pair<float, std::uint32_t>> heap;
-        heap.reserve(k + 1);
-        for (std::size_t c = 0; c < candidates.size(); ++c) {
-            keepSmallest(heap, k,
-                         squaredDistance(queries[q], candidates[c]),
-                         static_cast<std::uint32_t>(c));
-        }
-        std::sort_heap(heap.begin(), heap.end());
+        ScratchArena &arena = ScratchArena::local();
+        const ScratchArena::Frame qframe(arena);
+        const std::span<float> dist = arena.alloc<float>(nc);
+        const std::span<std::uint64_t> mask =
+            arena.alloc<std::uint64_t>(simd::maskWords(kMaskChunk));
+        simd::batchSqDist(soa.xs(), soa.ys(), soa.zs(), nc, queries[q],
+                          dist.data());
+        KHeap heap(arena.alloc<KHeap::Key>(k));
+        admitMasked(heap, dist.data(), nc, mask.data(), kMaskChunk,
+                    [](std::size_t i) {
+                        return static_cast<std::uint32_t>(i);
+                    });
+        const auto row = heap.finish();
         for (std::size_t j = 0; j < k; ++j) {
-            out.indices[q * k + j] = heap[j].second;
+            out.indices[q * k + j] = KHeap::indexOf(row[j]);
         }
     });
     return out;
@@ -79,10 +86,12 @@ BruteForceKnn::searchFeatureSpace(std::span<const float> queries,
     out.k = k;
     out.indices.resize(nq * k);
 
+    // EDGEPC_HOT: feature-space scan — arena heap, no per-query vector.
     parallelFor(0, nq, [&](std::size_t q) {
         const float *qrow = queries.data() + q * dim;
-        std::vector<std::pair<float, std::uint32_t>> heap;
-        heap.reserve(k + 1);
+        ScratchArena &arena = ScratchArena::local();
+        const ScratchArena::Frame qframe(arena);
+        KHeap heap(arena.alloc<KHeap::Key>(k));
         for (std::size_t c = 0; c < nc; ++c) {
             const float *crow = candidates.data() + c * dim;
             float dist = 0.0f;
@@ -90,11 +99,11 @@ BruteForceKnn::searchFeatureSpace(std::span<const float> queries,
                 const float diff = qrow[d] - crow[d];
                 dist += diff * diff;
             }
-            keepSmallest(heap, k, dist, static_cast<std::uint32_t>(c));
+            heap.push(dist, static_cast<std::uint32_t>(c));
         }
-        std::sort_heap(heap.begin(), heap.end());
+        const auto row = heap.finish();
         for (std::size_t j = 0; j < k; ++j) {
-            out.indices[q * k + j] = heap[j].second;
+            out.indices[q * k + j] = KHeap::indexOf(row[j]);
         }
     });
     return out;

@@ -1,16 +1,28 @@
 #include "neighbor/grid_query.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
+#include "geometry/simd_distance.hpp"
+#include "geometry/voxel_grid.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
-#include "geometry/voxel_grid.hpp"
+#include "pointcloud/points_soa.hpp"
 
 namespace edgepc {
+
+namespace {
+
+/// Cell spans (and the fallback full scan) are processed in blocks of
+/// this many candidates through the batch kernels.
+constexpr std::size_t kChunk = 512;
+
+} // namespace
 
 GridBallQuery::GridBallQuery(float radius, float cell_size)
     : r(radius), cell(cell_size > 0.0f ? cell_size : radius)
@@ -35,38 +47,85 @@ GridBallQuery::search(std::span<const Vec3> queries,
     k = std::min(k, candidates.size());
     const float r2 = r * r;
     const VoxelGrid grid(candidates, cell);
+    simd::recordDispatch();
 
     NeighborLists out;
     out.k = k;
     out.indices.resize(queries.size() * k);
 
+    ScratchArena &caller_arena = ScratchArena::local();
+    const ScratchArena::Frame frame(caller_arena);
+    const PointsSoA soa(candidates, caller_arena);
+    const std::size_t nc = candidates.size();
+
+    // EDGEPC_HOT: per-query voxel scan — arena scratch only.
     parallelFor(0, queries.size(), [&](std::size_t q) {
+        ScratchArena &arena = ScratchArena::local();
+        const ScratchArena::Frame qframe(arena);
+        const std::span<float> dist = arena.alloc<float>(kChunk);
+        const std::span<std::uint64_t> mask =
+            arena.alloc<std::uint64_t>(simd::maskWords(kChunk));
+
         std::uint32_t *row = out.indices.data() + q * k;
         std::size_t found = 0;
         float nearest_dist = std::numeric_limits<float>::max();
         std::uint32_t nearest_idx = 0;
 
-        grid.forEachCandidate(queries[q], r, [&](std::uint32_t c) {
-            const float d = squaredDistance(queries[q], candidates[c]);
-            if (d < nearest_dist) {
-                nearest_dist = d;
-                nearest_idx = c;
-            }
-            if (d <= r2 && found < k) {
-                row[found++] = c;
-            }
-        });
+        // Visits cells in the same deterministic order as the original
+        // per-point callback, gathering SoA lanes through each cell's
+        // index span. The nearest-candidate fallback is only consulted
+        // when found == 0, so tracking it can stop at the first in-ball
+        // hit, and the scan can stop once the row is full.
+        grid.forEachCandidateSpan(
+            queries[q], r, [&](std::span<const std::uint32_t> cell_idx) {
+                for (std::size_t off = 0;
+                     off < cell_idx.size() && found < k; off += kChunk) {
+                    const std::size_t len =
+                        std::min(kChunk, cell_idx.size() - off);
+                    simd::batchSqDistGather(soa.xs(), soa.ys(), soa.zs(),
+                                            cell_idx.data() + off, len,
+                                            queries[q], dist.data());
+                    const std::size_t hits = simd::batchRadiusMask(
+                        dist.data(), len, r2, mask.data());
+                    if (hits != 0) {
+                        const std::size_t words = simd::maskWords(len);
+                        for (std::size_t w = 0; w < words && found < k;
+                             ++w) {
+                            std::uint64_t bits = mask[w];
+                            while (bits != 0 && found < k) {
+                                const std::size_t i =
+                                    w * 64 +
+                                    static_cast<std::size_t>(
+                                        std::countr_zero(bits));
+                                bits &= bits - 1;
+                                row[found++] = cell_idx[off + i];
+                            }
+                        }
+                    }
+                    if (found == 0) {
+                        float chunk_best = nearest_dist;
+                        std::uint32_t chunk_pos = 0;
+                        simd::batchArgminUpdate(dist.data(), len, 0,
+                                                chunk_best, chunk_pos);
+                        if (chunk_best < nearest_dist) {
+                            nearest_dist = chunk_best;
+                            nearest_idx = cell_idx[off + chunk_pos];
+                        }
+                    }
+                }
+            });
 
         if (found == 0) {
             // Nothing in the overlapping voxels: fall back to a full
             // scan for the nearest candidate (rare, sparse regions).
-            for (std::size_t c = 0; c < candidates.size(); ++c) {
-                const float d =
-                    squaredDistance(queries[q], candidates[c]);
-                if (d < nearest_dist) {
-                    nearest_dist = d;
-                    nearest_idx = static_cast<std::uint32_t>(c);
-                }
+            for (std::size_t c = 0; c < nc; c += kChunk) {
+                const std::size_t len = std::min(kChunk, nc - c);
+                simd::batchSqDist(soa.xs() + c, soa.ys() + c,
+                                  soa.zs() + c, len, queries[q],
+                                  dist.data());
+                simd::batchArgminUpdate(dist.data(), len,
+                                        static_cast<std::uint32_t>(c),
+                                        nearest_dist, nearest_idx);
             }
             row[0] = nearest_idx;
             found = 1;

@@ -5,7 +5,10 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
+#include "geometry/simd_distance.hpp"
+#include "neighbor/kheap.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -13,8 +16,9 @@ namespace edgepc {
 
 MortonWindowSearch::MortonWindowSearch(std::size_t window) : win(window) {}
 
+// EDGEPC_HOT: per-query window scan — arena scratch only.
 void
-MortonWindowSearch::searchOne(std::span<const Vec3> points,
+MortonWindowSearch::searchOne(const PointsSoA &sorted,
                               const Structurization &s,
                               std::uint32_t query_index, std::size_t k,
                               std::uint32_t *row) const
@@ -45,25 +49,23 @@ MortonWindowSearch::searchOne(std::span<const Vec3> points,
 
     // W > k: keep the k nearest of the window points by true distance
     // (the query itself qualifies at distance zero, matching the
-    // exact searchers, which also return the query).
-    const Vec3 q = points[query_index];
-    std::vector<std::pair<float, std::uint32_t>> heap;
-    heap.reserve(k + 1);
-    for (std::size_t pos = lo; pos <= hi; ++pos) {
-        const std::uint32_t cand = s.order[pos];
-        const float d = squaredDistance(q, points[cand]);
-        if (heap.size() < k) {
-            heap.emplace_back(d, cand);
-            std::push_heap(heap.begin(), heap.end());
-        } else if (d < heap.front().first) {
-            std::pop_heap(heap.begin(), heap.end());
-            heap.back() = {d, cand};
-            std::push_heap(heap.begin(), heap.end());
-        }
-    }
-    std::sort_heap(heap.begin(), heap.end());
+    // exact searchers, which also return the query). The Morton-sorted
+    // SoA makes the window a contiguous lane range.
+    const Vec3 q = sorted.at(j);
+    const std::size_t len = hi - lo + 1;
+    ScratchArena &arena = ScratchArena::local();
+    const ScratchArena::Frame frame(arena);
+    const std::span<float> dist = arena.alloc<float>(len);
+    const std::span<std::uint64_t> mask =
+        arena.alloc<std::uint64_t>(simd::maskWords(len));
+    simd::batchSqDist(sorted.xs() + lo, sorted.ys() + lo, sorted.zs() + lo,
+                      len, q, dist.data());
+    KHeap heap(arena.alloc<KHeap::Key>(k));
+    admitMasked(heap, dist.data(), len, mask.data(), len,
+                [&](std::size_t pos) { return s.order[lo + pos]; });
+    const auto entries = heap.finish();
     for (std::size_t i = 0; i < k; ++i) {
-        row[i] = heap[std::min(i, heap.size() - 1)].second;
+        row[i] = KHeap::indexOf(entries[std::min(i, entries.size() - 1)]);
     }
 }
 
@@ -81,12 +83,19 @@ MortonWindowSearch::search(std::span<const Vec3> points,
         raise(ErrorCode::EmptyCloud, "MortonWindowSearch: empty cloud or k == 0");
     }
     k = std::min(k, points.size());
+    simd::recordDispatch();
+
+    // Gathered once per call: lane pos holds points[s.order[pos]], so
+    // every window read below is contiguous.
+    ScratchArena &caller_arena = ScratchArena::local();
+    const ScratchArena::Frame frame(caller_arena);
+    const PointsSoA sorted(points, s.order, caller_arena);
 
     NeighborLists out;
     out.k = k;
     out.indices.resize(query_indices.size() * k);
     parallelFor(0, query_indices.size(), [&](std::size_t q) {
-        searchOne(points, s, query_indices[q], k,
+        searchOne(sorted, s, query_indices[q], k,
                   out.indices.data() + q * k);
     });
     return out;
@@ -104,12 +113,17 @@ MortonWindowSearch::searchAll(std::span<const Vec3> points,
         raise(ErrorCode::EmptyCloud, "MortonWindowSearch: empty cloud or k == 0");
     }
     k = std::min(k, points.size());
+    simd::recordDispatch();
+
+    ScratchArena &caller_arena = ScratchArena::local();
+    const ScratchArena::Frame frame(caller_arena);
+    const PointsSoA sorted(points, s.order, caller_arena);
 
     NeighborLists out;
     out.k = k;
     out.indices.resize(points.size() * k);
     parallelFor(0, points.size(), [&](std::size_t q) {
-        searchOne(points, s, static_cast<std::uint32_t>(q), k,
+        searchOne(sorted, s, static_cast<std::uint32_t>(q), k,
                   out.indices.data() + q * k);
     });
     return out;

@@ -16,6 +16,7 @@
 #define EDGEPC_NEIGHBOR_MORTON_WINDOW_HPP
 
 #include "neighbor/neighbor_search.hpp"
+#include "pointcloud/points_soa.hpp"
 #include "sampling/morton_sampler.hpp"
 
 namespace edgepc {
@@ -60,7 +61,12 @@ class MortonWindowSearch
     std::string name() const { return "morton-window"; }
 
   private:
-    void searchOne(std::span<const Vec3> points, const Structurization &s,
+    /**
+     * @p sorted is the cloud gathered into Morton order (lane pos holds
+     * the point at sorted position pos), so the W-window is a
+     * contiguous lane range the batch kernels can stream.
+     */
+    void searchOne(const PointsSoA &sorted, const Structurization &s,
                    std::uint32_t query_index, std::size_t k,
                    std::uint32_t *row) const;
 

@@ -1,0 +1,128 @@
+#include "pointcloud/points_soa.hpp"
+
+#include <new>
+#include <utility>
+
+#include "common/error.hpp"
+#include "geometry/simd_distance.hpp"
+
+namespace edgepc {
+
+namespace {
+
+std::size_t
+paddedCount(std::size_t n)
+{
+    return simd::paddedSize(n);
+}
+
+} // namespace
+
+PointsSoA::~PointsSoA()
+{
+    ::operator delete[](owned, std::align_val_t{ScratchArena::kAlignment});
+}
+
+PointsSoA::PointsSoA(PointsSoA &&other) noexcept
+    : x(other.x), y(other.y), z(other.z), owned(other.owned), n(other.n),
+      padded(other.padded)
+{
+    other.x = other.y = other.z = other.owned = nullptr;
+    other.n = other.padded = 0;
+}
+
+PointsSoA &
+PointsSoA::operator=(PointsSoA &&other) noexcept
+{
+    if (this != &other) {
+        ::operator delete[](owned,
+                            std::align_val_t{ScratchArena::kAlignment});
+        x = other.x;
+        y = other.y;
+        z = other.z;
+        owned = other.owned;
+        n = other.n;
+        padded = other.padded;
+        other.x = other.y = other.z = other.owned = nullptr;
+        other.n = other.padded = 0;
+    }
+    return *this;
+}
+
+PointsSoA::PointsSoA(std::span<const Vec3> points)
+    : PointsSoA(points, std::span<const std::uint32_t>{})
+{
+}
+
+PointsSoA::PointsSoA(std::span<const Vec3> points,
+                     std::span<const std::uint32_t> order)
+{
+    checkOrder(points, order);
+    n = points.size();
+    padded = paddedCount(n);
+    if (padded == 0) {
+        return;
+    }
+    owned = static_cast<float *>(::operator new[](
+        3 * padded * sizeof(float),
+        std::align_val_t{ScratchArena::kAlignment}));
+    bind(owned);
+    fill(points, order);
+}
+
+PointsSoA::PointsSoA(std::span<const Vec3> points, ScratchArena &arena)
+    : PointsSoA(points, std::span<const std::uint32_t>{}, arena)
+{
+}
+
+PointsSoA::PointsSoA(std::span<const Vec3> points,
+                     std::span<const std::uint32_t> order,
+                     ScratchArena &arena)
+{
+    checkOrder(points, order);
+    n = points.size();
+    padded = paddedCount(n);
+    if (padded == 0) {
+        return;
+    }
+    bind(arena.alloc<float>(3 * padded).data());
+    fill(points, order);
+}
+
+void
+PointsSoA::checkOrder(std::span<const Vec3> points,
+                      std::span<const std::uint32_t> order)
+{
+    if (!order.empty() && order.size() != points.size()) {
+        raise(ErrorCode::InvalidArgument,
+              "PointsSoA: order size %zu != point count %zu",
+              order.size(), points.size());
+    }
+}
+
+void
+PointsSoA::bind(float *base)
+{
+    x = base;
+    y = base + padded;
+    z = base + 2 * padded;
+}
+
+void
+PointsSoA::fill(std::span<const Vec3> points,
+                std::span<const std::uint32_t> order)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vec3 &p = order.empty() ? points[i] : points[order[i]];
+        x[i] = p.x;
+        y[i] = p.y;
+        z[i] = p.z;
+    }
+    for (std::size_t i = n; i < padded; ++i) {
+        x[i] = kPadCoord;
+        y[i] = kPadCoord;
+        z[i] = kPadCoord;
+    }
+}
+
+} // namespace edgepc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Structure-of-arrays view of point positions for the SIMD batch
+ * kernels (geometry/simd_distance.hpp).
+ *
+ * The AoS std::vector<Vec3> layout the library passes around is what
+ * the models and IO want, but the hot kernels stream x, y and z
+ * independently: a PointsSoA is built once per cloud (or once per
+ * Morton structurization, using the gathered constructor) and then
+ * every FPS relaxation / neighbor scan reads full 8-lane vectors
+ * instead of strided Vec3 members. Arrays are 32-byte aligned and
+ * padded to a whole number of lanes; padding coordinates are filled
+ * with a huge sentinel so a kernel that deliberately runs over the
+ * padded range can never pick a padding lane as a nearest neighbor.
+ *
+ * Storage is either owned (aligned heap block) or borrowed from a
+ * ScratchArena — the arena flavor is what the per-call hot paths use
+ * so steady-state queries stay allocation-free.
+ */
+
+#ifndef EDGEPC_POINTCLOUD_POINTS_SOA_HPP
+#define EDGEPC_POINTCLOUD_POINTS_SOA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/scratch_arena.hpp"
+#include "geometry/vec3.hpp"
+
+namespace edgepc {
+
+/** SoA (x[], y[], z[]) view of a point set. */
+class PointsSoA
+{
+  public:
+    /** Sentinel coordinate stored in padding lanes. */
+    static constexpr float kPadCoord = 1e30f;
+
+    PointsSoA() = default;
+    ~PointsSoA();
+
+    PointsSoA(const PointsSoA &) = delete;
+    PointsSoA &operator=(const PointsSoA &) = delete;
+    PointsSoA(PointsSoA &&other) noexcept;
+    PointsSoA &operator=(PointsSoA &&other) noexcept;
+
+    /** Owned storage, identity order: lane i holds points[i]. */
+    explicit PointsSoA(std::span<const Vec3> points);
+
+    /** Owned storage, gathered: lane i holds points[order[i]]. */
+    PointsSoA(std::span<const Vec3> points,
+              std::span<const std::uint32_t> order);
+
+    /**
+     * Arena-backed storage (no heap allocation): valid only while the
+     * caller's ScratchArena frame is open.
+     */
+    PointsSoA(std::span<const Vec3> points, ScratchArena &arena);
+
+    /** Arena-backed, gathered by @p order. */
+    PointsSoA(std::span<const Vec3> points,
+              std::span<const std::uint32_t> order, ScratchArena &arena);
+
+    /** Number of real points N. */
+    std::size_t size() const { return n; }
+
+    /** N rounded up to a whole number of SIMD lanes. */
+    std::size_t paddedSize() const { return padded; }
+
+    const float *xs() const { return x; }
+    const float *ys() const { return y; }
+    const float *zs() const { return z; }
+
+    /** Point at lane @p i (i < size()). */
+    Vec3 at(std::size_t i) const { return {x[i], y[i], z[i]}; }
+
+  private:
+    static void checkOrder(std::span<const Vec3> points,
+                           std::span<const std::uint32_t> order);
+    void fill(std::span<const Vec3> points,
+              std::span<const std::uint32_t> order);
+    void bind(float *base);
+
+    float *x = nullptr;
+    float *y = nullptr;
+    float *z = nullptr;
+    float *owned = nullptr; ///< Aligned heap block when not arena-backed.
+    std::size_t n = 0;
+    std::size_t padded = 0;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_POINTCLOUD_POINTS_SOA_HPP

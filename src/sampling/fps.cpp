@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
+#include "geometry/simd_distance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pointcloud/points_soa.hpp"
 
 namespace edgepc {
 
@@ -28,48 +31,55 @@ FarthestPointSampler::sample(std::span<const Vec3> points, std::size_t n)
     if (n == 0) {
         return selected;
     }
-    selected.reserve(n);
+    selected.resize(n);
+    simd::recordDispatch();
+
+    ScratchArena &arena = ScratchArena::local();
+    const ScratchArena::Frame frame(arena);
+    const PointsSoA soa(points, arena);
+    const std::size_t padded = soa.paddedSize();
 
     // dist[i] = squared distance from point i to the selected set.
-    std::vector<float> dist(total, std::numeric_limits<float>::max());
+    // Padding lanes start (and stay) below every real distance so the
+    // argmax scan can run over whole SIMD blocks.
+    const std::span<float> dist = arena.alloc<float>(padded);
+    std::fill(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(total),
+              std::numeric_limits<float>::max());
+    std::fill(dist.begin() + static_cast<std::ptrdiff_t>(total), dist.end(),
+              -1.0f);
 
     std::uint32_t current = std::min<std::uint32_t>(
         startIndex, static_cast<std::uint32_t>(total - 1));
-    selected.push_back(current);
+    selected[0] = current;
 
+    // EDGEPC_HOT: the quadratic FPS core — no heap allocation below.
     for (std::size_t step = 1; step < n; ++step) {
         const Vec3 last = points[current];
 
         // Relax distances against the newly selected point; this O(N)
-        // update per selection is the quadratic-time core of FPS.
+        // update per selection is the quadratic-time core of FPS. The
+        // padded range is processed too: pad coordinates are huge, so
+        // min() leaves the -1 sentinel lanes untouched.
         if (parallelUpdate && total >= 4096) {
-            parallelFor(0, total, [&](std::size_t i) {
-                const float d = squaredDistance(points[i], last);
-                if (d < dist[i]) {
-                    dist[i] = d;
-                }
-            });
+            ThreadPool::globalPool().parallelForChunked(
+                0, padded,
+                [&](std::size_t lo, std::size_t hi) {
+                    simd::batchMinUpdate(soa.xs() + lo, soa.ys() + lo,
+                                         soa.zs() + lo, hi - lo, last,
+                                         dist.data() + lo);
+                },
+                0);
         } else {
-            for (std::size_t i = 0; i < total; ++i) {
-                const float d = squaredDistance(points[i], last);
-                if (d < dist[i]) {
-                    dist[i] = d;
-                }
-            }
+            simd::batchMinUpdate(soa.xs(), soa.ys(), soa.zs(), padded,
+                                 last, dist.data());
         }
         dist[current] = 0.0f;
 
-        // Pick the point with the maximum distance to the selected set.
-        float best = -1.0f;
-        std::uint32_t best_idx = 0;
-        for (std::size_t i = 0; i < total; ++i) {
-            if (dist[i] > best) {
-                best = dist[i];
-                best_idx = static_cast<std::uint32_t>(i);
-            }
-        }
-        current = best_idx;
-        selected.push_back(current);
+        // Pick the point with the maximum distance to the selected set
+        // (first-occurrence ties, matching the original scalar scan).
+        current =
+            static_cast<std::uint32_t>(simd::batchArgmax(dist.data(), padded));
+        selected[step] = current;
     }
     return selected;
 }

@@ -1,0 +1,23 @@
+// R6 fixture: heap allocation inside a hot region. The cold function
+// is identical code outside a marked region and must stay clean.
+#include <vector>
+
+void
+cold(std::vector<int> &out)
+{
+    std::vector<int> scratch;
+    scratch.push_back(1);
+    out = scratch;
+}
+
+// EDGEPC_HOT: per-query scan (fixture)
+void
+hot(std::vector<int> &out)
+{
+    std::vector<int> scratch; // R6: vector construction (line 17)
+    scratch.push_back(42);    // R6: reallocating member (line 18)
+    int *raw = new int[8];    // R6: operator new (line 19)
+    raw[0] = scratch[0];
+    out[0] = raw[0];
+    delete[] raw;
+}

@@ -12,6 +12,15 @@
  *    paper's reported bounds and improves monotonically with the
  *    window size (Fig 7 shape), reaching exact recall once the window
  *    spans the whole cloud.
+ *
+ * The DispatchEquivalence suite additionally runs every SIMD-backed
+ * kernel under forced-scalar and forced-AVX2 dispatch and asserts the
+ * returned indices are identical — not merely set-equivalent. The
+ * vector kernels keep the scalar operation order and never fuse
+ * multiply-adds (simd_distance.cpp is built with -ffp-contract=off),
+ * so both paths compute identical distance bits and therefore identical
+ * neighbor/sample selections, including remainder lanes (sizes that are
+ * not a multiple of 8 and clouds smaller than one vector).
  */
 
 #include <gtest/gtest.h>
@@ -21,12 +30,14 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "geometry/simd_distance.hpp"
 #include "neighbor/ball_query.hpp"
 #include "neighbor/brute_force.hpp"
 #include "neighbor/grid_query.hpp"
 #include "neighbor/kd_tree.hpp"
 #include "neighbor/metrics.hpp"
 #include "neighbor/morton_window.hpp"
+#include "sampling/fps.hpp"
 #include "sampling/morton_sampler.hpp"
 
 namespace edgepc {
@@ -250,6 +261,126 @@ TEST(KernelEquivalence, MortonWindowKnnTracksWindowSearch)
     // Self-queries land in their own Morton run, so the adapter must
     // match the recall of the index-based path (0.75 measured).
     EXPECT_GT(neighborRecall(approx, truth), 0.6);
+}
+
+/** Forces a dispatch path for one scope, restoring the previous one. */
+class ForcedPath
+{
+  public:
+    explicit ForcedPath(simd::DispatchPath path)
+        : prev(simd::dispatchPath())
+    {
+        simd::setDispatchPath(path);
+    }
+    ~ForcedPath() { simd::setDispatchPath(prev); }
+
+    ForcedPath(const ForcedPath &) = delete;
+    ForcedPath &operator=(const ForcedPath &) = delete;
+
+  private:
+    simd::DispatchPath prev;
+};
+
+/** Cloud sizes stressing remainder lanes: below one 8-float vector,
+ *  exactly one vector, one-past, and not-multiple-of-8 larger sizes
+ *  (257 also straddles a 64-lane mask word boundary). */
+constexpr std::size_t kLaneSizes[] = {1, 2, 7, 8, 9, 100, 257, 1000};
+
+/** Run @p kernel under both forced paths and require identical rows. */
+template <typename Kernel>
+void
+expectPathsIdentical(Kernel &&kernel, const char *what)
+{
+    if (!simd::simdAvailable()) {
+        GTEST_SKIP() << "host has no AVX2+FMA; nothing to diff";
+    }
+    std::vector<std::uint32_t> scalar, vectorized;
+    {
+        const ForcedPath forced(simd::DispatchPath::ForceScalar);
+        scalar = kernel();
+    }
+    {
+        const ForcedPath forced(simd::DispatchPath::ForceSimd);
+        vectorized = kernel();
+    }
+    EXPECT_EQ(scalar, vectorized) << what;
+}
+
+TEST(DispatchEquivalence, BruteForceIdenticalAcrossPaths)
+{
+    for (const std::size_t n : kLaneSizes) {
+        const auto pts = randomCloud(n, 9000 + n);
+        const auto queries =
+            randomCloud(std::min<std::size_t>(n, 32), 9100 + n);
+        const std::size_t k = std::min<std::size_t>(8, n);
+        expectPathsIdentical(
+            [&] {
+                BruteForceKnn knn;
+                return knn.search(queries, pts, k).indices;
+            },
+            "brute-force");
+    }
+}
+
+TEST(DispatchEquivalence, BallQueryIdenticalAcrossPaths)
+{
+    for (const std::size_t n : kLaneSizes) {
+        const auto pts = randomCloud(n, 9200 + n);
+        const auto queries =
+            randomCloud(std::min<std::size_t>(n, 32), 9300 + n);
+        expectPathsIdentical(
+            [&] {
+                BallQuery ball(0.25f);
+                return ball.search(queries, pts, 8).indices;
+            },
+            "ball-query");
+    }
+}
+
+TEST(DispatchEquivalence, GridBallQueryIdenticalAcrossPaths)
+{
+    for (const std::size_t n : kLaneSizes) {
+        const auto pts = randomCloud(n, 9400 + n);
+        const auto queries =
+            randomCloud(std::min<std::size_t>(n, 32), 9500 + n);
+        expectPathsIdentical(
+            [&] {
+                GridBallQuery grid(0.25f, 0.25f);
+                return grid.search(queries, pts, 8).indices;
+            },
+            "grid-ball-query");
+    }
+}
+
+TEST(DispatchEquivalence, MortonWindowIdenticalAcrossPaths)
+{
+    for (const std::size_t n : kLaneSizes) {
+        const auto pts = randomCloud(n, 9600 + n);
+        MortonSampler sampler(32);
+        const Structurization s = sampler.structurize(pts);
+        // W > k exercises the distance-ranked SIMD path (W <= k+1 is
+        // pure index selection and never touches the kernels).
+        expectPathsIdentical(
+            [&] {
+                const MortonWindowSearch search(64);
+                return search.searchAll(pts, s, std::min<std::size_t>(8, n))
+                    .indices;
+            },
+            "morton-window");
+    }
+}
+
+TEST(DispatchEquivalence, FpsIdenticalAcrossPaths)
+{
+    for (const std::size_t n : kLaneSizes) {
+        const auto pts = randomCloud(n, 9700 + n);
+        expectPathsIdentical(
+            [&] {
+                FarthestPointSampler fps;
+                return fps.sample(pts, std::max<std::size_t>(1, n / 2));
+            },
+            "fps");
+    }
 }
 
 } // namespace

@@ -1,5 +1,5 @@
 /**
- * @file End-to-end tests of the edgepc-lint tool: each rule R1–R5 has
+ * @file End-to-end tests of the edgepc-lint tool: each rule R1–R6 has
  * a fixture under tests/fixtures/lint/ that the tool must catch at
  * the expected line, NOLINT suppression must silence a finding, and
  * the baseline must round-trip through --write-baseline.
@@ -88,6 +88,19 @@ TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
         << r.output;
     EXPECT_NE(r.output.find("edgepc-R5"), std::string::npos);
 
+    EXPECT_NE(r.output.find("r6_hot_alloc.cpp:17:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("r6_hot_alloc.cpp:18:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("r6_hot_alloc.cpp:19:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R6"), std::string::npos);
+    // The identical allocations outside the marked region stay clean.
+    EXPECT_EQ(r.output.find("r6_hot_alloc.cpp:8:"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("r6_hot_alloc.cpp:9:"), std::string::npos)
+        << r.output;
+
     // The compliant declarations/calls in the fixtures must NOT fire.
     EXPECT_EQ(r.output.find("r2_decl.hpp:13:"), std::string::npos)
         << r.output;
@@ -136,13 +149,13 @@ TEST(EdgePcLint, BaselineRoundTripTolerates)
     std::remove(baseline.c_str());
 }
 
-TEST(EdgePcLint, ListRulesDocumentsAllFive)
+TEST(EdgePcLint, ListRulesDocumentsAllRules)
 {
     const RunResult r = runLint("--list-rules");
     EXPECT_EQ(r.exitCode, 0) << r.output;
     for (const char *rule :
          {"edgepc-R1", "edgepc-R2", "edgepc-R3", "edgepc-R4",
-          "edgepc-R5"}) {
+          "edgepc-R5", "edgepc-R6"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << " in:\n"
             << r.output;

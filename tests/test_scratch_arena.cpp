@@ -1,0 +1,448 @@
+/**
+ * @file
+ * ScratchArena unit, concurrency and zero-allocation tests.
+ *
+ * The file replaces the global operator new/delete with counting
+ * forwarders (binary-wide, counting only — behavior is unchanged for
+ * every other test), which is what lets the steady-state suites assert
+ * that a warm sampling / neighbor-search call performs a small constant
+ * number of heap allocations regardless of the query count: per-query
+ * scratch comes from the thread-local arena, never the heap.
+ *
+ * The ScratchArenaConcurrency suite is part of the TSan gate
+ * (tools/ci/run_tsan.sh matches 'ScratchArena'): it hammers the
+ * thread-local arenas from pool workers and exercises the
+ * publish-via-parallelFor pattern the kernels rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/scratch_arena.hpp"
+#include "common/thread_pool.hpp"
+#include "neighbor/ball_query.hpp"
+#include "neighbor/brute_force.hpp"
+#include "neighbor/morton_window.hpp"
+#include "sampling/fps.hpp"
+#include "sampling/morton_sampler.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heapAllocs{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (align < sizeof(void *)) {
+        align = sizeof(void *);
+    }
+    void *p = nullptr;
+    if (posix_memalign(&p, align, size == 0 ? align : size) != 0) {
+        return nullptr;
+    }
+    return p;
+}
+
+} // namespace
+
+// Counting replacements for every allocating form. Deallocation is
+// uncounted (free is alignment-agnostic on this ABI, so one release
+// path serves both families).
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = countedAlignedAlloc(size, static_cast<std::size_t>(align));
+    if (p == nullptr) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = countedAlignedAlloc(size, static_cast<std::size_t>(align));
+    if (p == nullptr) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+namespace edgepc {
+namespace {
+
+bool
+isAligned(const void *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % ScratchArena::kAlignment ==
+           0;
+}
+
+TEST(ScratchArena, SpansAreAlignedAndDisjoint)
+{
+    ScratchArena arena;
+    const ScratchArena::Frame frame(arena);
+    const auto a = arena.alloc<float>(7);
+    const auto b = arena.alloc<std::uint64_t>(3);
+    const auto c = arena.alloc<std::byte>(1);
+    EXPECT_TRUE(isAligned(a.data()));
+    EXPECT_TRUE(isAligned(b.data()));
+    EXPECT_TRUE(isAligned(c.data()));
+    // Spans never overlap even though sizes are rounded up internally.
+    EXPECT_GE(reinterpret_cast<std::uintptr_t>(b.data()),
+              reinterpret_cast<std::uintptr_t>(a.data() + a.size()));
+    EXPECT_GE(reinterpret_cast<std::uintptr_t>(c.data()),
+              reinterpret_cast<std::uintptr_t>(b.data() + b.size()));
+}
+
+TEST(ScratchArena, FrameRewindsAndRecyclesMemory)
+{
+    ScratchArena arena;
+    float *first = nullptr;
+    {
+        const ScratchArena::Frame frame(arena);
+        first = arena.alloc<float>(100).data();
+        EXPECT_GT(arena.usedBytes(), 0u);
+    }
+    EXPECT_EQ(arena.usedBytes(), 0u);
+    const std::uint64_t grows = arena.growCount();
+    {
+        const ScratchArena::Frame frame(arena);
+        // Same block, same offset: the memory is recycled, not freed.
+        EXPECT_EQ(arena.alloc<float>(100).data(), first);
+    }
+    EXPECT_EQ(arena.growCount(), grows);
+}
+
+TEST(ScratchArena, FramesNest)
+{
+    ScratchArena arena;
+    const ScratchArena::Frame outer(arena);
+    const auto a = arena.alloc<std::uint32_t>(8);
+    a[0] = 7;
+    const std::size_t used_outer = arena.usedBytes();
+    {
+        const ScratchArena::Frame inner(arena);
+        const auto b = arena.alloc<std::uint32_t>(1024);
+        b[0] = 9;
+        EXPECT_GT(arena.usedBytes(), used_outer);
+    }
+    EXPECT_EQ(arena.usedBytes(), used_outer);
+    EXPECT_EQ(a[0], 7u); // Outer span untouched by the inner rewind.
+}
+
+TEST(ScratchArena, GrowsGeometricallyAndCountsGrowth)
+{
+    ScratchArena arena;
+    EXPECT_EQ(arena.capacityBytes(), 0u);
+    EXPECT_EQ(arena.growCount(), 0u);
+    const ScratchArena::Frame frame(arena);
+    const auto ignored = arena.alloc<float>(16);
+    static_cast<void>(ignored);
+    EXPECT_EQ(arena.growCount(), 1u);
+    const std::size_t first_cap = arena.capacityBytes();
+    // Outgrow the first block: one more growth, capacity at least
+    // doubles (geometric policy).
+    const auto big = arena.alloc<std::byte>(first_cap + 1);
+    static_cast<void>(big);
+    EXPECT_EQ(arena.growCount(), 2u);
+    EXPECT_GE(arena.capacityBytes(), 2 * first_cap);
+}
+
+TEST(ScratchArena, ZeroElementSpanIsEmpty)
+{
+    ScratchArena arena;
+    const ScratchArena::Frame frame(arena);
+    EXPECT_TRUE(arena.alloc<float>(0).empty());
+    EXPECT_EQ(arena.usedBytes(), 0u);
+}
+
+TEST(ScratchArenaConcurrency, ThreadLocalArenasAreDistinct)
+{
+    ScratchArena *main_arena = &ScratchArena::local();
+    std::atomic<ScratchArena *> other{nullptr};
+    std::thread t([&] { other.store(&ScratchArena::local()); });
+    t.join();
+    EXPECT_NE(other.load(), nullptr);
+    EXPECT_NE(other.load(), main_arena);
+}
+
+// Pool workers bump their own arenas concurrently; each index writes a
+// distinct pattern and verifies it, so any cross-thread sharing of
+// scratch shows up as a data corruption (and as a race under TSan).
+TEST(ScratchArenaConcurrency, WorkersStressPrivateArenas)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> bad{0};
+    pool.parallelFor(0, 2000, [&](std::size_t i) {
+        ScratchArena &arena = ScratchArena::local();
+        const ScratchArena::Frame frame(arena);
+        const auto span = arena.alloc<std::uint32_t>(64 + i % 64);
+        const std::uint32_t tag = static_cast<std::uint32_t>(i);
+        for (auto &v : span) {
+            v = tag;
+        }
+        for (const auto v : span) {
+            if (v != tag) {
+                bad.fetch_add(1);
+            }
+        }
+    });
+    EXPECT_EQ(bad.load(), 0u);
+}
+
+// The kernels' publication pattern: the caller fills an arena span
+// before the parallelFor, workers only read it. The pool's queue mutex
+// is the happens-before edge that makes this race-free.
+TEST(ScratchArenaConcurrency, CallerSpanIsReadableFromWorkers)
+{
+    ThreadPool pool(4);
+    ScratchArena &arena = ScratchArena::local();
+    const ScratchArena::Frame frame(arena);
+    const auto shared = arena.alloc<float>(4096);
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        shared[i] = static_cast<float>(i);
+    }
+    std::atomic<std::size_t> bad{0};
+    pool.parallelFor(0, shared.size(), [&](std::size_t i) {
+        if (shared[i] != static_cast<float>(i)) {
+            bad.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(bad.load(), 0u);
+}
+
+std::vector<Vec3>
+randomCloud(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec3> pts(n);
+    for (auto &p : pts) {
+        p = {rng.nextFloat(), rng.nextFloat(), rng.nextFloat()};
+    }
+    return pts;
+}
+
+/**
+ * Allocations a warm kernel call may still perform: the output vector,
+ * the parallelFor control block (promise + shared state + task queue
+ * nodes) and std::function wrappers — all per *call*, never per query.
+ * With kQueries queries, any per-query heap use would blow straight
+ * past this.
+ */
+constexpr std::uint64_t kPerCallAllocBudget = 32;
+constexpr std::size_t kQueries = 512;
+
+struct SteadyState
+{
+    std::uint64_t allocs;
+    std::uint64_t grows;
+};
+
+SteadyState
+deltaOf(const SteadyState &before)
+{
+    return {g_heapAllocs.load(std::memory_order_relaxed) - before.allocs,
+            ScratchArena::totalGrowCount() - before.grows};
+}
+
+SteadyState
+snapshot()
+{
+    return {g_heapAllocs.load(std::memory_order_relaxed),
+            ScratchArena::totalGrowCount()};
+}
+
+TEST(ScratchArenaZeroAlloc, BruteForceSteadyState)
+{
+    const auto pts = randomCloud(2048, 11);
+    const auto queries = randomCloud(kQueries, 12);
+    BruteForceKnn knn;
+    for (int warm = 0; warm < 2; ++warm) {
+        const auto ignored = knn.search(queries, pts, 16);
+        static_cast<void>(ignored);
+    }
+    const SteadyState before = snapshot();
+    const auto out = knn.search(queries, pts, 16);
+    const SteadyState delta = deltaOf(before);
+    EXPECT_EQ(delta.grows, 0u);
+    EXPECT_LE(delta.allocs, kPerCallAllocBudget);
+    EXPECT_EQ(out.queries(), kQueries);
+}
+
+TEST(ScratchArenaZeroAlloc, BallQuerySteadyState)
+{
+    const auto pts = randomCloud(2048, 21);
+    const auto queries = randomCloud(kQueries, 22);
+    BallQuery ball(0.25f);
+    for (int warm = 0; warm < 2; ++warm) {
+        const auto ignored = ball.search(queries, pts, 16);
+        static_cast<void>(ignored);
+    }
+    const SteadyState before = snapshot();
+    const auto out = ball.search(queries, pts, 16);
+    const SteadyState delta = deltaOf(before);
+    EXPECT_EQ(delta.grows, 0u);
+    EXPECT_LE(delta.allocs, kPerCallAllocBudget);
+    EXPECT_EQ(out.queries(), kQueries);
+}
+
+TEST(ScratchArenaZeroAlloc, MortonWindowSteadyState)
+{
+    const auto pts = randomCloud(2048, 31);
+    MortonSampler sampler(32);
+    const Structurization s = sampler.structurize(pts);
+    const MortonWindowSearch search(64);
+    for (int warm = 0; warm < 2; ++warm) {
+        const auto ignored = search.searchAll(pts, s, 16);
+        static_cast<void>(ignored);
+    }
+    const SteadyState before = snapshot();
+    const auto out = search.searchAll(pts, s, 16);
+    const SteadyState delta = deltaOf(before);
+    EXPECT_EQ(delta.grows, 0u);
+    EXPECT_LE(delta.allocs, kPerCallAllocBudget);
+    EXPECT_EQ(out.queries(), pts.size());
+}
+
+TEST(ScratchArenaZeroAlloc, FpsSteadyState)
+{
+    const auto pts = randomCloud(2048, 41);
+    FarthestPointSampler fps;
+    for (int warm = 0; warm < 2; ++warm) {
+        const auto ignored = fps.sample(pts, 256);
+        static_cast<void>(ignored);
+    }
+    const SteadyState before = snapshot();
+    const auto out = fps.sample(pts, 256);
+    const SteadyState delta = deltaOf(before);
+    EXPECT_EQ(delta.grows, 0u);
+    EXPECT_LE(delta.allocs, kPerCallAllocBudget);
+    EXPECT_EQ(out.size(), 256u);
+}
+
+} // namespace
+} // namespace edgepc

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf diff between two BENCH_*.json reports (edgepc-bench-v1).
+
+Matches rows by label between a committed baseline (bench/baselines/)
+and a fresh run, prints a speedup table, and exits non-zero when any
+matched row regressed by more than the threshold (wall_ms growth above
+--threshold percent, default 15). Labels present on only one side are
+reported as warnings but never fail the diff — benches gain and lose
+configurations over time. Stdlib only, like validate_bench_json.py.
+
+Usage:
+    tools/ci/compare_bench_json.py BASELINE.json CURRENT.json
+    tools/ci/compare_bench_json.py --threshold 25 base.json cur.json
+    tools/ci/compare_bench_json.py --no-fail base.json cur.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+DEFAULT_THRESHOLD_PCT = 15.0
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"{path}: unreadable or invalid JSON: {exc}")
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise SystemExit(f"{path}: not an edgepc-bench report")
+    return doc
+
+
+def rows_by_label(doc: dict, path: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for row in doc["rows"]:
+        label = row.get("label")
+        wall = row.get("wall_ms")
+        if not isinstance(label, str) or not isinstance(wall, (int, float)):
+            raise SystemExit(f"{path}: malformed row {row!r}")
+        if label in out:
+            print(f"warning: {path}: duplicate label '{label}'; "
+                  "keeping the first", file=sys.stderr)
+            continue
+        out[label] = float(wall)
+    return out
+
+
+def main(argv: list[str]) -> int:
+    threshold = DEFAULT_THRESHOLD_PCT
+    fail_on_regression = True
+    paths: list[str] = []
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--threshold":
+            if not args:
+                raise SystemExit("--threshold requires an argument")
+            threshold = float(args.pop(0))
+        elif arg == "--no-fail":
+            fail_on_regression = False
+        elif arg in ("-h", "--help"):
+            raise SystemExit(__doc__)
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        raise SystemExit(__doc__)
+
+    base_path, cur_path = paths
+    base = rows_by_label(load(base_path), base_path)
+    cur = rows_by_label(load(cur_path), cur_path)
+
+    for label in base:
+        if label not in cur:
+            print(f"warning: '{label}' only in baseline {base_path}",
+                  file=sys.stderr)
+    for label in cur:
+        if label not in base:
+            print(f"warning: '{label}' only in current {cur_path}",
+                  file=sys.stderr)
+
+    matched = [label for label in base if label in cur]
+    if not matched:
+        raise SystemExit("no labels in common; nothing to compare")
+
+    width = max(len(label) for label in matched)
+    print(f"{'label':<{width}}  {'base ms':>12}  {'cur ms':>12}  "
+          f"{'speedup':>8}  {'delta':>8}")
+    regressions: list[str] = []
+    for label in matched:
+        b, c = base[label], cur[label]
+        speedup = b / c if c > 0 else float("inf")
+        delta_pct = (c - b) / b * 100.0 if b > 0 else 0.0
+        flag = ""
+        if delta_pct > threshold:
+            flag = "  REGRESSION"
+            regressions.append(label)
+        print(f"{label:<{width}}  {b:12.4f}  {c:12.4f}  "
+              f"{speedup:7.2f}x  {delta_pct:+7.1f}%{flag}")
+
+    print(f"\n{len(matched)} row(s) compared, {len(regressions)} "
+          f"regression(s) beyond {threshold:.0f}%")
+    if regressions and fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -379,6 +379,116 @@ ruleFloatCompare(const LexedFile &file, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------- R6
+/** Container member calls that may (re)allocate their storage. */
+const std::array<const char *, 4> kAllocMembers = {
+    "push_back",
+    "emplace_back",
+    "resize",
+    "reserve",
+};
+
+/** Free functions that allocate. */
+const std::array<const char *, 7> kAllocCalls = {
+    "malloc",       "calloc",      "realloc",    "aligned_alloc",
+    "posix_memalign", "make_unique", "make_shared",
+};
+
+template <std::size_t N>
+bool
+isOneOf(const std::array<const char *, N> &names, const std::string &text)
+{
+    for (const char *name : names) {
+        if (text == name) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** True when the comment's first word is the hot-region marker. The
+    marker must open the comment, so prose that merely mentions it
+    (like this file's own documentation) never creates a region. */
+bool
+startsWithHotMarker(const std::string &text)
+{
+    const std::size_t at = text.find_first_not_of(" \t");
+    return at != std::string::npos &&
+           text.compare(at, 10, "EDGEPC_HOT") == 0;
+}
+
+/**
+ * The hot region opened by a marker comment is the first braced scope
+ * at or after the comment's last line (the loop/lambda/function body
+ * the comment annotates), through its matching close. Inside it,
+ * operator new, the malloc family, std::vector construction and
+ * reallocating container members are all steady-state heap traffic the
+ * kernels must route through the ScratchArena instead.
+ */
+void
+ruleHotRegionAllocation(const LexedFile &file, std::vector<Finding> &out)
+{
+    const auto &toks = file.tokens;
+    for (const Comment &marker : file.comments) {
+        if (!startsWithHotMarker(marker.text)) {
+            continue;
+        }
+        std::size_t open = npos;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].line >= marker.endLine && toks[i].isPunct("{")) {
+                open = i;
+                break;
+            }
+        }
+        if (open == npos) {
+            continue;
+        }
+        std::size_t close = toks.size();
+        int depth = 0;
+        for (std::size_t i = open; i < toks.size(); ++i) {
+            if (toks[i].kind != TokenKind::Punct) {
+                continue;
+            }
+            if (toks[i].text == "{") {
+                ++depth;
+            } else if (toks[i].text == "}" && --depth == 0) {
+                close = i;
+                break;
+            }
+        }
+        for (std::size_t i = open + 1; i < close; ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokenKind::Ident) {
+                continue;
+            }
+            const bool called =
+                i + 1 < close && toks[i + 1].isPunct("(");
+            const bool member =
+                i > 0 && (toks[i - 1].isPunct(".") ||
+                          toks[i - 1].isPunct("->"));
+            std::string what;
+            if (t.text == "new") {
+                what = "operator new";
+            } else if (t.text == "vector" && i + 1 < close &&
+                       toks[i + 1].isPunct("<")) {
+                what = "std::vector construction";
+            } else if (called && member &&
+                       isOneOf(kAllocMembers, t.text)) {
+                what = "reallocating call '" + t.text + "'";
+            } else if (called && !member &&
+                       isOneOf(kAllocCalls, t.text)) {
+                what = "allocating call '" + t.text + "'";
+            }
+            if (!what.empty()) {
+                addFinding(out, file, t, "edgepc-R6",
+                           what +
+                               " inside an EDGEPC_HOT region; hot-path "
+                               "scratch must come from the ScratchArena");
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------- R5
 void
 ruleHeaderHygiene(const LexedFile &file, std::vector<Finding> &out)
@@ -450,6 +560,9 @@ ruleDescriptions()
          "(neighbor/, sampling/, nn/, geometry/)"},
         {"edgepc-R5",
          "headers carry an include guard and never 'using namespace'"},
+        {"edgepc-R6",
+         "no heap allocation (new, malloc family, std::vector, "
+         "push_back/resize/...) inside EDGEPC_HOT-marked regions"},
     };
 }
 
@@ -481,6 +594,7 @@ runRules(const LexedFile &file, const std::set<std::string> &resultFns,
     ruleRawRng(file, all);
     ruleFloatCompare(file, all);
     ruleHeaderHygiene(file, all);
+    ruleHotRegionAllocation(file, all);
 
     std::vector<Finding> kept;
     for (Finding &f : all) {

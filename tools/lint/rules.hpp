@@ -17,6 +17,13 @@
  *  R5  header hygiene: every header starts with an include guard
  *      (#pragma once or a classic #ifndef/#define pair) and contains
  *      no `using namespace`.
+ *  R6  no heap allocation inside hot regions: a comment whose first
+ *      word is the hot marker (see rules.cpp, startsWithHotMarker)
+ *      opens a region over the next braced scope in which operator
+ *      new, the malloc family, std::vector construction and
+ *      reallocating container members (push_back, emplace_back,
+ *      resize, reserve) are rejected — per-query scratch must come
+ *      from the ScratchArena.
  *
  * Every rule honours `// NOLINT(edgepc-RN): reason` on the offending
  * line and `// NOLINTNEXTLINE(edgepc-RN): reason` on the line above.
@@ -36,7 +43,7 @@ namespace edgepc::lint {
 /** One rule violation. */
 struct Finding
 {
-    std::string rule; ///< "edgepc-R1" … "edgepc-R5".
+    std::string rule; ///< "edgepc-R1" … "edgepc-R6".
     std::string path;
     int line = 0;
     int col = 0;
