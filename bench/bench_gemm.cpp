@@ -1,0 +1,191 @@
+/**
+ * @file
+ * GEMM micro-benchmark over the actual PointNet++/DGCNN layer shapes.
+ *
+ * The feature-compute stage of every model in this repo is a chain of
+ * row-wise Linear layers, so its cost is set by a handful of GEMM
+ * shapes: thin-K grouped inputs (K = 3..6 relative-coordinate rows),
+ * wide-K mid-network layers (K = 64..256), the huge-M edge-feature
+ * stacks of DGCNN and the M = 1 classifier head. This bench times
+ * exactly those shapes on both engine paths, plus the backward-pass
+ * variants (A*B^T and A^T*B) and the bias-fused exactLinear entry
+ * point, and emits BENCH_gemm.json for the perf-diff CI step against
+ * bench/baselines/BENCH_gemm.json.
+ *
+ * Throughput accounting: every row reports gflops = 2*M*K*N /
+ * wall_ms * 1e-6 in its metrics, so speedups can be read either way.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "nn/feature_merge.hpp"
+#include "nn/gemm.hpp"
+
+namespace edgepc {
+namespace {
+
+/** One GEMM configuration: C(m x n) = A(m x k) * B(k x n). */
+struct Shape
+{
+    const char *tag; ///< Which model layer this shape comes from.
+    std::size_t m;
+    std::size_t k;
+    std::size_t n;
+};
+
+/**
+ * The forward feature-compute shapes. M counts point-neighbor rows
+ * (n_samples * k_neighbors), K the input channels, N the output
+ * channels. Thin-K rows (K < 16) are the grouped coordinate inputs
+ * the paper's tensor cores leave idle; wide-K rows are where the
+ * packed fast path must win.
+ */
+const Shape kForwardShapes[] = {
+    // PointNet++ SA1 first layer: 512 samples x 32 neighbors, grouped
+    // [rel_xyz | feat] input. Thin K.
+    {"pnpp_sa1_thin", 16384, 6, 64},
+    // PointNet per-point MLP entry: raw coordinates. Thin K.
+    {"pnet_mlp_thin", 4096, 3, 64},
+    // PointNet++ SA1 mid layer. Wide K.
+    {"pnpp_sa1_wide", 16384, 64, 64},
+    // PointNet++ SA2: 128 samples x 64 neighbors, 128 channels.
+    {"pnpp_sa2_wide", 8192, 128, 128},
+    // PointNet++ SA3 / deepest stage: fewer rows, widest channels.
+    {"pnpp_sa3_wide", 4096, 256, 256},
+    // DGCNN EdgeConv: 1024 points x 20 neighbors, [f_i | f_j - f_i].
+    {"dgcnn_ec_wide", 20480, 128, 64},
+    // Classifier head after global pooling: a single row.
+    {"head_m1", 1, 1024, 512},
+};
+
+/** Backward-pass shapes (the Linear::backward operand sizes). */
+const Shape kBackwardShapes[] = {
+    // dX = dY * W^T on the SA2 mid layer: A = dY (M x out),
+    // B = W (in x out), contraction over out.
+    {"bwd_dx_sa2", 8192, 128, 128},
+    // dW = X^T * dY on the same layer: contraction over the rows.
+    {"bwd_dw_sa2", 128, 8192, 128},
+};
+
+double
+bestOfMs(int repeats, const std::function<void()> &fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+        Timer t;
+        fn();
+        const double ms = t.elapsedMs();
+        if (r == 0 || ms < best) {
+            best = ms;
+        }
+    }
+    return best;
+}
+
+nn::Matrix
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    nn::Matrix m(rows, cols);
+    m.fillNormal(rng, 1.0f);
+    return m;
+}
+
+void
+recordRow(bench::BenchReport &report, const std::string &label, double ms,
+          const Shape &s)
+{
+    bench::BenchRow &row = report.row(label);
+    row.wallMs = ms;
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.k) *
+                         static_cast<double>(s.n);
+    row.metrics["gflops"] = ms > 0.0 ? flops / ms * 1e-6 : 0.0;
+    row.metrics["m"] = static_cast<double>(s.m);
+    row.metrics["k"] = static_cast<double>(s.k);
+    row.metrics["n"] = static_cast<double>(s.n);
+}
+
+} // namespace
+} // namespace edgepc
+
+int
+main(int argc, char **argv)
+{
+    using namespace edgepc;
+
+    bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+    const int repeats = bench::benchRepeats(3);
+    bench::banner("Sec 5.4.1 GEMM substrate",
+                  "feature compute dominates once S+N are structurized; "
+                  "the GEMM engine must keep pace with the fast kernels");
+
+    bench::BenchReport report("gemm", opts, 1, repeats);
+    Rng rng(opts.seed);
+
+    std::printf("%-22s %6s %6s %6s  %12s  %10s\n", "shape", "M", "K", "N",
+                "best ms", "GFLOP/s");
+
+    const auto run_shape = [&](const Shape &s, nn::GemmEngine &engine,
+                               const char *path,
+                               const std::function<nn::Matrix()> &fn) {
+        // One warmup call sizes the scratch and warms the caches.
+        const nn::Matrix warm = fn();
+        static_cast<void>(warm);
+        const double ms = bestOfMs(repeats, [&] {
+            const nn::Matrix out = fn();
+            static_cast<void>(out);
+        });
+        static_cast<void>(engine);
+        const std::string label = std::string(s.tag) + "/" + path;
+        recordRow(report, label, ms, s);
+        const double flops = 2.0 * static_cast<double>(s.m) *
+                             static_cast<double>(s.k) *
+                             static_cast<double>(s.n);
+        std::printf("%-22s %6zu %6zu %6zu  %12.4f  %10.2f\n",
+                    label.c_str(), s.m, s.k, s.n, ms,
+                    ms > 0.0 ? flops / ms * 1e-6 : 0.0);
+    };
+
+    for (const Shape &s : kForwardShapes) {
+        const nn::Matrix a = randomMatrix(s.m, s.k, rng);
+        const nn::Matrix b = randomMatrix(s.k, s.n, rng);
+        const nn::Matrix bias = randomMatrix(1, s.n, rng);
+
+        nn::GemmEngine scalar(nn::GemmMode::Scalar);
+        nn::GemmEngine fast(nn::GemmMode::Fast);
+        run_shape(s, scalar, "scalar",
+                  [&] { return scalar.multiply(a, b); });
+        run_shape(s, fast, "fast", [&] { return fast.multiply(a, b); });
+        // Linear layer entry point: GEMM plus the bias epilogue.
+        run_shape(s, fast, "fast+bias", [&] {
+            return nn::exactLinear(a, b, bias, fast);
+        });
+    }
+
+    for (const Shape &s : kBackwardShapes) {
+        nn::GemmEngine fast(nn::GemmMode::Fast);
+        if (std::string(s.tag).find("_dx_") != std::string::npos) {
+            // dX = dY * W^T: A is m x k, B is n x k.
+            const nn::Matrix dy = randomMatrix(s.m, s.k, rng);
+            const nn::Matrix w = randomMatrix(s.n, s.k, rng);
+            run_shape(s, fast, "fast", [&] {
+                return fast.multiplyTransposed(dy, w);
+            });
+        } else {
+            // dW = X^T * dY: A is k x m, B is k x n.
+            const nn::Matrix x = randomMatrix(s.k, s.m, rng);
+            const nn::Matrix dy = randomMatrix(s.k, s.n, rng);
+            run_shape(s, fast, "fast", [&] {
+                return fast.multiplyLeftTransposed(x, dy);
+            });
+        }
+    }
+
+    return report.write() ? 0 : 1;
+}

@@ -169,8 +169,12 @@ class BenchReport
     {
         // Every report records which distance-kernel build it measured
         // ("avx2-fma" or "scalar") so perf diffs across machines or
-        // EDGEPC_SIMD settings compare like with like.
+        // EDGEPC_SIMD settings compare like with like. Same for the
+        // GEMM microkernel build and epilogue-fusion mode (EDGEPC_GEMM
+        // / EDGEPC_GEMM_EPILOGUE).
         configStr["simd_path"] = simd::activePathName();
+        configStr["gemm_path"] = nn::GemmEngine::activeKernelName();
+        configStr["gemm_epilogue"] = nn::GemmEngine::epilogueModeName();
     }
 
     /** Echo a config knob into the report. */

@@ -127,14 +127,14 @@ PointNetPP::PointNetPP(PointNetPPConfig config, std::uint64_t seed)
             // max-pool; per-cloud batch norm right before it would
             // standardize away the cloud's identity, so the final
             // stage is Linear + ReLU only (see the matching note in
-            // dgcnn.cpp).
+            // dgcnn.cpp). The pair fuses into one GEMM with a
+            // BiasRelu epilogue; the parameter stream is identical
+            // to a separate Linear + ReLU, so checkpoints interop.
             const bool last_stage_before_global_pool =
                 cfg.fp.empty() && si + 1 == cfg.sa.size() &&
                 wi + 1 == sa.mlp.size();
             if (last_stage_before_global_pool) {
-                block.mlp.add(
-                    std::make_unique<nn::Linear>(in_dim, width, rng));
-                block.mlp.add(std::make_unique<nn::ReLU>());
+                block.mlp.addLinearRelu(in_dim, width, rng);
             } else {
                 block.mlp.addLinearBnRelu(in_dim, width, rng);
             }

@@ -17,6 +17,9 @@ exactLinear(const Matrix &input, const Matrix &weight, const Matrix &bias,
         fatal("exactLinear: input C %zu != weight rows %zu", input.cols(),
               weight.rows());
     }
+    if (bias.numel() > 0 && GemmEngine::fusedEpilogues()) {
+        return engine.multiply(input, weight, GemmEpilogue::Bias, bias);
+    }
     Matrix out = engine.multiply(input, weight);
     if (bias.numel() > 0) {
         parallelFor(0, out.rows(), [&](std::size_t r) {
@@ -60,6 +63,15 @@ mergedLinear(const Matrix &input, const Matrix &weight, const Matrix &bias,
         }
     }
 
+    // With epilogue fusion the bias rides along in the GEMM store (and
+    // gets replicated with the group rows); otherwise a final sweep
+    // adds it.
+    const bool fuse_bias =
+        bias.numel() > 0 && GemmEngine::fusedEpilogues();
+    const GemmEpilogue ep =
+        fuse_bias ? GemmEpilogue::Bias : GemmEpilogue::None;
+    const float *bias_ptr = fuse_bias ? bias.data() : nullptr;
+
     // Full groups go through the wide GEMM (the row-major layout makes
     // the merge itself a free reinterpretation of the buffer).
     const std::size_t groups = n / merge;
@@ -67,7 +79,8 @@ mergedLinear(const Matrix &input, const Matrix &weight, const Matrix &bias,
     if (groups > 0) {
         Matrix group_out(groups, c_out);
         engine.gemm(input.data(), merged_weight.data(),
-                    group_out.data(), groups, c_in * merge, c_out);
+                    group_out.data(), groups, c_in * merge, c_out, ep,
+                    bias_ptr);
         parallelFor(0, groups, [&](std::size_t g) {
             const float *src = group_out.data() + g * c_out;
             for (std::size_t t = 0; t < merge; ++t) {
@@ -84,12 +97,12 @@ mergedLinear(const Matrix &input, const Matrix &weight, const Matrix &bias,
         const std::size_t tail = n - tail_start;
         Matrix tail_out(tail, c_out);
         engine.gemm(input.data() + tail_start * c_in, weight.data(),
-                    tail_out.data(), tail, c_in, c_out);
+                    tail_out.data(), tail, c_in, c_out, ep, bias_ptr);
         std::copy(tail_out.data(), tail_out.data() + tail_out.numel(),
                   out.data() + tail_start * c_out);
     }
 
-    if (bias.numel() > 0) {
+    if (bias.numel() > 0 && !fuse_bias) {
         parallelFor(0, out.rows(), [&](std::size_t r) {
             float *row = out.data() + r * c_out;
             for (std::size_t col = 0; col < c_out; ++col) {

@@ -1,9 +1,15 @@
 #include "nn/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <immintrin.h>
+#include <string_view>
 
+#include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -18,109 +24,758 @@ GemmEngine::GemmEngine(GemmMode mode, std::size_t channel_threshold)
 
 namespace {
 
-/**
- * Cache-tiled kernel body for one row block, compiled with the
- * baseline ISA. Shared by the two dispatch paths below: the CUDA-core
- * model runs this generic build, the Tensor-core model runs the
- * AVX2+FMA specialization (a genuinely wider-MAC build of the same
- * loop nest — mirroring the board's wide-MAC tensor units).
- */
-template <int kUnused>
-inline void
-tiledRowBlock(const float *a, const float *b, float *c, std::size_t k,
-              std::size_t n, std::size_t row_lo, std::size_t row_hi)
-{
-    constexpr std::size_t tile_k = 64;
-    constexpr std::size_t tile_n = 64;
-    for (std::size_t i = row_lo; i < row_hi; ++i) {
-        std::memset(c + i * n, 0, n * sizeof(float));
-    }
-    for (std::size_t kk = 0; kk < k; kk += tile_k) {
-        const std::size_t kend = std::min(k, kk + tile_k);
-        for (std::size_t jj = 0; jj < n; jj += tile_n) {
-            const std::size_t jend = std::min(n, jj + tile_n);
-            for (std::size_t i = row_lo; i < row_hi; ++i) {
-                const float *arow = a + i * k;
-                float *crow = c + i * n;
-                for (std::size_t p = kk; p < kend; ++p) {
-                    const float av = arow[p];
-                    const float *brow = b + p * n;
-                    std::size_t j = jj;
-                    for (; j + 4 <= jend; j += 4) {
-                        crow[j] += av * brow[j];
-                        crow[j + 1] += av * brow[j + 1];
-                        crow[j + 2] += av * brow[j + 2];
-                        crow[j + 3] += av * brow[j + 3];
-                    }
-                    for (; j < jend; ++j) {
-                        crow[j] += av * brow[j];
-                    }
-                }
-            }
-        }
-    }
-}
+/// Microkernel rows: 6 broadcast lanes keep 12 of 16 ymm registers as
+/// accumulators with room for two B loads and the A broadcast.
+constexpr std::size_t kMR = 6;
 
-/** Generic-ISA build (the CUDA-core stand-in). */
-void
-rowBlockGeneric(const float *a, const float *b, float *c, std::size_t k,
-                std::size_t n, std::size_t row_lo, std::size_t row_hi)
-{
-    tiledRowBlock<0>(a, b, c, k, n, row_lo, row_hi);
-}
+/// Microkernel columns: one packed B panel is two ymm vectors wide, so
+/// a panel row (64 bytes) is exactly one cache line.
+constexpr std::size_t kNR = 16;
 
-/**
- * AVX2+FMA build of the same loop nest (the Tensor-core stand-in):
- * identical arithmetic, executed on the wide-MAC units.
- */
-__attribute__((target("avx2,fma"))) void
-rowBlockWide(const float *a, const float *b, float *c, std::size_t k,
-             std::size_t n, std::size_t row_lo, std::size_t row_hi)
-{
-    tiledRowBlock<1>(a, b, c, k, n, row_lo, row_hi);
-}
+/// Rows per tile-grid block: 8 microkernel blocks, sized so the packed
+/// A block plus one B panel stay cache resident while C streams.
+constexpr std::size_t kMC = 8 * kMR;
+
+/// Column-register blocking of the small-M (GEMV-like) fast kernel.
+constexpr std::size_t kSmallMJB = 64;
 
 bool
-wideMacAvailable()
+fmaAvailable()
 {
     static const bool available = __builtin_cpu_supports("avx2") &&
                                   __builtin_cpu_supports("fma");
     return available;
 }
 
+GemmDispatchPath
+initialPathFromEnv()
+{
+    const char *env = std::getenv("EDGEPC_GEMM");
+    if (env == nullptr) {
+        return GemmDispatchPath::Auto;
+    }
+    const std::string_view v(env);
+    if (v == "scalar") {
+        return GemmDispatchPath::ForceScalar;
+    }
+    if (v == "fast" || v == "force" || v == "avx2") {
+        if (!fmaAvailable()) {
+            warn("EDGEPC_GEMM=%s requested but the CPU lacks AVX2+FMA; "
+                 "falling back to auto dispatch",
+                 env);
+            return GemmDispatchPath::Auto;
+        }
+        return GemmDispatchPath::ForceFast;
+    }
+    if (v != "auto") {
+        warn("EDGEPC_GEMM=%s not understood (want scalar|fast|auto); "
+             "using auto",
+             env);
+    }
+    return GemmDispatchPath::Auto;
+}
+
+std::atomic<GemmDispatchPath> &
+pathState()
+{
+    static std::atomic<GemmDispatchPath> state{initialPathFromEnv()};
+    return state;
+}
+
+bool
+initialFusedFromEnv()
+{
+    const char *env = std::getenv("EDGEPC_GEMM_EPILOGUE");
+    if (env == nullptr) {
+        return true;
+    }
+    const std::string_view v(env);
+    if (v == "split") {
+        return false;
+    }
+    if (v != "fused") {
+        warn("EDGEPC_GEMM_EPILOGUE=%s not understood (want fused|split); "
+             "using fused",
+             env);
+    }
+    return true;
+}
+
+std::atomic<bool> &
+fusedState()
+{
+    static std::atomic<bool> state{initialFusedFromEnv()};
+    return state;
+}
+
+/**
+ * Pack one B column panel (kNR columns starting at panel * kNR) into
+ * panel-major layout: dst[kk * kNR + jj], zero-padded to kNR columns so
+ * the microkernel never branches on N remainders. The transposed
+ * flavour reads B stored as N x K (operand of A * B^T) straight from
+ * its rows — no materialized transpose.
+ */
+inline void
+packBPanel(const float *__restrict b, bool b_transposed, std::size_t k,
+           std::size_t n, std::size_t ldb, std::size_t panel,
+           float *__restrict dst)
+{
+    const std::size_t j0 = panel * kNR;
+    const std::size_t cols = std::min(kNR, n - j0);
+    if (!b_transposed) {
+        // EDGEPC_HOT: panel pack, contiguous row copies.
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float *src = b + kk * ldb + j0;
+            float *d = dst + kk * kNR;
+            for (std::size_t jj = 0; jj < cols; ++jj) {
+                d[jj] = src[jj];
+            }
+            for (std::size_t jj = cols; jj < kNR; ++jj) {
+                d[jj] = 0.0f;
+            }
+        }
+        return;
+    }
+    // EDGEPC_HOT: transposed panel pack, contiguous reads of B's rows.
+    for (std::size_t jj = 0; jj < cols; ++jj) {
+        const float *src = b + (j0 + jj) * ldb;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            dst[kk * kNR + jj] = src[kk];
+        }
+    }
+    for (std::size_t jj = cols; jj < kNR; ++jj) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            dst[kk * kNR + jj] = 0.0f;
+        }
+    }
+}
+
+/**
+ * Pack one A row block (kMR rows starting at i0) into k-major layout:
+ * dst[kk * kMR + ii], zero-padded to kMR rows. The transposed flavour
+ * reads A stored as K x M (operand of A^T * B) straight from its rows.
+ */
+inline void
+packABlock(const float *__restrict a, bool a_transposed, std::size_t k,
+           std::size_t lda, std::size_t i0, std::size_t rows,
+           float *__restrict dst)
+{
+    if (!a_transposed) {
+        if (rows == kMR) {
+            // EDGEPC_HOT: full-height pack, six streaming read
+            // cursors and contiguous writes (one kMR group per kk).
+            const float *r0 = a + (i0 + 0) * lda;
+            const float *r1 = a + (i0 + 1) * lda;
+            const float *r2 = a + (i0 + 2) * lda;
+            const float *r3 = a + (i0 + 3) * lda;
+            const float *r4 = a + (i0 + 4) * lda;
+            const float *r5 = a + (i0 + 5) * lda;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                float *d = dst + kk * kMR;
+                d[0] = r0[kk];
+                d[1] = r1[kk];
+                d[2] = r2[kk];
+                d[3] = r3[kk];
+                d[4] = r4[kk];
+                d[5] = r5[kk];
+            }
+            return;
+        }
+        // EDGEPC_HOT: remainder row-block pack.
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            float *d = dst + kk * kMR;
+            for (std::size_t ii = 0; ii < rows; ++ii) {
+                d[ii] = a[(i0 + ii) * lda + kk];
+            }
+        }
+    } else {
+        // EDGEPC_HOT: transposed row-block pack, contiguous per kk.
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float *src = a + kk * lda + i0;
+            float *d = dst + kk * kMR;
+            for (std::size_t ii = 0; ii < rows; ++ii) {
+                d[ii] = src[ii];
+            }
+        }
+    }
+    for (std::size_t ii = rows; ii < kMR; ++ii) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            dst[kk * kMR + ii] = 0.0f;
+        }
+    }
+}
+
+/**
+ * Structured scalar microkernel (the CUDA-core stand-in): one
+ * accumulator per C element, k strictly ascending, so with FP
+ * contraction off it is bit-exact with the classic in-order loop nest.
+ */
+inline void
+microKernelScalar(const float *__restrict apack,
+                  const float *__restrict bpanel, std::size_t k,
+                  float *__restrict acc)
+{
+    for (std::size_t i = 0; i < kMR * kNR; ++i) {
+        acc[i] = 0.0f;
+    }
+    // EDGEPC_HOT: full-K register-tile accumulation. Two rows at a
+    // time: 2 x kNR accumulators fit the baseline vector register
+    // file, so they stay in registers across the whole K loop and
+    // each packed B row is loaded once per pair.
+    for (std::size_t ii = 0; ii < kMR; ii += 2) {
+        float *acc0 = acc + ii * kNR;
+        float *acc1 = acc + (ii + 1) * kNR;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av0 = apack[kk * kMR + ii];
+            const float av1 = apack[kk * kMR + ii + 1];
+            const float *brow = bpanel + kk * kNR;
+            for (std::size_t jj = 0; jj < kNR; ++jj) {
+                acc0[jj] += av0 * brow[jj];
+                acc1[jj] += av1 * brow[jj];
+            }
+        }
+    }
+}
+
+/**
+ * 6x16 AVX2+FMA microkernel (the Tensor-core stand-in): 12 ymm
+ * accumulators, two B vector loads and one A broadcast per k step; the
+ * full K reduction stays in registers.
+ */
+__attribute__((target("avx2,fma"))) void
+microKernelFma(const float *__restrict apack,
+               const float *__restrict bpanel, std::size_t k,
+               float *__restrict acc)
+{
+    __m256 c0a = _mm256_setzero_ps();
+    __m256 c0b = _mm256_setzero_ps();
+    __m256 c1a = _mm256_setzero_ps();
+    __m256 c1b = _mm256_setzero_ps();
+    __m256 c2a = _mm256_setzero_ps();
+    __m256 c2b = _mm256_setzero_ps();
+    __m256 c3a = _mm256_setzero_ps();
+    __m256 c3b = _mm256_setzero_ps();
+    __m256 c4a = _mm256_setzero_ps();
+    __m256 c4b = _mm256_setzero_ps();
+    __m256 c5a = _mm256_setzero_ps();
+    __m256 c5b = _mm256_setzero_ps();
+    // EDGEPC_HOT: full-K register-tile accumulation.
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float *arow = apack + kk * kMR;
+        const __m256 b0 = _mm256_load_ps(bpanel + kk * kNR);
+        const __m256 b1 = _mm256_load_ps(bpanel + kk * kNR + 8);
+        __m256 av = _mm256_broadcast_ss(arow + 0);
+        c0a = _mm256_fmadd_ps(av, b0, c0a);
+        c0b = _mm256_fmadd_ps(av, b1, c0b);
+        av = _mm256_broadcast_ss(arow + 1);
+        c1a = _mm256_fmadd_ps(av, b0, c1a);
+        c1b = _mm256_fmadd_ps(av, b1, c1b);
+        av = _mm256_broadcast_ss(arow + 2);
+        c2a = _mm256_fmadd_ps(av, b0, c2a);
+        c2b = _mm256_fmadd_ps(av, b1, c2b);
+        av = _mm256_broadcast_ss(arow + 3);
+        c3a = _mm256_fmadd_ps(av, b0, c3a);
+        c3b = _mm256_fmadd_ps(av, b1, c3b);
+        av = _mm256_broadcast_ss(arow + 4);
+        c4a = _mm256_fmadd_ps(av, b0, c4a);
+        c4b = _mm256_fmadd_ps(av, b1, c4b);
+        av = _mm256_broadcast_ss(arow + 5);
+        c5a = _mm256_fmadd_ps(av, b0, c5a);
+        c5b = _mm256_fmadd_ps(av, b1, c5b);
+    }
+    _mm256_store_ps(acc + 0 * kNR, c0a);
+    _mm256_store_ps(acc + 0 * kNR + 8, c0b);
+    _mm256_store_ps(acc + 1 * kNR, c1a);
+    _mm256_store_ps(acc + 1 * kNR + 8, c1b);
+    _mm256_store_ps(acc + 2 * kNR, c2a);
+    _mm256_store_ps(acc + 2 * kNR + 8, c2b);
+    _mm256_store_ps(acc + 3 * kNR, c3a);
+    _mm256_store_ps(acc + 3 * kNR + 8, c3b);
+    _mm256_store_ps(acc + 4 * kNR, c4a);
+    _mm256_store_ps(acc + 4 * kNR + 8, c4b);
+    _mm256_store_ps(acc + 5 * kNR, c5a);
+    _mm256_store_ps(acc + 5 * kNR + 8, c5b);
+}
+
+/**
+ * Full-tile FMA microkernel: same 6x16 register tile, but the
+ * epilogue is applied and the result stored straight from the
+ * accumulator registers — no scratch round trip. Used whenever the
+ * tile has no M or N remainder (the overwhelmingly common case).
+ */
+__attribute__((target("avx2,fma"))) void
+microKernelFmaFull(const float *__restrict apack,
+                   const float *__restrict bpanel, std::size_t k,
+                   float *__restrict c, std::size_t ldc,
+                   const float *__restrict bias, GemmEpilogue epilogue,
+                   bool accumulate)
+{
+    __m256 c0a = _mm256_setzero_ps();
+    __m256 c0b = _mm256_setzero_ps();
+    __m256 c1a = _mm256_setzero_ps();
+    __m256 c1b = _mm256_setzero_ps();
+    __m256 c2a = _mm256_setzero_ps();
+    __m256 c2b = _mm256_setzero_ps();
+    __m256 c3a = _mm256_setzero_ps();
+    __m256 c3b = _mm256_setzero_ps();
+    __m256 c4a = _mm256_setzero_ps();
+    __m256 c4b = _mm256_setzero_ps();
+    __m256 c5a = _mm256_setzero_ps();
+    __m256 c5b = _mm256_setzero_ps();
+    // EDGEPC_HOT: full-K register-tile accumulation.
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float *arow = apack + kk * kMR;
+        const __m256 b0 = _mm256_load_ps(bpanel + kk * kNR);
+        const __m256 b1 = _mm256_load_ps(bpanel + kk * kNR + 8);
+        __m256 av = _mm256_broadcast_ss(arow + 0);
+        c0a = _mm256_fmadd_ps(av, b0, c0a);
+        c0b = _mm256_fmadd_ps(av, b1, c0b);
+        av = _mm256_broadcast_ss(arow + 1);
+        c1a = _mm256_fmadd_ps(av, b0, c1a);
+        c1b = _mm256_fmadd_ps(av, b1, c1b);
+        av = _mm256_broadcast_ss(arow + 2);
+        c2a = _mm256_fmadd_ps(av, b0, c2a);
+        c2b = _mm256_fmadd_ps(av, b1, c2b);
+        av = _mm256_broadcast_ss(arow + 3);
+        c3a = _mm256_fmadd_ps(av, b0, c3a);
+        c3b = _mm256_fmadd_ps(av, b1, c3b);
+        av = _mm256_broadcast_ss(arow + 4);
+        c4a = _mm256_fmadd_ps(av, b0, c4a);
+        c4b = _mm256_fmadd_ps(av, b1, c4b);
+        av = _mm256_broadcast_ss(arow + 5);
+        c5a = _mm256_fmadd_ps(av, b0, c5a);
+        c5b = _mm256_fmadd_ps(av, b1, c5b);
+    }
+    const __m256 zero = _mm256_setzero_ps();
+    __m256 bias0 = zero;
+    __m256 bias1 = zero;
+    if (epilogue != GemmEpilogue::None) {
+        bias0 = _mm256_loadu_ps(bias);
+        bias1 = _mm256_loadu_ps(bias + 8);
+    }
+    float *crow = c;
+    __m256 va = c0a;
+    __m256 vb = c0b;
+    // EDGEPC_HOT: register-direct tile store + fused epilogue.
+    for (std::size_t ii = 0; ii < kMR; ++ii) {
+        switch (ii) {
+          case 0:
+            va = c0a;
+            vb = c0b;
+            break;
+          case 1:
+            va = c1a;
+            vb = c1b;
+            break;
+          case 2:
+            va = c2a;
+            vb = c2b;
+            break;
+          case 3:
+            va = c3a;
+            vb = c3b;
+            break;
+          case 4:
+            va = c4a;
+            vb = c4b;
+            break;
+          default:
+            va = c5a;
+            vb = c5b;
+            break;
+        }
+        if (accumulate) {
+            va = _mm256_add_ps(va, _mm256_loadu_ps(crow));
+            vb = _mm256_add_ps(vb, _mm256_loadu_ps(crow + 8));
+        }
+        if (epilogue != GemmEpilogue::None) {
+            va = _mm256_add_ps(va, bias0);
+            vb = _mm256_add_ps(vb, bias1);
+            if (epilogue == GemmEpilogue::BiasRelu) {
+                va = _mm256_max_ps(va, zero);
+                vb = _mm256_max_ps(vb, zero);
+            }
+        }
+        _mm256_storeu_ps(crow, va);
+        _mm256_storeu_ps(crow + 8, vb);
+        crow += ldc;
+    }
+}
+
+/**
+ * Store one accumulated tile into C with the fused epilogue applied
+ * while the tile is still hot. Baseline-ISA build, also the remainder
+ * path of the vectorized store below. The bias add is a single plain
+ * add per element — identical arithmetic to a separate bias pass.
+ */
+inline void
+storeTileScalar(const float *__restrict acc, float *__restrict c,
+                std::size_t n, std::size_t i0, std::size_t j0,
+                std::size_t rows, std::size_t cols,
+                const float *__restrict bias, GemmEpilogue epilogue,
+                bool accumulate)
+{
+    // EDGEPC_HOT: tile store + fused epilogue.
+    for (std::size_t ii = 0; ii < rows; ++ii) {
+        float *crow = c + (i0 + ii) * n + j0;
+        const float *accrow = acc + ii * kNR;
+        for (std::size_t jj = 0; jj < cols; ++jj) {
+            float v = accrow[jj];
+            if (accumulate) {
+                v += crow[jj];
+            }
+            if (epilogue != GemmEpilogue::None) {
+                v += bias[jj];
+                if (epilogue == GemmEpilogue::BiasRelu) {
+                    v = v > 0.0f ? v : 0.0f;
+                }
+            }
+            crow[jj] = v;
+        }
+    }
+}
+
+/** Vectorized tile store for the FMA path (full-width panels). */
+__attribute__((target("avx2,fma"))) void
+storeTileFma(const float *__restrict acc, float *__restrict c,
+             std::size_t n, std::size_t i0, std::size_t j0,
+             std::size_t rows, std::size_t cols,
+             const float *__restrict bias, GemmEpilogue epilogue,
+             bool accumulate)
+{
+    if (cols != kNR) {
+        storeTileScalar(acc, c, n, i0, j0, rows, cols, bias, epilogue,
+                        accumulate);
+        return;
+    }
+    const __m256 zero = _mm256_setzero_ps();
+    __m256 bias0 = zero;
+    __m256 bias1 = zero;
+    if (epilogue != GemmEpilogue::None) {
+        bias0 = _mm256_loadu_ps(bias);
+        bias1 = _mm256_loadu_ps(bias + 8);
+    }
+    // EDGEPC_HOT: tile store + fused epilogue.
+    for (std::size_t ii = 0; ii < rows; ++ii) {
+        float *crow = c + (i0 + ii) * n + j0;
+        __m256 v0 = _mm256_load_ps(acc + ii * kNR);
+        __m256 v1 = _mm256_load_ps(acc + ii * kNR + 8);
+        if (accumulate) {
+            v0 = _mm256_add_ps(v0, _mm256_loadu_ps(crow));
+            v1 = _mm256_add_ps(v1, _mm256_loadu_ps(crow + 8));
+        }
+        if (epilogue != GemmEpilogue::None) {
+            v0 = _mm256_add_ps(v0, bias0);
+            v1 = _mm256_add_ps(v1, bias1);
+            if (epilogue == GemmEpilogue::BiasRelu) {
+                v0 = _mm256_max_ps(v0, zero);
+                v1 = _mm256_max_ps(v1, zero);
+            }
+        }
+        _mm256_storeu_ps(crow, v0);
+        _mm256_storeu_ps(crow + 8, v1);
+    }
+}
+
+/** Everything one tile-grid worker needs; captured as one reference so
+ *  the parallelFor closure stays inside std::function's inline buffer
+ *  (no heap allocation per call). */
+struct PackedGemmCtx
+{
+    const float *a;
+    bool aTransposed;
+    std::size_t lda;
+    const float *bpack;
+    float *c;
+    std::size_t m;
+    std::size_t k;
+    std::size_t n;
+    std::size_t panels;
+    std::size_t groups;
+    std::size_t panelsPerGroup;
+    GemmEpilogue epilogue;
+    const float *bias;
+    bool accumulate;
+    bool useFma;
+};
+
+/** One chunk of the 2-D (row-block x column-panel-group) tile grid. */
+void
+runTileChunk(const PackedGemmCtx &ctx, std::size_t lo, std::size_t hi)
+{
+    ScratchArena &arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    float *apack = arena.alloc<float>(kMR * ctx.k).data();
+    alignas(32) float acc[kMR * kNR];
+    std::size_t packedBlock = ctx.m; // row block currently in apack
+    for (std::size_t t = lo; t < hi; ++t) {
+        const std::size_t ib = t / ctx.groups;
+        const std::size_t g = t % ctx.groups;
+        const std::size_t row_lo = ib * kMC;
+        const std::size_t row_hi = std::min(ctx.m, row_lo + kMC);
+        const std::size_t p_lo = g * ctx.panelsPerGroup;
+        const std::size_t p_hi =
+            std::min(ctx.panels, p_lo + ctx.panelsPerGroup);
+        if (p_lo >= p_hi) {
+            continue;
+        }
+        for (std::size_t i0 = row_lo; i0 < row_hi; i0 += kMR) {
+            const std::size_t rows = std::min(kMR, row_hi - i0);
+            if (packedBlock != i0) {
+                packABlock(ctx.a, ctx.aTransposed, ctx.k, ctx.lda, i0,
+                           rows, apack);
+                packedBlock = i0;
+            }
+            for (std::size_t p = p_lo; p < p_hi; ++p) {
+                const float *bpanel = ctx.bpack + p * ctx.k * kNR;
+                const std::size_t j0 = p * kNR;
+                const std::size_t cols = std::min(kNR, ctx.n - j0);
+                const float *bias =
+                    ctx.bias != nullptr ? ctx.bias + j0 : nullptr;
+                if (ctx.useFma) {
+                    if (rows == kMR && cols == kNR) {
+                        microKernelFmaFull(apack, bpanel, ctx.k,
+                                           ctx.c + i0 * ctx.n + j0,
+                                           ctx.n, bias, ctx.epilogue,
+                                           ctx.accumulate);
+                        continue;
+                    }
+                    microKernelFma(apack, bpanel, ctx.k, acc);
+                    storeTileFma(acc, ctx.c, ctx.n, i0, j0, rows, cols,
+                                 bias, ctx.epilogue, ctx.accumulate);
+                } else {
+                    microKernelScalar(apack, bpanel, ctx.k, acc);
+                    storeTileScalar(acc, ctx.c, ctx.n, i0, j0, rows, cols,
+                                    bias, ctx.epilogue, ctx.accumulate);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Streaming small-M kernel, scalar build: for M below the microkernel
+ * height, packing B would touch every element of B for almost no
+ * reuse, so stream the operands instead. Accumulation order per C
+ * element is k-ascending with one accumulator — bit-exact with the
+ * classic nest.
+ */
+void
+smallMScalar(const float *__restrict a, bool a_transposed,
+             std::size_t lda, const float *__restrict b,
+             bool b_transposed, std::size_t ldb, float *__restrict c,
+             std::size_t m, std::size_t k, std::size_t n,
+             GemmEpilogue epilogue, const float *__restrict bias,
+             bool accumulate)
+{
+    if (!b_transposed) {
+        // The classic cache-tiled nest, accumulating straight into C:
+        // the k tiling keeps B access confined to a 64-row band at a
+        // time (prefetcher-friendly), and per C element the k order
+        // is strictly ascending, so the result is bit-exact with the
+        // packed scalar microkernel.
+        constexpr std::size_t tile_k = 64;
+        constexpr std::size_t tile_n = 64;
+        if (!accumulate) {
+            for (std::size_t i = 0; i < m; ++i) {
+                std::memset(c + i * n, 0, n * sizeof(float));
+            }
+        }
+        // EDGEPC_HOT: cache-tiled streaming accumulation.
+        for (std::size_t k0 = 0; k0 < k; k0 += tile_k) {
+            const std::size_t kend = std::min(k, k0 + tile_k);
+            for (std::size_t j0 = 0; j0 < n; j0 += tile_n) {
+                const std::size_t jend = std::min(n, j0 + tile_n);
+                for (std::size_t i = 0; i < m; ++i) {
+                    float *crow = c + i * n;
+                    for (std::size_t kk = k0; kk < kend; ++kk) {
+                        const float av = a_transposed ? a[kk * lda + i]
+                                                      : a[i * lda + kk];
+                        const float *brow = b + kk * ldb;
+                        for (std::size_t j = j0; j < jend; ++j) {
+                            crow[j] += av * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        // B stored N x K: contiguous dot products per column.
+        // EDGEPC_HOT: streaming dot-product accumulation.
+        for (std::size_t i = 0; i < m; ++i) {
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const float *brow = b + j * ldb;
+                float s = 0.0f;
+                for (std::size_t kk = 0; kk < k; ++kk) {
+                    const float av =
+                        a_transposed ? a[kk * lda + i] : a[i * lda + kk];
+                    s += av * brow[kk];
+                }
+                crow[j] = accumulate ? crow[j] + s : s;
+            }
+        }
+    }
+    if (epilogue != GemmEpilogue::None) {
+        for (std::size_t i = 0; i < m; ++i) {
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                float v = crow[j] + bias[j];
+                if (epilogue == GemmEpilogue::BiasRelu) {
+                    v = v > 0.0f ? v : 0.0f;
+                }
+                crow[j] = v;
+            }
+        }
+    }
+}
+
+/**
+ * Streaming small-M kernel, FMA build (B not transposed): register-
+ * blocks 64 output columns in 8 ymm accumulators per row, so B is
+ * streamed once per row with no intermediate C traffic — the M = 1
+ * classifier head runs at load-port speed instead of store speed.
+ */
+__attribute__((target("avx2,fma"))) void
+smallMFma(const float *__restrict a, bool a_transposed, std::size_t lda,
+          const float *__restrict b, float *__restrict c, std::size_t m,
+          std::size_t k, std::size_t n, GemmEpilogue epilogue,
+          const float *__restrict bias, bool accumulate)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    for (std::size_t i = 0; i < m; ++i) {
+        float *crow = c + i * n;
+        const float *acol = a_transposed ? a + i : a + i * lda;
+        const std::size_t astride = a_transposed ? lda : 1;
+        std::size_t j0 = 0;
+        // EDGEPC_HOT: column-register-blocked streaming accumulation.
+        for (; j0 + kSmallMJB <= n; j0 += kSmallMJB) {
+            __m256 s0 = zero;
+            __m256 s1 = zero;
+            __m256 s2 = zero;
+            __m256 s3 = zero;
+            __m256 s4 = zero;
+            __m256 s5 = zero;
+            __m256 s6 = zero;
+            __m256 s7 = zero;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const __m256 av = _mm256_broadcast_ss(acol + kk * astride);
+                const float *brow = b + kk * n + j0;
+                s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), s0);
+                s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), s1);
+                s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 16), s2);
+                s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 24), s3);
+                s4 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 32), s4);
+                s5 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 40), s5);
+                s6 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 48), s6);
+                s7 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 56), s7);
+            }
+            alignas(32) float tile[kSmallMJB];
+            _mm256_store_ps(tile, s0);
+            _mm256_store_ps(tile + 8, s1);
+            _mm256_store_ps(tile + 16, s2);
+            _mm256_store_ps(tile + 24, s3);
+            _mm256_store_ps(tile + 32, s4);
+            _mm256_store_ps(tile + 40, s5);
+            _mm256_store_ps(tile + 48, s6);
+            _mm256_store_ps(tile + 56, s7);
+            for (std::size_t jj = 0; jj < kSmallMJB; ++jj) {
+                float v = tile[jj];
+                if (accumulate) {
+                    v += crow[j0 + jj];
+                }
+                if (epilogue != GemmEpilogue::None) {
+                    v += bias[j0 + jj];
+                    if (epilogue == GemmEpilogue::BiasRelu) {
+                        v = v > 0.0f ? v : 0.0f;
+                    }
+                }
+                crow[j0 + jj] = v;
+            }
+        }
+        for (; j0 < n; ++j0) {
+            float s = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                s += acol[kk * astride] * b[kk * n + j0];
+            }
+            if (accumulate) {
+                s += crow[j0];
+            }
+            if (epilogue != GemmEpilogue::None) {
+                s += bias[j0];
+                if (epilogue == GemmEpilogue::BiasRelu) {
+                    s = s > 0.0f ? s : 0.0f;
+                }
+            }
+            crow[j0] = s;
+        }
+    }
+}
+
+/**
+ * The packed GEMM driver: pack B once into cache-resident column
+ * panels (thread-local arena, reused across all row blocks), then walk
+ * a 2-D (row-block x column-panel-group) tile grid in parallel. Column
+ * groups only split off when there are too few row blocks to feed the
+ * pool, so results never depend on the thread count (each C tile has
+ * exactly one writer).
+ */
+void
+gemmPacked(const float *a, bool a_transposed, const float *b,
+           bool b_transposed, float *c, std::size_t m, std::size_t k,
+           std::size_t n, GemmEpilogue epilogue, const float *bias,
+           bool accumulate, bool use_fma)
+{
+    const std::size_t lda = a_transposed ? m : k;
+    const std::size_t ldb = b_transposed ? k : n;
+    if (m < kMR) {
+        // Packing B would touch all of B for < kMR rows of reuse.
+        if (use_fma && !b_transposed) {
+            smallMFma(a, a_transposed, lda, b, c, m, k, n, epilogue, bias,
+                      accumulate);
+        } else {
+            smallMScalar(a, a_transposed, lda, b, b_transposed, ldb, c, m,
+                         k, n, epilogue, bias, accumulate);
+        }
+        return;
+    }
+
+    ScratchArena &arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    const std::size_t panels = (n + kNR - 1) / kNR;
+    float *bpack = arena.alloc<float>(panels * k * kNR).data();
+    for (std::size_t p = 0; p < panels; ++p) {
+        packBPanel(b, b_transposed, k, n, ldb, p, bpack + p * k * kNR);
+    }
+
+    const std::size_t mblocks = (m + kMC - 1) / kMC;
+    const std::size_t conc = ThreadPool::globalPool().concurrency();
+    std::size_t groups = 1;
+    if (mblocks < conc * 2) {
+        groups = std::min(panels, (conc * 2 + mblocks - 1) / mblocks);
+    }
+    const std::size_t panelsPerGroup = (panels + groups - 1) / groups;
+
+    const PackedGemmCtx ctx{a,      a_transposed, lda,
+                            bpack,  c,            m,
+                            k,      n,            panels,
+                            groups, panelsPerGroup, epilogue,
+                            bias,   accumulate,   use_fma};
+    ThreadPool::globalPool().parallelForChunked(
+        0, mblocks * groups,
+        [&ctx](std::size_t lo, std::size_t hi) {
+            runTileChunk(ctx, lo, hi);
+        },
+        0);
+}
+
 } // namespace
 
 void
-GemmEngine::gemmScalar(const float *a, const float *b, float *c,
-                       std::size_t m, std::size_t k, std::size_t n)
-{
-    ThreadPool::globalPool().parallelForChunked(
-        0, m,
-        [&](std::size_t lo, std::size_t hi) {
-            rowBlockGeneric(a, b, c, k, n, lo, hi);
-        },
-        0);
-}
-
-void
-GemmEngine::gemmFast(const float *a, const float *b, float *c,
-                     std::size_t m, std::size_t k, std::size_t n)
-{
-    if (!wideMacAvailable()) {
-        gemmScalar(a, b, c, m, k, n);
-        return;
-    }
-    ThreadPool::globalPool().parallelForChunked(
-        0, m,
-        [&](std::size_t lo, std::size_t hi) {
-            rowBlockWide(a, b, c, k, n, lo, hi);
-        },
-        0);
-}
-
-void
-GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
-                 std::size_t k, std::size_t n)
+GemmEngine::run(const float *a, bool a_transposed, const float *b,
+                bool b_transposed, float *c, std::size_t m, std::size_t k,
+                std::size_t n, GemmEpilogue epilogue, const float *bias,
+                bool accumulate)
 {
     if (m == 0 || n == 0 || k == 0) {
         return;
@@ -133,7 +788,12 @@ GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
         obs::MetricsRegistry::global().counter("gemm.fast_path_calls");
     static obs::Counter &scalarPath =
         obs::MetricsRegistry::global().counter("gemm.scalar_path_calls");
+    static obs::Counter &fusedCalls =
+        obs::MetricsRegistry::global().counter("gemm.fused_epilogue_calls");
     flops.add(2ull * m * k * n);
+    if (epilogue != GemmEpilogue::None) {
+        fusedCalls.add(1);
+    }
     bool fast = false;
     switch (policy) {
       case GemmMode::Scalar:
@@ -147,15 +807,50 @@ GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
         fast = k >= channelThreshold;
         break;
     }
+    // The counters track the policy decision (the device model); the
+    // process-wide dispatch override only swaps the executed build.
     if (fast) {
         ++fastCalls;
         fastPath.add(1);
-        gemmFast(a, b, c, m, k, n);
     } else {
         ++scalarCalls;
         scalarPath.add(1);
-        gemmScalar(a, b, c, m, k, n);
     }
+    bool use_fma = false;
+    switch (dispatchPath()) {
+      case GemmDispatchPath::ForceScalar:
+        use_fma = false;
+        break;
+      case GemmDispatchPath::ForceFast:
+        use_fma = fmaAvailable();
+        break;
+      case GemmDispatchPath::Auto:
+        use_fma = fast && fmaAvailable();
+        break;
+    }
+    gemmPacked(a, a_transposed, b, b_transposed, c, m, k, n, epilogue,
+               bias, accumulate, use_fma);
+}
+
+void
+GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
+                 std::size_t k, std::size_t n)
+{
+    run(a, false, b, false, c, m, k, n, GemmEpilogue::None, nullptr,
+        false);
+}
+
+void
+GemmEngine::gemm(const float *a, const float *b, float *c, std::size_t m,
+                 std::size_t k, std::size_t n, GemmEpilogue epilogue,
+                 const float *bias)
+{
+    if (epilogue != GemmEpilogue::None && bias == nullptr) {
+        raise(ErrorCode::InvalidArgument,
+              "GemmEngine::gemm: bias epilogue requested without a bias "
+              "vector");
+    }
+    run(a, false, b, false, c, m, k, n, epilogue, bias, false);
 }
 
 Matrix
@@ -166,7 +861,29 @@ GemmEngine::multiply(const Matrix &a, const Matrix &b)
               a.cols(), b.rows(), b.cols());
     }
     Matrix c(a.rows(), b.cols());
-    gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+    run(a.data(), false, b.data(), false, c.data(), a.rows(), a.cols(),
+        b.cols(), GemmEpilogue::None, nullptr, false);
+    return c;
+}
+
+Matrix
+GemmEngine::multiply(const Matrix &a, const Matrix &b,
+                     GemmEpilogue epilogue, const Matrix &bias)
+{
+    if (a.cols() != b.rows()) {
+        fatal("GemmEngine::multiply: %zux%zu times %zux%zu", a.rows(),
+              a.cols(), b.rows(), b.cols());
+    }
+    if (epilogue != GemmEpilogue::None &&
+        (bias.rows() != 1 || bias.cols() != b.cols())) {
+        fatal("GemmEngine::multiply: bias %zux%zu does not match output "
+              "width %zu",
+              bias.rows(), bias.cols(), b.cols());
+    }
+    Matrix c(a.rows(), b.cols());
+    run(a.data(), false, b.data(), false, c.data(), a.rows(), a.cols(),
+        b.cols(), epilogue,
+        epilogue != GemmEpilogue::None ? bias.data() : nullptr, false);
     return c;
 }
 
@@ -177,14 +894,12 @@ GemmEngine::multiplyTransposed(const Matrix &a, const Matrix &b)
         fatal("GemmEngine::multiplyTransposed: %zux%zu times (%zux%zu)^T",
               a.rows(), a.cols(), b.rows(), b.cols());
     }
-    // C = A * B^T; materialize B^T once and reuse the main kernel.
-    Matrix bt(b.cols(), b.rows());
-    for (std::size_t i = 0; i < b.rows(); ++i) {
-        for (std::size_t j = 0; j < b.cols(); ++j) {
-            bt.at(j, i) = b.at(i, j);
-        }
-    }
-    return multiply(a, bt);
+    // C = A * B^T: the packing step reads B's rows directly, so no
+    // transposed copy is ever materialized.
+    Matrix c(a.rows(), b.rows());
+    run(a.data(), false, b.data(), true, c.data(), a.rows(), a.cols(),
+        b.rows(), GemmEpilogue::None, nullptr, false);
+    return c;
 }
 
 Matrix
@@ -195,13 +910,29 @@ GemmEngine::multiplyLeftTransposed(const Matrix &a, const Matrix &b)
               "%zux%zu",
               a.rows(), a.cols(), b.rows(), b.cols());
     }
-    Matrix at(a.cols(), a.rows());
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t j = 0; j < a.cols(); ++j) {
-            at.at(j, i) = a.at(i, j);
-        }
+    // C = A^T * B: the packing step reads A's columns directly.
+    Matrix c(a.cols(), b.cols());
+    run(a.data(), true, b.data(), false, c.data(), a.cols(), a.rows(),
+        b.cols(), GemmEpilogue::None, nullptr, false);
+    return c;
+}
+
+void
+GemmEngine::multiplyLeftTransposedAdd(const Matrix &a, const Matrix &b,
+                                      Matrix &out)
+{
+    if (a.rows() != b.rows()) {
+        fatal("GemmEngine::multiplyLeftTransposedAdd: (%zux%zu)^T times "
+              "%zux%zu",
+              a.rows(), a.cols(), b.rows(), b.cols());
     }
-    return multiply(at, b);
+    if (out.rows() != a.cols() || out.cols() != b.cols()) {
+        fatal("GemmEngine::multiplyLeftTransposedAdd: output %zux%zu, "
+              "want %zux%zu",
+              out.rows(), out.cols(), a.cols(), b.cols());
+    }
+    run(a.data(), true, b.data(), false, out.data(), a.cols(), a.rows(),
+        b.cols(), GemmEpilogue::None, nullptr, true);
 }
 
 double
@@ -226,6 +957,61 @@ GemmEngine::globalEngine()
 {
     static GemmEngine engine(GemmMode::Scalar);
     return engine;
+}
+
+bool
+GemmEngine::fastKernelAvailable()
+{
+    return fmaAvailable();
+}
+
+void
+GemmEngine::setDispatchPath(GemmDispatchPath path)
+{
+    if (path == GemmDispatchPath::ForceFast && !fmaAvailable()) {
+        raise(ErrorCode::InvalidArgument,
+              "GemmEngine::setDispatchPath: ForceFast requested but the "
+              "CPU lacks AVX2+FMA");
+    }
+    pathState().store(path, std::memory_order_relaxed);
+}
+
+GemmDispatchPath
+GemmEngine::dispatchPath()
+{
+    return pathState().load(std::memory_order_relaxed);
+}
+
+const char *
+GemmEngine::activeKernelName()
+{
+    switch (dispatchPath()) {
+      case GemmDispatchPath::ForceScalar:
+        return "scalar";
+      case GemmDispatchPath::ForceFast:
+        return "avx2-fma";
+      case GemmDispatchPath::Auto:
+        break;
+    }
+    return fmaAvailable() ? "avx2-fma" : "scalar";
+}
+
+bool
+GemmEngine::fusedEpilogues()
+{
+    return fusedState().load(std::memory_order_relaxed);
+}
+
+void
+GemmEngine::setFusedEpilogues(bool fused)
+{
+    fusedState().store(fused, std::memory_order_relaxed);
+}
+
+const char *
+GemmEngine::epilogueModeName()
+{
+    return fusedEpilogues() ? "fused" : "split";
 }
 
 } // namespace nn

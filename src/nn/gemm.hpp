@@ -1,18 +1,37 @@
 /**
  * @file
- * GEMM engine with two execution paths, modelling the CUDA-core vs
- * Tensor-core split of the Jetson board (Sec 5.4.1 / the S+N+F
- * configuration of the paper).
+ * Packed, register-blocked GEMM engine with fused epilogues,
+ * modelling the CUDA-core vs Tensor-core split of the Jetson board
+ * (Sec 5.4.1 / the S+N+F configuration of the paper).
  *
- * Both paths run the same cache-tiled loop nest; the "scalar" path is
- * built for the generic ISA (the CUDA-core stand-in) while the "fast"
- * path is an AVX2+FMA build executing on genuinely wider MAC units
- * (the Tensor-core stand-in, falling back to the generic build when
- * the CPU lacks AVX2). Auto dispatch engages the fast path only when
- * the reduction (channel) dimension K reaches a threshold,
- * reproducing the paper's observation that thin channel dimensions
- * leave the tensor cores idle; utilization counters expose which path
- * ran.
+ * Both execution paths run the same packed algorithm: B is packed
+ * once per call into cache-resident column panels (NR = 16 floats
+ * wide, allocated from the thread-local ScratchArena so steady state
+ * is zero-allocation), A is packed per 6-row block, and a 6x16
+ * register-blocked microkernel accumulates the full K reduction in
+ * registers before storing each tile exactly once. The "scalar" path
+ * (the CUDA-core stand-in) runs a structured scalar microkernel that
+ * is bit-exact with the classic in-order loop nest; the "fast" path
+ * (the Tensor-core stand-in) runs the AVX2+FMA build of the same
+ * tiling. Auto dispatch engages the fast path only when the reduction
+ * (channel) dimension K reaches a threshold, reproducing the paper's
+ * observation that thin channel dimensions leave the tensor cores
+ * idle; utilization counters expose which path ran.
+ *
+ * Transpose-free variants (A*B^T and A^T*B) pack straight from the
+ * transposed operand instead of materializing a transposed copy, so
+ * the backward passes allocate nothing beyond their result. Fused
+ * epilogues (bias add, bias+ReLU) are applied while each tile is
+ * still in registers, collapsing Linear + activation into one pass
+ * over C.
+ *
+ * Dispatch mirrors the geometry/simd_distance convention: the
+ * EDGEPC_GEMM=scalar|fast|auto environment variable (read once at
+ * startup) or GemmEngine::setDispatchPath() force either microkernel
+ * build process-wide for A/B runs and bit-exactness tests, without
+ * touching the per-engine CUDA/Tensor-core policy. The
+ * EDGEPC_GEMM_EPILOGUE=fused|split variable (or setFusedEpilogues())
+ * toggles epilogue fusion for the layers that adopt it.
  */
 
 #ifndef EDGEPC_NN_GEMM_HPP
@@ -26,7 +45,7 @@
 namespace edgepc {
 namespace nn {
 
-/** GEMM dispatch policy. */
+/** GEMM dispatch policy (the device model: which units run it). */
 enum class GemmMode
 {
     Scalar, ///< Always the generic-ISA path (CUDA-core model).
@@ -34,7 +53,26 @@ enum class GemmMode
     Auto,   ///< Fast path only when K >= the channel threshold.
 };
 
-/** Two-path GEMM with dispatch statistics. */
+/**
+ * Process-wide microkernel override (the substrate: which build
+ * executes whatever the policy picked). Mirrors simd::DispatchPath.
+ */
+enum class GemmDispatchPath
+{
+    Auto,        ///< AVX2+FMA build when the policy asks for fast.
+    ForceScalar, ///< Always the structured scalar microkernel.
+    ForceFast,   ///< Always the AVX2+FMA build (raises if unsupported).
+};
+
+/** Epilogue fused into the tile store of a GEMM call. */
+enum class GemmEpilogue
+{
+    None,     ///< C = A * B.
+    Bias,     ///< C = A * B + bias (bias broadcast over rows).
+    BiasRelu, ///< C = max(0, A * B + bias).
+};
+
+/** Packed two-path GEMM with fused epilogues and dispatch statistics. */
 class GemmEngine
 {
   public:
@@ -51,19 +89,47 @@ class GemmEngine
 
     /**
      * C = A * B with A: M x K, B: K x N, C: M x N (C overwritten).
-     * Parallel over row blocks of A.
+     * Parallel over a 2-D (row-block x column-panel) tile grid.
      */
     void gemm(const float *a, const float *b, float *c, std::size_t m,
               std::size_t k, std::size_t n);
 
+    /**
+     * C = A * B with a fused epilogue: @p bias (length N, may be null
+     * for GemmEpilogue::None) is added — and ReLU applied — while each
+     * tile is still in registers, so Linear + activation is one pass
+     * over C instead of three.
+     */
+    void gemm(const float *a, const float *b, float *c, std::size_t m,
+              std::size_t k, std::size_t n, GemmEpilogue epilogue,
+              const float *bias);
+
     /** C = A * B over Matrix operands; shapes validated. */
     Matrix multiply(const Matrix &a, const Matrix &b);
 
-    /** C = A * B^T with A: M x K, B: N x K (used by backward passes). */
+    /** C = A * B + epilogue; @p bias is 1 x N (ignored for None). */
+    Matrix multiply(const Matrix &a, const Matrix &b,
+                    GemmEpilogue epilogue, const Matrix &bias);
+
+    /**
+     * C = A * B^T with A: M x K, B: N x K (used by backward passes).
+     * Transpose-free: packs straight from B's rows, no materialized
+     * transpose.
+     */
     Matrix multiplyTransposed(const Matrix &a, const Matrix &b);
 
-    /** C = A^T * B with A: K x M, B: K x N (weight gradients). */
+    /**
+     * C = A^T * B with A: K x M, B: K x N (weight gradients).
+     * Transpose-free: packs straight from A's columns.
+     */
     Matrix multiplyLeftTransposed(const Matrix &a, const Matrix &b);
+
+    /**
+     * out += A^T * B without any temporary: the weight-gradient
+     * accumulation of Linear::backward in one pass.
+     */
+    void multiplyLeftTransposedAdd(const Matrix &a, const Matrix &b,
+                                   Matrix &out);
 
     GemmMode mode() const { return policy; }
     void setMode(GemmMode mode) { policy = mode; }
@@ -83,11 +149,51 @@ class GemmEngine
     /** Process-wide engine used by the layers by default. */
     static GemmEngine &globalEngine();
 
+    // ---- process-wide microkernel dispatch (EDGEPC_GEMM convention)
+
+    /** True when the host CPU supports the AVX2+FMA microkernel. */
+    static bool fastKernelAvailable();
+
+    /**
+     * Override which microkernel build executes (tests / A-B runs).
+     * ForceFast on a host without AVX2 raises InvalidArgument. The
+     * initial value comes from EDGEPC_GEMM (scalar | fast | auto),
+     * read once at startup.
+     */
+    static void setDispatchPath(GemmDispatchPath path);
+
+    /** Current override (Auto unless forced). */
+    static GemmDispatchPath dispatchPath();
+
+    /**
+     * "avx2-fma" or "scalar": the build the fast path resolves to —
+     * echoed into BENCH_*.json metadata as config.gemm_path.
+     */
+    static const char *activeKernelName();
+
+    // ---- process-wide epilogue fusion toggle
+
+    /**
+     * Whether layers should fuse bias/ReLU epilogues into the GEMM
+     * store (default true; EDGEPC_GEMM_EPILOGUE=split disables it for
+     * A/B runs). The GEMM itself always honours an explicit epilogue
+     * argument — this toggle only steers the call sites.
+     */
+    static bool fusedEpilogues();
+    static void setFusedEpilogues(bool fused);
+
+    /** "fused" or "split" — echoed as config.gemm_epilogue. */
+    static const char *epilogueModeName();
+
   private:
-    void gemmScalar(const float *a, const float *b, float *c,
-                    std::size_t m, std::size_t k, std::size_t n);
-    void gemmFast(const float *a, const float *b, float *c, std::size_t m,
-                  std::size_t k, std::size_t n);
+    /**
+     * Shared core: policy resolution, counters, then the packed
+     * kernel over (possibly transposed) operands.
+     */
+    void run(const float *a, bool a_transposed, const float *b,
+             bool b_transposed, float *c, std::size_t m, std::size_t k,
+             std::size_t n, GemmEpilogue epilogue, const float *bias,
+             bool accumulate);
 
     GemmMode policy;
     std::size_t channelThreshold;

@@ -5,29 +5,84 @@
 #include <unordered_map>
 
 #include "common/logging.hpp"
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
 
 namespace edgepc {
 namespace nn {
 
+void
+gatherRowsInto(const Matrix &features,
+               std::span<const std::uint32_t> indices,
+               std::span<float> out)
+{
+    const std::size_t cols = features.cols();
+    if (out.size() < indices.size() * cols) {
+        fatal("gatherRowsInto: buffer %zu < required %zu", out.size(),
+              indices.size() * cols);
+    }
+    float *dst_base = out.data();
+    // EDGEPC_HOT: row gather into the caller's (arena) buffer.
+    parallelFor(0, indices.size(), [&](std::size_t r) {
+        const float *src = features.data() + std::size_t(indices[r]) * cols;
+        float *dst = dst_base + r * cols;
+        std::copy(src, src + cols, dst);
+    });
+}
+
 Matrix
 gatherRows(const Matrix &features, std::span<const std::uint32_t> indices)
 {
-    const std::size_t cols = features.cols();
-    Matrix out(indices.size(), cols);
-    parallelFor(0, indices.size(), [&](std::size_t r) {
-        const float *src = features.data() + std::size_t(indices[r]) * cols;
-        float *dst = out.data() + r * cols;
-        std::copy(src, src + cols, dst);
-    });
+    Matrix out(indices.size(), features.cols());
+    gatherRowsInto(features, indices,
+                   std::span<float>(out.data(), out.numel()));
     return out;
 }
 
 Matrix
-groupWithRelativeCoords(std::span<const Vec3> positions,
-                        const Matrix &features,
-                        std::span<const std::uint32_t> sample_indices,
-                        const NeighborLists &neighbors)
+gatherLinear(const Matrix &features,
+             std::span<const std::uint32_t> indices, const Matrix &weight,
+             const Matrix &bias, GemmEngine &engine)
+{
+    const std::size_t c_in = features.cols();
+    const std::size_t c_out = weight.cols();
+    if (c_in != weight.rows()) {
+        fatal("gatherLinear: feature C %zu != weight rows %zu", c_in,
+              weight.rows());
+    }
+    const std::size_t m = indices.size();
+
+    // The gathered activation lives only in the arena: its lifetime is
+    // exactly the GEMM call, which consumes it row-block by row-block
+    // while packing.
+    ScratchArena &arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    std::span<float> gathered = arena.alloc<float>(m * c_in);
+    gatherRowsInto(features, indices, gathered);
+
+    const bool fuse_bias =
+        bias.numel() > 0 && GemmEngine::fusedEpilogues();
+    Matrix out(m, c_out);
+    engine.gemm(gathered.data(), weight.data(), out.data(), m, c_in,
+                c_out, fuse_bias ? GemmEpilogue::Bias : GemmEpilogue::None,
+                fuse_bias ? bias.data() : nullptr);
+    if (bias.numel() > 0 && !fuse_bias) {
+        parallelFor(0, m, [&](std::size_t r) {
+            float *row = out.data() + r * c_out;
+            for (std::size_t c = 0; c < c_out; ++c) {
+                row[c] += bias.at(0, c);
+            }
+        });
+    }
+    return out;
+}
+
+void
+groupWithRelativeCoordsInto(std::span<const Vec3> positions,
+                            const Matrix &features,
+                            std::span<const std::uint32_t> sample_indices,
+                            const NeighborLists &neighbors,
+                            std::span<float> out)
 {
     const std::size_t n = sample_indices.size();
     const std::size_t k = neighbors.k;
@@ -37,14 +92,19 @@ groupWithRelativeCoords(std::span<const Vec3> positions,
     }
     const std::size_t feat_dim = features.empty() ? 0 : features.cols();
     const std::size_t out_dim = 3 + feat_dim;
+    if (out.size() < n * k * out_dim) {
+        fatal("groupWithRelativeCoordsInto: buffer %zu < required %zu",
+              out.size(), n * k * out_dim);
+    }
 
-    Matrix out(n * k, out_dim);
+    float *out_base = out.data();
+    // EDGEPC_HOT: grouped gather with relative-coordinate prefix.
     parallelFor(0, n, [&](std::size_t i) {
         const Vec3 center = positions[sample_indices[i]];
         const auto row = neighbors.row(i);
         for (std::size_t j = 0; j < k; ++j) {
             const std::uint32_t nb = row[j];
-            float *dst = out.data() + (i * k + j) * out_dim;
+            float *dst = out_base + (i * k + j) * out_dim;
             const Vec3 rel = positions[nb] - center;
             dst[0] = rel.x;
             dst[1] = rel.y;
@@ -56,11 +116,25 @@ groupWithRelativeCoords(std::span<const Vec3> positions,
             }
         }
     });
-    return out;
 }
 
 Matrix
-edgeFeatures(const Matrix &features, const NeighborLists &neighbors)
+groupWithRelativeCoords(std::span<const Vec3> positions,
+                        const Matrix &features,
+                        std::span<const std::uint32_t> sample_indices,
+                        const NeighborLists &neighbors)
+{
+    const std::size_t feat_dim = features.empty() ? 0 : features.cols();
+    Matrix out(sample_indices.size() * neighbors.k, 3 + feat_dim);
+    groupWithRelativeCoordsInto(positions, features, sample_indices,
+                                neighbors,
+                                std::span<float>(out.data(), out.numel()));
+    return out;
+}
+
+void
+edgeFeaturesInto(const Matrix &features, const NeighborLists &neighbors,
+                 std::span<float> out)
 {
     const std::size_t n = neighbors.queries();
     const std::size_t k = neighbors.k;
@@ -69,21 +143,34 @@ edgeFeatures(const Matrix &features, const NeighborLists &neighbors)
         fatal("edgeFeatures: %zu feature rows != %zu queries",
               features.rows(), n);
     }
+    if (out.size() < n * k * 2 * c) {
+        fatal("edgeFeaturesInto: buffer %zu < required %zu", out.size(),
+              n * k * 2 * c);
+    }
 
-    Matrix out(n * k, 2 * c);
+    float *out_base = out.data();
+    // EDGEPC_HOT: edge-feature gather [f_i | f_j - f_i].
     parallelFor(0, n, [&](std::size_t i) {
         const float *fi = features.data() + i * c;
         const auto row = neighbors.row(i);
         for (std::size_t j = 0; j < k; ++j) {
             const float *fj =
                 features.data() + std::size_t(row[j]) * c;
-            float *dst = out.data() + (i * k + j) * 2 * c;
+            float *dst = out_base + (i * k + j) * 2 * c;
             for (std::size_t d = 0; d < c; ++d) {
                 dst[d] = fi[d];
                 dst[c + d] = fj[d] - fi[d];
             }
         }
     });
+}
+
+Matrix
+edgeFeatures(const Matrix &features, const NeighborLists &neighbors)
+{
+    Matrix out(neighbors.queries() * neighbors.k, 2 * features.cols());
+    edgeFeaturesInto(features, neighbors,
+                     std::span<float>(out.data(), out.numel()));
     return out;
 }
 

@@ -34,6 +34,34 @@ Matrix gatherRows(const Matrix &features,
                   std::span<const std::uint32_t> indices);
 
 /**
+ * Gather rows of @p features at @p indices into @p out (row-major,
+ * indices.size() x features.cols()). The caller owns the buffer —
+ * typically a ScratchArena span, so gather + GEMM stages compose
+ * without a heap allocation per call.
+ */
+void gatherRowsInto(const Matrix &features,
+                    std::span<const std::uint32_t> indices,
+                    std::span<float> out);
+
+/**
+ * Gather + Linear in one step: the neighbor rows are gathered into a
+ * thread-local ScratchArena buffer that feeds the packed GEMM
+ * directly (with the bias fused into the epilogue when enabled), so
+ * the gathered activation matrix never exists as a heap allocation.
+ *
+ * @param features Source feature rows (N x C).
+ * @param indices Row indexes to gather (M entries).
+ * @param weight C x C_out weight.
+ * @param bias 1 x C_out bias, or empty for none.
+ * @param engine GEMM engine to run on.
+ * @return M x C_out output activations.
+ */
+Matrix gatherLinear(const Matrix &features,
+                    std::span<const std::uint32_t> indices,
+                    const Matrix &weight, const Matrix &bias,
+                    GemmEngine &engine);
+
+/**
  * Build the SA-module grouped input: for sampled point i with neighbor
  * j, the row [p_j - p_i | f_j]. Output is (n*k) x (3 + C); C may be 0
  * (first module, coordinates only).
@@ -49,11 +77,24 @@ Matrix groupWithRelativeCoords(std::span<const Vec3> positions,
                                std::span<const std::uint32_t> sample_indices,
                                const NeighborLists &neighbors);
 
+/** groupWithRelativeCoords writing into a caller-owned buffer
+ * ((n*k) x (3 + C) row-major, e.g. a ScratchArena span). */
+void groupWithRelativeCoordsInto(
+    std::span<const Vec3> positions, const Matrix &features,
+    std::span<const std::uint32_t> sample_indices,
+    const NeighborLists &neighbors, std::span<float> out);
+
 /**
  * Build DGCNN edge features: for point i with neighbor j, the row
  * [f_i | f_j - f_i]. Output is (N*k) x 2C.
  */
 Matrix edgeFeatures(const Matrix &features, const NeighborLists &neighbors);
+
+/** edgeFeatures writing into a caller-owned buffer ((N*k) x 2C
+ * row-major, e.g. a ScratchArena span). */
+void edgeFeaturesInto(const Matrix &features,
+                      const NeighborLists &neighbors,
+                      std::span<float> out);
 
 /**
  * Apply an interpolation plan: out[t] = sum_j w[t][j] * src[idx[t][j]].

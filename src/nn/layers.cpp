@@ -37,14 +37,22 @@ Linear::forward(const Matrix &input, bool train)
         fatal("Linear::forward: input dim %zu != weight dim %zu",
               input.cols(), weight.value.rows());
     }
-    Matrix out = gemm().multiply(input, weight.value);
-    const float *b = bias.value.data();
-    parallelFor(0, out.rows(), [&](std::size_t r) {
-        float *row = out.data() + r * out.cols();
-        for (std::size_t c = 0; c < out.cols(); ++c) {
-            row[c] += b[c];
-        }
-    });
+    Matrix out;
+    if (GemmEngine::fusedEpilogues()) {
+        // Bias is added in the GEMM epilogue: one pass over the
+        // output instead of a second sweep.
+        out = gemm().multiply(input, weight.value, GemmEpilogue::Bias,
+                              bias.value);
+    } else {
+        out = gemm().multiply(input, weight.value);
+        const float *b = bias.value.data();
+        parallelFor(0, out.rows(), [&](std::size_t r) {
+            float *row = out.data() + r * out.cols();
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                row[c] += b[c];
+            }
+        });
+    }
     if (train) {
         savedInput = input;
     }
@@ -55,8 +63,7 @@ Matrix
 Linear::backward(const Matrix &grad_output)
 {
     // dW += X^T * dY ; db += column sums of dY ; dX = dY * W^T.
-    Matrix wgrad = gemm().multiplyLeftTransposed(savedInput, grad_output);
-    weight.grad.add(wgrad);
+    gemm().multiplyLeftTransposedAdd(savedInput, grad_output, weight.grad);
 
     for (std::size_t r = 0; r < grad_output.rows(); ++r) {
         const float *row = grad_output.data() + r * grad_output.cols();
@@ -70,6 +77,95 @@ Linear::backward(const Matrix &grad_output)
 
 void
 Linear::collectParameters(std::vector<Parameter *> &out)
+{
+    out.push_back(&weight);
+    out.push_back(&bias);
+}
+
+// ---------------------------------------------------------------------
+// LinearRelu
+// ---------------------------------------------------------------------
+
+LinearRelu::LinearRelu(std::size_t in, std::size_t out, Rng &rng,
+                       GemmEngine *engine)
+    : engineOverride(engine)
+{
+    weight.init(in, out);
+    bias.init(1, out);
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in));
+    weight.value.fillNormal(rng, stddev);
+}
+
+GemmEngine &
+LinearRelu::gemm()
+{
+    return engineOverride ? *engineOverride : GemmEngine::globalEngine();
+}
+
+Matrix
+LinearRelu::forward(const Matrix &input, bool train)
+{
+    if (input.cols() != weight.value.rows()) {
+        fatal("LinearRelu::forward: input dim %zu != weight dim %zu",
+              input.cols(), weight.value.rows());
+    }
+    Matrix out;
+    if (GemmEngine::fusedEpilogues()) {
+        out = gemm().multiply(input, weight.value, GemmEpilogue::BiasRelu,
+                              bias.value);
+    } else {
+        out = gemm().multiply(input, weight.value);
+        const float *b = bias.value.data();
+        parallelFor(0, out.rows(), [&](std::size_t r) {
+            float *row = out.data() + r * out.cols();
+            for (std::size_t c = 0; c < out.cols(); ++c) {
+                const float v = row[c] + b[c];
+                row[c] = v > 0.0f ? v : 0.0f;
+            }
+        });
+    }
+    if (train) {
+        savedInput = input;
+        // The pre-activation is positive exactly where the output is,
+        // so the ReLU mask is recoverable from the fused output.
+        mask.assign(out.numel(), 0);
+        const float *data = out.data();
+        for (std::size_t i = 0; i < out.numel(); ++i) {
+            if (data[i] > 0.0f) {
+                mask[i] = 1;
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+LinearRelu::backward(const Matrix &grad_output)
+{
+    // Gate the incoming gradient by the ReLU mask, then backprop
+    // through the affine part exactly as Linear does.
+    Matrix gated = grad_output;
+    float *gd = gated.data();
+    for (std::size_t i = 0; i < gated.numel(); ++i) {
+        if (!mask[i]) {
+            gd[i] = 0.0f;
+        }
+    }
+
+    gemm().multiplyLeftTransposedAdd(savedInput, gated, weight.grad);
+
+    for (std::size_t r = 0; r < gated.rows(); ++r) {
+        const float *row = gated.data() + r * gated.cols();
+        float *bg = bias.grad.data();
+        for (std::size_t c = 0; c < gated.cols(); ++c) {
+            bg[c] += row[c];
+        }
+    }
+    return gemm().multiplyTransposed(gated, weight.value);
+}
+
+void
+LinearRelu::collectParameters(std::vector<Parameter *> &out)
 {
     out.push_back(&weight);
     out.push_back(&bias);
@@ -328,6 +424,13 @@ Sequential::addLinearBnRelu(std::size_t in, std::size_t out, Rng &rng,
     add(std::make_unique<Linear>(in, out, rng, engine));
     add(std::make_unique<BatchNorm>(out));
     add(std::make_unique<ReLU>());
+}
+
+void
+Sequential::addLinearRelu(std::size_t in, std::size_t out, Rng &rng,
+                          GemmEngine *engine)
+{
+    add(std::make_unique<LinearRelu>(in, out, rng, engine));
 }
 
 Matrix

@@ -95,6 +95,41 @@ class Linear : public Layer
 };
 
 /**
+ * Linear + ReLU fused into a single GEMM pass: the bias add and the
+ * rectification run in the epilogue while each output tile is still
+ * in registers (GemmEpilogue::BiasRelu), so the activation costs no
+ * extra sweep over the output. Parameter layout matches a separate
+ * Linear + ReLU pair (weight, bias; ReLU holds no parameters), so
+ * serialized checkpoints are interchangeable.
+ */
+class LinearRelu : public Layer
+{
+  public:
+    LinearRelu(std::size_t in, std::size_t out, Rng &rng,
+               GemmEngine *engine = nullptr);
+
+    Matrix forward(const Matrix &input, bool train) override;
+    Matrix backward(const Matrix &grad_output) override;
+    void collectParameters(std::vector<Parameter *> &out) override;
+
+    std::size_t inDim() const { return weight.value.rows(); }
+    std::size_t outDim() const { return weight.value.cols(); }
+
+    Parameter &weights() { return weight; }
+    Parameter &biases() { return bias; }
+
+  private:
+    GemmEngine &gemm();
+
+    Parameter weight; ///< in x out.
+    Parameter bias;   ///< 1 x out.
+    Matrix savedInput;
+    /** ReLU mask from the last train forward (out > 0 iff pre > 0). */
+    std::vector<std::uint8_t> mask;
+    GemmEngine *engineOverride;
+};
+
+/**
  * Batch normalization over rows (per-feature statistics).
  *
  * The engine processes one cloud per forward pass, so multi-row
@@ -175,6 +210,10 @@ class Sequential : public Layer
     /** Convenience: Linear -> BatchNorm -> ReLU block. */
     void addLinearBnRelu(std::size_t in, std::size_t out, Rng &rng,
                          GemmEngine *engine = nullptr);
+
+    /** Convenience: epilogue-fused Linear + ReLU block (no BN). */
+    void addLinearRelu(std::size_t in, std::size_t out, Rng &rng,
+                       GemmEngine *engine = nullptr);
 
     Matrix forward(const Matrix &input, bool train) override;
     Matrix backward(const Matrix &grad_output) override;

@@ -1,0 +1,24 @@
+// R6 fixture (nn idiom): nn::Matrix owns a heap buffer, so sizing one
+// inside a hot region is steady-state allocation. The cold function is
+// identical code outside a marked region and must stay clean.
+
+struct Matrix
+{
+    Matrix(int r, int c);
+};
+
+void
+cold(int rows)
+{
+    Matrix scratch(rows, 16);
+    (void)scratch;
+}
+
+// EDGEPC_HOT: per-tile epilogue (fixture)
+void
+hot(int rows)
+{
+    Matrix scratch(rows, 16); // R6: Matrix construction (line 21)
+    (void)scratch;
+    (void)Matrix(rows, 8); // R6: Matrix temporary (line 23)
+}

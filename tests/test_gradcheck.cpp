@@ -12,6 +12,7 @@
 #include "datasets/shapes.hpp"
 #include "models/dgcnn.hpp"
 #include "models/pointnetpp.hpp"
+#include "nn/gemm.hpp"
 #include "nn/loss.hpp"
 
 namespace edgepc {
@@ -158,6 +159,43 @@ TEST(GradCheck, PointNetPPSegmentationWithApproximations)
         l = static_cast<std::int32_t>(rng.nextBelow(3));
     }
     checkGradients(model, cloud, EdgePcConfig::sn(), labels);
+}
+
+// The backward passes must stay numerically consistent under either
+// GEMM microkernel build: the packed scalar kernel and the AVX2+FMA
+// kernel round differently, and a gradient formula that only works at
+// one rounding is a bug.
+void
+checkPointNetPPUnderDispatchPath(nn::GemmDispatchPath path,
+                                 std::uint64_t seed)
+{
+    const nn::GemmDispatchPath saved = nn::GemmEngine::dispatchPath();
+    nn::GemmEngine::setDispatchPath(path);
+    PointNetPPConfig cfg;
+    cfg.numClasses = 3;
+    cfg.sa = {
+        {8, 4, 0.5f, NeighborMode::BallQuery, {6}},
+        {4, 2, 0.9f, NeighborMode::BallQuery, {8}},
+    };
+    cfg.headMlp = {6};
+    PointNetPP model(cfg, 3);
+    const PointCloud cloud = tinyCloud(24, seed);
+    checkGradients(model, cloud, EdgePcConfig::baseline(), {1});
+    nn::GemmEngine::setDispatchPath(saved);
+}
+
+TEST(GradCheck, PointNetPPForcedScalarGemm)
+{
+    checkPointNetPPUnderDispatchPath(nn::GemmDispatchPath::ForceScalar,
+                                     1);
+}
+
+TEST(GradCheck, PointNetPPForcedFastGemm)
+{
+    if (!nn::GemmEngine::fastKernelAvailable()) {
+        GTEST_SKIP() << "no AVX2+FMA on this host";
+    }
+    checkPointNetPPUnderDispatchPath(nn::GemmDispatchPath::ForceFast, 1);
 }
 
 TEST(GradCheck, DgcnnClassifierBaseline)

@@ -20,6 +20,62 @@ TEST(Grouping, GatherRows)
     EXPECT_FLOAT_EQ(out.at(2, 1), 6.0f);
 }
 
+TEST(Grouping, GatherLinearMatchesGatherThenLinear)
+{
+    Rng rng(17);
+    Matrix feats(32, 6);
+    feats.fillNormal(rng, 1.0f);
+    Matrix weight(6, 5);
+    weight.fillNormal(rng, 1.0f);
+    Matrix bias(1, 5);
+    bias.fillNormal(rng, 1.0f);
+    std::vector<std::uint32_t> idx;
+    for (std::size_t i = 0; i < 40; ++i) {
+        idx.push_back(static_cast<std::uint32_t>(rng.nextBelow(32)));
+    }
+
+    GemmEngine engine(GemmMode::Fast);
+    const Matrix direct = gatherLinear(feats, idx, weight, bias, engine);
+    const Matrix gathered = gatherRows(feats, idx);
+    Matrix want = engine.multiply(gathered, weight);
+    for (std::size_t r = 0; r < want.rows(); ++r) {
+        for (std::size_t c = 0; c < want.cols(); ++c) {
+            want.at(r, c) += bias.at(0, c);
+        }
+    }
+    ASSERT_EQ(direct.rows(), want.rows());
+    ASSERT_EQ(direct.cols(), want.cols());
+    for (std::size_t i = 0; i < want.numel(); ++i) {
+        EXPECT_FLOAT_EQ(direct.data()[i], want.data()[i])
+            << "element " << i;
+    }
+}
+
+TEST(Grouping, IntoVariantsMatchAllocatingVariants)
+{
+    Rng rng(18);
+    Matrix feats(8, 3);
+    feats.fillNormal(rng, 1.0f);
+    NeighborLists lists;
+    lists.k = 2;
+    lists.indices = {1, 2, 3, 0, 5, 7, 4, 6, 0, 1, 2, 3, 6, 5, 7, 4};
+
+    const Matrix want = edgeFeatures(feats, lists);
+    std::vector<float> buf(want.numel());
+    edgeFeaturesInto(feats, lists, buf);
+    for (std::size_t i = 0; i < want.numel(); ++i) {
+        EXPECT_FLOAT_EQ(buf[i], want.data()[i]) << "element " << i;
+    }
+
+    const std::vector<std::uint32_t> idx = {3, 1, 4};
+    const Matrix gathered = gatherRows(feats, idx);
+    std::vector<float> gbuf(gathered.numel());
+    gatherRowsInto(feats, idx, gbuf);
+    for (std::size_t i = 0; i < gathered.numel(); ++i) {
+        EXPECT_FLOAT_EQ(gbuf[i], gathered.data()[i]) << "element " << i;
+    }
+}
+
 TEST(Grouping, RelativeCoordsGrouping)
 {
     const std::vector<Vec3> pos = {{0, 0, 0}, {1, 0, 0}, {0, 2, 0}};

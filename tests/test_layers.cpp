@@ -145,6 +145,88 @@ TEST(BatchNorm, MultiRowInferenceUsesInstanceStats)
     }
 }
 
+// LinearRelu must be indistinguishable from a separate Linear + ReLU
+// pair with the same parameters — forward, backward and the
+// serialized parameter stream.
+TEST(LinearRelu, MatchesSeparateLinearPlusRelu)
+{
+    Rng rng_a(7);
+    Rng rng_b(7);
+    LinearRelu fused(4, 3, rng_a);
+    Linear lin(4, 3, rng_b);
+    ReLU relu;
+
+    Rng data_rng(8);
+    Matrix x(6, 4);
+    x.fillNormal(data_rng, 1.0f);
+
+    const Matrix y_fused = fused.forward(x, true);
+    const Matrix y_pair = relu.forward(lin.forward(x, true), true);
+    ASSERT_EQ(y_fused.rows(), y_pair.rows());
+    ASSERT_EQ(y_fused.cols(), y_pair.cols());
+    for (std::size_t i = 0; i < y_fused.numel(); ++i) {
+        EXPECT_FLOAT_EQ(y_fused.data()[i], y_pair.data()[i])
+            << "element " << i;
+    }
+
+    Matrix dy(6, 3);
+    dy.fillNormal(data_rng, 1.0f);
+    const Matrix dx_fused = fused.backward(dy);
+    const Matrix dx_pair = lin.backward(relu.backward(dy));
+    for (std::size_t i = 0; i < dx_fused.numel(); ++i) {
+        EXPECT_NEAR(dx_fused.data()[i], dx_pair.data()[i], 1e-5f)
+            << "element " << i;
+    }
+
+    std::vector<Parameter *> fused_params, pair_params;
+    fused.collectParameters(fused_params);
+    lin.collectParameters(pair_params);
+    relu.collectParameters(pair_params);
+    ASSERT_EQ(fused_params.size(), pair_params.size());
+    for (std::size_t p = 0; p < fused_params.size(); ++p) {
+        const Matrix &fg = fused_params[p]->grad;
+        const Matrix &pg = pair_params[p]->grad;
+        ASSERT_EQ(fg.numel(), pg.numel());
+        for (std::size_t i = 0; i < fg.numel(); ++i) {
+            EXPECT_NEAR(fg.data()[i], pg.data()[i], 1e-5f)
+                << "param " << p << " element " << i;
+        }
+    }
+}
+
+// The EDGEPC_GEMM_EPILOGUE=split escape hatch must produce the same
+// activations as the fused default.
+TEST(LinearRelu, SplitEpilogueMatchesFused)
+{
+    Rng rng(9);
+    LinearRelu layer(5, 4, rng);
+    Matrix x(7, 5);
+    x.fillNormal(rng, 1.0f);
+
+    const bool saved = GemmEngine::fusedEpilogues();
+    GemmEngine::setFusedEpilogues(true);
+    const Matrix fused = layer.forward(x, false);
+    GemmEngine::setFusedEpilogues(false);
+    const Matrix split = layer.forward(x, false);
+    GemmEngine::setFusedEpilogues(saved);
+
+    for (std::size_t i = 0; i < fused.numel(); ++i) {
+        EXPECT_FLOAT_EQ(fused.data()[i], split.data()[i])
+            << "element " << i;
+    }
+}
+
+TEST(Sequential, AddLinearReluAppendsOneLayer)
+{
+    Rng rng(10);
+    Sequential seq;
+    seq.addLinearRelu(4, 8, rng);
+    EXPECT_EQ(seq.size(), 1u);
+    std::vector<Parameter *> params;
+    seq.collectParameters(params);
+    EXPECT_EQ(params.size(), 2u); // weight + bias, ReLU is parameterless
+}
+
 TEST(Sequential, ChainsLayers)
 {
     Rng rng(3);

@@ -101,6 +101,17 @@ TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
     EXPECT_EQ(r.output.find("r6_hot_alloc.cpp:9:"), std::string::npos)
         << r.output;
 
+    // The nn idiom: Matrix construction is heap allocation too.
+    EXPECT_NE(r.output.find("nn/r6_matrix_hot.cpp:21:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/r6_matrix_hot.cpp:23:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("nn/r6_matrix_hot.cpp:13:"),
+              std::string::npos)
+        << r.output;
+
     // The compliant declarations/calls in the fixtures must NOT fire.
     EXPECT_EQ(r.output.find("r2_decl.hpp:13:"), std::string::npos)
         << r.output;

@@ -30,17 +30,20 @@
 #include "neighbor/ball_query.hpp"
 #include "neighbor/brute_force.hpp"
 #include "neighbor/morton_window.hpp"
+#include "nn/gemm.hpp"
 #include "sampling/fps.hpp"
 #include "sampling/morton_sampler.hpp"
 
 namespace {
 
 std::atomic<std::uint64_t> g_heapAllocs{0};
+std::atomic<std::uint64_t> g_heapBytes{0};
 
 void *
 countedAlloc(std::size_t size)
 {
     g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    g_heapBytes.fetch_add(size, std::memory_order_relaxed);
     return std::malloc(size == 0 ? 1 : size);
 }
 
@@ -48,6 +51,7 @@ void *
 countedAlignedAlloc(std::size_t size, std::size_t align)
 {
     g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    g_heapBytes.fetch_add(size, std::memory_order_relaxed);
     if (align < sizeof(void *)) {
         align = sizeof(void *);
     }
@@ -360,20 +364,23 @@ struct SteadyState
 {
     std::uint64_t allocs;
     std::uint64_t grows;
+    std::uint64_t bytes;
 };
 
 SteadyState
 deltaOf(const SteadyState &before)
 {
     return {g_heapAllocs.load(std::memory_order_relaxed) - before.allocs,
-            ScratchArena::totalGrowCount() - before.grows};
+            ScratchArena::totalGrowCount() - before.grows,
+            g_heapBytes.load(std::memory_order_relaxed) - before.bytes};
 }
 
 SteadyState
 snapshot()
 {
     return {g_heapAllocs.load(std::memory_order_relaxed),
-            ScratchArena::totalGrowCount()};
+            ScratchArena::totalGrowCount(),
+            g_heapBytes.load(std::memory_order_relaxed)};
 }
 
 TEST(ScratchArenaZeroAlloc, BruteForceSteadyState)
@@ -426,6 +433,63 @@ TEST(ScratchArenaZeroAlloc, MortonWindowSteadyState)
     EXPECT_EQ(delta.grows, 0u);
     EXPECT_LE(delta.allocs, kPerCallAllocBudget);
     EXPECT_EQ(out.queries(), pts.size());
+}
+
+/**
+ * The packed GEMM's packing buffers (B panels + per-block A pack) come
+ * from the thread-local arena: a warm pointer-API gemm() call touches
+ * the heap only for the parallelFor control block, never for scratch.
+ * The byte bound is the sharp check — a heap-allocated B pack for this
+ * shape alone would be 64 KiB.
+ */
+TEST(ScratchArenaZeroAlloc, GemmSteadyState)
+{
+    const std::size_t m = 512, k = 128, n = 128;
+    Rng rng(51);
+    std::vector<float> a(m * k), b(k * n), c(m * n);
+    for (auto &v : a) {
+        v = rng.nextFloat();
+    }
+    for (auto &v : b) {
+        v = rng.nextFloat();
+    }
+    nn::GemmEngine engine(nn::GemmMode::Fast);
+    for (int warm = 0; warm < 2; ++warm) {
+        engine.gemm(a.data(), b.data(), c.data(), m, k, n);
+    }
+    const SteadyState before = snapshot();
+    engine.gemm(a.data(), b.data(), c.data(), m, k, n);
+    const SteadyState delta = deltaOf(before);
+    EXPECT_EQ(delta.grows, 0u);
+    EXPECT_LE(delta.allocs, kPerCallAllocBudget);
+    EXPECT_LE(delta.bytes, 16u * 1024u);
+}
+
+/**
+ * The transpose-free A^T * B variant packs straight from A's columns.
+ * Materializing the transpose for this shape would heap-allocate
+ * 8 x 4096 floats = 128 KiB; the actual per-call heap traffic is the
+ * 8 x 16 result plus control blocks, far under the 64 KiB tripwire.
+ */
+TEST(ScratchArenaZeroAlloc, TransposedGemmDoesNotMaterializeTranspose)
+{
+    Rng rng(52);
+    nn::Matrix a(4096, 8);  // K x M
+    nn::Matrix b(4096, 16); // K x N
+    a.fillNormal(rng, 1.0f);
+    b.fillNormal(rng, 1.0f);
+    nn::GemmEngine engine(nn::GemmMode::Fast);
+    for (int warm = 0; warm < 2; ++warm) {
+        const auto ignored = engine.multiplyLeftTransposed(a, b);
+        static_cast<void>(ignored);
+    }
+    const SteadyState before = snapshot();
+    const auto out = engine.multiplyLeftTransposed(a, b);
+    const SteadyState delta = deltaOf(before);
+    EXPECT_EQ(delta.grows, 0u);
+    EXPECT_LT(delta.bytes, 64u * 1024u);
+    EXPECT_EQ(out.rows(), 8u);
+    EXPECT_EQ(out.cols(), 16u);
 }
 
 TEST(ScratchArenaZeroAlloc, FpsSteadyState)

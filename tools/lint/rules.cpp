@@ -472,6 +472,14 @@ ruleHotRegionAllocation(const LexedFile &file, std::vector<Finding> &out)
             } else if (t.text == "vector" && i + 1 < close &&
                        toks[i + 1].isPunct("<")) {
                 what = "std::vector construction";
+            } else if (t.text == "Matrix" && i + 1 < close &&
+                       (toks[i + 1].isPunct("(") ||
+                        (toks[i + 1].kind == TokenKind::Ident &&
+                         i + 2 < close && toks[i + 2].isPunct("(")))) {
+                // The nn idiom: Matrix owns a heap buffer, so sizing
+                // one inside a hot loop is steady-state allocation —
+                // gemm/pack/epilogue scratch belongs in the arena.
+                what = "nn::Matrix construction";
             } else if (called && member &&
                        isOneOf(kAllocMembers, t.text)) {
                 what = "reallocating call '" + t.text + "'";
@@ -562,7 +570,8 @@ ruleDescriptions()
          "headers carry an include guard and never 'using namespace'"},
         {"edgepc-R6",
          "no heap allocation (new, malloc family, std::vector, "
-         "push_back/resize/...) inside EDGEPC_HOT-marked regions"},
+         "nn::Matrix, push_back/resize/...) inside EDGEPC_HOT-marked "
+         "regions"},
     };
 }
 
