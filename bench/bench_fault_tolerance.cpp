@@ -73,8 +73,9 @@ struct StatusAgg
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
     bench::banner("fault tolerance",
                   "one malformed frame costs one frame, never the "
                   "stream (robust serving extension; no paper figure)");
@@ -82,8 +83,11 @@ main()
     const std::size_t kFrames = 64;
     const std::size_t kPoints =
         std::max<std::size_t>(4096 / bench::benchScale(), 128);
+    bench::BenchReport report("fault_tolerance", opts, kPoints, 1);
+    report.config("frames", static_cast<double>(kFrames));
+    report.config("points", static_cast<double>(kPoints));
 
-    Rng rng(2024);
+    Rng rng(opts.seed);
     SceneOptions scene_options;
     scene_options.points = kPoints;
     std::vector<PointCloud> stream;
@@ -154,18 +158,35 @@ main()
             .cell(status == FrameStatus::Dropped || a.frames == 0
                       ? "-"
                       : formatPercent(a.totalAcc / n));
+
+        bench::BenchRow &row = report.row(
+            std::string("status/") + frameStatusName(status));
+        row.wallMs = a.frames ? a.totalMs / n : 0.0;
+        row.metrics["frames"] = n;
+        if (status != FrameStatus::Dropped && a.frames > 0) {
+            row.metrics["mean_accuracy"] = a.totalAcc / n;
+        }
     }
     table.print(std::cout);
 
+    const StreamHealth health = robust.health();
     std::cout << "\nStream health:\n";
-    robust.health().printTable(std::cout);
+    health.printTable(std::cout);
+
+    bench::BenchRow &stream_row = report.row("stream");
+    stream_row.metrics["frames"] = static_cast<double>(health.frames);
+    stream_row.metrics["faulted"] = static_cast<double>(faulted);
+    stream_row.metrics["recovery_rate"] = health.recoveryRate();
+    stream_row.metrics["deadline_misses"] =
+        static_cast<double>(health.deadlineMisses);
+    stream_row.metrics["retries"] = static_cast<double>(health.retries);
 
     const bool survived =
-        robust.health().frames == kFrames && invalid_logits == 0;
+        health.frames == kFrames && invalid_logits == 0;
     std::cout << "\nrecovery rate: "
-              << formatPercent(robust.health().recoveryRate())
+              << formatPercent(health.recoveryRate())
               << (survived ? " — all frames accounted for, all logits "
                              "finite\n"
                            : " — INVALID LOGITS OR LOST FRAMES\n");
-    return survived ? 0 : 1;
+    return report.write() && survived ? 0 : 1;
 }

@@ -50,6 +50,12 @@ errorCodeName(ErrorCode code)
         return "deadline-exceeded";
       case ErrorCode::FrameRejected:
         return "frame-rejected";
+      case ErrorCode::QueueFull:
+        return "queue-full";
+      case ErrorCode::StreamQuarantined:
+        return "stream-quarantined";
+      case ErrorCode::LoadShed:
+        return "load-shed";
       case ErrorCode::Internal:
         return "internal";
     }

@@ -54,6 +54,12 @@ enum class ErrorCode
     DeadlineExceeded,
     /** A frame was rejected by the sanitizer policy. */
     FrameRejected,
+    /** A bounded request queue refused a frame (backpressure). */
+    QueueFull,
+    /** The stream's circuit breaker is open; frames are quarantined. */
+    StreamQuarantined,
+    /** A frame was shed by the admission controller / shutdown. */
+    LoadShed,
     /** Recoverable internal condition with no better classification. */
     Internal,
 };

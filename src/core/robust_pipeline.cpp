@@ -44,7 +44,7 @@ StreamHealth::countError(const EdgePcError &error)
 }
 
 StreamHealth
-RobustPipeline::AtomicHealth::snapshot() const
+StreamHealthCounters::snapshot() const
 {
     StreamHealth out;
     out.frames = frames.load(std::memory_order_relaxed);
@@ -174,8 +174,7 @@ RobustPipeline::process(const PointCloud &frame)
     // miss the stream keeps serving at the degraded level (the last
     // good configuration) and only climbs back after recoveryStreak
     // healthy frames.
-    for (int lvl = level.load(std::memory_order_relaxed);
-         lvl < kLadderLevels; ++lvl) {
+    for (int lvl = ladderLevel(); lvl < kLadderLevels; ++lvl) {
         PointCloud attempt_cloud = out.processed;
         if (lvl >= 2 && attempt_cloud.size() > opts.degradedPointBudget) {
             attempt_cloud = attempt_cloud.select(
@@ -210,12 +209,7 @@ RobustPipeline::process(const PointCloud &frame)
             level.store(std::min(lvl + 1, kLadderLevels - 1),
                         std::memory_order_relaxed);
         } else {
-            ++cleanStreak;
-            if (cleanStreak >= opts.recoveryStreak &&
-                level.load(std::memory_order_relaxed) > 0) {
-                level.fetch_sub(1, std::memory_order_relaxed);
-                cleanStreak = 0;
-            }
+            noteHealthyFrame(out.sanitize.repaired());
         }
 
         if (lvl > 0) {
@@ -242,6 +236,65 @@ RobustPipeline::process(const PointCloud &frame)
     stats.bump(stats.dropped);
     cleanStreak = 0;
     return out;
+}
+
+void
+RobustPipeline::noteHealthyFrame(bool repaired)
+{
+    // A repaired frame succeeded but is not clean evidence that the
+    // stream can climb the ladder, so by default it leaves the streak
+    // unchanged (recoveryCountsRepaired restores the legacy policy).
+    if (repaired && !opts.recoveryCountsRepaired) {
+        return;
+    }
+    ++cleanStreak;
+    if (cleanStreak >= opts.recoveryStreak &&
+        level.load(std::memory_order_relaxed) > 0) {
+        level.fetch_sub(1, std::memory_order_relaxed);
+        cleanStreak = 0;
+    }
+}
+
+void
+RobustPipeline::recordExternalFrame(FrameStatus status, int lvl,
+                                    bool deadline_missed, bool repaired,
+                                    const EdgePcError *error)
+{
+    stats.bump(stats.frames);
+    if (error != nullptr) {
+        stats.countError(*error);
+    }
+    switch (status) {
+      case FrameStatus::Ok:
+        stats.bump(stats.ok);
+        break;
+      case FrameStatus::Repaired:
+        stats.bump(stats.repaired);
+        break;
+      case FrameStatus::Degraded:
+        stats.bump(stats.degraded);
+        break;
+      case FrameStatus::Dropped:
+        stats.bump(stats.dropped);
+        cleanStreak = 0;
+        return;
+    }
+    if (deadline_missed) {
+        stats.bump(stats.deadlineMisses);
+        cleanStreak = 0;
+        level.store(std::min(lvl + 1, kLadderLevels - 1),
+                    std::memory_order_relaxed);
+        return;
+    }
+    noteHealthyFrame(repaired);
+}
+
+void
+RobustPipeline::recordShedFrame(const EdgePcError &error)
+{
+    stats.bump(stats.frames);
+    stats.bump(stats.dropped);
+    stats.countError(error);
 }
 
 } // namespace edgepc

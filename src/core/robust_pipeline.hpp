@@ -22,6 +22,7 @@
 #ifndef EDGEPC_CORE_ROBUST_PIPELINE_HPP
 #define EDGEPC_CORE_ROBUST_PIPELINE_HPP
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <functional>
@@ -65,6 +66,15 @@ struct RobustPipelineOptions
     /** Consecutive healthy frames before climbing one ladder level
         back toward the full configuration. */
     int recoveryStreak = 3;
+
+    /**
+     * Whether a sanitizer-Repaired frame advances the healthy streak.
+     * Default false: a repaired frame succeeded but is not clean
+     * evidence that the stream can climb the ladder, so it leaves the
+     * streak unchanged. True restores the legacy behavior (Repaired
+     * counts the same as Ok).
+     */
+    bool recoveryCountsRepaired = false;
 
     /**
      * Test/chaos hook executed inside the deadline window immediately
@@ -135,6 +145,38 @@ struct StreamHealth
     void printTable(std::ostream &os) const;
 };
 
+/**
+ * Live counters behind StreamHealth: atomics so a monitor thread can
+ * poll while the stream thread keeps processing (relaxed order —
+ * these are statistics, not synchronization). Shared vocabulary
+ * between RobustPipeline and the serving layer so every frame,
+ * including ones shed before reaching inference, lands in the same
+ * per-stream health snapshot.
+ */
+struct StreamHealthCounters
+{
+    std::atomic<std::size_t> frames{0};
+    std::atomic<std::size_t> ok{0};
+    std::atomic<std::size_t> repaired{0};
+    std::atomic<std::size_t> degraded{0};
+    std::atomic<std::size_t> dropped{0};
+    std::atomic<std::size_t> deadlineMisses{0};
+    std::atomic<std::size_t> retries{0};
+    std::array<std::atomic<std::size_t>, kErrorCodeCount> errorCounts{};
+
+    void bump(std::atomic<std::size_t> &counter)
+    {
+        counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void countError(const EdgePcError &error)
+    {
+        bump(errorCounts[static_cast<std::size_t>(error.code)]);
+    }
+
+    StreamHealth snapshot() const;
+};
+
 /** Fault-tolerant streaming front end over InferencePipeline. */
 class RobustPipeline
 {
@@ -174,12 +216,61 @@ class RobustPipeline
     [[nodiscard]] StreamHealth health() const { return stats.snapshot(); }
 
     /** Current degradation ladder level (sticky across frames: the
-        last configuration that met the deadline is retried first).
-        Thread-safe against a running process(). */
+        last configuration that met the deadline is retried first),
+        clamped up to the external ladder floor. Thread-safe against a
+        running process(). */
     [[nodiscard]] int ladderLevel() const
     {
-        return level.load(std::memory_order_relaxed);
+        return std::max(level.load(std::memory_order_relaxed),
+                        floorLevel.load(std::memory_order_relaxed));
     }
+
+    /**
+     * Externally imposed minimum ladder level, clamped to
+     * [0, kLadderLevels - 1]. An admission controller raises the floor
+     * across every stream under overload so all streams step down
+     * together before any single stream starts dropping frames; the
+     * stream's own sticky level still escalates/recovers underneath
+     * and takes over again once the floor is lowered. Thread-safe.
+     */
+    void setLadderFloor(int floor_level)
+    {
+        floorLevel.store(
+            std::clamp(floor_level, 0, kLadderLevels - 1),
+            std::memory_order_relaxed);
+    }
+
+    /** Current external ladder floor. Thread-safe. */
+    [[nodiscard]] int ladderFloor() const
+    {
+        return floorLevel.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Account a frame that was served outside process() — the serving
+     * engine's cross-stream batched path — so health telemetry and the
+     * ladder streak stay unified with single-frame processing. Same
+     * single-caller contract as process(): must not race process() or
+     * itself (health() stays safe to poll concurrently).
+     *
+     * @param status Outcome of the frame (Dropped allowed).
+     * @param lvl Ladder level the frame ran at (escalation target on a
+     *        deadline miss).
+     * @param deadline_missed True when the frame blew its deadline.
+     * @param repaired True when the sanitizer repaired the frame.
+     * @param error Error to count (typically with status Dropped).
+     */
+    void recordExternalFrame(FrameStatus status, int lvl,
+                             bool deadline_missed, bool repaired,
+                             const EdgePcError *error = nullptr);
+
+    /**
+     * Account a frame shed before inference (backpressure eviction,
+     * expired deadline, quarantine flush, shutdown). Only touches
+     * atomic counters, so unlike recordExternalFrame this IS safe to
+     * call concurrently with process() from any thread.
+     */
+    void recordShedFrame(const EdgePcError &error);
 
     /** Configuration the pipeline would use at @p level. */
     EdgePcConfig configForLevel(int level) const;
@@ -191,31 +282,9 @@ class RobustPipeline
     runAttempt(const PointCloud &cloud, const EdgePcConfig &cfg,
                bool &deadline_missed);
 
-    /** Live counters behind health(): atomics so a monitor thread can
-        poll without racing the stream thread (relaxed order — these
-        are statistics, not synchronization). */
-    struct AtomicHealth
-    {
-        std::atomic<std::size_t> frames{0};
-        std::atomic<std::size_t> ok{0};
-        std::atomic<std::size_t> repaired{0};
-        std::atomic<std::size_t> degraded{0};
-        std::atomic<std::size_t> dropped{0};
-        std::atomic<std::size_t> deadlineMisses{0};
-        std::atomic<std::size_t> retries{0};
-        std::array<std::atomic<std::size_t>, kErrorCodeCount>
-            errorCounts{};
-
-        void bump(std::atomic<std::size_t> &counter)
-        {
-            counter.fetch_add(1, std::memory_order_relaxed);
-        }
-        void countError(const EdgePcError &error)
-        {
-            bump(errorCounts[static_cast<std::size_t>(error.code)]);
-        }
-        StreamHealth snapshot() const;
-    };
+    /** Healthy-streak bookkeeping shared by process() and
+        recordExternalFrame() (single-caller state). */
+    void noteHealthyFrame(bool repaired);
 
     PointCloudModel &model;
     EdgePcConfig baseCfg;
@@ -224,8 +293,9 @@ class RobustPipeline
     /** Dedicated single worker so a watchdogged frame cannot starve
         the global kernel pool. */
     ThreadPool watchdog{1};
-    AtomicHealth stats;
+    StreamHealthCounters stats;
     std::atomic<int> level{0};
+    std::atomic<int> floorLevel{0};
     int cleanStreak = 0;
 };
 

@@ -10,6 +10,7 @@
 #ifndef EDGEPC_MODELS_MODEL_HPP
 #define EDGEPC_MODELS_MODEL_HPP
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,28 @@ class PointCloudModel
     virtual nn::Matrix infer(const PointCloud &cloud,
                              const EdgePcConfig &cfg,
                              StageTimer *timer = nullptr) = 0;
+
+    /**
+     * Run inference on a batch of independent clouds under one
+     * configuration, returning one logits matrix per cloud (in input
+     * order). The default implementation loops infer(); models may
+     * override with a lockstep batched path that stacks the
+     * feature-compute stage across clouds so the GEMM runs at large M
+     * (the serving engine's cross-stream micro-batching hook). An
+     * override must match per-cloud infer() numerics up to GEMM-path
+     * float reassociation.
+     */
+    virtual std::vector<nn::Matrix>
+    inferBatch(std::span<const PointCloud> clouds, const EdgePcConfig &cfg,
+               StageTimer *timer = nullptr)
+    {
+        std::vector<nn::Matrix> out;
+        out.reserve(clouds.size());
+        for (const PointCloud &cloud : clouds) {
+            out.push_back(infer(cloud, cfg, timer));
+        }
+        return out;
+    }
 
     /** Model name for reports. */
     virtual std::string name() const = 0;

@@ -170,13 +170,12 @@ PointNetPP::PointNetPP(PointNetPPConfig config, std::uint64_t seed)
     head.add(std::make_unique<nn::Linear>(head_in, cfg.numClasses, rng));
 }
 
-void
-PointNetPP::runSaModule(std::size_t module, const EdgePcConfig &config,
-                        StageTimer *timer, bool train)
+NeighborLists
+PointNetPP::saSampleAndSearch(std::size_t module,
+                              const EdgePcConfig &config,
+                              StageTimer *timer, LevelState &cur)
 {
-    SaBlock &block = saBlocks[module];
-    LevelState &cur = levels[module];
-    LevelState &next = levels[module + 1];
+    const SaBlock &block = saBlocks[module];
     const std::size_t num_points = cur.positions.size();
     const std::size_t n = std::min(block.conf.points, num_points);
     const std::size_t k = block.conf.k;
@@ -235,6 +234,19 @@ PointNetPP::runSaModule(std::size_t module, const EdgePcConfig &config,
             }
         }
     }
+    return neighbors;
+}
+
+void
+PointNetPP::runSaModule(std::size_t module, const EdgePcConfig &config,
+                        StageTimer *timer, bool train)
+{
+    SaBlock &block = saBlocks[module];
+    LevelState &cur = levels[module];
+    LevelState &next = levels[module + 1];
+
+    const NeighborLists neighbors =
+        saSampleAndSearch(module, config, timer, cur);
 
     // The searchers clamp k when the candidate set is smaller than
     // the configured neighbor count; everything downstream must use
@@ -291,22 +303,17 @@ PointNetPP::runSaModule(std::size_t module, const EdgePcConfig &config,
     }
 }
 
-void
-PointNetPP::runFpModule(std::size_t module, const EdgePcConfig &config,
-                        StageTimer *timer, bool train)
+InterpolationPlan
+PointNetPP::fpUpsamplePlan(std::size_t fine_index,
+                           const EdgePcConfig &config, StageTimer *timer,
+                           const LevelState &fine_level,
+                           const LevelState &coarse_level) const
 {
-    FpBlock &block = fpBlocks[module];
-    const std::size_t num_levels = levels.size();
-    const std::size_t coarse = num_levels - 1 - module;
-    const std::size_t fine = coarse - 1;
-    LevelState &fine_level = levels[fine];
-    LevelState &coarse_level = levels[coarse];
-
     // --- Up-sampling search (counted as sample stage) --------------
     InterpolationPlan plan;
     const bool morton_up =
         config.approximate() &&
-        static_cast<int>(fine) < config.optimizedSampleLayers &&
+        static_cast<int>(fine_index) < config.optimizedSampleLayers &&
         fine_level.mortonSampled;
     {
         StageTimer dummy;
@@ -322,6 +329,21 @@ PointNetPP::runFpModule(std::size_t module, const EdgePcConfig &config,
                                       coarse_level.positions, 3);
         }
     }
+    return plan;
+}
+
+void
+PointNetPP::runFpModule(std::size_t module, const EdgePcConfig &config,
+                        StageTimer *timer, bool train)
+{
+    FpBlock &block = fpBlocks[module];
+    const std::size_t num_levels = levels.size();
+    const std::size_t coarse = num_levels - 1 - module;
+    const std::size_t fine = coarse - 1;
+    LevelState &fine_level = levels[fine];
+
+    InterpolationPlan plan =
+        fpUpsamplePlan(fine, config, timer, fine_level, levels[coarse]);
 
     // --- Interpolation apply + skip concat (grouping stage) --------
     nn::Matrix concat;
@@ -396,6 +418,246 @@ PointNetPP::infer(const PointCloud &cloud, const EdgePcConfig &config,
                   StageTimer *timer)
 {
     return forward(cloud, config, timer, false);
+}
+
+namespace {
+
+/** Inference-only neighbor max-pool over a row range of a stacked
+    activation matrix: rows [offset, offset + rows) hold one cloud's
+    groups of @p k rows each, pooled to rows / k output rows. Reading
+    the range in place is what lets the batched path skip the
+    per-cloud sliceRows copy. */
+nn::Matrix
+maxPoolStackedRows(const nn::Matrix &act, std::size_t offset,
+                   std::size_t rows, std::size_t k)
+{
+    const std::size_t points = rows / k;
+    const std::size_t cols = act.cols();
+    nn::Matrix out(points, cols);
+    parallelFor(0, points, [&](std::size_t p) {
+        const float *src = act.data() + (offset + p * k) * cols;
+        float *dst = out.data() + p * cols;
+        std::copy(src, src + cols, dst);
+        for (std::size_t j = 1; j < k; ++j) {
+            const float *row = src + j * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+                if (row[c] > dst[c]) {
+                    dst[c] = row[c];
+                }
+            }
+        }
+    });
+    return out;
+}
+
+} // namespace
+
+std::vector<nn::Matrix>
+PointNetPP::inferBatch(std::span<const PointCloud> clouds,
+                       const EdgePcConfig &config, StageTimer *timer)
+{
+    if (clouds.size() <= 1) {
+        // Stacking a single cloud buys nothing; take the plain path.
+        std::vector<nn::Matrix> out;
+        for (const PointCloud &cloud : clouds) {
+            out.push_back(infer(cloud, config, timer));
+        }
+        return out;
+    }
+    for (const PointCloud &cloud : clouds) {
+        if (cloud.empty()) {
+            raise(ErrorCode::EmptyCloud,
+                  "PointNetPP::inferBatch: empty cloud");
+        }
+        if (cloud.featureDim() != cfg.inputFeatureDim) {
+            raise(ErrorCode::ShapeMismatch,
+                  "PointNetPP::inferBatch: cloud feature dim %zu != "
+                  "model %zu",
+                  cloud.featureDim(), cfg.inputFeatureDim);
+        }
+    }
+
+    const std::size_t batch = clouds.size();
+    const std::size_t num_levels = cfg.sa.size() + 1;
+    // Per-cloud level states, advanced in lockstep. Geometry stages
+    // use the free-function grouping path rather than the
+    // GroupingLayer/InterpolateLayer members, so the training caches
+    // of the single-cloud path stay untouched.
+    std::vector<std::vector<LevelState>> st(
+        batch, std::vector<LevelState>(num_levels));
+    for (std::size_t b = 0; b < batch; ++b) {
+        st[b][0].positions = clouds[b].positions();
+        st[b][0].saFeatures =
+            nn::Matrix(clouds[b].size(), cfg.inputFeatureDim,
+                       std::vector<float>(clouds[b].features()));
+    }
+
+    std::vector<nn::Matrix> parts(batch);
+    std::vector<std::size_t> seg_rows(batch);
+    std::vector<std::size_t> k_eff(batch);
+    std::vector<NeighborLists> neigh(batch);
+
+    for (std::size_t i = 0; i < saBlocks.size(); ++i) {
+        SaBlock &block = saBlocks[i];
+        std::size_t total_rows = 0;
+        for (std::size_t b = 0; b < batch; ++b) {
+            LevelState &cur = st[b][i];
+            neigh[b] = saSampleAndSearch(i, config, timer, cur);
+            k_eff[b] = neigh[b].k;
+            seg_rows[b] = cur.sampleIndices.size() * neigh[b].k;
+            total_rows += seg_rows[b];
+        }
+        // Group every cloud straight into its row range of the
+        // stacked batch: the stacking itself costs no extra pass.
+        nn::Matrix stacked(total_rows,
+                           3 + st[0][i].saFeatures.cols());
+        {
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageGroup);
+            std::size_t offset = 0;
+            for (std::size_t b = 0; b < batch; ++b) {
+                LevelState &cur = st[b][i];
+                nn::groupWithRelativeCoordsInto(
+                    cur.positions, cur.saFeatures, cur.sampleIndices,
+                    neigh[b],
+                    std::span<float>(stacked.data() +
+                                         offset * stacked.cols(),
+                                     seg_rows[b] * stacked.cols()));
+                offset += seg_rows[b];
+            }
+        }
+        {
+            // The batched payoff: one tall GEMM per MLP stage instead
+            // of `batch` skinny ones, and the per-cloud max-pool reads
+            // its row range of the stacked activation in place.
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageFeature);
+            const nn::Matrix activated =
+                block.mlp.forwardSegmented(stacked, seg_rows);
+            std::size_t offset = 0;
+            for (std::size_t b = 0; b < batch; ++b) {
+                st[b][i + 1].saFeatures = maxPoolStackedRows(
+                    activated, offset, seg_rows[b], k_eff[b]);
+                offset += seg_rows[b];
+            }
+        }
+        for (std::size_t b = 0; b < batch; ++b) {
+            const LevelState &cur = st[b][i];
+            LevelState &next = st[b][i + 1];
+            next.positions.resize(cur.sampleIndices.size());
+            for (std::size_t j = 0; j < cur.sampleIndices.size(); ++j) {
+                next.positions[j] = cur.positions[cur.sampleIndices[j]];
+            }
+        }
+    }
+
+    std::vector<nn::Matrix> logits(batch);
+    if (isClassifier()) {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageFeature);
+        for (std::size_t b = 0; b < batch; ++b) {
+            nn::GlobalMaxPool pool;
+            parts[b] = pool.forward(st[b].back().saFeatures, false);
+            seg_rows[b] = 1;
+        }
+        const nn::Matrix out =
+            head.forwardSegmented(nn::concatRows(parts), seg_rows);
+        for (std::size_t b = 0; b < batch; ++b) {
+            logits[b] = nn::sliceRows(out, b, b + 1);
+        }
+        return logits;
+    }
+
+    std::vector<std::vector<nn::Matrix>> fp_feat(
+        batch, std::vector<nn::Matrix>(num_levels));
+    for (std::size_t b = 0; b < batch; ++b) {
+        fp_feat[b].back() = st[b].back().saFeatures;
+    }
+    std::vector<InterpolationPlan> plans(batch);
+    // Stacked output of the last (finest) FP module: it feeds the
+    // segmentation head still stacked, skipping a slice + re-concat.
+    nn::Matrix fp0_stacked;
+    for (std::size_t m = 0; m < fpBlocks.size(); ++m) {
+        FpBlock &block = fpBlocks[m];
+        const std::size_t coarse = num_levels - 1 - m;
+        const std::size_t fine = coarse - 1;
+        std::size_t total_rows = 0;
+        for (std::size_t b = 0; b < batch; ++b) {
+            plans[b] = fpUpsamplePlan(fine, config, timer, st[b][fine],
+                                      st[b][coarse]);
+            seg_rows[b] = plans[b].targets();
+            total_rows += seg_rows[b];
+        }
+        const std::size_t up_cols = fp_feat[0][coarse].cols();
+        const std::size_t sa_cols = st[0][fine].saFeatures.cols();
+        // Upsample into the left columns and the skip features into
+        // the right columns of the stacked batch directly, replacing
+        // the per-cloud concatCols + concatRows passes.
+        nn::Matrix stacked(total_rows, up_cols + sa_cols);
+        {
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageGroup);
+            std::size_t offset = 0;
+            for (std::size_t b = 0; b < batch; ++b) {
+                float *base =
+                    stacked.data() + offset * stacked.cols();
+                nn::applyInterpolationInto(
+                    plans[b], fp_feat[b][coarse],
+                    std::span<float>(base,
+                                     seg_rows[b] * stacked.cols()),
+                    stacked.cols());
+                if (sa_cols > 0) {
+                    const nn::Matrix &skip = st[b][fine].saFeatures;
+                    for (std::size_t r = 0; r < seg_rows[b]; ++r) {
+                        const float *src = skip.data() + r * sa_cols;
+                        std::copy(src, src + sa_cols,
+                                  base + r * stacked.cols() + up_cols);
+                    }
+                }
+                offset += seg_rows[b];
+            }
+        }
+        {
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageFeature);
+            nn::Matrix out =
+                block.mlp.forwardSegmented(stacked, seg_rows);
+            if (fine == 0) {
+                fp0_stacked = std::move(out);
+                continue;
+            }
+            std::size_t offset = 0;
+            for (std::size_t b = 0; b < batch; ++b) {
+                fp_feat[b][fine] = nn::sliceRows(out, offset,
+                                                 offset + seg_rows[b]);
+                offset += seg_rows[b];
+            }
+        }
+    }
+
+    StageTimer dummy;
+    StageTimer::ScopedStage scope(timer ? *timer : dummy, kStageFeature);
+    if (fp0_stacked.rows() == 0) {
+        // No FP module produced the finest level stacked (e.g. a
+        // headless FP configuration): stack the per-cloud features.
+        for (std::size_t b = 0; b < batch; ++b) {
+            parts[b] = std::move(fp_feat[b][0]);
+            seg_rows[b] = parts[b].rows();
+        }
+        fp0_stacked = nn::concatRows(parts);
+    }
+    const nn::Matrix out = head.forwardSegmented(fp0_stacked, seg_rows);
+    std::size_t offset = 0;
+    for (std::size_t b = 0; b < batch; ++b) {
+        logits[b] = nn::sliceRows(out, offset, offset + seg_rows[b]);
+        offset += seg_rows[b];
+    }
+    return logits;
 }
 
 void

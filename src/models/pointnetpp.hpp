@@ -115,6 +115,21 @@ class PointNetPP : public TrainableModel
                      StageTimer *timer = nullptr) override;
 
     /**
+     * Lockstep batched inference: each cloud runs its own sample /
+     * neighbor-search / grouping stages (per-cloud geometry cannot be
+     * merged), but the shared-MLP feature compute runs once over the
+     * row-stacked batch via Sequential::forwardSegmented, so the
+     * packed GEMM sees a tall M instead of B skinny calls. BatchNorm
+     * segments keep per-cloud instance statistics, so each cloud's
+     * logits match single-cloud infer() up to GEMM-path float
+     * reassociation. Does not touch the training-state members
+     * (levels / fpFeatures / layer caches).
+     */
+    std::vector<nn::Matrix> inferBatch(std::span<const PointCloud> clouds,
+                                       const EdgePcConfig &cfg,
+                                       StageTimer *timer = nullptr) override;
+
+    /**
      * Forward pass keeping intermediates when @p train is true.
      * Returns per-point logits (N x classes) for segmentation or a
      * single-row logit matrix for classification.
@@ -169,6 +184,21 @@ class PointNetPP : public TrainableModel
                      StageTimer *timer, bool train);
     void runFpModule(std::size_t module, const EdgePcConfig &cfg,
                      StageTimer *timer, bool train);
+
+    /** SA sample + neighbor-search stages on @p cur (shared by the
+        single-cloud and batched paths; @p cur need not be a member
+        LevelState). */
+    NeighborLists saSampleAndSearch(std::size_t module,
+                                    const EdgePcConfig &cfg,
+                                    StageTimer *timer, LevelState &cur);
+
+    /** FP up-sampling plan for propagating level @p fine_index + 1
+        down to @p fine_index (shared by both paths). */
+    InterpolationPlan fpUpsamplePlan(std::size_t fine_index,
+                                     const EdgePcConfig &cfg,
+                                     StageTimer *timer,
+                                     const LevelState &fine_level,
+                                     const LevelState &coarse_level) const;
 
     PointNetPPConfig cfg;
     std::vector<SaBlock> saBlocks;

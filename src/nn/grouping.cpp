@@ -180,11 +180,36 @@ applyInterpolation(const InterpolationPlan &plan,
 {
     const std::size_t targets = plan.targets();
     const std::size_t c = source_features.cols();
-    const std::size_t k = plan.k;
 
     Matrix out(targets, c);
+    applyInterpolationInto(plan, source_features,
+                           std::span<float>(out.data(), out.numel()), c);
+    return out;
+}
+
+void
+applyInterpolationInto(const InterpolationPlan &plan,
+                       const Matrix &source_features,
+                       std::span<float> out, std::size_t out_stride)
+{
+    const std::size_t targets = plan.targets();
+    const std::size_t c = source_features.cols();
+    const std::size_t k = plan.k;
+    if (out_stride < c) {
+        fatal("applyInterpolationInto: stride %zu < cols %zu",
+              out_stride, c);
+    }
+    if (targets > 0 &&
+        out.size() < (targets - 1) * out_stride + c) {
+        fatal("applyInterpolationInto: buffer %zu too small for %zu "
+              "rows of stride %zu",
+              out.size(), targets, out_stride);
+    }
+
+    float *out_base = out.data();
     parallelFor(0, targets, [&](std::size_t t) {
-        float *dst = out.data() + t * c;
+        float *dst = out_base + t * out_stride;
+        std::fill(dst, dst + c, 0.0f);
         for (std::size_t j = 0; j < k; ++j) {
             const std::uint32_t src_idx = plan.indices[t * k + j];
             const float w = plan.weights[t * k + j];
@@ -195,7 +220,6 @@ applyInterpolation(const InterpolationPlan &plan,
             }
         }
     });
-    return out;
 }
 
 // ---------------------------------------------------------------------

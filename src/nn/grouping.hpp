@@ -104,6 +104,18 @@ Matrix applyInterpolation(const InterpolationPlan &plan,
                           const Matrix &source_features);
 
 /**
+ * applyInterpolation writing each target row into a caller-owned
+ * row-major buffer whose rows are @p out_stride floats apart
+ * (out_stride >= source cols). Only the first cols entries of each
+ * row are written, so the upsampled features can land directly in the
+ * left columns of a wider concatenated matrix.
+ */
+void applyInterpolationInto(const InterpolationPlan &plan,
+                            const Matrix &source_features,
+                            std::span<float> out,
+                            std::size_t out_stride);
+
+/**
  * Differentiable gather layer. Set the indices, then forward gathers
  * rows and backward scatter-adds gradients to the input rows.
  */

@@ -273,6 +273,69 @@ BatchNorm::forward(const Matrix &input, bool train)
     return out;
 }
 
+bool
+BatchNorm::inferSegmentsInPlace(Matrix &x,
+                                std::span<const std::size_t> segment_rows)
+{
+    const std::size_t cols = x.cols();
+    if (cols != runningMean.size()) {
+        fatal("BatchNorm::inferSegmentsInPlace: feature dim %zu != "
+              "configured %zu",
+              cols, runningMean.size());
+    }
+
+    // Same statistics policy and arithmetic as forward(): multi-row
+    // segments normalize with their own instance statistics, single
+    // rows fall back to the running averages. Normalizing in place on
+    // the stacked batch is what saves the per-segment slice and
+    // copy-back that a forward() round trip would cost.
+    std::vector<float> mean(cols), var(cols), inv_std(cols);
+    const float *g = gamma.value.data();
+    const float *b = beta.value.data();
+    std::size_t offset = 0;
+    for (std::size_t rows : segment_rows) {
+        if (rows > 1) {
+            std::fill(mean.begin(), mean.end(), 0.0f);
+            std::fill(var.begin(), var.end(), 0.0f);
+            for (std::size_t r = 0; r < rows; ++r) {
+                const float *row = x.data() + (offset + r) * cols;
+                for (std::size_t c = 0; c < cols; ++c) {
+                    mean[c] += row[c];
+                }
+            }
+            const float inv_rows = 1.0f / static_cast<float>(rows);
+            for (std::size_t c = 0; c < cols; ++c) {
+                mean[c] *= inv_rows;
+            }
+            for (std::size_t r = 0; r < rows; ++r) {
+                const float *row = x.data() + (offset + r) * cols;
+                for (std::size_t c = 0; c < cols; ++c) {
+                    const float d = row[c] - mean[c];
+                    var[c] += d * d;
+                }
+            }
+            for (std::size_t c = 0; c < cols; ++c) {
+                var[c] *= inv_rows;
+            }
+        } else {
+            mean = runningMean;
+            var = runningVar;
+        }
+        for (std::size_t c = 0; c < cols; ++c) {
+            inv_std[c] = 1.0f / std::sqrt(var[c] + eps);
+        }
+        parallelFor(0, rows, [&](std::size_t r) {
+            float *row = x.data() + (offset + r) * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+                const float normalized = (row[c] - mean[c]) * inv_std[c];
+                row[c] = g[c] * normalized + b[c];
+            }
+        });
+        offset += rows;
+    }
+    return true;
+}
+
 Matrix
 BatchNorm::backward(const Matrix &grad_output)
 {
@@ -441,6 +504,70 @@ Sequential::forward(const Matrix &input, bool train)
         x = layer->forward(x, train);
     }
     return x;
+}
+
+bool
+Sequential::rowIndependentInference() const
+{
+    for (const auto &layer : layers) {
+        if (!layer->rowIndependentInference()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Matrix
+Sequential::forwardSegmented(const Matrix &input,
+                             std::span<const std::size_t> segment_rows)
+{
+    std::size_t total = 0;
+    for (std::size_t rows : segment_rows) {
+        total += rows;
+    }
+    if (total != input.rows()) {
+        fatal("forwardSegmented: segment rows %zu != input rows %zu",
+              total, input.rows());
+    }
+
+    // `x` is materialized lazily: the first layer reads `input`
+    // directly (the usual Linear head makes a fresh matrix anyway), so
+    // the stacked batch is not copied just to enter the loop.
+    Matrix x;
+    bool have_x = false;
+    for (auto &layer : layers) {
+        if (layer->rowIndependentInference()) {
+            x = layer->forward(have_x ? x : input, false);
+            have_x = true;
+            continue;
+        }
+        if (!have_x) {
+            x = input;
+            have_x = true;
+        }
+        if (layer->inferSegmentsInPlace(x, segment_rows)) {
+            continue;
+        }
+        Matrix out;
+        std::size_t offset = 0;
+        for (std::size_t s = 0; s < segment_rows.size(); ++s) {
+            Matrix seg = sliceRows(x, offset, offset + segment_rows[s]);
+            Matrix y = layer->forward(seg, false);
+            if (y.rows() != segment_rows[s]) {
+                fatal("forwardSegmented: layer changed segment rows "
+                      "(%zu -> %zu)",
+                      segment_rows[s], y.rows());
+            }
+            if (s == 0) {
+                out = Matrix(x.rows(), y.cols());
+            }
+            std::copy(y.data(), y.data() + y.numel(),
+                      out.data() + offset * y.cols());
+            offset += segment_rows[s];
+        }
+        x = std::move(out);
+    }
+    return have_x ? x : input;
 }
 
 Matrix

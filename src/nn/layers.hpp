@@ -13,6 +13,7 @@
 #define EDGEPC_NN_LAYERS_HPP
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/gemm.hpp"
@@ -42,6 +43,16 @@ class Layer
      */
     virtual Matrix backward(const Matrix &grad_output) = 0;
 
+    /**
+     * True when inference-mode forward() treats every row
+     * independently (row-wise Linear / activation layers).
+     * Sequential::forwardSegmented runs such layers once over a whole
+     * row-stacked batch of clouds (large-M GEMM), while layers with
+     * cross-row statistics (BatchNorm's per-cloud instance stats)
+     * fall back to per-segment execution.
+     */
+    virtual bool rowIndependentInference() const { return false; }
+
     /** Append this layer's parameters to @p out. */
     virtual void collectParameters(std::vector<Parameter *> &out)
     {
@@ -55,6 +66,22 @@ class Layer
     virtual void collectBuffers(std::vector<std::vector<float> *> &out)
     {
         (void)out;
+    }
+
+    /**
+     * Inference-only forward applied in place over a row-stacked batch
+     * of independent segments. Shape-preserving layers whose inference
+     * depends on per-segment statistics (BatchNorm) override this so
+     * Sequential::forwardSegmented can skip the slice/forward/copy-back
+     * round trip per segment. Returns false when the layer has no
+     * in-place segmented path and the caller must fall back.
+     */
+    virtual bool inferSegmentsInPlace(
+        Matrix &x, std::span<const std::size_t> segment_rows)
+    {
+        (void)x;
+        (void)segment_rows;
+        return false;
     }
 };
 
@@ -78,6 +105,7 @@ class Linear : public Layer
     Matrix forward(const Matrix &input, bool train) override;
     Matrix backward(const Matrix &grad_output) override;
     void collectParameters(std::vector<Parameter *> &out) override;
+    bool rowIndependentInference() const override { return true; }
 
     std::size_t inDim() const { return weight.value.rows(); }
     std::size_t outDim() const { return weight.value.cols(); }
@@ -111,6 +139,7 @@ class LinearRelu : public Layer
     Matrix forward(const Matrix &input, bool train) override;
     Matrix backward(const Matrix &grad_output) override;
     void collectParameters(std::vector<Parameter *> &out) override;
+    bool rowIndependentInference() const override { return true; }
 
     std::size_t inDim() const { return weight.value.rows(); }
     std::size_t outDim() const { return weight.value.cols(); }
@@ -148,6 +177,8 @@ class BatchNorm : public Layer
     Matrix backward(const Matrix &grad_output) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectBuffers(std::vector<std::vector<float> *> &out) override;
+    bool inferSegmentsInPlace(
+        Matrix &x, std::span<const std::size_t> segment_rows) override;
 
   private:
     Parameter gamma; ///< 1 x features (scale).
@@ -175,6 +206,7 @@ class ReLU : public Layer
   public:
     Matrix forward(const Matrix &input, bool train) override;
     Matrix backward(const Matrix &grad_output) override;
+    bool rowIndependentInference() const override { return true; }
 
   private:
     std::vector<std::uint8_t> mask;
@@ -192,6 +224,7 @@ class LeakyReLU : public Layer
 
     Matrix forward(const Matrix &input, bool train) override;
     Matrix backward(const Matrix &grad_output) override;
+    bool rowIndependentInference() const override { return true; }
 
   private:
     float slope;
@@ -219,6 +252,22 @@ class Sequential : public Layer
     Matrix backward(const Matrix &grad_output) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectBuffers(std::vector<std::vector<float> *> &out) override;
+
+    /** True when every child layer is row-independent at inference. */
+    bool rowIndependentInference() const override;
+
+    /**
+     * Inference-only forward over a row-stacked batch of independent
+     * clouds: @p input holds the clouds' rows back to back and
+     * @p segment_rows gives each cloud's row count (must sum to
+     * input.rows()). Row-independent layers run once at full batch
+     * height — this is where the packed GEMM gets its large-M shape —
+     * while layers with per-cloud statistics (BatchNorm) run per
+     * segment, so the result matches per-cloud forward() exactly up
+     * to GEMM-path float reassociation.
+     */
+    Matrix forwardSegmented(const Matrix &input,
+                            std::span<const std::size_t> segment_rows);
 
     std::size_t size() const { return layers.size(); }
 

@@ -100,6 +100,43 @@ splitCols(const Matrix &m, std::size_t left_cols)
 }
 
 Matrix
+concatRows(std::span<const Matrix> parts)
+{
+    if (parts.empty()) {
+        return Matrix();
+    }
+    const std::size_t cols = parts.front().cols();
+    std::size_t rows = 0;
+    for (const Matrix &part : parts) {
+        if (part.cols() != cols) {
+            fatal("concatRows: column mismatch (%zu vs %zu)",
+                  part.cols(), cols);
+        }
+        rows += part.rows();
+    }
+    Matrix out(rows, cols);
+    float *dst = out.data();
+    for (const Matrix &part : parts) {
+        std::copy(part.data(), part.data() + part.numel(), dst);
+        dst += part.numel();
+    }
+    return out;
+}
+
+Matrix
+sliceRows(const Matrix &m, std::size_t begin, std::size_t end)
+{
+    if (begin > end || end > m.rows()) {
+        fatal("sliceRows: bad range [%zu, %zu) for %zu rows", begin, end,
+              m.rows());
+    }
+    Matrix out(end - begin, m.cols());
+    const float *src = m.data() + begin * m.cols();
+    std::copy(src, src + out.numel(), out.data());
+    return out;
+}
+
+Matrix
 broadcastRow(const Matrix &row, std::size_t copies)
 {
     if (row.rows() != 1) {

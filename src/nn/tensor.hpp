@@ -97,6 +97,15 @@ std::pair<Matrix, Matrix> splitCols(const Matrix &m, std::size_t left_cols);
 Matrix broadcastRow(const Matrix &row, std::size_t copies);
 
 /**
+ * Row-wise concatenation: stack the parts top to bottom; column
+ * counts must match (empty parts list yields an empty matrix).
+ */
+Matrix concatRows(std::span<const Matrix> parts);
+
+/** Copy of rows [begin, end) of @p m. */
+Matrix sliceRows(const Matrix &m, std::size_t begin, std::size_t end);
+
+/**
  * A learnable parameter: value plus the gradient accumulated by the
  * backward pass. Optimizers consume (value, grad) pairs.
  */

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Admission controller: global load shedding via the degradation
+ * ladder.
+ *
+ * The controller watches the total number of queued frames across all
+ * streams and maps sustained overload onto a process-wide minimum
+ * ladder level (the "floor") that the serving engine pushes into
+ * every stream's RobustPipeline. Overload therefore makes ALL streams
+ * step down to cheaper configurations together — recovering latency
+ * headroom — before any single stream starts dropping frames to
+ * backpressure.
+ *
+ * Watermark hysteresis plus a hold time between steps keep the floor
+ * from flapping on bursty arrivals. Pure logic with injected time;
+ * not internally synchronized (engine-lock protected).
+ */
+
+#ifndef EDGEPC_SERVE_ADMISSION_HPP
+#define EDGEPC_SERVE_ADMISSION_HPP
+
+#include <cstddef>
+
+namespace edgepc {
+namespace serve {
+
+/** Watermarks and pacing of the admission controller. */
+struct AdmissionOptions
+{
+    /** Queued frames (all streams) at which the floor steps up.
+        0 = derive from the stream queue capacities (half the total). */
+    std::size_t highWatermark = 0;
+
+    /** Queued frames at or below which the floor may step back down.
+        0 = derive (an eighth of the total capacity, at least 1). */
+    std::size_t lowWatermark = 0;
+
+    /** Minimum time between floor changes, ms (also how long the
+        depth must stay at/below the low watermark before stepping
+        down). */
+    double stepHoldMs = 25.0;
+
+    /** Highest floor the controller will impose
+        (RobustPipeline::kLadderLevels - 1 covers the whole ladder). */
+    int maxFloor = 2;
+};
+
+/** Queue-depth -> ladder-floor controller. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionOptions opts = {})
+        : opts(opts)
+    {
+    }
+
+    /** Re-derive auto watermarks when streams open (total capacity =
+        sum of queue capacities). Explicit watermarks are kept. */
+    void setCapacity(std::size_t total_capacity)
+    {
+        if (opts.highWatermark == 0) {
+            high = total_capacity < 2 ? 1 : total_capacity / 2;
+        } else {
+            high = opts.highWatermark;
+        }
+        if (opts.lowWatermark == 0) {
+            low = total_capacity < 8 ? 1 : total_capacity / 8;
+        } else {
+            low = opts.lowWatermark;
+        }
+        if (low >= high) {
+            low = high - 1;
+        }
+    }
+
+    /**
+     * Account the current total queue depth and return the floor.
+     * Call once per scheduler iteration.
+     */
+    int update(std::size_t total_queued, double now_ms)
+    {
+        if (total_queued >= high) {
+            belowSinceMs = -1.0;
+            if (level < opts.maxFloor &&
+                now_ms - lastChangeMs >= opts.stepHoldMs) {
+                ++level;
+                ++floorRaises;
+                lastChangeMs = now_ms;
+            }
+        } else if (total_queued <= low) {
+            if (belowSinceMs < 0.0) {
+                belowSinceMs = now_ms;
+            }
+            if (level > 0 && now_ms - belowSinceMs >= opts.stepHoldMs &&
+                now_ms - lastChangeMs >= opts.stepHoldMs) {
+                --level;
+                lastChangeMs = now_ms;
+            }
+        } else {
+            // Between the watermarks: hold the current floor.
+            belowSinceMs = -1.0;
+        }
+        return level;
+    }
+
+    /** Current floor without accounting a new observation. */
+    int floor() const { return level; }
+
+    /** Times the floor has stepped up since construction. */
+    std::size_t raises() const { return floorRaises; }
+
+    std::size_t highWatermark() const { return high; }
+    std::size_t lowWatermark() const { return low; }
+
+  private:
+    AdmissionOptions opts;
+    std::size_t high = 1;
+    std::size_t low = 1;
+    int level = 0;
+    double lastChangeMs = -1.0e300;
+    double belowSinceMs = -1.0;
+    std::size_t floorRaises = 0;
+};
+
+} // namespace serve
+} // namespace edgepc
+
+#endif // EDGEPC_SERVE_ADMISSION_HPP

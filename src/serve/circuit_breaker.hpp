@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Per-stream circuit breaker: Closed -> Open -> HalfOpen -> Closed.
+ *
+ * A stream whose frames repeatedly fail or blow their SLO is
+ * quarantined (Open) so it cannot keep burning dispatcher time that
+ * healthy streams need. After a cooldown the breaker admits a single
+ * probe frame at a time (HalfOpen); a streak of probe successes
+ * closes it again, one probe failure re-opens it.
+ *
+ * The class is a pure state machine with injected time (milliseconds
+ * on the caller's monotonic clock), so every transition is unit
+ * testable without sleeping. Not internally synchronized: the serving
+ * engine mutates it under its own lock.
+ */
+
+#ifndef EDGEPC_SERVE_CIRCUIT_BREAKER_HPP
+#define EDGEPC_SERVE_CIRCUIT_BREAKER_HPP
+
+#include <cstddef>
+
+namespace edgepc {
+namespace serve {
+
+/** Trip/recovery policy of a CircuitBreaker. */
+struct CircuitBreakerOptions
+{
+    /** Consecutive failures that open the breaker. */
+    int tripThreshold = 4;
+
+    /** Quarantine time before the first recovery probe, ms. */
+    double cooldownMs = 250.0;
+
+    /** Consecutive probe successes that close the breaker again. */
+    int probeSuccesses = 2;
+};
+
+/** Closed -> Open -> HalfOpen -> Closed failure isolator. */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        /** Healthy: frames dispatch normally. */
+        Closed,
+        /** Quarantined: submits rejected, queued frames flushed. */
+        Open,
+        /** Probing: one frame at a time until the verdict is in. */
+        HalfOpen,
+    };
+
+    explicit CircuitBreaker(CircuitBreakerOptions opts = {})
+        : opts(opts)
+    {
+    }
+
+    /** Current state, advancing Open -> HalfOpen once the cooldown
+        has elapsed at @p now_ms. */
+    State state(double now_ms)
+    {
+        if (st == State::Open &&
+            now_ms - openedAtMs >= opts.cooldownMs) {
+            st = State::HalfOpen;
+            probeInFlight = false;
+            probeWins = 0;
+        }
+        return st;
+    }
+
+    /** True when a new submit may enter the stream's queue. */
+    bool admitsSubmit(double now_ms)
+    {
+        return state(now_ms) != State::Open;
+    }
+
+    /** True when the scheduler may dispatch the stream's head frame
+        (HalfOpen allows one probe at a time). */
+    bool canDispatch(double now_ms)
+    {
+        switch (state(now_ms)) {
+          case State::Closed:
+            return true;
+          case State::HalfOpen:
+            return !probeInFlight;
+          case State::Open:
+            return false;
+        }
+        return false;
+    }
+
+    /** Mark the head frame as dispatched (claims the HalfOpen probe
+        slot). */
+    void noteDispatch()
+    {
+        if (st == State::HalfOpen) {
+            probeInFlight = true;
+        }
+    }
+
+    /** Record a served frame that met its SLO. */
+    void recordSuccess(double now_ms)
+    {
+        (void)state(now_ms);
+        probeInFlight = false;
+        consecutiveFailures = 0;
+        if (st == State::HalfOpen &&
+            ++probeWins >= opts.probeSuccesses) {
+            st = State::Closed;
+            probeWins = 0;
+        }
+    }
+
+    /** Record a dropped frame or SLO miss. */
+    void recordFailure(double now_ms)
+    {
+        (void)state(now_ms);
+        probeInFlight = false;
+        probeWins = 0;
+        if (st == State::HalfOpen) {
+            // A failed probe re-opens the quarantine immediately.
+            st = State::Open;
+            openedAtMs = now_ms;
+            ++tripCount;
+            consecutiveFailures = 0;
+            return;
+        }
+        if (st == State::Closed &&
+            ++consecutiveFailures >= opts.tripThreshold) {
+            st = State::Open;
+            openedAtMs = now_ms;
+            ++tripCount;
+            consecutiveFailures = 0;
+        }
+    }
+
+    /** Times the breaker has opened. */
+    std::size_t trips() const { return tripCount; }
+
+    const CircuitBreakerOptions &options() const { return opts; }
+
+  private:
+    CircuitBreakerOptions opts;
+    State st = State::Closed;
+    int consecutiveFailures = 0;
+    int probeWins = 0;
+    bool probeInFlight = false;
+    double openedAtMs = 0.0;
+    std::size_t tripCount = 0;
+};
+
+/** Name of a breaker state ("closed", "open", "half-open"). */
+const char *breakerStateName(CircuitBreaker::State state);
+
+} // namespace serve
+} // namespace edgepc
+
+#endif // EDGEPC_SERVE_CIRCUIT_BREAKER_HPP

@@ -1,0 +1,32 @@
+// R6 fixture (serve idiom): the scheduler dispatch loop picks queue
+// heads under the engine lock, so heap traffic there stalls every
+// stream at once. Frames must be moved (never copy-constructed) and
+// candidate scratch must be presized (never grown). The cold function
+// is identical code outside a marked region and must stay clean.
+
+struct PointCloud
+{
+    PointCloud(const PointCloud &other);
+};
+
+struct CandidateList
+{
+    void insert(int index);
+};
+
+void
+cold(const PointCloud &frame, CandidateList &candidates)
+{
+    PointCloud copy(frame);
+    (void)copy;
+    candidates.insert(0);
+}
+
+// EDGEPC_HOT: EDF dispatch candidate selection (fixture)
+void
+hot(const PointCloud &frame, CandidateList &candidates)
+{
+    PointCloud copy(frame); // R6: PointCloud copy (line 29)
+    (void)copy;
+    candidates.insert(0); // R6: reallocating member (line 31)
+}

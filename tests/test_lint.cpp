@@ -112,6 +112,21 @@ TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
               std::string::npos)
         << r.output;
 
+    // The serve idiom: the dispatch loop must move frames, never
+    // copy-construct them, and never grow containers under the lock.
+    EXPECT_NE(r.output.find("serve/dispatch_hot.cpp:29:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("serve/dispatch_hot.cpp:31:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("serve/dispatch_hot.cpp:20:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("serve/dispatch_hot.cpp:22:"),
+              std::string::npos)
+        << r.output;
+
     // The compliant declarations/calls in the fixtures must NOT fire.
     EXPECT_EQ(r.output.find("r2_decl.hpp:13:"), std::string::npos)
         << r.output;

@@ -279,6 +279,93 @@ TEST(RobustPipeline, HealthPollWhileProcessingIsSafe)
     EXPECT_EQ(snap.ok, 16u);
 }
 
+// Default recovery policy: a sanitizer-Repaired frame succeeded but is
+// not clean evidence, so it must NOT advance the healthy streak.
+TEST(RobustPipeline, RepairedFramesDoNotRecoverLadderByDefault)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipelineOptions opts;
+    opts.recoveryStreak = 2;
+    opts.sanitizer.minPoints = 16;
+    RobustPipeline robust(model, EdgePcConfig::sn(), opts);
+
+    // Escalate to level 1 via the external-accounting path (the same
+    // state machine the serving engine drives).
+    robust.recordExternalFrame(FrameStatus::Ok, 0,
+                               /*deadline_missed=*/true,
+                               /*repaired=*/false);
+    ASSERT_EQ(robust.ladderLevel(), 1);
+
+    // A long run of repaired frames leaves the ladder parked.
+    const std::vector<PointCloud> stream = makeStream(4, 41);
+    for (const PointCloud &clean : stream) {
+        PointCloud frame = clean;
+        frame.positions()[0].x = std::numeric_limits<float>::quiet_NaN();
+        const RobustFrameResult r = robust.process(frame);
+        EXPECT_TRUE(r.sanitize.repaired());
+        EXPECT_TRUE(r.hasLogits());
+        EXPECT_EQ(robust.ladderLevel(), 1);
+    }
+
+    // Clean frames still recover.
+    (void)robust.process(stream[0]);
+    (void)robust.process(stream[1]);
+    EXPECT_EQ(robust.ladderLevel(), 0);
+}
+
+// recoveryCountsRepaired = true restores the legacy policy: Repaired
+// advances the streak exactly like Ok.
+TEST(RobustPipeline, RecoveryCountsRepairedRestoresLegacyPolicy)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipelineOptions opts;
+    opts.recoveryStreak = 2;
+    opts.recoveryCountsRepaired = true;
+    opts.sanitizer.minPoints = 16;
+    RobustPipeline robust(model, EdgePcConfig::sn(), opts);
+
+    robust.recordExternalFrame(FrameStatus::Ok, 0,
+                               /*deadline_missed=*/true,
+                               /*repaired=*/false);
+    ASSERT_EQ(robust.ladderLevel(), 1);
+
+    for (const PointCloud &clean : makeStream(2, 42)) {
+        PointCloud frame = clean;
+        frame.positions()[0].x = std::numeric_limits<float>::quiet_NaN();
+        const RobustFrameResult r = robust.process(frame);
+        EXPECT_TRUE(r.sanitize.repaired());
+    }
+    EXPECT_EQ(robust.ladderLevel(), 0);
+}
+
+// The external ladder floor clamps the effective level without
+// touching the stream's own sticky level.
+TEST(RobustPipeline, LadderFloorClampsEffectiveLevel)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
+    RobustPipeline robust(model, EdgePcConfig::sn());
+    ASSERT_EQ(robust.ladderLevel(), 0);
+
+    robust.setLadderFloor(1);
+    EXPECT_EQ(robust.ladderFloor(), 1);
+    EXPECT_EQ(robust.ladderLevel(), 1);
+
+    // Frames now run degraded even though the stream itself is healthy.
+    const RobustFrameResult r = robust.process(makeStream(1, 43)[0]);
+    EXPECT_EQ(r.status, FrameStatus::Degraded);
+    EXPECT_EQ(r.ladderLevel, 1);
+
+    // Lowering the floor immediately restores the stream's own level.
+    robust.setLadderFloor(0);
+    EXPECT_EQ(robust.ladderLevel(), 0);
+
+    // Out-of-range floors are clamped, not fatal.
+    robust.setLadderFloor(99);
+    EXPECT_EQ(robust.ladderFloor(), RobustPipeline::kLadderLevels - 1);
+    robust.setLadderFloor(-7);
+    EXPECT_EQ(robust.ladderFloor(), 0);
+}
+
 TEST(FaultInjector, DeterministicSchedule)
 {
     FaultInjectorConfig fcfg;

@@ -20,17 +20,21 @@ cmake -B "${BUILD_DIR}" -S . "${GENERATOR[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DEDGEPC_TSAN=ON \
     -DEDGEPC_BUILD_BENCH=OFF
-cmake --build "${BUILD_DIR}" --target edgepc_tests lidar_stream
+cmake --build "${BUILD_DIR}" --target edgepc_tests lidar_stream serve_streams
 
 # halt_on_error: fail the gate on the first unsuppressed race report.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 \
 suppressions=$(pwd)/tools/ci/tsan.supp"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-    -R 'ThreadPool|RobustPipeline|ObsConcurrency|ScratchArena'
+    -R 'ThreadPool|RobustPipeline|ObsConcurrency|ScratchArena|Serving'
 
 # The chaos stream exercises watchdog + fault injector + degradation
 # ladder end to end.
 "./${BUILD_DIR}/examples/lidar_stream" 16 512 --chaos
+
+# Multi-stream serving under chaos: producer threads vs the dispatcher,
+# shared model, breakers and admission all racing on purpose.
+"./${BUILD_DIR}/examples/serve_streams" --chaos --streams 3 --frames 12 --points 256
 
 echo "tsan gate: OK"

@@ -381,11 +381,9 @@ ruleFloatCompare(const LexedFile &file, std::vector<Finding> &out)
 
 // ---------------------------------------------------------------- R6
 /** Container member calls that may (re)allocate their storage. */
-const std::array<const char *, 4> kAllocMembers = {
-    "push_back",
-    "emplace_back",
-    "resize",
-    "reserve",
+const std::array<const char *, 7> kAllocMembers = {
+    "push_back", "emplace_back", "resize", "reserve",
+    "insert",    "emplace",      "assign",
 };
 
 /** Free functions that allocate. */
@@ -472,14 +470,18 @@ ruleHotRegionAllocation(const LexedFile &file, std::vector<Finding> &out)
             } else if (t.text == "vector" && i + 1 < close &&
                        toks[i + 1].isPunct("<")) {
                 what = "std::vector construction";
-            } else if (t.text == "Matrix" && i + 1 < close &&
+            } else if ((t.text == "Matrix" || t.text == "PointCloud") &&
+                       i + 1 < close &&
                        (toks[i + 1].isPunct("(") ||
                         (toks[i + 1].kind == TokenKind::Ident &&
                          i + 2 < close && toks[i + 2].isPunct("(")))) {
-                // The nn idiom: Matrix owns a heap buffer, so sizing
-                // one inside a hot loop is steady-state allocation —
-                // gemm/pack/epilogue scratch belongs in the arena.
-                what = "nn::Matrix construction";
+                // The nn/serve idiom: Matrix and PointCloud own heap
+                // buffers, so sizing one inside a hot loop is
+                // steady-state allocation — gemm/pack scratch belongs
+                // in the arena, and the serving dispatch loop must
+                // move frames, never copy-construct them.
+                what = t.text == "Matrix" ? "nn::Matrix construction"
+                                          : "PointCloud construction";
             } else if (called && member &&
                        isOneOf(kAllocMembers, t.text)) {
                 what = "reallocating call '" + t.text + "'";
@@ -570,8 +572,9 @@ ruleDescriptions()
          "headers carry an include guard and never 'using namespace'"},
         {"edgepc-R6",
          "no heap allocation (new, malloc family, std::vector, "
-         "nn::Matrix, push_back/resize/...) inside EDGEPC_HOT-marked "
-         "regions"},
+         "nn::Matrix, PointCloud, push_back/resize/insert/...) inside "
+         "EDGEPC_HOT-marked regions (kernel scratch and the serving "
+         "dispatch loop)"},
     };
 }
 
