@@ -14,6 +14,13 @@
  * span handed out on one thread may be read from another (the usual
  * publish-via-parallelFor pattern) because the pool's queue mutex
  * provides the happens-before edge.
+ *
+ * Lifetime contract: an alloc() span (or any view built over one,
+ * like an arena-backed PointsSoA) is valid only until the enclosing
+ * Frame rewinds — returning one or storing one beyond the function
+ * that allocated it is a dangling reference. edgepc-R8 flags these
+ * escapes statically (DESIGN.md §12); copy into caller-owned storage
+ * at the boundary instead.
  */
 
 #ifndef EDGEPC_COMMON_SCRATCH_ARENA_HPP

@@ -1,0 +1,191 @@
+/**
+ * @file Compile-time concurrency contracts: wrappers for Clang's
+ * thread-safety analysis attributes plus capability-annotated mutex
+ * and lock types.
+ *
+ * The macros expand to `__attribute__((...))` under Clang and to
+ * nothing everywhere else, so annotated code builds unchanged with
+ * GCC/MSVC. Building with Clang and `-DEDGEPC_THREAD_SAFETY=ON`
+ * turns the annotations into hard compile errors
+ * (`-Wthread-safety -Werror=thread-safety`); the CI `thread-safety`
+ * job does exactly that on every PR.
+ *
+ * Conventions (see DESIGN.md §12 "Concurrency contracts"):
+ *  - Every mutex member is an `edgepc::Mutex` (never a raw
+ *    `std::mutex`), carries an `EDGEPC_LOCK_RANK(n)` comment, and
+ *    guards named members via EDGEPC_GUARDED_BY. edgepc-lint rule R9
+ *    enforces this; R7 enforces that nested acquisitions follow the
+ *    declared rank order (higher rank acquired first).
+ *  - Private `...Locked()` helpers that expect the lock held are
+ *    annotated EDGEPC_REQUIRES(mu); public entry points that take the
+ *    lock themselves are annotated EDGEPC_EXCLUDES(mu).
+ *  - Single-threaded-by-contract state (e.g. per-stream pipeline
+ *    counters) uses `ThreadRole`, a virtual capability with no
+ *    runtime cost, so the contract is still machine-checked.
+ */
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EDGEPC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EDGEPC_THREAD_ANNOTATION(x) // no-op on GCC/MSVC
+#endif
+
+/** Marks a type as a capability (lockable). */
+#define EDGEPC_CAPABILITY(x) EDGEPC_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose ctor acquires and dtor releases. */
+#define EDGEPC_SCOPED_CAPABILITY EDGEPC_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define EDGEPC_GUARDED_BY(x) EDGEPC_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by @p x. */
+#define EDGEPC_PT_GUARDED_BY(x) EDGEPC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Declares acquisition order relative to other capabilities. */
+#define EDGEPC_ACQUIRED_BEFORE(...)                                          \
+    EDGEPC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define EDGEPC_ACQUIRED_AFTER(...)                                           \
+    EDGEPC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function requires the capability held on entry (and keeps it). */
+#define EDGEPC_REQUIRES(...)                                                 \
+    EDGEPC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capability and holds it on return. */
+#define EDGEPC_ACQUIRE(...)                                                  \
+    EDGEPC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define EDGEPC_RELEASE(...)                                                  \
+    EDGEPC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function attempts acquisition; first arg is the success value. */
+#define EDGEPC_TRY_ACQUIRE(...)                                              \
+    EDGEPC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function must NOT be called with the capability held. */
+#define EDGEPC_EXCLUDES(...)                                                 \
+    EDGEPC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the calling thread holds the capability. */
+#define EDGEPC_ASSERT_CAPABILITY(x)                                          \
+    EDGEPC_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define EDGEPC_RETURN_CAPABILITY(x)                                          \
+    EDGEPC_THREAD_ANNOTATION(lock_returned(x))
+
+/** Opt a function out of the analysis (use sparingly, say why). */
+#define EDGEPC_NO_THREAD_SAFETY_ANALYSIS                                     \
+    EDGEPC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace edgepc
+{
+
+/**
+ * Capability-annotated wrapper around std::mutex. Drop-in for the
+ * repo's locking idiom: members it guards are annotated
+ * EDGEPC_GUARDED_BY(theMutex) and Clang rejects unlocked access.
+ */
+class EDGEPC_CAPABILITY("mutex") Mutex
+{
+public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() EDGEPC_ACQUIRE() { m.lock(); }
+    void unlock() EDGEPC_RELEASE() { m.unlock(); }
+    bool try_lock() EDGEPC_TRY_ACQUIRE(true) { return m.try_lock(); }
+
+private:
+    std::mutex m;
+};
+
+/**
+ * RAII lock for edgepc::Mutex, equivalent to std::lock_guard but
+ * visible to the thread-safety analysis as a scoped capability.
+ */
+class EDGEPC_SCOPED_CAPABILITY MutexLock
+{
+public:
+    explicit MutexLock(Mutex &m) EDGEPC_ACQUIRE(m) : mu(m) { mu.lock(); }
+    ~MutexLock() EDGEPC_RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+    Mutex &mu;
+};
+
+/**
+ * Relockable RAII lock (std::unique_lock analogue) that satisfies
+ * BasicLockable, so it works with std::condition_variable_any:
+ *
+ *     UniqueMutexLock lock(engineMu);
+ *     while (!condLocked())
+ *         cv.wait(lock);
+ *
+ * Note: condition predicates must be written as explicit while-loops
+ * around wait(lock); lambda predicates passed to wait(lock, pred) are
+ * analyzed as separate functions and trip guarded_by checks.
+ */
+class EDGEPC_SCOPED_CAPABILITY UniqueMutexLock
+{
+public:
+    explicit UniqueMutexLock(Mutex &m) EDGEPC_ACQUIRE(m) : mu(m), held(true)
+    {
+        mu.lock();
+    }
+    ~UniqueMutexLock() EDGEPC_RELEASE()
+    {
+        if (held)
+            mu.unlock();
+    }
+
+    void lock() EDGEPC_ACQUIRE()
+    {
+        mu.lock();
+        held = true;
+    }
+    void unlock() EDGEPC_RELEASE()
+    {
+        mu.unlock();
+        held = false;
+    }
+    [[nodiscard]] bool ownsLock() const { return held; }
+
+    UniqueMutexLock(const UniqueMutexLock &) = delete;
+    UniqueMutexLock &operator=(const UniqueMutexLock &) = delete;
+
+private:
+    Mutex &mu;
+    bool held;
+};
+
+/**
+ * A virtual capability representing a single-caller contract rather
+ * than a lock: state that is "owned" by one logical thread (the
+ * dispatcher, the per-stream pipeline caller) is annotated
+ * EDGEPC_GUARDED_BY(role), and the functions allowed to touch it call
+ * role.assertHeld() on entry (a no-op at runtime) or are annotated
+ * EDGEPC_REQUIRES(role). Clang then flags any new code path that
+ * touches the state without declaring participation in the contract.
+ */
+class EDGEPC_CAPABILITY("role") ThreadRole
+{
+public:
+    ThreadRole() = default;
+    ThreadRole(const ThreadRole &) = delete;
+    ThreadRole &operator=(const ThreadRole &) = delete;
+
+    /** Assert (statically) that the caller acts under this role. */
+    void assertHeld() const EDGEPC_ASSERT_CAPABILITY(this) {}
+};
+
+} // namespace edgepc

@@ -71,7 +71,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(queueMutex);
+        MutexLock lock(queueMutex);
         stopping = true;
     }
     queueCv.notify_all();
@@ -86,8 +86,13 @@ ThreadPool::workerLoop()
     for (;;) {
         Task task;
         {
-            std::unique_lock<std::mutex> lock(queueMutex);
-            queueCv.wait(lock, [this] { return stopping || !tasks.empty(); });
+            UniqueMutexLock lock(queueMutex);
+            // Explicit wait loop: wait(lock, pred) lambdas are
+            // analyzed as separate functions by -Wthread-safety and
+            // would reject the guarded reads.
+            while (!stopping && tasks.empty()) {
+                queueCv.wait(lock);
+            }
             if (stopping && tasks.empty()) {
                 return;
             }
@@ -134,8 +139,10 @@ ThreadPool::parallelForChunked(
         std::size_t end;
         std::size_t grain;
         const std::function<void(std::size_t, std::size_t)> *body;
-        std::exception_ptr error;
-        std::mutex errorMutex;
+        // EDGEPC_LOCK_RANK(25): per-batch error capture lock — leaf
+        // lock under queueMutex (30); nothing is acquired inside it.
+        Mutex errorMutex;
+        std::exception_ptr error EDGEPC_GUARDED_BY(errorMutex);
         std::promise<void> allDone;
     };
     auto batch = std::make_shared<Batch>();
@@ -159,7 +166,7 @@ ThreadPool::parallelForChunked(
             try {
                 (*b->body)(lo, hi);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(b->errorMutex);
+                MutexLock lock(b->errorMutex);
                 if (!b->error) {
                     b->error = std::current_exception();
                 }
@@ -176,7 +183,7 @@ ThreadPool::parallelForChunked(
     taskCounter().add(helpers);
     queueDepthGauge().add(static_cast<std::int64_t>(helpers));
     {
-        std::lock_guard<std::mutex> lock(queueMutex);
+        MutexLock lock(queueMutex);
         for (std::size_t i = 0; i < helpers; ++i) {
             tasks.push(Task{[batch, run_chunks] { run_chunks(batch); }});
         }
@@ -186,8 +193,16 @@ ThreadPool::parallelForChunked(
     run_chunks(batch);
     batch->allDone.get_future().wait();
 
-    if (batch->error) {
-        std::rethrow_exception(batch->error);
+    // allDone already orders every helper's writes before this read,
+    // but the lock keeps the guarded_by contract checkable (and is
+    // uncontended by then — one acquisition per parallelFor call).
+    std::exception_ptr err;
+    {
+        MutexLock lock(batch->errorMutex);
+        err = batch->error;
+    }
+    if (err) {
+        std::rethrow_exception(err);
     }
 }
 
@@ -220,7 +235,7 @@ ThreadPool::submit(std::function<void()> fn)
     }
     queueDepthGauge().add(1);
     {
-        std::lock_guard<std::mutex> lock(queueMutex);
+        MutexLock lock(queueMutex);
         tasks.push(Task{[task] { (*task)(); }});
     }
     queueCv.notify_one();

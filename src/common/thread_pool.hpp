@@ -17,11 +17,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 
 namespace edgepc {
@@ -106,13 +106,18 @@ class ThreadPool
         Timer queued;
     };
 
-    void workerLoop();
+    void workerLoop() EDGEPC_EXCLUDES(queueMutex);
 
+    /** Immutable after the constructor returns (workers spawn once
+        and only join in the destructor). */
     std::vector<std::thread> workers;
-    std::queue<Task> tasks;
-    std::mutex queueMutex;
-    std::condition_variable queueCv;
-    bool stopping = false;
+    // EDGEPC_LOCK_RANK(30): shared task-queue lock — may be acquired
+    // while a caller holds engineMu (40); must never be held while
+    // taking engineMu back.
+    Mutex queueMutex;
+    std::queue<Task> tasks EDGEPC_GUARDED_BY(queueMutex);
+    std::condition_variable_any queueCv;
+    bool stopping EDGEPC_GUARDED_BY(queueMutex) = false;
 };
 
 /** Convenience wrapper over ThreadPool::globalPool().parallelFor(). */

@@ -148,6 +148,9 @@ RobustFrameResult
 RobustPipeline::process(const PointCloud &frame)
 {
     EDGEPC_TRACE_SCOPE("robust.process", "pipeline");
+    // Single-caller contract: this thread acts as the stream's one
+    // processing role (no runtime cost; makes streak state checkable).
+    streamRole.assertHeld();
     Timer wall;
     RobustFrameResult out;
     stats.bump(stats.frames);
@@ -260,6 +263,8 @@ RobustPipeline::recordExternalFrame(FrameStatus status, int lvl,
                                     bool deadline_missed, bool repaired,
                                     const EdgePcError *error)
 {
+    // Same single-caller contract as process() (see header).
+    streamRole.assertHeld();
     stats.bump(stats.frames);
     if (error != nullptr) {
         stats.countError(*error);

@@ -29,6 +29,7 @@
 #include <iosfwd>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "core/pipeline.hpp"
 #include "pointcloud/sanitizer.hpp"
@@ -284,7 +285,7 @@ class RobustPipeline
 
     /** Healthy-streak bookkeeping shared by process() and
         recordExternalFrame() (single-caller state). */
-    void noteHealthyFrame(bool repaired);
+    void noteHealthyFrame(bool repaired) EDGEPC_REQUIRES(streamRole);
 
     PointCloudModel &model;
     EdgePcConfig baseCfg;
@@ -296,7 +297,13 @@ class RobustPipeline
     StreamHealthCounters stats;
     std::atomic<int> level{0};
     std::atomic<int> floorLevel{0};
-    int cleanStreak = 0;
+    /** Virtual capability encoding the single-caller contract of
+        process()/recordExternalFrame(): not a lock — the entry points
+        assert it (statically) and the analysis then rejects any new
+        code path touching the streak without declaring itself part of
+        the contract. */
+    ThreadRole streamRole;
+    int cleanStreak EDGEPC_GUARDED_BY(streamRole) = 0;
 };
 
 } // namespace edgepc

@@ -105,7 +105,7 @@ MetricsRegistry::global()
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(metricsMu);
     auto it = counterMap.find(name);
     if (it == counterMap.end()) {
         it = counterMap
@@ -118,7 +118,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(metricsMu);
     auto it = gaugeMap.find(name);
     if (it == gaugeMap.end()) {
         it = gaugeMap
@@ -132,7 +132,7 @@ Histogram &
 MetricsRegistry::histogram(std::string_view name,
                            std::span<const double> upper_bounds)
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(metricsMu);
     auto it = histogramMap.find(name);
     if (it == histogramMap.end()) {
         it = histogramMap
@@ -146,7 +146,7 @@ MetricsRegistry::histogram(std::string_view name,
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(metricsMu);
     for (const auto &[name, c] : counterMap) {
         c->reset();
     }
@@ -161,7 +161,7 @@ MetricsRegistry::reset()
 std::vector<std::pair<std::string, std::uint64_t>>
 MetricsRegistry::counters() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(metricsMu);
     std::vector<std::pair<std::string, std::uint64_t>> out;
     out.reserve(counterMap.size());
     for (const auto &[name, c] : counterMap) {
@@ -173,7 +173,7 @@ MetricsRegistry::counters() const
 std::vector<std::pair<std::string, std::int64_t>>
 MetricsRegistry::gauges() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(metricsMu);
     std::vector<std::pair<std::string, std::int64_t>> out;
     out.reserve(gaugeMap.size());
     for (const auto &[name, g] : gaugeMap) {
@@ -185,7 +185,7 @@ MetricsRegistry::gauges() const
 std::vector<std::pair<std::string, const Histogram *>>
 MetricsRegistry::histograms() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(metricsMu);
     std::vector<std::pair<std::string, const Histogram *>> out;
     out.reserve(histogramMap.size());
     for (const auto &[name, h] : histogramMap) {

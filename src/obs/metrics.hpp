@@ -17,11 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace edgepc {
 namespace obs {
@@ -160,11 +161,16 @@ class MetricsRegistry
     histograms() const;
 
   private:
-    mutable std::mutex mu;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counterMap;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gaugeMap;
+    // EDGEPC_LOCK_RANK(10): metric-registration lock — global leaf
+    // lock (metric updates themselves are lock-free atomics); safe to
+    // take under any other lock in the repo, never the reverse.
+    mutable Mutex metricsMu;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counterMap EDGEPC_GUARDED_BY(metricsMu);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gaugeMap
+        EDGEPC_GUARDED_BY(metricsMu);
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-        histogramMap;
+        histogramMap EDGEPC_GUARDED_BY(metricsMu);
 };
 
 } // namespace obs

@@ -55,7 +55,7 @@ Tracer::bufferForThisThread()
         return *static_cast<ThreadBuffer *>(tlsCache.buffer);
     }
     const std::thread::id self = std::this_thread::get_id();
-    std::lock_guard<std::mutex> lock(registryMu);
+    MutexLock lock(traceRegistryMu);
     for (const auto &buf : buffers) {
         if (buf->owner == self) {
             tlsCache = {tracerId, buf.get()};
@@ -100,7 +100,7 @@ Tracer::record(std::string_view name, std::string_view category,
         return;
     }
     ThreadBuffer &buf = bufferForThisThread();
-    std::lock_guard<std::mutex> lock(buf.mu);
+    MutexLock lock(buf.ringMu);
     appendLocked(buf, name, category, start_ns, dur_ns, buf.tid, depth);
 }
 
@@ -110,16 +110,16 @@ Tracer::recordManual(std::string_view name, std::string_view category,
                      std::uint32_t tid, std::uint32_t depth)
 {
     ThreadBuffer &buf = bufferForThisThread();
-    std::lock_guard<std::mutex> lock(buf.mu);
+    MutexLock lock(buf.ringMu);
     appendLocked(buf, name, category, start_ns, dur_ns, tid, depth);
 }
 
 void
 Tracer::clear()
 {
-    std::lock_guard<std::mutex> lock(registryMu);
+    MutexLock lock(traceRegistryMu);
     for (const auto &buf : buffers) {
-        std::lock_guard<std::mutex> bufLock(buf->mu);
+        MutexLock bufLock(buf->ringMu);
         buf->writeCount = 0;
     }
     droppedCount.store(0, std::memory_order_relaxed);
@@ -130,9 +130,9 @@ Tracer::snapshot() const
 {
     std::vector<SpanEvent> out;
     {
-        std::lock_guard<std::mutex> lock(registryMu);
+        MutexLock lock(traceRegistryMu);
         for (const auto &buf : buffers) {
-            std::lock_guard<std::mutex> bufLock(buf->mu);
+            MutexLock bufLock(buf->ringMu);
             const std::uint64_t n = std::min<std::uint64_t>(
                 buf->writeCount, static_cast<std::uint64_t>(cap));
             const std::uint64_t first = buf->writeCount - n;

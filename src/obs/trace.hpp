@@ -28,11 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 /**
  * Compile-time master switch. Building with -DEDGEPC_TRACING=0 (the
@@ -95,7 +96,7 @@ class Tracer
     }
 
     /** Drop every recorded span (buffers stay registered). */
-    void clear();
+    void clear() EDGEPC_EXCLUDES(traceRegistryMu);
 
     /** Nanoseconds since the tracer epoch (monotonic). */
     std::uint64_t nowNs() const;
@@ -121,7 +122,8 @@ class Tracer
      * Safe against concurrent recording (spans recorded while the
      * snapshot runs may or may not appear).
      */
-    std::vector<SpanEvent> snapshot() const;
+    std::vector<SpanEvent> snapshot() const
+        EDGEPC_EXCLUDES(traceRegistryMu);
 
     /** Spans lost to ring wrap-around since the last clear(). */
     std::uint64_t dropped() const
@@ -142,21 +144,30 @@ class Tracer
   private:
     struct ThreadBuffer
     {
-        mutable std::mutex mu;
-        std::vector<SpanEvent> ring;
-        std::uint64_t writeCount = 0;
+        // EDGEPC_LOCK_RANK(15): per-thread span ring lock — acquired
+        // under traceRegistryMu (20) by clear()/snapshot(); leaf lock
+        // on the recording fast path.
+        mutable Mutex ringMu;
+        std::vector<SpanEvent> ring EDGEPC_GUARDED_BY(ringMu);
+        std::uint64_t writeCount EDGEPC_GUARDED_BY(ringMu) = 0;
+        /** Immutable after registration (written once under
+            traceRegistryMu before the buffer is published). */
         std::uint32_t tid = 0;
         std::thread::id owner;
     };
 
-    ThreadBuffer &bufferForThisThread();
+    ThreadBuffer &bufferForThisThread()
+        EDGEPC_EXCLUDES(traceRegistryMu);
     void appendLocked(ThreadBuffer &buf, std::string_view name,
                       std::string_view category, std::uint64_t start_ns,
                       std::uint64_t dur_ns, std::uint32_t tid,
-                      std::uint32_t depth);
+                      std::uint32_t depth) EDGEPC_REQUIRES(buf.ringMu);
 
-    mutable std::mutex registryMu;
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+    // EDGEPC_LOCK_RANK(20): tracer buffer-registry lock — taken before
+    // any ThreadBuffer::ringMu (15), never while one is held.
+    mutable Mutex traceRegistryMu;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers
+        EDGEPC_GUARDED_BY(traceRegistryMu);
     std::atomic<bool> enabledFlag{false};
     std::atomic<std::uint64_t> droppedCount{0};
     std::chrono::steady_clock::time_point epoch;

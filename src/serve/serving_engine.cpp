@@ -136,7 +136,7 @@ ServingEngine::ServingEngine(PointCloudModel &model_, EdgePcConfig cfg,
 ServingEngine::~ServingEngine()
 {
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(engineMu);
         stopping = true;
     }
     wakeCv.notify_all();
@@ -157,7 +157,7 @@ ServingEngine::openStream(StreamOptions stream_opts)
     if (stream_opts.queueCapacity == 0) {
         fatal("ServingEngine::openStream: queueCapacity must be > 0");
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(engineMu);
     auto state = std::make_unique<StreamState>();
     state->id = static_cast<StreamId>(streams.size());
     state->opts = stream_opts;
@@ -181,7 +181,7 @@ SubmitTicket
 ServingEngine::submit(StreamId stream, PointCloud frame)
 {
     SubmitTicket ticket;
-    std::unique_lock<std::mutex> lock(mu);
+    UniqueMutexLock lock(engineMu);
     if (stream >= streams.size()) {
         ticket.admit = AdmitStatus::UnknownStream;
         return ticket;
@@ -371,7 +371,7 @@ ServingEngine::executeSingle(StreamState &stream, Request &request)
     resp.error = r.error;
 
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(engineMu);
         ++stream.serve.served;
         if (resp.sloMissed) {
             ++stream.serve.sloMisses;
@@ -510,7 +510,7 @@ ServingEngine::executeBatch(std::size_t count)
     }
 
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(engineMu);
         const double now = epoch.elapsedMs();
         for (std::size_t i = 0; i < count; ++i) {
             StreamState &s = *batchStreams[i];
@@ -547,11 +547,14 @@ void
 ServingEngine::dispatchLoop()
 {
     std::size_t seen_raises = 0;
-    std::unique_lock<std::mutex> lock(mu);
+    UniqueMutexLock lock(engineMu);
     for (;;) {
-        wakeCv.wait(lock, [&] {
-            return stopping || totalQueuedLocked() > 0;
-        });
+        // Explicit wait loop (not a wait(lock, pred) lambda): the
+        // thread-safety analysis treats lambdas as separate functions
+        // and would reject their guarded-member reads.
+        while (!stopping && totalQueuedLocked() == 0) {
+            wakeCv.wait(lock);
+        }
         if (stopping) {
             break;
         }
@@ -600,11 +603,12 @@ ServingEngine::dispatchLoop()
 std::vector<StreamReport>
 ServingEngine::drain()
 {
-    std::unique_lock<std::mutex> lock(mu);
+    UniqueMutexLock lock(engineMu);
     draining = true;
     wakeCv.notify_all();
-    idleCv.wait(lock,
-                [&] { return !busy && totalQueuedLocked() == 0; });
+    while (busy || totalQueuedLocked() > 0) {
+        idleCv.wait(lock);
+    }
     std::vector<StreamReport> out;
     out.reserve(streams.size());
     for (const auto &entry : streams) {
@@ -628,7 +632,7 @@ ServingEngine::reportLocked(const StreamState &stream) const
 StreamHealth
 ServingEngine::streamHealth(StreamId stream) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(engineMu);
     if (stream >= streams.size()) {
         panic("ServingEngine::streamHealth: unknown stream %u", stream);
     }
@@ -638,7 +642,7 @@ ServingEngine::streamHealth(StreamId stream) const
 StreamReport
 ServingEngine::streamReport(StreamId stream) const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(engineMu);
     if (stream >= streams.size()) {
         panic("ServingEngine::streamReport: unknown stream %u", stream);
     }
@@ -648,21 +652,21 @@ ServingEngine::streamReport(StreamId stream) const
 int
 ServingEngine::ladderFloor() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(engineMu);
     return admission.floor();
 }
 
 std::size_t
 ServingEngine::queuedFrames() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(engineMu);
     return totalQueuedLocked();
 }
 
 std::size_t
 ServingEngine::streamCount() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(engineMu);
     return streams.size();
 }
 

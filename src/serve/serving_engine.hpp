@@ -51,10 +51,10 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "core/robust_pipeline.hpp"
 #include "obs/metrics.hpp"
@@ -264,10 +264,11 @@ class ServingEngine
     ServingEngine &operator=(const ServingEngine &) = delete;
 
     /** Open a stream with the engine's default options. */
-    StreamId openStream();
+    StreamId openStream() EDGEPC_EXCLUDES(engineMu);
 
     /** Open a stream with explicit options. */
-    StreamId openStream(StreamOptions stream_opts);
+    StreamId openStream(StreamOptions stream_opts)
+        EDGEPC_EXCLUDES(engineMu);
 
     /**
      * Submit one frame. Thread-safe; returns immediately with the
@@ -275,7 +276,8 @@ class ServingEngine
      * exactly once. Never blocks on a full queue — backpressure is
      * explicit.
      */
-    [[nodiscard]] SubmitTicket submit(StreamId stream, PointCloud frame);
+    [[nodiscard]] SubmitTicket submit(StreamId stream, PointCloud frame)
+        EDGEPC_EXCLUDES(engineMu);
 
     /**
      * Graceful drain: stop admitting, serve everything already
@@ -283,22 +285,26 @@ class ServingEngine
      * in-flight frame, and return final per-stream reports. The
      * engine stays queryable but rejects further submits.
      */
-    std::vector<StreamReport> drain();
+    std::vector<StreamReport> drain() EDGEPC_EXCLUDES(engineMu);
 
     /** Health snapshot of one stream (thread-safe). */
-    [[nodiscard]] StreamHealth streamHealth(StreamId stream) const;
+    [[nodiscard]] StreamHealth streamHealth(StreamId stream) const
+        EDGEPC_EXCLUDES(engineMu);
 
     /** Full snapshot of one stream (thread-safe). */
-    [[nodiscard]] StreamReport streamReport(StreamId stream) const;
+    [[nodiscard]] StreamReport streamReport(StreamId stream) const
+        EDGEPC_EXCLUDES(engineMu);
 
     /** Current global ladder floor. */
-    [[nodiscard]] int ladderFloor() const;
+    [[nodiscard]] int ladderFloor() const EDGEPC_EXCLUDES(engineMu);
 
     /** Total frames currently queued across all streams. */
-    [[nodiscard]] std::size_t queuedFrames() const;
+    [[nodiscard]] std::size_t queuedFrames() const
+        EDGEPC_EXCLUDES(engineMu);
 
     /** Number of open streams. */
-    [[nodiscard]] std::size_t streamCount() const;
+    [[nodiscard]] std::size_t streamCount() const
+        EDGEPC_EXCLUDES(engineMu);
 
   private:
     /** One queued request. */
@@ -315,6 +321,11 @@ class ServingEngine
         std::promise<FrameResponse> promise;
     };
 
+    /** Per-stream state. All instances live in `streams`, which is
+        guarded by engineMu; every member below is therefore reached
+        only with engineMu held (nested members cannot name the outer
+        instance's capability, so the protection is expressed on the
+        container, not per field). */
     struct StreamState
     {
         StreamId id = 0;
@@ -326,42 +337,56 @@ class ServingEngine
         CircuitBreaker breaker;
     };
 
-    void dispatchLoop();
-    std::size_t totalQueuedLocked() const;
+    void dispatchLoop() EDGEPC_EXCLUDES(engineMu);
+    std::size_t totalQueuedLocked() const EDGEPC_REQUIRES(engineMu);
     /** Flush quarantined queues and expired-deadline heads. */
-    void shedStaleLocked(double now_ms);
+    void shedStaleLocked(double now_ms) EDGEPC_REQUIRES(engineMu);
     /** EDF candidate selection; pops up to maxBatch same-level heads
         into batchScratch. Returns the count. */
-    std::size_t selectLocked(double now_ms);
-    void executeSingle(StreamState &stream, Request &request);
-    void executeBatch(std::size_t count);
+    std::size_t selectLocked(double now_ms) EDGEPC_REQUIRES(engineMu);
+    void executeSingle(StreamState &stream, Request &request)
+        EDGEPC_EXCLUDES(engineMu);
+    void executeBatch(std::size_t count) EDGEPC_EXCLUDES(engineMu);
     void shedRequestLocked(StreamState &stream, Request &request,
                            ErrorCode code, const char *why,
-                           std::size_t StreamServeStats::*counter);
-    /** Invoke the observer and resolve the request's future. */
+                           std::size_t StreamServeStats::*counter)
+        EDGEPC_REQUIRES(engineMu);
+    /** Invoke the observer and resolve the request's future. Called
+        both with and without engineMu held (shed vs serve paths), so
+        it touches no guarded state and carries no lock annotation. */
     void fulfill(Request &request, FrameResponse &&response);
-    StreamReport reportLocked(const StreamState &stream) const;
+    StreamReport reportLocked(const StreamState &stream) const
+        EDGEPC_REQUIRES(engineMu);
 
     PointCloudModel &model;
     EdgePcConfig baseCfg;
     ServingOptions opts;
-    AdmissionController admission;
     /** Engine-epoch monotonic clock (all Request times use it). */
     Timer epoch;
 
-    mutable std::mutex mu;
-    /** Dispatcher wake (new work / drain / stop). */
-    std::condition_variable wakeCv;
+    // EDGEPC_LOCK_RANK(40): engine dispatcher lock — outermost lock
+    // of the serving subsystem; may acquire queueMutex (30, via
+    // ThreadPool) and metricsMu (10) transitively, never the reverse.
+    mutable edgepc::Mutex engineMu;
+    /** Dispatcher wake (new work / drain / stop). condition_variable_any
+        because the waiters hold an edgepc::UniqueMutexLock. */
+    std::condition_variable_any wakeCv;
     /** Waiters on quiescence (drain). */
-    std::condition_variable idleCv;
-    std::vector<std::unique_ptr<StreamState>> streams;
-    bool draining = false;
-    bool stopping = false;
-    bool busy = false;
+    std::condition_variable_any idleCv;
+    std::vector<std::unique_ptr<StreamState>> streams
+        EDGEPC_GUARDED_BY(engineMu);
+    AdmissionController admission EDGEPC_GUARDED_BY(engineMu);
+    bool draining EDGEPC_GUARDED_BY(engineMu) = false;
+    bool stopping EDGEPC_GUARDED_BY(engineMu) = false;
+    bool busy EDGEPC_GUARDED_BY(engineMu) = false;
 
     /** Preallocated dispatch scratch: the selection loop must not
         allocate (lint R6 hot region). */
-    std::vector<StreamState *> candScratch;
+    std::vector<StreamState *> candScratch EDGEPC_GUARDED_BY(engineMu);
+    /** Dispatcher-only scratch: filled by selectLocked under engineMu,
+        then consumed by executeBatch with the lock dropped. Safe
+        because exactly one dispatcher thread exists — deliberately NOT
+        EDGEPC_GUARDED_BY(engineMu). */
     std::vector<StreamState *> batchStreams;
     std::vector<Request> batchScratch;
     std::vector<PointCloud> batchClouds;

@@ -1,0 +1,56 @@
+// Fixture: R8 — ScratchArena-backed values escaping the function that
+// allocated them (they dangle when the caller's Frame rewinds). The
+// kernel idiom usedLocally() copies a value out and must stay clean.
+
+#include <cstddef>
+
+struct Span
+{
+    float *p;
+};
+
+struct ScratchArena
+{
+    static ScratchArena &local();
+    template <typename T> Span alloc(std::size_t n);
+};
+
+struct Sink
+{
+    Span view;
+};
+
+Span
+escapeByReturn(ScratchArena &arena)
+{
+    return arena.alloc<float>(64); // line 26: R8 returned
+}
+
+void
+escapeByMemberStore(ScratchArena &arena, Sink &sink)
+{
+    Span scratch = arena.alloc<float>(64);
+    sink.view = scratch; // line 33: R8 member store
+}
+
+void
+escapeByOutParam(ScratchArena &arena, Span *out)
+{
+    Span scratch = arena.alloc<float>(64);
+    *out = scratch; // line 40: R8 out-parameter store
+}
+
+void
+escapeByStatic(ScratchArena &arena)
+{
+    Span scratch = arena.alloc<float>(64);
+    static Span cached = scratch; // line 47: R8 static store
+    (void)cached;
+}
+
+float
+usedLocally(ScratchArena &arena)
+{
+    Span scratch = arena.alloc<float>(64);
+    return scratch.p[0]; // ok: copies the element, not the view
+}

@@ -1,0 +1,45 @@
+// Fixture: R7 — nested lock acquisitions violating the declared
+// EDGEPC_LOCK_RANK hierarchy. fixtureCoarseMu (rank 90) must always
+// be taken before fixtureFineMu (rank 80); bad() nests the other way
+// and sameRank() re-enters an equal rank. good() and relock() follow
+// the hierarchy and must stay clean.
+
+#include <mutex>
+
+struct FixtureLocks
+{
+    // EDGEPC_LOCK_RANK(90): fixture coarse lock (outermost).
+    std::mutex fixtureCoarseMu;
+    // EDGEPC_LOCK_RANK(80): fixture fine lock (leaf).
+    std::mutex fixtureFineMu;
+};
+
+void
+good(FixtureLocks &l)
+{
+    std::lock_guard<std::mutex> coarse(l.fixtureCoarseMu);
+    std::lock_guard<std::mutex> fine(l.fixtureFineMu); // ok: 80 < 90
+}
+
+void
+bad(FixtureLocks &l)
+{
+    std::lock_guard<std::mutex> fine(l.fixtureFineMu);
+    std::lock_guard<std::mutex> coarse(l.fixtureCoarseMu); // line 28: R7
+}
+
+void
+sameRank(FixtureLocks &a, FixtureLocks &b)
+{
+    std::lock_guard<std::mutex> first(a.fixtureFineMu);
+    std::lock_guard<std::mutex> second(b.fixtureFineMu); // line 35: R7
+}
+
+void
+relock(FixtureLocks &l)
+{
+    std::unique_lock<std::mutex> fine(l.fixtureFineMu);
+    fine.unlock();
+    // ok: the fine lock is released before climbing back up.
+    std::lock_guard<std::mutex> coarse(l.fixtureCoarseMu);
+}

@@ -1,0 +1,37 @@
+// Fixture: R9 — mutex members in subsystem code missing part of the
+// concurrency contract: a raw std type, a wrapped Mutex without its
+// EDGEPC_LOCK_RANK comment, and a ranked Mutex no annotation uses.
+// The Compliant struct carries the full contract and must stay clean.
+
+#include <mutex>
+
+#define EDGEPC_GUARDED_BY(x)
+
+class Mutex
+{
+};
+
+struct BadRawMutex
+{
+    std::mutex rawFixtureMu; // line 16: R9 raw std mutex
+    int value = 0;
+};
+
+struct MissingRank
+{
+    Mutex unrankedFixtureMu; // line 22: R9 no EDGEPC_LOCK_RANK
+    int value EDGEPC_GUARDED_BY(unrankedFixtureMu) = 0;
+};
+
+struct UnusedMutex
+{
+    // EDGEPC_LOCK_RANK(70): fixture lock that guards nothing.
+    Mutex idleFixtureMu; // line 29: R9 no annotation names it
+};
+
+struct Compliant
+{
+    // EDGEPC_LOCK_RANK(60): fixture lock with the full contract.
+    Mutex goodFixtureMu;
+    int value EDGEPC_GUARDED_BY(goodFixtureMu) = 0;
+};

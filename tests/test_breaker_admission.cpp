@@ -1,0 +1,240 @@
+/**
+ * @file Edge-transition tests for the serving layer's two pure
+ * controllers: CircuitBreaker (probe failure while HalfOpen, the
+ * inclusive cooldown boundary, reopen restarting the cooldown clock,
+ * concurrent recordSuccess/recordFailure under the engine-lock
+ * discipline the class documents) and AdmissionController (behaviour
+ * at exactly the high/low watermark values, hysteresis re-arming, and
+ * the derived-watermark clamp for tiny capacities). The suites are
+ * named Serving* so the TSan/ASan concurrency gates pick them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/circuit_breaker.hpp"
+
+namespace {
+
+using edgepc::serve::AdmissionController;
+using edgepc::serve::AdmissionOptions;
+using edgepc::serve::CircuitBreaker;
+using edgepc::serve::CircuitBreakerOptions;
+
+using State = CircuitBreaker::State;
+
+/** Trip a default breaker with failures at @p now_ms. */
+void
+trip(CircuitBreaker &breaker, double now_ms)
+{
+    for (int i = 0; i < breaker.options().tripThreshold; ++i) {
+        breaker.recordFailure(now_ms);
+    }
+}
+
+TEST(ServingBreakerEdge, ProbeFailureWhileHalfOpenReopensImmediately)
+{
+    CircuitBreaker breaker;
+    trip(breaker, 3.0);
+    ASSERT_EQ(breaker.state(3.0), State::Open);
+    ASSERT_EQ(breaker.trips(), 1u);
+
+    // Cooldown elapses; the breaker admits exactly one probe.
+    ASSERT_EQ(breaker.state(3.0 + breaker.options().cooldownMs),
+              State::HalfOpen);
+    EXPECT_TRUE(breaker.canDispatch(260.0));
+    breaker.noteDispatch();
+    EXPECT_FALSE(breaker.canDispatch(260.0)) << "one probe at a time";
+
+    // The probe fails: quarantine resumes immediately, not after
+    // another trip-threshold worth of failures.
+    breaker.recordFailure(260.0);
+    EXPECT_EQ(breaker.state(260.0), State::Open);
+    EXPECT_EQ(breaker.trips(), 2u);
+    EXPECT_FALSE(breaker.admitsSubmit(261.0));
+}
+
+TEST(ServingBreakerEdge, CooldownBoundaryIsInclusive)
+{
+    CircuitBreaker breaker;
+    trip(breaker, 10.0);
+    const double cooldown = breaker.options().cooldownMs;
+
+    // Strictly inside the cooldown window: still quarantined.
+    EXPECT_EQ(breaker.state(10.0 + cooldown - 0.1), State::Open);
+    EXPECT_FALSE(breaker.canDispatch(10.0 + cooldown - 0.1));
+
+    // At exactly openedAt + cooldownMs the probe window opens.
+    EXPECT_EQ(breaker.state(10.0 + cooldown), State::HalfOpen);
+    EXPECT_TRUE(breaker.canDispatch(10.0 + cooldown));
+}
+
+TEST(ServingBreakerEdge, ReopenRestartsTheCooldownClock)
+{
+    CircuitBreaker breaker;
+    trip(breaker, 0.0);
+    const double cooldown = breaker.options().cooldownMs;
+
+    ASSERT_EQ(breaker.state(cooldown), State::HalfOpen);
+    breaker.noteDispatch();
+    breaker.recordFailure(cooldown + 10.0); // Probe fails at t=260.
+
+    // The second quarantine runs a FULL cooldown from the reopen
+    // time, not from the original opening.
+    EXPECT_EQ(breaker.state(cooldown + 10.0 + cooldown - 0.1),
+              State::Open);
+    EXPECT_EQ(breaker.state(cooldown + 10.0 + cooldown),
+              State::HalfOpen);
+
+    // Recovery still needs the full consecutive-win streak.
+    breaker.noteDispatch();
+    breaker.recordSuccess(2.0 * cooldown + 20.0);
+    EXPECT_EQ(breaker.state(2.0 * cooldown + 20.0), State::HalfOpen);
+    breaker.noteDispatch();
+    breaker.recordSuccess(2.0 * cooldown + 30.0);
+    EXPECT_EQ(breaker.state(2.0 * cooldown + 30.0), State::Closed);
+}
+
+TEST(ServingBreakerEdge, ProbeWinStreakResetsOnFailure)
+{
+    CircuitBreaker breaker(CircuitBreakerOptions{2, 100.0, 2});
+    trip(breaker, 0.0);
+    ASSERT_EQ(breaker.state(100.0), State::HalfOpen);
+
+    breaker.noteDispatch();
+    breaker.recordSuccess(105.0); // Win 1 of 2.
+    EXPECT_EQ(breaker.state(105.0), State::HalfOpen);
+
+    breaker.noteDispatch();
+    breaker.recordFailure(110.0); // Streak broken: reopen.
+    ASSERT_EQ(breaker.state(110.0), State::Open);
+
+    // After the next cooldown a single win must NOT close it (the
+    // earlier win cannot carry over the reopen).
+    ASSERT_EQ(breaker.state(210.0), State::HalfOpen);
+    breaker.noteDispatch();
+    breaker.recordSuccess(215.0);
+    EXPECT_EQ(breaker.state(215.0), State::HalfOpen);
+    breaker.noteDispatch();
+    breaker.recordSuccess(220.0);
+    EXPECT_EQ(breaker.state(220.0), State::Closed);
+}
+
+TEST(ServingBreakerEdge, ConcurrentRecordResultsUnderEngineLock)
+{
+    // The breaker is documented as engine-lock protected, not
+    // internally synchronized. Hammer state flips from several
+    // threads under that discipline; under TSan this validates the
+    // locking contract, everywhere else it checks the state machine
+    // never leaves its domain mid-flip.
+    CircuitBreaker breaker(CircuitBreakerOptions{2, 1.0, 1});
+    std::mutex engineMuStandIn;
+    std::atomic<long> clockMs{0};
+    std::atomic<bool> sawInvalidState{false};
+
+    const int kThreads = 4;
+    const int kIterations = 400;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w] {
+            for (int i = 0; i < kIterations; ++i) {
+                const double now =
+                    static_cast<double>(clockMs.fetch_add(1) + 1);
+                const std::lock_guard<std::mutex> lock(engineMuStandIn);
+                if ((w + i) % 3 == 0) {
+                    breaker.recordFailure(now);
+                } else {
+                    breaker.recordSuccess(now);
+                }
+                if (breaker.canDispatch(now)) {
+                    breaker.noteDispatch();
+                }
+                const State st = breaker.state(now);
+                if (st != State::Closed && st != State::Open &&
+                    st != State::HalfOpen) {
+                    sawInvalidState.store(true);
+                }
+            }
+        });
+    }
+    for (std::thread &worker : workers) {
+        worker.join();
+    }
+
+    EXPECT_FALSE(sawInvalidState.load());
+    // Every trip consumed at least one failure; with 1/3 of all
+    // records failing this bounds the trip count.
+    EXPECT_LE(breaker.trips(),
+              static_cast<std::size_t>(kThreads * kIterations));
+}
+
+TEST(ServingAdmissionEdge, ExactHighWatermarkStepsUp)
+{
+    AdmissionController admission;
+    admission.setCapacity(16);
+    ASSERT_EQ(admission.highWatermark(), 8u);
+    ASSERT_EQ(admission.lowWatermark(), 2u);
+
+    // One below the high watermark: no raise, ever.
+    EXPECT_EQ(admission.update(7, 0.0), 0);
+    EXPECT_EQ(admission.raises(), 0u);
+
+    // AT the watermark (>= semantics): raise.
+    EXPECT_EQ(admission.update(8, 100.0), 1);
+    EXPECT_EQ(admission.raises(), 1u);
+
+    // Sustained overload inside the hold window: no double-step.
+    EXPECT_EQ(admission.update(9, 110.0), 1);
+    // Hold expires: next step, capped at maxFloor.
+    EXPECT_EQ(admission.update(9, 125.0), 2);
+    EXPECT_EQ(admission.update(50, 200.0), 2) << "maxFloor caps";
+    EXPECT_EQ(admission.raises(), 2u);
+}
+
+TEST(ServingAdmissionEdge, ExactLowWatermarkArmsHysteresis)
+{
+    AdmissionController admission(AdmissionOptions{8, 2, 25.0, 2});
+    admission.setCapacity(16); // Explicit watermarks are kept.
+    ASSERT_EQ(admission.update(8, 0.0), 1);
+
+    // One above the low watermark: between the marks, floor holds and
+    // the below-clock stays disarmed.
+    EXPECT_EQ(admission.update(3, 30.0), 1);
+
+    // AT the low watermark (<= semantics): arms the below-clock, but
+    // the floor only steps once the depth STAYS there stepHoldMs.
+    EXPECT_EQ(admission.update(2, 40.0), 1);
+    EXPECT_EQ(admission.update(2, 64.9), 1) << "hold not yet served";
+    EXPECT_EQ(admission.update(2, 65.0), 0) << "held for stepHoldMs";
+
+    // A burst back between the marks must re-arm the clock.
+    ASSERT_EQ(admission.update(8, 100.0), 1);
+    EXPECT_EQ(admission.update(2, 130.0), 1);
+    EXPECT_EQ(admission.update(3, 140.0), 1) << "burst disarms";
+    EXPECT_EQ(admission.update(2, 150.0), 1) << "re-armed at 150";
+    EXPECT_EQ(admission.update(2, 174.9), 1);
+    EXPECT_EQ(admission.update(2, 175.0), 0);
+}
+
+TEST(ServingAdmissionEdge, DerivedWatermarksClampForTinyCapacity)
+{
+    AdmissionController admission;
+    admission.setCapacity(1);
+    // total < 2 derives high = 1; low clamps strictly below high.
+    EXPECT_EQ(admission.highWatermark(), 1u);
+    EXPECT_EQ(admission.lowWatermark(), 0u);
+
+    // A single queued frame already counts as overload…
+    EXPECT_EQ(admission.update(1, 0.0), 1);
+    // …and only a fully drained queue steps back down.
+    EXPECT_EQ(admission.update(0, 30.0), 1);
+    EXPECT_EQ(admission.update(0, 55.0), 0);
+}
+
+} // namespace

@@ -127,6 +127,54 @@ TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
               std::string::npos)
         << r.output;
 
+    // R7: nesting against the declared rank order and re-entering an
+    // equal rank are flagged; rank-ordered nesting and unlock-then-
+    // climb stay clean.
+    EXPECT_NE(r.output.find("r7_lock_order.cpp:28:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("r7_lock_order.cpp:35:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R7"), std::string::npos);
+    EXPECT_EQ(r.output.find("r7_lock_order.cpp:21:"), std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("r7_lock_order.cpp:44:"), std::string::npos)
+        << r.output;
+
+    // R8: every escape route (return, member store, out-parameter,
+    // static) is flagged; copying a value out of the view is clean.
+    EXPECT_NE(r.output.find("nn/r8_arena_escape.cpp:26:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/r8_arena_escape.cpp:33:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/r8_arena_escape.cpp:40:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/r8_arena_escape.cpp:47:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R8"), std::string::npos);
+    EXPECT_EQ(r.output.find("nn/r8_arena_escape.cpp:55:"),
+              std::string::npos)
+        << r.output;
+
+    // R9: raw std mutex, missing rank, and a rank nothing guards;
+    // the Compliant struct stays clean.
+    EXPECT_NE(r.output.find("serve/r9_unannotated_mutex.cpp:16:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("serve/r9_unannotated_mutex.cpp:22:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("serve/r9_unannotated_mutex.cpp:29:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("edgepc-R9"), std::string::npos);
+    EXPECT_EQ(r.output.find("serve/r9_unannotated_mutex.cpp:34:"),
+              std::string::npos)
+        << r.output;
+
     // The compliant declarations/calls in the fixtures must NOT fire.
     EXPECT_EQ(r.output.find("r2_decl.hpp:13:"), std::string::npos)
         << r.output;
@@ -175,13 +223,65 @@ TEST(EdgePcLint, BaselineRoundTripTolerates)
     std::remove(baseline.c_str());
 }
 
+TEST(EdgePcLint, StaleBaselineFailsAndUpdateRewrites)
+{
+    const std::string baseline =
+        std::string(EDGEPC_LINT_BIN) + "-stale-baseline.txt";
+
+    // Record the full fixture debt, then lint one file: the entries
+    // for everything else are stale and must fail the run.
+    const RunResult wrote =
+        runLint("--write-baseline " + baseline + " " + fixtures());
+    ASSERT_EQ(wrote.exitCode, 0) << wrote.output;
+
+    const RunResult staleRun = runLint("--baseline " + baseline + " " +
+                                       fixtures() + "/r3_rand.cpp");
+    EXPECT_EQ(staleRun.exitCode, 1) << staleRun.output;
+    EXPECT_NE(staleRun.output.find("stale baseline entry"),
+              std::string::npos)
+        << staleRun.output;
+    EXPECT_NE(staleRun.output.find("--update-baseline"),
+              std::string::npos)
+        << staleRun.output;
+
+    // --update-baseline re-records the shrunk debt and exits clean…
+    const RunResult updated =
+        runLint("--baseline " + baseline + " --update-baseline " +
+                fixtures() + "/r3_rand.cpp");
+    EXPECT_EQ(updated.exitCode, 0) << updated.output;
+    EXPECT_NE(updated.output.find("updated"), std::string::npos)
+        << updated.output;
+
+    // …after which a plain run against the same baseline is green.
+    const RunResult clean = runLint("--baseline " + baseline + " " +
+                                    fixtures() + "/r3_rand.cpp");
+    EXPECT_EQ(clean.exitCode, 0) << clean.output;
+    EXPECT_NE(clean.output.find("0 finding(s)"), std::string::npos)
+        << clean.output;
+
+    std::remove(baseline.c_str());
+}
+
+TEST(EdgePcLint, GithubFormatEmitsWorkflowCommands)
+{
+    const RunResult r = runLint("--no-baseline --format=github " +
+                                fixtures() + "/r3_rand.cpp");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    EXPECT_NE(r.output.find("::error file="), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("line=8"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("title=edgepc-R3"), std::string::npos)
+        << r.output;
+}
+
 TEST(EdgePcLint, ListRulesDocumentsAllRules)
 {
     const RunResult r = runLint("--list-rules");
     EXPECT_EQ(r.exitCode, 0) << r.output;
     for (const char *rule :
          {"edgepc-R1", "edgepc-R2", "edgepc-R3", "edgepc-R4",
-          "edgepc-R5", "edgepc-R6"}) {
+          "edgepc-R5", "edgepc-R6", "edgepc-R7", "edgepc-R8",
+          "edgepc-R9"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << " in:\n"
             << r.output;

@@ -11,10 +11,19 @@
  *                            when it exists in the working directory)
  *   --no-baseline            ignore any baseline
  *   --write-baseline <file>  record current findings and exit 0
+ *   --update-baseline        rewrite the effective baseline with the
+ *                            current findings (drops stale entries,
+ *                            never adds new debt silently: exits 1
+ *                            when findings exceed the old tolerance)
  *   --only <rules>           comma-separated rule filter (edgepc-R3,…)
+ *   --format <fmt>           `plain` (default) or `github` — GitHub
+ *                            workflow annotations (::error file=…)
  *   --list-rules             print the rule table and exit
  *
- * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ * Exit codes: 0 clean, 1 findings or stale baseline, 2 usage or I/O
+ * error. A stale baseline entry (a file that now has fewer findings
+ * than tolerated) fails the run so the ratchet only ever tightens —
+ * run with --update-baseline to re-record the smaller debt.
  */
 
 #include <algorithm>
@@ -112,6 +121,25 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
+/**
+ * GitHub Actions workflow-command output: the runner turns these lines
+ * into inline PR annotations at the exact file/line/column.
+ */
+void
+printGithub(const Finding &f)
+{
+    std::cout << "::error file=" << f.path << ",line=" << f.line
+              << ",col=" << f.col << ",title=" << f.rule
+              << "::" << f.message << "\n";
+}
+
+void
+printPlain(const Finding &f)
+{
+    std::cout << f.path << ":" << f.line << ":" << f.col << ": "
+              << f.rule << ": " << f.message << "\n";
+}
+
 } // namespace
 
 int
@@ -121,6 +149,8 @@ main(int argc, char **argv)
     std::string baselinePath;
     std::string writeBaselinePath;
     bool noBaseline = false;
+    bool updateBaseline = false;
+    bool githubFormat = false;
     std::set<std::string> onlyRules;
 
     for (int a = 1; a < argc; ++a) {
@@ -145,6 +175,8 @@ main(int argc, char **argv)
                 return 2;
             }
             writeBaselinePath = v;
+        } else if (arg == "--update-baseline") {
+            updateBaseline = true;
         } else if (arg == "--no-baseline") {
             noBaseline = true;
         } else if (arg == "--only") {
@@ -159,6 +191,32 @@ main(int argc, char **argv)
                     onlyRules.insert(rule);
                 }
             }
+        } else if (arg == "--format") {
+            const char *v = nextValue("--format");
+            if (v == nullptr) {
+                return 2;
+            }
+            const std::string fmt = v;
+            if (fmt == "github") {
+                githubFormat = true;
+            } else if (fmt == "plain") {
+                githubFormat = false;
+            } else {
+                std::cerr << "edgepc-lint: error: unknown --format '"
+                          << fmt << "' (plain|github)\n";
+                return 2;
+            }
+        } else if (arg.rfind("--format=", 0) == 0) {
+            const std::string fmt = arg.substr(9);
+            if (fmt == "github") {
+                githubFormat = true;
+            } else if (fmt == "plain") {
+                githubFormat = false;
+            } else {
+                std::cerr << "edgepc-lint: error: unknown --format '"
+                          << fmt << "' (plain|github)\n";
+                return 2;
+            }
         } else if (arg == "--list-rules") {
             for (const auto &[id, text] : ruleDescriptions()) {
                 std::cout << id << "  " << text << "\n";
@@ -167,8 +225,9 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: edgepc-lint [--baseline FILE | "
                          "--no-baseline] [--write-baseline FILE]\n"
-                         "                   [--only RULES] "
-                         "[--list-rules] <path>...\n";
+                         "                   [--update-baseline] "
+                         "[--only RULES] [--format plain|github]\n"
+                         "                   [--list-rules] <path>...\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "edgepc-lint: error: unknown option " << arg
@@ -183,6 +242,11 @@ main(int argc, char **argv)
                      "`edgepc-lint src tests bench examples`)\n";
         return 2;
     }
+    if (updateBaseline && noBaseline) {
+        std::cerr << "edgepc-lint: error: --update-baseline conflicts "
+                     "with --no-baseline\n";
+        return 2;
+    }
 
     std::vector<std::string> files;
     for (const std::string &operand : operands) {
@@ -193,10 +257,11 @@ main(int argc, char **argv)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    // Pass 1: tokenize everything, collect Result-returning functions.
+    // Pass 1: tokenize everything, collect the cross-file context
+    // (Result-returning function names, declared lock ranks).
     std::vector<LexedFile> lexed;
     lexed.reserve(files.size());
-    std::set<std::string> resultFns;
+    LintContext ctx;
     for (const std::string &file : files) {
         std::string source;
         if (!readFile(file, source)) {
@@ -205,17 +270,14 @@ main(int argc, char **argv)
             return 2;
         }
         lexed.push_back(lex(file, source));
-        const std::set<std::string> fns =
-            collectResultFunctions(lexed.back());
-        resultFns.insert(fns.begin(), fns.end());
+        collectContext(lexed.back(), ctx);
     }
 
     // Pass 2: rules.
     std::size_t suppressed = 0;
     std::vector<Finding> findings;
     for (const LexedFile &file : lexed) {
-        std::vector<Finding> perFile =
-            runRules(file, resultFns, suppressed);
+        std::vector<Finding> perFile = runRules(file, ctx, suppressed);
         findings.insert(findings.end(), perFile.begin(), perFile.end());
     }
     if (!onlyRules.empty()) {
@@ -258,21 +320,60 @@ main(int argc, char **argv)
                 std::cerr << "edgepc-lint: error: " << error << "\n";
                 return 2;
             }
+            const std::vector<Finding> raw = findings;
             findings =
                 applyBaseline(findings, baseline, baselined, stale);
+
+            // --update-baseline: re-record the surviving debt. Only a
+            // shrink is ever written automatically — new findings still
+            // fail below, so the ratchet cannot be loosened this way.
+            if (updateBaseline && findings.empty()) {
+                if (!writeBaseline(baselinePath, raw)) {
+                    std::cerr << "edgepc-lint: error: cannot write "
+                              << baselinePath << "\n";
+                    return 2;
+                }
+                std::cout << "edgepc-lint: baseline " << baselinePath
+                          << " updated (" << baselined
+                          << " tolerated finding(s), " << stale.size()
+                          << " stale entr"
+                          << (stale.size() == 1 ? "y" : "ies")
+                          << " dropped)\n";
+                return 0;
+            }
+        } else if (updateBaseline) {
+            std::cerr << "edgepc-lint: error: --update-baseline needs "
+                         "an effective baseline (none found)\n";
+            return 2;
         }
     }
 
     for (const Finding &f : findings) {
-        std::cout << f.path << ":" << f.line << ":" << f.col << ": "
-                  << f.rule << ": " << f.message << "\n";
+        if (githubFormat) {
+            printGithub(f);
+        } else {
+            printPlain(f);
+        }
     }
+    // Stale entries fail the run: the count-ratchet only tightens when
+    // the recorded debt tracks reality. (--update-baseline rewrites.)
     for (const std::string &note : stale) {
+        if (githubFormat) {
+            std::cout << "::error file=" << baselinePath
+                      << ",title=stale-baseline::" << note
+                      << " — run edgepc-lint --update-baseline\n";
+        }
         std::cerr << "edgepc-lint: stale baseline entry: " << note
-                  << "\n";
+                  << " (fixed debt must leave the baseline; run with "
+                     "--update-baseline)\n";
     }
     std::cout << "edgepc-lint: checked " << files.size() << " file(s): "
               << findings.size() << " finding(s), " << suppressed
-              << " nolint-suppressed, " << baselined << " baselined\n";
-    return findings.empty() ? 0 : 1;
+              << " nolint-suppressed, " << baselined << " baselined";
+    if (!stale.empty()) {
+        std::cout << ", " << stale.size() << " stale baseline entr"
+                  << (stale.size() == 1 ? "y" : "ies");
+    }
+    std::cout << "\n";
+    return (findings.empty() && stale.empty()) ? 0 : 1;
 }

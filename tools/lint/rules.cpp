@@ -2,27 +2,66 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdlib>
+#include <optional>
 
 namespace edgepc::lint {
 namespace {
 
 constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-/** Directories where data-dependent failures must raise() (R1). */
-const std::array<const char *, 6> kDataDirs = {
-    "neighbor/",   "sampling/", "pointcloud/",
-    "models/",     "datasets/", "obs/",
+// ------------------------------------------------------ rule scopes
+/**
+ * The single shared rule-scope configuration. Every path-scoped rule
+ * draws its directory predicate from this table instead of keeping a
+ * private copy, so adding a subsystem directory is a one-line change
+ * and the per-rule columns document exactly which rules patrol it:
+ *
+ *  data       R1  data-dependent failures must raise(), not fatal()
+ *  kernel     R4  float-literal ==/!= bans in hot numeric code
+ *  arena      R8  ScratchArena lifetimes (kernels + concurrent subsys)
+ *  subsystem  R9  mutex members need rank + capability annotations
+ */
+struct DirScope
+{
+    const char *dir;
+    bool data;
+    bool kernel;
+    bool arena;
+    bool subsystem;
 };
 
-/** Directories treated as kernel code for the float-compare rule. */
-const std::array<const char *, 4> kKernelDirs = {
-    "neighbor/", "sampling/", "nn/", "geometry/",
-};
+constexpr std::array<DirScope, 11> kDirScopes = {{
+    // dir            data   kernel arena  subsystem
+    {"neighbor/",     true,  true,  true,  true},
+    {"sampling/",     true,  true,  true,  true},
+    {"pointcloud/",   true,  false, true,  true},
+    {"models/",       true,  false, false, true},
+    {"datasets/",     true,  false, false, true},
+    {"obs/",          true,  false, true,  true},
+    {"nn/",           false, true,  true,  true},
+    {"geometry/",     false, true,  true,  true},
+    {"serve/",        false, false, true,  true},
+    {"common/",       false, false, true,  true},
+    {"core/",         false, false, true,  true},
+}};
 
 bool
 pathContains(const std::string &path, const char *segment)
 {
     return path.find(segment) != std::string::npos;
+}
+
+/** True when @p path lies in a directory whose scope row sets @p pred. */
+bool
+inScope(const std::string &path, bool DirScope::*pred)
+{
+    for (const DirScope &scope : kDirScopes) {
+        if (scope.*pred && pathContains(path, scope.dir)) {
+            return true;
+        }
+    }
+    return false;
 }
 
 bool
@@ -126,6 +165,21 @@ matchBackwards(const std::vector<Token> &toks, std::size_t close)
         }
     }
     return npos;
+}
+
+/** Index of the token opening the statement containing @p at: the
+    first token after the previous ';', '{' or '}'. */
+std::size_t
+statementStart(const std::vector<Token> &toks, std::size_t at)
+{
+    for (std::size_t i = at; i-- > 0;) {
+        const Token &t = toks[i];
+        if (t.kind == TokenKind::Punct &&
+            (t.text == ";" || t.text == "{" || t.text == "}")) {
+            return i + 1;
+        }
+    }
+    return 0;
 }
 
 /**
@@ -248,11 +302,7 @@ addFinding(std::vector<Finding> &findings, const LexedFile &file,
 void
 ruleFatalInDataCode(const LexedFile &file, std::vector<Finding> &out)
 {
-    bool applies = false;
-    for (const char *dir : kDataDirs) {
-        applies = applies || pathContains(file.path, dir);
-    }
-    if (!applies) {
+    if (!inScope(file.path, &DirScope::data)) {
         return;
     }
     const auto &toks = file.tokens;
@@ -352,11 +402,7 @@ ruleRawRng(const LexedFile &file, std::vector<Finding> &out)
 void
 ruleFloatCompare(const LexedFile &file, std::vector<Finding> &out)
 {
-    bool applies = false;
-    for (const char *dir : kKernelDirs) {
-        applies = applies || pathContains(file.path, dir);
-    }
-    if (!applies) {
+    if (!inScope(file.path, &DirScope::kernel)) {
         return;
     }
     const auto &toks = file.tokens;
@@ -550,6 +596,545 @@ ruleHeaderHygiene(const LexedFile &file, std::vector<Finding> &out)
     }
 }
 
+// ------------------------------------------------- R7/R9 mutex scan
+
+/** One mutex(-like) variable declaration: `[std::]mutex name;` or
+    `[edgepc::]Mutex name;` (guard objects don't match — they are
+    constructed with parens). */
+struct MutexDecl
+{
+    std::size_t nameTok = 0;
+    std::string name;
+    int line = 0;
+    /** True for a raw standard mutex type (std::mutex & friends). */
+    bool raw = false;
+};
+
+std::vector<MutexDecl>
+collectMutexDecls(const LexedFile &file)
+{
+    std::vector<MutexDecl> out;
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokenKind::Ident) {
+            continue;
+        }
+        const bool wrapped = t.text == "Mutex";
+        const bool raw = t.text == "mutex" || t.text == "shared_mutex" ||
+                         t.text == "recursive_mutex" ||
+                         t.text == "timed_mutex" ||
+                         t.text == "recursive_timed_mutex";
+        if (!wrapped && !raw) {
+            continue;
+        }
+        if (toks[i + 1].kind != TokenKind::Ident ||
+            !toks[i + 2].isPunct(";")) {
+            continue;
+        }
+        out.push_back(MutexDecl{i + 1, toks[i + 1].text,
+                                toks[i + 1].line, raw});
+    }
+    return out;
+}
+
+/** Parse "EDGEPC_LOCK_RANK(n)" opening @p text; nullopt otherwise. */
+std::optional<int>
+parseLockRankMarker(const std::string &text)
+{
+    static const std::string kMarker = "EDGEPC_LOCK_RANK(";
+    const std::size_t at = text.find_first_not_of(" \t");
+    if (at == std::string::npos ||
+        text.compare(at, kMarker.size(), kMarker) != 0) {
+        return std::nullopt;
+    }
+    const std::size_t digits = at + kMarker.size();
+    const std::size_t close = text.find(')', digits);
+    if (close == std::string::npos || close == digits) {
+        return std::nullopt;
+    }
+    const std::string num = text.substr(digits, close - digits);
+    for (const char c : num) {
+        if (c < '0' || c > '9') {
+            return std::nullopt;
+        }
+    }
+    return std::atoi(num.c_str());
+}
+
+/** How many lines below its marker comment a mutex declaration may
+    sit (rank comments often continue for a couple of prose lines). */
+constexpr int kRankWindowLines = 6;
+
+/**
+ * Associate each EDGEPC_LOCK_RANK marker with the first mutex
+ * declaration at/after it (same line, or within the window below).
+ * Returns decl-index -> rank for @p file.
+ */
+std::map<std::size_t, int>
+associateRanks(const LexedFile &file, const std::vector<MutexDecl> &decls)
+{
+    std::map<std::size_t, int> ranks;
+    for (const Comment &comment : file.comments) {
+        const std::optional<int> rank = parseLockRankMarker(comment.text);
+        if (!rank) {
+            continue;
+        }
+        for (std::size_t d = 0; d < decls.size(); ++d) {
+            if (ranks.count(d) != 0) {
+                continue;
+            }
+            if (decls[d].line >= comment.startLine &&
+                decls[d].line <= comment.endLine + kRankWindowLines) {
+                ranks[d] = *rank;
+                break;
+            }
+        }
+    }
+    return ranks;
+}
+
+// ---------------------------------------------------------------- R7
+/** RAII guard types whose construction acquires a mutex. */
+const std::array<const char *, 6> kGuardTypes = {
+    "lock_guard", "unique_lock",    "scoped_lock",
+    "shared_lock", "MutexLock",     "UniqueMutexLock",
+};
+
+/** Rank of @p name per the repo-global table; nullopt if unranked. */
+std::optional<int>
+rankOf(const LintContext &ctx, const std::string &name)
+{
+    const auto at = ctx.lockRanks.find(name);
+    if (at == ctx.lockRanks.end() || at->second.empty()) {
+        return std::nullopt;
+    }
+    return *at->second.begin();
+}
+
+/**
+ * Lock-rank order within function bodies: a brace-depth-scoped stack
+ * of held guards; acquiring a ranked mutex while holding one of equal
+ * or lower rank is a deadlock-shaped ordering violation. Manual
+ * guard.unlock()/guard.lock() toggles are honoured. Only mutexes with
+ * a declared rank participate (R9 chases the undeclared ones).
+ */
+void
+ruleLockRankOrder(const LexedFile &file, const LintContext &ctx,
+                  std::vector<Finding> &out)
+{
+    const auto &toks = file.tokens;
+
+    // Conflicting rank declarations for one repo-global name.
+    const std::vector<MutexDecl> decls = collectMutexDecls(file);
+    const std::map<std::size_t, int> fileRanks =
+        associateRanks(file, decls);
+    for (const auto &[d, rank] : fileRanks) {
+        const auto at = ctx.lockRanks.find(decls[d].name);
+        if (at != ctx.lockRanks.end() && at->second.size() > 1) {
+            std::string ranks;
+            for (const int r : at->second) {
+                ranks += (ranks.empty() ? "" : ", ") + std::to_string(r);
+            }
+            addFinding(out, file, toks[decls[d].nameTok], "edgepc-R7",
+                       "conflicting EDGEPC_LOCK_RANK declarations for "
+                       "mutex '" +
+                           decls[d].name + "' (ranks " + ranks +
+                           "); rank names must be repo-unique");
+        }
+    }
+
+    struct Held
+    {
+        std::string guardVar;
+        std::string mutexName;
+        int rank = 0;
+        int depth = 0;
+        bool active = true;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokenKind::Punct) {
+            if (t.text == "{") {
+                ++depth;
+            } else if (t.text == "}") {
+                depth = std::max(0, depth - 1);
+                while (!held.empty() && held.back().depth > depth) {
+                    held.pop_back();
+                }
+            }
+            continue;
+        }
+        if (t.kind != TokenKind::Ident) {
+            continue;
+        }
+
+        // Manual unlock()/lock() on a tracked guard variable.
+        if (i + 3 < toks.size() && toks[i + 1].isPunct(".") &&
+            toks[i + 3].isPunct("(") &&
+            (toks[i + 2].isIdent("unlock") ||
+             toks[i + 2].isIdent("lock"))) {
+            const bool activate = toks[i + 2].text == "lock";
+            for (Held &h : held) {
+                if (h.guardVar == t.text) {
+                    h.active = activate;
+                }
+            }
+        }
+
+        // Guard construction: Guard[<...>] var(mutex[, mutex...]);
+        if (!isOneOf(kGuardTypes, t.text)) {
+            continue;
+        }
+        std::size_t j = i + 1;
+        if (j < toks.size() && toks[j].isPunct("<")) {
+            j = matchAngle(toks, j);
+            if (j == npos) {
+                continue;
+            }
+            ++j;
+        }
+        if (j + 1 >= toks.size() || toks[j].kind != TokenKind::Ident ||
+            !toks[j + 1].isPunct("(")) {
+            continue;
+        }
+        const std::string guardVar = toks[j].text;
+        const std::size_t close = matchParen(toks, j + 1);
+        if (close == npos) {
+            continue;
+        }
+
+        // Each top-level comma-separated argument names one mutex
+        // (its last identifier: `engineMu`, `buf.ringMu`,
+        // `b->errorMutex` all resolve to the member name).
+        std::vector<std::size_t> acquired;
+        int argDepth = 0;
+        std::size_t lastIdent = npos;
+        for (std::size_t k = j + 2; k <= close; ++k) {
+            const Token &a = toks[k];
+            if (a.kind == TokenKind::Punct) {
+                if (a.text == "(" || a.text == "[" || a.text == "<") {
+                    ++argDepth;
+                } else if (a.text == ")" || a.text == "]" ||
+                           a.text == ">") {
+                    --argDepth;
+                } else if (a.text == "," && argDepth <= 0) {
+                    if (lastIdent != npos) {
+                        acquired.push_back(lastIdent);
+                    }
+                    lastIdent = npos;
+                }
+                continue;
+            }
+            if (a.kind == TokenKind::Ident && argDepth <= 0 &&
+                k < close) {
+                lastIdent = k;
+            }
+        }
+        if (lastIdent != npos) {
+            acquired.push_back(lastIdent);
+        }
+
+        for (const std::size_t nameTok : acquired) {
+            const std::string &mutexName = toks[nameTok].text;
+            const std::optional<int> rank = rankOf(ctx, mutexName);
+            if (!rank) {
+                continue;
+            }
+            for (const Held &h : held) {
+                if (!h.active || h.rank > *rank) {
+                    continue;
+                }
+                addFinding(
+                    out, file, t, "edgepc-R7",
+                    "acquires '" + mutexName + "' (rank " +
+                        std::to_string(*rank) + ") while holding '" +
+                        h.mutexName + "' (rank " +
+                        std::to_string(h.rank) +
+                        "); nested acquisitions must strictly decrease "
+                        "in rank (lock hierarchy, DESIGN.md §12)");
+            }
+            held.push_back(
+                Held{guardVar, mutexName, *rank, depth, true});
+        }
+        i = close;
+    }
+}
+
+// ---------------------------------------------------------------- R8
+/** Annotation macros whose argument "uses" a mutex (R9 coverage). */
+const std::array<const char *, 9> kCapabilityAnnotations = {
+    "EDGEPC_GUARDED_BY",     "EDGEPC_PT_GUARDED_BY",
+    "EDGEPC_REQUIRES",       "EDGEPC_ACQUIRE",
+    "EDGEPC_RELEASE",        "EDGEPC_TRY_ACQUIRE",
+    "EDGEPC_EXCLUDES",       "EDGEPC_ACQUIRED_BEFORE",
+    "EDGEPC_ACQUIRED_AFTER",
+};
+
+/**
+ * Arena-escape: values derived from a ScratchArena allocation are only
+ * valid while the caller's Frame is open, so they must never outlive
+ * the function. Tracks (brace-scoped) locals tainted by
+ * `arena.alloc<...>` results, arena-backed PointsSoA views and
+ * taint-propagating assignments; flags
+ *   - `return tainted...;`
+ *   - member stores `obj.field = tainted;` / `this->field = tainted;`
+ *   - out-parameter stores `*out = tainted;`
+ *   - `static ... = tainted;`
+ * Known limitation (documented in DESIGN.md §12): stores to members
+ * through an implicit `this` are not distinguishable from local
+ * assignments at token level and propagate taint instead.
+ */
+void
+ruleArenaEscape(const LexedFile &file, std::vector<Finding> &out)
+{
+    if (!inScope(file.path, &DirScope::arena)) {
+        return;
+    }
+    const auto &toks = file.tokens;
+
+    std::map<std::string, int> arenaVars; // name -> decl depth
+    std::map<std::string, int> tainted;   // name -> decl depth
+    arenaVars["arena"] = 0; // The repo-wide naming convention.
+    int depth = 0;
+
+    auto eraseDeeper = [&](std::map<std::string, int> &vars) {
+        for (auto it = vars.begin(); it != vars.end();) {
+            if (it->second > depth) {
+                it = vars.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokenKind::Punct) {
+            if (t.text == "{") {
+                ++depth;
+            } else if (t.text == "}") {
+                depth = std::max(0, depth - 1);
+                eraseDeeper(arenaVars);
+                eraseDeeper(tainted);
+            }
+            continue;
+        }
+        if (t.kind != TokenKind::Ident) {
+            continue;
+        }
+
+        // Arena handles: `ScratchArena &a = …` / `… = ScratchArena::local()`.
+        if (t.text == "ScratchArena" && i + 2 < toks.size()) {
+            if (toks[i + 1].isPunct("&") &&
+                toks[i + 2].kind == TokenKind::Ident) {
+                arenaVars[toks[i + 2].text] = depth;
+            }
+        }
+
+        // Taint source: `<arena>.alloc<T>(…)`.
+        const bool isAllocCall =
+            t.text == "alloc" && i >= 2 && i + 1 < toks.size() &&
+            (toks[i - 1].isPunct(".") || toks[i - 1].isPunct("->")) &&
+            toks[i + 1].isPunct("<") &&
+            toks[i - 2].kind == TokenKind::Ident &&
+            arenaVars.count(toks[i - 2].text) != 0;
+
+        // Taint source: arena-backed PointsSoA view.
+        bool isArenaView = false;
+        std::size_t viewName = npos;
+        if (t.text == "PointsSoA" && i + 2 < toks.size() &&
+            toks[i + 1].kind == TokenKind::Ident &&
+            toks[i + 2].isPunct("(")) {
+            const std::size_t close = matchParen(toks, i + 2);
+            if (close != npos) {
+                for (std::size_t k = i + 3; k < close; ++k) {
+                    if (toks[k].kind == TokenKind::Ident &&
+                        arenaVars.count(toks[k].text) != 0) {
+                        isArenaView = true;
+                        viewName = i + 1;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if (isAllocCall || isArenaView) {
+            const std::size_t start = statementStart(toks, i);
+            if (toks[start].isIdent("return")) {
+                addFinding(out, file, toks[start], "edgepc-R8",
+                           "returns a ScratchArena-backed value; it "
+                           "dangles when the caller's Frame rewinds — "
+                           "copy into caller-owned storage instead");
+                continue;
+            }
+            if (isArenaView) {
+                tainted[toks[viewName].text] = depth;
+                continue;
+            }
+            // Find the assignment target: `… name = <expr with alloc>`
+            // or the ctor form `Type name(<expr with alloc>)`.
+            std::size_t target = npos;
+            for (std::size_t k = start; k < i; ++k) {
+                if (toks[k].isPunct("=") && k > start &&
+                    toks[k - 1].kind == TokenKind::Ident) {
+                    target = k - 1;
+                    break;
+                }
+            }
+            if (target == npos && i >= 2 && start + 2 <= i &&
+                toks[start].kind == TokenKind::Ident) {
+                // `KHeap heap(arena.alloc<…>(k));` — at least two
+                // leading identifiers before the '(' mark a decl.
+                for (std::size_t k = start + 1; k + 1 < i; ++k) {
+                    if (toks[k].kind == TokenKind::Ident &&
+                        toks[k + 1].isPunct("(")) {
+                        target = k;
+                        break;
+                    }
+                }
+            }
+            if (target != npos) {
+                tainted[toks[target].text] = depth;
+            }
+            continue;
+        }
+
+        // `return tainted;` — the whole view escapes. Returning a
+        // value copied *out* of it (`return scratch.p[0];`) is fine,
+        // so the tainted name must be the entire return expression.
+        if (t.text == "return" && i + 2 < toks.size() &&
+            toks[i + 1].kind == TokenKind::Ident &&
+            tainted.count(toks[i + 1].text) != 0 &&
+            toks[i + 2].isPunct(";")) {
+            addFinding(out, file, t, "edgepc-R8",
+                       "returns '" + toks[i + 1].text +
+                           "', a ScratchArena-backed value; it dangles "
+                           "when the caller's Frame rewinds — copy "
+                           "into caller-owned storage instead");
+            continue;
+        }
+
+        // Stores: `<lhs> = tainted[;.]`.
+        if (i + 2 < toks.size() && toks[i + 1].isPunct("=") &&
+            toks[i + 2].kind == TokenKind::Ident &&
+            tainted.count(toks[i + 2].text) != 0 &&
+            (i + 3 >= toks.size() || toks[i + 3].isPunct(";") ||
+             toks[i + 3].isPunct("."))) {
+            const std::string &src = toks[i + 2].text;
+            const Token *before = i > 0 ? &toks[i - 1] : nullptr;
+            if (before != nullptr && (before->isPunct(".") ||
+                                      before->isPunct("->"))) {
+                addFinding(out, file, t, "edgepc-R8",
+                           "stores ScratchArena-backed '" + src +
+                               "' into a member; it dangles when the "
+                               "Frame rewinds — copy instead");
+                continue;
+            }
+            if (before != nullptr && before->isPunct("*")) {
+                addFinding(out, file, t, "edgepc-R8",
+                           "stores ScratchArena-backed '" + src +
+                               "' through an out-parameter; it dangles "
+                               "when the Frame rewinds — copy instead");
+                continue;
+            }
+            const std::size_t start = statementStart(toks, i);
+            bool isStatic = false;
+            for (std::size_t k = start; k < i; ++k) {
+                if (toks[k].isIdent("static")) {
+                    isStatic = true;
+                    break;
+                }
+            }
+            if (isStatic) {
+                addFinding(out, file, t, "edgepc-R8",
+                           "stores ScratchArena-backed '" + src +
+                               "' into a static; it dangles when the "
+                               "Frame rewinds — copy instead");
+                continue;
+            }
+            // Plain local assignment propagates the taint.
+            tainted[t.text] = depth;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R9
+/**
+ * Annotation coverage for mutexes in subsystem code: every mutex
+ * member must be an edgepc::Mutex (raw std types defeat the clang
+ * thread-safety analysis), declare its lock rank, and actually guard
+ * something (at least one capability annotation in the same file must
+ * name it). Pre-existing debt rides the baseline ratchet like every
+ * other rule.
+ */
+void
+ruleAnnotationCoverage(const LexedFile &file, std::vector<Finding> &out)
+{
+    if (!inScope(file.path, &DirScope::subsystem)) {
+        return;
+    }
+    // The wrapper definitions themselves (std::mutex member by design).
+    if (pathContains(file.path, "thread_annotations")) {
+        return;
+    }
+    const auto &toks = file.tokens;
+    const std::vector<MutexDecl> decls = collectMutexDecls(file);
+    if (decls.empty()) {
+        return;
+    }
+    const std::map<std::size_t, int> ranks = associateRanks(file, decls);
+
+    // Mutex names used by a capability annotation anywhere in the file.
+    std::set<std::string> annotated;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::Ident ||
+            !isOneOf(kCapabilityAnnotations, toks[i].text) ||
+            !toks[i + 1].isPunct("(")) {
+            continue;
+        }
+        const std::size_t close = matchParen(toks, i + 1);
+        if (close == npos) {
+            continue;
+        }
+        for (std::size_t k = i + 2; k < close; ++k) {
+            if (toks[k].kind == TokenKind::Ident) {
+                annotated.insert(toks[k].text);
+            }
+        }
+    }
+
+    for (std::size_t d = 0; d < decls.size(); ++d) {
+        const MutexDecl &decl = decls[d];
+        const Token &name = toks[decl.nameTok];
+        if (decl.raw) {
+            addFinding(out, file, name, "edgepc-R9",
+                       "raw std mutex '" + decl.name +
+                           "' in subsystem code defeats -Wthread-safety; "
+                           "use edgepc::Mutex (common/"
+                           "thread_annotations.hpp)");
+            continue;
+        }
+        if (ranks.count(d) == 0) {
+            addFinding(out, file, name, "edgepc-R9",
+                       "mutex '" + decl.name +
+                           "' has no EDGEPC_LOCK_RANK(n) comment; every "
+                           "mutex declares its place in the lock "
+                           "hierarchy (DESIGN.md §12)");
+        }
+        if (annotated.count(decl.name) == 0) {
+            addFinding(out, file, name, "edgepc-R9",
+                       "mutex '" + decl.name +
+                           "' guards nothing: no EDGEPC_GUARDED_BY/"
+                           "EDGEPC_REQUIRES/... annotation in this file "
+                           "names it");
+        }
+    }
+}
+
 } // namespace
 
 std::vector<std::pair<std::string, std::string>>
@@ -575,13 +1160,24 @@ ruleDescriptions()
          "nn::Matrix, PointCloud, push_back/resize/insert/...) inside "
          "EDGEPC_HOT-marked regions (kernel scratch and the serving "
          "dispatch loop)"},
+        {"edgepc-R7",
+         "nested lock acquisitions follow the declared "
+         "EDGEPC_LOCK_RANK(n) hierarchy (strictly decreasing inward); "
+         "rank names are repo-unique"},
+        {"edgepc-R8",
+         "no ScratchArena-derived pointer/span/PointsSoA view escapes "
+         "its function (return, member/static/out-param store) — they "
+         "dangle when the Frame rewinds"},
+        {"edgepc-R9",
+         "every mutex member in subsystem code is an edgepc::Mutex "
+         "with an EDGEPC_LOCK_RANK(n) comment and at least one "
+         "EDGEPC_GUARDED_BY/EDGEPC_REQUIRES user"},
     };
 }
 
-std::set<std::string>
-collectResultFunctions(const LexedFile &file)
+void
+collectContext(const LexedFile &file, LintContext &ctx)
 {
-    std::set<std::string> names;
     const auto &toks = file.tokens;
     for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
         if (!toks[i].isIdent("Result") || !toks[i + 1].isPunct("<")) {
@@ -589,24 +1185,31 @@ collectResultFunctions(const LexedFile &file)
         }
         const std::size_t name = resultFunctionName(toks, i);
         if (name != npos) {
-            names.insert(toks[name].text);
+            ctx.resultFns.insert(toks[name].text);
         }
     }
-    return names;
+
+    const std::vector<MutexDecl> decls = collectMutexDecls(file);
+    for (const auto &[d, rank] : associateRanks(file, decls)) {
+        ctx.lockRanks[decls[d].name].insert(rank);
+    }
 }
 
 std::vector<Finding>
-runRules(const LexedFile &file, const std::set<std::string> &resultFns,
+runRules(const LexedFile &file, const LintContext &ctx,
          std::size_t &suppressed)
 {
     std::vector<Finding> all;
     ruleFatalInDataCode(file, all);
     ruleNodiscardDecl(file, all);
-    ruleDiscardedResult(file, resultFns, all);
+    ruleDiscardedResult(file, ctx.resultFns, all);
     ruleRawRng(file, all);
     ruleFloatCompare(file, all);
     ruleHeaderHygiene(file, all);
     ruleHotRegionAllocation(file, all);
+    ruleLockRankOrder(file, ctx, all);
+    ruleArenaEscape(file, all);
+    ruleAnnotationCoverage(file, all);
 
     std::vector<Finding> kept;
     for (Finding &f : all) {

@@ -24,6 +24,28 @@
  *      reallocating container members (push_back, emplace_back,
  *      resize, reserve) are rejected — per-query scratch must come
  *      from the ScratchArena.
+ *  R7  lock-rank order: mutex members declare their place in the lock
+ *      hierarchy with an `EDGEPC_LOCK_RANK(n)` annotation comment
+ *      (higher rank = acquired first; the repo hierarchy is
+ *      engineMu 40 > queueMutex 30 > errorMutex 25 >
+ *      traceRegistryMu 20 > ringMu 15 > metricsMu 10). Within a
+ *      function body, constructing a lock_guard/unique_lock/
+ *      scoped_lock/MutexLock/UniqueMutexLock on a ranked mutex while
+ *      holding one of equal or lower rank is a deadlock-shaped
+ *      ordering violation. Rank names must be repo-unique:
+ *      conflicting declarations of one name are flagged too.
+ *  R8  arena-escape: values derived from a ScratchArena allocation
+ *      (`arena.alloc<T>(n)` results, spans over them, arena-backed
+ *      PointsSoA views) dangle when the arena Frame rewinds, so
+ *      returning one, storing one into a member/static, or writing
+ *      one through an out-parameter is flagged in kernel and
+ *      subsystem directories.
+ *  R9  annotation coverage: in subsystem code every mutex member must
+ *      (a) be an edgepc::Mutex (raw std::mutex/std::shared_mutex
+ *      members defeat -Wthread-safety), (b) carry an
+ *      EDGEPC_LOCK_RANK(n) comment, and (c) guard something — at
+ *      least one EDGEPC_GUARDED_BY/EDGEPC_REQUIRES/... annotation in
+ *      the same file must name it.
  *
  * Every rule honours `// NOLINT(edgepc-RN): reason` on the offending
  * line and `// NOLINTNEXTLINE(edgepc-RN): reason` on the line above.
@@ -32,6 +54,7 @@
 #ifndef EDGEPC_TOOLS_LINT_RULES_HPP
 #define EDGEPC_TOOLS_LINT_RULES_HPP
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -43,7 +66,7 @@ namespace edgepc::lint {
 /** One rule violation. */
 struct Finding
 {
-    std::string rule; ///< "edgepc-R1" … "edgepc-R6".
+    std::string rule; ///< "edgepc-R1" … "edgepc-R9".
     std::string path;
     int line = 0;
     int col = 0;
@@ -54,20 +77,33 @@ struct Finding
 std::vector<std::pair<std::string, std::string>> ruleDescriptions();
 
 /**
- * Pass 1: names of functions declared or defined with a Result<...>
- * return type in @p file (feeds the R2 discarded-result check).
+ * Cross-file state gathered in pass 1 and shared by every pass-2 rule:
+ * the names of Result-returning functions (R2) and the declared lock
+ * ranks (R7). Lock-rank names are repo-global — a mutex member name
+ * maps to the set of ranks declared for it anywhere (more than one
+ * rank for a name is itself an R7 finding).
  */
-std::set<std::string> collectResultFunctions(const LexedFile &file);
+struct LintContext
+{
+    std::set<std::string> resultFns;
+    std::map<std::string, std::set<int>> lockRanks;
+};
+
+/**
+ * Pass 1: collect @p file's Result-returning function names and
+ * EDGEPC_LOCK_RANK declarations into @p ctx.
+ */
+void collectContext(const LexedFile &file, LintContext &ctx);
 
 /**
  * Pass 2: run every rule over @p file.
  *
  * @param file Tokenized source.
- * @param resultFns Union of collectResultFunctions() over all files.
+ * @param ctx Union of collectContext() over all files.
  * @param suppressed Incremented once per finding silenced by NOLINT.
  */
 std::vector<Finding> runRules(const LexedFile &file,
-                              const std::set<std::string> &resultFns,
+                              const LintContext &ctx,
                               std::size_t &suppressed);
 
 } // namespace edgepc::lint
