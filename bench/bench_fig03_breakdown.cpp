@@ -82,5 +82,45 @@ main(int argc, char **argv)
                  "point count and peaks on the 8192-pt workloads, "
                  "placing sample+neighbor search among the dominant "
                  "pipeline costs (paper band: 38-80%).\n";
+
+    // Delayed-aggregation A/B (DESIGN.md §13): force the route off
+    // and on around the same workload and compare the group+feature
+    // stage time — the part of the breakdown the reordering attacks.
+    // One PointNet++ and one DGCNN workload keep the CI cost low.
+    std::cout << "\nDelayed-aggregation A/B (group+feature stages):\n";
+    Table ab({"workload", "route", "group ms", "feature ms", "E2E ms"});
+    const nn::DelayedAggMode saved_mode = nn::delayedAggMode();
+    for (const std::string &id : {std::string("W1"), std::string("W3")}) {
+        const WorkloadSpec &spec = workload(id);
+        const auto model = makeWorkloadModel(spec, scale, opts.seed);
+        const PointCloud frame =
+            makeWorkloadCloud(spec, scale, opts.seed + 1);
+        for (const bool delayed : {false, true}) {
+            nn::setDelayedAggMode(delayed ? nn::DelayedAggMode::On
+                                          : nn::DelayedAggMode::Off);
+            const PipelineResult r = bench::measure(
+                *model, EdgePcConfig::baseline(), frame, repeats);
+            std::map<std::string, double> stage_ms =
+                tracer.totalsMs("stage");
+            for (auto &[stage, ms] : stage_ms) {
+                ms /= repeats;
+            }
+            const char *route = delayed ? "delayed" : "eager";
+            ab.row()
+                .cell(spec.id)
+                .cell(route)
+                .cell(stage_ms[kStageGroup])
+                .cell(stage_ms[kStageFeature])
+                .cell(r.endToEndMs);
+            bench::BenchRow &row =
+                report.row(spec.id + "/agg_" + route);
+            row.wallMs = r.endToEndMs;
+            row.stages = stage_ms;
+            row.metrics["group_feature_ms"] =
+                stage_ms[kStageGroup] + stage_ms[kStageFeature];
+        }
+    }
+    nn::setDelayedAggMode(saved_mode);
+    ab.print(std::cout);
     return report.write() ? 0 : 1;
 }

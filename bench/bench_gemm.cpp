@@ -9,7 +9,9 @@
  * stacks of DGCNN and the M = 1 classifier head. This bench times
  * exactly those shapes on both engine paths, plus the backward-pass
  * variants (A*B^T and A^T*B) and the bias-fused exactLinear entry
- * point, and emits BENCH_gemm.json for the perf-diff CI step against
+ * point, plus the eager/delayed A/B of the aggregation-block first
+ * layer (DESIGN.md §13, flop_ratio reported per row), and emits
+ * BENCH_gemm.json for the perf-diff CI step against
  * bench/baselines/BENCH_gemm.json.
  *
  * Throughput accounting: every row reports gflops = 2*M*K*N /
@@ -24,8 +26,10 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "nn/delayed_agg.hpp"
 #include "nn/feature_merge.hpp"
 #include "nn/gemm.hpp"
+#include "nn/grouping.hpp"
 
 namespace edgepc {
 namespace {
@@ -64,6 +68,39 @@ const Shape kForwardShapes[] = {
     {"head_m1", 1, 1024, 512},
 };
 
+/**
+ * Grouping-layer shapes for the delayed-aggregation A/B (DESIGN.md
+ * §13): the first Linear of an aggregation block either runs eagerly
+ * on the (samples*k)-row gathered matrix or, delayed, on the N unique
+ * rows plus a cheap per-center correction. The eager/delayed GEMM
+ * FLOP ratio is reported per row as flop_ratio.
+ */
+struct AggShape
+{
+    const char *tag;
+    std::size_t points;  ///< N unique points at the level.
+    std::size_t samples; ///< n sampled centers (== points for EC).
+    std::size_t k;       ///< Neighbors per center.
+    std::size_t feat;    ///< Input feature channels C (0 = coords only).
+    std::size_t out;     ///< First-layer output channels.
+};
+
+const AggShape kSaAggShapes[] = {
+    // PointNet++ SA1: coordinates-only grouping, 512 of 4096 points.
+    // With K = 3 the eager GEMM is already memory-bound, so the ~3.6x
+    // FLOP reduction does not translate into wall-clock — this row
+    // documents the regime where delayed aggregation buys nothing.
+    {"pnpp_sa1_agg", 4096, 512, 32, 0, 64},
+    // PointNet++ SA2: feature-carrying grouping, 128 of 512 points.
+    // Wide-K first layer: here the ~16x FLOP reduction is real time.
+    {"pnpp_sa2_agg", 512, 128, 64, 64, 128},
+};
+
+const AggShape kEdgeAggShapes[] = {
+    // DGCNN EdgeConv: every point is a center, k = 20 edges each.
+    {"dgcnn_ec_agg", 1024, 1024, 20, 64, 64},
+};
+
 /** Backward-pass shapes (the Linear::backward operand sizes). */
 const Shape kBackwardShapes[] = {
     // dX = dY * W^T on the SA2 mid layer: A = dY (M x out),
@@ -96,6 +133,40 @@ randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
     return m;
 }
 
+std::vector<Vec3>
+randomPositions(Rng &rng, std::size_t n)
+{
+    std::vector<Vec3> p(n);
+    for (auto &v : p) {
+        v = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f),
+             rng.uniform(-1.0f, 1.0f)};
+    }
+    return p;
+}
+
+NeighborLists
+randomNeighbors(Rng &rng, std::size_t queries, std::size_t k,
+                std::size_t n_source)
+{
+    NeighborLists lists;
+    lists.k = k;
+    lists.indices.resize(queries * k);
+    for (auto &idx : lists.indices) {
+        idx = static_cast<std::uint32_t>(rng.nextBelow(n_source));
+    }
+    return lists;
+}
+
+std::vector<std::uint32_t>
+randomSamples(Rng &rng, std::size_t n, std::size_t n_source)
+{
+    std::vector<std::uint32_t> s(n);
+    for (auto &idx : s) {
+        idx = static_cast<std::uint32_t>(rng.nextBelow(n_source));
+    }
+    return s;
+}
+
 void
 recordRow(bench::BenchReport &report, const std::string &label, double ms,
           const Shape &s)
@@ -109,6 +180,29 @@ recordRow(bench::BenchReport &report, const std::string &label, double ms,
     row.metrics["m"] = static_cast<double>(s.m);
     row.metrics["k"] = static_cast<double>(s.k);
     row.metrics["n"] = static_cast<double>(s.n);
+}
+
+/**
+ * Record one delayed-aggregation A/B row. @p flops is the GEMM work
+ * of the measured route; @p flop_ratio the eager/delayed first-layer
+ * GEMM FLOP ratio of the shape (identical on both rows of a pair, so
+ * the JSON self-documents the reduction the route buys).
+ */
+void
+recordAggRow(bench::BenchReport &report, const std::string &label,
+             double ms, const AggShape &s, double flops,
+             double flop_ratio)
+{
+    bench::BenchRow &row = report.row(label);
+    row.wallMs = ms;
+    row.metrics["gflops"] = ms > 0.0 ? flops / ms * 1e-6 : 0.0;
+    row.metrics["flop_ratio"] = flop_ratio;
+    row.metrics["points"] = static_cast<double>(s.points);
+    row.metrics["samples"] = static_cast<double>(s.samples);
+    row.metrics["k"] = static_cast<double>(s.k);
+    std::printf("%-22s %6zu %6zu %6zu  %12.4f  %10.2f\n", label.c_str(),
+                s.samples * s.k, s.feat, s.out, ms,
+                ms > 0.0 ? flops / ms * 1e-6 : 0.0);
 }
 
 } // namespace
@@ -166,6 +260,103 @@ main(int argc, char **argv)
         run_shape(s, fast, "fast+bias", [&] {
             return nn::exactLinear(a, b, bias, fast);
         });
+    }
+
+    // Delayed-aggregation A/B (DESIGN.md §13): eager = gather the
+    // (samples*k)-row grouped matrix and push it through the first
+    // Linear; delayed = per-point GEMMs + gather/combine. Both routes
+    // produce the same pre-activation rows, so wall-clock and the
+    // flop_ratio metric together show what the reordering buys.
+    {
+        nn::GemmEngine fast(nn::GemmMode::Fast);
+        for (const AggShape &s : kSaAggShapes) {
+            const std::vector<Vec3> positions =
+                randomPositions(rng, s.points);
+            const nn::Matrix features =
+                s.feat == 0 ? nn::Matrix()
+                            : randomMatrix(s.points, s.feat, rng);
+            const std::vector<std::uint32_t> samples =
+                randomSamples(rng, s.samples, s.points);
+            const NeighborLists neighbors =
+                randomNeighbors(rng, s.samples, s.k, s.points);
+            const nn::Matrix weight =
+                randomMatrix(3 + s.feat, s.out, rng);
+            const nn::Matrix bias = randomMatrix(1, s.out, rng);
+
+            const double eager_flops = 2.0 *
+                static_cast<double>(s.samples * s.k) *
+                static_cast<double>(3 + s.feat) *
+                static_cast<double>(s.out);
+            const double delayed_flops = 2.0 *
+                (static_cast<double>(s.points) *
+                     static_cast<double>(3 + s.feat) +
+                 static_cast<double>(s.samples) * 3.0) *
+                static_cast<double>(s.out);
+            const double ratio = nn::saDelayedFlopRatio(
+                s.points, s.samples, s.k, s.feat);
+
+            const auto eager = [&] {
+                const nn::Matrix grouped = nn::groupWithRelativeCoords(
+                    positions, features, samples, neighbors);
+                return nn::exactLinear(grouped, weight, bias, fast);
+            };
+            const auto delayed = [&] {
+                return nn::delayedSaFirstLinear(positions, features,
+                                                samples, neighbors,
+                                                weight, bias, fast,
+                                                nullptr);
+            };
+            static_cast<void>(eager());
+            static_cast<void>(delayed());
+            recordAggRow(report, std::string(s.tag) + "/eager",
+                         bestOfMs(repeats,
+                                  [&] { static_cast<void>(eager()); }),
+                         s, eager_flops, ratio);
+            recordAggRow(report, std::string(s.tag) + "/delayed",
+                         bestOfMs(repeats,
+                                  [&] { static_cast<void>(delayed()); }),
+                         s, delayed_flops, ratio);
+        }
+        for (const AggShape &s : kEdgeAggShapes) {
+            const nn::Matrix features =
+                randomMatrix(s.points, s.feat, rng);
+            const NeighborLists neighbors =
+                randomNeighbors(rng, s.points, s.k, s.points);
+            const nn::Matrix weight =
+                randomMatrix(2 * s.feat, s.out, rng);
+            const nn::Matrix bias = randomMatrix(1, s.out, rng);
+
+            const double eager_flops = 2.0 *
+                static_cast<double>(s.points * s.k) *
+                static_cast<double>(2 * s.feat) *
+                static_cast<double>(s.out);
+            const double delayed_flops = 2.0 *
+                static_cast<double>(2 * s.points) *
+                static_cast<double>(s.feat) *
+                static_cast<double>(s.out);
+            const double ratio = nn::edgeDelayedFlopRatio(s.k);
+
+            const auto eager = [&] {
+                const nn::Matrix edges =
+                    nn::edgeFeatures(features, neighbors);
+                return nn::exactLinear(edges, weight, bias, fast);
+            };
+            const auto delayed = [&] {
+                return nn::delayedEdgeFirstLinear(features, neighbors,
+                                                  weight, bias, fast,
+                                                  nullptr);
+            };
+            static_cast<void>(eager());
+            static_cast<void>(delayed());
+            recordAggRow(report, std::string(s.tag) + "/eager",
+                         bestOfMs(repeats,
+                                  [&] { static_cast<void>(eager()); }),
+                         s, eager_flops, ratio);
+            recordAggRow(report, std::string(s.tag) + "/delayed",
+                         bestOfMs(repeats,
+                                  [&] { static_cast<void>(delayed()); }),
+                         s, delayed_flops, ratio);
+        }
     }
 
     for (const Shape &s : kBackwardShapes) {

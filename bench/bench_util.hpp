@@ -36,6 +36,7 @@
 #include "core/pipeline.hpp"
 #include "core/workloads.hpp"
 #include "geometry/simd_distance.hpp"
+#include "nn/delayed_agg.hpp"
 #include "nn/gemm.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
@@ -175,6 +176,7 @@ class BenchReport
         configStr["simd_path"] = simd::activePathName();
         configStr["gemm_path"] = nn::GemmEngine::activeKernelName();
         configStr["gemm_epilogue"] = nn::GemmEngine::epilogueModeName();
+        configStr["delayed_agg"] = nn::delayedAggModeName();
     }
 
     /** Echo a config knob into the report. */

@@ -205,6 +205,32 @@ Dgcnn::forward(const PointCloud &cloud, const EdgePcConfig &config,
         // The searchers clamp k for tiny clouds; pool with the
         // effective group size.
         const std::size_t k_eff = neighbors.k;
+
+        // Delayed aggregation (DESIGN.md §13): the first Linear splits
+        // into per-point x_i and x_j − x_i terms, so it runs once per
+        // unique point and the per-edge work is a gather + add.
+        auto *lin0 =
+            block.mlp.size() == 0
+                ? nullptr
+                : dynamic_cast<nn::Linear *>(block.mlp.layerAt(0));
+        block.delayedActive =
+            lin0 != nullptr &&
+            nn::resolveDelayedAgg(cfg.delayedAggregation,
+                                  nn::edgeDelayedFlopRatio(k_eff));
+        if (block.delayedActive) {
+            StageTimer::ScopedStage scope(t, kStageFeature);
+            const nn::Matrix pre = nn::delayedEdgeFirstLinear(
+                features, neighbors, lin0->weights().value,
+                lin0->biases().value, nn::GemmEngine::globalEngine(),
+                train ? &block.delayedCache : nullptr);
+            const nn::Matrix activated =
+                block.mlp.forwardFrom(1, pre, train);
+            block.pool = std::make_unique<nn::MaxPoolNeighbors>(k_eff);
+            ecOutputs[m] = block.pool->forward(activated, train);
+            features = ecOutputs[m];
+            continue;
+        }
+
         nn::Matrix edges;
         {
             StageTimer::ScopedStage scope(t, kStageGroup);
@@ -301,8 +327,21 @@ Dgcnn::backward(const nn::Matrix &grad_logits)
     for (std::size_t m = num_ec; m-- > 0;) {
         EcBlock &block = ecBlocks[m];
         nn::Matrix gg = block.pool->backward(grad_ec[m]);
-        gg = block.mlp.backward(gg);
-        gg = block.edge.backward(gg);
+        if (block.delayedActive) {
+            // Delayed route: tail stops at layer 1 and the first
+            // Linear's gradients come from the segment-sum / scatter
+            // formulation (which also folds in the edge layer's
+            // endpoint scatter).
+            gg = block.mlp.backwardFrom(1, gg);
+            auto *lin0 =
+                static_cast<nn::Linear *>(block.mlp.layerAt(0));
+            gg = nn::delayedEdgeFirstLinearBackward(
+                block.delayedCache, gg, lin0->weights(), lin0->biases(),
+                nn::GemmEngine::globalEngine());
+        } else {
+            gg = block.mlp.backward(gg);
+            gg = block.edge.backward(gg);
+        }
         if (m > 0) {
             grad_ec[m - 1].add(gg);
         }

@@ -23,6 +23,7 @@
 
 #include "models/model.hpp"
 #include "neighbor/neighbor_cache.hpp"
+#include "nn/delayed_agg.hpp"
 #include "nn/grouping.hpp"
 #include "nn/layers.hpp"
 
@@ -55,6 +56,15 @@ struct DgcnnConfig
 
     /** Hidden widths of the head (classes appended internally). */
     std::vector<std::size_t> headMlp;
+
+    /**
+     * Delayed aggregation (DESIGN.md §13): split each EdgeConv's first
+     * Linear into its x_i and x_j − x_i terms so it runs once per
+     * unique point instead of once per edge (a k× first-layer FLOP
+     * cut). Auto delays iff k reaches nn::kDelayedAggFlopRatio;
+     * EDGEPC_DELAYED_AGG overrides. Checkpoint-compatible either way.
+     */
+    nn::DelayedAggMode delayedAggregation = nn::DelayedAggMode::Auto;
 
     /** Paper-scale DGCNN(c): 4 ECs, k=20, 1024-d embedding. */
     static DgcnnConfig classification(std::size_t num_classes);
@@ -106,6 +116,10 @@ class Dgcnn : public TrainableModel
         nn::EdgeFeatureLayer edge;
         nn::Sequential mlp;
         std::unique_ptr<nn::MaxPoolNeighbors> pool;
+        /** Route taken by the last training forward (backward follows
+            the same route over the same parameters). */
+        bool delayedActive = false;
+        nn::DelayedEdgeCache delayedCache;
     };
 
     /** Run the neighbor-search stage of EC module @p module. */

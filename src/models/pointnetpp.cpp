@@ -252,6 +252,55 @@ PointNetPP::runSaModule(std::size_t module, const EdgePcConfig &config,
     // the configured neighbor count; everything downstream must use
     // the effective k.
     const std::size_t k_eff = neighbors.k;
+    const std::size_t feat_dim = cur.saFeatures.cols();
+
+    // Delayed aggregation (DESIGN.md §13): run the first Linear over
+    // the level's unique rows before the gather. A single-stage
+    // LinearRelu block (the classifier's deepest) has no eager-tail
+    // state to cache, so its delayed route is inference-only.
+    auto *lin0 = block.mlp.size() == 0
+                     ? nullptr
+                     : dynamic_cast<nn::Linear *>(block.mlp.layerAt(0));
+    auto *linrelu0 =
+        block.mlp.size() == 0
+            ? nullptr
+            : dynamic_cast<nn::LinearRelu *>(block.mlp.layerAt(0));
+    const double flop_ratio = nn::saDelayedFlopRatio(
+        cur.positions.size(), cur.sampleIndices.size(), k_eff, feat_dim);
+    block.delayedActive =
+        nn::resolveDelayedAgg(cfg.delayedAggregation, flop_ratio) &&
+        (lin0 != nullptr || (linrelu0 != nullptr && !train));
+
+    if (block.delayedActive) {
+        // The gather no longer feeds a GEMM, so the whole block counts
+        // as feature compute; the grouping stage is what this route
+        // deletes.
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageFeature);
+        cur.groupedFeatureDim = feat_dim;
+        nn::GemmEngine &engine = nn::GemmEngine::globalEngine();
+        if (linrelu0 != nullptr) {
+            next.saFeatures = nn::delayedSaSingleStageInfer(
+                cur.positions, cur.saFeatures, cur.sampleIndices,
+                neighbors, linrelu0->weights().value,
+                linrelu0->biases().value, engine);
+        } else {
+            const nn::Matrix pre = nn::delayedSaFirstLinear(
+                cur.positions, cur.saFeatures, cur.sampleIndices,
+                neighbors, lin0->weights().value, lin0->biases().value,
+                engine, train ? &block.delayedCache : nullptr);
+            const nn::Matrix activated =
+                block.mlp.forwardFrom(1, pre, train);
+            block.pool = std::make_unique<nn::MaxPoolNeighbors>(k_eff);
+            next.saFeatures = block.pool->forward(activated, train);
+        }
+        next.positions.resize(cur.sampleIndices.size());
+        for (std::size_t i = 0; i < cur.sampleIndices.size(); ++i) {
+            next.positions[i] = cur.positions[cur.sampleIndices[i]];
+        }
+        return;
+    }
 
     // --- Grouping stage -------------------------------------------
     nn::Matrix grouped;
@@ -259,7 +308,6 @@ PointNetPP::runSaModule(std::size_t module, const EdgePcConfig &config,
         StageTimer dummy;
         StageTimer::ScopedStage scope(timer ? *timer : dummy,
                                       kStageGroup);
-        const std::size_t feat_dim = cur.saFeatures.cols();
         cur.groupedFeatureDim = feat_dim;
 
         // Relative coordinates (constant w.r.t. learnable activations).
@@ -499,14 +547,111 @@ PointNetPP::inferBatch(std::span<const PointCloud> clouds,
 
     for (std::size_t i = 0; i < saBlocks.size(); ++i) {
         SaBlock &block = saBlocks[i];
+        auto *lin0 = block.mlp.size() == 0
+                         ? nullptr
+                         : dynamic_cast<nn::Linear *>(block.mlp.layerAt(0));
+        auto *linrelu0 =
+            block.mlp.size() == 0
+                ? nullptr
+                : dynamic_cast<nn::LinearRelu *>(block.mlp.layerAt(0));
         std::size_t total_rows = 0;
+        // The delayed-aggregation decision is per cloud with exactly
+        // the single-cloud formula, so each cloud's logits keep
+        // matching infer() whatever the batch composition.
+        std::vector<char> delayed(batch, 0);
+        bool any_delayed = false;
         for (std::size_t b = 0; b < batch; ++b) {
             LevelState &cur = st[b][i];
             neigh[b] = saSampleAndSearch(i, config, timer, cur);
             k_eff[b] = neigh[b].k;
             seg_rows[b] = cur.sampleIndices.size() * neigh[b].k;
             total_rows += seg_rows[b];
+            const double flop_ratio = nn::saDelayedFlopRatio(
+                cur.positions.size(), cur.sampleIndices.size(), k_eff[b],
+                cur.saFeatures.cols());
+            delayed[b] =
+                nn::resolveDelayedAgg(cfg.delayedAggregation,
+                                      flop_ratio) &&
+                        (lin0 != nullptr || linrelu0 != nullptr)
+                    ? 1
+                    : 0;
+            any_delayed = any_delayed || delayed[b] != 0;
         }
+        if (any_delayed && linrelu0 != nullptr) {
+            // Single-stage BN-free block (classifier deepest): the
+            // fully delayed route never materializes a stacked matrix,
+            // so there is nothing to batch — run per cloud.
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageFeature);
+            for (std::size_t b = 0; b < batch; ++b) {
+                LevelState &cur = st[b][i];
+                if (delayed[b] != 0) {
+                    st[b][i + 1].saFeatures =
+                        nn::delayedSaSingleStageInfer(
+                            cur.positions, cur.saFeatures,
+                            cur.sampleIndices, neigh[b],
+                            linrelu0->weights().value,
+                            linrelu0->biases().value,
+                            nn::GemmEngine::globalEngine());
+                    continue;
+                }
+                const nn::Matrix grouped = nn::groupWithRelativeCoords(
+                    cur.positions, cur.saFeatures, cur.sampleIndices,
+                    neigh[b]);
+                const nn::Matrix activated =
+                    block.mlp.forward(grouped, false);
+                st[b][i + 1].saFeatures = maxPoolStackedRows(
+                    activated, 0, seg_rows[b], k_eff[b]);
+            }
+        } else if (any_delayed) {
+            // Tier-B mixed batch: every cloud's first-Linear output
+            // lands in its row range (delayed clouds via the
+            // unique-row GEMMs, eager ones via grouped rows — the
+            // packed GEMM is row-independent, so each row is bit-exact
+            // with the cloud's single-cloud route), then the BN+ReLU
+            // tail runs segmented from layer 1.
+            nn::Matrix stacked(total_rows, lin0->outDim());
+            {
+                StageTimer dummy;
+                StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                              kStageFeature);
+                std::size_t offset = 0;
+                for (std::size_t b = 0; b < batch; ++b) {
+                    LevelState &cur = st[b][i];
+                    nn::Matrix pre;
+                    if (delayed[b] != 0) {
+                        pre = nn::delayedSaFirstLinear(
+                            cur.positions, cur.saFeatures,
+                            cur.sampleIndices, neigh[b],
+                            lin0->weights().value, lin0->biases().value,
+                            nn::GemmEngine::globalEngine(), nullptr);
+                    } else {
+                        const nn::Matrix grouped =
+                            nn::groupWithRelativeCoords(
+                                cur.positions, cur.saFeatures,
+                                cur.sampleIndices, neigh[b]);
+                        pre = lin0->forward(grouped, false);
+                    }
+                    std::copy(pre.data(), pre.data() + pre.numel(),
+                              stacked.data() + offset * stacked.cols());
+                    offset += seg_rows[b];
+                }
+            }
+            {
+                StageTimer dummy;
+                StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                              kStageFeature);
+                const nn::Matrix activated =
+                    block.mlp.forwardSegmented(stacked, seg_rows, 1);
+                std::size_t offset = 0;
+                for (std::size_t b = 0; b < batch; ++b) {
+                    st[b][i + 1].saFeatures = maxPoolStackedRows(
+                        activated, offset, seg_rows[b], k_eff[b]);
+                    offset += seg_rows[b];
+                }
+            }
+        } else {
         // Group every cloud straight into its row range of the
         // stacked batch: the stacking itself costs no extra pass.
         nn::Matrix stacked(total_rows,
@@ -542,6 +687,7 @@ PointNetPP::inferBatch(std::span<const PointCloud> clouds,
                     activated, offset, seg_rows[b], k_eff[b]);
                 offset += seg_rows[b];
             }
+        }
         }
         for (std::size_t b = 0; b < batch; ++b) {
             const LevelState &cur = st[b][i];
@@ -716,6 +862,22 @@ PointNetPP::backward(const nn::Matrix &grad_logits)
             continue;
         }
         nn::Matrix act_grad = block.pool->backward(pooled_grad);
+        if (block.delayedActive) {
+            // Delayed route: the tail stops at layer 1 and the first
+            // Linear's gradients come from the scatter/segment-sum
+            // formulation. Training never delays a LinearRelu-first
+            // block, so layer 0 is a plain Linear here.
+            nn::Matrix pre_grad = block.mlp.backwardFrom(1, act_grad);
+            auto *lin0 =
+                static_cast<nn::Linear *>(block.mlp.layerAt(0));
+            nn::Matrix feat_grad = nn::delayedSaFirstLinearBackward(
+                block.delayedCache, pre_grad, lin0->weights(),
+                lin0->biases(), nn::GemmEngine::globalEngine());
+            if (levels[i].groupedFeatureDim > 0) {
+                accumulate(grad_sa[i], feat_grad);
+            }
+            continue;
+        }
         nn::Matrix grouped_grad = block.mlp.backward(act_grad);
         if (levels[i].groupedFeatureDim > 0) {
             auto [rel_grad, feat_grad] = nn::splitCols(grouped_grad, 3);

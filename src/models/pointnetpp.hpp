@@ -26,6 +26,7 @@
 
 #include "models/model.hpp"
 #include "neighbor/neighbor_search.hpp"
+#include "nn/delayed_agg.hpp"
 #include "nn/grouping.hpp"
 #include "nn/layers.hpp"
 #include "sampling/interpolation.hpp"
@@ -83,6 +84,15 @@ struct PointNetPPConfig
 
     /** Hidden widths of the final head (classes appended internally). */
     std::vector<std::size_t> headMlp;
+
+    /**
+     * Delayed aggregation (DESIGN.md §13): run each SA block's first
+     * Linear over the level's unique points before the neighborhood
+     * gather. Auto delays a block iff its first-layer FLOP ratio
+     * reaches nn::kDelayedAggFlopRatio; EDGEPC_DELAYED_AGG overrides.
+     * Checkpoint-compatible either way (same parameters, either route).
+     */
+    nn::DelayedAggMode delayedAggregation = nn::DelayedAggMode::Auto;
 
     /**
      * The paper's PointNet++(s) for semantic segmentation: 4 SA + 4 FP
@@ -160,6 +170,10 @@ class PointNetPP : public TrainableModel
         nn::Sequential mlp;
         nn::GroupingLayer gather;
         std::unique_ptr<nn::MaxPoolNeighbors> pool;
+        /** Route taken by the last training forward (backward follows
+            the same route over the same parameters). */
+        bool delayedActive = false;
+        nn::DelayedSaCache delayedCache;
     };
 
     struct FpBlock

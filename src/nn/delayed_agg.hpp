@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Delayed aggregation (Mesorasi): run the first Linear of an
+ * aggregation block over the N unique points *before* the neighborhood
+ * gather, instead of pushing the (n*k)-row gathered matrix through the
+ * GEMM.
+ *
+ * The reordering is exact in real arithmetic because the grouped input
+ * rows are affine combinations of per-point rows:
+ *
+ *  - PointNet++ SetAbstraction groups [p_j - p_i | f_j], so
+ *      [p_j - p_i | f_j] W + b  =  ([p_j | f_j] W + b) - p_i W_pos
+ *    with W_pos the first three rows of W. The first term (phi) is one
+ *    GEMM over the N unique points, the second (psi) one GEMM over the
+ *    n sampled centers; the (n*k)-row combine is a gather + subtract.
+ *
+ *  - DGCNN EdgeConv groups [f_i | f_j - f_i], so with W = [Ws; Wd]
+ *      [f_i | f_j - f_i] W + b  =  f_i (Ws - Wd) + f_j Wd + b
+ *    — two N-row GEMMs (psi and phi) and a gather + add combine.
+ *
+ * GEMM FLOPs of the first layer drop by ~k (the neighbor count): the
+ * eager path multiplies every neighbor row, the delayed path each
+ * unique row once. Only the *first* Linear commutes: BatchNorm
+ * normalizes with per-cloud statistics over its input rows, and the
+ * statistics over n*k gathered rows differ from those over N unique
+ * rows, so the BN-and-later tail always runs eagerly on the combined
+ * rows — which is also what keeps the delayed route numerically within
+ * reassociation distance of the eager one. A single-stage BN-free
+ * block (the classifier's deepest Linear+ReLU before the global pool)
+ * additionally commutes with the max-pool itself — max_j(x_j + c) =
+ * (max_j x_j) + c and ReLU is monotone — so inference can skip the
+ * (n*k)-row matrix entirely via gatherMaxPoolInto.
+ *
+ * The delayed variants are checkpoint-compatible by construction: they
+ * are alternative execution routes over the same Linear parameters, so
+ * collectParameters order, shapes and serialized streams are identical
+ * to the eager Linear + gather composition.
+ *
+ * Dispatch mirrors EDGEPC_GEMM / EDGEPC_SIMD: the
+ * EDGEPC_DELAYED_AGG=on|off|auto environment variable (read once at
+ * startup) or setDelayedAggMode() overrides the per-model config;
+ * when both say auto, the block is delayed iff the first-layer GEMM
+ * FLOP ratio (eager / delayed) reaches kDelayedAggFlopRatio.
+ */
+
+#ifndef EDGEPC_NN_DELAYED_AGG_HPP
+#define EDGEPC_NN_DELAYED_AGG_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/vec3.hpp"
+#include "neighbor/neighbor_search.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace nn {
+
+/** Delayed-aggregation selection (env override and model config). */
+enum class DelayedAggMode
+{
+    Off,  ///< Always the eager gather-then-MLP composition.
+    On,   ///< Always the delayed per-point-MLP-then-gather route.
+    Auto, ///< Defer (env: to the model config; config: to the FLOP
+          ///< ratio heuristic).
+};
+
+/** Minimum eager/delayed first-layer FLOP ratio for Auto to delay. */
+inline constexpr double kDelayedAggFlopRatio = 2.0;
+
+/**
+ * Process-wide override (EDGEPC_DELAYED_AGG=on|off|auto, read once at
+ * startup; setter for tests and A/B runs). Auto defers to the model
+ * config.
+ */
+DelayedAggMode delayedAggMode();
+void setDelayedAggMode(DelayedAggMode mode);
+
+/** "on" / "off" / "auto" — echoed as config.delayed_agg in BENCH json. */
+const char *delayedAggModeName();
+
+/**
+ * Resolve the effective route for one block: the env override wins,
+ * then the model config, and when both are Auto the block is delayed
+ * iff @p flop_ratio (eager / delayed first-layer GEMM FLOPs) >=
+ * kDelayedAggFlopRatio.
+ */
+bool resolveDelayedAgg(DelayedAggMode config_mode, double flop_ratio);
+
+/**
+ * First-layer GEMM FLOP ratio of a PointNet++ SA block: eager runs the
+ * Linear on n*k grouped (3+C)-wide rows, delayed on the N unique
+ * [p | f] rows plus the n 3-wide centers.
+ */
+double saDelayedFlopRatio(std::size_t unique_points,
+                          std::size_t samples, std::size_t k,
+                          std::size_t feat_dim);
+
+/**
+ * First-layer GEMM FLOP ratio of a DGCNN EdgeConv block: eager runs
+ * the Linear on N*k 2C-wide edge rows, delayed on two N-row C-wide
+ * GEMMs — the ratio is exactly k.
+ */
+double edgeDelayedFlopRatio(std::size_t k);
+
+/** Forward state the delayed-SA backward pass needs (train only). */
+struct DelayedSaCache
+{
+    Matrix unified;  ///< N x (3+C): the [p | f] rows phi ran on.
+    Matrix centers;  ///< n x 3: sampled center coordinates psi ran on.
+    std::vector<std::uint32_t> neighborIdx; ///< n*k flattened.
+    std::size_t k = 0;
+    std::size_t featDim = 0;
+};
+
+/**
+ * Delayed first Linear of a PointNet++ SA block: computes exactly what
+ * Linear::forward would return on the groupWithRelativeCoords matrix
+ * (up to float reassociation), but with GEMMs over the N unique points
+ * and the n centers instead of the n*k grouped rows.
+ *
+ * @param positions All point positions of the level (N).
+ * @param features Level features (N x C) or empty (first module).
+ * @param sample_indices The n sampled centers.
+ * @param neighbors Neighbor lists of the samples (n x k).
+ * @param weight (3+C) x C_out first-layer weight.
+ * @param bias 1 x C_out first-layer bias.
+ * @param engine GEMM engine.
+ * @param cache When non-null, filled for the backward pass.
+ * @return (n*k) x C_out pre-activation rows (the eager layer-0 output).
+ */
+Matrix delayedSaFirstLinear(std::span<const Vec3> positions,
+                            const Matrix &features,
+                            std::span<const std::uint32_t> sample_indices,
+                            const NeighborLists &neighbors,
+                            const Matrix &weight, const Matrix &bias,
+                            GemmEngine &engine, DelayedSaCache *cache);
+
+/**
+ * Backward of delayedSaFirstLinear: accumulates dW/db into @p weight /
+ * @p bias and returns dLoss/dFeatures (N x C; zero-column matrix when
+ * the block grouped coordinates only). Matches the eager
+ * Linear::backward + GroupingLayer::backward composition (coordinates
+ * carry no learnable gradient there either).
+ */
+Matrix delayedSaFirstLinearBackward(const DelayedSaCache &cache,
+                                    const Matrix &grad_pre,
+                                    Parameter &weight, Parameter &bias,
+                                    GemmEngine &engine);
+
+/**
+ * Fully delayed inference of a single-stage BN-free SA block
+ * (Linear+ReLU then neighbor max-pool): out = relu(gatherMaxPool(phi)
+ * - psi), never materializing any (n*k)-row matrix. Valid because the
+ * per-group term -p_i W_pos is constant across the group's k rows and
+ * ReLU is monotone.
+ *
+ * @return n x C_out pooled activations (the MaxPoolNeighbors output).
+ */
+Matrix delayedSaSingleStageInfer(std::span<const Vec3> positions,
+                                 const Matrix &features,
+                                 std::span<const std::uint32_t> sample_indices,
+                                 const NeighborLists &neighbors,
+                                 const Matrix &weight, const Matrix &bias,
+                                 GemmEngine &engine);
+
+/** Forward state the delayed-EdgeConv backward pass needs. */
+struct DelayedEdgeCache
+{
+    Matrix features; ///< N x C input rows.
+    NeighborLists neighbors;
+};
+
+/**
+ * Delayed first Linear of a DGCNN EdgeConv block: computes what
+ * Linear::forward would return on the edgeFeatures matrix
+ * [f_i | f_j - f_i] (up to float reassociation) via two N-row GEMMs
+ * psi = F (Ws - Wd) + b and phi = F Wd, combined per edge as
+ * psi[i] + phi[j].
+ *
+ * @param weight 2C x C_out first-layer weight ([Ws; Wd]).
+ * @return (N*k) x C_out pre-activation rows.
+ */
+Matrix delayedEdgeFirstLinear(const Matrix &features,
+                              const NeighborLists &neighbors,
+                              const Matrix &weight, const Matrix &bias,
+                              GemmEngine &engine, DelayedEdgeCache *cache);
+
+/**
+ * Backward of delayedEdgeFirstLinear: accumulates dW/db into
+ * @p weight / @p bias and returns dLoss/dFeatures (N x C). Matches the
+ * eager Linear::backward + EdgeFeatureLayer::backward composition.
+ */
+Matrix delayedEdgeFirstLinearBackward(const DelayedEdgeCache &cache,
+                                      const Matrix &grad_pre,
+                                      Parameter &weight, Parameter &bias,
+                                      GemmEngine &engine);
+
+} // namespace nn
+} // namespace edgepc
+
+#endif // EDGEPC_NN_DELAYED_AGG_HPP

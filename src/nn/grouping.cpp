@@ -78,6 +78,49 @@ gatherLinear(const Matrix &features,
 }
 
 void
+gatherMaxPoolInto(const Matrix &features, const NeighborLists &neighbors,
+                  std::span<float> out)
+{
+    const std::size_t cols = features.cols();
+    const std::size_t n = neighbors.queries();
+    if (neighbors.k == 0) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return;
+    }
+    if (out.size() < n * cols) {
+        fatal("gatherMaxPoolInto: buffer %zu < required %zu", out.size(),
+              n * cols);
+    }
+    const std::size_t k = neighbors.k;
+    const float *src_base = features.data();
+    float *out_base = out.data();
+    // EDGEPC_HOT: fused gather + neighbor max-pool (no stacked matrix).
+    parallelFor(0, n, [&](std::size_t i) {
+        const auto row = neighbors.row(i);
+        float *dst = out_base + i * cols;
+        const float *first = src_base + std::size_t(row[0]) * cols;
+        std::copy(first, first + cols, dst);
+        for (std::size_t j = 1; j < k; ++j) {
+            const float *src = src_base + std::size_t(row[j]) * cols;
+            for (std::size_t c = 0; c < cols; ++c) {
+                if (src[c] > dst[c]) {
+                    dst[c] = src[c];
+                }
+            }
+        }
+    });
+}
+
+Matrix
+gatherMaxPool(const Matrix &features, const NeighborLists &neighbors)
+{
+    Matrix out(neighbors.queries(), features.cols());
+    gatherMaxPoolInto(features, neighbors,
+                      std::span<float>(out.data(), out.numel()));
+    return out;
+}
+
+void
 groupWithRelativeCoordsInto(std::span<const Vec3> positions,
                             const Matrix &features,
                             std::span<const std::uint32_t> sample_indices,

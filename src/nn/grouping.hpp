@@ -62,6 +62,27 @@ Matrix gatherLinear(const Matrix &features,
                     GemmEngine &engine);
 
 /**
+ * Fused gather + neighbor max-pool: out[i] = column-wise max over the
+ * rows of @p features named by neighbor row i. Bit-exact with
+ * gatherRows followed by MaxPoolNeighbors (first neighbor row copied,
+ * then strictly-greater compares), but the (n*k) x C gathered matrix
+ * never exists — this is the delayed-aggregation pooling step
+ * (DESIGN.md §13), where @p features holds already-transformed rows.
+ *
+ * @param features Source rows (N x C).
+ * @param neighbors Neighbor lists (n x k). k == 0 zero-fills @p out.
+ * @param out Caller-owned buffer (n x C row-major, e.g. a ScratchArena
+ *        span).
+ */
+void gatherMaxPoolInto(const Matrix &features,
+                       const NeighborLists &neighbors,
+                       std::span<float> out);
+
+/** gatherMaxPoolInto returning a fresh n x C matrix. */
+Matrix gatherMaxPool(const Matrix &features,
+                     const NeighborLists &neighbors);
+
+/**
  * Build the SA-module grouped input: for sampled point i with neighbor
  * j, the row [p_j - p_i | f_j]. Output is (n*k) x (3 + C); C may be 0
  * (first module, coordinates only).

@@ -499,11 +499,35 @@ Sequential::addLinearRelu(std::size_t in, std::size_t out, Rng &rng,
 Matrix
 Sequential::forward(const Matrix &input, bool train)
 {
+    return forwardFrom(0, input, train);
+}
+
+Matrix
+Sequential::forwardFrom(std::size_t first, const Matrix &input, bool train)
+{
+    if (first > layers.size()) {
+        fatal("forwardFrom: first layer %zu > size %zu", first,
+              layers.size());
+    }
     Matrix x = input;
-    for (auto &layer : layers) {
-        x = layer->forward(x, train);
+    for (std::size_t i = first; i < layers.size(); ++i) {
+        x = layers[i]->forward(x, train);
     }
     return x;
+}
+
+Matrix
+Sequential::backwardFrom(std::size_t first, const Matrix &grad_output)
+{
+    if (first > layers.size()) {
+        fatal("backwardFrom: first layer %zu > size %zu", first,
+              layers.size());
+    }
+    Matrix g = grad_output;
+    for (std::size_t i = layers.size(); i > first; --i) {
+        g = layers[i - 1]->backward(g);
+    }
+    return g;
 }
 
 bool
@@ -519,8 +543,13 @@ Sequential::rowIndependentInference() const
 
 Matrix
 Sequential::forwardSegmented(const Matrix &input,
-                             std::span<const std::size_t> segment_rows)
+                             std::span<const std::size_t> segment_rows,
+                             std::size_t first_layer)
 {
+    if (first_layer > layers.size()) {
+        fatal("forwardSegmented: first layer %zu > size %zu", first_layer,
+              layers.size());
+    }
     std::size_t total = 0;
     for (std::size_t rows : segment_rows) {
         total += rows;
@@ -535,7 +564,8 @@ Sequential::forwardSegmented(const Matrix &input,
     // the stacked batch is not copied just to enter the loop.
     Matrix x;
     bool have_x = false;
-    for (auto &layer : layers) {
+    for (std::size_t li = first_layer; li < layers.size(); ++li) {
+        auto &layer = layers[li];
         if (layer->rowIndependentInference()) {
             x = layer->forward(have_x ? x : input, false);
             have_x = true;
@@ -573,11 +603,7 @@ Sequential::forwardSegmented(const Matrix &input,
 Matrix
 Sequential::backward(const Matrix &grad_output)
 {
-    Matrix g = grad_output;
-    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
-        g = (*it)->backward(g);
-    }
-    return g;
+    return backwardFrom(0, grad_output);
 }
 
 void

@@ -265,9 +265,31 @@ class Sequential : public Layer
      * while layers with per-cloud statistics (BatchNorm) run per
      * segment, so the result matches per-cloud forward() exactly up
      * to GEMM-path float reassociation.
+     *
+     * @param first_layer Skip layers [0, first_layer): the delayed
+     *        aggregation route runs the first Linear itself (over the
+     *        unique rows, pre-gather) and feeds the combined
+     *        pre-activations to the remaining tail.
      */
     Matrix forwardSegmented(const Matrix &input,
-                            std::span<const std::size_t> segment_rows);
+                            std::span<const std::size_t> segment_rows,
+                            std::size_t first_layer = 0);
+
+    /** Child layer @p i (0-based, owned; bounds-checked). */
+    Layer *layerAt(std::size_t i) { return layers.at(i).get(); }
+
+    /**
+     * forward() starting at layer @p first: runs layers
+     * [first, size()) on @p input — the delayed-aggregation tail pass.
+     */
+    Matrix forwardFrom(std::size_t first, const Matrix &input, bool train);
+
+    /**
+     * backward() stopping before layer @p first: runs the layers in
+     * reverse down to and including layer @p first and returns the
+     * gradient w.r.t. that layer's input. Pairs with forwardFrom.
+     */
+    Matrix backwardFrom(std::size_t first, const Matrix &grad_output);
 
     std::size_t size() const { return layers.size(); }
 

@@ -1,0 +1,58 @@
+// Fixture: the gatherMaxPoolInto hot path (DESIGN.md §13). The fused
+// gather + neighbor max-pool kernel sizes every owning buffer before
+// its EDGEPC_HOT region and writes through a caller-owned span, as
+// cleanGatherMaxPool() mirrors. The bad variants size the pooled
+// matrix inside the region (R6) and leak the arena-backed staging
+// span to the caller (R8).
+
+#include <cstddef>
+
+struct Matrix
+{
+    Matrix(std::size_t r, std::size_t c);
+    float *data();
+};
+
+struct Span
+{
+    float *p;
+};
+
+struct ScratchArena
+{
+    static ScratchArena &local();
+    template <typename T> Span alloc(std::size_t n);
+};
+
+void
+cleanGatherMaxPool(std::size_t queries, std::size_t cols, float *out)
+{
+    Matrix staged(queries, cols); // ok: sized before the hot region
+    // EDGEPC_HOT: fused gather + neighbor max-pool (fixture)
+    for (std::size_t q = 0; q < queries; ++q) {
+        out[q] = staged.data()[q * cols];
+    }
+}
+
+// EDGEPC_HOT: pooled-output allocation inside the kernel (fixture)
+void
+hotGatherMaxPool(std::size_t queries, std::size_t cols, float *out)
+{
+    Matrix pooled(queries, cols); // line 41: R6 Matrix in hot region
+    (void)out;
+    (void)pooled;
+}
+
+Span
+leakStagingSpan(ScratchArena &arena, std::size_t cols)
+{
+    Span staging = arena.alloc<float>(cols);
+    return staging; // line 50: R8 arena view returned
+}
+
+float
+stagingUsedLocally(ScratchArena &arena, std::size_t cols)
+{
+    Span staging = arena.alloc<float>(cols);
+    return staging.p[0]; // ok: copies the element, not the view
+}

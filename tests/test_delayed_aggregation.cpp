@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Differential parity harness for delayed aggregation (DESIGN.md §13):
+ * the delayed route must agree with the eager gather-then-MLP
+ * composition on identical weights, across the full dispatch matrix
+ * (EDGEPC_GEMM scalar/fast x EDGEPC_SIMD scalar/simd x fused/split
+ * epilogues).
+ *
+ * On exactness: the gatherMaxPool primitive is bit-exact with
+ * gatherRows + MaxPoolNeighbors (same first-row copy, same
+ * strictly-greater compare), and the suite asserts EXPECT_FLOAT_EQ on
+ * it. The delayed *blocks* cannot be bit-exact with the eager ones on
+ * any path, scalar included: eager sums (p_j - p_i) * w over the input
+ * dimension in one pass, delayed computes p_j * w and p_i * w as two
+ * separately-rounded partial sums and subtracts them — a float
+ * reassociation, not an approximation. The block tests therefore pin
+ * a tight absolute tolerance: 2e-5 under the scalar GEMM (pure
+ * reassociation noise at these magnitudes) and 1e-4 under the FMA
+ * kernel, per the issue's FMA bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/simd_distance.hpp"
+#include "nn/delayed_agg.hpp"
+#include "nn/grouping.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace edgepc {
+namespace {
+
+/** Save/restore every dispatch knob the matrix sweep mutates. */
+class DispatchGuard
+{
+  public:
+    DispatchGuard()
+        : gemmPath(nn::GemmEngine::dispatchPath()),
+          simdPath(simd::dispatchPath()),
+          fused(nn::GemmEngine::fusedEpilogues()),
+          mode(nn::delayedAggMode())
+    {
+    }
+    ~DispatchGuard()
+    {
+        nn::GemmEngine::setDispatchPath(gemmPath);
+        simd::setDispatchPath(simdPath);
+        nn::GemmEngine::setFusedEpilogues(fused);
+        nn::setDelayedAggMode(mode);
+    }
+
+  private:
+    nn::GemmDispatchPath gemmPath;
+    simd::DispatchPath simdPath;
+    bool fused;
+    nn::DelayedAggMode mode;
+};
+
+struct DispatchCase
+{
+    nn::GemmDispatchPath gemm;
+    simd::DispatchPath simd;
+    bool fused;
+    float tol;
+    std::string tag;
+};
+
+/** Every reachable cell of the dispatch matrix on this host. */
+std::vector<DispatchCase>
+dispatchMatrix()
+{
+    std::vector<DispatchCase> cases;
+    std::vector<nn::GemmDispatchPath> gemms = {
+        nn::GemmDispatchPath::ForceScalar};
+    if (nn::GemmEngine::fastKernelAvailable()) {
+        gemms.push_back(nn::GemmDispatchPath::ForceFast);
+    }
+    std::vector<simd::DispatchPath> simds = {
+        simd::DispatchPath::ForceScalar};
+    if (simd::simdAvailable()) {
+        simds.push_back(simd::DispatchPath::ForceSimd);
+    }
+    for (const auto g : gemms) {
+        for (const auto s : simds) {
+            for (const bool fused : {true, false}) {
+                DispatchCase c;
+                c.gemm = g;
+                c.simd = s;
+                c.fused = fused;
+                c.tol = g == nn::GemmDispatchPath::ForceScalar ? 2e-5f
+                                                               : 1e-4f;
+                c.tag = std::string(g == nn::GemmDispatchPath::ForceScalar
+                                        ? "gemm=scalar"
+                                        : "gemm=fast") +
+                        (s == simd::DispatchPath::ForceScalar
+                             ? " simd=scalar"
+                             : " simd=simd") +
+                        (fused ? " epilogue=fused" : " epilogue=split");
+                cases.push_back(std::move(c));
+            }
+        }
+    }
+    return cases;
+}
+
+void
+applyCase(const DispatchCase &c)
+{
+    nn::GemmEngine::setDispatchPath(c.gemm);
+    simd::setDispatchPath(c.simd);
+    nn::GemmEngine::setFusedEpilogues(c.fused);
+}
+
+/** Random neighbor lists with entries in [0, n_source). */
+NeighborLists
+randomNeighbors(Rng &rng, std::size_t queries, std::size_t k,
+                std::size_t n_source)
+{
+    NeighborLists lists;
+    lists.k = k;
+    lists.indices.resize(queries * k);
+    for (auto &idx : lists.indices) {
+        idx = static_cast<std::uint32_t>(rng.nextBelow(n_source));
+    }
+    return lists;
+}
+
+nn::Matrix
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols)
+{
+    nn::Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.numel(); ++i) {
+        m.data()[i] = rng.normal();
+    }
+    return m;
+}
+
+std::vector<Vec3>
+randomPositions(Rng &rng, std::size_t n)
+{
+    std::vector<Vec3> p(n);
+    for (auto &v : p) {
+        v = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f),
+             rng.uniform(-1.0f, 1.0f)};
+    }
+    return p;
+}
+
+std::vector<std::uint32_t>
+randomSamples(Rng &rng, std::size_t n, std::size_t n_source)
+{
+    std::vector<std::uint32_t> s(n);
+    for (auto &idx : s) {
+        idx = static_cast<std::uint32_t>(rng.nextBelow(n_source));
+    }
+    return s;
+}
+
+void
+expectNear(const nn::Matrix &a, const nn::Matrix &b, float tol,
+           const std::string &tag)
+{
+    ASSERT_EQ(a.rows(), b.rows()) << tag;
+    ASSERT_EQ(a.cols(), b.cols()) << tag;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        ASSERT_NEAR(a.data()[i], b.data()[i], tol)
+            << tag << " at flat index " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// gatherMaxPool primitive: bit-exact with gatherRows + MaxPoolNeighbors.
+// ---------------------------------------------------------------------
+
+void
+expectGatherMaxPoolBitExact(const nn::Matrix &features,
+                            const NeighborLists &lists)
+{
+    const nn::Matrix fused = nn::gatherMaxPool(features, lists);
+    const nn::Matrix gathered = nn::gatherRows(features, lists.indices);
+    nn::MaxPoolNeighbors pool(lists.k);
+    const nn::Matrix reference = pool.forward(gathered, false);
+    ASSERT_EQ(fused.rows(), reference.rows());
+    ASSERT_EQ(fused.cols(), reference.cols());
+    for (std::size_t i = 0; i < fused.numel(); ++i) {
+        // Bit-exact: both take neighbor 0's row and upgrade on a
+        // strictly-greater compare — no arithmetic to reassociate.
+        EXPECT_FLOAT_EQ(fused.data()[i], reference.data()[i])
+            << "flat index " << i;
+    }
+}
+
+TEST(GatherMaxPool, BitExactWithGatherThenPool)
+{
+    Rng rng(101);
+    const nn::Matrix features = randomMatrix(rng, 61, 9);
+    const NeighborLists lists = randomNeighbors(rng, 37, 5, 61);
+    expectGatherMaxPoolBitExact(features, lists);
+}
+
+TEST(GatherMaxPool, SingleNeighborReducesToRowGather)
+{
+    Rng rng(102);
+    const nn::Matrix features = randomMatrix(rng, 19, 7);
+    const NeighborLists lists = randomNeighbors(rng, 11, 1, 19);
+    expectGatherMaxPoolBitExact(features, lists);
+    // k=1 pooling IS the gather.
+    const nn::Matrix fused = nn::gatherMaxPool(features, lists);
+    const nn::Matrix gathered = nn::gatherRows(features, lists.indices);
+    for (std::size_t i = 0; i < fused.numel(); ++i) {
+        EXPECT_FLOAT_EQ(fused.data()[i], gathered.data()[i]);
+    }
+}
+
+TEST(GatherMaxPool, DuplicateNeighborsMatchEager)
+{
+    // The searchers pad short candidate lists by repeating the closest
+    // index; the pool must be invariant to the duplicates.
+    Rng rng(103);
+    const nn::Matrix features = randomMatrix(rng, 13, 6);
+    NeighborLists lists;
+    lists.k = 4;
+    lists.indices.resize(9 * 4);
+    for (std::size_t q = 0; q < 9; ++q) {
+        const auto base =
+            static_cast<std::uint32_t>(rng.nextBelow(13));
+        lists.indices[q * 4 + 0] = base;
+        lists.indices[q * 4 + 1] = base; // duplicate
+        lists.indices[q * 4 + 2] =
+            static_cast<std::uint32_t>(rng.nextBelow(13));
+        lists.indices[q * 4 + 3] = base; // duplicate again
+    }
+    expectGatherMaxPoolBitExact(features, lists);
+}
+
+TEST(GatherMaxPool, EmptyNeighborhoodZeroFills)
+{
+    Rng rng(104);
+    const nn::Matrix features = randomMatrix(rng, 8, 5);
+    NeighborLists lists; // k == 0: no neighborhoods at all.
+    std::vector<float> out(6 * 5, 7.5f);
+    nn::gatherMaxPoolInto(features, lists, out);
+    for (const float v : out) {
+        EXPECT_EQ(v, 0.0f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delayed SA first Linear vs eager group + Linear.
+// ---------------------------------------------------------------------
+
+struct SaProblem
+{
+    std::vector<Vec3> positions;
+    nn::Matrix features;
+    std::vector<std::uint32_t> samples;
+    NeighborLists neighbors;
+    nn::Matrix weight;
+    nn::Matrix bias;
+};
+
+SaProblem
+makeSaProblem(std::uint64_t seed, std::size_t n_points, std::size_t n,
+              std::size_t k, std::size_t feat_dim, std::size_t c_out)
+{
+    Rng rng(seed);
+    SaProblem p;
+    p.positions = randomPositions(rng, n_points);
+    p.features = feat_dim > 0 ? randomMatrix(rng, n_points, feat_dim)
+                              : nn::Matrix(n_points, 0);
+    p.samples = randomSamples(rng, n, n_points);
+    p.neighbors = randomNeighbors(rng, n, k, n_points);
+    p.weight = randomMatrix(rng, 3 + feat_dim, c_out);
+    p.weight.scale(0.5f);
+    p.bias = randomMatrix(rng, 1, c_out);
+    return p;
+}
+
+/** The eager route on the same weights: group, then the real Linear
+    layer (so the epilogue-fusion branch under test is the layer's own). */
+nn::Matrix
+eagerSaFirstLinear(const SaProblem &p)
+{
+    Rng rng(1);
+    nn::Linear lin(p.weight.rows(), p.weight.cols(), rng);
+    lin.weights().value = p.weight;
+    lin.biases().value = p.bias;
+    const nn::Matrix grouped = nn::groupWithRelativeCoords(
+        p.positions, p.features, p.samples, p.neighbors);
+    return lin.forward(grouped, false);
+}
+
+void
+expectSaParity(const SaProblem &p, const DispatchCase &c)
+{
+    const nn::Matrix eager = eagerSaFirstLinear(p);
+    const nn::Matrix delayed = nn::delayedSaFirstLinear(
+        p.positions, p.features, p.samples, p.neighbors, p.weight,
+        p.bias, nn::GemmEngine::globalEngine(), nullptr);
+    expectNear(eager, delayed, c.tol, c.tag);
+}
+
+TEST(DelayedAggregation, SaFirstLinearMatchesEagerAcrossDispatchMatrix)
+{
+    DispatchGuard guard;
+    const SaProblem with_features =
+        makeSaProblem(201, 64, 24, 8, 13, 17);
+    const SaProblem coords_only = makeSaProblem(202, 48, 16, 6, 0, 10);
+    const SaProblem k_one = makeSaProblem(203, 32, 12, 1, 5, 8);
+    for (const DispatchCase &c : dispatchMatrix()) {
+        applyCase(c);
+        expectSaParity(with_features, c);
+        expectSaParity(coords_only, c);
+        expectSaParity(k_one, c);
+    }
+}
+
+TEST(DelayedAggregation, SaFirstLinearDuplicateNeighborParity)
+{
+    DispatchGuard guard;
+    SaProblem p = makeSaProblem(204, 40, 14, 4, 7, 9);
+    // Pad-style rows: every neighbor the same point.
+    for (std::size_t q = 0; q < 14; ++q) {
+        const std::uint32_t base = p.neighbors.indices[q * 4];
+        for (std::size_t j = 1; j < 4; ++j) {
+            p.neighbors.indices[q * 4 + j] = base;
+        }
+    }
+    for (const DispatchCase &c : dispatchMatrix()) {
+        applyCase(c);
+        expectSaParity(p, c);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delayed EdgeConv first Linear vs eager edgeFeatures + Linear.
+// ---------------------------------------------------------------------
+
+struct EdgeProblem
+{
+    nn::Matrix features;
+    NeighborLists neighbors;
+    nn::Matrix weight;
+    nn::Matrix bias;
+};
+
+EdgeProblem
+makeEdgeProblem(std::uint64_t seed, std::size_t n, std::size_t k,
+                std::size_t feat_dim, std::size_t c_out)
+{
+    Rng rng(seed);
+    EdgeProblem p;
+    p.features = randomMatrix(rng, n, feat_dim);
+    p.neighbors = randomNeighbors(rng, n, k, n);
+    p.weight = randomMatrix(rng, 2 * feat_dim, c_out);
+    p.weight.scale(0.5f);
+    p.bias = randomMatrix(rng, 1, c_out);
+    return p;
+}
+
+void
+expectEdgeParity(const EdgeProblem &p, const DispatchCase &c)
+{
+    Rng rng(1);
+    nn::Linear lin(p.weight.rows(), p.weight.cols(), rng);
+    lin.weights().value = p.weight;
+    lin.biases().value = p.bias;
+    const nn::Matrix edges = nn::edgeFeatures(p.features, p.neighbors);
+    const nn::Matrix eager = lin.forward(edges, false);
+
+    const nn::Matrix delayed = nn::delayedEdgeFirstLinear(
+        p.features, p.neighbors, p.weight, p.bias,
+        nn::GemmEngine::globalEngine(), nullptr);
+    expectNear(eager, delayed, c.tol, c.tag);
+}
+
+TEST(DelayedAggregation, EdgeFirstLinearMatchesEagerAcrossDispatchMatrix)
+{
+    DispatchGuard guard;
+    const EdgeProblem wide = makeEdgeProblem(301, 40, 9, 11, 15);
+    const EdgeProblem k_one = makeEdgeProblem(302, 24, 1, 6, 8);
+    EdgeProblem duplicates = makeEdgeProblem(303, 20, 5, 7, 9);
+    for (std::size_t q = 0; q < 20; ++q) {
+        const std::uint32_t base = duplicates.neighbors.indices[q * 5];
+        for (std::size_t j = 1; j < 5; ++j) {
+            duplicates.neighbors.indices[q * 5 + j] = base;
+        }
+    }
+    for (const DispatchCase &c : dispatchMatrix()) {
+        applyCase(c);
+        expectEdgeParity(wide, c);
+        expectEdgeParity(k_one, c);
+        expectEdgeParity(duplicates, c);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fully delayed single-stage SA inference (Tier A: gatherMaxPoolInto).
+// ---------------------------------------------------------------------
+
+TEST(DelayedAggregation, SingleStageInferMatchesEagerAcrossDispatchMatrix)
+{
+    DispatchGuard guard;
+    const SaProblem p = makeSaProblem(401, 56, 20, 7, 9, 12);
+    for (const DispatchCase &c : dispatchMatrix()) {
+        applyCase(c);
+        // Eager: LinearRelu over the grouped rows, then the neighbor
+        // max-pool.
+        Rng rng(1);
+        nn::LinearRelu lr(p.weight.rows(), p.weight.cols(), rng);
+        lr.weights().value = p.weight;
+        lr.biases().value = p.bias;
+        const nn::Matrix grouped = nn::groupWithRelativeCoords(
+            p.positions, p.features, p.samples, p.neighbors);
+        const nn::Matrix act = lr.forward(grouped, false);
+        nn::MaxPoolNeighbors pool(p.neighbors.k);
+        const nn::Matrix eager = pool.forward(act, false);
+
+        const nn::Matrix delayed = nn::delayedSaSingleStageInfer(
+            p.positions, p.features, p.samples, p.neighbors, p.weight,
+            p.bias, nn::GemmEngine::globalEngine());
+        expectNear(eager, delayed, c.tol, c.tag);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mode resolution and FLOP-ratio heuristics.
+// ---------------------------------------------------------------------
+
+TEST(DelayedAggregation, ResolvePrecedenceEnvThenConfigThenRatio)
+{
+    DispatchGuard guard;
+
+    // Process-wide On/Off wins over everything.
+    nn::setDelayedAggMode(nn::DelayedAggMode::On);
+    EXPECT_TRUE(nn::resolveDelayedAgg(nn::DelayedAggMode::Off, 0.1));
+    EXPECT_STREQ(nn::delayedAggModeName(), "on");
+    nn::setDelayedAggMode(nn::DelayedAggMode::Off);
+    EXPECT_FALSE(nn::resolveDelayedAgg(nn::DelayedAggMode::On, 100.0));
+    EXPECT_STREQ(nn::delayedAggModeName(), "off");
+
+    // Auto defers to the config, then to the ratio threshold.
+    nn::setDelayedAggMode(nn::DelayedAggMode::Auto);
+    EXPECT_STREQ(nn::delayedAggModeName(), "auto");
+    EXPECT_TRUE(nn::resolveDelayedAgg(nn::DelayedAggMode::On, 0.1));
+    EXPECT_FALSE(nn::resolveDelayedAgg(nn::DelayedAggMode::Off, 100.0));
+    EXPECT_FALSE(nn::resolveDelayedAgg(nn::DelayedAggMode::Auto,
+                                       nn::kDelayedAggFlopRatio - 0.01));
+    EXPECT_TRUE(nn::resolveDelayedAgg(nn::DelayedAggMode::Auto,
+                                      nn::kDelayedAggFlopRatio));
+}
+
+TEST(DelayedAggregation, FlopRatioFormulas)
+{
+    // EdgeConv: two C-wide GEMMs replace one (2C)-wide GEMM over k
+    // times the rows — the ratio is exactly k.
+    EXPECT_DOUBLE_EQ(nn::edgeDelayedFlopRatio(20), 20.0);
+    EXPECT_DOUBLE_EQ(nn::edgeDelayedFlopRatio(1), 1.0);
+
+    // SA: n*k grouped rows vs N unique rows plus n 3-wide centers.
+    const double ratio = nn::saDelayedFlopRatio(1000, 250, 16, 13);
+    const double eager = 250.0 * 16.0 * 16.0;
+    const double delayed = 1000.0 * 16.0 + 250.0 * 3.0;
+    EXPECT_DOUBLE_EQ(ratio, eager / delayed);
+    EXPECT_GT(ratio, nn::kDelayedAggFlopRatio);
+}
+
+} // namespace
+} // namespace edgepc

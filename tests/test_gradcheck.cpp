@@ -212,6 +212,80 @@ TEST(GradCheck, DgcnnClassifierBaseline)
     checkGradients(model, cloud, EdgePcConfig::baseline(), {2});
 }
 
+// Delayed aggregation (DESIGN.md §13) reformulates the first Linear's
+// backward as scatter-adds and segment sums; the gradients must agree
+// with finite differences under both GEMM microkernel builds, exactly
+// like the eager route.
+class ScopedDelayedAgg
+{
+  public:
+    explicit ScopedDelayedAgg(nn::DelayedAggMode mode)
+        : saved(nn::delayedAggMode())
+    {
+        nn::setDelayedAggMode(mode);
+    }
+    ~ScopedDelayedAgg() { nn::setDelayedAggMode(saved); }
+
+  private:
+    nn::DelayedAggMode saved;
+};
+
+void
+checkDelayedBlocksUnderDispatchPath(nn::GemmDispatchPath path)
+{
+    const nn::GemmDispatchPath saved = nn::GemmEngine::dispatchPath();
+    nn::GemmEngine::setDispatchPath(path);
+    ScopedDelayedAgg delayed(nn::DelayedAggMode::On);
+
+    {
+        // Segmentation exercises the delayed dF path (level-1 SA
+        // grouping carries features; level-0 is coordinates-only, so
+        // both cache shapes are covered).
+        PointNetPPConfig cfg;
+        cfg.numClasses = 3;
+        cfg.sa = {
+            {8, 4, 0.5f, NeighborMode::BallQuery, {6}},
+            {4, 2, 0.9f, NeighborMode::BallQuery, {8}},
+        };
+        cfg.fp = {{{6}}, {{6}}};
+        cfg.headMlp = {6};
+        PointNetPP model(cfg, 4);
+        const PointCloud cloud = tinyCloud(24, 2);
+        std::vector<std::int32_t> labels(cloud.size());
+        Rng rng(5);
+        for (auto &l : labels) {
+            l = static_cast<std::int32_t>(rng.nextBelow(3));
+        }
+        checkGradients(model, cloud, EdgePcConfig::baseline(), labels);
+    }
+    {
+        DgcnnConfig cfg;
+        cfg.task = DgcnnTask::Classification;
+        cfg.numClasses = 3;
+        cfg.k = 4;
+        cfg.ecWidths = {6, 8};
+        cfg.embeddingDim = 8;
+        cfg.headMlp = {6};
+        Dgcnn model(cfg, 8);
+        const PointCloud cloud = tinyCloud(20, 4);
+        checkGradients(model, cloud, EdgePcConfig::baseline(), {2});
+    }
+    nn::GemmEngine::setDispatchPath(saved);
+}
+
+TEST(GradCheck, DelayedBlocksForcedScalarGemm)
+{
+    checkDelayedBlocksUnderDispatchPath(nn::GemmDispatchPath::ForceScalar);
+}
+
+TEST(GradCheck, DelayedBlocksForcedFastGemm)
+{
+    if (!nn::GemmEngine::fastKernelAvailable()) {
+        GTEST_SKIP() << "no AVX2+FMA on this host";
+    }
+    checkDelayedBlocksUnderDispatchPath(nn::GemmDispatchPath::ForceFast);
+}
+
 TEST(GradCheck, DgcnnSegmentationWithApproximations)
 {
     DgcnnConfig cfg;

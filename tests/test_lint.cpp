@@ -159,6 +159,23 @@ TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
               std::string::npos)
         << r.output;
 
+    // The gatherMaxPoolInto idiom (DESIGN.md §13): owning buffers
+    // sized before the EDGEPC_HOT region and spans used locally stay
+    // clean; sizing the pooled matrix inside the region is R6 and
+    // leaking the arena staging span is R8.
+    EXPECT_NE(r.output.find("nn/gather_pool_hot.cpp:41:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/gather_pool_hot.cpp:50:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("nn/gather_pool_hot.cpp:30:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("nn/gather_pool_hot.cpp:57:"),
+              std::string::npos)
+        << r.output;
+
     // R9: raw std mutex, missing rank, and a rank nothing guards;
     // the Compliant struct stays clean.
     EXPECT_NE(r.output.find("serve/r9_unannotated_mutex.cpp:16:"),

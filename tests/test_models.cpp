@@ -116,6 +116,91 @@ TEST(PointNetPP, PaperScaleConfigConstructs)
     EXPECT_GT(params.size(), 40u);
 }
 
+// ---------------------------------------------------------------------
+// Delayed-aggregation accuracy parity (DESIGN.md §13): the delayed and
+// eager routes share parameters, so same-seed models must produce the
+// same logits on the three synthetic tasks, up to the float
+// reassociation the route swap introduces.
+// ---------------------------------------------------------------------
+
+void
+expectLogitsNear(const nn::Matrix &a, const nn::Matrix &b, float tol)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "logit " << i;
+    }
+}
+
+TEST(PointNetPP, DelayedAggregationMatchesEagerClassification)
+{
+    const PointCloud cloud = makeCloud(128, 21);
+    PointNetPPConfig eager_cfg =
+        PointNetPPConfig::liteClassification(128, 8);
+    eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;
+    PointNetPPConfig delayed_cfg =
+        PointNetPPConfig::liteClassification(128, 8);
+    delayed_cfg.delayedAggregation = nn::DelayedAggMode::On;
+
+    PointNetPP eager(eager_cfg, 7);
+    PointNetPP delayed(delayed_cfg, 7);
+    expectLogitsNear(eager.infer(cloud, EdgePcConfig::baseline()),
+                     delayed.infer(cloud, EdgePcConfig::baseline()),
+                     5e-3f);
+}
+
+TEST(PointNetPP, DelayedAggregationMatchesEagerSegmentation)
+{
+    const PointCloud cloud = makeCloud(256, 22);
+    PointNetPPConfig eager_cfg =
+        PointNetPPConfig::liteSegmentation(256, 5);
+    eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;
+    PointNetPPConfig delayed_cfg =
+        PointNetPPConfig::liteSegmentation(256, 5);
+    delayed_cfg.delayedAggregation = nn::DelayedAggMode::On;
+
+    PointNetPP eager(eager_cfg, 7);
+    PointNetPP delayed(delayed_cfg, 7);
+    // The approximate config also runs both routes (Morton kernels
+    // change the neighbor lists, not the commute argument).
+    for (const EdgePcConfig &config :
+         {EdgePcConfig::baseline(), EdgePcConfig::sn()}) {
+        expectLogitsNear(eager.infer(cloud, config),
+                         delayed.infer(cloud, config), 5e-3f);
+    }
+}
+
+TEST(Dgcnn, DelayedAggregationMatchesEagerClassification)
+{
+    const PointCloud cloud = makeCloud(128, 23);
+    DgcnnConfig eager_cfg = DgcnnConfig::liteClassification(8);
+    eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;
+    DgcnnConfig delayed_cfg = DgcnnConfig::liteClassification(8);
+    delayed_cfg.delayedAggregation = nn::DelayedAggMode::On;
+
+    Dgcnn eager(eager_cfg, 7);
+    Dgcnn delayed(delayed_cfg, 7);
+    expectLogitsNear(eager.infer(cloud, EdgePcConfig::baseline()),
+                     delayed.infer(cloud, EdgePcConfig::baseline()),
+                     5e-3f);
+}
+
+TEST(Dgcnn, DelayedAggregationMatchesEagerSegmentation)
+{
+    const PointCloud cloud = makeCloud(96, 24);
+    DgcnnConfig eager_cfg = DgcnnConfig::liteSegmentation(5);
+    eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;
+    DgcnnConfig delayed_cfg = DgcnnConfig::liteSegmentation(5);
+    delayed_cfg.delayedAggregation = nn::DelayedAggMode::On;
+
+    Dgcnn eager(eager_cfg, 7);
+    Dgcnn delayed(delayed_cfg, 7);
+    expectLogitsNear(eager.infer(cloud, EdgePcConfig::baseline()),
+                     delayed.infer(cloud, EdgePcConfig::baseline()),
+                     5e-3f);
+}
+
 TEST(Dgcnn, ClassificationForwardShapes)
 {
     const PointCloud cloud = makeCloud(128, 8);

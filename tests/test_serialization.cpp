@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "datasets/shapes.hpp"
 #include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
 #include "nn/serialization.hpp"
 
 namespace edgepc {
@@ -104,6 +105,90 @@ TEST(Serialization, ModelRoundTripPreservesInference)
     ASSERT_EQ(a.numel(), b.numel());
     for (std::size_t i = 0; i < a.numel(); ++i) {
         EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]) << "logit " << i;
+    }
+}
+
+TEST(Serialization, EagerCheckpointLoadsIntoDelayedBlocksAndBack)
+{
+    // Delayed aggregation is an execution route, not a parameter
+    // layout: a checkpoint written by an eager model must load into a
+    // delayed-configured one (same stream, logits within reassociation
+    // distance) and a checkpoint written back by the delayed model
+    // must reproduce the eager model's logits bit-exactly.
+    Rng rng(7);
+    ShapeOptions options;
+    options.points = 64;
+    const PointCloud cloud = makeShape(ShapeClass::Cube, options, rng);
+
+    DgcnnConfig eager_cfg = DgcnnConfig::liteClassification(8);
+    eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;
+    DgcnnConfig delayed_cfg = DgcnnConfig::liteClassification(8);
+    delayed_cfg.delayedAggregation = nn::DelayedAggMode::On;
+
+    Dgcnn eager(eager_cfg, 11);
+    Dgcnn delayed(delayed_cfg, 99);
+
+    std::stringstream ss;
+    std::vector<nn::Parameter *> ep, dp;
+    eager.collectParameters(ep);
+    delayed.collectParameters(dp);
+    ASSERT_EQ(ep.size(), dp.size());
+    ASSERT_TRUE(nn::saveParameters(ep, ss));
+    ASSERT_TRUE(nn::loadParameters(dp, ss));
+
+    const nn::Matrix a = eager.infer(cloud, EdgePcConfig::baseline());
+    const nn::Matrix b = delayed.infer(cloud, EdgePcConfig::baseline());
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        EXPECT_NEAR(a.data()[i], b.data()[i], 5e-3) << "logit " << i;
+    }
+
+    // And back: the delayed model's checkpoint restores the eager
+    // route exactly (identical parameter stream either way).
+    std::stringstream back_ss;
+    ASSERT_TRUE(nn::saveParameters(dp, back_ss));
+    Dgcnn back(eager_cfg, 5);
+    std::vector<nn::Parameter *> bp;
+    back.collectParameters(bp);
+    ASSERT_TRUE(nn::loadParameters(bp, back_ss));
+    const nn::Matrix c = back.infer(cloud, EdgePcConfig::baseline());
+    ASSERT_EQ(a.numel(), c.numel());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        EXPECT_FLOAT_EQ(a.data()[i], c.data()[i]) << "logit " << i;
+    }
+}
+
+TEST(Serialization, EagerCheckpointLoadsIntoDelayedPointNetPP)
+{
+    Rng rng(9);
+    ShapeOptions options;
+    options.points = 64;
+    const PointCloud cloud = makeShape(ShapeClass::Torus, options, rng);
+
+    PointNetPPConfig eager_cfg =
+        PointNetPPConfig::liteSegmentation(64, 5);
+    eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;
+    PointNetPPConfig delayed_cfg =
+        PointNetPPConfig::liteSegmentation(64, 5);
+    delayed_cfg.delayedAggregation = nn::DelayedAggMode::On;
+
+    PointNetPP eager(eager_cfg, 31);
+    PointNetPP delayed(delayed_cfg, 77);
+
+    std::stringstream ss;
+    std::vector<nn::Parameter *> ep, dp;
+    eager.collectParameters(ep);
+    delayed.collectParameters(dp);
+    ASSERT_EQ(ep.size(), dp.size());
+    ASSERT_TRUE(nn::saveParameters(ep, ss));
+    ASSERT_TRUE(nn::loadParameters(dp, ss));
+
+    const nn::Matrix a = eager.infer(cloud, EdgePcConfig::baseline());
+    const nn::Matrix b = delayed.infer(cloud, EdgePcConfig::baseline());
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        EXPECT_NEAR(a.data()[i], b.data()[i], 5e-3) << "logit " << i;
     }
 }
 

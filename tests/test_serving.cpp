@@ -321,6 +321,109 @@ TEST(InferBatch, SingleCloudFallsBackToInfer)
     EXPECT_TRUE(logitsFinite(batched[0]));
 }
 
+// Delayed aggregation (DESIGN.md §13) must stay transparent to the
+// serving micro-batch route: inferBatch decides delayed-vs-eager per
+// cloud with the same formula as single-cloud infer, so batched and
+// per-frame logits must agree. Named Serving* so the TSan CI gate
+// runs these under the thread sanitizer.
+
+TEST(ServingDelayedAgg, InferBatchMatchesPerFrameSegmentation)
+{
+    PointNetPPConfig mcfg = PointNetPPConfig::liteSegmentation(kPoints, 5);
+    mcfg.delayedAggregation = nn::DelayedAggMode::On;
+    PointNetPP model(mcfg, 3);
+    const std::vector<PointCloud> clouds = makeStream(3, 304);
+    const EdgePcConfig cfg = EdgePcConfig::sn();
+
+    std::vector<nn::Matrix> ref;
+    ref.reserve(clouds.size());
+    for (const PointCloud &cloud : clouds) {
+        ref.push_back(model.infer(cloud, cfg));
+    }
+    const std::vector<nn::Matrix> batched = model.inferBatch(clouds, cfg);
+
+    ASSERT_EQ(batched.size(), clouds.size());
+    for (std::size_t b = 0; b < clouds.size(); ++b) {
+        ASSERT_EQ(batched[b].rows(), ref[b].rows());
+        ASSERT_EQ(batched[b].cols(), ref[b].cols());
+        for (std::size_t i = 0; i < ref[b].rows(); ++i) {
+            for (std::size_t c = 0; c < ref[b].cols(); ++c) {
+                EXPECT_NEAR(batched[b].at(i, c), ref[b].at(i, c), 5e-3)
+                    << "cloud " << b << " row " << i << " col " << c;
+            }
+        }
+    }
+}
+
+TEST(ServingDelayedAgg, InferBatchMatchesPerFrameClassification)
+{
+    // The classifier's deepest SA stage is a single-stage BN-free
+    // block, so this also covers the fully-delayed (Tier A) per-cloud
+    // branch of the batched route.
+    PointNetPPConfig mcfg = PointNetPPConfig::liteClassification(kPoints, 4);
+    mcfg.delayedAggregation = nn::DelayedAggMode::On;
+    PointNetPP model(mcfg, 7);
+    const std::vector<PointCloud> clouds = makeStream(4, 305);
+    const EdgePcConfig cfg = EdgePcConfig::baseline();
+
+    std::vector<nn::Matrix> ref;
+    ref.reserve(clouds.size());
+    for (const PointCloud &cloud : clouds) {
+        ref.push_back(model.infer(cloud, cfg));
+    }
+    const std::vector<nn::Matrix> batched = model.inferBatch(clouds, cfg);
+
+    ASSERT_EQ(batched.size(), clouds.size());
+    for (std::size_t b = 0; b < clouds.size(); ++b) {
+        ASSERT_EQ(batched[b].rows(), 1u);
+        ASSERT_EQ(batched[b].cols(), ref[b].cols());
+        for (std::size_t c = 0; c < ref[b].cols(); ++c) {
+            EXPECT_NEAR(batched[b].at(0, c), ref[b].at(0, c), 5e-3);
+        }
+    }
+}
+
+TEST(ServingDelayedAgg, MixedEagerAndDelayedBatchAgrees)
+{
+    // Force one cloud onto the eager route and the rest onto the
+    // delayed route *within the same batch* by keeping the mode Auto:
+    // the per-cloud FLOP-ratio decision then depends on cloud size,
+    // and a small outlier cloud lands below the crossover while the
+    // large ones stay above it. The batched path must reproduce each
+    // cloud's single-frame logits regardless of route mix.
+    PointNetPPConfig mcfg = PointNetPPConfig::liteSegmentation(kPoints, 5);
+    mcfg.delayedAggregation = nn::DelayedAggMode::Auto;
+    PointNetPP model(mcfg, 3);
+
+    std::vector<PointCloud> clouds = makeStream(2, 306);
+    {
+        Rng rng(307);
+        SceneOptions options;
+        options.points = 24; // small: low sample/neighbor counts
+        clouds.push_back(makeScene(options, rng));
+    }
+    const EdgePcConfig cfg = EdgePcConfig::baseline();
+
+    std::vector<nn::Matrix> ref;
+    ref.reserve(clouds.size());
+    for (const PointCloud &cloud : clouds) {
+        ref.push_back(model.infer(cloud, cfg));
+    }
+    const std::vector<nn::Matrix> batched = model.inferBatch(clouds, cfg);
+
+    ASSERT_EQ(batched.size(), clouds.size());
+    for (std::size_t b = 0; b < clouds.size(); ++b) {
+        ASSERT_EQ(batched[b].rows(), ref[b].rows());
+        ASSERT_EQ(batched[b].cols(), ref[b].cols());
+        for (std::size_t i = 0; i < ref[b].rows(); ++i) {
+            for (std::size_t c = 0; c < ref[b].cols(); ++c) {
+                EXPECT_NEAR(batched[b].at(i, c), ref[b].at(i, c), 5e-3)
+                    << "cloud " << b << " row " << i << " col " << c;
+            }
+        }
+    }
+}
+
 // ----------------------------------------------------------- engine
 
 TEST(ServingEngine, ServesCleanStreamsInOrder)
