@@ -177,6 +177,7 @@ class BenchReport
         configStr["gemm_path"] = nn::GemmEngine::activeKernelName();
         configStr["gemm_epilogue"] = nn::GemmEngine::epilogueModeName();
         configStr["delayed_agg"] = nn::delayedAggModeName();
+        configStr["pipeline"] = pipelineModeName();
     }
 
     /** Echo a config knob into the report. */

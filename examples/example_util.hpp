@@ -14,9 +14,12 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <limits>
 #include <string>
+
+#include "core/staged_pipeline.hpp"
 
 namespace edgepc {
 namespace examples {
@@ -62,6 +65,32 @@ parseCount(const char *arg, const char *name, const std::string &usage,
     }
     out = static_cast<int>(wide);
     return true;
+}
+
+/**
+ * Parse a --pipeline on|off|auto value (the EDGEPC_PIPELINE staged
+ * executor dispatch). Same contract as parseCount: on bad input a
+ * diagnostic plus the usage line is printed and the caller exits 2.
+ */
+inline bool
+parsePipelineMode(const char *arg, const std::string &usage,
+                  PipelineMode &out)
+{
+    if (std::strcmp(arg, "on") == 0) {
+        out = PipelineMode::On;
+        return true;
+    }
+    if (std::strcmp(arg, "off") == 0) {
+        out = PipelineMode::Off;
+        return true;
+    }
+    if (std::strcmp(arg, "auto") == 0) {
+        out = PipelineMode::Auto;
+        return true;
+    }
+    std::cerr << "error: --pipeline must be on, off or auto (got '"
+              << arg << "')\nusage: " << usage << "\n";
+    return false;
 }
 
 } // namespace examples

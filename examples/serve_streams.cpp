@@ -22,8 +22,15 @@
  * (the response futures, per-stream counters and stream health must
  * all reconcile).
  *
+ * With --pipeline on|off|auto the engine's inter-frame staged
+ * executor is forced on, off, or left to auto-resolve: when on, a
+ * dispatch round with >= 2 staged-capable frames overlaps frame t+1's
+ * structurization with frame t's neighbor search and GEMM, and the
+ * per-stream tables report how many frames took the pipelined path.
+ *
  * Usage: serve_streams [--streams N] [--frames N] [--points N]
  *                      [--chaos] [--trace OUT.json]
+ *                      [--pipeline on|off|auto]
  */
 
 #include <chrono>
@@ -53,12 +60,13 @@ main(int argc, char **argv)
 {
     const std::string usage =
         "serve_streams [--streams N] [--frames N] [--points N] "
-        "[--chaos] [--trace OUT.json]";
+        "[--chaos] [--trace OUT.json] [--pipeline on|off|auto]";
     std::size_t streams = 4;
     std::size_t frames = 32;
     std::size_t points = 512;
     bool chaos = false;
     std::string trace_path;
+    PipelineMode pipeline_mode = PipelineMode::Auto;
 
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--chaos") == 0) {
@@ -69,8 +77,10 @@ main(int argc, char **argv)
         const bool want_frames = std::strcmp(argv[a], "--frames") == 0;
         const bool want_points = std::strcmp(argv[a], "--points") == 0;
         const bool want_trace = std::strcmp(argv[a], "--trace") == 0;
+        const bool want_pipeline =
+            std::strcmp(argv[a], "--pipeline") == 0;
         if (!want_streams && !want_frames && !want_points &&
-            !want_trace) {
+            !want_trace && !want_pipeline) {
             std::cerr << "error: unknown argument '" << argv[a]
                       << "'\nusage: " << usage << "\n";
             return 2;
@@ -83,6 +93,13 @@ main(int argc, char **argv)
         ++a;
         if (want_trace) {
             trace_path = argv[a];
+            continue;
+        }
+        if (want_pipeline) {
+            if (!examples::parsePipelineMode(argv[a], usage,
+                                             pipeline_mode)) {
+                return 2;
+            }
             continue;
         }
         std::size_t *slot = want_streams ? &streams
@@ -104,12 +121,14 @@ main(int argc, char **argv)
               << frames << " frames x " << points
               << " points over one shared model"
               << (chaos ? " (with --chaos fault injection)" : "")
-              << "...\n\n";
+              << " [pipeline=" << pipelineModeName(pipeline_mode)
+              << "]...\n\n";
 
     PointNetPP model(PointNetPPConfig::liteSegmentation(points, 5), 42);
 
     serve::ServingOptions eopts;
     eopts.maxBatch = streams;
+    eopts.pipeline = pipeline_mode;
     eopts.streamDefaults.queueCapacity = 8;
     eopts.streamDefaults.backpressure =
         serve::BackpressurePolicy::DropOldest;
@@ -181,6 +200,7 @@ main(int argc, char **argv)
     // one response, and the per-stream counters must agree.
     bool consistent = true;
     std::size_t total_accepted = 0, total_served = 0, total_shed = 0;
+    std::size_t total_pipelined = 0;
     for (std::size_t s = 0; s < streams; ++s) {
         std::size_t served = 0, shed = 0;
         for (SubmitTicket &t : tickets[s]) {
@@ -194,6 +214,7 @@ main(int argc, char **argv)
         total_served += served;
         total_shed += shed;
         const StreamReport &rep = reports[s];
+        total_pipelined += rep.serve.pipelinedFrames;
         consistent = consistent && rep.serve.served == served &&
                      rep.serve.shed() == shed &&
                      rep.health.frames == rep.serve.accepted;
@@ -212,7 +233,8 @@ main(int argc, char **argv)
 
     std::cout << "engine totals: " << total_accepted << " accepted = "
               << total_served << " served + " << total_shed
-              << " shed (ladder floor "
+              << " shed, " << total_pipelined
+              << " via staged pipeline (ladder floor "
               << static_cast<int>(engine.ladderFloor()) << ")\n";
     std::cout << (consistent
                       ? "every in-flight frame accounted for — no "

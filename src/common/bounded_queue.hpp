@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bounded FIFO queue connecting pipeline stages (DESIGN.md §14).
+ *
+ * One producer and one consumer thread hand items across a fixed-size
+ * ring: push() blocks while the ring is full (backpressure toward the
+ * frame source), pop() blocks while it is empty, and close() starts
+ * the drain — producers are refused from then on, but every item
+ * already queued is still delivered before pop() reports exhaustion.
+ * The mutex hand-off is what gives each frame its happens-before edge
+ * between stage workers, so the per-frame context needs no atomics of
+ * its own.
+ *
+ * The implementation is a lock-ranked edgepc::Mutex (rank 35) plus a
+ * condition variable rather than a lock-free ring: the queue moves
+ * one pointer-sized slot per frame (hundreds of Hz), not per point,
+ * so contention is negligible and the blocking semantics stay simple
+ * enough to verify. No user code runs under the lock.
+ */
+
+#ifndef EDGEPC_COMMON_BOUNDED_QUEUE_HPP
+#define EDGEPC_COMMON_BOUNDED_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace edgepc {
+
+/**
+ * Bounded blocking FIFO with close/drain semantics. T must be movable;
+ * moves happen under the queue lock, so keep T cheap to move (the
+ * staged pipeline passes frame-slot pointers).
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity)
+        : cap(capacity == 0 ? 1 : capacity)
+    {
+        ring.resize(cap);
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue @p item, blocking while the queue is full. Returns false
+     * (item untouched) when the queue was closed before space opened.
+     */
+    [[nodiscard]] bool push(T item) EDGEPC_EXCLUDES(queueMu)
+    {
+        UniqueMutexLock lock(queueMu);
+        while (count == cap && !closedFlag) {
+            notFullCv.wait(lock);
+        }
+        if (closedFlag) {
+            return false;
+        }
+        ring[(head + count) % cap] = std::move(item);
+        ++count;
+        notEmptyCv.notify_one();
+        return true;
+    }
+
+    /** Enqueue without blocking; false when full or closed. */
+    [[nodiscard]] bool tryPush(T item) EDGEPC_EXCLUDES(queueMu)
+    {
+        MutexLock lock(queueMu);
+        if (count == cap || closedFlag) {
+            return false;
+        }
+        ring[(head + count) % cap] = std::move(item);
+        ++count;
+        notEmptyCv.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out, blocking while the queue is empty. Returns
+     * false only when the queue is closed AND fully drained — items
+     * queued before close() are always delivered.
+     */
+    [[nodiscard]] bool pop(T &out) EDGEPC_EXCLUDES(queueMu)
+    {
+        UniqueMutexLock lock(queueMu);
+        while (count == 0 && !closedFlag) {
+            notEmptyCv.wait(lock);
+        }
+        if (count == 0) {
+            return false; // Closed and drained.
+        }
+        out = std::move(ring[head]);
+        head = (head + 1) % cap;
+        --count;
+        notFullCv.notify_one();
+        return true;
+    }
+
+    /** Dequeue without blocking; false when nothing is queued. */
+    [[nodiscard]] bool tryPop(T &out) EDGEPC_EXCLUDES(queueMu)
+    {
+        MutexLock lock(queueMu);
+        if (count == 0) {
+            return false;
+        }
+        out = std::move(ring[head]);
+        head = (head + 1) % cap;
+        --count;
+        notFullCv.notify_one();
+        return true;
+    }
+
+    /**
+     * Refuse future pushes and wake every waiter. Idempotent. Items
+     * already queued remain poppable (drain semantics).
+     */
+    void close() EDGEPC_EXCLUDES(queueMu)
+    {
+        MutexLock lock(queueMu);
+        closedFlag = true;
+        notEmptyCv.notify_all();
+        notFullCv.notify_all();
+    }
+
+    /** Items currently queued (instantaneous; for gauges/tests). */
+    std::size_t depth() const EDGEPC_EXCLUDES(queueMu)
+    {
+        MutexLock lock(queueMu);
+        return count;
+    }
+
+    std::size_t capacity() const { return cap; }
+
+    /** True once close() ran. */
+    bool closed() const EDGEPC_EXCLUDES(queueMu)
+    {
+        MutexLock lock(queueMu);
+        return closedFlag;
+    }
+
+  private:
+    const std::size_t cap;
+
+    // EDGEPC_LOCK_RANK(35): inter-stage queue lock — leaf in practice
+    // (only ring bookkeeping runs under it; no kernel or callback code),
+    // ranked between ServingEngine::engineMu (40) and
+    // ThreadPool::queueMutex (30) so a dispatcher may hand frames to a
+    // stage queue while pool workers stay acquirable downstream.
+    mutable Mutex queueMu;
+    std::condition_variable_any notEmptyCv;
+    std::condition_variable_any notFullCv;
+    std::vector<T> ring EDGEPC_GUARDED_BY(queueMu);
+    std::size_t head EDGEPC_GUARDED_BY(queueMu) = 0;
+    std::size_t count EDGEPC_GUARDED_BY(queueMu) = 0;
+    bool closedFlag EDGEPC_GUARDED_BY(queueMu) = false;
+};
+
+} // namespace edgepc
+
+#endif // EDGEPC_COMMON_BOUNDED_QUEUE_HPP

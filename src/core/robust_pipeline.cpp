@@ -1,8 +1,10 @@
 #include "core/robust_pipeline.hpp"
 
 #include <chrono>
+#include <deque>
 #include <ostream>
 #include <utility>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -172,6 +174,14 @@ RobustPipeline::process(const PointCloud &frame)
     }
     out.sanitize = sanitized.value();
 
+    runLadder(out);
+    out.frameMs = wall.elapsedMs();
+    return out;
+}
+
+void
+RobustPipeline::runLadder(RobustFrameResult &out)
+{
     // --- Run, retrying down the degradation ladder ------------------
     // `level` is sticky across frames: after a failure or deadline
     // miss the stream keeps serving at the degraded level (the last
@@ -225,20 +235,189 @@ RobustPipeline::process(const PointCloud &frame)
             out.status = FrameStatus::Ok;
             stats.bump(stats.ok);
         }
-        out.frameMs = wall.elapsedMs();
-        return out;
+        return;
     }
 
     // Every ladder level failed: skip the frame.
     out.status = FrameStatus::Dropped;
     if (out.error.message.empty()) {
         out.error = makeError(ErrorCode::FrameRejected,
-                              "process: all ladder levels failed");
+                              "runLadder: all ladder levels failed");
     }
-    out.frameMs = wall.elapsedMs();
     stats.bump(stats.dropped);
     cleanStreak = 0;
-    return out;
+}
+
+std::size_t
+RobustPipeline::processStream(std::span<const PointCloud> frames,
+                              const StreamSink &sink)
+{
+    EDGEPC_TRACE_SCOPE("robust.stream", "pipeline");
+    streamRole.assertHeld();
+
+    if (!resolvePipeline(model, frames.size())) {
+        std::size_t served = 0;
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            RobustFrameResult out = process(frames[i]);
+            served += out.hasLogits() ? 1 : 0;
+            sink(i, std::move(out));
+        }
+        return served;
+    }
+
+    if (stagedExec == nullptr) {
+        stagedExec = std::make_unique<StagedPipeline>(model);
+    }
+
+    // Sanitize-accepted frames waiting on the executor, in submission
+    // order (the executor completes FIFO, so front() is always the
+    // next collect()).
+    struct Pending
+    {
+        std::size_t index = 0;
+        int lvl = 0;
+        PointCloud processed;
+        SanitizeReport sanitize;
+        double sanitizeMs = 0.0;
+    };
+    std::deque<Pending> pending;
+    // Frames that failed on the executor; retried down the ladder
+    // only after the drain (the sequential model path may share
+    // per-layer state with the staged workers).
+    struct Retry
+    {
+        std::size_t index = 0;
+        RobustFrameResult out;
+    };
+    std::vector<Retry> retries;
+    std::size_t served = 0;
+
+    auto collectOne = [&]() EDGEPC_REQUIRES(streamRole) {
+        StagedFrameResult r = stagedExec->collect();
+        Pending p = std::move(pending.front());
+        pending.pop_front();
+
+        RobustFrameResult out;
+        out.sanitize = p.sanitize;
+        out.processed = std::move(p.processed);
+        out.frameMs = p.sanitizeMs + r.wallMs;
+        if (r.failed) {
+            // One failed attempt, same bookkeeping as the in-process
+            // ladder; the serial retry continues from the escalated
+            // level after the drain.
+            stats.countError(r.error);
+            stats.bump(stats.retries);
+            out.error = r.error;
+            cleanStreak = 0;
+            level.store(std::min(p.lvl + 1, kLadderLevels - 1),
+                        std::memory_order_relaxed);
+            retries.push_back({p.index, std::move(out)});
+            return;
+        }
+
+        out.result.stages = std::move(r.stages);
+        out.result.logits = std::move(r.logits);
+        out.result.busyMs = out.result.stages.grandTotal();
+        out.result.wallMs = r.wallMs;
+        out.result.endToEndMs = r.wallMs;
+        out.result.sampleNeighborMs =
+            out.result.stages.total(kStageSample) +
+            out.result.stages.total(kStageNeighbor);
+        out.result.pipelined = true;
+        out.result.energyMj = energyModel.inferenceEnergyMj(
+            out.result.stages, configForLevel(p.lvl));
+        out.ladderLevel = p.lvl;
+
+        // Watchdog over in-flight frames: submit-to-completion wall
+        // time (queue wait included) against the soft deadline.
+        out.deadlineMissed =
+            opts.deadlineMs > 0.0 && out.frameMs > opts.deadlineMs;
+        if (out.deadlineMissed) {
+            stats.bump(stats.deadlineMisses);
+            cleanStreak = 0;
+            level.store(std::min(p.lvl + 1, kLadderLevels - 1),
+                        std::memory_order_relaxed);
+        } else {
+            noteHealthyFrame(out.sanitize.repaired());
+        }
+
+        if (p.lvl > 0) {
+            out.status = FrameStatus::Degraded;
+            stats.bump(stats.degraded);
+        } else if (out.sanitize.repaired()) {
+            out.status = FrameStatus::Repaired;
+            stats.bump(stats.repaired);
+        } else {
+            out.status = FrameStatus::Ok;
+            stats.bump(stats.ok);
+        }
+        ++served;
+        sink(p.index, std::move(out));
+    };
+
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        Timer sanitize_wall;
+        stats.bump(stats.frames);
+
+        Pending p;
+        p.index = i;
+        p.processed = frames[i];
+        Result<SanitizeReport> sanitized = [&] {
+            EDGEPC_TRACE_SCOPE("robust.sanitize", "pipeline");
+            return sanitizeCloud(p.processed, opts.sanitizer);
+        }();
+        if (!sanitized.ok()) {
+            RobustFrameResult out;
+            out.status = FrameStatus::Dropped;
+            out.error = sanitized.error();
+            out.processed = std::move(p.processed);
+            out.frameMs = sanitize_wall.elapsedMs();
+            stats.countError(out.error);
+            stats.bump(stats.dropped);
+            cleanStreak = 0;
+            sink(i, std::move(out));
+            continue;
+        }
+        p.sanitize = sanitized.value();
+        p.lvl = ladderLevel();
+
+        PointCloud submit_cloud = p.processed;
+        if (p.lvl >= 2 &&
+            submit_cloud.size() > opts.degradedPointBudget) {
+            submit_cloud = submit_cloud.select(
+                UniformIndexSampler::stridePositions(
+                    submit_cloud.size(), opts.degradedPointBudget));
+            p.processed = submit_cloud;
+        }
+        // Chaos/latency prolog fires on the caller thread inside the
+        // frame's deadline window, as in runAttempt().
+        if (opts.inferenceProlog) {
+            opts.inferenceProlog();
+        }
+        p.sanitizeMs = sanitize_wall.elapsedMs();
+
+        const EdgePcConfig lvl_cfg = configForLevel(p.lvl);
+        while (!stagedExec->trySubmit(submit_cloud, lvl_cfg)) {
+            collectOne();
+        }
+        pending.push_back(std::move(p));
+    }
+
+    // Drain: every accepted frame resolves before we return.
+    while (stagedExec->inFlight() > 0) {
+        collectOne();
+    }
+
+    // Serial ladder retries for executor-failed frames (the executor
+    // is idle now, so the stateful sequential path is safe).
+    for (Retry &retry : retries) {
+        Timer retry_wall;
+        runLadder(retry.out);
+        retry.out.frameMs += retry_wall.elapsedMs();
+        served += retry.out.hasLogits() ? 1 : 0;
+        sink(retry.index, std::move(retry.out));
+    }
+    return served;
 }
 
 void

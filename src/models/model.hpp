@@ -10,6 +10,7 @@
 #ifndef EDGEPC_MODELS_MODEL_HPP
 #define EDGEPC_MODELS_MODEL_HPP
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,6 +21,28 @@
 #include "pointcloud/point_cloud.hpp"
 
 namespace edgepc {
+
+/**
+ * Opaque per-frame context carried between the staged-inference
+ * stages (DESIGN.md §14). A model stores whatever its sample stage
+ * produces (structurizations, sample indices, interpolation plans)
+ * so the neighbor and feature stages can pick the frame up on a
+ * different worker thread. Frames are recycled by the staged
+ * executor, so implementations should clear contents in reset()
+ * while keeping heap capacity.
+ */
+class StagedFrame
+{
+  public:
+    virtual ~StagedFrame() = default;
+
+    /** Drop per-frame payloads so a pooled frame can be reused. */
+    virtual void reset() { fallbackCloud = PointCloud(); }
+
+    /** Frame copy used by the default whole-frame-infer fallback
+        (models with a real stage split ignore it). */
+    PointCloud fallbackCloud;
+};
 
 /** Abstract point-cloud CNN. */
 class PointCloudModel
@@ -60,6 +83,61 @@ class PointCloudModel
             out.push_back(infer(cloud, cfg, timer));
         }
         return out;
+    }
+
+    /**
+     * True when the model implements a real three-way stage split for
+     * the staged executor (core/staged_pipeline.hpp). The default
+     * staged* implementations below fall back to whole-frame infer()
+     * inside the feature stage, which is always correct (the staged
+     * executor calls the feature stage from a single thread at a
+     * time) but overlaps nothing.
+     */
+    virtual bool supportsStagedInfer() const { return false; }
+
+    /** Allocate a reusable per-frame context for staged inference. */
+    virtual std::unique_ptr<StagedFrame> makeStagedFrame()
+    {
+        return std::make_unique<StagedFrame>();
+    }
+
+    /**
+     * Staged inference, stage 1 of 3 — structurize + sample (the
+     * kStageSample seam): consume @p cloud into @p frame. Must touch
+     * only @p frame and stateless kernels; distinct frames may be in
+     * different stages concurrently, and a later frame runs this
+     * stage while an earlier one runs stagedNeighbor/stagedFeature.
+     * The default keeps the cloud for the feature-stage fallback.
+     */
+    virtual void stagedSample(StagedFrame &frame, const PointCloud &cloud,
+                              const EdgePcConfig &cfg, StageTimer *timer)
+    {
+        (void)cfg;
+        (void)timer;
+        frame.reset();
+        frame.fallbackCloud = cloud;
+    }
+
+    /** Staged stage 2 of 3 — neighbor search (kStageNeighbor seam). */
+    virtual void stagedNeighbor(StagedFrame &frame, const EdgePcConfig &cfg,
+                                StageTimer *timer)
+    {
+        (void)frame;
+        (void)cfg;
+        (void)timer;
+    }
+
+    /**
+     * Staged stage 3 of 3 — group + feature compute (kStageGroup /
+     * kStageFeature seams); returns the frame's logits. The staged
+     * executor serializes calls to this stage, so the default may run
+     * the (stateful) whole-frame infer() safely.
+     */
+    virtual nn::Matrix stagedFeature(StagedFrame &frame,
+                                     const EdgePcConfig &cfg,
+                                     StageTimer *timer)
+    {
+        return infer(frame.fallbackCloud, cfg, timer);
     }
 
     /** Model name for reports. */

@@ -170,17 +170,14 @@ PointNetPP::PointNetPP(PointNetPPConfig config, std::uint64_t seed)
     head.add(std::make_unique<nn::Linear>(head_in, cfg.numClasses, rng));
 }
 
-NeighborLists
-PointNetPP::saSampleAndSearch(std::size_t module,
-                              const EdgePcConfig &config,
-                              StageTimer *timer, LevelState &cur)
+void
+PointNetPP::saSampleStage(std::size_t module, const EdgePcConfig &config,
+                          StageTimer *timer, LevelState &cur) const
 {
     const SaBlock &block = saBlocks[module];
     const std::size_t num_points = cur.positions.size();
     const std::size_t n = std::min(block.conf.points, num_points);
-    const std::size_t k = block.conf.k;
 
-    // --- Sample stage ---------------------------------------------
     const bool morton_sample =
         config.approximate() &&
         static_cast<int>(module) < config.optimizedSampleLayers;
@@ -199,8 +196,16 @@ PointNetPP::saSampleAndSearch(std::size_t module,
             cur.sampleIndices = sampler.sample(cur.positions, n);
         }
     }
+}
 
-    // --- Neighbor search stage ------------------------------------
+NeighborLists
+PointNetPP::saNeighborStage(std::size_t module,
+                            const EdgePcConfig &config,
+                            StageTimer *timer, LevelState &cur) const
+{
+    const SaBlock &block = saBlocks[module];
+    const std::size_t k = block.conf.k;
+
     NeighborLists neighbors;
     const bool morton_ns =
         config.approximate() &&
@@ -235,6 +240,15 @@ PointNetPP::saSampleAndSearch(std::size_t module,
         }
     }
     return neighbors;
+}
+
+NeighborLists
+PointNetPP::saSampleAndSearch(std::size_t module,
+                              const EdgePcConfig &config,
+                              StageTimer *timer, LevelState &cur)
+{
+    saSampleStage(module, config, timer, cur);
+    return saNeighborStage(module, config, timer, cur);
 }
 
 void
@@ -804,6 +818,214 @@ PointNetPP::inferBatch(std::span<const PointCloud> clouds,
         offset += seg_rows[b];
     }
     return logits;
+}
+
+/**
+ * Per-frame context handed between the staged executor's workers. All
+ * members are frame-local heap state (no arena views, no references
+ * into the model), so a frame may sit in a queue or run on any stage
+ * worker while other frames occupy the other stages.
+ */
+struct PointNetPP::StagedState : StagedFrame
+{
+    std::vector<LevelState> levels;
+    std::vector<NeighborLists> neighbors;
+    std::vector<InterpolationPlan> plans;
+
+    void reset() override
+    {
+        StagedFrame::reset();
+        levels.clear();
+        neighbors.clear();
+        plans.clear();
+    }
+};
+
+std::unique_ptr<StagedFrame>
+PointNetPP::makeStagedFrame()
+{
+    return std::make_unique<StagedState>();
+}
+
+void
+PointNetPP::stagedSample(StagedFrame &frame, const PointCloud &cloud,
+                         const EdgePcConfig &config, StageTimer *timer)
+{
+    auto &st = static_cast<StagedState &>(frame);
+    if (cloud.empty()) {
+        raise(ErrorCode::EmptyCloud,
+              "PointNetPP::stagedSample: empty cloud");
+    }
+    if (cloud.featureDim() != cfg.inputFeatureDim) {
+        raise(ErrorCode::ShapeMismatch,
+              "PointNetPP::stagedSample: cloud feature dim %zu != "
+              "model %zu",
+              cloud.featureDim(), cfg.inputFeatureDim);
+    }
+    const std::size_t num_levels = cfg.sa.size() + 1;
+    st.levels.assign(num_levels, LevelState{});
+    st.neighbors.assign(cfg.sa.size(), NeighborLists{});
+    st.plans.assign(cfg.fp.size(), InterpolationPlan{});
+    st.levels[0].positions = cloud.positions();
+    st.levels[0].saFeatures =
+        nn::Matrix(cloud.size(), cfg.inputFeatureDim,
+                   std::vector<float>(cloud.features()));
+
+    // The whole sampling chain runs here: level i+1's positions are a
+    // pure gather of level i's sample indices, so no neighbor or
+    // feature result is ever needed to keep sampling.
+    for (std::size_t i = 0; i < saBlocks.size(); ++i) {
+        LevelState &cur = st.levels[i];
+        saSampleStage(i, config, timer, cur);
+        LevelState &next = st.levels[i + 1];
+        next.positions.resize(cur.sampleIndices.size());
+        for (std::size_t j = 0; j < cur.sampleIndices.size(); ++j) {
+            next.positions[j] = cur.positions[cur.sampleIndices[j]];
+        }
+    }
+
+    // FP up-sample plans read only positions / structurizations; the
+    // morton_up reuse condition (fine level under optimizedSampleLayers)
+    // implies the sampler above already built that structurization, so
+    // planning here is exactly the plan the sequential path computes.
+    for (std::size_t m = 0; m < fpBlocks.size(); ++m) {
+        const std::size_t coarse = num_levels - 1 - m;
+        const std::size_t fine = coarse - 1;
+        st.plans[m] = fpUpsamplePlan(fine, config, timer,
+                                     st.levels[fine], st.levels[coarse]);
+    }
+}
+
+void
+PointNetPP::stagedNeighbor(StagedFrame &frame, const EdgePcConfig &config,
+                           StageTimer *timer)
+{
+    auto &st = static_cast<StagedState &>(frame);
+    for (std::size_t i = 0; i < saBlocks.size(); ++i) {
+        st.neighbors[i] = saNeighborStage(i, config, timer, st.levels[i]);
+    }
+}
+
+nn::Matrix
+PointNetPP::stagedFeature(StagedFrame &frame, const EdgePcConfig &config,
+                          StageTimer *timer)
+{
+    (void)config;
+    auto &st = static_cast<StagedState &>(frame);
+    const std::size_t num_levels = st.levels.size();
+
+    for (std::size_t i = 0; i < saBlocks.size(); ++i) {
+        SaBlock &block = saBlocks[i];
+        LevelState &cur = st.levels[i];
+        LevelState &next = st.levels[i + 1];
+        const NeighborLists &neighbors = st.neighbors[i];
+        const std::size_t k_eff = neighbors.k;
+        const std::size_t feat_dim = cur.saFeatures.cols();
+        const std::size_t rows = cur.sampleIndices.size() * k_eff;
+
+        // Same per-frame delayed-aggregation decision as runSaModule
+        // (inference mode), but without touching block.delayedActive:
+        // the training route must not observe serving traffic.
+        auto *lin0 =
+            block.mlp.size() == 0
+                ? nullptr
+                : dynamic_cast<nn::Linear *>(block.mlp.layerAt(0));
+        auto *linrelu0 =
+            block.mlp.size() == 0
+                ? nullptr
+                : dynamic_cast<nn::LinearRelu *>(block.mlp.layerAt(0));
+        const double flop_ratio = nn::saDelayedFlopRatio(
+            cur.positions.size(), cur.sampleIndices.size(), k_eff,
+            feat_dim);
+        const bool delayed =
+            nn::resolveDelayedAgg(cfg.delayedAggregation, flop_ratio) &&
+            (lin0 != nullptr || linrelu0 != nullptr);
+
+        if (delayed && linrelu0 != nullptr) {
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageFeature);
+            next.saFeatures = nn::delayedSaSingleStageInfer(
+                cur.positions, cur.saFeatures, cur.sampleIndices,
+                neighbors, linrelu0->weights().value,
+                linrelu0->biases().value,
+                nn::GemmEngine::globalEngine());
+        } else if (delayed) {
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageFeature);
+            const nn::Matrix pre = nn::delayedSaFirstLinear(
+                cur.positions, cur.saFeatures, cur.sampleIndices,
+                neighbors, lin0->weights().value, lin0->biases().value,
+                nn::GemmEngine::globalEngine(), nullptr);
+            const nn::Matrix activated =
+                block.mlp.forwardFrom(1, pre, false);
+            next.saFeatures =
+                maxPoolStackedRows(activated, 0, rows, k_eff);
+        } else {
+            nn::Matrix grouped;
+            {
+                StageTimer dummy;
+                StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                              kStageGroup);
+                grouped = nn::groupWithRelativeCoords(
+                    cur.positions, cur.saFeatures, cur.sampleIndices,
+                    neighbors);
+            }
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageFeature);
+            const nn::Matrix activated =
+                block.mlp.forward(grouped, false);
+            next.saFeatures =
+                maxPoolStackedRows(activated, 0, rows, k_eff);
+        }
+        if (isClassifier()) {
+            // No skip connections ahead: free the consumed level now —
+            // with several frames in flight, peak footprint matters.
+            cur.saFeatures = nn::Matrix{};
+        }
+    }
+
+    if (isClassifier()) {
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageFeature);
+        nn::GlobalMaxPool pool;
+        const nn::Matrix pooled =
+            pool.forward(st.levels.back().saFeatures, false);
+        return head.forward(pooled, false);
+    }
+
+    std::vector<nn::Matrix> fp_feat(num_levels);
+    fp_feat.back() = std::move(st.levels.back().saFeatures);
+    for (std::size_t m = 0; m < fpBlocks.size(); ++m) {
+        FpBlock &block = fpBlocks[m];
+        const std::size_t coarse = num_levels - 1 - m;
+        const std::size_t fine = coarse - 1;
+        const LevelState &fine_level = st.levels[fine];
+        nn::Matrix concat;
+        {
+            StageTimer dummy;
+            StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                          kStageGroup);
+            const nn::Matrix up =
+                nn::applyInterpolation(st.plans[m], fp_feat[coarse]);
+            if (fine_level.saFeatures.cols() > 0) {
+                concat = nn::concatCols(up, fine_level.saFeatures);
+            } else {
+                concat = up;
+            }
+        }
+        StageTimer dummy;
+        StageTimer::ScopedStage scope(timer ? *timer : dummy,
+                                      kStageFeature);
+        fp_feat[fine] = block.mlp.forward(concat, false);
+    }
+
+    StageTimer dummy;
+    StageTimer::ScopedStage scope(timer ? *timer : dummy, kStageFeature);
+    return head.forward(fp_feat[0], false);
 }
 
 void

@@ -140,6 +140,30 @@ class PointNetPP : public TrainableModel
                                        StageTimer *timer = nullptr) override;
 
     /**
+     * Real three-way stage split for the staged executor
+     * (core/staged_pipeline.hpp). The key structural fact: every SA
+     * level's sample set depends only on positions, which derive from
+     * the previous level's sample indices — so the whole sampling
+     * chain (and the FP up-sample plans, which read only positions /
+     * structurizations) runs in the sample stage, all neighbor
+     * searches in the neighbor stage, and the gather + GEMM + pool +
+     * FP-apply + head in the feature stage. The feature stage uses
+     * the same stateless free-function route as inferBatch (never the
+     * gather/pool/interp layer members), so per-frame logits match
+     * sequential infer() and concurrent frames never share state.
+     */
+    bool supportsStagedInfer() const override { return true; }
+    std::unique_ptr<StagedFrame> makeStagedFrame() override;
+    void stagedSample(StagedFrame &frame, const PointCloud &cloud,
+                      const EdgePcConfig &config,
+                      StageTimer *timer) override;
+    void stagedNeighbor(StagedFrame &frame, const EdgePcConfig &config,
+                        StageTimer *timer) override;
+    nn::Matrix stagedFeature(StagedFrame &frame,
+                             const EdgePcConfig &config,
+                             StageTimer *timer) override;
+
+    /**
      * Forward pass keeping intermediates when @p train is true.
      * Returns per-point logits (N x classes) for segmentation or a
      * single-row logit matrix for classification.
@@ -198,6 +222,21 @@ class PointNetPP : public TrainableModel
                      StageTimer *timer, bool train);
     void runFpModule(std::size_t module, const EdgePcConfig &cfg,
                      StageTimer *timer, bool train);
+
+    /** Per-frame context of the staged split (defined in the .cpp). */
+    struct StagedState;
+
+    /** SA sample stage on @p cur: structurize + sample (or FPS),
+        filling cur.sampleIndices / structur / mortonSampled. */
+    void saSampleStage(std::size_t module, const EdgePcConfig &cfg,
+                       StageTimer *timer, LevelState &cur) const;
+
+    /** SA neighbor-search stage on @p cur (builds a structurization
+        itself when the sampler didn't leave one to reuse). */
+    NeighborLists saNeighborStage(std::size_t module,
+                                  const EdgePcConfig &cfg,
+                                  StageTimer *timer,
+                                  LevelState &cur) const;
 
     /** SA sample + neighbor-search stages on @p cur (shared by the
         single-cloud and batched paths; @p cur need not be a member

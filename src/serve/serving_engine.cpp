@@ -87,6 +87,8 @@ StreamReport::printTable(std::ostream &os) const
     table.row().cell("served").cell(static_cast<long long>(serve.served));
     table.row().cell("batched").cell(
         static_cast<long long>(serve.batchedFrames));
+    table.row().cell("pipelined").cell(
+        static_cast<long long>(serve.pipelinedFrames));
     table.row().cell("rejected").cell(
         static_cast<long long>(serve.rejected()));
     table.row().cell("shed").cell(static_cast<long long>(serve.shed()));
@@ -113,6 +115,8 @@ ServingEngine::ServingEngine(PointCloudModel &model_, EdgePcConfig cfg,
       mBatchedFrames(obs::MetricsRegistry::global().counter(
           "serve.batched_frames")),
       mBatches(obs::MetricsRegistry::global().counter("serve.batches")),
+      mPipelinedFrames(obs::MetricsRegistry::global().counter(
+          "serve.pipelined_frames")),
       mSloMisses(obs::MetricsRegistry::global().counter(
           "serve.slo_misses")),
       mBreakerTrips(obs::MetricsRegistry::global().counter(
@@ -543,6 +547,195 @@ ServingEngine::executeBatch(std::size_t count)
     }
 }
 
+bool
+ServingEngine::pipelinedEligible(std::size_t count) const
+{
+    if (count < 2 || !model.supportsStagedInfer()) {
+        return false;
+    }
+    switch (opts.pipeline) {
+      case PipelineMode::Off:
+        return false;
+      case PipelineMode::On:
+        return true;
+      case PipelineMode::Auto:
+        return resolvePipeline(model, count);
+    }
+    return false;
+}
+
+void
+ServingEngine::executePipelined(std::size_t count)
+{
+    EDGEPC_TRACE_SCOPE("serve.pipeline", "serve");
+    const double dispatch_ms = epoch.elapsedMs();
+    const int lvl = batchStreams[0]->robust->ladderLevel();
+    const EdgePcConfig cfg_lvl =
+        batchStreams[0]->robust->configForLevel(lvl);
+
+    // Sanitize (and subsample at the deepest degraded level) each
+    // frame exactly as the batched path / RobustPipeline::process do.
+    struct Slot
+    {
+        bool ok = false;
+        bool repaired = false;
+        bool stagedFailed = false;
+        double stagedWallMs = 0.0;
+        EdgePcError error;
+        nn::Matrix logits;
+    };
+    std::vector<Slot> slots(count);
+    std::vector<std::size_t> live_at;
+    live_at.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        StreamState &s = *batchStreams[i];
+        batchClouds[i] = batchScratch[i].cloud;
+        Result<SanitizeReport> rep =
+            sanitizeCloud(batchClouds[i], s.opts.robust.sanitizer);
+        if (!rep.ok()) {
+            slots[i].error = rep.error();
+            continue;
+        }
+        slots[i].ok = true;
+        slots[i].repaired = rep.value().repaired();
+        if (lvl >= 2 &&
+            batchClouds[i].size() > s.opts.robust.degradedPointBudget) {
+            batchClouds[i] = batchClouds[i].select(
+                UniformIndexSampler::stridePositions(
+                    batchClouds[i].size(),
+                    s.opts.robust.degradedPointBudget));
+        }
+        live_at.push_back(i);
+    }
+
+    // Chaos prologs fire on the dispatcher thread at submit, inside
+    // each frame's measured window (matches executeBatch).
+    for (const std::size_t i : live_at) {
+        const auto &prolog = batchStreams[i]->opts.robust.inferenceProlog;
+        if (prolog) {
+            prolog();
+        }
+    }
+
+    if (stagedExec == nullptr) {
+        stagedExec = std::make_unique<StagedPipeline>(model);
+    }
+    // Stream the live heads through the staged executor. Results come
+    // back FIFO, so collect index k is live_at[k]. Every submitted
+    // frame is collected before we leave this block: the sequential
+    // fallback below may touch model state the stage workers use.
+    {
+        std::size_t next = 0;
+        std::size_t collected = 0;
+        auto collectOne = [&] {
+            StagedFrameResult r = stagedExec->collect();
+            Slot &slot = slots[live_at[collected]];
+            slot.stagedWallMs = r.wallMs;
+            if (r.failed) {
+                slot.stagedFailed = true;
+                slot.error = r.error;
+            } else {
+                slot.logits = std::move(r.logits);
+            }
+            ++collected;
+        };
+        while (next < live_at.size()) {
+            if (stagedExec->trySubmit(batchClouds[live_at[next]],
+                                      cfg_lvl)) {
+                ++next;
+                continue;
+            }
+            collectOne();
+        }
+        while (collected < live_at.size()) {
+            collectOne();
+        }
+    }
+    mBatches.add();
+
+    std::vector<FrameResponse> responses(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        StreamState &s = *batchStreams[i];
+        Request &rq = batchScratch[i];
+        FrameResponse &resp = responses[i];
+        resp.stream = s.id;
+        resp.seq = rq.seq;
+        resp.queueMs = dispatch_ms - rq.submitMs;
+        resp.ladderLevel = lvl;
+        resp.pipelined = true;
+
+        if (!slots[i].ok) {
+            resp.status = FrameStatus::Dropped;
+            resp.pipelined = false;
+            resp.error = slots[i].error;
+            s.robust->recordExternalFrame(FrameStatus::Dropped, lvl,
+                                          false, false, &resp.error);
+        } else if (slots[i].stagedFailed) {
+            // Per-frame fallback: the robust single path accounts the
+            // frame internally (including its own ladder moves). The
+            // executor is drained, so the stateful path is safe.
+            RobustFrameResult r = s.robust->process(rq.cloud);
+            resp.status = r.status;
+            resp.ladderLevel = r.ladderLevel;
+            resp.pipelined = false;
+            resp.logits = std::move(r.result.logits);
+            resp.error = r.error;
+        } else {
+            resp.status = lvl > 0 ? FrameStatus::Degraded
+                          : slots[i].repaired ? FrameStatus::Repaired
+                                              : FrameStatus::Ok;
+            resp.logits = std::move(slots[i].logits);
+        }
+        const double now = epoch.elapsedMs();
+        resp.totalMs = now - rq.submitMs;
+        resp.sloMissed = rq.hasSlo && now > rq.deadlineMs;
+        if (slots[i].ok && !slots[i].stagedFailed) {
+            // The per-frame watchdog follows in-flight frames here:
+            // submit-to-completion wall time on the executor against
+            // the stream's soft deadline.
+            const bool wd_missed =
+                s.opts.robust.deadlineMs > 0.0 &&
+                slots[i].stagedWallMs > s.opts.robust.deadlineMs;
+            s.robust->recordExternalFrame(
+                resp.status, lvl, resp.sloMissed || wd_missed,
+                slots[i].repaired);
+        }
+    }
+
+    {
+        MutexLock lock(engineMu);
+        const double now = epoch.elapsedMs();
+        for (std::size_t i = 0; i < count; ++i) {
+            StreamState &s = *batchStreams[i];
+            FrameResponse &resp = responses[i];
+            ++s.serve.served;
+            if (resp.pipelined) {
+                ++s.serve.pipelinedFrames;
+                mPipelinedFrames.add();
+            }
+            if (resp.sloMissed) {
+                ++s.serve.sloMisses;
+                mSloMisses.add();
+            }
+            const std::size_t trips_before = s.breaker.trips();
+            const bool failure =
+                resp.status == FrameStatus::Dropped || resp.sloMissed;
+            if (failure) {
+                s.breaker.recordFailure(now);
+            } else {
+                s.breaker.recordSuccess(now);
+            }
+            mBreakerTrips.add(s.breaker.trips() - trips_before);
+        }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        mServed.add();
+        hQueueMs.observe(responses[i].queueMs);
+        hTotalMs.observe(responses[i].totalMs);
+        fulfill(batchScratch[i], std::move(responses[i]));
+    }
+}
+
 void
 ServingEngine::dispatchLoop()
 {
@@ -578,7 +771,11 @@ ServingEngine::dispatchLoop()
         }
         busy = true;
         lock.unlock();
-        executeBatch(count);
+        if (pipelinedEligible(count)) {
+            executePipelined(count);
+        } else {
+            executeBatch(count);
+        }
         lock.lock();
         busy = false;
         gQueueDepth.set(static_cast<std::int64_t>(totalQueuedLocked()));

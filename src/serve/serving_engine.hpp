@@ -57,6 +57,7 @@
 #include "common/thread_annotations.hpp"
 #include "common/timer.hpp"
 #include "core/robust_pipeline.hpp"
+#include "core/staged_pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "serve/admission.hpp"
 #include "serve/circuit_breaker.hpp"
@@ -116,6 +117,10 @@ struct FrameResponse
 
     /** True when the frame was served on the batched path. */
     bool batched = false;
+
+    /** True when the frame was served on the staged (inter-frame
+        pipelined) path. */
+    bool pipelined = false;
 
     /** True when the response completed after the request's SLO
         deadline (queueing + service). */
@@ -190,6 +195,7 @@ struct StreamServeStats
     std::size_t shedShutdown = 0;
     std::size_t served = 0;
     std::size_t batchedFrames = 0;
+    std::size_t pipelinedFrames = 0;
     std::size_t sloMisses = 0;
 
     std::size_t shed() const
@@ -225,6 +231,17 @@ struct ServingOptions
     /** Max heads micro-batched through one inferBatch call (1
         disables cross-stream batching). */
     std::size_t maxBatch = 4;
+
+    /**
+     * Inter-frame staged pipelining of selected cross-stream heads:
+     * instead of one inferBatch call, the heads stream through the
+     * StagedPipeline executor so frame t+1's structurization overlaps
+     * frame t's neighbor search and GEMM. Off forces the classic
+     * batched path; On forces pipelining whenever >= 2 heads of a
+     * staged-capable model are selected; Auto (default) defers to the
+     * global EDGEPC_PIPELINE resolution (core/staged_pipeline.hpp).
+     */
+    PipelineMode pipeline = PipelineMode::Auto;
 
     /** Overload -> ladder-floor policy. */
     AdmissionOptions admission;
@@ -347,6 +364,13 @@ class ServingEngine
     void executeSingle(StreamState &stream, Request &request)
         EDGEPC_EXCLUDES(engineMu);
     void executeBatch(std::size_t count) EDGEPC_EXCLUDES(engineMu);
+    /** Whether a selected batch of @p count heads should run on the
+        staged executor (dispatcher-only state). */
+    bool pipelinedEligible(std::size_t count) const;
+    /** Staged-executor counterpart of executeBatch: same sanitize /
+        prolog / accounting contract, but the heads overlap stage-wise
+        instead of stacking into one GEMM. */
+    void executePipelined(std::size_t count) EDGEPC_EXCLUDES(engineMu);
     void shedRequestLocked(StreamState &stream, Request &request,
                            ErrorCode code, const char *why,
                            std::size_t StreamServeStats::*counter)
@@ -390,6 +414,10 @@ class ServingEngine
     std::vector<StreamState *> batchStreams;
     std::vector<Request> batchScratch;
     std::vector<PointCloud> batchClouds;
+    /** Dispatcher-only staged executor for executePipelined (lazily
+        created on the first pipelined batch; deliberately NOT
+        EDGEPC_GUARDED_BY(engineMu) — see batchScratch). */
+    std::unique_ptr<StagedPipeline> stagedExec;
 
     // Cached metric references (registry lookups take a lock).
     obs::Counter &mSubmitted;
@@ -399,6 +427,7 @@ class ServingEngine
     obs::Counter &mServed;
     obs::Counter &mBatchedFrames;
     obs::Counter &mBatches;
+    obs::Counter &mPipelinedFrames;
     obs::Counter &mSloMisses;
     obs::Counter &mBreakerTrips;
     obs::Counter &mFloorRaises;

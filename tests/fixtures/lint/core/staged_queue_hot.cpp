@@ -1,0 +1,110 @@
+// Fixture: the staged-pipeline slot hand-off (DESIGN.md §14). Stage
+// workers recycle slots through bounded queues thousands of times a
+// second, so the hand-off must not allocate (R6: slots are presized,
+// frames are moved), must take the rank-35 queue lock under the
+// rank-40 engine lock and never above the rank-30 pool lock (R7),
+// must not let an arena staging span ride along inside a slot (R8),
+// and the queue's own mutex must carry the full contract (R9).
+
+#include <cstddef>
+#include <mutex>
+
+#define EDGEPC_GUARDED_BY(x)
+
+class Mutex
+{
+};
+
+struct MutexLock
+{
+    explicit MutexLock(Mutex &m);
+};
+
+struct Span
+{
+    float *p;
+};
+
+struct ScratchArena
+{
+    static ScratchArena &local();
+    template <typename T> Span alloc(std::size_t n);
+};
+
+struct PointCloud
+{
+    PointCloud();
+    PointCloud(const PointCloud &other);
+};
+
+struct Slot
+{
+    PointCloud cloud;
+    Span staging;
+};
+
+struct StageQueue
+{
+    std::mutex rawQueueFixtureMu; // line 48: R9 raw std mutex
+    void push(Slot *slot);
+};
+
+struct QueueLocks
+{
+    // EDGEPC_LOCK_RANK(40): fixture engine lock (outermost).
+    Mutex engineFixtureMu;
+    // EDGEPC_LOCK_RANK(35): fixture queue lock (between engine=40
+    // and pool=30, per the repo-wide hierarchy in DESIGN.md §12).
+    Mutex queueFixtureMu;
+    // EDGEPC_LOCK_RANK(30): fixture pool lock (leaf).
+    Mutex poolFixtureMu;
+    int engineState EDGEPC_GUARDED_BY(engineFixtureMu) = 0;
+    int queueState EDGEPC_GUARDED_BY(queueFixtureMu) = 0;
+    int poolState EDGEPC_GUARDED_BY(poolFixtureMu) = 0;
+};
+
+void
+submitUnderEngineLock(QueueLocks &l)
+{
+    MutexLock engine(l.engineFixtureMu);
+    MutexLock queue(l.queueFixtureMu); // ok: 35 < 40
+}
+
+void
+wakePoolFromQueue(QueueLocks &l)
+{
+    MutexLock pool(l.poolFixtureMu);
+    MutexLock queue(l.queueFixtureMu); // line 77: R7 climbs 30 -> 35
+}
+
+// A slot refilled outside the hot region can size its cloud: the
+// executor does this once at construction, before any frame flows.
+void
+coldRefill(Slot &slot, const PointCloud &frame)
+{
+    slot.cloud = PointCloud(frame);
+}
+
+// EDGEPC_HOT: staged slot hand-off between stage queues (fixture)
+void
+hotHandOff(StageQueue &q, Slot &slot, const PointCloud &frame)
+{
+    PointCloud copy(frame); // line 92: R6 copy instead of move
+    (void)copy;
+    slot.cloud = frame;
+    q.push(&slot);
+}
+
+void
+stageStagingLeak(ScratchArena &arena, Slot &slot)
+{
+    Span scratch = arena.alloc<float>(256);
+    slot.staging = scratch; // line 102: R8 arena span outlives frame
+}
+
+float
+stageStagingLocal(ScratchArena &arena)
+{
+    Span scratch = arena.alloc<float>(256);
+    return scratch.p[0]; // ok: copies the element, not the view
+}

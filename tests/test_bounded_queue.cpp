@@ -1,0 +1,148 @@
+/** @file Unit tests for the inter-stage BoundedQueue. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+
+namespace edgepc {
+namespace {
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(q.push(i));
+    }
+    EXPECT_EQ(q.depth(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        int out = -1;
+        ASSERT_TRUE(q.pop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, CapacityBounds)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_EQ(q.capacity(), 2u);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3)) << "full queue must refuse tryPush";
+    int out = 0;
+    EXPECT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(q.tryPush(3)) << "space freed by pop must be reusable";
+
+    // Zero capacity is clamped to one usable slot.
+    BoundedQueue<int> tiny(0);
+    EXPECT_EQ(tiny.capacity(), 1u);
+    EXPECT_TRUE(tiny.tryPush(7));
+    EXPECT_FALSE(tiny.tryPush(8));
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopFreesASlot)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+
+    bool second_pushed = false;
+    std::thread producer([&] {
+        const bool ok = q.push(2); // Blocks until the consumer pops.
+        EXPECT_TRUE(ok);
+        second_pushed = ok;
+    });
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    ASSERT_TRUE(q.pop(out)); // Waits for the producer if needed.
+    EXPECT_EQ(out, 2);
+    producer.join();
+    EXPECT_TRUE(second_pushed);
+}
+
+TEST(BoundedQueue, CloseDrainsQueuedItemsThenReportsExhaustion)
+{
+    BoundedQueue<int> q(4);
+    ASSERT_TRUE(q.push(10));
+    ASSERT_TRUE(q.push(11));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(12)) << "closed queue must refuse producers";
+
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 10);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 11);
+    EXPECT_FALSE(q.pop(out)) << "drained + closed must report false";
+    q.close(); // Idempotent.
+    EXPECT_FALSE(q.tryPop(out));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer)
+{
+    BoundedQueue<int> q(2);
+    bool consumer_released = false;
+    std::thread consumer([&] {
+        int out = 0;
+        EXPECT_FALSE(q.pop(out)); // Blocks empty, then close() wakes it.
+        consumer_released = true;
+    });
+    q.close();
+    consumer.join();
+    EXPECT_TRUE(consumer_released);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    bool producer_refused = false;
+    std::thread producer([&] {
+        EXPECT_FALSE(q.push(2)); // Blocks full, then close() refuses it.
+        producer_refused = true;
+    });
+    q.close();
+    producer.join();
+    EXPECT_TRUE(producer_refused);
+
+    // The item queued before close() still drains.
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueue, SpscStressLosesAndDuplicatesNothing)
+{
+    constexpr int kItems = 10'000;
+    BoundedQueue<int> q(3); // Small ring: forces constant blocking.
+    std::vector<int> received;
+    received.reserve(kItems);
+
+    std::thread consumer([&] {
+        int out = 0;
+        while (q.pop(out)) {
+            received.push_back(out);
+        }
+    });
+    for (int i = 0; i < kItems; ++i) {
+        ASSERT_TRUE(q.push(i));
+    }
+    q.close();
+    consumer.join();
+
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+    for (int i = 0; i < kItems; ++i) {
+        ASSERT_EQ(received[static_cast<std::size_t>(i)], i)
+            << "FIFO order violated at " << i;
+    }
+}
+
+} // namespace
+} // namespace edgepc

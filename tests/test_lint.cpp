@@ -192,6 +192,36 @@ TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
               std::string::npos)
         << r.output;
 
+    // The staged-queue hand-off idiom (DESIGN.md §14): one violation
+    // per rule R6–R9 in the shape the stage workers actually use —
+    // a raw queue mutex, climbing from the pool lock (30) back up to
+    // the queue lock (35), copy-constructing a frame inside the
+    // EDGEPC_HOT hand-off, and parking an arena staging span in a
+    // slot that outlives the frame.
+    EXPECT_NE(r.output.find("core/staged_queue_hot.cpp:48:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("core/staged_queue_hot.cpp:77:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("core/staged_queue_hot.cpp:92:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("core/staged_queue_hot.cpp:102:"),
+              std::string::npos)
+        << r.output;
+    // Rank-ordered locking, the cold refill and the local staging
+    // read are the compliant halves and must stay clean.
+    EXPECT_EQ(r.output.find("core/staged_queue_hot.cpp:70:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("core/staged_queue_hot.cpp:85:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("core/staged_queue_hot.cpp:108:"),
+              std::string::npos)
+        << r.output;
+
     // The compliant declarations/calls in the fixtures must NOT fire.
     EXPECT_EQ(r.output.find("r2_decl.hpp:13:"), std::string::npos)
         << r.output;

@@ -671,6 +671,9 @@ TEST(ServingEngine, CrossStreamHeadsAreMicroBatched)
     blocker_opts.robust.inferenceProlog = gate.prolog();
     ServingOptions eopts;
     eopts.maxBatch = 4;
+    // This test pins the classic micro-batched route; keep the staged
+    // inter-frame executor out even under EDGEPC_PIPELINE=on CI legs.
+    eopts.pipeline = PipelineMode::Off;
     ServingEngine engine(model, EdgePcConfig::sn(), eopts);
     const StreamId blocker = engine.openStream(blocker_opts);
     const StreamId s0 = engine.openStream();

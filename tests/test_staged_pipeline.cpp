@@ -1,0 +1,428 @@
+/** @file Tests for the inter-frame staged-dataflow executor. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
+#include "core/robust_pipeline.hpp"
+#include "core/staged_pipeline.hpp"
+#include "datasets/scenes.hpp"
+#include "models/dgcnn.hpp"
+#include "models/pointnetpp.hpp"
+#include "nn/delayed_agg.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serving_engine.hpp"
+
+namespace edgepc {
+namespace {
+
+PointCloud
+sceneCloud(std::size_t points, std::uint64_t seed)
+{
+    Rng rng(seed);
+    SceneOptions options;
+    options.points = points;
+    return makeScene(options, rng);
+}
+
+std::vector<PointCloud>
+sceneClouds(std::size_t frames, std::size_t points, std::uint64_t seed)
+{
+    std::vector<PointCloud> clouds;
+    clouds.reserve(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+        clouds.push_back(sceneCloud(points, seed + i));
+    }
+    return clouds;
+}
+
+/** Restores the process-wide EDGEPC_PIPELINE mode on scope exit. */
+struct PipelineModeGuard
+{
+    PipelineMode prev = pipelineMode();
+    ~PipelineModeGuard() { setPipelineMode(prev); }
+};
+
+/** Restores the process-wide EDGEPC_DELAYED_AGG mode on scope exit. */
+struct DelayedAggGuard
+{
+    nn::DelayedAggMode prev = nn::delayedAggMode();
+    ~DelayedAggGuard() { nn::setDelayedAggMode(prev); }
+};
+
+void
+expectSameLogits(const nn::Matrix &staged, const nn::Matrix &sequential,
+                 const char *what)
+{
+    ASSERT_EQ(staged.rows(), sequential.rows()) << what;
+    ASSERT_EQ(staged.cols(), sequential.cols()) << what;
+    for (std::size_t i = 0; i < staged.rows() * staged.cols(); ++i) {
+        ASSERT_FLOAT_EQ(staged.data()[i], sequential.data()[i])
+            << what << " diverges at flat index " << i;
+    }
+}
+
+TEST(StagedPipeline, ResolveRespectsMode)
+{
+    PipelineModeGuard guard;
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 7);
+
+    setPipelineMode(PipelineMode::Off);
+    EXPECT_STREQ(pipelineModeName(), "off");
+    EXPECT_FALSE(resolvePipeline(model, 8));
+
+    setPipelineMode(PipelineMode::On);
+    EXPECT_STREQ(pipelineModeName(), "on");
+    EXPECT_TRUE(resolvePipeline(model, 2));
+    EXPECT_FALSE(resolvePipeline(model, 1))
+        << "a single frame has nothing to overlap";
+
+    setPipelineMode(PipelineMode::Auto);
+    EXPECT_STREQ(pipelineModeName(), "auto");
+    const bool wide_host = ThreadPool::globalPool().concurrency() >= 4;
+    EXPECT_EQ(resolvePipeline(model, 8), wide_host)
+        << "Auto must engage exactly on hosts with cores to overlap on";
+    EXPECT_FALSE(resolvePipeline(model, 1));
+}
+
+/**
+ * Pipelined and sequential execution must produce bit-identical
+ * logits across the config variants (scalar vs fused-GEMM) and every
+ * delayed-aggregation route. The EDGEPC_SIMD axis of the matrix is
+ * covered by the CI leg that re-runs this whole suite under
+ * EDGEPC_SIMD=scalar (the SIMD path is fixed at startup).
+ */
+TEST(StagedPipeline, LogitParityAcrossConfigMatrix)
+{
+    PipelineModeGuard mode_guard;
+    DelayedAggGuard agg_guard;
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    const std::vector<PointCloud> clouds = sceneClouds(3, 256, 11);
+
+    const struct
+    {
+        const char *name;
+        EdgePcConfig cfg;
+    } variants[] = {
+        {"baseline", EdgePcConfig::baseline()},
+        {"sn", EdgePcConfig::sn()},
+        {"snf", EdgePcConfig::snf()},
+    };
+    const nn::DelayedAggMode agg_modes[] = {
+        nn::DelayedAggMode::Off,
+        nn::DelayedAggMode::On,
+        nn::DelayedAggMode::Auto,
+    };
+
+    for (const auto &variant : variants) {
+        InferencePipeline pipeline(model, variant.cfg);
+        for (const nn::DelayedAggMode agg : agg_modes) {
+            nn::setDelayedAggMode(agg);
+
+            setPipelineMode(PipelineMode::Off);
+            const PipelineResult sequential = pipeline.runBatch(clouds);
+            EXPECT_FALSE(sequential.pipelined);
+
+            setPipelineMode(PipelineMode::On);
+            const PipelineResult staged = pipeline.runBatch(clouds);
+            EXPECT_TRUE(staged.pipelined);
+
+            std::string what = std::string(variant.name) +
+                               " / delayed_agg=" +
+                               nn::delayedAggModeName();
+            expectSameLogits(staged.logits, sequential.logits,
+                             what.c_str());
+        }
+    }
+}
+
+TEST(StagedPipeline, ClassifierLogitParity)
+{
+    PipelineModeGuard guard;
+    PointNetPP model(PointNetPPConfig::liteClassification(128, 4), 3);
+    InferencePipeline pipeline(model, EdgePcConfig::sn());
+    const std::vector<PointCloud> clouds = sceneClouds(3, 128, 21);
+
+    setPipelineMode(PipelineMode::Off);
+    const PipelineResult sequential = pipeline.runBatch(clouds);
+    setPipelineMode(PipelineMode::On);
+    const PipelineResult staged = pipeline.runBatch(clouds);
+    expectSameLogits(staged.logits, sequential.logits, "classifier");
+}
+
+TEST(StagedPipeline, FallbackModelMatchesSequential)
+{
+    PipelineModeGuard guard;
+    // Dgcnn has no staged split: forced On exercises the default
+    // StagedFrame fallback (whole infer() on the feature worker).
+    Dgcnn model(DgcnnConfig::liteClassification(8), 7);
+    EXPECT_FALSE(model.supportsStagedInfer());
+    InferencePipeline pipeline(model, EdgePcConfig::baseline());
+    const std::vector<PointCloud> clouds = sceneClouds(3, 96, 31);
+
+    setPipelineMode(PipelineMode::Off);
+    const PipelineResult sequential = pipeline.runBatch(clouds);
+    setPipelineMode(PipelineMode::On);
+    const PipelineResult staged = pipeline.runBatch(clouds);
+    EXPECT_TRUE(staged.pipelined);
+    expectSameLogits(staged.logits, sequential.logits, "dgcnn fallback");
+}
+
+TEST(StagedPipeline, ExecutorDeliversFramesInOrderExactlyOnce)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 7);
+    StagedPipeline exec(model);
+    const EdgePcConfig cfg = EdgePcConfig::sn();
+    const std::vector<PointCloud> clouds = sceneClouds(6, 128, 41);
+
+    std::vector<StagedFrameResult> results;
+    std::size_t next = 0;
+    while (next < clouds.size()) {
+        if (exec.trySubmit(clouds[next], cfg)) {
+            ++next;
+            continue;
+        }
+        results.push_back(exec.collect());
+    }
+    while (exec.inFlight() > 0) {
+        results.push_back(exec.collect());
+    }
+
+    ASSERT_EQ(results.size(), clouds.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].id, i) << "submission order broken";
+        EXPECT_FALSE(results[i].failed);
+        EXPECT_EQ(results[i].logits.rows(), clouds[i].size());
+        EXPECT_GT(results[i].wallMs, 0.0);
+        EXPECT_GT(results[i].stages.grandTotal(), 0.0);
+    }
+}
+
+TEST(StagedPipeline, FailedFrameFlowsThroughWithoutDisruptingOthers)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 7);
+    StagedPipeline exec(model);
+    const EdgePcConfig cfg = EdgePcConfig::sn();
+
+    ASSERT_TRUE(exec.trySubmit(sceneCloud(128, 51), cfg));
+    ASSERT_TRUE(exec.trySubmit(PointCloud(), cfg)); // Raises EmptyCloud.
+    ASSERT_TRUE(exec.trySubmit(sceneCloud(128, 52), cfg));
+
+    const StagedFrameResult first = exec.collect();
+    const StagedFrameResult second = exec.collect();
+    const StagedFrameResult third = exec.collect();
+    EXPECT_EQ(exec.inFlight(), 0u);
+
+    EXPECT_FALSE(first.failed);
+    EXPECT_TRUE(second.failed);
+    EXPECT_EQ(second.error.code, ErrorCode::EmptyCloud);
+    EXPECT_FALSE(third.failed);
+    EXPECT_EQ(third.logits.rows(), 128u);
+}
+
+TEST(StagedPipeline, RunBatchThrowsAfterDrainAndStaysUsable)
+{
+    PipelineModeGuard guard;
+    setPipelineMode(PipelineMode::On);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 7);
+    InferencePipeline pipeline(model, EdgePcConfig::sn());
+
+    std::vector<PointCloud> clouds = sceneClouds(3, 128, 61);
+    clouds[1] = PointCloud();
+    EXPECT_THROW(static_cast<void>(pipeline.runBatch(clouds)),
+                 EdgePcException);
+
+    // The executor must be fully drained: the next batch works.
+    const PipelineResult ok =
+        pipeline.runBatch(sceneClouds(3, 128, 62));
+    EXPECT_TRUE(ok.pipelined);
+    EXPECT_EQ(ok.logits.rows(), 128u);
+}
+
+TEST(StagedPipeline, ReportsBusyAndWallTimeSeparately)
+{
+    PipelineModeGuard guard;
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    InferencePipeline pipeline(model, EdgePcConfig::sn());
+    const std::vector<PointCloud> clouds = sceneClouds(4, 256, 71);
+
+    setPipelineMode(PipelineMode::On);
+    const PipelineResult staged = pipeline.runBatch(clouds);
+    EXPECT_TRUE(staged.pipelined);
+    EXPECT_GT(staged.busyMs, 0.0);
+    EXPECT_GT(staged.wallMs, 0.0);
+    EXPECT_DOUBLE_EQ(staged.endToEndMs, staged.wallMs)
+        << "pipelined end-to-end must be wall time, not summed busy";
+    EXPECT_DOUBLE_EQ(staged.busyMs, staged.stages.grandTotal());
+    EXPECT_LE(staged.sampleNeighborMs, staged.busyMs);
+
+    setPipelineMode(PipelineMode::Off);
+    const PipelineResult sequential = pipeline.runBatch(clouds);
+    EXPECT_FALSE(sequential.pipelined);
+    EXPECT_GT(sequential.wallMs, 0.0);
+    EXPECT_DOUBLE_EQ(sequential.endToEndMs, sequential.busyMs)
+        << "sequential keeps the legacy summed-busy semantics";
+
+    // All frames were collected, so nothing is left in flight.
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .gauge("pipeline.frames_in_flight")
+                  .value(),
+              0);
+}
+
+TEST(StagedPipeline, RobustProcessStreamResolvesEveryFrameExactlyOnce)
+{
+    PipelineModeGuard guard;
+    setPipelineMode(PipelineMode::On);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 7);
+    RobustPipeline robust(model, EdgePcConfig::sn());
+
+    std::vector<PointCloud> clouds = sceneClouds(6, 128, 81);
+    clouds[2] = PointCloud(); // Sanitizer drops this one at submit.
+
+    std::vector<int> resolved(clouds.size(), 0);
+    std::vector<RobustFrameResult> outcomes(clouds.size());
+    const std::size_t served = robust.processStream(
+        clouds, [&](std::size_t index, RobustFrameResult &&r) {
+            ASSERT_LT(index, resolved.size());
+            ++resolved[index];
+            outcomes[index] = std::move(r);
+        });
+
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        EXPECT_EQ(resolved[i], 1)
+            << "frame " << i << " must resolve exactly once";
+    }
+    EXPECT_EQ(served, clouds.size() - 1);
+    EXPECT_EQ(outcomes[2].status, FrameStatus::Dropped);
+    for (const std::size_t i : {0u, 1u, 3u, 4u, 5u}) {
+        EXPECT_TRUE(outcomes[i].hasLogits()) << "frame " << i;
+        EXPECT_TRUE(outcomes[i].result.pipelined) << "frame " << i;
+        EXPECT_EQ(outcomes[i].result.logits.rows(), 128u);
+        EXPECT_GT(outcomes[i].frameMs, 0.0);
+    }
+
+    const StreamHealth health = robust.health();
+    EXPECT_EQ(health.frames, clouds.size());
+    EXPECT_EQ(health.ok, clouds.size() - 1);
+    EXPECT_EQ(health.dropped, 1u);
+}
+
+TEST(StagedPipeline, RobustStreamDeadlineEscalatesLadder)
+{
+    PipelineModeGuard guard;
+    setPipelineMode(PipelineMode::On);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(256, 5), 7);
+    RobustPipelineOptions opts;
+    opts.deadlineMs = 1e-6; // Every in-flight frame misses.
+    RobustPipeline robust(model, EdgePcConfig::baseline(), opts);
+
+    const std::vector<PointCloud> clouds = sceneClouds(4, 256, 91);
+    std::size_t missed = 0;
+    robust.processStream(clouds,
+                         [&](std::size_t, RobustFrameResult &&r) {
+                             missed += r.deadlineMissed ? 1 : 0;
+                         });
+    EXPECT_EQ(missed, clouds.size())
+        << "submit-to-completion wall time must police the deadline";
+    EXPECT_GT(robust.ladderLevel(), 0)
+        << "misses on the staged path must escalate the ladder";
+    EXPECT_EQ(robust.health().deadlineMisses, clouds.size());
+}
+
+TEST(StagedPipeline, ServingEnginePipelinedDispatch)
+{
+    PointNetPP model(PointNetPPConfig::liteSegmentation(128, 5), 7);
+    serve::ServingOptions opts;
+    opts.pipeline = PipelineMode::On;
+    serve::ServingEngine engine(model, EdgePcConfig::sn(), opts);
+
+    constexpr std::size_t kStreams = 3;
+    constexpr std::size_t kFramesPerStream = 6;
+    std::vector<serve::StreamId> ids;
+    for (std::size_t s = 0; s < kStreams; ++s) {
+        ids.push_back(engine.openStream());
+    }
+    std::vector<std::future<serve::FrameResponse>> futures;
+    for (std::size_t round = 0; round < kFramesPerStream; ++round) {
+        for (std::size_t s = 0; s < kStreams; ++s) {
+            auto ticket = engine.submit(
+                ids[s], sceneCloud(128, 100 + round * kStreams + s));
+            ASSERT_TRUE(ticket.accepted());
+            futures.push_back(std::move(ticket.response));
+        }
+    }
+
+    std::size_t with_logits = 0;
+    std::size_t pipelined = 0;
+    for (auto &future : futures) {
+        const serve::FrameResponse resp = future.get();
+        with_logits += resp.hasLogits() ? 1 : 0;
+        pipelined += resp.pipelined ? 1 : 0;
+    }
+    EXPECT_EQ(with_logits, futures.size());
+    EXPECT_GT(pipelined, 0u)
+        << "queued heads of distinct streams must take the staged path";
+
+    const auto reports = engine.drain();
+    std::size_t served = 0;
+    std::size_t pipelined_frames = 0;
+    for (const auto &report : reports) {
+        served += report.serve.served;
+        pipelined_frames += report.serve.pipelinedFrames;
+    }
+    EXPECT_EQ(served, kStreams * kFramesPerStream);
+    EXPECT_EQ(pipelined_frames, pipelined);
+}
+
+/** TSan-gate stress: keeps the three stage workers, the caller, and
+    the metrics/trace side channels busy across executor lifetimes. */
+TEST(StagedPipelineStress, RepeatedBatchesAcrossExecutorLifetimes)
+{
+    PipelineModeGuard guard;
+    setPipelineMode(PipelineMode::On);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(96, 5), 7);
+    const std::vector<PointCloud> clouds = sceneClouds(8, 96, 201);
+
+    for (int round = 0; round < 3; ++round) {
+        // Fresh pipeline each round: exercises executor construction,
+        // drain-on-destruction, and slot recycling within a round.
+        InferencePipeline pipeline(model, EdgePcConfig::sn());
+        const PipelineResult result = pipeline.runBatch(clouds);
+        EXPECT_TRUE(result.pipelined);
+        EXPECT_EQ(result.logits.rows(), 96u);
+    }
+}
+
+TEST(StagedPipelineStress, ConcurrentHealthPollingDuringStream)
+{
+    PipelineModeGuard guard;
+    setPipelineMode(PipelineMode::On);
+    PointNetPP model(PointNetPPConfig::liteSegmentation(96, 5), 7);
+    RobustPipeline robust(model, EdgePcConfig::sn());
+    const std::vector<PointCloud> clouds = sceneClouds(8, 96, 301);
+
+    std::atomic<bool> stop{false};
+    std::thread monitor([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const StreamHealth health = robust.health();
+            EXPECT_LE(health.dropped, health.frames);
+            static_cast<void>(robust.ladderLevel());
+        }
+    });
+    std::size_t resolved = 0;
+    robust.processStream(
+        clouds, [&](std::size_t, RobustFrameResult &&) { ++resolved; });
+    stop.store(true, std::memory_order_relaxed);
+    monitor.join();
+    EXPECT_EQ(resolved, clouds.size());
+}
+
+} // namespace
+} // namespace edgepc

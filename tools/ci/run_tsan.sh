@@ -27,14 +27,15 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 \
 suppressions=$(pwd)/tools/ci/tsan.supp"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-    -R 'ThreadPool|RobustPipeline|ObsConcurrency|ScratchArena|Serving'
+    -R 'ThreadPool|RobustPipeline|ObsConcurrency|ScratchArena|Serving|BoundedQueue|StagedPipeline'
 
 # The chaos stream exercises watchdog + fault injector + degradation
 # ladder end to end.
 "./${BUILD_DIR}/examples/lidar_stream" 16 512 --chaos
 
 # Multi-stream serving under chaos: producer threads vs the dispatcher,
-# shared model, breakers and admission all racing on purpose.
-"./${BUILD_DIR}/examples/serve_streams" --chaos --streams 3 --frames 12 --points 256
+# shared model, breakers and admission all racing on purpose — with the
+# staged inter-frame executor forced on so its queue hand-offs race too.
+"./${BUILD_DIR}/examples/serve_streams" --chaos --streams 3 --frames 12 --points 256 --pipeline on
 
 echo "tsan gate: OK"
