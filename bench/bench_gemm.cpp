@@ -10,16 +10,20 @@
  * exactly those shapes on both engine paths, plus the backward-pass
  * variants (A*B^T and A^T*B) and the bias-fused exactLinear entry
  * point, plus the eager/delayed A/B of the aggregation-block first
- * layer (DESIGN.md §13, flop_ratio reported per row), and emits
- * BENCH_gemm.json for the perf-diff CI step against
- * bench/baselines/BENCH_gemm.json.
+ * layer (DESIGN.md §13, flop_ratio reported per row), plus the int8
+ * quantized route (DESIGN.md §15) against the fp32 fast path on every
+ * forward shape, and emits BENCH_gemm.json for the perf-diff CI step
+ * against bench/baselines/BENCH_gemm.json.
  *
  * Throughput accounting: every row reports gflops = 2*M*K*N /
- * wall_ms * 1e-6 in its metrics, so speedups can be read either way.
+ * wall_ms * 1e-6 (effective GOPS on the int8 rows — the op count is
+ * the same, the ops just are not float) and gbps = bytes moved per
+ * wall-clock, so speedups can be read as compute or as bandwidth.
  */
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +34,7 @@
 #include "nn/feature_merge.hpp"
 #include "nn/gemm.hpp"
 #include "nn/grouping.hpp"
+#include "nn/quant.hpp"
 
 namespace edgepc {
 namespace {
@@ -167,16 +172,42 @@ randomSamples(Rng &rng, std::size_t n, std::size_t n_source)
     return s;
 }
 
+/**
+ * Bytes a path touches once per call: fp32 reads A and B and writes C
+ * at 4 B/element; the int8 route reads fp32 A, writes/rereads its u8
+ * quantized copy, streams the s8 weight panels and writes fp32 C.
+ * The per-layer panel build is one-time (QuantPanelCache) and not in
+ * the timed region, so it is not counted here either.
+ */
+double
+shapeBytes(const Shape &s, bool int8_path)
+{
+    const double m = static_cast<double>(s.m);
+    const double k = static_cast<double>(s.k);
+    const double n = static_cast<double>(s.n);
+    if (int8_path) {
+        return 4.0 * m * k + 2.0 * m * k + 1.0 * k * n + 4.0 * m * n;
+    }
+    return 4.0 * (m * k + k * n + m * n);
+}
+
 void
 recordRow(bench::BenchReport &report, const std::string &label, double ms,
           const Shape &s)
 {
     bench::BenchRow &row = report.row(label);
     row.wallMs = ms;
+    const bool int8_path = label.find("/int8") != std::string::npos;
     const double flops = 2.0 * static_cast<double>(s.m) *
                          static_cast<double>(s.k) *
                          static_cast<double>(s.n);
+    const double bytes = shapeBytes(s, int8_path);
     row.metrics["gflops"] = ms > 0.0 ? flops / ms * 1e-6 : 0.0;
+    row.metrics["gbps"] = ms > 0.0 ? bytes / ms * 1e-6 : 0.0;
+    if (int8_path) {
+        // Same number, explicit name: the int8 ops are not FLOPs.
+        row.metrics["gops_eff"] = row.metrics["gflops"];
+    }
     row.metrics["m"] = static_cast<double>(s.m);
     row.metrics["k"] = static_cast<double>(s.k);
     row.metrics["n"] = static_cast<double>(s.n);
@@ -259,6 +290,21 @@ main(int argc, char **argv)
         // Linear layer entry point: GEMM plus the bias epilogue.
         run_shape(s, fast, "fast+bias", [&] {
             return nn::exactLinear(a, b, bias, fast);
+        });
+        // Int8 A/B (DESIGN.md §15): panels built once outside the
+        // timed region (QuantPanelCache amortizes the build across
+        // calls in real inference); each call pays the dynamic
+        // activation quant and the fused dequant(+bias) epilogue, so
+        // int8-vs-fast rows compare end-to-end call cost.
+        const std::shared_ptr<const nn::QuantizedWeights> wq =
+            nn::buildQuantizedWeights(b);
+        run_shape(s, fast, "int8", [&] {
+            return fast.multiplyQuantized(a, *wq, nn::GemmEpilogue::None,
+                                          nn::Matrix());
+        });
+        run_shape(s, fast, "int8+bias", [&] {
+            return fast.multiplyQuantized(a, *wq, nn::GemmEpilogue::Bias,
+                                          bias);
         });
     }
 

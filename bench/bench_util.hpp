@@ -38,6 +38,7 @@
 #include "geometry/simd_distance.hpp"
 #include "nn/delayed_agg.hpp"
 #include "nn/gemm.hpp"
+#include "nn/quant.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -174,7 +175,10 @@ class BenchReport
         // GEMM microkernel build and epilogue-fusion mode (EDGEPC_GEMM
         // / EDGEPC_GEMM_EPILOGUE).
         configStr["simd_path"] = simd::activePathName();
+        configStr["simd_fixed"] = simd::fixedPointModeName();
         configStr["gemm_path"] = nn::GemmEngine::activeKernelName();
+        configStr["gemm_quant"] = nn::quantGemmModeName();
+        configStr["gemm_int8_kernel"] = nn::GemmEngine::int8KernelName();
         configStr["gemm_epilogue"] = nn::GemmEngine::epilogueModeName();
         configStr["delayed_agg"] = nn::delayedAggModeName();
         configStr["pipeline"] = pipelineModeName();

@@ -46,9 +46,14 @@ initialPathFromEnv()
         }
         return DispatchPath::ForceSimd;
     }
+    if (v == "int8") {
+        // Fixed-point request: handled by fixedModeState() below; the
+        // scalar/AVX2 build choice for the fixed kernels stays Auto.
+        return DispatchPath::Auto;
+    }
     if (v != "auto") {
-        warn("EDGEPC_SIMD=%s not understood (want scalar|simd|auto); "
-                "using auto",
+        warn("EDGEPC_SIMD=%s not understood (want scalar|simd|int8|"
+                "auto); using auto",
                 env);
     }
     return DispatchPath::Auto;
@@ -58,6 +63,32 @@ std::atomic<DispatchPath> &
 pathState()
 {
     static std::atomic<DispatchPath> state{initialPathFromEnv()};
+    return state;
+}
+
+FixedPointMode
+initialFixedModeFromEnv()
+{
+    const char *env = std::getenv("EDGEPC_SIMD");
+    if (env == nullptr) {
+        return FixedPointMode::Auto;
+    }
+    const std::string_view v(env);
+    if (v == "int8") {
+        return FixedPointMode::On;
+    }
+    if (v == "scalar" || v == "simd" || v == "force" || v == "avx2") {
+        // An explicit fp32 path request also pins the numerics: no
+        // fixed-point approximation behind the caller's back.
+        return FixedPointMode::Off;
+    }
+    return FixedPointMode::Auto;
+}
+
+std::atomic<FixedPointMode> &
+fixedModeState()
+{
+    static std::atomic<FixedPointMode> state{initialFixedModeFromEnv()};
     return state;
 }
 
@@ -108,6 +139,93 @@ recordDispatch(std::uint64_t calls)
     static obs::Counter &scalar =
         obs::MetricsRegistry::global().counter("simd.scalar_calls");
     (usingSimd() ? fast : scalar).add(calls);
+}
+
+void
+setFixedPointMode(FixedPointMode mode)
+{
+    fixedModeState().store(mode, std::memory_order_relaxed);
+}
+
+FixedPointMode
+fixedPointMode()
+{
+    return fixedModeState().load(std::memory_order_relaxed);
+}
+
+const char *
+fixedPointModeName()
+{
+    switch (fixedPointMode()) {
+      case FixedPointMode::On:
+        return "int8";
+      case FixedPointMode::Off:
+        return "fp32";
+      case FixedPointMode::Auto:
+        break;
+    }
+    return "auto";
+}
+
+bool
+fixedPointConsidered(FixedPointMode config_mode)
+{
+    switch (fixedPointMode()) {
+      case FixedPointMode::On:
+        return true;
+      case FixedPointMode::Off:
+        return false;
+      case FixedPointMode::Auto:
+        break;
+    }
+    return config_mode != FixedPointMode::Off;
+}
+
+bool
+resolveFixedPointBall(FixedPointMode config_mode, float scale,
+                      float radius)
+{
+    switch (fixedPointMode()) {
+      case FixedPointMode::On:
+        return true;
+      case FixedPointMode::Off:
+        return false;
+      case FixedPointMode::Auto:
+        break;
+    }
+    switch (config_mode) {
+      case FixedPointMode::On:
+        return true;
+      case FixedPointMode::Off:
+        return false;
+      case FixedPointMode::Auto:
+        break;
+    }
+    return scale > 0.0f && scale * kFixedAutoFactor <= radius;
+}
+
+bool
+resolveFixedPointKnn(FixedPointMode config_mode)
+{
+    switch (fixedPointMode()) {
+      case FixedPointMode::On:
+        return true;
+      case FixedPointMode::Off:
+        return false;
+      case FixedPointMode::Auto:
+        break;
+    }
+    // Auto is Off for k-NN: snap error reorders near-ties, so the
+    // approximation is opt-in per searcher.
+    return config_mode == FixedPointMode::On;
+}
+
+void
+recordFixedDispatch(std::uint64_t calls)
+{
+    static obs::Counter &fixed =
+        obs::MetricsRegistry::global().counter("simd.fixed_calls");
+    fixed.add(calls);
 }
 
 // ------------------------------------------------------- scalar builds
@@ -187,6 +305,21 @@ scalarRadiusMask(const float *dist, std::size_t n, float r2,
         count += static_cast<std::size_t>(std::popcount(bits));
     }
     return count;
+}
+
+void
+scalarSqDistFixed(const std::int16_t *qxy, const std::int16_t *qzw,
+                  std::size_t n, std::int16_t qx, std::int16_t qy,
+                  std::int16_t qz, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t dx = std::int32_t{qxy[2 * i]} - qx;
+        const std::int32_t dy = std::int32_t{qxy[2 * i + 1]} - qy;
+        const std::int32_t dz = std::int32_t{qzw[2 * i]} - qz;
+        // Exact: |d| < 2^15 per axis, so the sum stays below 2^31 and
+        // the float conversion rounds identically to cvtepi32_ps.
+        out[i] = static_cast<float>(dx * dx + dy * dy + dz * dz);
+    }
 }
 
 std::size_t
@@ -387,6 +520,39 @@ avx2RadiusMask(const float *dist, std::size_t n, float r2,
     return count + scalarRadiusMask(dist + i, n - i, r2, mask + w);
 }
 
+__attribute__((target("avx2"))) void
+avx2SqDistFixed(const std::int16_t *qxy, const std::int16_t *qzw,
+                std::size_t n, std::int16_t qx, std::int16_t qy,
+                std::int16_t qz, float *out)
+{
+    // Broadcast the query as interleaved i16 pairs matching the
+    // candidate layout: [qx,qy] x8 and [qz,0] x8.
+    const std::uint32_t xy_bits =
+        (static_cast<std::uint32_t>(static_cast<std::uint16_t>(qy))
+         << 16) |
+        static_cast<std::uint16_t>(qx);
+    const __m256i qv_xy =
+        _mm256_set1_epi32(static_cast<std::int32_t>(xy_bits));
+    const __m256i qv_zw = _mm256_set1_epi32(
+        static_cast<std::int32_t>(static_cast<std::uint16_t>(qz)));
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256i pxy = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(qxy + 2 * i));
+        const __m256i pzw = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(qzw + 2 * i));
+        // |diff| <= kFixedPadQ + kFixedMaxQueryQ < 2^15: no i16 wrap.
+        const __m256i dxy = _mm256_sub_epi16(pxy, qv_xy);
+        const __m256i dzw = _mm256_sub_epi16(pzw, qv_zw);
+        // madd pairs up dx*dx + dy*dy (and dz*dz + 0) per i32 lane.
+        const __m256i d = _mm256_add_epi32(_mm256_madd_epi16(dxy, dxy),
+                                           _mm256_madd_epi16(dzw, dzw));
+        _mm256_storeu_ps(out + i, _mm256_cvtepi32_ps(d));
+    }
+    scalarSqDistFixed(qxy + 2 * i, qzw + 2 * i, n - i, qx, qy, qz,
+                      out + i);
+}
+
 __attribute__((target("avx2,fma"))) std::size_t
 avx2BelowMask(const float *dist, std::size_t n, float limit,
               std::uint64_t *mask)
@@ -475,6 +641,18 @@ batchBelowMask(const float *dist, std::size_t n, float limit,
 {
     return usingSimd() ? avx2BelowMask(dist, n, limit, mask)
                        : scalarBelowMask(dist, n, limit, mask);
+}
+
+void
+batchSqDistFixed(const std::int16_t *qxy, const std::int16_t *qzw,
+                 std::size_t n, std::int16_t qx, std::int16_t qy,
+                 std::int16_t qz, float *out)
+{
+    if (usingSimd()) {
+        avx2SqDistFixed(qxy, qzw, n, qx, qy, qz, out);
+    } else {
+        scalarSqDistFixed(qxy, qzw, n, qx, qy, qz, out);
+    }
 }
 
 } // namespace simd

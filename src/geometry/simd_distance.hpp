@@ -137,6 +137,102 @@ std::size_t batchRadiusMask(const float *dist, std::size_t n, float r2,
 std::size_t batchBelowMask(const float *dist, std::size_t n, float limit,
                            std::uint64_t *mask);
 
+// --------------------------------------------------------- fixed point
+//
+// s16 fixed-point companion kernels (DESIGN.md §15): candidate
+// coordinates quantize to a per-cloud uniform grid and squared
+// distances are evaluated with _mm256_madd_epi16 — exact integer
+// arithmetic, so the scalar and AVX2 builds are bit-identical by
+// construction. Enabling the path trades boundary-exact neighbor sets
+// for roughly half the coordinate bandwidth; the FixedPointMode gate
+// below keeps it off by default so default numerics stay fp32.
+
+/** Candidate coordinates quantize to [-kFixedMaxQ, kFixedMaxQ]. */
+inline constexpr std::int32_t kFixedMaxQ = 4095;
+
+/**
+ * Query coordinates clamp to the wider [-kFixedMaxQueryQ,
+ * kFixedMaxQueryQ] so queries slightly outside the candidate bounding
+ * box keep correct (saturated) distances instead of wrapping.
+ */
+inline constexpr std::int32_t kFixedMaxQueryQ = 8191;
+
+/**
+ * Quantized coordinate stored in padding lanes. Chosen so the i16
+ * difference against any clamped query stays exact (kFixedPadQ +
+ * kFixedMaxQueryQ < 2^15) — pad lanes never surface in results anyway
+ * because the kernels write exactly n outputs, but they must not wrap.
+ */
+inline constexpr std::int16_t kFixedPadQ = 23168;
+
+/**
+ * Auto heuristic (ball query only): the fixed path engages when the
+ * quantization step is at least this many times finer than the search
+ * radius, bounding the worst-case per-axis snap error to
+ * radius / kFixedAutoFactor.
+ */
+inline constexpr float kFixedAutoFactor = 64.0f;
+
+/** Per-searcher fixed-point gate (mirrors nn::QuantMode). */
+enum class FixedPointMode
+{
+    Off,  ///< Always exact fp32 kernels.
+    On,   ///< Fixed-point wherever the cloud quantizes cleanly.
+    Auto, ///< Defer to the per-call scale/radius heuristic.
+};
+
+/**
+ * Process-wide override resolved ahead of per-searcher config. The
+ * initial value comes from EDGEPC_SIMD: "int8" forces On, an explicit
+ * fp32 path ("scalar" | "simd") forces Off, otherwise Auto (defer to
+ * the searcher's config).
+ */
+void setFixedPointMode(FixedPointMode mode);
+
+/** Current process-wide fixed-point override. */
+FixedPointMode fixedPointMode();
+
+/** "int8" | "fp32" | "auto" — echoed into BENCH_*.json metadata. */
+const char *fixedPointModeName();
+
+/**
+ * True when the fixed path is even in play for @p config_mode (env On,
+ * or env Auto with config not Off). Callers use this to skip the
+ * quantization bounds scan when the answer is a definite no.
+ */
+bool fixedPointConsidered(FixedPointMode config_mode);
+
+/**
+ * Resolve the ball-query gate: env override first, then @p config_mode,
+ * then the Auto heuristic (scale * kFixedAutoFactor <= radius). The
+ * caller must still fall back to fp32 when the cloud fails to quantize
+ * (PointsFixed::valid() is false).
+ */
+bool resolveFixedPointBall(FixedPointMode config_mode, float scale,
+                           float radius);
+
+/**
+ * Resolve the k-NN gate: env override first, then config. Auto means
+ * Off for k-NN — nearest-neighbor ordering is more sensitive to snap
+ * error than in-ball membership, so the approximation is opt-in.
+ */
+bool resolveFixedPointKnn(FixedPointMode config_mode);
+
+/** Bump the simd.fixed_calls counter (fixed-point entry points). */
+void recordFixedDispatch(std::uint64_t calls = 1);
+
+/**
+ * Fixed-point squared distances: out[i] = dx^2 + dy^2 + dz^2 in
+ * quantized units^2, converted exactly to float. @p qxy interleaves
+ * [x0,y0, x1,y1, ...] and @p qzw interleaves [z0,0, z1,0, ...] (the
+ * PointsFixed layout); exactly n results are written. Both dispatch
+ * builds compute identical integer sums (max |coord diff| < 2^15, sum
+ * < 2^31), so results are bit-identical across paths.
+ */
+void batchSqDistFixed(const std::int16_t *qxy, const std::int16_t *qzw,
+                      std::size_t n, std::int16_t qx, std::int16_t qy,
+                      std::int16_t qz, float *out);
+
 } // namespace simd
 } // namespace edgepc
 

@@ -110,6 +110,15 @@ Dgcnn::Dgcnn(DgcnnConfig config, std::uint64_t seed) : cfg(std::move(config))
         head_in = width;
     }
     head.add(std::make_unique<nn::Linear>(head_in, cfg.numClasses, rng));
+
+    // Propagate the int8-inference config to every Linear layer; the
+    // per-call resolve (env > config > shape heuristic) happens inside
+    // the layers.
+    for (auto &block : ecBlocks) {
+        block.mlp.setQuantMode(cfg.quantizedInference);
+    }
+    embedding.setQuantMode(cfg.quantizedInference);
+    head.setQuantMode(cfg.quantizedInference);
 }
 
 std::string
@@ -146,7 +155,7 @@ Dgcnn::searchNeighbors(std::size_t module, const EdgePcConfig &config,
             }
             return lists;
         }
-        BruteForceKnn searcher;
+        BruteForceKnn searcher(cfg.fixedPointSearch);
         NeighborLists lists = searcher.search(positions, positions, k);
         if (config.approximate() && config.reuseDistance > 0) {
             cache.store(layer, lists);

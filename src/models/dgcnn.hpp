@@ -21,6 +21,7 @@
 
 #include <memory>
 
+#include "geometry/simd_distance.hpp"
 #include "models/model.hpp"
 #include "neighbor/neighbor_cache.hpp"
 #include "nn/delayed_agg.hpp"
@@ -65,6 +66,23 @@ struct DgcnnConfig
      * EDGEPC_DELAYED_AGG overrides. Checkpoint-compatible either way.
      */
     nn::DelayedAggMode delayedAggregation = nn::DelayedAggMode::Auto;
+
+    /**
+     * Int8 quantized inference (DESIGN.md §15): route the model's
+     * Linear layers through the quantized GEMM at inference. Off by
+     * default so default numerics match fp32 exactly; EDGEPC_GEMM=int8
+     * overrides, and Auto defers to the per-call shape heuristic.
+     * Training always runs fp32; checkpoints are unchanged.
+     */
+    nn::QuantMode quantizedInference = nn::QuantMode::Off;
+
+    /**
+     * Fixed-point neighbor search (DESIGN.md §15) for the module-1
+     * coordinate-space k-NN. Off by default (exact fp32 distances);
+     * Auto stays Off for k-NN, so only On (or EDGEPC_SIMD=int8)
+     * engages it. Feature-space modules always run fp32.
+     */
+    simd::FixedPointMode fixedPointSearch = simd::FixedPointMode::Off;
 
     /** Paper-scale DGCNN(c): 4 ECs, k=20, 1024-d embedding. */
     static DgcnnConfig classification(std::size_t num_classes);

@@ -168,6 +168,17 @@ PointNetPP::PointNetPP(PointNetPPConfig config, std::uint64_t seed)
         head_in = width;
     }
     head.add(std::make_unique<nn::Linear>(head_in, cfg.numClasses, rng));
+
+    // Propagate the int8-inference config to every Linear layer; the
+    // per-call resolve (env > config > shape heuristic) happens inside
+    // the layers.
+    for (auto &block : saBlocks) {
+        block.mlp.setQuantMode(cfg.quantizedInference);
+    }
+    for (auto &block : fpBlocks) {
+        block.mlp.setQuantMode(cfg.quantizedInference);
+    }
+    head.setQuantMode(cfg.quantizedInference);
 }
 
 void
@@ -231,10 +242,11 @@ PointNetPP::saNeighborStage(std::size_t module,
                 queries[i] = cur.positions[cur.sampleIndices[i]];
             }
             if (block.conf.mode == NeighborMode::BallQuery) {
-                BallQuery searcher(block.conf.radius);
+                BallQuery searcher(block.conf.radius,
+                                   cfg.fixedPointSearch);
                 neighbors = searcher.search(queries, cur.positions, k);
             } else {
-                BruteForceKnn searcher;
+                BruteForceKnn searcher(cfg.fixedPointSearch);
                 neighbors = searcher.search(queries, cur.positions, k);
             }
         }

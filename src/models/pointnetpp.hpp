@@ -24,6 +24,7 @@
 
 #include <memory>
 
+#include "geometry/simd_distance.hpp"
 #include "models/model.hpp"
 #include "neighbor/neighbor_search.hpp"
 #include "nn/delayed_agg.hpp"
@@ -93,6 +94,24 @@ struct PointNetPPConfig
      * Checkpoint-compatible either way (same parameters, either route).
      */
     nn::DelayedAggMode delayedAggregation = nn::DelayedAggMode::Auto;
+
+    /**
+     * Int8 quantized inference (DESIGN.md §15): route the model's
+     * Linear layers through the quantized GEMM at inference. Off by
+     * default so default numerics match fp32 exactly; EDGEPC_GEMM=int8
+     * overrides, and Auto defers to the per-call shape heuristic.
+     * Training always runs fp32; checkpoints are unchanged.
+     */
+    nn::QuantMode quantizedInference = nn::QuantMode::Off;
+
+    /**
+     * Fixed-point neighbor search (DESIGN.md §15): snap coordinates to
+     * the per-cloud s16 grid in the baseline ball-query / k-NN stages.
+     * Off by default (exact fp32 distances); Auto engages ball query
+     * only when the grid step is much finer than the radius (k-NN
+     * stays fp32 under Auto). EDGEPC_SIMD=int8 overrides.
+     */
+    simd::FixedPointMode fixedPointSearch = simd::FixedPointMode::Off;
 
     /**
      * The paper's PointNet++(s) for semantic segmentation: 4 SA + 4 FP

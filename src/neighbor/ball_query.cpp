@@ -24,7 +24,8 @@ constexpr std::size_t kChunk = 256;
 
 } // namespace
 
-BallQuery::BallQuery(float radius) : r(radius)
+BallQuery::BallQuery(float radius, simd::FixedPointMode fixed_point)
+    : r(radius), fixedMode(fixed_point)
 {
     if (radius <= 0.0f) {
         raise(ErrorCode::InvalidArgument, "BallQuery: radius must be positive (got %f)",
@@ -56,6 +57,26 @@ BallQuery::search(std::span<const Vec3> queries,
     const PointsSoA soa(candidates, caller_arena);
     const std::size_t nc = candidates.size();
 
+    // Fixed-point route (DESIGN.md §15): snap candidates to the
+    // per-cloud s16 grid once, then every chunk runs the integer
+    // madd kernel against the quantized query with the radius
+    // threshold re-expressed in quantized units. In-ball membership
+    // near the boundary can differ from fp32 by up to one grid step;
+    // the gate (env > per-searcher config > scale/radius heuristic)
+    // keeps the path off unless that error is acceptable.
+    PointsFixed fixed;
+    bool use_fixed = false;
+    if (simd::fixedPointConsidered(fixedMode)) {
+        fixed = PointsFixed(soa, caller_arena);
+        use_fixed = fixed.valid() &&
+                    simd::resolveFixedPointBall(fixedMode, fixed.scale(),
+                                                r);
+    }
+    const float r2q = use_fixed ? fixed.radiusSqQ(r) : r2;
+    if (use_fixed) {
+        simd::recordFixedDispatch(queries.size());
+    }
+
     // EDGEPC_HOT: per-query in-ball scan — arena scratch only.
     parallelFor(0, queries.size(), [&](std::size_t q) {
         ScratchArena &arena = ScratchArena::local();
@@ -63,6 +84,11 @@ BallQuery::search(std::span<const Vec3> queries,
         const std::span<float> dist = arena.alloc<float>(kChunk);
         const std::span<std::uint64_t> mask =
             arena.alloc<std::uint64_t>(simd::maskWords(kChunk));
+
+        std::int16_t fqx = 0, fqy = 0, fqz = 0;
+        if (use_fixed) {
+            fixed.quantizeQuery(queries[q], fqx, fqy, fqz);
+        }
 
         std::uint32_t *row = out.indices.data() + q * k;
         std::size_t found = 0;
@@ -77,10 +103,17 @@ BallQuery::search(std::span<const Vec3> queries,
         // whole candidate set was scanned either way.
         for (std::size_t c = 0; c < nc && found < k; c += kChunk) {
             const std::size_t len = std::min(kChunk, nc - c);
-            simd::batchSqDist(soa.xs() + c, soa.ys() + c, soa.zs() + c,
-                              len, queries[q], dist.data());
-            const std::size_t hits =
-                simd::batchRadiusMask(dist.data(), len, r2, mask.data());
+            if (use_fixed) {
+                simd::batchSqDistFixed(fixed.xy() + 2 * c,
+                                       fixed.zw() + 2 * c, len, fqx, fqy,
+                                       fqz, dist.data());
+            } else {
+                simd::batchSqDist(soa.xs() + c, soa.ys() + c,
+                                  soa.zs() + c, len, queries[q],
+                                  dist.data());
+            }
+            const std::size_t hits = simd::batchRadiusMask(
+                dist.data(), len, r2q, mask.data());
             if (hits != 0) {
                 const std::size_t words = simd::maskWords(len);
                 for (std::size_t w = 0; w < words && found < k; ++w) {

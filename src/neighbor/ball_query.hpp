@@ -10,6 +10,7 @@
 #ifndef EDGEPC_NEIGHBOR_BALL_QUERY_HPP
 #define EDGEPC_NEIGHBOR_BALL_QUERY_HPP
 
+#include "geometry/simd_distance.hpp"
 #include "neighbor/neighbor_search.hpp"
 
 namespace edgepc {
@@ -18,8 +19,18 @@ namespace edgepc {
 class BallQuery : public NeighborSearch
 {
   public:
-    /** @param radius Ball radius R. */
-    explicit BallQuery(float radius);
+    /**
+     * @param radius Ball radius R.
+     * @param fixed_point Fixed-point distance gate (DESIGN.md §15):
+     *     Off keeps the exact fp32 kernels (default, bit-identical to
+     *     the reference scan); On snaps candidates to the per-cloud
+     *     s16 grid when the cloud quantizes; Auto engages only when
+     *     the grid step is much finer than the radius. EDGEPC_SIMD
+     *     (int8 | scalar | simd) overrides this per-searcher config.
+     */
+    explicit BallQuery(
+        float radius,
+        simd::FixedPointMode fixed_point = simd::FixedPointMode::Off);
 
     [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
@@ -32,6 +43,7 @@ class BallQuery : public NeighborSearch
 
   private:
     float r;
+    simd::FixedPointMode fixedMode;
 };
 
 } // namespace edgepc

@@ -48,6 +48,19 @@ BruteForceKnn::search(std::span<const Vec3> queries,
     const PointsSoA soa(candidates, caller_arena);
     const std::size_t nc = candidates.size();
 
+    // Fixed-point route (DESIGN.md §15): neighbors rank by exact
+    // integer grid distance instead of fp32 distance. Opt-in only
+    // (Auto resolves Off for k-NN) — see resolveFixedPointKnn.
+    PointsFixed fixed;
+    bool use_fixed = false;
+    if (simd::resolveFixedPointKnn(fixedMode)) {
+        fixed = PointsFixed(soa, caller_arena);
+        use_fixed = fixed.valid();
+    }
+    if (use_fixed) {
+        simd::recordFixedDispatch(queries.size());
+    }
+
     // EDGEPC_HOT: per-query scan — arena scratch only, no allocation.
     parallelFor(0, queries.size(), [&](std::size_t q) {
         ScratchArena &arena = ScratchArena::local();
@@ -55,8 +68,15 @@ BruteForceKnn::search(std::span<const Vec3> queries,
         const std::span<float> dist = arena.alloc<float>(nc);
         const std::span<std::uint64_t> mask =
             arena.alloc<std::uint64_t>(simd::maskWords(kMaskChunk));
-        simd::batchSqDist(soa.xs(), soa.ys(), soa.zs(), nc, queries[q],
-                          dist.data());
+        if (use_fixed) {
+            std::int16_t fqx = 0, fqy = 0, fqz = 0;
+            fixed.quantizeQuery(queries[q], fqx, fqy, fqz);
+            simd::batchSqDistFixed(fixed.xy(), fixed.zw(), nc, fqx, fqy,
+                                   fqz, dist.data());
+        } else {
+            simd::batchSqDist(soa.xs(), soa.ys(), soa.zs(), nc,
+                              queries[q], dist.data());
+        }
         KHeap heap(arena.alloc<KHeap::Key>(k));
         admitMasked(heap, dist.data(), nc, mask.data(), kMaskChunk,
                     [](std::size_t i) {

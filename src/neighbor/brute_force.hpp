@@ -7,6 +7,7 @@
 #ifndef EDGEPC_NEIGHBOR_BRUTE_FORCE_HPP
 #define EDGEPC_NEIGHBOR_BRUTE_FORCE_HPP
 
+#include "geometry/simd_distance.hpp"
 #include "neighbor/neighbor_search.hpp"
 
 namespace edgepc {
@@ -15,7 +16,20 @@ namespace edgepc {
 class BruteForceKnn : public NeighborSearch
 {
   public:
-    BruteForceKnn() = default;
+    /**
+     * @param fixed_point Fixed-point distance gate (DESIGN.md §15).
+     *     Off (default) keeps exact fp32 distances; On ranks neighbors
+     *     by s16 grid distance when the cloud quantizes. Auto stays
+     *     Off for k-NN — snap error reorders near-ties — so the
+     *     approximation is strictly opt-in; EDGEPC_SIMD (int8 |
+     *     scalar | simd) overrides. Coordinate-space search() only;
+     *     searchFeatureSpace always runs fp32.
+     */
+    explicit BruteForceKnn(
+        simd::FixedPointMode fixed_point = simd::FixedPointMode::Off)
+        : fixedMode(fixed_point)
+    {
+    }
 
     [[nodiscard]]
     NeighborLists search(std::span<const Vec3> queries,
@@ -33,6 +47,9 @@ class BruteForceKnn : public NeighborSearch
     static NeighborLists searchFeatureSpace(std::span<const float> queries,
                                             std::span<const float> candidates,
                                             std::size_t dim, std::size_t k);
+
+  private:
+    simd::FixedPointMode fixedMode;
 };
 
 } // namespace edgepc

@@ -11,6 +11,7 @@
 #include "common/logging.hpp"
 #include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
+#include "nn/quant.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -47,6 +48,14 @@ fmaAvailable()
     return available;
 }
 
+bool
+int8Available()
+{
+    // maddubs/madd are AVX2; the int8 kernel needs no FMA.
+    static const bool available = __builtin_cpu_supports("avx2");
+    return available;
+}
+
 GemmDispatchPath
 initialPathFromEnv()
 {
@@ -67,8 +76,13 @@ initialPathFromEnv()
         }
         return GemmDispatchPath::ForceFast;
     }
+    if (v == "int8") {
+        // Quantized-inference override (nn/quant.hpp reads the same
+        // variable); the fp32 microkernel dispatch itself stays Auto.
+        return GemmDispatchPath::Auto;
+    }
     if (v != "auto") {
-        warn("EDGEPC_GEMM=%s not understood (want scalar|fast|auto); "
+        warn("EDGEPC_GEMM=%s not understood (want scalar|fast|int8|auto); "
              "using auto",
              env);
     }
@@ -769,6 +783,522 @@ gemmPacked(const float *a, bool a_transposed, const float *b,
         0);
 }
 
+// ---- int8 quantized inference route (layout in nn/quant.hpp) ----
+
+/**
+ * Quantize the activation matrix straight into the packed quad-major
+ * block layout the microkernel reads: row block b (kMR rows) starts at
+ * dst + b * k_padded * kMR; within a block, reduction quad q occupies
+ * kMR * kQuantKQ bytes with row ii's four consecutive k bytes at
+ * dst[q * 24 + ii * 4]. One pass over A replaces the former
+ * quantize-buffer-then-pack-per-tile double pass, which gated the
+ * whole quantized call on large M. Rows past m and ks past the real
+ * reduction are zero: zero activations against zero-padded weights
+ * contribute exactly zero, and colSum covers real k only, so padding
+ * cancels out of the zero-point correction too. Baseline-ISA build.
+ */
+inline void
+quantizePackAScalar(const float *__restrict a, std::size_t m,
+                    std::size_t k, std::size_t k_padded,
+                    const ActQuant &q, std::uint8_t *__restrict dst)
+{
+    const std::size_t quads = k_padded / kQuantKQ;
+    const std::size_t blocks = (m + kMR - 1) / kMR;
+    const std::size_t row_stride = kMR * kQuantKQ;
+    // EDGEPC_HOT: streaming activation quantization + pack.
+    for (std::size_t i = 0; i < blocks * kMR; ++i) {
+        std::uint8_t *drow =
+            dst + (i / kMR) * (k_padded * kMR) + (i % kMR) * kQuantKQ;
+        if (i >= m) {
+            for (std::size_t qq = 0; qq < quads; ++qq) {
+                std::memset(drow + qq * row_stride, 0, kQuantKQ);
+            }
+            continue;
+        }
+        const float *src = a + i * k;
+        for (std::size_t qq = 0; qq < quads; ++qq) {
+            std::uint8_t *dq = drow + qq * row_stride;
+            const std::size_t k0 = qq * kQuantKQ;
+            for (std::size_t t = 0; t < kQuantKQ; ++t) {
+                dq[t] = k0 + t < k ? quantizeAct(src[k0 + t], q) : 0;
+            }
+        }
+    }
+}
+
+/**
+ * AVX2 build of quantizePackAScalar: the same multiply, nearest-even
+ * round (cvtps_epi32 matches lrintf in the default rounding mode) and
+ * clamp as quantizeAct, 32 values (8 quads) per iteration. The
+ * i32 -> u8 narrowing packs interleave lanes; the permute restores
+ * source order before the quads scatter into the block layout.
+ */
+__attribute__((target("avx2"))) void
+quantizePackAAvx2(const float *__restrict a, std::size_t m,
+                  std::size_t k, std::size_t k_padded, const ActQuant &q,
+                  std::uint8_t *__restrict dst)
+{
+    const __m256 inv = _mm256_set1_ps(q.invScale);
+    const __m256i zp = _mm256_set1_epi32(q.zeroPoint);
+    const __m256i lowq = _mm256_setzero_si256();
+    const __m256i highq = _mm256_set1_epi32(kQuantActMax);
+    const __m256i lanefix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    const std::size_t quads = k_padded / kQuantKQ;
+    const std::size_t blocks = (m + kMR - 1) / kMR;
+    const std::size_t row_stride = kMR * kQuantKQ;
+    alignas(32) std::uint8_t tmp[32];
+    for (std::size_t i = 0; i < blocks * kMR; ++i) {
+        std::uint8_t *drow =
+            dst + (i / kMR) * (k_padded * kMR) + (i % kMR) * kQuantKQ;
+        if (i >= m) {
+            for (std::size_t qq = 0; qq < quads; ++qq) {
+                std::memset(drow + qq * row_stride, 0, kQuantKQ);
+            }
+            continue;
+        }
+        const float *src = a + i * k;
+        std::size_t kk = 0;
+        // EDGEPC_HOT: vector activation quantization + quad scatter.
+        for (; kk + 32 <= k; kk += 32) {
+            __m256i r0 = _mm256_cvtps_epi32(
+                _mm256_mul_ps(_mm256_loadu_ps(src + kk), inv));
+            __m256i r1 = _mm256_cvtps_epi32(
+                _mm256_mul_ps(_mm256_loadu_ps(src + kk + 8), inv));
+            __m256i r2 = _mm256_cvtps_epi32(
+                _mm256_mul_ps(_mm256_loadu_ps(src + kk + 16), inv));
+            __m256i r3 = _mm256_cvtps_epi32(
+                _mm256_mul_ps(_mm256_loadu_ps(src + kk + 24), inv));
+            r0 = _mm256_max_epi32(
+                lowq, _mm256_min_epi32(highq, _mm256_add_epi32(r0, zp)));
+            r1 = _mm256_max_epi32(
+                lowq, _mm256_min_epi32(highq, _mm256_add_epi32(r1, zp)));
+            r2 = _mm256_max_epi32(
+                lowq, _mm256_min_epi32(highq, _mm256_add_epi32(r2, zp)));
+            r3 = _mm256_max_epi32(
+                lowq, _mm256_min_epi32(highq, _mm256_add_epi32(r3, zp)));
+            const __m256i ab = _mm256_packs_epi32(r0, r1);
+            const __m256i cd = _mm256_packs_epi32(r2, r3);
+            __m256i bytes = _mm256_packus_epi16(ab, cd);
+            bytes = _mm256_permutevar8x32_epi32(bytes, lanefix);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), bytes);
+            std::uint8_t *dq = drow + (kk / kQuantKQ) * row_stride;
+            for (std::size_t t = 0; t < 8; ++t) {
+                std::memcpy(dq + t * row_stride, tmp + t * kQuantKQ,
+                            kQuantKQ);
+            }
+        }
+        for (std::size_t qq = kk / kQuantKQ; qq < quads; ++qq) {
+            std::uint8_t *dq = drow + qq * row_stride;
+            const std::size_t k0 = qq * kQuantKQ;
+            for (std::size_t t = 0; t < kQuantKQ; ++t) {
+                dq[t] = k0 + t < k ? quantizeAct(src[k0 + t], q) : 0;
+            }
+        }
+    }
+}
+
+/**
+ * AVX2 activation range scan. Min/max is exact and order-independent,
+ * so this matches the scalar computeActQuant bit for bit on finite
+ * inputs (the only ones the route sees — NaN activations already
+ * misbehave on the fp32 path). Four accumulator pairs hide the
+ * min/max latency; the serial scan otherwise gates the whole
+ * quantized call on large M.
+ */
+__attribute__((target("avx2"))) ActQuant
+computeActQuantAvx2(const float *__restrict a, std::size_t count)
+{
+    if (count < 32) {
+        return computeActQuant(a, count);
+    }
+    const __m256 seed = _mm256_set1_ps(a[0]);
+    __m256 lo0 = seed;
+    __m256 lo1 = seed;
+    __m256 lo2 = seed;
+    __m256 lo3 = seed;
+    __m256 hi0 = seed;
+    __m256 hi1 = seed;
+    __m256 hi2 = seed;
+    __m256 hi3 = seed;
+    std::size_t i = 0;
+    // EDGEPC_HOT: vector min/max range scan.
+    for (; i + 32 <= count; i += 32) {
+        const __m256 v0 = _mm256_loadu_ps(a + i);
+        const __m256 v1 = _mm256_loadu_ps(a + i + 8);
+        const __m256 v2 = _mm256_loadu_ps(a + i + 16);
+        const __m256 v3 = _mm256_loadu_ps(a + i + 24);
+        lo0 = _mm256_min_ps(lo0, v0);
+        hi0 = _mm256_max_ps(hi0, v0);
+        lo1 = _mm256_min_ps(lo1, v1);
+        hi1 = _mm256_max_ps(hi1, v1);
+        lo2 = _mm256_min_ps(lo2, v2);
+        hi2 = _mm256_max_ps(hi2, v2);
+        lo3 = _mm256_min_ps(lo3, v3);
+        hi3 = _mm256_max_ps(hi3, v3);
+    }
+    lo0 = _mm256_min_ps(_mm256_min_ps(lo0, lo1),
+                        _mm256_min_ps(lo2, lo3));
+    hi0 = _mm256_max_ps(_mm256_max_ps(hi0, hi1),
+                        _mm256_max_ps(hi2, hi3));
+    alignas(32) float lo8[8];
+    alignas(32) float hi8[8];
+    _mm256_store_ps(lo8, lo0);
+    _mm256_store_ps(hi8, hi0);
+    float lo = lo8[0];
+    float hi = hi8[0];
+    for (int t = 1; t < 8; ++t) {
+        lo = lo8[t] < lo ? lo8[t] : lo;
+        hi = hi8[t] > hi ? hi8[t] : hi;
+    }
+    for (; i < count; ++i) {
+        const float v = a[i];
+        lo = v < lo ? v : lo;
+        hi = v > hi ? v : hi;
+    }
+    return actQuantFromRange(lo, hi);
+}
+
+/**
+ * 6x16 AVX2 int8 microkernel: per reduction quad, two 32-byte panel
+ * loads feed maddubs (u8*s8 adjacent pairs -> i16) then madd against
+ * ones (i16 pairs -> i32), accumulated into 12 ymm int32 registers.
+ * The 7-bit activation range guarantees the intermediate i16 sums
+ * never saturate (127 * 127 * 2 <= 32767, see nn/quant.hpp), so the
+ * accumulators hold the exact integer dot products.
+ */
+__attribute__((target("avx2"))) void
+microKernelInt8Avx2(const std::uint8_t *__restrict apack,
+                    const std::int8_t *__restrict bpanel,
+                    std::size_t quads, std::int32_t *__restrict acc)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i c0a = _mm256_setzero_si256();
+    __m256i c0b = _mm256_setzero_si256();
+    __m256i c1a = _mm256_setzero_si256();
+    __m256i c1b = _mm256_setzero_si256();
+    __m256i c2a = _mm256_setzero_si256();
+    __m256i c2b = _mm256_setzero_si256();
+    __m256i c3a = _mm256_setzero_si256();
+    __m256i c3b = _mm256_setzero_si256();
+    __m256i c4a = _mm256_setzero_si256();
+    __m256i c4b = _mm256_setzero_si256();
+    __m256i c5a = _mm256_setzero_si256();
+    __m256i c5b = _mm256_setzero_si256();
+    // EDGEPC_HOT: full-K quad accumulation in integer registers.
+    for (std::size_t q = 0; q < quads; ++q) {
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bpanel + q * 64));
+        const __m256i b1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bpanel + q * 64 + 32));
+        const std::uint8_t *arow = apack + q * (kMR * kQuantKQ);
+        std::int32_t aw;
+        std::memcpy(&aw, arow, 4);
+        __m256i av = _mm256_set1_epi32(aw);
+        c0a = _mm256_add_epi32(
+            c0a, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+        c0b = _mm256_add_epi32(
+            c0b, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+        std::memcpy(&aw, arow + 4, 4);
+        av = _mm256_set1_epi32(aw);
+        c1a = _mm256_add_epi32(
+            c1a, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+        c1b = _mm256_add_epi32(
+            c1b, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+        std::memcpy(&aw, arow + 8, 4);
+        av = _mm256_set1_epi32(aw);
+        c2a = _mm256_add_epi32(
+            c2a, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+        c2b = _mm256_add_epi32(
+            c2b, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+        std::memcpy(&aw, arow + 12, 4);
+        av = _mm256_set1_epi32(aw);
+        c3a = _mm256_add_epi32(
+            c3a, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+        c3b = _mm256_add_epi32(
+            c3b, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+        std::memcpy(&aw, arow + 16, 4);
+        av = _mm256_set1_epi32(aw);
+        c4a = _mm256_add_epi32(
+            c4a, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+        c4b = _mm256_add_epi32(
+            c4b, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+        std::memcpy(&aw, arow + 20, 4);
+        av = _mm256_set1_epi32(aw);
+        c5a = _mm256_add_epi32(
+            c5a, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+        c5b = _mm256_add_epi32(
+            c5b, _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 0 * kNR), c0a);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 0 * kNR + 8),
+                       c0b);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 1 * kNR), c1a);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 1 * kNR + 8),
+                       c1b);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 2 * kNR), c2a);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 2 * kNR + 8),
+                       c2b);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 3 * kNR), c3a);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 3 * kNR + 8),
+                       c3b);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 4 * kNR), c4a);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 4 * kNR + 8),
+                       c4b);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 5 * kNR), c5a);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(acc + 5 * kNR + 8),
+                       c5b);
+}
+
+/**
+ * Scalar-int build of the same microkernel: integer arithmetic is
+ * order-independent, so this is bit-exact with the AVX2 build (and
+ * with quantizedGemmRef) by construction.
+ */
+inline void
+microKernelInt8Scalar(const std::uint8_t *__restrict apack,
+                      const std::int8_t *__restrict bpanel,
+                      std::size_t quads, std::int32_t *__restrict acc)
+{
+    for (std::size_t i = 0; i < kMR * kNR; ++i) {
+        acc[i] = 0;
+    }
+    // EDGEPC_HOT: integer quad accumulation.
+    for (std::size_t q = 0; q < quads; ++q) {
+        const std::int8_t *quad = bpanel + q * kQuantNR * kQuantKQ;
+        const std::uint8_t *arow = apack + q * (kMR * kQuantKQ);
+        for (std::size_t ii = 0; ii < kMR; ++ii) {
+            const std::uint8_t *av = arow + ii * kQuantKQ;
+            std::int32_t *accrow = acc + ii * kNR;
+            for (std::size_t jj = 0; jj < kQuantNR; ++jj) {
+                const std::int8_t *wb =
+                    quad + (jj < 8 ? jj * kQuantKQ
+                                   : 32 + (jj - 8) * kQuantKQ);
+                std::int32_t s = 0;
+                for (std::size_t t = 0; t < kQuantKQ; ++t) {
+                    s += static_cast<std::int32_t>(av[t]) *
+                         static_cast<std::int32_t>(wb[t]);
+                }
+                accrow[jj] += s;
+            }
+        }
+    }
+}
+
+/**
+ * Dequant tile store: v = combined[j] * float(acc - corr[j]), then
+ * bias and ReLU. The float operation order matches quantizedGemmRef
+ * and the AVX2 store exactly; this file is built with
+ * -ffp-contract=off so no step fuses.
+ */
+inline void
+storeTileInt8Scalar(const std::int32_t *__restrict acc,
+                    float *__restrict c, std::size_t n, std::size_t i0,
+                    std::size_t j0, std::size_t rows, std::size_t cols,
+                    const float *__restrict combined,
+                    const std::int32_t *__restrict corr,
+                    const float *__restrict bias, GemmEpilogue epilogue)
+{
+    // EDGEPC_HOT: dequant tile store + fused epilogue.
+    for (std::size_t ii = 0; ii < rows; ++ii) {
+        float *crow = c + (i0 + ii) * n + j0;
+        const std::int32_t *accrow = acc + ii * kNR;
+        for (std::size_t jj = 0; jj < cols; ++jj) {
+            float v = combined[jj] *
+                      static_cast<float>(accrow[jj] - corr[jj]);
+            if (epilogue != GemmEpilogue::None) {
+                v = v + bias[jj];
+                if (epilogue == GemmEpilogue::BiasRelu) {
+                    v = v > 0.0f ? v : 0.0f;
+                }
+            }
+            crow[jj] = v;
+        }
+    }
+}
+
+/** Vectorized dequant tile store (full-width panels); cvtepi32_ps and
+    static_cast<float> both round nearest-even, so the builds agree
+    bit for bit even for accumulators beyond 2^24. */
+__attribute__((target("avx2"))) void
+storeTileInt8Avx2(const std::int32_t *__restrict acc,
+                  float *__restrict c, std::size_t n, std::size_t i0,
+                  std::size_t j0, std::size_t rows, std::size_t cols,
+                  const float *__restrict combined,
+                  const std::int32_t *__restrict corr,
+                  const float *__restrict bias, GemmEpilogue epilogue)
+{
+    if (cols != kNR) {
+        storeTileInt8Scalar(acc, c, n, i0, j0, rows, cols, combined,
+                            corr, bias, epilogue);
+        return;
+    }
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 comb0 = _mm256_loadu_ps(combined);
+    const __m256 comb1 = _mm256_loadu_ps(combined + 8);
+    const __m256i corr0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(corr));
+    const __m256i corr1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(corr + 8));
+    __m256 bias0 = zero;
+    __m256 bias1 = zero;
+    if (epilogue != GemmEpilogue::None) {
+        bias0 = _mm256_loadu_ps(bias);
+        bias1 = _mm256_loadu_ps(bias + 8);
+    }
+    // EDGEPC_HOT: dequant tile store + fused epilogue.
+    for (std::size_t ii = 0; ii < rows; ++ii) {
+        float *crow = c + (i0 + ii) * n + j0;
+        const __m256i a0 = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(acc + ii * kNR));
+        const __m256i a1 = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(acc + ii * kNR + 8));
+        __m256 v0 = _mm256_cvtepi32_ps(_mm256_sub_epi32(a0, corr0));
+        __m256 v1 = _mm256_cvtepi32_ps(_mm256_sub_epi32(a1, corr1));
+        v0 = _mm256_mul_ps(comb0, v0);
+        v1 = _mm256_mul_ps(comb1, v1);
+        if (epilogue != GemmEpilogue::None) {
+            v0 = _mm256_add_ps(v0, bias0);
+            v1 = _mm256_add_ps(v1, bias1);
+            if (epilogue == GemmEpilogue::BiasRelu) {
+                v0 = _mm256_max_ps(v0, zero);
+                v1 = _mm256_max_ps(v1, zero);
+            }
+        }
+        _mm256_storeu_ps(crow, v0);
+        _mm256_storeu_ps(crow + 8, v1);
+    }
+}
+
+/** Worker context of the quantized tile grid (same shape as
+ *  PackedGemmCtx; B panels come from the layer cache instead of a
+ *  per-call pack). */
+struct QuantGemmCtx
+{
+    const std::uint8_t *apacked; ///< Quantized A in block layout.
+    std::size_t m;
+    std::size_t k;
+    const QuantizedWeights *wq;
+    float *c;
+    std::size_t n;
+    const float *combined;    ///< s_a * s_w[j], padded width.
+    const std::int32_t *corr; ///< z_a * colSum[j], padded width.
+    const float *bias;
+    GemmEpilogue epilogue;
+    std::size_t groups;
+    std::size_t panelsPerGroup;
+    bool useAvx2;
+};
+
+/** One chunk of the quantized 2-D tile grid. */
+void
+runTileChunkInt8(const QuantGemmCtx &ctx, std::size_t lo, std::size_t hi)
+{
+    const std::size_t kp = ctx.wq->kPadded;
+    const std::size_t quads = kp / kQuantKQ;
+    alignas(32) std::int32_t acc[kMR * kNR];
+    for (std::size_t t = lo; t < hi; ++t) {
+        const std::size_t ib = t / ctx.groups;
+        const std::size_t g = t % ctx.groups;
+        const std::size_t row_lo = ib * kMC;
+        const std::size_t row_hi = std::min(ctx.m, row_lo + kMC);
+        const std::size_t p_lo = g * ctx.panelsPerGroup;
+        const std::size_t p_hi =
+            std::min(ctx.wq->panels, p_lo + ctx.panelsPerGroup);
+        if (p_lo >= p_hi) {
+            continue;
+        }
+        for (std::size_t i0 = row_lo; i0 < row_hi; i0 += kMR) {
+            const std::size_t rows = std::min(kMR, row_hi - i0);
+            // A was quantize-packed once up front; kMC is a multiple
+            // of kMR, so i0 always lands on a block boundary.
+            const std::uint8_t *apack =
+                ctx.apacked + (i0 / kMR) * (kp * kMR);
+            for (std::size_t p = p_lo; p < p_hi; ++p) {
+                const std::int8_t *bpanel =
+                    ctx.wq->panelData.data() + ctx.wq->panelOffset(p);
+                const std::size_t j0 = p * kNR;
+                const std::size_t cols = std::min(kNR, ctx.n - j0);
+                const float *bias =
+                    ctx.bias != nullptr ? ctx.bias + j0 : nullptr;
+                if (ctx.useAvx2) {
+                    microKernelInt8Avx2(apack, bpanel, quads, acc);
+                    storeTileInt8Avx2(acc, ctx.c, ctx.n, i0, j0, rows,
+                                      cols, ctx.combined + j0,
+                                      ctx.corr + j0, bias, ctx.epilogue);
+                } else {
+                    microKernelInt8Scalar(apack, bpanel, quads, acc);
+                    storeTileInt8Scalar(acc, ctx.c, ctx.n, i0, j0, rows,
+                                        cols, ctx.combined + j0,
+                                        ctx.corr + j0, bias,
+                                        ctx.epilogue);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Quantized-GEMM driver: quantize A once into the arena (the AVX2 and
+ * scalar passes round identically), fold the activation scale into
+ * per-column combined dequant scales and the zero point into int32
+ * correction terms, then walk the same 2-D tile grid as the fp32
+ * path. B needs no per-call packing — the quantized panels come from
+ * the layer cache — so even small M runs the tile path.
+ */
+void
+gemmQuantizedPacked(const float *a, std::size_t m,
+                    const QuantizedWeights &wq, float *c,
+                    GemmEpilogue epilogue, const float *bias,
+                    bool use_avx2)
+{
+    ScratchArena &arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    const std::size_t k = wq.k;
+    const std::size_t n = wq.n;
+    const ActQuant aq = use_avx2 ? computeActQuantAvx2(a, m * k)
+                                 : computeActQuant(a, m * k);
+    const std::size_t kp = wq.kPadded;
+    const std::size_t mblocks6 = (m + kMR - 1) / kMR;
+    std::uint8_t *apacked =
+        arena.alloc<std::uint8_t>(mblocks6 * kp * kMR).data();
+    if (use_avx2) {
+        quantizePackAAvx2(a, m, k, kp, aq, apacked);
+    } else {
+        quantizePackAScalar(a, m, k, kp, aq, apacked);
+    }
+    const std::size_t padded_n = wq.panels * kQuantNR;
+    float *combined = arena.alloc<float>(padded_n).data();
+    std::int32_t *corr = arena.alloc<std::int32_t>(padded_n).data();
+    for (std::size_t j = 0; j < padded_n; ++j) {
+        combined[j] = aq.scale * wq.colScale[j];
+        corr[j] = aq.zeroPoint * wq.colSum[j];
+    }
+
+    const std::size_t mblocks = (m + kMC - 1) / kMC;
+    const std::size_t conc = ThreadPool::globalPool().concurrency();
+    std::size_t groups = 1;
+    if (mblocks < conc * 2) {
+        groups =
+            std::min(wq.panels, (conc * 2 + mblocks - 1) / mblocks);
+    }
+    const std::size_t panelsPerGroup =
+        (wq.panels + groups - 1) / groups;
+
+    const QuantGemmCtx ctx{apacked,  m,
+                           k,        &wq,
+                           c,        n,
+                           combined, corr,
+                           bias,     epilogue,
+                           groups,   panelsPerGroup,
+                           use_avx2};
+    ThreadPool::globalPool().parallelForChunked(
+        0, mblocks * groups,
+        [&ctx](std::size_t lo, std::size_t hi) {
+            runTileChunkInt8(ctx, lo, hi);
+        },
+        0);
+}
+
 } // namespace
 
 void
@@ -935,6 +1465,68 @@ GemmEngine::multiplyLeftTransposedAdd(const Matrix &a, const Matrix &b,
         b.cols(), GemmEpilogue::None, nullptr, true);
 }
 
+void
+GemmEngine::gemmQuantized(const float *a, std::size_t m,
+                          const QuantizedWeights &wq, float *c,
+                          GemmEpilogue epilogue, const float *bias)
+{
+    if (m == 0 || wq.n == 0 || wq.k == 0) {
+        return;
+    }
+    if (epilogue != GemmEpilogue::None && bias == nullptr) {
+        raise(ErrorCode::InvalidArgument,
+              "GemmEngine::gemmQuantized: bias epilogue requested "
+              "without a bias vector");
+    }
+    EDGEPC_TRACE_SCOPE("gemm-int8", "nn");
+    static obs::Counter &flops =
+        obs::MetricsRegistry::global().counter("gemm.flops");
+    static obs::Counter &int8Calls =
+        obs::MetricsRegistry::global().counter("gemm.int8_path_calls");
+    static obs::Counter &fusedCalls =
+        obs::MetricsRegistry::global().counter("gemm.fused_epilogue_calls");
+    flops.add(2ull * m * wq.k * wq.n);
+    int8Calls.add(1);
+    if (epilogue != GemmEpilogue::None) {
+        fusedCalls.add(1);
+    }
+    // The int8 route models the tensor cores' int8 mode: it does not
+    // disturb the fp32 fast/scalar policy counters. The process-wide
+    // dispatch override still picks which build executes.
+    bool use_avx2 = false;
+    switch (dispatchPath()) {
+      case GemmDispatchPath::ForceScalar:
+        use_avx2 = false;
+        break;
+      case GemmDispatchPath::ForceFast:
+      case GemmDispatchPath::Auto:
+        use_avx2 = int8Available();
+        break;
+    }
+    gemmQuantizedPacked(a, m, wq, c, epilogue, bias, use_avx2);
+}
+
+Matrix
+GemmEngine::multiplyQuantized(const Matrix &a, const QuantizedWeights &wq,
+                              GemmEpilogue epilogue, const Matrix &bias)
+{
+    if (a.cols() != wq.k) {
+        fatal("GemmEngine::multiplyQuantized: %zux%zu times quantized "
+              "%zux%zu",
+              a.rows(), a.cols(), wq.k, wq.n);
+    }
+    if (epilogue != GemmEpilogue::None &&
+        (bias.rows() != 1 || bias.cols() != wq.n)) {
+        fatal("GemmEngine::multiplyQuantized: bias %zux%zu does not "
+              "match output width %zu",
+              bias.rows(), bias.cols(), wq.n);
+    }
+    Matrix c(a.rows(), wq.n);
+    gemmQuantized(a.data(), a.rows(), wq, c.data(), epilogue,
+                  epilogue != GemmEpilogue::None ? bias.data() : nullptr);
+    return c;
+}
+
 double
 GemmEngine::fastPathUtilization() const
 {
@@ -994,6 +1586,21 @@ GemmEngine::activeKernelName()
         break;
     }
     return fmaAvailable() ? "avx2-fma" : "scalar";
+}
+
+bool
+GemmEngine::int8KernelAvailable()
+{
+    return int8Available();
+}
+
+const char *
+GemmEngine::int8KernelName()
+{
+    if (dispatchPath() == GemmDispatchPath::ForceScalar) {
+        return "scalar-int8";
+    }
+    return int8Available() ? "avx2-int8" : "scalar-int8";
 }
 
 bool

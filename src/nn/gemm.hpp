@@ -45,6 +45,8 @@
 namespace edgepc {
 namespace nn {
 
+struct QuantizedWeights; // nn/quant.hpp
+
 /** GEMM dispatch policy (the device model: which units run it). */
 enum class GemmMode
 {
@@ -131,6 +133,23 @@ class GemmEngine
     void multiplyLeftTransposedAdd(const Matrix &a, const Matrix &b,
                                    Matrix &out);
 
+    /**
+     * C = dequant(quant(A) * Wq) — the int8 inference route
+     * (DESIGN.md §15). A (M x Wq.k) is quantized per call with
+     * dynamic 7-bit per-tensor parameters; @p wq comes from a
+     * QuantPanelCache build. The dequant(+Bias/BiasRelu) epilogue is
+     * always fused into the tile store (the int32 accumulators have
+     * to be rescaled while hot anyway), so the output is fp32 and
+     * bit-exact across the AVX2 and scalar-int builds.
+     */
+    Matrix multiplyQuantized(const Matrix &a, const QuantizedWeights &wq,
+                             GemmEpilogue epilogue, const Matrix &bias);
+
+    /** Raw-pointer flavour of multiplyQuantized; @p c is m x wq.n. */
+    void gemmQuantized(const float *a, std::size_t m,
+                       const QuantizedWeights &wq, float *c,
+                       GemmEpilogue epilogue, const float *bias);
+
     GemmMode mode() const { return policy; }
     void setMode(GemmMode mode) { policy = mode; }
 
@@ -170,6 +189,17 @@ class GemmEngine
      * echoed into BENCH_*.json metadata as config.gemm_path.
      */
     static const char *activeKernelName();
+
+    /** True when the host CPU supports the AVX2 maddubs microkernel
+        (AVX2 only — the int8 path needs no FMA). */
+    static bool int8KernelAvailable();
+
+    /**
+     * "avx2-int8" or "scalar-int8": the build gemmQuantized resolves
+     * to under the current dispatch path — echoed as
+     * config.gemm_int8_kernel.
+     */
+    static const char *int8KernelName();
 
     // ---- process-wide epilogue fusion toggle
 

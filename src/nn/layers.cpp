@@ -37,6 +37,17 @@ Linear::forward(const Matrix &input, bool train)
         fatal("Linear::forward: input dim %zu != weight dim %zu",
               input.cols(), weight.value.rows());
     }
+    if (!train &&
+        resolveQuantGemm(quantConfig, input.rows(), input.cols())) {
+        // Int8 inference route: cached quantized panels, dynamic
+        // activation scales, dequant+bias fused into the tile store.
+        // (The quant route always fuses its epilogue — the int32
+        // accumulators must be rescaled while hot regardless of the
+        // EDGEPC_GEMM_EPILOGUE toggle, which governs fp32 only.)
+        auto wq = quantCache.get(weight.value);
+        return gemm().multiplyQuantized(input, *wq, GemmEpilogue::Bias,
+                                        bias.value);
+    }
     Matrix out;
     if (GemmEngine::fusedEpilogues()) {
         // Bias is added in the GEMM epilogue: one pass over the
@@ -108,6 +119,16 @@ LinearRelu::forward(const Matrix &input, bool train)
     if (input.cols() != weight.value.rows()) {
         fatal("LinearRelu::forward: input dim %zu != weight dim %zu",
               input.cols(), weight.value.rows());
+    }
+    if (!train &&
+        resolveQuantGemm(quantConfig, input.rows(), input.cols())) {
+        // Int8 inference route (see Linear::forward); ReLU joins the
+        // fused dequant epilogue. Training never reaches this branch,
+        // so the saved input and ReLU mask stay fp32-derived.
+        auto wq = quantCache.get(weight.value);
+        return gemm().multiplyQuantized(input, *wq,
+                                        GemmEpilogue::BiasRelu,
+                                        bias.value);
     }
     Matrix out;
     if (GemmEngine::fusedEpilogues()) {
@@ -528,6 +549,14 @@ Sequential::backwardFrom(std::size_t first, const Matrix &grad_output)
         g = layers[i - 1]->backward(g);
     }
     return g;
+}
+
+void
+Sequential::setQuantMode(QuantMode mode)
+{
+    for (auto &layer : layers) {
+        layer->setQuantMode(mode);
+    }
 }
 
 bool

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nn/gemm.hpp"
+#include "nn/quant.hpp"
 #include "nn/tensor.hpp"
 
 namespace edgepc {
@@ -83,6 +84,14 @@ class Layer
         (void)segment_rows;
         return false;
     }
+
+    /**
+     * Per-layer int8-inference config (DESIGN.md §15). Linear layers
+     * store it and consult resolveQuantGemm per inference forward;
+     * Sequential recurses; everything else ignores it. Training and
+     * backward always run fp32 regardless of this setting.
+     */
+    virtual void setQuantMode(QuantMode mode) { (void)mode; }
 };
 
 /**
@@ -106,12 +115,16 @@ class Linear : public Layer
     Matrix backward(const Matrix &grad_output) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     bool rowIndependentInference() const override { return true; }
+    void setQuantMode(QuantMode mode) override { quantConfig = mode; }
 
     std::size_t inDim() const { return weight.value.rows(); }
     std::size_t outDim() const { return weight.value.cols(); }
 
     Parameter &weights() { return weight; }
     Parameter &biases() { return bias; }
+
+    /** Quantized-panel rebuilds performed (cache observability). */
+    std::uint64_t quantRebuilds() const { return quantCache.rebuilds(); }
 
   private:
     GemmEngine &gemm();
@@ -120,6 +133,8 @@ class Linear : public Layer
     Parameter bias;   ///< 1 x out.
     Matrix savedInput;
     GemmEngine *engineOverride;
+    QuantMode quantConfig = QuantMode::Off;
+    QuantPanelCache quantCache;
 };
 
 /**
@@ -140,12 +155,16 @@ class LinearRelu : public Layer
     Matrix backward(const Matrix &grad_output) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     bool rowIndependentInference() const override { return true; }
+    void setQuantMode(QuantMode mode) override { quantConfig = mode; }
 
     std::size_t inDim() const { return weight.value.rows(); }
     std::size_t outDim() const { return weight.value.cols(); }
 
     Parameter &weights() { return weight; }
     Parameter &biases() { return bias; }
+
+    /** Quantized-panel rebuilds performed (cache observability). */
+    std::uint64_t quantRebuilds() const { return quantCache.rebuilds(); }
 
   private:
     GemmEngine &gemm();
@@ -156,6 +175,8 @@ class LinearRelu : public Layer
     /** ReLU mask from the last train forward (out > 0 iff pre > 0). */
     std::vector<std::uint8_t> mask;
     GemmEngine *engineOverride;
+    QuantMode quantConfig = QuantMode::Off;
+    QuantPanelCache quantCache;
 };
 
 /**
@@ -252,6 +273,7 @@ class Sequential : public Layer
     Matrix backward(const Matrix &grad_output) override;
     void collectParameters(std::vector<Parameter *> &out) override;
     void collectBuffers(std::vector<std::vector<float> *> &out) override;
+    void setQuantMode(QuantMode mode) override;
 
     /** True when every child layer is row-independent at inference. */
     bool rowIndependentInference() const override;

@@ -1,5 +1,7 @@
 #include "pointcloud/points_soa.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <new>
 #include <utility>
 
@@ -123,6 +125,82 @@ PointsSoA::fill(std::span<const Vec3> points,
         y[i] = kPadCoord;
         z[i] = kPadCoord;
     }
+}
+
+namespace {
+
+/** Snap one world coordinate to a quantized lane, clamped to ±limit. */
+std::int16_t
+snapCoord(float v, float center, float inv_scale, std::int32_t limit)
+{
+    const long q = std::lrintf((v - center) * inv_scale);
+    return static_cast<std::int16_t>(
+        std::clamp<long>(q, -limit, limit));
+}
+
+} // namespace
+
+PointsFixed::PointsFixed(const PointsSoA &soa, ScratchArena &arena)
+{
+    n = soa.size();
+    if (n == 0) {
+        return;
+    }
+    float lo_x = soa.xs()[0], hi_x = lo_x;
+    float lo_y = soa.ys()[0], hi_y = lo_y;
+    float lo_z = soa.zs()[0], hi_z = lo_z;
+    for (std::size_t i = 1; i < n; ++i) {
+        lo_x = std::min(lo_x, soa.xs()[i]);
+        hi_x = std::max(hi_x, soa.xs()[i]);
+        lo_y = std::min(lo_y, soa.ys()[i]);
+        hi_y = std::max(hi_y, soa.ys()[i]);
+        lo_z = std::min(lo_z, soa.zs()[i]);
+        hi_z = std::max(hi_z, soa.zs()[i]);
+    }
+    const float half = std::max({(hi_x - lo_x) * 0.5f,
+                                 (hi_y - lo_y) * 0.5f,
+                                 (hi_z - lo_z) * 0.5f});
+    if (!std::isfinite(half) || !(half > 0.0f)) {
+        // Degenerate (single point / coincident cloud) or non-finite
+        // bounds: the grid has no resolution, keep fp32.
+        return;
+    }
+    c = {(lo_x + hi_x) * 0.5f, (lo_y + hi_y) * 0.5f,
+         (lo_z + hi_z) * 0.5f};
+    s = half / static_cast<float>(simd::kFixedMaxQ);
+    inv = 1.0f / s;
+    if (!std::isfinite(inv)) {
+        s = 0.0f;
+        return;
+    }
+
+    const std::size_t padded = soa.paddedSize();
+    auto block = arena.alloc<std::int16_t>(4 * padded);
+    qxy = block.data();
+    qzw = block.data() + 2 * padded;
+    for (std::size_t i = 0; i < n; ++i) {
+        qxy[2 * i] = snapCoord(soa.xs()[i], c.x, inv, simd::kFixedMaxQ);
+        qxy[2 * i + 1] =
+            snapCoord(soa.ys()[i], c.y, inv, simd::kFixedMaxQ);
+        qzw[2 * i] = snapCoord(soa.zs()[i], c.z, inv, simd::kFixedMaxQ);
+        qzw[2 * i + 1] = 0;
+    }
+    for (std::size_t i = n; i < padded; ++i) {
+        qxy[2 * i] = simd::kFixedPadQ;
+        qxy[2 * i + 1] = 0;
+        qzw[2 * i] = 0;
+        qzw[2 * i + 1] = 0;
+    }
+    ok = true;
+}
+
+void
+PointsFixed::quantizeQuery(const Vec3 &q, std::int16_t &qx,
+                           std::int16_t &qy, std::int16_t &qz) const
+{
+    qx = snapCoord(q.x, c.x, inv, simd::kFixedMaxQueryQ);
+    qy = snapCoord(q.y, c.y, inv, simd::kFixedMaxQueryQ);
+    qz = snapCoord(q.z, c.z, inv, simd::kFixedMaxQueryQ);
 }
 
 } // namespace edgepc

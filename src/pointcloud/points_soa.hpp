@@ -90,6 +90,65 @@ class PointsSoA
     std::size_t padded = 0;
 };
 
+/**
+ * s16 fixed-point companion view of a PointsSoA (DESIGN.md §15).
+ *
+ * Coordinates snap to a per-cloud uniform grid — scale() world units
+ * per step, centered on the bounding box, spanning ±simd::kFixedMaxQ —
+ * stored in the interleaved [x,y] / [z,0] lane layout that
+ * simd::batchSqDistFixed consumes with _mm256_madd_epi16. Arena-backed
+ * only (built per search call, no ownership, freely copyable); valid()
+ * is false when the cloud cannot quantize (empty cloud or non-finite
+ * bounds), in which case callers must keep the exact fp32 kernels.
+ */
+class PointsFixed
+{
+  public:
+    PointsFixed() = default;
+
+    /** Quantized view of @p soa on @p arena (one bounds scan). */
+    PointsFixed(const PointsSoA &soa, ScratchArena &arena);
+
+    /** False when the cloud cannot be quantized (fp32 fallback). */
+    bool valid() const { return ok; }
+
+    /** World units per quantization step (0 when !valid()). */
+    float scale() const { return s; }
+
+    /** Interleaved candidate lanes [x0,y0, x1,y1, ...]. */
+    const std::int16_t *xy() const { return qxy; }
+
+    /** Interleaved candidate lanes [z0,0, z1,0, ...]. */
+    const std::int16_t *zw() const { return qzw; }
+
+    /** Number of real points N. */
+    std::size_t size() const { return n; }
+
+    /** Quantize a query point (clamped to ±simd::kFixedMaxQueryQ). */
+    void quantizeQuery(const Vec3 &q, std::int16_t &qx, std::int16_t &qy,
+                       std::int16_t &qz) const;
+
+    /**
+     * World-space radius -> squared in-ball threshold in quantized
+     * units (compared against the exact integer distances the fixed
+     * kernels emit as floats).
+     */
+    float radiusSqQ(float r) const
+    {
+        const float rq = r * inv;
+        return rq * rq;
+    }
+
+  private:
+    std::int16_t *qxy = nullptr;
+    std::int16_t *qzw = nullptr;
+    Vec3 c{};
+    float s = 0.0f;
+    float inv = 0.0f;
+    std::size_t n = 0;
+    bool ok = false;
+};
+
 } // namespace edgepc
 
 #endif // EDGEPC_POINTCLOUD_POINTS_SOA_HPP

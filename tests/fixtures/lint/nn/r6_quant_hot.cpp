@@ -1,0 +1,74 @@
+// Fixture: the int8 quantize-pack hot loops (DESIGN.md §15). The
+// quantized GEMM sizes its packed-activation buffer from the
+// ScratchArena before the EDGEPC_HOT region and reads weight panels
+// from the one-time layer cache, as cleanQuantizePack() mirrors. The
+// bad variants build panels per call inside the region (R6 — the
+// QuantizedWeights idiom, which owns heap vectors like Matrix does),
+// grow a staging vector in the packing loop (R6), and leak the
+// arena-backed packed view out of the builder (R8 — the span dangles
+// when the caller's Frame rewinds; only the owning cache entry may
+// outlive the call).
+
+#include <cstddef>
+#include <vector>
+
+struct QuantizedWeights
+{
+    QuantizedWeights(std::size_t k, std::size_t n);
+    const signed char *panel(std::size_t p) const;
+};
+
+struct Span
+{
+    unsigned char *p;
+};
+
+struct ScratchArena
+{
+    static ScratchArena &local();
+    template <typename T> Span alloc(std::size_t n);
+};
+
+void
+cleanQuantizePack(std::size_t m, std::size_t k, const float *a,
+                  unsigned char *out)
+{
+    ScratchArena &arena = ScratchArena::local();
+    Span packed = arena.alloc<unsigned char>(m * k); // ok: pre-sized
+    // EDGEPC_HOT: streaming activation quantization + pack (fixture)
+    for (std::size_t i = 0; i < m * k; ++i) {
+        packed.p[i] = static_cast<unsigned char>(a[i]);
+        out[i] = packed.p[i];
+    }
+}
+
+// EDGEPC_HOT: per-call panel rebuild inside the kernel (fixture)
+void
+hotPanelRebuild(std::size_t m, std::size_t k, std::size_t n)
+{
+    QuantizedWeights panels(k, n); // line 49: R6 QuantizedWeights
+    (void)panels;
+    (void)m;
+}
+
+// EDGEPC_HOT: quantized panel staging grows per call (fixture)
+void
+hotPanelStaging(std::size_t quads)
+{
+    std::vector<signed char> staging; // line 58: R6 vector
+    staging.resize(quads * 64);       // line 59: R6 resize
+}
+
+Span
+leakPackedView(ScratchArena &arena, std::size_t m, std::size_t k)
+{
+    Span packed = arena.alloc<unsigned char>(m * k);
+    return packed; // line 66: R8 arena view returned
+}
+
+unsigned char
+packedUsedLocally(ScratchArena &arena, std::size_t m, std::size_t k)
+{
+    Span packed = arena.alloc<unsigned char>(m * k);
+    return packed.p[0]; // ok: copies the element, not the view
+}

@@ -30,12 +30,18 @@
 #include "nn/delayed_agg.hpp"
 #include "nn/grouping.hpp"
 #include "nn/layers.hpp"
+#include "nn/quant.hpp"
 #include "nn/tensor.hpp"
 
 namespace edgepc {
 namespace {
 
-/** Save/restore every dispatch knob the matrix sweep mutates. */
+/**
+ * Save/restore every dispatch knob the matrix sweep mutates, and pin
+ * the quantized GEMM route off for the guard's lifetime: the parity
+ * bounds here are fp32 reassociation budgets, and an EDGEPC_GEMM=int8
+ * environment would swap the very numerics under test.
+ */
 class DispatchGuard
 {
   public:
@@ -43,8 +49,9 @@ class DispatchGuard
         : gemmPath(nn::GemmEngine::dispatchPath()),
           simdPath(simd::dispatchPath()),
           fused(nn::GemmEngine::fusedEpilogues()),
-          mode(nn::delayedAggMode())
+          mode(nn::delayedAggMode()), quant(nn::quantGemmMode())
     {
+        nn::setQuantGemmMode(nn::QuantMode::Off);
     }
     ~DispatchGuard()
     {
@@ -52,6 +59,7 @@ class DispatchGuard
         simd::setDispatchPath(simdPath);
         nn::GemmEngine::setFusedEpilogues(fused);
         nn::setDelayedAggMode(mode);
+        nn::setQuantGemmMode(quant);
     }
 
   private:
@@ -59,6 +67,7 @@ class DispatchGuard
     simd::DispatchPath simdPath;
     bool fused;
     nn::DelayedAggMode mode;
+    nn::QuantMode quant;
 };
 
 struct DispatchCase

@@ -4,13 +4,33 @@
 
 #include "common/rng.hpp"
 #include "nn/layers.hpp"
+#include "nn/quant.hpp"
 
 namespace edgepc {
 namespace nn {
 namespace {
 
+/**
+ * Pin the quantized GEMM route off for a test that asserts exact fp32
+ * arithmetic, so an EDGEPC_GEMM=int8 environment cannot reroute the
+ * layer through the int8 kernel.
+ */
+class QuantOffGuard
+{
+  public:
+    QuantOffGuard() : quant(quantGemmMode())
+    {
+        setQuantGemmMode(QuantMode::Off);
+    }
+    ~QuantOffGuard() { setQuantGemmMode(quant); }
+
+  private:
+    QuantMode quant;
+};
+
 TEST(Linear, ForwardAppliesWeightsAndBias)
 {
+    QuantOffGuard guard;
     Rng rng(1);
     Linear layer(2, 1, rng);
     layer.weights().value.at(0, 0) = 2.0f;

@@ -176,6 +176,29 @@ TEST(EdgePcLint, CatchesEveryRuleAtTheExpectedLine)
               std::string::npos)
         << r.output;
 
+    // The int8 quantize-pack idiom (DESIGN.md §15): arena scratch
+    // sized before the EDGEPC_HOT region stays clean; rebuilding
+    // QuantizedWeights panels or growing staging vectors inside the
+    // region is R6, and leaking the arena-backed packed view is R8.
+    EXPECT_NE(r.output.find("nn/r6_quant_hot.cpp:49:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/r6_quant_hot.cpp:58:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/r6_quant_hot.cpp:59:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("nn/r6_quant_hot.cpp:66:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("nn/r6_quant_hot.cpp:37:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_EQ(r.output.find("nn/r6_quant_hot.cpp:73:"),
+              std::string::npos)
+        << r.output;
+
     // R9: raw std mutex, missing rank, and a rank nothing guards;
     // the Compliant struct stays clean.
     EXPECT_NE(r.output.find("serve/r9_unannotated_mutex.cpp:16:"),

@@ -9,9 +9,30 @@
 #include "datasets/shapes.hpp"
 #include "models/dgcnn.hpp"
 #include "models/pointnetpp.hpp"
+#include "nn/quant.hpp"
 
 namespace edgepc {
 namespace {
+
+/**
+ * Pin the quantized GEMM route off for the delayed-vs-eager parity
+ * tests: their tolerances are fp32 reassociation budgets, and an
+ * EDGEPC_GEMM=int8 environment would reroute every Linear through the
+ * int8 kernel (quantization error is budgeted in test_quant.cpp, not
+ * here).
+ */
+class QuantOffGuard
+{
+  public:
+    QuantOffGuard() : quant(nn::quantGemmMode())
+    {
+        nn::setQuantGemmMode(nn::QuantMode::Off);
+    }
+    ~QuantOffGuard() { nn::setQuantGemmMode(quant); }
+
+  private:
+    nn::QuantMode quant;
+};
 
 PointCloud
 makeCloud(std::size_t points, std::uint64_t seed)
@@ -135,6 +156,7 @@ expectLogitsNear(const nn::Matrix &a, const nn::Matrix &b, float tol)
 
 TEST(PointNetPP, DelayedAggregationMatchesEagerClassification)
 {
+    QuantOffGuard guard;
     const PointCloud cloud = makeCloud(128, 21);
     PointNetPPConfig eager_cfg =
         PointNetPPConfig::liteClassification(128, 8);
@@ -152,6 +174,7 @@ TEST(PointNetPP, DelayedAggregationMatchesEagerClassification)
 
 TEST(PointNetPP, DelayedAggregationMatchesEagerSegmentation)
 {
+    QuantOffGuard guard;
     const PointCloud cloud = makeCloud(256, 22);
     PointNetPPConfig eager_cfg =
         PointNetPPConfig::liteSegmentation(256, 5);
@@ -173,6 +196,7 @@ TEST(PointNetPP, DelayedAggregationMatchesEagerSegmentation)
 
 TEST(Dgcnn, DelayedAggregationMatchesEagerClassification)
 {
+    QuantOffGuard guard;
     const PointCloud cloud = makeCloud(128, 23);
     DgcnnConfig eager_cfg = DgcnnConfig::liteClassification(8);
     eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;
@@ -188,6 +212,7 @@ TEST(Dgcnn, DelayedAggregationMatchesEagerClassification)
 
 TEST(Dgcnn, DelayedAggregationMatchesEagerSegmentation)
 {
+    QuantOffGuard guard;
     const PointCloud cloud = makeCloud(96, 24);
     DgcnnConfig eager_cfg = DgcnnConfig::liteSegmentation(5);
     eager_cfg.delayedAggregation = nn::DelayedAggMode::Off;

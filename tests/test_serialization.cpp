@@ -9,10 +9,29 @@
 #include "datasets/shapes.hpp"
 #include "models/dgcnn.hpp"
 #include "models/pointnetpp.hpp"
+#include "nn/quant.hpp"
 #include "nn/serialization.hpp"
 
 namespace edgepc {
 namespace {
+
+/**
+ * Pin the quantized GEMM route off: the eager/delayed logit parity
+ * asserted below is an fp32 reassociation bound, and EDGEPC_GEMM=int8
+ * would reroute every Linear through the int8 kernel.
+ */
+class QuantOffGuard
+{
+  public:
+    QuantOffGuard() : quant(nn::quantGemmMode())
+    {
+        nn::setQuantGemmMode(nn::QuantMode::Off);
+    }
+    ~QuantOffGuard() { nn::setQuantGemmMode(quant); }
+
+  private:
+    nn::QuantMode quant;
+};
 
 TEST(Serialization, StreamRoundTrip)
 {
@@ -115,6 +134,7 @@ TEST(Serialization, EagerCheckpointLoadsIntoDelayedBlocksAndBack)
     // delayed-configured one (same stream, logits within reassociation
     // distance) and a checkpoint written back by the delayed model
     // must reproduce the eager model's logits bit-exactly.
+    QuantOffGuard guard;
     Rng rng(7);
     ShapeOptions options;
     options.points = 64;
@@ -160,6 +180,7 @@ TEST(Serialization, EagerCheckpointLoadsIntoDelayedBlocksAndBack)
 
 TEST(Serialization, EagerCheckpointLoadsIntoDelayedPointNetPP)
 {
+    QuantOffGuard guard;
     Rng rng(9);
     ShapeOptions options;
     options.points = 64;

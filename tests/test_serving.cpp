@@ -18,10 +18,30 @@
 #include "core/fault_injector.hpp"
 #include "datasets/scenes.hpp"
 #include "models/pointnetpp.hpp"
+#include "nn/quant.hpp"
 #include "serve/serving_engine.hpp"
 
 namespace edgepc {
 namespace {
+
+/**
+ * Pin the quantized GEMM route off for batch-vs-per-frame parity
+ * tests: cross-stream micro-batching changes the GEMM row count, so
+ * the dynamic per-tensor activation scale would differ between the
+ * batched and per-frame runs and the logits would diverge by design.
+ */
+class QuantOffGuard
+{
+  public:
+    QuantOffGuard() : quant(nn::quantGemmMode())
+    {
+        nn::setQuantGemmMode(nn::QuantMode::Off);
+    }
+    ~QuantOffGuard() { nn::setQuantGemmMode(quant); }
+
+  private:
+    nn::QuantMode quant;
+};
 
 using serve::AdmissionController;
 using serve::AdmissionOptions;
@@ -264,6 +284,7 @@ TEST(AdmissionController, HoldsBetweenWatermarksAndRecoversLow)
 
 TEST(InferBatch, MatchesPerFrameSegmentation)
 {
+    QuantOffGuard guard;
     PointNetPP model(PointNetPPConfig::liteSegmentation(kPoints, 5), 3);
     const std::vector<PointCloud> clouds = makeStream(3, 301);
     const EdgePcConfig cfg = EdgePcConfig::sn();
@@ -290,6 +311,7 @@ TEST(InferBatch, MatchesPerFrameSegmentation)
 
 TEST(InferBatch, MatchesPerFrameClassification)
 {
+    QuantOffGuard guard;
     PointNetPP model(PointNetPPConfig::liteClassification(kPoints, 4), 7);
     const std::vector<PointCloud> clouds = makeStream(4, 302);
     const EdgePcConfig cfg = EdgePcConfig::baseline();
@@ -329,6 +351,7 @@ TEST(InferBatch, SingleCloudFallsBackToInfer)
 
 TEST(ServingDelayedAgg, InferBatchMatchesPerFrameSegmentation)
 {
+    QuantOffGuard guard;
     PointNetPPConfig mcfg = PointNetPPConfig::liteSegmentation(kPoints, 5);
     mcfg.delayedAggregation = nn::DelayedAggMode::On;
     PointNetPP model(mcfg, 3);
@@ -357,6 +380,7 @@ TEST(ServingDelayedAgg, InferBatchMatchesPerFrameSegmentation)
 
 TEST(ServingDelayedAgg, InferBatchMatchesPerFrameClassification)
 {
+    QuantOffGuard guard;
     // The classifier's deepest SA stage is a single-stage BN-free
     // block, so this also covers the fully-delayed (Tier A) per-cloud
     // branch of the batched route.
@@ -385,6 +409,7 @@ TEST(ServingDelayedAgg, InferBatchMatchesPerFrameClassification)
 
 TEST(ServingDelayedAgg, MixedEagerAndDelayedBatchAgrees)
 {
+    QuantOffGuard guard;
     // Force one cloud onto the eager route and the rest onto the
     // delayed route *within the same batch* by keeping the mode Auto:
     // the per-cloud FLOP-ratio decision then depends on cloud size,

@@ -5,8 +5,10 @@ Matches rows by label between a committed baseline (bench/baselines/)
 and a fresh run, prints a speedup table, and exits non-zero when any
 matched row regressed by more than the threshold (wall_ms growth above
 --threshold percent, default 15). Labels present on only one side are
-reported as warnings but never fail the diff — benches gain and lose
-configurations over time. Stdlib only, like validate_bench_json.py.
+reported in the table as "added" (current only — e.g. new int8 A/B
+rows) or "removed" (baseline only) but never fail the diff — benches
+gain and lose configurations over time, and the baseline refresh is a
+separate, deliberate commit. Stdlib only, like validate_bench_json.py.
 
 Usage:
     tools/ci/compare_bench_json.py BASELINE.json CURRENT.json
@@ -72,20 +74,13 @@ def main(argv: list[str]) -> int:
     base = rows_by_label(load(base_path), base_path)
     cur = rows_by_label(load(cur_path), cur_path)
 
-    for label in base:
-        if label not in cur:
-            print(f"warning: '{label}' only in baseline {base_path}",
-                  file=sys.stderr)
-    for label in cur:
-        if label not in base:
-            print(f"warning: '{label}' only in current {cur_path}",
-                  file=sys.stderr)
-
+    removed = [label for label in base if label not in cur]
+    added = [label for label in cur if label not in base]
     matched = [label for label in base if label in cur]
     if not matched:
         raise SystemExit("no labels in common; nothing to compare")
 
-    width = max(len(label) for label in matched)
+    width = max(len(label) for label in matched + added + removed)
     print(f"{'label':<{width}}  {'base ms':>12}  {'cur ms':>12}  "
           f"{'speedup':>8}  {'delta':>8}")
     regressions: list[str] = []
@@ -99,9 +94,16 @@ def main(argv: list[str]) -> int:
             regressions.append(label)
         print(f"{label:<{width}}  {b:12.4f}  {c:12.4f}  "
               f"{speedup:7.2f}x  {delta_pct:+7.1f}%{flag}")
+    for label in added:
+        print(f"{label:<{width}}  {'-':>12}  {cur[label]:12.4f}  "
+              f"{'':>8}  {'':>8}  ADDED (not in baseline)")
+    for label in removed:
+        print(f"{label:<{width}}  {base[label]:12.4f}  {'-':>12}  "
+              f"{'':>8}  {'':>8}  REMOVED (baseline only)")
 
     print(f"\n{len(matched)} row(s) compared, {len(regressions)} "
-          f"regression(s) beyond {threshold:.0f}%")
+          f"regression(s) beyond {threshold:.0f}%, "
+          f"{len(added)} added, {len(removed)} removed")
     if regressions and fail_on_regression:
         return 1
     return 0

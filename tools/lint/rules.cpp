@@ -516,18 +516,22 @@ ruleHotRegionAllocation(const LexedFile &file, std::vector<Finding> &out)
             } else if (t.text == "vector" && i + 1 < close &&
                        toks[i + 1].isPunct("<")) {
                 what = "std::vector construction";
-            } else if ((t.text == "Matrix" || t.text == "PointCloud") &&
+            } else if ((t.text == "Matrix" || t.text == "PointCloud" ||
+                        t.text == "QuantizedWeights") &&
                        i + 1 < close &&
                        (toks[i + 1].isPunct("(") ||
                         (toks[i + 1].kind == TokenKind::Ident &&
                          i + 2 < close && toks[i + 2].isPunct("(")))) {
-                // The nn/serve idiom: Matrix and PointCloud own heap
-                // buffers, so sizing one inside a hot loop is
-                // steady-state allocation — gemm/pack scratch belongs
-                // in the arena, and the serving dispatch loop must
-                // move frames, never copy-construct them.
-                what = t.text == "Matrix" ? "nn::Matrix construction"
-                                          : "PointCloud construction";
+                // The nn/serve idiom: Matrix, PointCloud and
+                // QuantizedWeights own heap buffers, so sizing one
+                // inside a hot loop is steady-state allocation —
+                // gemm/pack scratch belongs in the arena, quantized
+                // panels come from the one-time layer cache, and the
+                // serving dispatch loop must move frames, never
+                // copy-construct them.
+                what = t.text == "PointCloud"
+                           ? "PointCloud construction"
+                           : "nn::" + t.text + " construction";
             } else if (called && member &&
                        isOneOf(kAllocMembers, t.text)) {
                 what = "reallocating call '" + t.text + "'";
